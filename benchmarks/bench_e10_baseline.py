@@ -1,0 +1,13 @@
+"""E10 — Byzantine tolerance overhead vs the crash-fault baseline."""
+
+from conftest import run_experiment_benchmark
+
+from repro.harness.experiments import run_baseline_comparison
+
+
+def test_e10_baseline(benchmark):
+    outcome = run_experiment_benchmark(benchmark, run_baseline_comparison)
+    for n, wts_msgs in outcome["wts_series"].items():
+        crash_msgs = outcome["crash_series"][n]
+        # Byzantine tolerance is never free: WTS always sends more messages.
+        assert wts_msgs > crash_msgs

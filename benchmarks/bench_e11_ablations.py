@@ -1,0 +1,14 @@
+"""E11 (extension) — ablation study of the two WTS design choices."""
+
+from conftest import run_experiment_benchmark
+
+from repro.harness.experiments import run_ablation_experiment
+
+
+def test_e11_ablations(benchmark):
+    outcome = run_experiment_benchmark(benchmark, run_ablation_experiment, quick=False)
+    for row in outcome["outcomes"]:
+        # Intact WTS always survives the attack its removed defence targets...
+        assert row["intact_ok"], row
+        # ...and the ablated variant is broken by it (on some scanned schedule).
+        assert row["ablated_broken"], row

@@ -1,0 +1,11 @@
+"""E1 — Figure 1: decisions of a WTS run form a chain in the power-set lattice."""
+
+from conftest import run_experiment_benchmark
+
+from repro.harness.experiments import run_chain_experiment
+
+
+def test_e1_chain(benchmark):
+    outcome = run_experiment_benchmark(benchmark, run_chain_experiment)
+    assert outcome["is_chain"], "decisions must form a chain (Figure 1)"
+    assert outcome["check"].ok

@@ -1,0 +1,11 @@
+"""E3 — Theorem 3: WTS decides within 2f + 5 message delays."""
+
+from conftest import run_experiment_benchmark
+
+from repro.harness.experiments import run_wts_latency_experiment
+
+
+def test_e3_wts_latency(benchmark):
+    outcome = run_experiment_benchmark(benchmark, run_wts_latency_experiment)
+    for f, measured in outcome["series"].items():
+        assert measured <= 2 * f + 5, f"latency {measured} exceeds 2f+5 for f={f}"

@@ -1,0 +1,12 @@
+"""E4 — Section 5.1.3: WTS message complexity is quadratic in n."""
+
+from conftest import run_experiment_benchmark
+
+from repro.harness.experiments import run_wts_messages_experiment
+
+
+def test_e4_wts_messages(benchmark):
+    outcome = run_experiment_benchmark(benchmark, run_wts_messages_experiment)
+    # Quadratic shape: the log-log slope should sit clearly above linear and
+    # not exceed cubic.
+    assert 1.5 <= outcome["fit_order"] <= 3.0

@@ -1,0 +1,13 @@
+"""E5 — Theorem 8 / Section 8.1: SbS latency 5 + 4f, messages O(n) for f = O(1)."""
+
+from conftest import run_experiment_benchmark
+
+from repro.harness.experiments import run_sbs_experiment
+
+
+def test_e5_sbs(benchmark):
+    outcome = run_experiment_benchmark(benchmark, run_sbs_experiment)
+    # Linear shape in n for fixed f.
+    assert 0.7 <= outcome["fit_order"] <= 1.5
+    for f, n, measured, bound in outcome["latency_rows"]:
+        assert float(measured) <= bound

@@ -1,0 +1,13 @@
+"""E6 — Section 6.4: GWTS messages per proposer per decision are O(f * n^2)."""
+
+from conftest import run_experiment_benchmark
+
+from repro.harness.experiments import run_gwts_messages_experiment
+
+
+def test_e6_gwts_messages(benchmark):
+    outcome = run_experiment_benchmark(benchmark, run_gwts_messages_experiment)
+    # With f growing as (n-1)/3 in the sweep, O(f n^2) behaves like n^3:
+    # the log-log slope should land between quadratic and comfortably
+    # above-cubic-with-noise.
+    assert 1.8 <= outcome["fit_order"] <= 3.6

@@ -1,0 +1,11 @@
+"""E7 — Section 6.2/6.3: GWTS liveness and inclusivity under round clogging."""
+
+from conftest import run_experiment_benchmark
+
+from repro.harness.experiments import run_gwts_liveness_experiment
+
+
+def test_e7_gwts_liveness(benchmark):
+    outcome = run_experiment_benchmark(benchmark, run_gwts_liveness_experiment)
+    assert outcome["check"].ok
+    assert all(count >= 1 for count in outcome["decisions_per_process"].values())

@@ -1,0 +1,16 @@
+"""E9 — Section 2: breadth argument against the restrictive specification."""
+
+from conftest import run_experiment_benchmark
+
+from repro.harness.experiments import run_breadth_experiment
+
+
+def test_e9_breadth(benchmark):
+    outcome = run_experiment_benchmark(benchmark, run_breadth_experiment)
+    for row in outcome["outcomes"]:
+        # Our specification always holds.
+        assert row["our_spec_ok"]
+        # The restrictive specification becomes infeasible once the breadth
+        # reaches the process count.
+        if row["breadth"] >= 4:
+            assert not row["restricted_feasible"]

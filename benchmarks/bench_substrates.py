@@ -1,0 +1,120 @@
+"""Micro-benchmarks of the substrates the algorithms are built on.
+
+These are classic pytest-benchmark kernels (many iterations of a small
+operation) complementing the E1–E10 experiment benchmarks: lattice joins,
+reliable broadcast, network delivery throughput and signature verification.
+They are useful when profiling changes to the substrate code paths that
+dominate the big experiments.
+"""
+
+import random
+
+from repro.broadcast import ReliableBroadcaster
+from repro.crypto import KeyRegistry
+from repro.lattice import GCounterLattice, MapLattice, SetLattice, VectorClockLattice
+from repro.transport import FixedDelay, Network, SimulationRuntime
+from repro.transport.node import Node
+
+
+def test_set_lattice_join_all(benchmark):
+    lattice = SetLattice()
+    rng = random.Random(0)
+    elements = [frozenset(rng.sample(range(200), 12)) for _ in range(300)]
+    result = benchmark(lattice.join_all, elements)
+    assert len(result) > 0
+
+
+def test_gcounter_join(benchmark):
+    lattice = GCounterLattice()
+    a = lattice.lift({f"p{i}": i for i in range(50)})
+    b = lattice.lift({f"p{i}": 100 - i for i in range(50)})
+    result = benchmark(lattice.join, a, b)
+    assert lattice.value(result) > 0
+
+
+def test_vector_clock_join(benchmark):
+    lattice = VectorClockLattice(64)
+    a = tuple(range(64))
+    b = tuple(reversed(range(64)))
+    result = benchmark(lattice.join, a, b)
+    assert lattice.is_element(result)
+
+
+def test_map_lattice_join(benchmark):
+    lattice = MapLattice(SetLattice())
+    a = lattice.lift({f"k{i}": {i, i + 1} for i in range(60)})
+    b = lattice.lift({f"k{i}": {i + 2} for i in range(30, 90)})
+    result = benchmark(lattice.join, a, b)
+    assert lattice.is_element(result)
+
+
+def test_signature_roundtrip(benchmark):
+    registry = KeyRegistry(seed=1)
+    signer = registry.register("p0")
+    payload = ("round", 3, frozenset({"a", "b", "c"}))
+
+    def roundtrip():
+        signed = signer.sign(payload)
+        assert registry.verify(signed)
+
+    benchmark(roundtrip)
+
+
+class _Sink(Node):
+    """Node that counts deliveries (for raw network throughput)."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.seen = 0
+
+    def on_message(self, sender, payload):
+        self.seen += 1
+
+
+def test_network_delivery_throughput(benchmark):
+    def run():
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        nodes = [network.add_node(_Sink(f"p{i}")) for i in range(10)]
+        network.start()
+        for _ in range(20):
+            for node in nodes:
+                node.ctx.broadcast(("ping", node.pid))
+        SimulationRuntime(network).run_until_quiescent()
+        return sum(node.seen for node in nodes)
+
+    delivered = benchmark(run)
+    assert delivered == 10 * 10 * 20
+
+
+class _RBHost(Node):
+    """Minimal host running a reliable-broadcast endpoint."""
+
+    def __init__(self, pid, n, f):
+        super().__init__(pid)
+        self.n = n
+        self.f = f
+        self.delivered = []
+        self.rb = None
+
+    def on_start(self):
+        self.rb = ReliableBroadcaster(
+            node=self, n=self.n, f=self.f,
+            deliver=lambda origin, tag, value: self.delivered.append((origin, tag, value)),
+        )
+        if self.pid == "p0":
+            self.rb.broadcast("bench", ("payload", 42))
+
+    def on_message(self, sender, payload):
+        self.rb.handle(sender, payload)
+
+
+def test_reliable_broadcast_round(benchmark):
+    def run():
+        n, f = 7, 2
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        hosts = [network.add_node(_RBHost(f"p{i}", n, f)) for i in range(n)]
+        SimulationRuntime(network).run_until_quiescent()
+        return sum(len(host.delivered) for host in hosts)
+
+    delivered = benchmark(run)
+    assert delivered == 7

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark wraps one experiment runner from
+:mod:`repro.harness.experiments`.  The experiments are full simulations (not
+micro-kernels), so each benchmark executes its experiment exactly once per
+round via ``benchmark.pedantic`` and attaches the experiment's headline
+numbers to ``benchmark.extra_info`` — the paper-vs-measured record that
+EXPERIMENTS.md is built from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import pytest
+
+
+def run_experiment_benchmark(
+    benchmark,
+    runner: Callable[..., Dict[str, Any]],
+    quick: bool = True,
+    **kwargs,
+) -> Dict[str, Any]:
+    """Run ``runner`` once under pytest-benchmark and record its outcome."""
+    outcome_holder: Dict[str, Any] = {}
+
+    def _run() -> None:
+        outcome_holder["outcome"] = runner(quick=quick, **kwargs)
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+    outcome = outcome_holder["outcome"]
+    benchmark.extra_info["experiment"] = outcome.get("experiment")
+    benchmark.extra_info["expected"] = outcome.get("expected")
+    # Print the table so a --benchmark-only run doubles as a report.
+    print()
+    print(outcome["table"])
+    return outcome

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Run every experiment of the reproduction (E1–E10) and print its table.
+
+This is the narrative companion to ``benchmarks/``: the benchmarks measure
+wall-clock cost per experiment, while this script prints the actual
+tables/series that correspond to the paper's analytical evaluation (see
+DESIGN.md for the experiment-to-claim mapping and EXPERIMENTS.md for the
+recorded outcomes).
+
+Run with::
+
+    python examples/run_all_experiments.py           # full sweeps
+    python examples/run_all_experiments.py --quick   # reduced sweeps
+"""
+
+import argparse
+import sys
+import time
+
+from repro.harness import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use reduced sweep ranges")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="experiment ids to run (default: all), e.g. --only E3 E5",
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.only or list(ALL_EXPERIMENTS)
+    for name in selected:
+        runner = ALL_EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; known: {', '.join(ALL_EXPERIMENTS)}")
+            return 2
+        start = time.time()
+        outcome = runner(quick=args.quick)
+        elapsed = time.time() - start
+        print("=" * 78)
+        print(f"{name}  ({elapsed:.1f}s)   expected: {outcome['expected']}")
+        print("=" * 78)
+        print(outcome["table"])
+        check = outcome.get("check")
+        if check is not None:
+            print(f"\nproperty check: {check}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

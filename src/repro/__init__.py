@@ -1,0 +1,137 @@
+"""repro — a reproduction of *Byzantine Generalized Lattice Agreement*.
+
+Di Luna, Anceaume, Querzoni (2019/2020): Byzantine-tolerant Lattice
+Agreement (WTS), Generalized Lattice Agreement (GWTS), their signature-based
+variants (SbS / GSbS), and a wait-free linearizable Replicated State Machine
+for commutative updates built on top — all running over a deterministic
+asynchronous message-passing simulator with pluggable Byzantine behaviours.
+
+Quickstart
+----------
+
+>>> from repro import run_wts_scenario
+>>> scenario = run_wts_scenario(n=4, f=1, seed=42)
+>>> scenario.check_la().ok
+True
+
+See ``examples/`` for richer scenarios (a Byzantine-tolerant replicated
+counter, attack resilience, signature vs plain message complexity) and
+``benchmarks/`` for the experiment harness regenerating every quantitative
+claim of the paper (DESIGN.md maps each to its experiment id).
+
+Package layout
+--------------
+
+============================  ====================================================
+``repro.lattice``             join semilattices (sets, counters, maps, clocks)
+``repro.transport``           simulated asynchronous authenticated network
+``repro.crypto``              simulated PKI (Section 8's signatures)
+``repro.broadcast``           Byzantine reliable broadcast (Bracha)
+``repro.core``                WTS, GWTS, SbS, GSbS + problem specifications
+``repro.byzantine``           adversarial behaviours
+``repro.rsm``                 replicated state machine + CRDT objects + checker
+``repro.baselines``           crash-fault LA/GLA, restrictive-spec comparison
+``repro.metrics``             message/latency accounting and report helpers
+``repro.harness``             scenario builders and experiments E1–E10
+============================  ====================================================
+"""
+
+from repro.core import (
+    AgreementProcess,
+    GLASpecification,
+    GSbSProcess,
+    GWTSProcess,
+    LASpecification,
+    SbSProcess,
+    WTSProcess,
+    byzantine_quorum,
+    check_gla_run,
+    check_la_run,
+    max_faults,
+    required_processes,
+)
+from repro.harness import (
+    ScenarioResult,
+    run_crash_gla_scenario,
+    run_crash_la_scenario,
+    run_gsbs_scenario,
+    run_gwts_scenario,
+    run_rsm_scenario,
+    run_sbs_scenario,
+    run_wts_scenario,
+)
+from repro.lattice import (
+    GCounterLattice,
+    JoinSemilattice,
+    MapLattice,
+    MaxIntLattice,
+    ProductLattice,
+    SetLattice,
+    VectorClockLattice,
+)
+from repro.rsm import (
+    GCounterObject,
+    GSetObject,
+    LWWRegisterObject,
+    ORSetObject,
+    PNCounterObject,
+    Replica,
+    RSMClient,
+    check_rsm_history,
+)
+from repro.transport import (
+    FixedDelay,
+    Network,
+    SimulationRuntime,
+    UniformDelay,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core algorithms and specs
+    "AgreementProcess",
+    "WTSProcess",
+    "GWTSProcess",
+    "SbSProcess",
+    "GSbSProcess",
+    "LASpecification",
+    "GLASpecification",
+    "check_la_run",
+    "check_gla_run",
+    "byzantine_quorum",
+    "max_faults",
+    "required_processes",
+    # lattices
+    "JoinSemilattice",
+    "SetLattice",
+    "GCounterLattice",
+    "MaxIntLattice",
+    "MapLattice",
+    "VectorClockLattice",
+    "ProductLattice",
+    # transport
+    "Network",
+    "SimulationRuntime",
+    "FixedDelay",
+    "UniformDelay",
+    # RSM
+    "Replica",
+    "RSMClient",
+    "check_rsm_history",
+    "GSetObject",
+    "GCounterObject",
+    "PNCounterObject",
+    "LWWRegisterObject",
+    "ORSetObject",
+    # harness
+    "ScenarioResult",
+    "run_wts_scenario",
+    "run_sbs_scenario",
+    "run_gwts_scenario",
+    "run_gsbs_scenario",
+    "run_crash_la_scenario",
+    "run_crash_gla_scenario",
+    "run_rsm_scenario",
+]

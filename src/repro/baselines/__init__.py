@@ -1,0 +1,30 @@
+"""Baselines the paper positions itself against.
+
+* :class:`CrashLAProcess` / :class:`CrashGLAProcess` — the crash-fault-only
+  Lattice Agreement / Generalized Lattice Agreement construction in the style
+  of Faleiro et al. [2]: a simple majority quorum (``floor(n/2) + 1``), no
+  reliable broadcast, no safe-value discipline.  They are correct under crash
+  failures and *demonstrably unsafe* under Byzantine behaviour — which is the
+  negative control of experiment E10 and several failure-injection tests.
+* :mod:`repro.baselines.restricted_spec` — the stricter Byzantine LA
+  specification of Nowak and Rybicki [7] (decisions must not contain values
+  proposed by Byzantine processes) together with the breadth-based
+  feasibility rule the paper's Section 2 uses to argue that specification is
+  impossible for lattices wider than the process count (experiment E9).
+"""
+
+from repro.baselines.crash_la import CrashLAProcess
+from repro.baselines.crash_gla import CrashGLAProcess
+from repro.baselines.restricted_spec import (
+    check_restricted_la_run,
+    restricted_spec_feasible,
+    power_set_breadth,
+)
+
+__all__ = [
+    "CrashLAProcess",
+    "CrashGLAProcess",
+    "check_restricted_la_run",
+    "restricted_spec_feasible",
+    "power_set_breadth",
+]

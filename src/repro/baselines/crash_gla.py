@@ -1,0 +1,180 @@
+"""Crash-fault-only Generalized Lattice Agreement baseline.
+
+The round/batching structure of GWTS without any Byzantine defence: no
+reliable broadcast (plain best-effort disclosure messages), no safe-value
+filtering, no acceptor round gating, and a simple majority quorum.  This is
+the GLA construction of Faleiro et al. [2] reduced to the features GWTS
+shares with it, which makes the E10 comparison an apples-to-apples measure of
+the price of Byzantine tolerance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.messages import RoundAck, RoundAckRequest, RoundNack
+from repro.core.process import AgreementProcess
+from repro.lattice.base import JoinSemilattice, LatticeElement
+
+NEWROUND = "newround"
+DISCLOSING = "disclosing"
+PROPOSING = "proposing"
+HALTED = "halted"
+
+
+@dataclass(frozen=True)
+class BatchDisclosure:
+    """Plain (non-reliable) per-round batch announcement."""
+
+    value: Any
+    round: int
+    mtype: str = "disclosure"
+
+
+class CrashGLAProcess(AgreementProcess):
+    """Crash-tolerant Generalized Lattice Agreement participant (both roles)."""
+
+    def __init__(
+        self,
+        pid: Hashable,
+        lattice: JoinSemilattice,
+        members: Sequence[Hashable],
+        f: int,
+        max_rounds: int = 3,
+        initial_values: Sequence[LatticeElement] = (),
+    ) -> None:
+        super().__init__(pid, lattice, members, f)
+        self.max_rounds = max_rounds
+        self.state = NEWROUND
+        self.round = -1
+        self.ts = 0
+        self.batches: Dict[int, List[LatticeElement]] = defaultdict(list)
+        self.received_inputs: List[LatticeElement] = []
+        self.proposed_set: LatticeElement = lattice.bottom()
+        self.decided_set: LatticeElement = lattice.bottom()
+        self.counter: Dict[int, Set[Hashable]] = defaultdict(set)
+        self.ack_senders: Set[Hashable] = set()
+        self.accepted_set: LatticeElement = lattice.bottom()
+        for value in initial_values:
+            self.new_value(value)
+
+    @property
+    def majority(self) -> int:
+        """Crash-fault quorum: a simple majority of the membership."""
+        return self.n // 2 + 1
+
+    # -- input interface ------------------------------------------------------------
+
+    def new_value(self, value: LatticeElement) -> None:
+        """Queue ``value`` for the next round's batch."""
+        if not self.lattice.is_element(value):
+            raise ValueError(f"{value!r} is not a lattice element")
+        self.batches[self.round + 1].append(value)
+        self.received_inputs.append(value)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.recheck()
+
+    def on_message(self, sender: Hashable, payload: Any) -> None:
+        if isinstance(payload, BatchDisclosure):
+            self._handle_disclosure(sender, payload)
+        elif isinstance(payload, RoundAckRequest):
+            self._handle_ack_request(sender, payload)
+        elif isinstance(payload, RoundAck):
+            self._handle_ack(sender, payload)
+        elif isinstance(payload, RoundNack):
+            self._handle_nack(sender, payload)
+        self.recheck()
+
+    # -- disclosure (plain broadcast) ------------------------------------------------------
+
+    def _handle_disclosure(self, sender: Hashable, msg: BatchDisclosure) -> None:
+        if not self.lattice.is_element(msg.value):
+            return
+        if sender in self.counter[msg.round]:
+            return
+        self.counter[msg.round].add(sender)
+        if msg.round == self.round and self.state == DISCLOSING:
+            self.proposed_set = self.lattice.join(self.proposed_set, msg.value)
+
+    # -- acceptor role -----------------------------------------------------------------------
+
+    def _handle_ack_request(self, sender: Hashable, msg: RoundAckRequest) -> None:
+        if not self.lattice.is_element(msg.proposed_set):
+            return
+        if self.lattice.leq(self.accepted_set, msg.proposed_set):
+            self.accepted_set = msg.proposed_set
+            self.send_to(
+                sender,
+                RoundAck(
+                    accepted_set=self.accepted_set,
+                    destination=sender,
+                    sender=self.pid,
+                    ts=msg.ts,
+                    round=msg.round,
+                ),
+            )
+        else:
+            self.send_to(
+                sender,
+                RoundNack(accepted_set=self.accepted_set, ts=msg.ts, round=msg.round),
+            )
+            self.accepted_set = self.lattice.join(self.accepted_set, msg.proposed_set)
+
+    # -- proposer role ------------------------------------------------------------------------
+
+    def _handle_ack(self, sender: Hashable, msg: RoundAck) -> None:
+        if self.state != PROPOSING or msg.ts != self.ts or msg.round != self.round:
+            return
+        self.ack_senders.add(sender)
+
+    def _handle_nack(self, sender: Hashable, msg: RoundNack) -> None:
+        if self.state != PROPOSING or msg.ts != self.ts or msg.round != self.round:
+            return
+        if not self.lattice.is_element(msg.accepted_set):
+            return
+        merged = self.lattice.join(msg.accepted_set, self.proposed_set)
+        if merged != self.proposed_set:
+            self.proposed_set = merged
+            self.ack_senders = set()
+            self.ts += 1
+            self.send_to_members(
+                RoundAckRequest(proposed_set=self.proposed_set, ts=self.ts, round=self.round)
+            )
+
+    # -- guard evaluation ------------------------------------------------------------------------
+
+    def try_progress(self) -> bool:
+        if self.state == NEWROUND:
+            if self.round + 1 >= self.max_rounds:
+                self.state = HALTED
+                return True
+            self.state = DISCLOSING
+            self.round += 1
+            batch_value = self.lattice.join_all(self.batches.get(self.round, []))
+            self.proposed_set = self.lattice.join(self.proposed_set, batch_value)
+            self.send_to_members(BatchDisclosure(value=batch_value, round=self.round))
+            return True
+
+        if (
+            self.state == DISCLOSING
+            and len(self.counter[self.round]) >= self.disclosure_threshold
+        ):
+            self.state = PROPOSING
+            self.ts += 1
+            self.ack_senders = set()
+            self.send_to_members(
+                RoundAckRequest(proposed_set=self.proposed_set, ts=self.ts, round=self.round)
+            )
+            return True
+
+        if self.state == PROPOSING and len(self.ack_senders) >= self.majority:
+            self.decided_set = self.lattice.join(self.decided_set, self.proposed_set)
+            self.record_decision(self.decided_set, round=self.round)
+            self.state = NEWROUND
+            return True
+        return False

@@ -1,0 +1,114 @@
+"""Crash-fault-only Lattice Agreement baseline (Faleiro et al. [2] style).
+
+The paper builds WTS by hardening exactly this algorithm: "The Deciding Phase
+is an extension of the algorithm described in [2] with a Byzantine quorum and
+additional checks used to thwart Byzantine attacks" (Section 5).  The
+baseline therefore looks like WTS with every Byzantine defence removed:
+
+* no Values Disclosure Phase / reliable broadcast — the proposer goes
+  straight to proposing its own input;
+* no safe-value filtering — whatever arrives is merged;
+* a simple majority quorum ``floor(n/2) + 1`` (tolerates ``f < n/2`` crash
+  faults) instead of the Byzantine quorum.
+
+It is used by experiment E10 (message/latency overhead of Byzantine
+tolerance) and, as a negative control, by failure-injection tests that show
+it violates Comparability/Non-Triviality under Byzantine behaviour that WTS
+tolerates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Sequence, Set
+
+from repro.core.messages import Ack, AckRequest, Nack
+from repro.core.process import AgreementProcess
+from repro.lattice.base import JoinSemilattice, LatticeElement
+
+PROPOSING = "proposing"
+DECIDED = "decided"
+
+
+class CrashLAProcess(AgreementProcess):
+    """Crash-tolerant single-shot Lattice Agreement participant (both roles)."""
+
+    def __init__(
+        self,
+        pid: Hashable,
+        lattice: JoinSemilattice,
+        members: Sequence[Hashable],
+        f: int,
+        proposal: Optional[LatticeElement] = None,
+    ) -> None:
+        super().__init__(pid, lattice, members, f)
+        self.proposal: LatticeElement = (
+            proposal if proposal is not None else lattice.bottom()
+        )
+        self.state = PROPOSING
+        self.ts = 0
+        self.proposed_set: LatticeElement = lattice.join(lattice.bottom(), self.proposal)
+        self.ack_senders: Set[Hashable] = set()
+        self.refinements = 0
+        # Acceptor state.
+        self.accepted_set: LatticeElement = lattice.bottom()
+
+    @property
+    def majority(self) -> int:
+        """Crash-fault quorum: a simple majority of the membership."""
+        return self.n // 2 + 1
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.send_to_members(AckRequest(proposed_set=self.proposed_set, ts=self.ts))
+
+    def on_message(self, sender: Hashable, payload: Any) -> None:
+        if isinstance(payload, AckRequest):
+            self._handle_ack_request(sender, payload)
+        elif isinstance(payload, Ack):
+            self._handle_ack(sender, payload)
+        elif isinstance(payload, Nack):
+            self._handle_nack(sender, payload)
+        self.recheck()
+
+    # -- acceptor role -----------------------------------------------------------------
+
+    def _handle_ack_request(self, sender: Hashable, msg: AckRequest) -> None:
+        if not self.lattice.is_element(msg.proposed_set):
+            # Even the baseline rejects structurally malformed values, so the
+            # comparison with WTS is about Byzantine *protocol* attacks, not
+            # about trivially broken payload types.
+            return
+        if self.lattice.leq(self.accepted_set, msg.proposed_set):
+            self.accepted_set = msg.proposed_set
+            self.send_to(sender, Ack(accepted_set=self.accepted_set, ts=msg.ts))
+        else:
+            self.send_to(sender, Nack(accepted_set=self.accepted_set, ts=msg.ts))
+            self.accepted_set = self.lattice.join(self.accepted_set, msg.proposed_set)
+
+    # -- proposer role -----------------------------------------------------------------
+
+    def _handle_ack(self, sender: Hashable, msg: Ack) -> None:
+        if self.state != PROPOSING or msg.ts != self.ts:
+            return
+        self.ack_senders.add(sender)
+
+    def _handle_nack(self, sender: Hashable, msg: Nack) -> None:
+        if self.state != PROPOSING or msg.ts != self.ts:
+            return
+        if not self.lattice.is_element(msg.accepted_set):
+            return
+        merged = self.lattice.join(msg.accepted_set, self.proposed_set)
+        if merged != self.proposed_set:
+            self.proposed_set = merged
+            self.ack_senders = set()
+            self.ts += 1
+            self.refinements += 1
+            self.send_to_members(AckRequest(proposed_set=self.proposed_set, ts=self.ts))
+
+    def try_progress(self) -> bool:
+        if self.state == PROPOSING and len(self.ack_senders) >= self.majority:
+            self.state = DECIDED
+            self.record_decision(self.proposed_set)
+            return True
+        return False

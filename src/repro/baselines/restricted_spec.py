@@ -1,0 +1,86 @@
+"""The restrictive Byzantine LA specification of Nowak and Rybicki [7].
+
+Section 2 of the paper: "their specification of LA is more restrictive than
+the one we propose since it does not allow decisions to contain values
+proposed by Byzantine processes", and that restriction interacts with the
+lattice *breadth*: for the power-set lattice over ``k`` distinct values (of
+breadth ``k``) at least ``k + 1`` processes are needed, so the specification
+"is impossible to implement" when the universe of update operations exceeds
+the number of processes — which is the normal situation for an RSM.
+
+This module provides:
+
+* :func:`check_restricted_la_run` — the paper's LA check plus the extra
+  "decisions contain no Byzantine value" clause;
+* :func:`restricted_spec_feasible` — the breadth feasibility rule used by
+  experiment E9 (``n >= breadth + 1``, exactly the Section 2 example
+  generalized: breadth 4 needs at least 5 processes);
+* :func:`power_set_breadth` — breadth of a power-set lattice (``k`` for ``k``
+  distinct members).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.core.spec import LACheckResult, check_la_run
+from repro.lattice.base import JoinSemilattice, LatticeElement
+
+
+def power_set_breadth(universe_size: int) -> int:
+    """Breadth of the power-set lattice over ``universe_size`` distinct values."""
+    if universe_size < 0:
+        raise ValueError("universe size must be non-negative")
+    return universe_size
+
+
+def restricted_spec_feasible(n: int, breadth: int) -> bool:
+    """Whether the restrictive specification is implementable at all.
+
+    The Section 2 argument: with the power set of ``k`` values (breadth
+    ``k``) the Nowak–Rybicki specification needs at least ``k + 1``
+    processes; with an unbounded universe (``breadth`` treated as infinite by
+    passing a value ``>= n``) it is impossible.  The paper's own
+    specification never has this constraint — that contrast is experiment E9.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return n >= breadth + 1
+
+
+def check_restricted_la_run(
+    lattice: JoinSemilattice,
+    proposals: Mapping[Hashable, LatticeElement],
+    decisions: Mapping[Hashable, Sequence[LatticeElement]],
+    byzantine_values: Iterable[LatticeElement] = (),
+    f: int = 0,
+    require_liveness: bool = True,
+) -> LACheckResult:
+    """Check a run against the *restrictive* specification.
+
+    Identical to :func:`repro.core.spec.check_la_run` plus the
+    ``no_byzantine_values`` property: no decision of a correct process may
+    include any value proposed by a Byzantine process.
+    """
+    result = check_la_run(
+        lattice,
+        proposals,
+        decisions,
+        byzantine_values=byzantine_values,
+        f=f,
+        require_liveness=require_liveness,
+    )
+    bottom = lattice.bottom()
+    for pid, decs in decisions.items():
+        if pid not in proposals or not decs:
+            continue
+        decision = decs[0]
+        for byz_value in byzantine_values:
+            if byz_value == bottom:
+                continue
+            if lattice.leq(byz_value, decision):
+                result.add(
+                    "no_byzantine_values",
+                    f"decision of {pid!r} includes Byzantine value {byz_value!r}",
+                )
+    return result

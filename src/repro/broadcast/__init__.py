@@ -1,0 +1,36 @@
+"""Byzantine reliable broadcast (Bracha-style).
+
+The WTS and GWTS algorithms "make use of a Byzantine reliable broadcast
+primitive to circumvent adversarial runs where a Byzantine process may induce
+correct processes to deliver different input values" (Section 1).  The paper
+cites Bracha [12] / Srikanth-Toueg [13] and the round-tagged formulation of
+Mendes et al. [14].
+
+:class:`ReliableBroadcaster` implements Bracha's echo/ready protocol on top
+of the authenticated point-to-point channels of :mod:`repro.transport`.  Under
+``n >= 3f + 1`` it guarantees, per broadcast instance ``(origin, tag)``:
+
+* **Validity** — if a correct process broadcasts ``v``, every correct process
+  eventually delivers ``v`` for that instance;
+* **Agreement / integrity** — no two correct processes deliver different
+  values for the same instance, and at most one value is delivered per
+  instance, even when the origin is Byzantine and equivocates;
+* **Cost** — ``O(n^2)`` point-to-point messages per broadcast, which is the
+  term dominating WTS's message complexity (Section 5.1.3).
+"""
+
+from repro.broadcast.reliable import (
+    ReliableBroadcaster,
+    RBInit,
+    RBEcho,
+    RBReady,
+    is_rb_message,
+)
+
+__all__ = [
+    "ReliableBroadcaster",
+    "RBInit",
+    "RBEcho",
+    "RBReady",
+    "is_rb_message",
+]

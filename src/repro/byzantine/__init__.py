@@ -1,0 +1,60 @@
+"""Byzantine adversary substrate.
+
+The model allows up to ``f`` processes to "deviate arbitrarily from the
+algorithm" (Section 3).  This package provides a library of concrete
+adversarial behaviours — each one targeting a specific defence mechanism the
+paper's proofs rely on — plus ready-made Byzantine process classes for every
+algorithm in :mod:`repro.core` and for the crash-fault baselines.
+
+Behaviour catalogue (and what it attacks):
+
+* :class:`SilentByzantine` — sends nothing at all (attacks liveness /
+  the ``n - f`` thresholds).
+* :class:`EquivocatingProposer` — discloses *different* values to different
+  processes (attacks Comparability; defeated by the reliable broadcast in
+  WTS/GWTS and by the conflict-detection of SbS).
+* :class:`GarbageProposer` — discloses values that are not lattice elements
+  (attacks the admissibility filter).
+* :class:`NackSpamAcceptor` — nacks every request with ever-growing junk
+  values (attacks termination of the deciding phase; defeated by the
+  wait-till-safe discipline).
+* :class:`FlipFloppingAcceptor` — acks or nacks pseudo-randomly and never
+  updates its state consistently (generic arbitrary behaviour).
+* :class:`ValueInjectorProposer` — discloses a legitimate-looking value the
+  adversary chose (allowed by the paper's specification: decisions may
+  include Byzantine inputs; bounded by Non-Triviality).
+* :class:`FastForwardGWTS` — pretends rounds ended and floods disclosures /
+  requests for future rounds (attacks GWTS round gating, Lemma 7).
+* :class:`ForgedSafetyByzantine` — fabricates proofs of safety and conflict
+  pairs without valid signatures (attacks SbS's AllSafe / Lemma 13).
+"""
+
+from repro.byzantine.behaviors import (
+    SilentByzantine,
+    CrashByzantine,
+    EquivocatingProposer,
+    GarbageProposer,
+    ValueInjectorProposer,
+    NackSpamAcceptor,
+    AlwaysAckAcceptor,
+    FlipFloppingAcceptor,
+    FastForwardGWTS,
+    EquivocatingGWTSProposer,
+    ForgedSafetyByzantine,
+    SbSEquivocatingProposer,
+)
+
+__all__ = [
+    "SilentByzantine",
+    "CrashByzantine",
+    "EquivocatingProposer",
+    "GarbageProposer",
+    "ValueInjectorProposer",
+    "NackSpamAcceptor",
+    "AlwaysAckAcceptor",
+    "FlipFloppingAcceptor",
+    "FastForwardGWTS",
+    "EquivocatingGWTSProposer",
+    "ForgedSafetyByzantine",
+    "SbSEquivocatingProposer",
+]

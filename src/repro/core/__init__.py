@@ -1,0 +1,47 @@
+"""The paper's primary contribution: Byzantine (Generalized) Lattice Agreement.
+
+This package contains:
+
+* the problem specifications and their property checkers
+  (:mod:`repro.core.spec`),
+* quorum arithmetic shared by every algorithm (:mod:`repro.core.quorum`),
+* the common event-driven agreement-process base class
+  (:mod:`repro.core.process`) and the message dataclasses
+  (:mod:`repro.core.messages`),
+* **WTS** — Wait Till Safe, the single-shot Byzantine Lattice Agreement
+  algorithm (Algorithms 1–2, Section 5),
+* **GWTS** — Generalized Wait Till Safe (Algorithms 3–4, Section 6),
+* **SbS** — the signature-based single-shot algorithm with linear message
+  complexity (Algorithms 8–10, Section 8),
+* **GSbS** — the generalized signature-based variant sketched in Section 8.2.
+"""
+
+from repro.core.quorum import byzantine_quorum, max_faults, required_processes
+from repro.core.spec import (
+    LASpecification,
+    GLASpecification,
+    LACheckResult,
+    check_la_run,
+    check_gla_run,
+)
+from repro.core.process import AgreementProcess
+from repro.core.wts import WTSProcess
+from repro.core.gwts import GWTSProcess
+from repro.core.sbs import SbSProcess
+from repro.core.gsbs import GSbSProcess
+
+__all__ = [
+    "byzantine_quorum",
+    "max_faults",
+    "required_processes",
+    "LASpecification",
+    "GLASpecification",
+    "LACheckResult",
+    "check_la_run",
+    "check_gla_run",
+    "AgreementProcess",
+    "WTSProcess",
+    "GWTSProcess",
+    "SbSProcess",
+    "GSbSProcess",
+]

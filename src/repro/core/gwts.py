@@ -1,0 +1,342 @@
+"""GWTS — Generalized Wait Till Safe (Algorithms 3 and 4, Section 6).
+
+Generalized Lattice Agreement: values arrive asynchronously at each process,
+are batched per round, and the process produces an ever-growing chain of
+decisions (one per round).  Each round runs the two phases of WTS:
+
+* **Disclosure** — the round's batch is reliably broadcast tagged with the
+  round number; a process starts proposing once ``n - f`` round-``r``
+  disclosures were delivered.
+* **Deciding** — like WTS, except acceptor acks are themselves *reliably
+  broadcast* so that every proposer can observe committed proposals and
+  decide on any committed ``Accepted_set`` that extends its previous
+  decision, even one it did not propose.
+
+Round gating ("wait until safe" against round clogging): an acceptor only
+serves requests of round ``r`` once ``Safe_r >= r``, and ``Safe_r`` advances
+from ``r-1`` to ``r`` only after observing a Byzantine quorum of reliably
+broadcast acks for round ``r-1`` — i.e. after round ``r-1`` had a *legitimate
+end* (Definitions 3-5).  This stops Byzantine proposers from racing ahead and
+starving correct processes (Lemma 7).
+
+A finite ``max_rounds`` horizon is configurable so simulations terminate; it
+is a truncation of the paper's infinite execution (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.broadcast.reliable import ReliableBroadcaster
+from repro.core.messages import RoundAck, RoundAckRequest, RoundNack
+from repro.core.process import AgreementProcess
+from repro.lattice.base import JoinSemilattice, LatticeElement
+
+#: Proposer phases (Algorithm 3's ``state`` variable).
+NEWROUND = "newround"
+DISCLOSING = "disclosing"
+PROPOSING = "proposing"
+HALTED = "halted"
+
+#: Key identifying one acknowledged proposal in ``Ack_history``:
+#: (accepted_set, destination proposer, timestamp, round).
+AckKey = Tuple[Any, Hashable, int, int]
+
+
+class GWTSProcess(AgreementProcess):
+    """One GWTS participant playing both the proposer and the acceptor role.
+
+    Parameters
+    ----------
+    max_rounds:
+        Number of rounds to execute before halting (the finite prefix of the
+        paper's infinite run).
+    initial_values:
+        Values already queued for round 0 (``new_value`` can add more at any
+        time, including while the simulation runs).
+    """
+
+    def __init__(
+        self,
+        pid: Hashable,
+        lattice: JoinSemilattice,
+        members: Sequence[Hashable],
+        f: int,
+        max_rounds: int = 3,
+        initial_values: Sequence[LatticeElement] = (),
+    ) -> None:
+        super().__init__(pid, lattice, members, f)
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        self.max_rounds = max_rounds
+
+        # --- proposer state (Algorithm 3 lines 1-7) ---
+        self.state = NEWROUND
+        self.round = -1
+        self.ts = 0
+        self.batches: Dict[int, List[LatticeElement]] = defaultdict(list)
+        self.proposed_set: LatticeElement = lattice.bottom()
+        self.decided_set: LatticeElement = lattice.bottom()
+        #: Per-round safe-values sets: round -> origin -> disclosed element.
+        self.svs: Dict[int, Dict[Hashable, LatticeElement]] = defaultdict(dict)
+        #: Per-round disclosure counters (``Counter[r]``).
+        self.counter: Dict[int, int] = defaultdict(int)
+        #: Ack history shared by the proposer and acceptor roles:
+        #: AckKey -> set of acceptors whose reliably-broadcast ack we saw.
+        self.ack_history: Dict[AckKey, Set[Hashable]] = defaultdict(set)
+        self.waiting_msgs: List[Tuple[Hashable, Any]] = []
+        #: All values this process has received as inputs (for the checkers).
+        self.received_inputs: List[LatticeElement] = []
+        #: Refinements performed per round (Lemma 10 bounds each by f).
+        self.refinements_by_round: Dict[int, int] = defaultdict(int)
+
+        # --- acceptor state (Algorithm 4 lines 1-3) ---
+        self.accepted_set: LatticeElement = lattice.bottom()
+        self.safe_round = 0
+
+        self._rb: Optional[ReliableBroadcaster] = None
+
+        for value in initial_values:
+            self.new_value(value)
+
+    # -- input interface (Algorithm 3 lines 8-9) --------------------------------------
+
+    def new_value(self, value: LatticeElement) -> None:
+        """Queue ``value`` for the next round's batch (``Batch[r + 1]``)."""
+        if not self.lattice.is_element(value):
+            raise ValueError(f"{value!r} is not a lattice element")
+        self.batches[self.round + 1].append(value)
+        self.received_inputs.append(value)
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._rb = ReliableBroadcaster(
+            node=self, n=self.n, f=self.f, deliver=self._on_rb_deliver
+        )
+        self.recheck()
+
+    def on_message(self, sender: Hashable, payload: Any) -> None:
+        if self._rb is not None and self._rb.handle(sender, payload):
+            self._drain_waiting()
+            self.recheck()
+            return
+        if isinstance(payload, (RoundAckRequest, RoundNack)):
+            self.waiting_msgs.append((sender, payload))
+            self._drain_waiting()
+            self.recheck()
+
+    # -- reliable broadcast deliveries ------------------------------------------------------
+
+    def _on_rb_deliver(self, origin: Hashable, tag: Hashable, value: Any) -> None:
+        if not isinstance(tag, tuple) or not tag:
+            return
+        kind = tag[0]
+        if kind == "disclosure":
+            self._on_disclosure(origin, tag[1], value)
+        elif kind == "ack":
+            self._on_rb_ack(origin, value)
+        self._drain_waiting()
+        self.recheck()
+
+    def _on_disclosure(self, origin: Hashable, round_no: Any, value: Any) -> None:
+        """Algorithm 3 lines 16-20 (``RBcastDelivery`` of a disclosure)."""
+        if origin not in self.members or not isinstance(round_no, int):
+            return
+        if not self.lattice.is_element(value):
+            return
+        round_svs = self.svs[round_no]
+        if origin in round_svs:
+            return  # at most one disclosure per origin per round (Observation 3)
+        round_svs[origin] = value
+        self.counter[round_no] += 1
+        if self.state == DISCLOSING and round_no == self.round:
+            self.proposed_set = self.lattice.join(self.proposed_set, value)
+
+    def _on_rb_ack(self, origin: Hashable, value: Any) -> None:
+        """Algorithm 3 lines 34-36 / Algorithm 4 lines 14-16."""
+        if not isinstance(value, RoundAck):
+            return
+        if value.sender != origin:
+            # The reliable broadcast authenticates its origin; an ack claiming
+            # to come from somebody else is a forgery attempt and is dropped.
+            return
+        if not self.lattice.is_element(value.accepted_set):
+            return
+        if not self.is_safe(value.accepted_set):
+            # Buffer under the generic waiting mechanism: re-checked when the
+            # safe set grows.
+            self.waiting_msgs.append((origin, value))
+            return
+        self._store_ack(origin, value)
+
+    def _store_ack(self, origin: Hashable, ack: RoundAck) -> None:
+        key: AckKey = (ack.accepted_set, ack.destination, ack.ts, ack.round)
+        self.ack_history[key].add(origin)
+
+    # -- safety predicate ----------------------------------------------------------------------
+
+    def safe_upper_bound(self) -> LatticeElement:
+        """Join of every value disclosed in any round observed so far (``W_r``)."""
+        return self.lattice.join_all(
+            value for per_round in self.svs.values() for value in per_round.values()
+        )
+
+    def is_safe(self, element: LatticeElement) -> bool:
+        """``SAFE(m)`` / ``SAFE_A(m)``: content covered by disclosed values."""
+        return self.lattice.leq(element, self.safe_upper_bound())
+
+    # -- guard evaluation -------------------------------------------------------------------------
+
+    def try_progress(self) -> bool:
+        # Algorithm 3 lines 11-15: upon state = newround, start the next round.
+        if self.state == NEWROUND:
+            if self.round + 1 >= self.max_rounds:
+                self.state = HALTED
+                return True
+            self._start_round()
+            return True
+
+        # Algorithm 3 lines 22-25: disclosure quorum reached, start proposing.
+        if (
+            self.state == DISCLOSING
+            and self.counter[self.round] >= self.disclosure_threshold
+        ):
+            self.state = PROPOSING
+            self.ts += 1
+            self._broadcast_ack_request()
+            return True
+
+        # Algorithm 4 lines 17-19: advance the acceptor's trusted round once
+        # the current trusted round has a committed proposal.
+        if self._round_has_commit(self.safe_round):
+            self.safe_round += 1
+            return True
+
+        # Algorithm 3 lines 37-41: decide any committed proposal of the
+        # current round that extends the previous decision.
+        if self.state == PROPOSING:
+            committed = self._find_decidable_commit()
+            if committed is not None:
+                self.decided_set = committed
+                self.record_decision(committed, round=self.round)
+                self.state = NEWROUND
+                return True
+        return False
+
+    def _start_round(self) -> None:
+        """Algorithm 3 lines 11-15."""
+        self.state = DISCLOSING
+        self.round += 1
+        batch_value = self.lattice.join_all(self.batches.get(self.round, []))
+        self.proposed_set = self.lattice.join(self.proposed_set, batch_value)
+        self._rb.broadcast(("disclosure", self.round), batch_value)
+
+    def _broadcast_ack_request(self) -> None:
+        request = RoundAckRequest(
+            proposed_set=self.proposed_set, ts=self.ts, round=self.round
+        )
+        self.send_to_members(request)
+
+    def _round_has_commit(self, round_no: int) -> bool:
+        """Whether some proposal of ``round_no`` gathered an ack quorum."""
+        return any(
+            key[3] == round_no and len(senders) >= self.quorum
+            for key, senders in self.ack_history.items()
+        )
+
+    def _find_decidable_commit(self) -> Optional[LatticeElement]:
+        """A committed ``Accepted_set`` of the current round extending ``Decided_set``."""
+        candidates = [
+            key[0]
+            for key, senders in self.ack_history.items()
+            if key[3] == self.round
+            and len(senders) >= self.quorum
+            and self.lattice.leq(self.decided_set, key[0])
+        ]
+        if not candidates:
+            return None
+        # Prefer the largest committed value so the decision absorbs as much
+        # of the round as possible (any candidate is correct; they are all
+        # comparable by Lemma 1).
+        best = candidates[0]
+        for candidate in candidates[1:]:
+            if self.lattice.leq(best, candidate):
+                best = candidate
+        return best
+
+    # -- buffered message processing ----------------------------------------------------------------
+
+    def _drain_waiting(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            remaining: List[Tuple[Hashable, Any]] = []
+            for sender, payload in self.waiting_msgs:
+                if self._try_handle(sender, payload):
+                    progress = True
+                else:
+                    remaining.append((sender, payload))
+            self.waiting_msgs = remaining
+
+    def _try_handle(self, sender: Hashable, payload: Any) -> bool:
+        if isinstance(payload, RoundAckRequest):
+            return self._handle_ack_request(sender, payload)
+        if isinstance(payload, RoundNack):
+            return self._handle_nack(sender, payload)
+        if isinstance(payload, RoundAck):
+            # Re-queued reliably-broadcast ack awaiting safety.
+            if not self.is_safe(payload.accepted_set):
+                return False
+            self._store_ack(sender, payload)
+            return True
+        return True
+
+    # Acceptor role (Algorithm 4 lines 6-13) ------------------------------------------------------------
+
+    def _handle_ack_request(self, sender: Hashable, msg: RoundAckRequest) -> bool:
+        if not isinstance(msg.round, int) or msg.round < 0:
+            return True
+        if not self.lattice.is_element(msg.proposed_set):
+            return True
+        if msg.round > self.safe_round:
+            return False  # round not yet trusted: keep buffered (anti-clogging)
+        if not self.is_safe(msg.proposed_set):
+            return False
+        if self.lattice.leq(self.accepted_set, msg.proposed_set):
+            self.accepted_set = msg.proposed_set
+            ack = RoundAck(
+                accepted_set=self.accepted_set,
+                destination=sender,
+                sender=self.pid,
+                ts=msg.ts,
+                round=msg.round,
+            )
+            # Acks are reliably broadcast so every proposer learns about the
+            # commit (Algorithm 4 line 10).
+            self._rb.broadcast(("ack", msg.round, msg.ts, sender), ack)
+        else:
+            self.send_to(
+                sender,
+                RoundNack(accepted_set=self.accepted_set, ts=msg.ts, round=msg.round),
+            )
+            self.accepted_set = self.lattice.join(self.accepted_set, msg.proposed_set)
+        return True
+
+    # Proposer role, nack handling (Algorithm 3 lines 28-33) ---------------------------------------------
+
+    def _handle_nack(self, sender: Hashable, msg: RoundNack) -> bool:
+        if self.state != PROPOSING or msg.ts != self.ts or msg.round != self.round:
+            return True
+        if not self.lattice.is_element(msg.accepted_set):
+            return True
+        if not self.is_safe(msg.accepted_set):
+            return False
+        merged = self.lattice.join(msg.accepted_set, self.proposed_set)
+        if merged != self.proposed_set:
+            self.proposed_set = merged
+            self.ts += 1
+            self.refinements_by_round[self.round] += 1
+            self._broadcast_ack_request()
+        return True

@@ -1,0 +1,121 @@
+"""Common base class for agreement-protocol participants.
+
+Every algorithm process (WTS, GWTS, SbS, GSbS, the crash baselines and their
+Byzantine impostors) extends :class:`AgreementProcess`, which adds to the
+plain transport :class:`~repro.transport.node.Node`:
+
+* the agreement *membership* — the fixed set of process ids running the
+  protocol (the paper's ``P``); the RSM adds client nodes to the network that
+  are **not** members, so membership must be explicit rather than inferred
+  from the network;
+* the lattice, ``n``, ``f`` and quorum sizes;
+* decision bookkeeping (``decisions`` list + metrics recording with the
+  causal message-delay of the paper's latency theorems);
+* the "upon event" re-evaluation loop: handlers enqueue no callbacks, they
+  just mutate state and call :meth:`recheck`, which keeps invoking
+  :meth:`try_progress` until the process state stops changing — exactly the
+  guard-driven semantics of the pseudocode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.quorum import byzantine_quorum
+from repro.lattice.base import JoinSemilattice, LatticeElement
+from repro.transport.node import Node
+
+
+class AgreementProcess(Node):
+    """Base class for all lattice-agreement protocol participants."""
+
+    def __init__(
+        self,
+        pid: Hashable,
+        lattice: JoinSemilattice,
+        members: Sequence[Hashable],
+        f: int,
+    ) -> None:
+        super().__init__(pid)
+        if pid not in members:
+            raise ValueError(f"process {pid!r} must be part of its own membership")
+        self.lattice = lattice
+        self.members: Tuple[Hashable, ...] = tuple(members)
+        self.f = f
+        #: Decisions made by this process, in order (one entry for LA, many
+        #: for GLA).  Checkers read this; the metrics collector gets a copy.
+        self.decisions: List[LatticeElement] = []
+
+    # -- membership helpers ------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of protocol members ``n`` (not the network size)."""
+        return len(self.members)
+
+    @property
+    def quorum(self) -> int:
+        """The Byzantine ack quorum ``floor((n+f)/2)+1``."""
+        return byzantine_quorum(self.n, self.f)
+
+    @property
+    def disclosure_threshold(self) -> int:
+        """``n - f`` — the number of disclosures awaited before proposing."""
+        return self.n - self.f
+
+    def send_to_members(self, payload: Any) -> None:
+        """Broadcast ``payload`` to every protocol member (including self)."""
+        self.ctx.multicast(self.members, payload)
+
+    def send_to(self, dest: Hashable, payload: Any) -> None:
+        """Point-to-point send to one member (or any network node)."""
+        self.ctx.send(dest, payload)
+
+    # -- decision bookkeeping -----------------------------------------------------
+
+    def record_decision(
+        self, value: LatticeElement, round: Optional[int] = None
+    ) -> None:
+        """Append a decision and publish it to the run's metrics collector."""
+        self.decisions.append(value)
+        self.log_event("decide", {"value": value, "round": round})
+        self.ctx.metrics.record_decision(
+            pid=self.pid,
+            value=value,
+            time=self.ctx.now(),
+            causal_depth=self.causal_depth,
+            round=round,
+        )
+
+    @property
+    def decision(self) -> Optional[LatticeElement]:
+        """The first decision (the single decision for single-shot LA)."""
+        return self.decisions[0] if self.decisions else None
+
+    @property
+    def has_decided(self) -> bool:
+        """Whether at least one decision has been made."""
+        return bool(self.decisions)
+
+    # -- "upon event" loop ---------------------------------------------------------
+
+    def recheck(self, budget: int = 64) -> None:
+        """Re-evaluate enabled guards until no more progress is possible.
+
+        ``budget`` bounds the number of iterations as a defensive measure
+        against accidental livelock in a handler; real runs never get close
+        to it because each iteration either changes the protocol state or
+        stops.
+        """
+        for _ in range(budget):
+            if not self.try_progress():
+                return
+
+    def try_progress(self) -> bool:
+        """Attempt one state transition; return ``True`` if state changed.
+
+        Subclasses override this with their guard checks ("upon event |Ack
+        set| >= quorum", "upon event Counter[r] >= n - f", ...).  The default
+        implementation does nothing.
+        """
+        return False

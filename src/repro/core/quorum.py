@@ -1,0 +1,59 @@
+"""Quorum arithmetic used throughout the paper.
+
+* A **Byzantine quorum** is ``floor((n + f) / 2) + 1`` acknowledgements —
+  the commit threshold of Definitions 1 and 2 and of every algorithm's
+  decision rule.  Any two such quorums intersect in at least one *correct*
+  process when ``n >= 3f + 1``, which is the pivot of Lemma 1.
+* ``n >= 3f + 1`` is necessary (Theorem 1) and sufficient for all the
+  paper's algorithms; :func:`max_faults` and :func:`required_processes`
+  convert between the two views.
+"""
+
+from __future__ import annotations
+
+
+def byzantine_quorum(n: int, f: int) -> int:
+    """Commit/ack quorum size ``floor((n + f) / 2) + 1``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    return (n + f) // 2 + 1
+
+
+def max_faults(n: int) -> int:
+    """Largest ``f`` tolerated by ``n`` processes: ``floor((n - 1) / 3)``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return (n - 1) // 3
+
+
+def required_processes(f: int) -> int:
+    """Minimum number of processes needed to tolerate ``f`` Byzantines: ``3f + 1``."""
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    return 3 * f + 1
+
+
+def quorums_intersect_correctly(n: int, f: int) -> bool:
+    """Whether two Byzantine quorums are guaranteed a correct process in common.
+
+    Two quorums of size ``q = floor((n+f)/2) + 1`` overlap in at least
+    ``2q - n`` processes; the intersection contains a correct process iff
+    ``2q - n > f``.  This is the arithmetic fact behind Lemma 1 (safety).
+    """
+    q = byzantine_quorum(n, f)
+    return 2 * q - n > f
+
+
+def quorum_reachable_by_correct(n: int, f: int) -> bool:
+    """Whether the ``n - f`` correct processes alone can form an ack quorum.
+
+    This is the liveness half of the ``3f + 1`` trade-off: at ``n = 3f`` the
+    Byzantine quorum ``2f + 1`` exceeds the ``2f`` correct processes, so an
+    algorithm that insists on Byzantine quorums (like WTS) can be blocked
+    forever by ``f`` silent processes — which, combined with
+    :func:`quorums_intersect_correctly`, is what experiment E2 demonstrates
+    about Theorem 1.
+    """
+    return byzantine_quorum(n, f) <= n - f

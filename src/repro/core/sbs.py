@@ -1,0 +1,421 @@
+"""SbS — Safety by Signature (Algorithms 8, 9 and 10, Section 8).
+
+The signature-based single-shot Byzantine Lattice Agreement algorithm.  It
+replaces the `O(n^2)`-message reliable broadcast of WTS with three cheaper
+phases, at the price of larger messages:
+
+* **Init** — every proposer broadcasts its *signed* initial value to the
+  proposers; a proposer collects ``n - f`` of them into its ``Safety_set``
+  (conflicting pairs — two different values signed by the same process — are
+  removed on sight).
+* **Safetying** — the proposer sends its ``Safety_set`` to the acceptors;
+  each acceptor answers with a *signed* ``safe_ack`` listing every conflict
+  it knows about.  A value with a Byzantine quorum of safe_acks in which it
+  never appears as a conflict has a transferable **proof of safety**
+  (Definition 7): no other value signed by the same sender can ever obtain
+  one (Lemma 13).
+* **Proposing** — identical to WTS's deciding phase, except every value
+  carries its proof of safety and acceptors/proposers refuse to process
+  messages containing unproven values (``AllSafe``).
+
+Message complexity is ``O(n)`` per process when ``f = O(1)`` (Section 8.1)
+and the decision latency is at most ``5 + 4f`` message delays (Theorem 8).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.messages import (
+    InitPhase,
+    ProvenValue,
+    SafeAck,
+    SafeRequest,
+    SbSAck,
+    SbSAckRequest,
+    SbSNack,
+)
+from repro.core.process import AgreementProcess
+from repro.crypto.signatures import KeyRegistry, SignedValue, Signer
+from repro.lattice.base import JoinSemilattice, LatticeElement
+
+#: Proposer phases (Algorithm 8's ``state`` variable).
+INIT = "init"
+SAFETYING = "safetying"
+PROPOSING = "proposing"
+DECIDED = "decided"
+
+
+# ---------------------------------------------------------------------------
+# Helper procedures (Algorithm 10) — module-level so acceptors, proposers and
+# the tests share one implementation.
+# ---------------------------------------------------------------------------
+
+
+def verify_conflict_pair(
+    registry: KeyRegistry, pair: Tuple[SignedValue, SignedValue]
+) -> bool:
+    """``VerifyConfPair((x, y))``: both signed, same signer, different values."""
+    x, y = pair
+    return (
+        registry.verify(x)
+        and registry.verify(y)
+        and x.signer == y.signer
+        and x.value != y.value
+    )
+
+
+def return_conflicts(
+    registry: KeyRegistry, values: Iterable[SignedValue]
+) -> FrozenSet[Tuple[SignedValue, SignedValue]]:
+    """``ReturnConflicts(Set)``: all verifiable conflicting pairs in ``values``."""
+    values = list(values)
+    conflicts: Set[Tuple[SignedValue, SignedValue]] = set()
+    for i, x in enumerate(values):
+        for y in values[i + 1 :]:
+            if verify_conflict_pair(registry, (x, y)):
+                # Store in a canonical orientation so the same logical pair is
+                # never counted twice.
+                pair = (x, y) if repr(x) <= repr(y) else (y, x)
+                conflicts.add(pair)
+    return frozenset(conflicts)
+
+
+def remove_conflicts(
+    registry: KeyRegistry, values: Iterable[SignedValue]
+) -> FrozenSet[SignedValue]:
+    """``RemoveConflicts(Set)``: drop every value involved in a conflict."""
+    values = set(values)
+    conflicted: Set[SignedValue] = set()
+    for x, y in return_conflicts(registry, values):
+        conflicted.add(x)
+        conflicted.add(y)
+    return frozenset(values - conflicted)
+
+
+def safe_ack_body(
+    rcvd_set: FrozenSet[SignedValue],
+    conflicts: FrozenSet[Tuple[SignedValue, SignedValue]],
+    request_id: int,
+) -> Tuple[str, Tuple[SignedValue, ...], Tuple[Tuple[SignedValue, SignedValue], ...], int]:
+    """Canonical signable body of a ``safe_ack`` message."""
+    return (
+        "safe_ack",
+        tuple(sorted(rcvd_set, key=repr)),
+        tuple(sorted(conflicts, key=repr)),
+        request_id,
+    )
+
+
+def verify_safe_ack(registry: KeyRegistry, ack: SafeAck, expected_sender: Hashable) -> bool:
+    """``Verify(m)`` for safe_ack messages: signature matches body and sender."""
+    if not isinstance(ack, SafeAck) or not isinstance(ack.signature, SignedValue):
+        return False
+    if ack.signature.signer != expected_sender:
+        return False
+    # Reconstructing the canonical body is linear in the safety set; the same
+    # ack object is re-checked for every value it vouches for, so memoise by
+    # identity (immutable objects, passed by reference inside a run).
+    memo_key = ("safe_ack", id(ack), expected_sender)
+    memo = registry.validation_memo.get(memo_key)
+    if memo is not None and memo[0] is ack:
+        return memo[1]
+    result = (
+        ack.signature.value == safe_ack_body(ack.rcvd_set, ack.conflicts, ack.request_id)
+        and registry.verify(ack.signature)
+    )
+    registry.validation_memo[memo_key] = (ack, result)
+    return result
+
+
+def value_conflicted_in(ack: SafeAck, value: SignedValue) -> bool:
+    """Whether ``value`` appears in one of ``ack``'s conflict pairs."""
+    return any(value == x or value == y for x, y in ack.conflicts)
+
+
+def all_safe(
+    registry: KeyRegistry,
+    lattice: JoinSemilattice,
+    proven_values: Iterable[ProvenValue],
+    quorum: int,
+) -> bool:
+    """``AllSafe(Set)`` (Algorithm 10 lines 13-20).
+
+    Every ``<v, Acks>`` pair must carry a Byzantine quorum of valid, distinct
+    safe_acks that (a) all contain ``v`` in their received set and (b) never
+    list ``v`` as a conflict; ``v`` itself must be a validly signed lattice
+    point.
+    """
+    for proven in proven_values:
+        if not isinstance(proven, ProvenValue):
+            return False
+        memo_key = ("proven", id(proven), quorum)
+        memo = registry.validation_memo.get(memo_key)
+        if memo is not None and memo[0] is proven:
+            if memo[1]:
+                continue
+            return False
+        ok = _proven_value_safe(registry, lattice, proven, quorum)
+        registry.validation_memo[memo_key] = (proven, ok)
+        if not ok:
+            return False
+    return True
+
+
+def _proven_value_safe(
+    registry: KeyRegistry,
+    lattice: JoinSemilattice,
+    proven: ProvenValue,
+    quorum: int,
+) -> bool:
+    """Uncached per-value check behind :func:`all_safe`."""
+    value = proven.value
+    if not isinstance(value, SignedValue) or not registry.verify(value):
+        return False
+    if not lattice.is_element(value.value):
+        return False
+    acks = list(proven.safe_acks)
+    if len(acks) < quorum:
+        return False
+    senders = {ack.signature.signer for ack in acks if isinstance(ack, SafeAck)}
+    if len(senders) < quorum:
+        return False
+    for ack in acks:
+        if not isinstance(ack, SafeAck):
+            return False
+        if not verify_safe_ack(registry, ack, ack.signature.signer):
+            return False
+        if value not in ack.rcvd_set:
+            return False
+        if value_conflicted_in(ack, value):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The SbS process (proposer + acceptor roles combined)
+# ---------------------------------------------------------------------------
+
+
+class SbSProcess(AgreementProcess):
+    """One SbS participant playing both the proposer and the acceptor role.
+
+    Parameters
+    ----------
+    registry:
+        The shared :class:`~repro.crypto.KeyRegistry` (the simulated PKI).
+        The process obtains its own signer from it; it can verify everyone.
+    proposal:
+        The input value ``pro_i``.
+    """
+
+    def __init__(
+        self,
+        pid: Hashable,
+        lattice: JoinSemilattice,
+        members: Sequence[Hashable],
+        f: int,
+        registry: KeyRegistry,
+        proposal: Optional[LatticeElement] = None,
+    ) -> None:
+        super().__init__(pid, lattice, members, f)
+        self.registry = registry
+        self.signer: Signer = registry.register(pid)
+        self.proposal: LatticeElement = (
+            proposal if proposal is not None else lattice.bottom()
+        )
+        if not lattice.is_element(self.proposal):
+            raise ValueError(f"proposal {proposal!r} is not a lattice element")
+
+        # --- proposer state (Algorithm 8 lines 1-6) ---
+        self.state = INIT
+        self.ts = 0
+        self.safety_set: FrozenSet[SignedValue] = frozenset()
+        self.safe_acks: Dict[Hashable, SafeAck] = {}
+        self.proposed_set: FrozenSet[ProvenValue] = frozenset()
+        self.ack_senders: Set[Hashable] = set()
+        self.byz: Set[Hashable] = set()
+        self.refinements = 0
+        #: The signed value this process committed to in the init phase.
+        self.own_signed: Optional[SignedValue] = None
+
+        # --- acceptor state (Algorithm 9 lines 1-2) ---
+        self.safe_candidates: FrozenSet[SignedValue] = frozenset()
+        self.accepted_set: FrozenSet[ProvenValue] = frozenset()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Init phase (Algorithm 8 lines 8-11): broadcast the signed value."""
+        self.own_signed = self.signer.sign(self.proposal)
+        self.safety_set = remove_conflicts(
+            self.registry, set(self.safety_set) | {self.own_signed}
+        )
+        self.send_to_members(InitPhase(payload=self.own_signed))
+
+    def on_message(self, sender: Hashable, payload: Any) -> None:
+        if isinstance(payload, InitPhase):
+            self._handle_init(sender, payload)
+        elif isinstance(payload, SafeRequest):
+            self._handle_safe_request(sender, payload)
+        elif isinstance(payload, SafeAck):
+            self._handle_safe_ack(sender, payload)
+        elif isinstance(payload, SbSAckRequest):
+            self._handle_ack_request(sender, payload)
+        elif isinstance(payload, SbSAck):
+            self._handle_ack(sender, payload)
+        elif isinstance(payload, SbSNack):
+            self._handle_nack(sender, payload)
+        self.recheck()
+
+    # -- init phase (Algorithm 8 lines 12-14) -------------------------------------------
+
+    def _handle_init(self, sender: Hashable, msg: InitPhase) -> None:
+        value = msg.payload
+        if not isinstance(value, SignedValue) or not self.registry.verify(value):
+            return
+        if not self.lattice.is_element(value.value):
+            return
+        if self.state != INIT:
+            return
+        self.safety_set = remove_conflicts(
+            self.registry, set(self.safety_set) | {value}
+        )
+
+    # -- safetying phase -------------------------------------------------------------------
+
+    def _handle_safe_request(self, sender: Hashable, msg: SafeRequest) -> None:
+        """Acceptor side (Algorithm 9 lines 3-6)."""
+        if not isinstance(msg.safety_set, frozenset):
+            return
+        values = msg.safety_set
+        if not all(
+            isinstance(v, SignedValue)
+            and self.registry.verify(v)
+            and self.lattice.is_element(v.value)
+            for v in values
+        ):
+            return
+        combined = set(values) | set(self.safe_candidates)
+        conflicts = return_conflicts(self.registry, combined)
+        signature = self.signer.sign(safe_ack_body(values, conflicts, msg.request_id))
+        self.send_to(
+            sender,
+            SafeAck(
+                rcvd_set=values,
+                conflicts=conflicts,
+                request_id=msg.request_id,
+                signature=signature,
+            ),
+        )
+        # Algorithm 9 line 6: SafeCandidates ∪ RemoveConflicts(...).  The
+        # outer union matters: a value that already reached the candidate set
+        # is never forgotten, so an equivocating signer keeps being reported
+        # as a conflict forever (this is what makes Lemma 13 hold).
+        self.safe_candidates = frozenset(
+            set(self.safe_candidates) | set(remove_conflicts(self.registry, combined))
+        )
+
+    def _handle_safe_ack(self, sender: Hashable, msg: SafeAck) -> None:
+        """Proposer side (Algorithm 8 lines 19-23)."""
+        if self.state != SAFETYING:
+            return
+        valid = (
+            verify_safe_ack(self.registry, msg, sender)
+            and msg.rcvd_set == self.safety_set
+            and all(
+                verify_conflict_pair(self.registry, pair) for pair in msg.conflicts
+            )
+        )
+        if valid:
+            self.safe_acks[sender] = msg
+        else:
+            self.byz.add(sender)
+
+    # -- proposing phase ----------------------------------------------------------------------
+
+    def _handle_ack_request(self, sender: Hashable, msg: SbSAckRequest) -> None:
+        """Acceptor side (Algorithm 9 lines 7-14)."""
+        if not isinstance(msg.proposed_set, frozenset):
+            return
+        if not all_safe(self.registry, self.lattice, msg.proposed_set, self.quorum):
+            return
+        if self.accepted_set <= msg.proposed_set:
+            self.accepted_set = msg.proposed_set
+            self.send_to(sender, SbSAck(accepted_set=self.accepted_set, ts=msg.ts))
+        else:
+            self.send_to(sender, SbSNack(accepted_set=self.accepted_set, ts=msg.ts))
+            self.accepted_set = frozenset(self.accepted_set | msg.proposed_set)
+
+    def _handle_ack(self, sender: Hashable, msg: SbSAck) -> None:
+        """Proposer side (Algorithm 8 lines 32-37)."""
+        if self.state != PROPOSING or msg.ts != self.ts:
+            return
+        if msg.accepted_set == self.proposed_set and sender not in self.byz:
+            self.ack_senders.add(sender)
+        else:
+            self.byz.add(sender)
+
+    def _handle_nack(self, sender: Hashable, msg: SbSNack) -> None:
+        """Proposer side (Algorithm 8 lines 38-46)."""
+        if self.state != PROPOSING or msg.ts != self.ts:
+            return
+        if not isinstance(msg.accepted_set, frozenset):
+            self.byz.add(sender)
+            return
+        merged = frozenset(msg.accepted_set | self.proposed_set)
+        if (
+            merged != self.proposed_set
+            and sender not in self.byz
+            and all_safe(self.registry, self.lattice, msg.accepted_set, self.quorum)
+        ):
+            self.proposed_set = merged
+            self.ack_senders = set()
+            self.ts += 1
+            self.refinements += 1
+            self.send_to_members(
+                SbSAckRequest(proposed_set=self.proposed_set, ts=self.ts)
+            )
+        else:
+            self.byz.add(sender)
+
+    # -- guard evaluation ------------------------------------------------------------------------
+
+    def try_progress(self) -> bool:
+        # Algorithm 8 lines 16-18: enough signed values collected; ask the
+        # acceptors to vet them.
+        if self.state == INIT and len(self.safety_set) >= self.disclosure_threshold:
+            self.state = SAFETYING
+            self.send_to_members(
+                SafeRequest(safety_set=self.safety_set, request_id=0)
+            )
+            return True
+
+        # Algorithm 8 lines 25-31: a Byzantine quorum of safe_acks; build the
+        # proofs of safety and start proposing.
+        if self.state == SAFETYING and len(self.safe_acks) >= self.quorum:
+            proof = frozenset(self.safe_acks.values())
+            proven: Set[ProvenValue] = set(self.proposed_set)
+            for value in self.safety_set:
+                if any(value_conflicted_in(ack, value) for ack in proof):
+                    continue
+                proven.add(ProvenValue(value=value, safe_acks=proof))
+            self.proposed_set = frozenset(proven)
+            self.state = PROPOSING
+            self.ack_senders = set()
+            self.ts += 1
+            self.send_to_members(
+                SbSAckRequest(proposed_set=self.proposed_set, ts=self.ts)
+            )
+            return True
+
+        # Algorithm 8 lines 47-50: ack quorum reached, decide.
+        if self.state == PROPOSING and len(self.ack_senders) >= self.quorum:
+            self.state = DECIDED
+            decision = self.lattice.join_all(
+                proven.raw for proven in self.proposed_set
+            )
+            self.decided_proven = frozenset(self.proposed_set)
+            self.record_decision(decision)
+            return True
+        return False

@@ -1,0 +1,32 @@
+"""Simulated public-key infrastructure (Section 8 of the paper).
+
+The SbS ("Safety by Signature") algorithms assume "a public-key
+infrastructure, and that each process is able to sign a message, in such a
+way that each other process is able to unambiguously verify such signature"
+and that Byzantine processes "are not able to forge a valid signature for a
+process in C".
+
+In this reproduction the PKI is simulated with HMAC-SHA256: every process is
+issued a secret signing key by a trusted :class:`KeyRegistry`; the registry
+verifies signatures on behalf of any process.  Byzantine processes never
+learn the secret keys of correct processes (the registry only ever hands a
+process its own key), so they cannot forge signatures — exactly the
+capability model of the paper.  Signature payloads are canonically serialised
+so that two logically equal values always verify identically.
+"""
+
+from repro.crypto.signatures import (
+    KeyRegistry,
+    Signer,
+    SignedValue,
+    SignatureError,
+    canonical_bytes,
+)
+
+__all__ = [
+    "KeyRegistry",
+    "Signer",
+    "SignedValue",
+    "SignatureError",
+    "canonical_bytes",
+]

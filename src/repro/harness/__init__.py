@@ -1,0 +1,65 @@
+"""Experiment harness: scenario builders, workload generators, experiments.
+
+:mod:`repro.harness.workloads` builds ready-to-run simulated clusters for
+every algorithm (WTS, GWTS, SbS, GSbS, the crash baselines and the RSM),
+with configurable size, failure threshold, Byzantine population, delay model
+and seed, and returns a :class:`~repro.harness.workloads.ScenarioResult`
+exposing the proposals, decisions, metrics and specification checks.
+
+:mod:`repro.harness.experiments` implements the per-table/figure experiment
+runners E1–E10 listed in DESIGN.md; the ``benchmarks/`` directory contains
+one pytest-benchmark target per experiment, and ``EXPERIMENTS.md`` records
+the paper-vs-measured outcome of each.
+"""
+
+from repro.harness.workloads import (
+    ScenarioResult,
+    member_pids,
+    default_proposals,
+    run_wts_scenario,
+    run_sbs_scenario,
+    run_gwts_scenario,
+    run_gsbs_scenario,
+    run_crash_la_scenario,
+    run_crash_gla_scenario,
+    run_rsm_scenario,
+)
+from repro.harness.experiments import (
+    run_chain_experiment,
+    run_resilience_experiment,
+    run_wts_latency_experiment,
+    run_wts_messages_experiment,
+    run_sbs_experiment,
+    run_gwts_messages_experiment,
+    run_gwts_liveness_experiment,
+    run_rsm_experiment,
+    run_breadth_experiment,
+    run_baseline_comparison,
+    run_ablation_experiment,
+    ALL_EXPERIMENTS,
+)
+
+__all__ = [
+    "ScenarioResult",
+    "member_pids",
+    "default_proposals",
+    "run_wts_scenario",
+    "run_sbs_scenario",
+    "run_gwts_scenario",
+    "run_gsbs_scenario",
+    "run_crash_la_scenario",
+    "run_crash_gla_scenario",
+    "run_rsm_scenario",
+    "run_chain_experiment",
+    "run_resilience_experiment",
+    "run_wts_latency_experiment",
+    "run_wts_messages_experiment",
+    "run_sbs_experiment",
+    "run_gwts_messages_experiment",
+    "run_gwts_liveness_experiment",
+    "run_rsm_experiment",
+    "run_breadth_experiment",
+    "run_baseline_comparison",
+    "run_ablation_experiment",
+    "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,766 @@
+"""Per-table/figure experiment runners (E1–E10 of DESIGN.md).
+
+Each function runs the relevant simulated scenarios, returns a dictionary of
+raw rows/series plus a pre-formatted text table, and includes an ``expected``
+entry describing the paper's analytical claim so benchmark output can be read
+side by side with it.  The ``benchmarks/`` directory exposes one
+pytest-benchmark target per experiment, and EXPERIMENTS.md records the
+paper-vs-measured outcomes.
+
+The functions accept ``quick=True`` to shrink sweep ranges; the benchmark
+harness uses the quick settings so a full benchmark run stays in the
+minutes range, while the defaults give smoother curves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.baselines.restricted_spec import (
+    check_restricted_la_run,
+    power_set_breadth,
+    restricted_spec_feasible,
+)
+from repro.byzantine.behaviors import (
+    AlwaysAckAcceptor,
+    EquivocatingProposer,
+    FastForwardGWTS,
+    FlipFloppingAcceptor,
+    NackSpamAcceptor,
+    SilentByzantine,
+)
+from repro.core.quorum import max_faults, required_processes
+from repro.lattice.chain import all_comparable, hasse_diagram_text, longest_chain, sort_chain
+from repro.lattice.set_lattice import SetLattice
+from repro.metrics.report import fit_polynomial_order, format_table
+from repro.rsm.checker import check_rsm_history
+from repro.rsm.crdt import GCounterObject, GSetObject
+from repro.transport.delays import FixedDelay, SkewedPairDelay, UniformDelay
+from repro.harness.workloads import (
+    default_proposals,
+    member_pids,
+    run_crash_gla_scenario,
+    run_crash_la_scenario,
+    run_gwts_scenario,
+    run_rsm_scenario,
+    run_sbs_scenario,
+    run_wts_scenario,
+)
+
+
+# ---------------------------------------------------------------------------
+# E1 — Figure 1: decisions form a chain in the power-set lattice
+# ---------------------------------------------------------------------------
+
+
+def run_chain_experiment(n: int = 4, f: int = 1, seed: int = 11, quick: bool = False) -> Dict[str, Any]:
+    """Reproduce Figure 1: the decisions of a WTS run form a chain."""
+    lattice = SetLattice()
+    scenario = run_wts_scenario(n=n, f=f, seed=seed, lattice=lattice)
+    decisions = [decs[0] for decs in scenario.decisions().values() if decs]
+    chain = sort_chain(lattice, decisions) if all_comparable(lattice, decisions) else []
+    elements = list(dict.fromkeys(list(scenario.proposals().values()) + decisions))
+    diagram = hasse_diagram_text(lattice, elements, highlight_chain=chain)
+    rows = [
+        (pid, _render(decs[0]) if decs else "-")
+        for pid, decs in sorted(scenario.decisions().items())
+    ]
+    return {
+        "experiment": "E1",
+        "expected": "all decisions pairwise comparable (a chain in the Figure 1 lattice)",
+        "decisions": decisions,
+        "chain": chain,
+        "is_chain": all_comparable(lattice, decisions),
+        "hasse": diagram,
+        "table": format_table(["process", "decision"], rows, title="E1: decisions per process"),
+        "check": scenario.check_la(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E2 — Theorem 1: necessity of 3f + 1 processes
+# ---------------------------------------------------------------------------
+
+
+def run_resilience_experiment(f: int = 1, seed: int = 7, quick: bool = False) -> Dict[str, Any]:
+    """Theorem 1: with ``n = 3f`` no algorithm is both safe and live.
+
+    Three configurations make the impossibility concrete:
+
+    1. **WTS at n = 3f with f silent Byzantines** — the Byzantine ack quorum
+       ``floor((n+f)/2)+1 = 2f+1`` exceeds the ``2f`` correct processes, so
+       WTS (which never compromises safety) loses liveness: nobody decides.
+    2. **Majority-quorum LA at n = 3f with the Theorem 1 schedule** — the
+       crash baseline (quorum ``floor(n/2)+1 <= 2f``) stays live, but the
+       always-acking Byzantine plus delayed links between the two correct
+       halves lets both halves commit incomparable values: safety is lost.
+    3. **WTS at n = 3f + 1 with the same adversary and schedule** — both
+       safety and liveness hold.
+    """
+    lattice = SetLattice()
+    outcomes: List[Dict[str, Any]] = []
+
+    # (1) WTS at n = 3f, silent Byzantines: liveness lost, safety kept.
+    n_small = 3 * f
+    silent = [lambda pid, lat, members, ff: SilentByzantine(pid) for _ in range(f)]
+    wts_small = run_wts_scenario(
+        n=n_small,
+        f=f,
+        seed=seed,
+        lattice=lattice,
+        byzantine_factories=silent,
+        delay_model=FixedDelay(1.0),
+        max_messages=20_000,
+        run_to_quiescence=True,
+    )
+    check_small = wts_small.check_la(require_liveness=False)
+    decided_small = sum(1 for decs in wts_small.decisions().values() if decs)
+    outcomes.append(
+        {
+            "config": f"WTS, n={n_small} (=3f), silent Byzantines",
+            "n": n_small,
+            "live": decided_small == len(wts_small.correct_pids),
+            "decided": decided_small,
+            "correct": len(wts_small.correct_pids),
+            "safety_ok": check_small.ok,
+        }
+    )
+
+    # (2) Majority-quorum baseline at n = 3f with the Theorem 1 schedule.
+    pids = member_pids(n_small)
+    correct = pids[: n_small - f]
+    half = max(1, len(correct) // 2)
+    slow_pairs = [(a, b) for a in correct[:half] for b in correct[half:]]
+    partition = SkewedPairDelay(slow_pairs, base=FixedDelay(1.0), slow_delay=10_000.0)
+    always_ack = [
+        lambda pid, lat, members, ff: AlwaysAckAcceptor(pid, lat, members, ff)
+        for _ in range(f)
+    ]
+    crash_small = run_crash_la_scenario(
+        n=n_small,
+        f=f,
+        seed=seed,
+        lattice=lattice,
+        byzantine_factories=always_ack,
+        delay_model=partition,
+        max_messages=20_000,
+    )
+    check_crash = crash_small.check_la(require_liveness=False)
+    decided_crash = sum(1 for decs in crash_small.decisions().values() if decs)
+    outcomes.append(
+        {
+            "config": f"majority-quorum LA, n={n_small} (=3f), always-ack Byzantine + partition",
+            "n": n_small,
+            "live": decided_crash == len(crash_small.correct_pids),
+            "decided": decided_crash,
+            "correct": len(crash_small.correct_pids),
+            "safety_ok": check_crash.ok,
+        }
+    )
+
+    # (3) WTS at n = 3f + 1 with the same adversary and schedule.
+    n_big = 3 * f + 1
+    pids_big = member_pids(n_big)
+    correct_big = pids_big[: n_big - f]
+    half_big = max(1, len(correct_big) // 2)
+    slow_big = [(a, b) for a in correct_big[:half_big] for b in correct_big[half_big:]]
+    partition_big = SkewedPairDelay(slow_big, base=FixedDelay(1.0), slow_delay=50.0)
+    wts_big = run_wts_scenario(
+        n=n_big,
+        f=f,
+        seed=seed,
+        lattice=lattice,
+        byzantine_factories=always_ack,
+        delay_model=partition_big,
+        max_messages=60_000,
+    )
+    check_big = wts_big.check_la()
+    decided_big = sum(1 for decs in wts_big.decisions().values() if decs)
+    outcomes.append(
+        {
+            "config": f"WTS, n={n_big} (=3f+1), same adversary",
+            "n": n_big,
+            "live": decided_big == len(wts_big.correct_pids),
+            "decided": decided_big,
+            "correct": len(wts_big.correct_pids),
+            "safety_ok": check_big.ok,
+        }
+    )
+
+    rows = [
+        (
+            o["config"],
+            f"{o['decided']}/{o['correct']}",
+            "live" if o["live"] else "BLOCKED",
+            "OK" if o["safety_ok"] else "VIOLATED",
+        )
+        for o in outcomes
+    ]
+    return {
+        "experiment": "E2",
+        "expected": "n=3f: liveness lost (Byzantine quorum) or safety lost (majority quorum); n=3f+1: both hold",
+        "outcomes": outcomes,
+        "table": format_table(
+            ["configuration", "decided", "liveness", "safety"],
+            rows,
+            title="E2: necessity of 3f+1 processes (Theorem 1)",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E3 — Theorem 3: WTS decides within 2f + 5 message delays
+# ---------------------------------------------------------------------------
+
+
+def run_wts_latency_experiment(
+    max_f: int = 3, seed: int = 3, quick: bool = False
+) -> Dict[str, Any]:
+    """Measure WTS decision latency (in message delays) as f grows.
+
+    Run with a fixed unit delay so simulated time counts message delays
+    exactly; the Byzantine population mixes silent and flip-flopping
+    acceptors to exercise the nack/refinement path.
+    """
+    top = 2 if quick else max_f
+    rows: List[Sequence[Any]] = []
+    series: Dict[int, float] = {}
+    for f in range(0, top + 1):
+        n = required_processes(f)
+        byz = []
+        for index in range(f):
+            if index % 2 == 0:
+                byz.append(lambda pid, lat, members, ff: FlipFloppingAcceptor(pid, lat, members, ff))
+            else:
+                byz.append(lambda pid, lat, members, ff: SilentByzantine(pid))
+        scenario = run_wts_scenario(
+            n=n,
+            f=f,
+            seed=seed + f,
+            byzantine_factories=byz,
+            delay_model=FixedDelay(1.0),
+        )
+        latest_decision_time = max(
+            (record.time for record in scenario.metrics.decisions), default=0.0
+        )
+        bound = 2 * f + 5
+        series[f] = latest_decision_time
+        rows.append((f, n, f"{latest_decision_time:.0f}", bound, "OK" if latest_decision_time <= bound else "EXCEEDED"))
+    return {
+        "experiment": "E3",
+        "expected": "decision within 2f + 5 message delays",
+        "series": series,
+        "rows": rows,
+        "table": format_table(
+            ["f", "n", "measured delays", "bound 2f+5", "within bound"],
+            rows,
+            title="E3: WTS decision latency",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E4 — Section 5.1.3: WTS message complexity O(n^2) per process
+# ---------------------------------------------------------------------------
+
+
+def run_wts_messages_experiment(
+    sizes: Optional[Sequence[int]] = None, seed: int = 5, quick: bool = False
+) -> Dict[str, Any]:
+    """Measure WTS per-process message counts over a sweep of n."""
+    if sizes is None:
+        sizes = (4, 7, 10, 13) if quick else (4, 7, 10, 13, 16, 19)
+    series: Dict[int, float] = {}
+    rows: List[Sequence[Any]] = []
+    for n in sizes:
+        f = max_faults(n)
+        scenario = run_wts_scenario(n=n, f=f, seed=seed + n, delay_model=FixedDelay(1.0))
+        per_process = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
+        series[n] = per_process
+        rows.append((n, f, f"{per_process:.1f}", f"{per_process / (n * n):.2f}"))
+    order = fit_polynomial_order(list(series.keys()), list(series.values()))
+    return {
+        "experiment": "E4",
+        "expected": "messages per process grow quadratically in n (reliable broadcast dominates)",
+        "series": series,
+        "fit_order": order,
+        "table": format_table(
+            ["n", "f", "msgs/process", "msgs / n^2"],
+            rows,
+            title=f"E4: WTS message complexity (log-log slope ~ {order:.2f})",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E5 — Theorem 8 / Section 8.1: SbS latency 5 + 4f and O(n) messages
+# ---------------------------------------------------------------------------
+
+
+def run_sbs_experiment(
+    sizes: Optional[Sequence[int]] = None, seed: int = 9, quick: bool = False
+) -> Dict[str, Any]:
+    """SbS: latency bound 5 + 4f and per-process message counts linear in n (f fixed)."""
+    if sizes is None:
+        sizes = (4, 7, 10, 13) if quick else (4, 7, 10, 13, 16, 19)
+    f_fixed = 1
+    series_msgs: Dict[int, float] = {}
+    rows: List[Sequence[Any]] = []
+    for n in sizes:
+        scenario = run_sbs_scenario(n=n, f=f_fixed, seed=seed + n, delay_model=FixedDelay(1.0))
+        per_process = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
+        latest = max((r.time for r in scenario.metrics.decisions), default=0.0)
+        bound = 5 + 4 * f_fixed
+        series_msgs[n] = per_process
+        rows.append(
+            (n, f_fixed, f"{per_process:.1f}", f"{per_process / n:.2f}", f"{latest:.0f}", bound)
+        )
+    order = fit_polynomial_order(list(series_msgs.keys()), list(series_msgs.values()))
+    # Latency sweep over f at n = 3f + 1.
+    latency_rows: List[Sequence[Any]] = []
+    for f in range(0, 2 if quick else 3):
+        n = required_processes(f)
+        scenario = run_sbs_scenario(n=n, f=f, seed=seed + 100 + f, delay_model=FixedDelay(1.0))
+        latest = max((r.time for r in scenario.metrics.decisions), default=0.0)
+        latency_rows.append((f, n, f"{latest:.0f}", 5 + 4 * f))
+    return {
+        "experiment": "E5",
+        "expected": "messages per process linear in n for f=O(1); latency <= 5 + 4f",
+        "series": series_msgs,
+        "fit_order": order,
+        "rows": rows,
+        "latency_rows": latency_rows,
+        "table": format_table(
+            ["n", "f", "msgs/process", "msgs / n", "delays", "bound 5+4f"],
+            rows,
+            title=f"E5: SbS message complexity (log-log slope ~ {order:.2f})",
+        )
+        + "\n\n"
+        + format_table(
+            ["f", "n", "delays", "bound 5+4f"], latency_rows, title="E5b: SbS latency vs f"
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E6 — Section 6.4: GWTS messages per proposer per decision O(f n^2)
+# ---------------------------------------------------------------------------
+
+
+def run_gwts_messages_experiment(
+    sizes: Optional[Sequence[int]] = None,
+    rounds: int = 3,
+    seed: int = 13,
+    quick: bool = False,
+) -> Dict[str, Any]:
+    """Measure GWTS per-proposer per-decision message counts over n."""
+    if sizes is None:
+        sizes = (4, 7) if quick else (4, 7, 10, 13)
+    series: Dict[int, float] = {}
+    rows: List[Sequence[Any]] = []
+    for n in sizes:
+        f = max_faults(n)
+        scenario = run_gwts_scenario(
+            n=n, f=f, values_per_process=1, rounds=rounds, seed=seed + n,
+            delay_model=FixedDelay(1.0),
+        )
+        decisions = sum(len(d) for d in scenario.decisions().values())
+        per_process = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
+        per_decision = per_process / max(1, decisions / max(1, len(scenario.correct_pids)))
+        series[n] = per_decision
+        rows.append((n, f, rounds, f"{per_process:.1f}", f"{per_decision:.1f}",
+                     f"{per_decision / (max(1, f) * n * n):.2f}"))
+    order = fit_polynomial_order(list(series.keys()), list(series.values()))
+    return {
+        "experiment": "E6",
+        "expected": "messages per proposer per decision bounded by c * f * n^2",
+        "series": series,
+        "fit_order": order,
+        "table": format_table(
+            ["n", "f", "rounds", "msgs/process", "msgs/process/decision", "ratio to f*n^2"],
+            rows,
+            title=f"E6: GWTS per-decision message complexity (log-log slope ~ {order:.2f})",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E7 — Section 6.2/6.3: GWTS liveness & inclusivity under round-clogging
+# ---------------------------------------------------------------------------
+
+
+def run_gwts_liveness_experiment(
+    f: int = 1, rounds: int = 5, seed: int = 17, quick: bool = False
+) -> Dict[str, Any]:
+    """GWTS under the fast-forward (round-clogging) and nack-spam adversaries."""
+    n = required_processes(f)
+    byz = [
+        (
+            lambda pid, lat, members, ff: FastForwardGWTS(
+                pid,
+                lat,
+                members,
+                rounds_ahead=rounds + 3,
+                values=[frozenset({f"byz-ff-{pid}-{k}"}) for k in range(3)],
+            )
+        )
+        for _ in range(f)
+    ]
+    scenario = run_gwts_scenario(
+        n=n,
+        f=f,
+        values_per_process=2,
+        rounds=rounds,
+        seed=seed,
+        byzantine_factories=byz,
+    )
+    check = scenario.check_gla()
+    decisions = scenario.decisions()
+    rows = [
+        (pid, len(decs), _render(decs[-1]) if decs else "-")
+        for pid, decs in sorted(decisions.items())
+    ]
+    return {
+        "experiment": "E7",
+        "expected": "every correct process keeps deciding; every submitted value is eventually included",
+        "check": check,
+        "decisions_per_process": {pid: len(d) for pid, d in decisions.items()},
+        "table": format_table(
+            ["process", "#decisions", "final decision"],
+            rows,
+            title="E7: GWTS liveness under round-clogging adversary",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E8 — Section 7: RSM linearizability, wait-freedom, Byzantine clients
+# ---------------------------------------------------------------------------
+
+
+def run_rsm_experiment(
+    f: int = 1, clients: int = 3, updates_per_client: int = 2, seed: int = 19, quick: bool = False
+) -> Dict[str, Any]:
+    """Run the replicated set/counter RSM with Byzantine replicas and clients."""
+    n = required_processes(f)
+    counter = GCounterObject("hits")
+    gset = GSetObject("tags")
+    scripts: Dict[Hashable, List] = {}
+    for index in range(clients):
+        client_id = f"client{index}"
+        script: List = []
+        for k in range(updates_per_client):
+            if index % 2 == 0:
+                script.append(("update", counter.op_inc(1)))
+            else:
+                script.append(("update", gset.op_add(f"tag-{index}-{k}")))
+        script.append(("read",))
+        scripts[client_id] = script
+    byz_replicas = [lambda pid, lat, members, ff: SilentByzantine(pid) for _ in range(f)]
+    scenario = run_rsm_scenario(
+        n_replicas=n,
+        f=f,
+        client_scripts=scripts,
+        byzantine_replica_factories=byz_replicas,
+        byzantine_client_payloads={"badclient": ["junk-0", "junk-1"]},
+        rounds=6 if quick else 10,
+        seed=seed,
+    )
+    histories = scenario.extras["histories"].values()
+    # Read Validity allows any command that was genuinely submitted to the
+    # RSM — including well-formed commands from Byzantine clients (the
+    # specification bounds *what* can be read, not *who* may write).  The
+    # correct replicas' admission logs are the ground truth for that set.
+    admissible = {
+        command
+        for pid in scenario.correct_pids
+        for command in getattr(scenario.nodes[pid], "admitted_commands", [])
+    }
+    admissible |= {
+        record.command
+        for history in scenario.extras["histories"].values()
+        for record in history
+    }
+    check = check_rsm_history(histories, admissible_commands=admissible)
+    reads = [
+        record
+        for history in scenario.extras["histories"].values()
+        for record in history
+        if record.kind == "read" and record.result is not None
+    ]
+    counter_values = [counter.value(read.result) for read in reads]
+    rows = [
+        (read.client, f"{read.end_time - read.start_time:.1f}", counter.value(read.result),
+         len(gset.value(read.result)))
+        for read in reads
+    ]
+    return {
+        "experiment": "E8",
+        "expected": "all operations complete; reads are comparable, monotonic and reflect completed updates",
+        "check": check,
+        "counter_values": counter_values,
+        "table": format_table(
+            ["client", "read latency", "counter value", "|tag set|"],
+            rows,
+            title="E8: RSM reads (counter + grow-only set objects)",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E9 — Section 2: breadth argument against the restrictive specification
+# ---------------------------------------------------------------------------
+
+
+def run_breadth_experiment(
+    n: int = 4, f: int = 1, breadths: Optional[Sequence[int]] = None, seed: int = 23, quick: bool = False
+) -> Dict[str, Any]:
+    """Contrast this paper's specification with the restrictive one as breadth grows."""
+    if breadths is None:
+        breadths = (2, 3, 4, 6, 8)
+    rows: List[Sequence[Any]] = []
+    outcomes: List[Dict[str, Any]] = []
+    for k in breadths:
+        feasible = restricted_spec_feasible(n, power_set_breadth(k))
+        # Run WTS with one Byzantine value injector; our spec must hold, and
+        # the decisions typically include the Byzantine value, which the
+        # restrictive spec forbids.
+        from repro.byzantine.behaviors import ValueInjectorProposer
+
+        byz_value = frozenset({"byz-injected"})
+        byz = [
+            lambda pid, lat, members, ff: ValueInjectorProposer(
+                pid, lat, members, ff, proposal=byz_value
+            )
+        ]
+        universe = {f"u{i}" for i in range(k)} | {"byz-injected"}
+        lattice = SetLattice(universe=universe)
+        pids = member_pids(n)
+        correct = pids[: n - 1]
+        proposals = {
+            pid: frozenset({f"u{i % k}"}) for i, pid in enumerate(correct)
+        }
+        scenario = run_wts_scenario(
+            n=n,
+            f=f,
+            seed=seed + k,
+            lattice=lattice,
+            proposals=proposals,
+            byzantine_factories=byz,
+        )
+        ours = scenario.check_la()
+        restricted = check_restricted_la_run(
+            lattice,
+            scenario.proposals(),
+            scenario.decisions(),
+            byzantine_values=[byz_value],
+            f=f,
+        )
+        outcomes.append(
+            {
+                "breadth": k,
+                "restricted_feasible": feasible,
+                "our_spec_ok": ours.ok,
+                "restricted_ok": restricted.ok,
+            }
+        )
+        rows.append(
+            (
+                k,
+                n,
+                "yes" if feasible else "no (needs >= %d procs)" % (k + 1),
+                "OK" if ours.ok else "VIOLATED",
+                "OK" if restricted.ok else "violated (Byzantine value decided)",
+            )
+        )
+    return {
+        "experiment": "E9",
+        "expected": "our spec holds for every breadth; the restrictive spec is infeasible once breadth >= n and is violated whenever a Byzantine value is decided",
+        "outcomes": outcomes,
+        "table": format_table(
+            ["breadth k", "n", "restrictive spec feasible", "our spec", "restrictive spec on same run"],
+            rows,
+            title="E9: lattice breadth vs specifications",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E10 — Byzantine tolerance overhead vs the crash-fault baseline
+# ---------------------------------------------------------------------------
+
+
+def run_baseline_comparison(
+    sizes: Optional[Sequence[int]] = None, seed: int = 29, quick: bool = False
+) -> Dict[str, Any]:
+    """Message/latency overhead of WTS and GWTS over the crash-fault baseline."""
+    if sizes is None:
+        sizes = (4, 7) if quick else (4, 7, 10, 13)
+    rows: List[Sequence[Any]] = []
+    wts_series: Dict[int, float] = {}
+    crash_series: Dict[int, float] = {}
+    for n in sizes:
+        f = max_faults(n)
+        wts = run_wts_scenario(n=n, f=f, seed=seed + n, delay_model=FixedDelay(1.0))
+        crash = run_crash_la_scenario(n=n, f=f, seed=seed + n, delay_model=FixedDelay(1.0))
+        wts_msgs = wts.metrics.mean_messages_per_process(wts.correct_pids)
+        crash_msgs = crash.metrics.mean_messages_per_process(crash.correct_pids)
+        wts_time = max((r.time for r in wts.metrics.decisions), default=0.0)
+        crash_time = max((r.time for r in crash.metrics.decisions), default=0.0)
+        wts_series[n] = wts_msgs
+        crash_series[n] = crash_msgs
+        rows.append(
+            (
+                n,
+                f,
+                f"{crash_msgs:.1f}",
+                f"{wts_msgs:.1f}",
+                f"{wts_msgs / max(crash_msgs, 1e-9):.1f}x",
+                f"{crash_time:.0f}",
+                f"{wts_time:.0f}",
+            )
+        )
+    return {
+        "experiment": "E10",
+        "expected": "WTS costs a quadratic (vs linear) message term and never fewer delays than the crash baseline",
+        "wts_series": wts_series,
+        "crash_series": crash_series,
+        "table": format_table(
+            ["n", "f", "crash msgs/proc", "WTS msgs/proc", "overhead", "crash delays", "WTS delays"],
+            rows,
+            title="E10: Byzantine tolerance overhead vs crash-fault baseline",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E11 (extension) — ablation study of the two WTS design choices
+# ---------------------------------------------------------------------------
+
+
+def run_ablation_experiment(seed: int = 31, quick: bool = False) -> Dict[str, Any]:
+    """Ablation study: remove one WTS defence and run the attack it blocks.
+
+    Three configurations, each compared against intact WTS under the same
+    adversary, seed and delays:
+
+    * **A1 — no wait-till-safe** vs a nack-spamming acceptor: undisclosed junk
+      values reach decisions (Non-Triviality broken);
+    * **A2 — plain disclosure broadcast** vs an equivocating proposer: the
+      correct processes' safe sets diverge and the deciding phase wedges
+      (Liveness broken within the run horizon);
+    * **A3 — both removed** vs the same equivocator: the single Byzantine
+      process gets *two* distinct values into decisions, breaking the
+      ``|B| <= f`` bound of Non-Triviality that Observation 1 (one safe value
+      per process) is there to enforce.
+    """
+    from repro.core.ablations import (
+        NoDefencesWTSProcess,
+        NoSafetyWTSProcess,
+        PlainDisclosureWTSProcess,
+    )
+    from repro.byzantine.behaviors import EquivocatingProposer, NackSpamAcceptor
+
+    def nack_spammer(pid, lat, members, ff):
+        return NackSpamAcceptor(pid, lat, members, ff)
+
+    def equivocator(pid, lat, members, ff):
+        return EquivocatingProposer(
+            pid, lat, members, ff,
+            value_a=frozenset({"eq-a"}), value_b=frozenset({"eq-b"}),
+        )
+
+    def broke_checker_property(prop):
+        def judge(scenario):
+            return scenario.check_la().violated(prop)
+
+        return judge
+
+    def broke_byzantine_value_bound(scenario):
+        injected = set()
+        for decs in scenario.decisions().values():
+            for decision in decs:
+                injected |= set(decision) & {"eq-a", "eq-b"}
+        return len(injected) > scenario.f
+
+    configs = [
+        ("A1 no wait-till-safe", NoSafetyWTSProcess, nack_spammer,
+         "non_triviality", broke_checker_property("non_triviality")),
+        ("A2 plain disclosure", PlainDisclosureWTSProcess, equivocator,
+         "liveness", broke_checker_property("liveness")),
+        ("A3 both removed", NoDefencesWTSProcess, equivocator,
+         "|B| <= f (one value per Byzantine)", broke_byzantine_value_bound),
+    ]
+    rows: List[Sequence[Any]] = []
+    outcomes: List[Dict[str, Any]] = []
+    for name, ablated_class, adversary, expected_break, judge in configs:
+        intact_ok = True
+        ablated_broken = False
+        broken_seed = None
+        # The attack's success can depend on the schedule; scan a few seeds
+        # and report whether any schedule breaks the ablated variant while
+        # the intact algorithm survives all of them.
+        for offset in range(4 if quick else 8):
+            run_seed = seed + offset
+            intact = run_wts_scenario(
+                n=4, f=1, seed=run_seed, byzantine_factories=[adversary],
+                delay_model=UniformDelay(0.5, 2.0), max_messages=30_000,
+            )
+            ablated = run_wts_scenario(
+                n=4, f=1, seed=run_seed, byzantine_factories=[adversary],
+                delay_model=UniformDelay(0.5, 2.0), max_messages=30_000,
+                process_class=ablated_class, run_to_quiescence=True,
+            )
+            intact_ok = intact_ok and intact.check_la().ok
+            if not ablated_broken and judge(ablated):
+                ablated_broken = True
+                broken_seed = run_seed
+        outcomes.append(
+            {
+                "ablation": name,
+                "expected_break": expected_break,
+                "intact_ok": bool(intact_ok),
+                "ablated_broken": bool(ablated_broken),
+                "witness_seed": broken_seed,
+            }
+        )
+        rows.append(
+            (
+                name,
+                expected_break,
+                "holds" if intact_ok else "VIOLATED",
+                "broken (as expected)" if ablated_broken else "not broken in scanned seeds",
+            )
+        )
+    return {
+        "experiment": "E11",
+        "expected": "each removed defence lets its targeted attack break exactly the property the paper claims it protects",
+        "outcomes": outcomes,
+        "table": format_table(
+            ["ablation", "targeted property", "intact WTS", "ablated WTS"],
+            rows,
+            title="E11: ablation of WTS design choices",
+        ),
+    }
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, frozenset):
+        return "{" + ",".join(sorted(map(str, value))) + "}"
+    return repr(value)
+
+
+#: Registry used by the CLI example and by documentation generation.
+ALL_EXPERIMENTS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "E1": run_chain_experiment,
+    "E2": run_resilience_experiment,
+    "E3": run_wts_latency_experiment,
+    "E4": run_wts_messages_experiment,
+    "E5": run_sbs_experiment,
+    "E6": run_gwts_messages_experiment,
+    "E7": run_gwts_liveness_experiment,
+    "E8": run_rsm_experiment,
+    "E9": run_breadth_experiment,
+    "E10": run_baseline_comparison,
+    "E11": run_ablation_experiment,
+}

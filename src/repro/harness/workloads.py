@@ -1,0 +1,545 @@
+"""Scenario builders: assemble and run simulated clusters for every algorithm.
+
+Every builder follows the same recipe:
+
+1. create the membership (``p0 .. p{n-1}``) and a :class:`Network` with the
+   requested delay model and seed;
+2. instantiate correct processes for the first ``n - b`` slots and Byzantine
+   processes (produced by user-supplied factories) for the last ``b`` slots;
+3. drive the :class:`SimulationRuntime` until the scenario's stop condition;
+4. wrap everything in a :class:`ScenarioResult` that knows how to extract
+   proposals, decisions and Byzantine-injected values and to run the
+   specification checkers.
+
+Byzantine factories receive ``(pid, lattice, members, f)`` (plus the shared
+key registry for the signature algorithms) and return any
+:class:`~repro.transport.node.Node`; the classes in :mod:`repro.byzantine`
+are directly usable via small lambdas, e.g.::
+
+    run_wts_scenario(n=4, f=1, byzantine_factories=[
+        lambda pid, lat, members, f: SilentByzantine(pid)
+    ])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.crash_gla import CrashGLAProcess
+from repro.baselines.crash_la import CrashLAProcess
+from repro.core.gsbs import GSbSProcess
+from repro.core.gwts import GWTSProcess
+from repro.core.sbs import SbSProcess
+from repro.core.spec import LACheckResult, check_gla_run, check_la_run
+from repro.core.wts import WTSProcess
+from repro.crypto.signatures import KeyRegistry
+from repro.lattice.base import JoinSemilattice, LatticeElement
+from repro.lattice.set_lattice import SetLattice
+from repro.metrics.collector import MetricsCollector
+from repro.rsm.client import ByzantineClient, RSMClient
+from repro.rsm.replica import Replica
+from repro.transport.delays import DelayModel, UniformDelay
+from repro.transport.network import Network
+from repro.transport.node import Node
+from repro.transport.runtime import RunResult, SimulationRuntime
+
+#: Signature of a Byzantine process factory.
+ByzantineFactory = Callable[..., Node]
+
+
+def member_pids(n: int, prefix: str = "p") -> List[str]:
+    """Standard membership identifiers ``p0 .. p{n-1}``."""
+    return [f"{prefix}{i}" for i in range(n)]
+
+
+def default_proposals(lattice: SetLattice, pids: Sequence[Hashable]) -> Dict[Hashable, LatticeElement]:
+    """One distinct singleton proposal per process (the Figure 1 workload)."""
+    return {pid: frozenset({f"v-{pid}"}) for pid in pids}
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a test, benchmark or example needs about one finished run."""
+
+    network: Network
+    nodes: Dict[Hashable, Node]
+    correct_pids: List[Hashable]
+    byzantine_pids: List[Hashable]
+    lattice: JoinSemilattice
+    f: int
+    run: RunResult
+    #: Extra per-scenario payload (e.g. client histories for RSM runs).
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    # -- common views -----------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The run's metrics collector."""
+        return self.network.metrics
+
+    def correct_nodes(self) -> List[Node]:
+        """The correct processes, in membership order."""
+        return [self.nodes[pid] for pid in self.correct_pids]
+
+    def proposals(self) -> Dict[Hashable, LatticeElement]:
+        """``pid -> proposal`` for correct single-shot proposers."""
+        return {
+            pid: getattr(self.nodes[pid], "proposal")
+            for pid in self.correct_pids
+            if hasattr(self.nodes[pid], "proposal")
+        }
+
+    def inputs(self) -> Dict[Hashable, List[LatticeElement]]:
+        """``pid -> received input values`` for correct generalized proposers."""
+        return {
+            pid: list(getattr(self.nodes[pid], "received_inputs", []))
+            for pid in self.correct_pids
+        }
+
+    def decisions(self) -> Dict[Hashable, List[LatticeElement]]:
+        """``pid -> decision sequence`` for correct processes."""
+        return {
+            pid: list(getattr(self.nodes[pid], "decisions", []))
+            for pid in self.correct_pids
+        }
+
+    def byzantine_values(self) -> List[LatticeElement]:
+        """Lattice elements the Byzantine nodes injected (best effort).
+
+        Collected from the Byzantine nodes' declared attack values so the
+        Non-Triviality bound can be evaluated; behaviours that only send
+        garbage (non-elements) contribute nothing because correct processes
+        filter those out.
+        """
+        values: List[LatticeElement] = []
+        for pid in self.byzantine_pids:
+            node = self.nodes[pid]
+            # Wrapper behaviours (e.g. CrashByzantine) delegate to an inner
+            # honest process; its proposal counts as a Byzantine input too.
+            candidates = [node, getattr(node, "inner", None)]
+            for candidate in candidates:
+                if candidate is None:
+                    continue
+                for attr in ("proposal", "value_a", "value_b", "injected"):
+                    value = getattr(candidate, attr, None)
+                    if value is not None and self.lattice.is_element(value):
+                        values.append(value)
+                pool = getattr(candidate, "equivocation_pool", None) or getattr(
+                    candidate, "values", None
+                )
+                if pool:
+                    values.extend(v for v in pool if self.lattice.is_element(v))
+        return values
+
+    # -- checkers ----------------------------------------------------------------------
+
+    def check_la(self, require_liveness: bool = True) -> LACheckResult:
+        """Run the single-shot LA specification checker on this scenario."""
+        return check_la_run(
+            self.lattice,
+            self.proposals(),
+            self.decisions(),
+            byzantine_values=self.byzantine_values(),
+            f=self.f,
+            require_liveness=require_liveness,
+        )
+
+    def check_gla(self, require_all_inputs_decided: bool = True) -> LACheckResult:
+        """Run the generalized LA specification checker on this scenario."""
+        return check_gla_run(
+            self.lattice,
+            self.inputs(),
+            self.decisions(),
+            byzantine_values=self.byzantine_values(),
+            require_all_inputs_decided=require_all_inputs_decided,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Internal assembly helpers
+# ---------------------------------------------------------------------------
+
+
+def _split_members(
+    n: int, byzantine_factories: Sequence[ByzantineFactory]
+) -> Tuple[List[str], List[str], List[str]]:
+    pids = member_pids(n)
+    b = len(byzantine_factories)
+    if b > n:
+        raise ValueError("more Byzantine factories than processes")
+    return pids, pids[: n - b], pids[n - b :]
+
+
+def _run(
+    network: Network,
+    nodes: Dict[Hashable, Node],
+    stop_when: Optional[Callable[[], bool]],
+    max_messages: int,
+) -> RunResult:
+    runtime = SimulationRuntime(network)
+    return runtime.run(stop_when=stop_when, max_messages=max_messages)
+
+
+# ---------------------------------------------------------------------------
+# Single-shot LA scenarios
+# ---------------------------------------------------------------------------
+
+
+def run_wts_scenario(
+    n: int,
+    f: int,
+    proposals: Optional[Mapping[Hashable, LatticeElement]] = None,
+    lattice: Optional[JoinSemilattice] = None,
+    byzantine_factories: Sequence[ByzantineFactory] = (),
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 0,
+    max_messages: int = 400_000,
+    run_to_quiescence: bool = False,
+    process_class: type = WTSProcess,
+) -> ScenarioResult:
+    """Build and run one WTS cluster; stop when all correct processes decided.
+
+    ``process_class`` lets the ablation experiments substitute a deliberately
+    weakened WTS variant (see :mod:`repro.core.ablations`) for the correct
+    processes while keeping the rest of the scenario identical.
+    """
+    lattice = lattice if lattice is not None else SetLattice()
+    pids, correct, byz = _split_members(n, byzantine_factories)
+    if proposals is None:
+        proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
+    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    nodes: Dict[Hashable, Node] = {}
+    for pid in correct:
+        nodes[pid] = network.add_node(
+            process_class(pid, lattice, pids, f, proposal=proposals.get(pid, lattice.bottom()))
+        )
+    for factory, pid in zip(byzantine_factories, byz):
+        nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
+
+    def all_decided() -> bool:
+        return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
+
+    stop = None if run_to_quiescence else all_decided
+    run = _run(network, nodes, stop, max_messages)
+    return ScenarioResult(
+        network=network,
+        nodes=nodes,
+        correct_pids=list(correct),
+        byzantine_pids=list(byz),
+        lattice=lattice,
+        f=f,
+        run=run,
+    )
+
+
+def run_sbs_scenario(
+    n: int,
+    f: int,
+    proposals: Optional[Mapping[Hashable, LatticeElement]] = None,
+    lattice: Optional[JoinSemilattice] = None,
+    byzantine_factories: Sequence[ByzantineFactory] = (),
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 0,
+    max_messages: int = 400_000,
+    registry_seed: int = 1234,
+) -> ScenarioResult:
+    """Build and run one SbS cluster (signature-based single-shot LA)."""
+    lattice = lattice if lattice is not None else SetLattice()
+    pids, correct, byz = _split_members(n, byzantine_factories)
+    if proposals is None:
+        proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
+    registry = KeyRegistry(seed=registry_seed)
+    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    nodes: Dict[Hashable, Node] = {}
+    for pid in correct:
+        nodes[pid] = network.add_node(
+            SbSProcess(
+                pid,
+                lattice,
+                pids,
+                f,
+                registry=registry,
+                proposal=proposals.get(pid, lattice.bottom()),
+            )
+        )
+    for factory, pid in zip(byzantine_factories, byz):
+        nodes[pid] = network.add_node(factory(pid, lattice, pids, f, registry=registry))
+
+    def all_decided() -> bool:
+        return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
+
+    run = _run(network, nodes, all_decided, max_messages)
+    result = ScenarioResult(
+        network=network,
+        nodes=nodes,
+        correct_pids=list(correct),
+        byzantine_pids=list(byz),
+        lattice=lattice,
+        f=f,
+        run=run,
+    )
+    result.extras["registry"] = registry
+    return result
+
+
+def run_crash_la_scenario(
+    n: int,
+    f: int,
+    proposals: Optional[Mapping[Hashable, LatticeElement]] = None,
+    lattice: Optional[JoinSemilattice] = None,
+    byzantine_factories: Sequence[ByzantineFactory] = (),
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 0,
+    max_messages: int = 400_000,
+) -> ScenarioResult:
+    """Build and run one crash-fault-baseline LA cluster."""
+    lattice = lattice if lattice is not None else SetLattice()
+    pids, correct, byz = _split_members(n, byzantine_factories)
+    if proposals is None:
+        proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
+    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    nodes: Dict[Hashable, Node] = {}
+    for pid in correct:
+        nodes[pid] = network.add_node(
+            CrashLAProcess(pid, lattice, pids, f, proposal=proposals.get(pid, lattice.bottom()))
+        )
+    for factory, pid in zip(byzantine_factories, byz):
+        nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
+
+    def all_decided() -> bool:
+        return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
+
+    run = _run(network, nodes, all_decided, max_messages)
+    return ScenarioResult(
+        network=network,
+        nodes=nodes,
+        correct_pids=list(correct),
+        byzantine_pids=list(byz),
+        lattice=lattice,
+        f=f,
+        run=run,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Generalized LA scenarios
+# ---------------------------------------------------------------------------
+
+
+def make_gla_inputs(
+    pids: Sequence[Hashable], values_per_process: int
+) -> Dict[Hashable, List[LatticeElement]]:
+    """Distinct singleton inputs per process, ``values_per_process`` each."""
+    return {
+        pid: [frozenset({f"cmd-{pid}-{k}"}) for k in range(values_per_process)]
+        for pid in pids
+    }
+
+
+def run_gwts_scenario(
+    n: int,
+    f: int,
+    values_per_process: int = 2,
+    rounds: int = 3,
+    inputs: Optional[Mapping[Hashable, Sequence[LatticeElement]]] = None,
+    lattice: Optional[JoinSemilattice] = None,
+    byzantine_factories: Sequence[ByzantineFactory] = (),
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 0,
+    max_messages: int = 1_500_000,
+) -> ScenarioResult:
+    """Build and run one GWTS cluster for ``rounds`` rounds.
+
+    Inputs are spread over the first rounds (queued before the run starts);
+    the remaining rounds run on empty batches, which gives in-flight values
+    time to be included (the finite-prefix analogue of eventual Inclusivity).
+    """
+    lattice = lattice if lattice is not None else SetLattice()
+    pids, correct, byz = _split_members(n, byzantine_factories)
+    if inputs is None:
+        inputs = make_gla_inputs(correct, values_per_process)
+    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    nodes: Dict[Hashable, Node] = {}
+    for pid in correct:
+        process = GWTSProcess(pid, lattice, pids, f, max_rounds=rounds)
+        for value in inputs.get(pid, []):
+            process.new_value(value)
+        nodes[pid] = network.add_node(process)
+    for factory, pid in zip(byzantine_factories, byz):
+        nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
+
+    def all_halted() -> bool:
+        return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
+
+    run = _run(network, nodes, all_halted, max_messages)
+    return ScenarioResult(
+        network=network,
+        nodes=nodes,
+        correct_pids=list(correct),
+        byzantine_pids=list(byz),
+        lattice=lattice,
+        f=f,
+        run=run,
+    )
+
+
+def run_gsbs_scenario(
+    n: int,
+    f: int,
+    values_per_process: int = 2,
+    rounds: int = 3,
+    inputs: Optional[Mapping[Hashable, Sequence[LatticeElement]]] = None,
+    lattice: Optional[JoinSemilattice] = None,
+    byzantine_factories: Sequence[ByzantineFactory] = (),
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 0,
+    max_messages: int = 1_500_000,
+    registry_seed: int = 1234,
+) -> ScenarioResult:
+    """Build and run one GSbS cluster for ``rounds`` rounds."""
+    lattice = lattice if lattice is not None else SetLattice()
+    pids, correct, byz = _split_members(n, byzantine_factories)
+    if inputs is None:
+        inputs = make_gla_inputs(correct, values_per_process)
+    registry = KeyRegistry(seed=registry_seed)
+    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    nodes: Dict[Hashable, Node] = {}
+    for pid in correct:
+        process = GSbSProcess(pid, lattice, pids, f, registry=registry, max_rounds=rounds)
+        for value in inputs.get(pid, []):
+            process.new_value(value)
+        nodes[pid] = network.add_node(process)
+    for factory, pid in zip(byzantine_factories, byz):
+        nodes[pid] = network.add_node(factory(pid, lattice, pids, f, registry=registry))
+
+    def all_halted() -> bool:
+        return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
+
+    run = _run(network, nodes, all_halted, max_messages)
+    result = ScenarioResult(
+        network=network,
+        nodes=nodes,
+        correct_pids=list(correct),
+        byzantine_pids=list(byz),
+        lattice=lattice,
+        f=f,
+        run=run,
+    )
+    result.extras["registry"] = registry
+    return result
+
+
+def run_crash_gla_scenario(
+    n: int,
+    f: int,
+    values_per_process: int = 2,
+    rounds: int = 3,
+    inputs: Optional[Mapping[Hashable, Sequence[LatticeElement]]] = None,
+    lattice: Optional[JoinSemilattice] = None,
+    byzantine_factories: Sequence[ByzantineFactory] = (),
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 0,
+    max_messages: int = 1_500_000,
+) -> ScenarioResult:
+    """Build and run one crash-fault-baseline GLA cluster for ``rounds`` rounds."""
+    lattice = lattice if lattice is not None else SetLattice()
+    pids, correct, byz = _split_members(n, byzantine_factories)
+    if inputs is None:
+        inputs = make_gla_inputs(correct, values_per_process)
+    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    nodes: Dict[Hashable, Node] = {}
+    for pid in correct:
+        process = CrashGLAProcess(pid, lattice, pids, f, max_rounds=rounds)
+        for value in inputs.get(pid, []):
+            process.new_value(value)
+        nodes[pid] = network.add_node(process)
+    for factory, pid in zip(byzantine_factories, byz):
+        nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
+
+    def all_halted() -> bool:
+        return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
+
+    run = _run(network, nodes, all_halted, max_messages)
+    return ScenarioResult(
+        network=network,
+        nodes=nodes,
+        correct_pids=list(correct),
+        byzantine_pids=list(byz),
+        lattice=lattice,
+        f=f,
+        run=run,
+    )
+
+
+# ---------------------------------------------------------------------------
+# RSM scenarios
+# ---------------------------------------------------------------------------
+
+
+def run_rsm_scenario(
+    n_replicas: int,
+    f: int,
+    client_scripts: Mapping[Hashable, Sequence[Tuple[Any, ...]]],
+    byzantine_replica_factories: Sequence[ByzantineFactory] = (),
+    byzantine_client_payloads: Optional[Mapping[Hashable, Sequence[Any]]] = None,
+    rounds: int = 8,
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 0,
+    max_messages: int = 2_000_000,
+) -> ScenarioResult:
+    """Build and run one RSM: ``n_replicas`` replicas plus the given clients.
+
+    ``client_scripts`` maps client ids to sequential operation scripts
+    (``("update", payload)`` / ``("read",)``).  Byzantine replicas occupy the
+    last membership slots; Byzantine clients (one per entry of
+    ``byzantine_client_payloads``) flood inadmissible/under-replicated
+    updates as per Lemma 12.  The run stops when every correct client
+    finished its script (or the message cap is hit, which tests treat as a
+    liveness failure).
+    """
+    lattice = SetLattice()
+    replica_pids, correct_replicas, byz_replicas = _split_members(
+        n_replicas, byzantine_replica_factories
+    )
+    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    nodes: Dict[Hashable, Node] = {}
+    for pid in correct_replicas:
+        nodes[pid] = network.add_node(
+            Replica(pid, replica_pids, f, max_rounds=rounds, lattice=lattice)
+        )
+    for factory, pid in zip(byzantine_replica_factories, byz_replicas):
+        nodes[pid] = network.add_node(factory(pid, lattice, replica_pids, f))
+
+    clients: Dict[Hashable, RSMClient] = {}
+    for client_id, script in client_scripts.items():
+        client = RSMClient(client_id, replica_pids, f, script=script)
+        clients[client_id] = client
+        nodes[client_id] = network.add_node(client)
+
+    byz_clients: List[Hashable] = []
+    for client_id, payloads in (byzantine_client_payloads or {}).items():
+        byz_client = ByzantineClient(client_id, replica_pids, f, payloads=payloads)
+        nodes[client_id] = network.add_node(byz_client)
+        byz_clients.append(client_id)
+
+    def all_clients_done() -> bool:
+        return all(client.all_completed for client in clients.values())
+
+    run = _run(network, nodes, all_clients_done, max_messages)
+    result = ScenarioResult(
+        network=network,
+        nodes=nodes,
+        correct_pids=list(correct_replicas),
+        byzantine_pids=list(byz_replicas) + byz_clients,
+        lattice=lattice,
+        f=f,
+        run=run,
+    )
+    result.extras["clients"] = clients
+    result.extras["replica_pids"] = list(replica_pids)
+    result.extras["histories"] = {
+        client_id: list(client.history) for client_id, client in clients.items()
+    }
+    return result

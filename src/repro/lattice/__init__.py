@@ -1,0 +1,55 @@
+"""Join semilattice substrate.
+
+The paper's algorithms are parameterised over an arbitrary join semilattice
+``L = (V, +)`` (Section 3.1).  This package provides the abstract interface
+(:class:`JoinSemilattice`), several concrete lattices used in the examples and
+experiments, and utilities for checking the order-theoretic properties that
+the Lattice Agreement specification relies on (comparability, chains,
+breadth, Hasse diagrams).
+
+All lattice element types are immutable value objects: ``join`` returns a new
+element, never mutates its operands.  This mirrors the paper's treatment of
+lattice elements as mathematical values and makes the algorithm
+implementations trivially safe to share between simulated processes.
+"""
+
+from repro.lattice.base import JoinSemilattice, LatticeElement, leq, lt, comparable
+from repro.lattice.set_lattice import SetLattice, FrozenSetElement
+from repro.lattice.counter import GCounterLattice, MaxIntLattice, MinIntDualLattice
+from repro.lattice.map_lattice import MapLattice
+from repro.lattice.vector_clock import VectorClockLattice
+from repro.lattice.product import ProductLattice
+from repro.lattice.chain import (
+    is_chain,
+    all_comparable,
+    longest_chain,
+    sort_chain,
+    chain_violations,
+    lattice_breadth,
+    hasse_edges,
+    hasse_diagram_text,
+)
+
+__all__ = [
+    "JoinSemilattice",
+    "LatticeElement",
+    "leq",
+    "lt",
+    "comparable",
+    "SetLattice",
+    "FrozenSetElement",
+    "GCounterLattice",
+    "MaxIntLattice",
+    "MinIntDualLattice",
+    "MapLattice",
+    "VectorClockLattice",
+    "ProductLattice",
+    "is_chain",
+    "all_comparable",
+    "longest_chain",
+    "sort_chain",
+    "chain_violations",
+    "lattice_breadth",
+    "hasse_edges",
+    "hasse_diagram_text",
+]

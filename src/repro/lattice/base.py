@@ -1,0 +1,121 @@
+"""Abstract join-semilattice interface.
+
+Section 3.1 of the paper: values ``V`` form a join semilattice ``L = (V, +)``
+for a commutative join operation ``+``; ``u <= v`` iff ``v = u + v``.
+
+A :class:`JoinSemilattice` instance describes one particular lattice: how to
+build its elements, how to join them, and what the bottom element is.  The
+elements themselves can be arbitrary hashable Python values; the lattice
+object is the single authority on their ordering.  This separation lets the
+agreement algorithms stay completely generic ("works on any possible
+lattice", as the paper's title claims) while the experiments plug in the
+power-set lattice of Figure 1, counters, maps, vector clocks, and products.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, Iterable, TypeVar
+
+#: Type alias for lattice elements.  Elements must be hashable and immutable.
+LatticeElement = Hashable
+
+E = TypeVar("E", bound=LatticeElement)
+
+
+class JoinSemilattice(abc.ABC):
+    """A join semilattice ``(V, join)``.
+
+    Subclasses must provide :meth:`bottom`, :meth:`join` and
+    :meth:`is_element`.  The partial order, joins of collections and
+    comparability predicates are derived from those primitives, exactly as in
+    the paper ("``u <= v`` if and only if ``v = u + v``").
+    """
+
+    # -- primitive operations -------------------------------------------------
+
+    @abc.abstractmethod
+    def bottom(self) -> LatticeElement:
+        """Return the least element of the lattice (the empty proposal)."""
+
+    @abc.abstractmethod
+    def join(self, a: LatticeElement, b: LatticeElement) -> LatticeElement:
+        """Return the least upper bound of ``a`` and ``b``."""
+
+    @abc.abstractmethod
+    def is_element(self, value: Any) -> bool:
+        """Return ``True`` iff ``value`` is a well-formed element of ``V``.
+
+        The algorithms use this as the "value is an element of the lattice"
+        admissibility filter (Algorithm 1 line 10, Algorithm 3 line 17,
+        Algorithm 8 line 13): proposals from Byzantine processes that are not
+        lattice points are silently dropped.
+        """
+
+    # -- derived operations ----------------------------------------------------
+
+    def join_all(self, values: Iterable[LatticeElement]) -> LatticeElement:
+        """Return the join of every element of ``values`` (bottom if empty)."""
+        result = self.bottom()
+        for value in values:
+            result = self.join(result, value)
+        return result
+
+    def leq(self, a: LatticeElement, b: LatticeElement) -> bool:
+        """Return ``True`` iff ``a <= b`` in the lattice order."""
+        return self.join(a, b) == b
+
+    def lt(self, a: LatticeElement, b: LatticeElement) -> bool:
+        """Return ``True`` iff ``a < b`` (strictly below)."""
+        return a != b and self.leq(a, b)
+
+    def geq(self, a: LatticeElement, b: LatticeElement) -> bool:
+        """Return ``True`` iff ``a >= b``."""
+        return self.leq(b, a)
+
+    def comparable(self, a: LatticeElement, b: LatticeElement) -> bool:
+        """Return ``True`` iff ``a <= b`` or ``b <= a`` (Comparability)."""
+        return self.leq(a, b) or self.leq(b, a)
+
+    def equal(self, a: LatticeElement, b: LatticeElement) -> bool:
+        """Return ``True`` iff ``a`` and ``b`` denote the same lattice point."""
+        return self.leq(a, b) and self.leq(b, a)
+
+    # -- helpers used by experiments ------------------------------------------
+
+    def lift(self, value: Any) -> LatticeElement:
+        """Convert a raw application value into a lattice element.
+
+        The default implementation requires ``value`` to already be an
+        element.  Concrete lattices override this to provide convenient
+        injection of application-level values (e.g. a single command into a
+        singleton set, an integer into a counter increment).
+        """
+        if not self.is_element(value):
+            raise ValueError(f"{value!r} is not an element of {self!r}")
+        return value
+
+    def describe(self) -> str:
+        """Short human-readable description used in experiment reports."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.describe()}>"
+
+
+# Module level convenience wrappers -------------------------------------------
+
+
+def leq(lattice: JoinSemilattice, a: LatticeElement, b: LatticeElement) -> bool:
+    """Module-level alias of :meth:`JoinSemilattice.leq`."""
+    return lattice.leq(a, b)
+
+
+def lt(lattice: JoinSemilattice, a: LatticeElement, b: LatticeElement) -> bool:
+    """Module-level alias of :meth:`JoinSemilattice.lt`."""
+    return lattice.lt(a, b)
+
+
+def comparable(lattice: JoinSemilattice, a: LatticeElement, b: LatticeElement) -> bool:
+    """Module-level alias of :meth:`JoinSemilattice.comparable`."""
+    return lattice.comparable(a, b)

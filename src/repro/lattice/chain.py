@@ -1,0 +1,201 @@
+"""Order-theoretic utilities: chains, comparability, breadth, Hasse diagrams.
+
+These utilities implement the checks that the Lattice Agreement specification
+(Section 3.1) and the related-work discussion (Section 2, Figure 1) rely on:
+
+* *Comparability* — any two decisions must be ordered (they form a chain);
+  :func:`all_comparable` and :func:`chain_violations` verify this.
+* *Chains* — Figure 1 highlights "the chain (sequence of increasing values)
+  selected by the Lattice Agreement protocol"; :func:`sort_chain` and
+  :func:`longest_chain` recover that chain from a set of decisions.
+* *Breadth* — footnote 1 defines the breadth of a semilattice; for finite
+  set lattices :func:`lattice_breadth` computes it and powers experiment E9
+  (the impossibility argument against the restrictive specification).
+* *Hasse diagrams* — :func:`hasse_edges` / :func:`hasse_diagram_text`
+  reproduce the structure of Figure 1 for the examples and docs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.lattice.base import JoinSemilattice, LatticeElement
+
+
+def all_comparable(lattice: JoinSemilattice, values: Iterable[LatticeElement]) -> bool:
+    """Return ``True`` iff every pair of ``values`` is comparable in ``lattice``."""
+    values = list(values)
+    return all(
+        lattice.comparable(a, b) for a, b in itertools.combinations(values, 2)
+    )
+
+
+def chain_violations(
+    lattice: JoinSemilattice, values: Iterable[LatticeElement]
+) -> List[Tuple[LatticeElement, LatticeElement]]:
+    """Return every incomparable pair among ``values`` (empty when a chain)."""
+    values = list(values)
+    return [
+        (a, b)
+        for a, b in itertools.combinations(values, 2)
+        if not lattice.comparable(a, b)
+    ]
+
+
+def is_chain(lattice: JoinSemilattice, values: Sequence[LatticeElement]) -> bool:
+    """Return ``True`` iff ``values`` is non-decreasing in the lattice order.
+
+    Unlike :func:`all_comparable` this checks the *sequence* order as well —
+    it is the Local Stability check of the GLA specification (decisions of a
+    single process must be non-decreasing).
+    """
+    return all(lattice.leq(a, b) for a, b in zip(values, values[1:]))
+
+
+def sort_chain(
+    lattice: JoinSemilattice, values: Iterable[LatticeElement]
+) -> List[LatticeElement]:
+    """Sort a set of pairwise-comparable values into an ascending chain.
+
+    Raises ``ValueError`` if the values are not pairwise comparable, since a
+    total order is then impossible (and the agreement properties have been
+    violated).
+    """
+    values = list(values)
+    if not all_comparable(lattice, values):
+        raise ValueError("values are not pairwise comparable; no chain exists")
+    # Pairwise comparability of a finite set implies a total preorder; simple
+    # insertion using the number of elements each value dominates yields the
+    # ascending chain.
+    return sorted(values, key=lambda v: sum(1 for w in values if lattice.leq(w, v)))
+
+
+def longest_chain(
+    lattice: JoinSemilattice, values: Iterable[LatticeElement]
+) -> List[LatticeElement]:
+    """Return a longest ascending chain contained in ``values``.
+
+    Works on arbitrary (possibly incomparable) value sets; used by the
+    experiments to visualise how much of the lattice a run explored.
+    """
+    values = list(dict.fromkeys(values))
+    # Longest path in the DAG of the strict order restricted to ``values``.
+    best: Dict[int, List[LatticeElement]] = {}
+
+    def chain_from(index: int) -> List[LatticeElement]:
+        if index in best:
+            return best[index]
+        head = values[index]
+        best_tail: List[LatticeElement] = []
+        for other_index, other in enumerate(values):
+            if other_index != index and lattice.lt(head, other):
+                tail = chain_from(other_index)
+                if len(tail) > len(best_tail):
+                    best_tail = tail
+        best[index] = [head] + best_tail
+        return best[index]
+
+    longest: List[LatticeElement] = []
+    for index in range(len(values)):
+        candidate = chain_from(index)
+        if len(candidate) > len(longest):
+            longest = candidate
+    return longest
+
+
+def lattice_breadth(
+    lattice: JoinSemilattice, elements: Sequence[LatticeElement]
+) -> int:
+    """Compute the breadth of the sub-semilattice spanned by ``elements``.
+
+    Footnote 1 of the paper: the breadth is the largest ``n`` such that there
+    is a set ``U`` of size ``n + 1`` whose join cannot be obtained from any
+    proper subset... equivalently the largest antichain-like "irredundant
+    join" size.  We compute, by brute force over subsets of ``elements``, the
+    largest ``k`` such that some ``k``-subset ``U`` is *irredundant*: no
+    proper subset of ``U`` has the same join as ``U``.  This exponential
+    search is only used on the small element sets of experiment E9.
+    """
+    elements = list(dict.fromkeys(elements))
+    breadth = 0
+    for size in range(1, len(elements) + 1):
+        found = False
+        for subset in itertools.combinations(elements, size):
+            total = lattice.join_all(subset)
+            redundant = any(
+                lattice.join_all(subset[:i] + subset[i + 1 :]) == total
+                for i in range(len(subset))
+            )
+            if not redundant:
+                found = True
+                break
+        if found:
+            breadth = size
+        else:
+            break
+    return breadth
+
+
+def hasse_edges(
+    lattice: JoinSemilattice, elements: Iterable[LatticeElement]
+) -> Set[Tuple[LatticeElement, LatticeElement]]:
+    """Return the covering relation (Hasse diagram edges) of ``elements``.
+
+    An edge ``(a, b)`` means ``a < b`` with no element of ``elements``
+    strictly between them — exactly the "upward path" edges of Figure 1.
+    """
+    elements = list(dict.fromkeys(elements))
+    edges: Set[Tuple[LatticeElement, LatticeElement]] = set()
+    for a, b in itertools.permutations(elements, 2):
+        if not lattice.lt(a, b):
+            continue
+        if any(
+            lattice.lt(a, c) and lattice.lt(c, b)
+            for c in elements
+            if c != a and c != b
+        ):
+            continue
+        edges.add((a, b))
+    return edges
+
+
+def hasse_diagram_text(
+    lattice: JoinSemilattice,
+    elements: Iterable[LatticeElement],
+    highlight_chain: Sequence[LatticeElement] = (),
+) -> str:
+    """Render a small Hasse diagram as indented text, grouped by height.
+
+    ``highlight_chain`` marks elements (with ``*``) that belong to the chain
+    selected by the agreement protocol, mirroring the red edges of Figure 1.
+    """
+    elements = list(dict.fromkeys(elements))
+    highlight: FrozenSet[LatticeElement] = frozenset(highlight_chain)
+
+    def height(value: LatticeElement) -> int:
+        below = [w for w in elements if lattice.lt(w, value)]
+        if not below:
+            return 0
+        return 1 + max(height(w) for w in below)
+
+    by_height: Dict[int, List[LatticeElement]] = {}
+    for value in elements:
+        by_height.setdefault(height(value), []).append(value)
+
+    lines: List[str] = []
+    for level in sorted(by_height, reverse=True):
+        rendered = []
+        for value in sorted(by_height[level], key=repr):
+            marker = "*" if value in highlight else " "
+            rendered.append(f"{marker}{_render_element(value)}")
+        lines.append(f"level {level}: " + "   ".join(rendered))
+    return "\n".join(lines)
+
+
+def _render_element(value: LatticeElement) -> str:
+    if isinstance(value, frozenset):
+        if not value:
+            return "{}"
+        return "{" + ",".join(sorted(map(str, value))) + "}"
+    return repr(value)

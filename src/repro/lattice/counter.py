@@ -1,0 +1,129 @@
+"""Counter-style lattices.
+
+The paper motivates Generalized Lattice Agreement with "the implementation of
+a dependable counter with add and read operations, where updates (adds) are
+commutative" (Section 1).  Two standard formulations are provided:
+
+* :class:`GCounterLattice` — the grow-only counter CRDT: a map from process
+  id to a monotonically non-decreasing contribution, joined pointwise by
+  ``max``.  The counter value is the sum of contributions.
+* :class:`MaxIntLattice` — the lattice of non-negative integers under
+  ``max``; useful as a tiny lattice for unit tests and for modelling
+  high-water marks.
+* :class:`MinIntDualLattice` — integers under ``min`` (the order dual),
+  included to exercise the algorithms on a lattice whose join is not a
+  "growth" operation in the intuitive sense.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Tuple
+
+from repro.lattice.base import JoinSemilattice, LatticeElement
+
+#: G-counter elements are canonicalised as sorted tuples of (pid, count).
+GCounterElement = Tuple[Tuple[Any, int], ...]
+
+
+class GCounterLattice(JoinSemilattice):
+    """Grow-only counter lattice (pointwise-max of per-process contributions)."""
+
+    def bottom(self) -> GCounterElement:
+        """The all-zero counter."""
+        return ()
+
+    def join(self, a: LatticeElement, b: LatticeElement) -> GCounterElement:
+        """Pointwise maximum of the two contribution maps."""
+        merged = dict(a)
+        for pid, count in b:
+            merged[pid] = max(merged.get(pid, 0), count)
+        return self._canonical(merged)
+
+    def is_element(self, value: Any) -> bool:
+        if not isinstance(value, tuple):
+            return False
+        try:
+            return all(
+                isinstance(count, int) and count >= 0 for _pid, count in value
+            )
+        except (TypeError, ValueError):
+            return False
+
+    # -- helpers ---------------------------------------------------------------
+
+    def lift(self, value: Any) -> GCounterElement:
+        """Inject a ``{pid: count}`` mapping (or an already-canonical tuple)."""
+        if isinstance(value, Mapping):
+            return self._canonical(dict(value))
+        if self.is_element(value):
+            return self._canonical(dict(value))
+        raise ValueError(f"{value!r} is not a valid G-counter element")
+
+    def increment(self, element: LatticeElement, pid: Any, amount: int = 1) -> GCounterElement:
+        """Return ``element`` with ``pid``'s contribution increased by ``amount``."""
+        if amount < 0:
+            raise ValueError("G-counter increments must be non-negative")
+        counts = dict(element)
+        counts[pid] = counts.get(pid, 0) + amount
+        return self._canonical(counts)
+
+    @staticmethod
+    def value(element: LatticeElement) -> int:
+        """The observable counter value: sum of all contributions."""
+        return sum(count for _pid, count in element)
+
+    @staticmethod
+    def _canonical(counts: Mapping[Any, int]) -> GCounterElement:
+        return tuple(sorted((pid, count) for pid, count in counts.items() if count > 0))
+
+    def describe(self) -> str:
+        return "GCounterLattice"
+
+
+class MaxIntLattice(JoinSemilattice):
+    """Non-negative integers ordered by ``<=`` with ``max`` as join."""
+
+    def bottom(self) -> int:
+        return 0
+
+    def join(self, a: LatticeElement, b: LatticeElement) -> int:
+        return max(int(a), int(b))
+
+    def is_element(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+    def lift(self, value: Any) -> int:
+        if not self.is_element(value):
+            raise ValueError(f"{value!r} is not a non-negative integer")
+        return int(value)
+
+    def describe(self) -> str:
+        return "MaxIntLattice"
+
+
+class MinIntDualLattice(JoinSemilattice):
+    """Integers (plus a top sentinel) ordered by ``>=`` with ``min`` as join.
+
+    The bottom element is ``None`` which acts as "+infinity": joining it with
+    any integer yields the integer.  This is the order dual of
+    :class:`MaxIntLattice` and exists mainly to make sure nothing in the
+    agreement code accidentally assumes joins "grow" numerically.
+    """
+
+    def bottom(self) -> None:
+        return None
+
+    def join(self, a: LatticeElement, b: LatticeElement) -> LatticeElement:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(int(a), int(b))
+
+    def is_element(self, value: Any) -> bool:
+        if value is None:
+            return True
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def describe(self) -> str:
+        return "MinIntDualLattice"

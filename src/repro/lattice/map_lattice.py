@@ -1,0 +1,82 @@
+"""Map lattice: pointwise join of a value lattice, keyed by arbitrary keys.
+
+``MapLattice(inner)`` is the lattice of finite partial maps ``K -> V_inner``
+ordered pointwise: ``m1 <= m2`` iff every key of ``m1`` is present in ``m2``
+with ``m1[k] <= m2[k]`` in the inner lattice.  The join merges key sets and
+joins values pointwise.
+
+This is the standard construction for state-based CRDT composition (e.g. a
+map of named G-counters) and is used by the RSM examples to host multiple
+replicated objects behind a single GWTS instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Tuple
+
+from repro.lattice.base import JoinSemilattice, LatticeElement
+
+#: Map elements are canonicalised as sorted tuples of (key, inner_element).
+MapElement = Tuple[Tuple[Any, LatticeElement], ...]
+
+
+class MapLattice(JoinSemilattice):
+    """Finite partial maps into an inner join semilattice, joined pointwise."""
+
+    def __init__(self, inner: JoinSemilattice) -> None:
+        self._inner = inner
+
+    @property
+    def inner(self) -> JoinSemilattice:
+        """The lattice of the map's values."""
+        return self._inner
+
+    def bottom(self) -> MapElement:
+        """The empty map."""
+        return ()
+
+    def join(self, a: LatticeElement, b: LatticeElement) -> MapElement:
+        merged = dict(a)
+        for key, value in b:
+            if key in merged:
+                merged[key] = self._inner.join(merged[key], value)
+            else:
+                merged[key] = value
+        return self._canonical(merged)
+
+    def is_element(self, value: Any) -> bool:
+        if not isinstance(value, tuple):
+            return False
+        try:
+            return all(self._inner.is_element(inner_value) for _key, inner_value in value)
+        except (TypeError, ValueError):
+            return False
+
+    # -- helpers ---------------------------------------------------------------
+
+    def lift(self, value: Any) -> MapElement:
+        """Inject a ``{key: inner_value}`` mapping, lifting inner values too."""
+        if isinstance(value, Mapping):
+            lifted = {key: self._inner.lift(inner) for key, inner in value.items()}
+            return self._canonical(lifted)
+        if self.is_element(value):
+            return self._canonical(dict(value))
+        raise ValueError(f"{value!r} is not a valid map element")
+
+    def get(self, element: LatticeElement, key: Any) -> LatticeElement:
+        """Look up ``key`` in ``element``; missing keys read as inner bottom."""
+        for entry_key, inner_value in element:
+            if entry_key == key:
+                return inner_value
+        return self._inner.bottom()
+
+    def set_entry(self, element: LatticeElement, key: Any, value: LatticeElement) -> MapElement:
+        """Return ``element`` joined with the singleton map ``{key: value}``."""
+        return self.join(element, self._canonical({key: value}))
+
+    @staticmethod
+    def _canonical(entries: Mapping[Any, LatticeElement]) -> MapElement:
+        return tuple(sorted(entries.items(), key=lambda item: repr(item[0])))
+
+    def describe(self) -> str:
+        return f"MapLattice({self._inner.describe()})"

@@ -1,0 +1,97 @@
+"""Power-set lattice with union as join (Figure 1 of the paper).
+
+This is the lattice the paper uses throughout: "In the rest of the paper we
+will assume that L is a semi-lattice over sets (V is a set of sets) and + is
+the set union operation.  This is not restrictive: any join semi-lattice is
+isomorphic to a semi-lattice of sets with set union as join" (Section 3.1).
+
+Elements are represented as ``frozenset`` instances so they are hashable and
+immutable.  :class:`SetLattice` optionally restricts the universe of allowed
+members, which is what the breadth experiment (E9) and the admissibility
+filter for Byzantine proposals rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Optional
+
+from repro.lattice.base import JoinSemilattice, LatticeElement
+
+#: Convenience alias for elements of :class:`SetLattice`.
+FrozenSetElement = FrozenSet[Any]
+
+
+class SetLattice(JoinSemilattice):
+    """The join semilattice of finite sets ordered by inclusion.
+
+    Parameters
+    ----------
+    universe:
+        Optional iterable restricting the allowed set members.  When given,
+        :meth:`is_element` rejects sets containing members outside the
+        universe — this models the "admissible command" filter used by the
+        RSM, and lets experiments compute the exact lattice breadth
+        (``breadth == |universe|`` for a power-set lattice, Section 2).
+    """
+
+    def __init__(self, universe: Optional[Iterable[Any]] = None) -> None:
+        self._universe: Optional[FrozenSet[Any]] = (
+            frozenset(universe) if universe is not None else None
+        )
+
+    # -- primitives ------------------------------------------------------------
+
+    def bottom(self) -> FrozenSetElement:
+        """The empty set."""
+        return frozenset()
+
+    def join(self, a: LatticeElement, b: LatticeElement) -> FrozenSetElement:
+        """Set union."""
+        return frozenset(a) | frozenset(b)
+
+    def is_element(self, value: Any) -> bool:
+        """A value is an element iff it is a set-like of hashable members
+        drawn from the universe (when a universe is configured)."""
+        if not isinstance(value, (set, frozenset)):
+            return False
+        if self._universe is None:
+            return True
+        return frozenset(value) <= self._universe
+
+    # -- helpers ---------------------------------------------------------------
+
+    def lift(self, value: Any) -> FrozenSetElement:
+        """Inject a single member (or an iterable of members) into the lattice.
+
+        ``lift(x)`` returns ``{x}`` for a scalar ``x``; sets/frozensets are
+        normalised to ``frozenset``.
+        """
+        if isinstance(value, (set, frozenset)):
+            element = frozenset(value)
+        else:
+            element = frozenset([value])
+        if not self.is_element(element):
+            raise ValueError(f"{value!r} is outside the lattice universe")
+        return element
+
+    @property
+    def universe(self) -> Optional[FrozenSet[Any]]:
+        """The configured universe of members, or ``None`` if unbounded."""
+        return self._universe
+
+    def breadth(self) -> Optional[int]:
+        """Breadth of the lattice (Section 2, footnote 1).
+
+        For the power set of ``k`` distinct values the breadth is exactly
+        ``k``.  ``None`` is returned for an unbounded universe (infinite
+        breadth), which is precisely the situation in which the
+        Nowak–Rybicki specification becomes impossible to implement.
+        """
+        if self._universe is None:
+            return None
+        return len(self._universe)
+
+    def describe(self) -> str:
+        if self._universe is None:
+            return "SetLattice(unbounded)"
+        return f"SetLattice(|universe|={len(self._universe)})"

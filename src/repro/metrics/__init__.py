@@ -1,0 +1,32 @@
+"""Measurement layer: message counts, causal latency, decision accounting.
+
+The paper's evaluation is expressed in two currencies:
+
+* **message delays** — the length of the longest causal chain of messages
+  that precedes a decision (Theorems 3 and 8: ``2f + 5`` for WTS,
+  ``5 + 4f`` for SbS);
+* **message complexity** — the number of messages attributable to a process
+  for one decision (Section 5.1.3: ``O(n^2)``; Section 6.4: ``O(f n^2)``;
+  Section 8.1: ``O(n)`` for ``f = O(1)``).
+
+:class:`MetricsCollector` gathers both from the simulated network, plus
+payload-size estimates (for the SbS message-size trade-off) and per-message-
+type breakdowns used by the experiment reports in :mod:`repro.harness`.
+"""
+
+from repro.metrics.collector import MetricsCollector, DecisionRecord
+from repro.metrics.report import (
+    format_table,
+    format_series,
+    fit_polynomial_order,
+    ratio_table,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "DecisionRecord",
+    "format_table",
+    "format_series",
+    "fit_polynomial_order",
+    "ratio_table",
+]

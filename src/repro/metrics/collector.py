@@ -1,0 +1,131 @@
+"""Metrics collection for simulated runs."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One decision event of a (correct or Byzantine-claimed) process."""
+
+    pid: Hashable
+    value: Any
+    time: float
+    causal_depth: int
+    round: Optional[int] = None
+
+
+class MetricsCollector:
+    """Accumulates traffic and decision statistics for one simulation run.
+
+    The collector is deliberately passive: the network calls
+    :meth:`record_send` / :meth:`record_delivery`, algorithm processes call
+    :meth:`record_decision`, and experiments read the aggregate views.  All
+    counters can be partitioned by process so the "per process" complexity
+    measures of the paper can be computed for correct processes only.
+    """
+
+    def __init__(self) -> None:
+        self.sent_by_process: Counter = Counter()
+        self.sent_by_type: Counter = Counter()
+        self.sent_by_process_and_type: Counter = Counter()
+        self.delivered_by_process: Counter = Counter()
+        self.bytes_by_process: Counter = Counter()
+        self.max_payload_size: int = 0
+        self.total_sent: int = 0
+        self.total_delivered: int = 0
+        self.decisions: List[DecisionRecord] = []
+        self.custom_events: List[Tuple[float, str, Any]] = []
+        self._decision_index: Dict[Hashable, List[DecisionRecord]] = defaultdict(list)
+
+    # -- recording (called by the network / processes) --------------------------
+
+    def record_send(
+        self, sender: Hashable, dest: Hashable, mtype: str, size: int
+    ) -> None:
+        """Account one point-to-point message attributed to ``sender``."""
+        self.total_sent += 1
+        self.sent_by_process[sender] += 1
+        self.sent_by_type[mtype] += 1
+        self.sent_by_process_and_type[(sender, mtype)] += 1
+        self.bytes_by_process[sender] += size
+        if size > self.max_payload_size:
+            self.max_payload_size = size
+
+    def record_delivery(self, sender: Hashable, dest: Hashable, mtype: str) -> None:
+        """Account one delivered message at ``dest``."""
+        self.total_delivered += 1
+        self.delivered_by_process[dest] += 1
+
+    def record_decision(
+        self,
+        pid: Hashable,
+        value: Any,
+        time: float,
+        causal_depth: int,
+        round: Optional[int] = None,
+    ) -> DecisionRecord:
+        """Record a decision together with its causal message-delay depth."""
+        record = DecisionRecord(
+            pid=pid, value=value, time=time, causal_depth=causal_depth, round=round
+        )
+        self.decisions.append(record)
+        self._decision_index[pid].append(record)
+        return record
+
+    def record_event(self, time: float, label: str, data: Any = None) -> None:
+        """Record an arbitrary experiment-specific event."""
+        self.custom_events.append((time, label, data))
+
+    # -- aggregate views ---------------------------------------------------------
+
+    def decisions_of(self, pid: Hashable) -> List[DecisionRecord]:
+        """All decisions recorded for process ``pid`` (in order)."""
+        return list(self._decision_index.get(pid, []))
+
+    def decided_pids(self) -> List[Hashable]:
+        """Identifiers of processes that recorded at least one decision."""
+        return list(self._decision_index.keys())
+
+    def messages_sent(self, pid: Hashable) -> int:
+        """Messages sent by ``pid`` over the whole run."""
+        return self.sent_by_process[pid]
+
+    def max_messages_per_process(self, pids: Optional[List[Hashable]] = None) -> int:
+        """Worst-case per-process send count (over ``pids`` or everyone)."""
+        if pids is None:
+            counts = list(self.sent_by_process.values())
+        else:
+            counts = [self.sent_by_process[pid] for pid in pids]
+        return max(counts, default=0)
+
+    def mean_messages_per_process(self, pids: Optional[List[Hashable]] = None) -> float:
+        """Average per-process send count."""
+        if pids is None:
+            pids = list(self.sent_by_process.keys())
+        if not pids:
+            return 0.0
+        return sum(self.sent_by_process[pid] for pid in pids) / len(pids)
+
+    def max_decision_depth(self, pids: Optional[List[Hashable]] = None) -> int:
+        """Largest causal message-delay depth among recorded decisions."""
+        records = self.decisions
+        if pids is not None:
+            allowed = set(pids)
+            records = [record for record in records if record.pid in allowed]
+        return max((record.causal_depth for record in records), default=0)
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact dictionary summary used by experiment reports and tests."""
+        return {
+            "total_sent": self.total_sent,
+            "total_delivered": self.total_delivered,
+            "decisions": len(self.decisions),
+            "max_decision_depth": self.max_decision_depth(),
+            "max_messages_per_process": self.max_messages_per_process(),
+            "max_payload_size": self.max_payload_size,
+            "sent_by_type": dict(self.sent_by_type),
+        }

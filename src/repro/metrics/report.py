@@ -1,0 +1,87 @@
+"""Report helpers: plain-text tables, series and asymptotic-shape fitting.
+
+The benchmark harness prints, for every experiment, the same kind of rows the
+paper reports analytically (bound vs measured).  These helpers keep the
+formatting in one place and provide a tiny least-squares polynomial-order
+estimator used to check the *shape* of message-complexity curves (linear vs
+quadratic) without depending on plotting libraries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[object, object], name: str = "value") -> str:
+    """Render an ``x -> y`` mapping as a two-column table."""
+    return format_table(["x", name], sorted(series.items(), key=lambda kv: _key(kv[0])))
+
+
+def ratio_table(
+    baseline: Mapping[object, float], candidate: Mapping[object, float], name: str
+) -> str:
+    """Render candidate/baseline ratios for the keys they share."""
+    rows = []
+    for key in sorted(set(baseline) & set(candidate), key=_key):
+        base = baseline[key]
+        cand = candidate[key]
+        ratio = cand / base if base else math.inf
+        rows.append([key, f"{base:.1f}", f"{cand:.1f}", f"{ratio:.2f}x"])
+    return format_table(["x", "baseline", name, "ratio"], rows)
+
+
+def fit_polynomial_order(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Estimate the exponent ``k`` such that ``y ~ c * x^k`` (log-log slope).
+
+    Returns the least-squares slope of ``log y`` against ``log x``; an
+    estimate near 1 indicates linear growth, near 2 quadratic growth.  Points
+    with non-positive coordinates are ignored.
+    """
+    points = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y > 0
+    ]
+    if len(points) < 2:
+        return 0.0
+    n = len(points)
+    mean_x = sum(p[0] for p in points) / n
+    mean_y = sum(p[1] for p in points) / n
+    var_x = sum((p[0] - mean_x) ** 2 for p in points)
+    if var_x == 0:
+        return 0.0
+    cov = sum((p[0] - mean_x) * (p[1] - mean_y) for p in points)
+    return cov / var_x
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _key(value: object) -> Tuple[int, str]:
+    """Sort numbers numerically and everything else lexicographically."""
+    if isinstance(value, (int, float)):
+        return (0, f"{float(value):020.6f}")
+    return (1, str(value))

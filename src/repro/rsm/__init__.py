@@ -1,0 +1,55 @@
+"""Byzantine-tolerant Replicated State Machine for commutative updates.
+
+Section 7 of the paper: the RSM is built by running Generalized Lattice
+Agreement (GWTS) over the power set of update commands.  Replicas play both
+GWTS roles; clients interact through two operations:
+
+* ``update(cmd)`` (Algorithm 5) — submit ``cmd`` to ``f + 1`` replicas and
+  wait for ``f + 1`` decision notifications that include it;
+* ``read()`` (Algorithm 6) — submit a unique ``nop``, collect ``f + 1``
+  decision notifications, then *confirm* one of the returned decision values
+  with ``f + 1`` replicas (Algorithm 7's plug-in) and return it.
+
+The construction is wait-free, linearizable for commutative updates
+(Theorem 6) and tolerates any number of Byzantine **clients** (Lemma 12) on
+top of the ``f <= (n - 1)/3`` Byzantine replicas.
+
+The package also provides a CRDT object layer (grow-only set, counters,
+last-writer-wins register map) that interprets the command sets the RSM
+stores, and a checker for the six RSM properties of Section 7.1.
+"""
+
+from repro.rsm.commands import Command, nop_command, make_command
+from repro.rsm.replica import Replica, UpdateRequest, DecideNotice, ConfirmRequest, ConfirmReply
+from repro.rsm.client import RSMClient, OperationRecord, ByzantineClient
+from repro.rsm.crdt import (
+    ReplicatedObject,
+    GSetObject,
+    GCounterObject,
+    PNCounterObject,
+    LWWRegisterObject,
+    ORSetObject,
+)
+from repro.rsm.checker import check_rsm_history, RSMCheckResult
+
+__all__ = [
+    "Command",
+    "nop_command",
+    "make_command",
+    "Replica",
+    "UpdateRequest",
+    "DecideNotice",
+    "ConfirmRequest",
+    "ConfirmReply",
+    "RSMClient",
+    "OperationRecord",
+    "ByzantineClient",
+    "ReplicatedObject",
+    "GSetObject",
+    "GCounterObject",
+    "PNCounterObject",
+    "LWWRegisterObject",
+    "ORSetObject",
+    "check_rsm_history",
+    "RSMCheckResult",
+]

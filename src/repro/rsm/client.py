@@ -1,0 +1,224 @@
+"""RSM clients: the update / read protocols of Algorithms 5 and 6.
+
+A :class:`RSMClient` executes a *script* of operations sequentially: the next
+operation starts only after the previous one completed (this is what gives
+the real-time order that linearizability is checked against).  Each completed
+operation is recorded as an :class:`OperationRecord` with its invocation and
+completion times and, for reads, the returned value; the history of all
+clients feeds :func:`repro.rsm.checker.check_rsm_history`.
+
+:class:`ByzantineClient` implements the misbehaviours considered by
+Lemma 12: submitting inadmissible commands, contacting fewer than ``f + 1``
+replicas, and firing updates without waiting for completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.rsm.commands import Command, make_command, nop_command
+from repro.rsm.replica import ConfirmReply, ConfirmRequest, DecideNotice, UpdateRequest
+from repro.transport.node import Node
+
+
+@dataclass
+class OperationRecord:
+    """One completed (or still pending) client operation."""
+
+    client: Hashable
+    kind: str  # "update" or "read"
+    command: Command
+    start_time: float
+    end_time: Optional[float] = None
+    result: Optional[FrozenSet[Command]] = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the operation has terminated."""
+        return self.end_time is not None
+
+
+class RSMClient(Node):
+    """A correct RSM client executing a sequential script of operations.
+
+    Parameters
+    ----------
+    pid:
+        Client identifier (used to make its commands unique).
+    replicas:
+        The replica membership.
+    f:
+        Resilience threshold of the replica group; updates are submitted to
+        ``f + 1`` replicas and completions wait for ``f + 1`` receipts.
+    script:
+        Sequence of operations, each either ``("update", payload)`` or
+        ``("read",)``.  Executed strictly sequentially.
+    """
+
+    def __init__(
+        self,
+        pid: Hashable,
+        replicas: Sequence[Hashable],
+        f: int,
+        script: Sequence[Tuple[Any, ...]] = (),
+    ) -> None:
+        super().__init__(pid)
+        self.replicas: Tuple[Hashable, ...] = tuple(replicas)
+        self.f = f
+        self.script: List[Tuple[Any, ...]] = list(script)
+        self.history: List[OperationRecord] = []
+        self._seq = 0
+        self._current: Optional[OperationRecord] = None
+        #: Decide receipts for the in-flight command: replica -> accepted_set.
+        self._dec_receipts: Dict[Hashable, FrozenSet[Command]] = {}
+        #: Confirmation receipts per candidate value: value -> set of replicas.
+        self._conf_receipts: Dict[FrozenSet[Command], Set[Hashable]] = {}
+        self._confirm_phase = False
+
+    # -- script driving ---------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._start_next_operation()
+
+    def _start_next_operation(self) -> None:
+        if self._current is not None or not self.script:
+            return
+        kind, *args = self.script.pop(0)
+        self._seq += 1
+        if kind == "update":
+            command = make_command(self.pid, self._seq, args[0])
+        elif kind == "read":
+            command = nop_command(self.pid, self._seq)
+        else:
+            raise ValueError(f"unknown operation kind {kind!r}")
+        record = OperationRecord(
+            client=self.pid, kind=kind, command=command, start_time=self.ctx.now()
+        )
+        self._current = record
+        self.history.append(record)
+        self._dec_receipts = {}
+        self._conf_receipts = {}
+        self._confirm_phase = False
+        # Algorithm 5 line 3 / Algorithm 6 line 3: submit to (f + 1) replicas.
+        for replica in self.replicas[: self.f + 1]:
+            self.ctx.send(replica, UpdateRequest(command=command))
+
+    # -- message handling -----------------------------------------------------------------
+
+    def on_message(self, sender: Hashable, payload: Any) -> None:
+        if isinstance(payload, DecideNotice):
+            self._handle_decide(sender, payload)
+        elif isinstance(payload, ConfirmReply):
+            self._handle_confirm_reply(sender, payload)
+
+    def _handle_decide(self, sender: Hashable, msg: DecideNotice) -> None:
+        record = self._current
+        if record is None or sender not in self.replicas:
+            return
+        if not isinstance(msg.accepted_set, frozenset):
+            return
+        if record.command not in msg.accepted_set:
+            return
+        self._dec_receipts[sender] = msg.accepted_set
+        if len(self._dec_receipts) < self.f + 1:
+            return
+        if record.kind == "update":
+            # Algorithm 5 line 4: the update completes.
+            self._complete(result=None)
+        elif not self._confirm_phase:
+            # Algorithm 6 lines 6-8: ask every replica to confirm each of the
+            # (f + 1) candidate decision values.
+            self._confirm_phase = True
+            for accepted_set in set(self._dec_receipts.values()):
+                for replica in self.replicas:
+                    self.ctx.send(replica, ConfirmRequest(accepted_set=accepted_set))
+
+    def _handle_confirm_reply(self, sender: Hashable, msg: ConfirmReply) -> None:
+        record = self._current
+        if record is None or record.kind != "read" or not self._confirm_phase:
+            return
+        if sender not in self.replicas or not isinstance(msg.accepted_set, frozenset):
+            return
+        replicas = self._conf_receipts.setdefault(msg.accepted_set, set())
+        replicas.add(sender)
+        # Algorithm 6 lines 11-12: the first value confirmed by (f + 1)
+        # replicas is returned (executed).
+        if len(replicas) >= self.f + 1:
+            self._complete(result=msg.accepted_set)
+
+    def _complete(self, result: Optional[FrozenSet[Command]]) -> None:
+        record = self._current
+        if record is None:
+            return
+        record.end_time = self.ctx.now()
+        record.result = result
+        self.log_event("operation_complete", {"kind": record.kind, "seq": record.command.seq})
+        self._current = None
+        self._start_next_operation()
+
+    # -- introspection ------------------------------------------------------------------------
+
+    @property
+    def all_completed(self) -> bool:
+        """Whether every scripted operation has completed."""
+        return not self.script and self._current is None
+
+    def completed_operations(self) -> List[OperationRecord]:
+        """All operations that have completed, in invocation order."""
+        return [record for record in self.history if record.completed]
+
+
+class ByzantineClient(Node):
+    """A misbehaving client (Lemma 12's threat model).
+
+    Modes (combinable through the constructor flags):
+
+    * ``send_garbage`` — submit operations that are not admissible commands;
+    * ``under_replicate`` — contact a single replica instead of ``f + 1``;
+    * ``no_wait`` — fire all updates immediately without waiting for any
+      completion (they become concurrent updates, which GWTS handles).
+
+    The point of this class is the *negative* guarantee: none of these
+    behaviours can prevent correct clients' operations from completing or
+    break the RSM properties for correct clients.
+    """
+
+    def __init__(
+        self,
+        pid: Hashable,
+        replicas: Sequence[Hashable],
+        f: int,
+        payloads: Sequence[Any] = (),
+        send_garbage: bool = True,
+        under_replicate: bool = True,
+        no_wait: bool = True,
+    ) -> None:
+        super().__init__(pid)
+        self.replicas = tuple(replicas)
+        self.f = f
+        self.payloads = list(payloads)
+        self.send_garbage = send_garbage
+        self.under_replicate = under_replicate
+        self.no_wait = no_wait
+
+    @property
+    def is_byzantine(self) -> bool:
+        return True
+
+    def on_start(self) -> None:
+        targets = self.replicas[:1] if self.under_replicate else self.replicas[: self.f + 1]
+        seq = 0
+        for payload in self.payloads:
+            seq += 1
+            command = make_command(self.pid, seq, payload)
+            for replica in targets:
+                self.ctx.send(replica, UpdateRequest(command=command))
+        if self.send_garbage:
+            for replica in self.replicas:
+                # Not a Command instance at all: correct replicas must filter it.
+                self.ctx.send(replica, UpdateRequest(command="garbage-command"))  # type: ignore[arg-type]
+
+    def on_message(self, sender: Hashable, payload: Any) -> None:
+        # Never acknowledges anything; keeps replicas guessing.
+        pass

@@ -1,0 +1,38 @@
+"""Commands: the elements of the RSM's power-set lattice.
+
+"We assume that each command is unique (which can be easily done by tagging
+it with the identifier of the client and a sequence number)" (Section 7.1).
+A :class:`Command` is therefore a frozen record of (client, sequence number,
+operation payload); reads use the special ``nop`` operation, which "locally
+modifies a replica's state as for an ordinary command but is equivalent to a
+nop operation when executed" (Section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Command:
+    """One unique update command of the RSM."""
+
+    client: Hashable
+    seq: int
+    operation: Any
+
+    @property
+    def is_nop(self) -> bool:
+        """Whether this command is a read marker (``nop``)."""
+        return isinstance(self.operation, tuple) and self.operation[:1] == ("nop",)
+
+
+def make_command(client: Hashable, seq: int, operation: Any) -> Command:
+    """Build a (unique) update command for ``client``."""
+    return Command(client=client, seq=seq, operation=operation)
+
+
+def nop_command(client: Hashable, seq: int) -> Command:
+    """Build the unique ``nop`` command a read operation submits."""
+    return Command(client=client, seq=seq, operation=("nop",))

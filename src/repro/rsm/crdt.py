@@ -1,0 +1,174 @@
+"""CRDT object layer on top of the RSM's command sets.
+
+The RSM stores *sets of commands*; "the value returned by the execution of a
+set of commands is equal to the set of commands" and clients "locally execute
+them" (Section 7.1).  A :class:`ReplicatedObject` is exactly that local
+execution: a pure function from a command set to an application-level value,
+restricted to commutative updates so that executing the set in any order is
+well defined.
+
+These are the "commuting replicated data types (CRDTs)" the paper's
+introduction motivates (dependable counters, grow-only sets, ...).  Each
+object provides
+
+* ``op_*`` helpers producing the operation payloads a client submits via
+  ``("update", payload)`` script entries, and
+* :meth:`ReplicatedObject.value` evaluating a read result (a command set)
+  into the object's value.
+
+Objects can be multiplexed over one RSM by namespacing: every operation
+payload carries the object's name, and each object only interprets its own
+commands.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.rsm.commands import Command
+
+
+class ReplicatedObject(abc.ABC):
+    """A commutative replicated data type interpreted from RSM command sets."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # -- command construction -------------------------------------------------------
+
+    def tag(self, verb: str, *args: Any) -> Tuple[Any, ...]:
+        """Build a namespaced operation payload ``(name, verb, *args)``."""
+        return (self.name, verb, *args)
+
+    def owns(self, command: Command) -> bool:
+        """Whether ``command`` belongs to this object (by namespace)."""
+        operation = command.operation
+        return (
+            isinstance(operation, tuple)
+            and len(operation) >= 2
+            and operation[0] == self.name
+        )
+
+    def own_commands(self, commands: Iterable[Command]) -> Iterable[Command]:
+        """Filter ``commands`` down to this object's namespace (skip nops)."""
+        for command in commands:
+            if isinstance(command, Command) and not command.is_nop and self.owns(command):
+                yield command
+
+    # -- evaluation --------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def value(self, commands: Iterable[Command]) -> Any:
+        """Execute the (unordered) command set and return the object's value."""
+
+
+class GSetObject(ReplicatedObject):
+    """Grow-only set: ``add(x)`` updates, value = set of added members."""
+
+    def op_add(self, member: Any) -> Tuple[Any, ...]:
+        """Operation payload adding ``member`` to the set."""
+        return self.tag("add", member)
+
+    def value(self, commands: Iterable[Command]) -> FrozenSet[Any]:
+        members: Set[Any] = set()
+        for command in self.own_commands(commands):
+            if command.operation[1] == "add":
+                members.add(command.operation[2])
+        return frozenset(members)
+
+
+class GCounterObject(ReplicatedObject):
+    """Grow-only counter: ``inc(amount)`` updates, value = sum of amounts."""
+
+    def op_inc(self, amount: int = 1) -> Tuple[Any, ...]:
+        """Operation payload incrementing the counter by ``amount`` (>= 0)."""
+        if amount < 0:
+            raise ValueError("a grow-only counter cannot be decremented")
+        return self.tag("inc", amount)
+
+    def value(self, commands: Iterable[Command]) -> int:
+        total = 0
+        for command in self.own_commands(commands):
+            if command.operation[1] == "inc":
+                total += int(command.operation[2])
+        return total
+
+
+class PNCounterObject(ReplicatedObject):
+    """Positive-negative counter: ``inc`` and ``dec`` updates (both commute)."""
+
+    def op_inc(self, amount: int = 1) -> Tuple[Any, ...]:
+        """Operation payload incrementing by ``amount``."""
+        return self.tag("inc", amount)
+
+    def op_dec(self, amount: int = 1) -> Tuple[Any, ...]:
+        """Operation payload decrementing by ``amount``."""
+        return self.tag("dec", amount)
+
+    def value(self, commands: Iterable[Command]) -> int:
+        total = 0
+        for command in self.own_commands(commands):
+            verb = command.operation[1]
+            amount = int(command.operation[2])
+            if verb == "inc":
+                total += amount
+            elif verb == "dec":
+                total -= amount
+        return total
+
+
+class LWWRegisterObject(ReplicatedObject):
+    """Last-writer-wins register: ``write(timestamp, value)`` updates.
+
+    Writes commute because the merged value depends only on the maximal
+    ``(timestamp, tie_breaker)`` pair, not on the order the commands are
+    applied in.
+    """
+
+    def op_write(self, timestamp: float, value: Any) -> Tuple[Any, ...]:
+        """Operation payload writing ``value`` stamped with ``timestamp``."""
+        return self.tag("write", timestamp, value)
+
+    def value(self, commands: Iterable[Command]) -> Optional[Any]:
+        best: Optional[Tuple[float, str, Any]] = None
+        for command in self.own_commands(commands):
+            if command.operation[1] != "write":
+                continue
+            timestamp = command.operation[2]
+            written = command.operation[3]
+            key = (timestamp, repr((command.client, command.seq)))
+            if best is None or key > best[:2]:
+                best = (key[0], key[1], written)
+        return None if best is None else best[2]
+
+
+class ORSetObject(ReplicatedObject):
+    """Observed-remove set restricted to commutative (grow-only tag) semantics.
+
+    ``add`` creates a uniquely tagged element; ``remove`` lists the tags it
+    observed.  Both operations commute because removals only ever refer to
+    concrete tags, never to "whatever is in the set right now".
+    """
+
+    def op_add(self, member: Any, tag_id: Hashable) -> Tuple[Any, ...]:
+        """Operation payload adding ``member`` under unique ``tag_id``."""
+        return self.tag("add", member, tag_id)
+
+    def op_remove(self, observed_tags: Iterable[Hashable]) -> Tuple[Any, ...]:
+        """Operation payload removing every element whose tag was observed."""
+        return self.tag("remove", tuple(observed_tags))
+
+    def value(self, commands: Iterable[Command]) -> FrozenSet[Any]:
+        added: Dict[Hashable, Any] = {}
+        removed: Set[Hashable] = set()
+        for command in self.own_commands(commands):
+            verb = command.operation[1]
+            if verb == "add":
+                member, tag_id = command.operation[2], command.operation[3]
+                added[tag_id] = member
+            elif verb == "remove":
+                removed.update(command.operation[2])
+        return frozenset(
+            member for tag_id, member in added.items() if tag_id not in removed
+        )

@@ -1,0 +1,166 @@
+"""RSM replica: a GWTS process plus the client-facing plug-in of Algorithm 7.
+
+A :class:`Replica` is a :class:`~repro.core.gwts.GWTSProcess` (it plays both
+the proposer and acceptor roles of GWTS, "for simplicity reasons replicas
+play the role of both proposers and acceptors", Section 7.2) extended with:
+
+* handling of client ``UpdateRequest`` messages — an admissible command is
+  fed to GWTS via ``new_value({cmd})``; inadmissible commands (not lattice
+  elements) are filtered, which is part of the Byzantine-client resilience
+  argument of Lemma 12;
+* decision notifications — whenever the replica decides, it sends a
+  ``DecideNotice`` to every client whose command is newly covered by the
+  decision (and to every client that submitted a ``nop``), which is how
+  Algorithms 5 and 6 collect their ``f + 1`` receipts;
+* the confirmation plug-in (Algorithm 7) — a ``ConfirmRequest`` for a value
+  is answered once that value has a Byzantine quorum of acks in the
+  replica's ``Ack_history``, proving it "has effectively been decided in
+  GWTS".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.gwts import GWTSProcess
+from repro.lattice.base import JoinSemilattice, LatticeElement
+from repro.lattice.set_lattice import SetLattice
+from repro.rsm.commands import Command
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """Client -> replica: please run ``new_value({command})`` (Algorithm 5 line 3)."""
+
+    command: Command
+    mtype: str = "rsm_update"
+
+
+@dataclass(frozen=True)
+class DecideNotice:
+    """Replica -> client: ``<decide, Accepted_set, replica>`` (Algorithm 5 line 5)."""
+
+    accepted_set: FrozenSet[Command]
+    replica: Hashable
+    mtype: str = "rsm_decide"
+
+
+@dataclass(frozen=True)
+class ConfirmRequest:
+    """Client -> replica: ``<CnfReq, Accepted_set>`` (Algorithm 6 line 8)."""
+
+    accepted_set: FrozenSet[Command]
+    mtype: str = "rsm_cnf_req"
+
+
+@dataclass(frozen=True)
+class ConfirmReply:
+    """Replica -> client: ``<CnfRep, Accepted_set, replica>`` (Algorithm 7 line 5)."""
+
+    accepted_set: FrozenSet[Command]
+    replica: Hashable
+    mtype: str = "rsm_cnf_rep"
+
+
+class Replica(GWTSProcess):
+    """One RSM replica (GWTS participant + Algorithms 5–7 server side)."""
+
+    def __init__(
+        self,
+        pid: Hashable,
+        members: Sequence[Hashable],
+        f: int,
+        max_rounds: int = 6,
+        lattice: Optional[JoinSemilattice] = None,
+    ) -> None:
+        lattice = lattice if lattice is not None else SetLattice()
+        super().__init__(pid, lattice, members, f, max_rounds=max_rounds)
+        #: Command -> set of clients to notify when it gets decided.
+        self._interested_clients: Dict[Command, Set[Hashable]] = {}
+        #: Commands already notified (per client), to avoid duplicate notices.
+        self._notified: Set[Tuple[Hashable, Command]] = set()
+        #: Pending confirmation requests: (client, accepted_set) not yet answered.
+        self._pending_conf: List[Tuple[Hashable, FrozenSet[Command]]] = []
+        #: Commands this replica has admitted (for tests / experiments).
+        self.admitted_commands: List[Command] = []
+
+    # -- client-facing message handling ---------------------------------------------
+
+    def on_message(self, sender: Hashable, payload: Any) -> None:
+        if isinstance(payload, UpdateRequest):
+            self._handle_update_request(sender, payload)
+            self.recheck()
+            self._flush_client_work()
+            return
+        if isinstance(payload, ConfirmRequest):
+            self._handle_confirm_request(sender, payload)
+            self._flush_client_work()
+            return
+        super().on_message(sender, payload)
+        # GWTS progress may have produced new decisions or new ack history
+        # entries; serve clients that were waiting on them.
+        self._flush_client_work()
+
+    def _handle_update_request(self, sender: Hashable, msg: UpdateRequest) -> None:
+        command = msg.command
+        if not isinstance(command, Command):
+            return  # malformed Byzantine-client request
+        element = frozenset({command})
+        if not self.lattice.is_element(element):
+            # Lemma 12: "if cmd is not an admissible command then correct
+            # replicas filter out cmd".
+            return
+        self._interested_clients.setdefault(command, set()).add(sender)
+        self.admitted_commands.append(command)
+        self.new_value(element)
+
+    def _handle_confirm_request(self, sender: Hashable, msg: ConfirmRequest) -> None:
+        if not isinstance(msg.accepted_set, frozenset):
+            return
+        self._pending_conf.append((sender, msg.accepted_set))
+
+    # -- plug-in work driven by GWTS progress ---------------------------------------------
+
+    def _flush_client_work(self) -> None:
+        self._send_decide_notices()
+        self._answer_confirmations()
+
+    def _send_decide_notices(self) -> None:
+        """Notify interested clients about commands covered by our decisions."""
+        if not self.decisions:
+            return
+        latest: FrozenSet[Command] = self.decisions[-1]
+        for command, clients in self._interested_clients.items():
+            if command in latest:
+                for client in clients:
+                    key = (client, command)
+                    if key in self._notified:
+                        continue
+                    self._notified.add(key)
+                    self.ctx.send(
+                        client,
+                        DecideNotice(accepted_set=latest, replica=self.pid),
+                    )
+
+    def _answer_confirmations(self) -> None:
+        """Algorithm 7: confirm values that have a quorum of acks in Ack_history."""
+        if not self._pending_conf:
+            return
+        still_pending: List[Tuple[Hashable, FrozenSet[Command]]] = []
+        for client, accepted_set in self._pending_conf:
+            if self._is_committed(accepted_set):
+                self.ctx.send(
+                    client,
+                    ConfirmReply(accepted_set=accepted_set, replica=self.pid),
+                )
+            else:
+                still_pending.append((client, accepted_set))
+        self._pending_conf = still_pending
+
+    def _is_committed(self, accepted_set: FrozenSet[Command]) -> bool:
+        """Whether ``accepted_set`` gathered a Byzantine quorum of acks here."""
+        return any(
+            key[0] == accepted_set and len(senders) >= self.quorum
+            for key, senders in self.ack_history.items()
+        )

@@ -1,0 +1,52 @@
+"""Asynchronous message-passing substrate (discrete-event simulation).
+
+The paper's system model (Section 3): processes "communicate by exchanging
+messages over asynchronous authenticated reliable point-to-point
+communication links (messages are never lost on links, but delays are
+unbounded)" over a complete communication graph.
+
+This package provides that substrate as a deterministic discrete-event
+simulator:
+
+* :class:`Envelope` — the on-the-wire unit; the simulator stamps the *true*
+  sender on every envelope, which models authenticated channels (a Byzantine
+  process cannot impersonate another process).
+* Delay models (:mod:`repro.transport.delays`) — seeded random delays,
+  fixed delays, and adversarial models that can reorder and stall specific
+  links for arbitrarily long (but finite) periods, which is exactly the power
+  an asynchronous adversary has.
+* :class:`Network` + :class:`SimulationRuntime` — event queue, delivery loop,
+  causal message-delay accounting (the metric used by Theorems 3 and 8), and
+  deterministic replay from a seed.
+* :class:`Node` — the event-driven process abstraction every algorithm
+  implementation builds on.
+"""
+
+from repro.transport.message import Envelope, estimate_size
+from repro.transport.delays import (
+    DelayModel,
+    FixedDelay,
+    UniformDelay,
+    SkewedPairDelay,
+    LinkPartitionDelay,
+    AdversarialTargetedDelay,
+)
+from repro.transport.node import Node, NodeContext
+from repro.transport.network import Network
+from repro.transport.runtime import SimulationRuntime, RunResult
+
+__all__ = [
+    "Envelope",
+    "estimate_size",
+    "DelayModel",
+    "FixedDelay",
+    "UniformDelay",
+    "SkewedPairDelay",
+    "LinkPartitionDelay",
+    "AdversarialTargetedDelay",
+    "Node",
+    "NodeContext",
+    "Network",
+    "SimulationRuntime",
+    "RunResult",
+]

@@ -1,0 +1,158 @@
+"""Delay models: how long the asynchronous network holds each message.
+
+Asynchrony in the paper means "delays are unbounded" — the adversary can hold
+any message for an arbitrary finite time.  A :class:`DelayModel` decides, at
+send time, how long a particular envelope will stay in flight.  Because every
+model is driven by the simulation's seeded RNG (or is fully deterministic),
+runs are exactly reproducible.
+
+The adversarial models (:class:`LinkPartitionDelay`,
+:class:`AdversarialTargetedDelay`, :class:`SkewedPairDelay`) implement the
+schedules used in the lower-bound experiment (Theorem 1: "delay the messages
+between p1 and p2") and in the worst-case latency experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.transport.message import Envelope
+
+
+class DelayModel(abc.ABC):
+    """Strategy deciding the in-flight delay of each envelope."""
+
+    @abc.abstractmethod
+    def delay(self, envelope: Envelope, rng: random.Random) -> float:
+        """Return the (non-negative, finite) delay for ``envelope``."""
+
+    def describe(self) -> str:
+        """Human-readable description for experiment reports."""
+        return type(self).__name__
+
+
+class FixedDelay(DelayModel):
+    """Every message takes exactly ``value`` time units (synchronous-looking)."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ValueError("delay must be non-negative")
+        self._value = value
+
+    def delay(self, envelope: Envelope, rng: random.Random) -> float:
+        return self._value
+
+    def describe(self) -> str:
+        return f"FixedDelay({self._value})"
+
+
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from ``[low, high]`` — the default async model."""
+
+    def __init__(self, low: float = 0.5, high: float = 2.0) -> None:
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high")
+        self._low = low
+        self._high = high
+
+    def delay(self, envelope: Envelope, rng: random.Random) -> float:
+        return rng.uniform(self._low, self._high)
+
+    def describe(self) -> str:
+        return f"UniformDelay[{self._low},{self._high}]"
+
+
+class SkewedPairDelay(DelayModel):
+    """Uniform delays, except messages between selected pairs are much slower.
+
+    This models the Theorem 1 adversary: "consider a run where we delay the
+    messages between p1 and p2" — both processes must still decide before the
+    slow messages arrive.
+    """
+
+    def __init__(
+        self,
+        slow_pairs: Iterable[Tuple[Hashable, Hashable]],
+        base: DelayModel | None = None,
+        slow_delay: float = 1_000.0,
+    ) -> None:
+        self._slow: Set[frozenset] = {frozenset(pair) for pair in slow_pairs}
+        self._base = base or UniformDelay()
+        self._slow_delay = slow_delay
+
+    def delay(self, envelope: Envelope, rng: random.Random) -> float:
+        if frozenset((envelope.sender, envelope.dest)) in self._slow:
+            return self._slow_delay + rng.uniform(0.0, 1.0)
+        return self._base.delay(envelope, rng)
+
+    def describe(self) -> str:
+        return f"SkewedPairDelay({len(self._slow)} slow pairs)"
+
+
+class LinkPartitionDelay(DelayModel):
+    """Hold all traffic crossing a partition until ``heal_time``.
+
+    Before ``heal_time`` the two sides only talk internally; afterwards the
+    withheld messages are released (channels are reliable, nothing is lost).
+    """
+
+    def __init__(
+        self,
+        group_a: Iterable[Hashable],
+        group_b: Iterable[Hashable],
+        heal_time: float,
+        base: DelayModel | None = None,
+    ) -> None:
+        self._group_a = set(group_a)
+        self._group_b = set(group_b)
+        self._heal_time = heal_time
+        self._base = base or UniformDelay()
+
+    def delay(self, envelope: Envelope, rng: random.Random) -> float:
+        crosses = (
+            envelope.sender in self._group_a
+            and envelope.dest in self._group_b
+        ) or (
+            envelope.sender in self._group_b
+            and envelope.dest in self._group_a
+        )
+        base = self._base.delay(envelope, rng)
+        if crosses and envelope.send_time < self._heal_time:
+            return (self._heal_time - envelope.send_time) + base
+        return base
+
+    def describe(self) -> str:
+        return f"LinkPartitionDelay(heal={self._heal_time})"
+
+
+class AdversarialTargetedDelay(DelayModel):
+    """Fully programmable adversary: a callback picks the delay per envelope.
+
+    The callback receives the envelope and the RNG and returns either a delay
+    or ``None`` to fall back to the base model.  Experiments use this to build
+    message-type-aware worst cases (e.g. always deliver Byzantine nacks before
+    correct acks to force the maximum number of proposal refinements).
+    """
+
+    def __init__(
+        self,
+        chooser: Callable[[Envelope, random.Random], Optional[float]],
+        base: DelayModel | None = None,
+        name: str = "custom",
+    ) -> None:
+        self._chooser = chooser
+        self._base = base or UniformDelay()
+        self._name = name
+
+    def delay(self, envelope: Envelope, rng: random.Random) -> float:
+        chosen = self._chooser(envelope, rng)
+        if chosen is None:
+            return self._base.delay(envelope, rng)
+        if chosen < 0:
+            raise ValueError("adversarial delay must be non-negative")
+        return chosen
+
+    def describe(self) -> str:
+        return f"AdversarialTargetedDelay({self._name})"

@@ -1,0 +1,158 @@
+"""Simulated asynchronous network with authenticated reliable channels."""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.metrics.collector import MetricsCollector
+from repro.transport.delays import DelayModel, UniformDelay
+from repro.transport.message import Envelope, estimate_size
+from repro.transport.node import Node, NodeContext
+
+
+class Network:
+    """The asynchronous message-passing system of Section 3.
+
+    Guarantees provided (matching the model):
+
+    * **Reliable channels** — every submitted message is eventually delivered
+      exactly once; nothing is dropped or duplicated by the transport.
+    * **Authenticated channels** — the receiver learns the true sender;
+      a Byzantine process cannot submit a message under another identity
+      because :meth:`submit` takes the sender from the registered node handle.
+    * **Unbounded (but finite) delays** — delivery order and timing are
+      controlled by a pluggable :class:`DelayModel`, driven by a seeded RNG
+      so every run is exactly reproducible.
+    * **Complete graph** — any process can message any other.
+
+    The network also maintains the causal message-delay counter used by the
+    latency experiments: an envelope's depth is one more than its sender's
+    causal depth at send time, and delivery raises the receiver's causal
+    depth to at least the envelope's depth.
+    """
+
+    def __init__(
+        self,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        self._nodes: Dict[Hashable, Node] = {}
+        self._pids: Tuple[Hashable, ...] = ()
+        self._queue: List[Tuple[float, int, Envelope]] = []
+        self._seq = 0
+        self._delay_model = delay_model or UniformDelay()
+        self._rng = random.Random(seed)
+        self._now = 0.0
+        self.metrics = metrics or MetricsCollector()
+        self._delivery_log: List[Envelope] = []
+        self._started = False
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Register ``node`` and bind it to this network."""
+        if self._started:
+            raise RuntimeError("cannot add nodes after the simulation started")
+        if node.pid in self._nodes:
+            raise ValueError(f"duplicate process id {node.pid!r}")
+        self._nodes[node.pid] = node
+        self._pids = tuple(self._nodes.keys())
+        node.bind(NodeContext(self, node.pid))
+        return node
+
+    def add_nodes(self, nodes: List[Node]) -> List[Node]:
+        """Register several nodes at once (in the given order)."""
+        for node in nodes:
+            self.add_node(node)
+        return nodes
+
+    @property
+    def pids(self) -> Tuple[Hashable, ...]:
+        """All registered process identifiers."""
+        return self._pids
+
+    @property
+    def nodes(self) -> Dict[Hashable, Node]:
+        """Mapping from pid to node (read-only by convention)."""
+        return self._nodes
+
+    def node(self, pid: Hashable) -> Node:
+        """Return the node registered under ``pid``."""
+        return self._nodes[pid]
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def rng(self) -> random.Random:
+        """The run's seeded random number generator (shared with delay model)."""
+        return self._rng
+
+    # -- sending ------------------------------------------------------------------
+
+    def submit(self, sender: Hashable, dest: Hashable, payload: Any) -> Envelope:
+        """Queue one message from ``sender`` to ``dest``.
+
+        Called by :class:`NodeContext.send`; the sender identity is taken
+        from the context, never from the payload, which is what makes the
+        channels authenticated.
+        """
+        if dest not in self._nodes:
+            raise ValueError(f"unknown destination {dest!r}")
+        sender_node = self._nodes[sender]
+        self._seq += 1
+        envelope = Envelope(
+            sender=sender,
+            dest=dest,
+            payload=payload,
+            send_time=self._now,
+            depth=sender_node.causal_depth + 1,
+            seq=self._seq,
+            size=estimate_size(payload),
+        )
+        delay = self._delay_model.delay(envelope, self._rng)
+        if delay < 0 or delay != delay or delay == float("inf"):
+            raise ValueError(f"delay model produced invalid delay {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, envelope))
+        self.metrics.record_send(sender, dest, envelope.mtype, envelope.size)
+        return envelope
+
+    # -- running -------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every node's ``on_start`` hook (once)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self._nodes.values():
+            node.on_start()
+
+    def pending(self) -> int:
+        """Number of messages currently in flight."""
+        return len(self._queue)
+
+    def step(self) -> Optional[Envelope]:
+        """Deliver the next message (or return ``None`` if the queue is empty)."""
+        if not self._started:
+            self.start()
+        if not self._queue:
+            return None
+        deliver_time, _seq, envelope = heapq.heappop(self._queue)
+        self._now = max(self._now, deliver_time)
+        delivered = envelope.delivered_at(self._now)
+        receiver = self._nodes[delivered.dest]
+        receiver.causal_depth = max(receiver.causal_depth, delivered.depth)
+        self.metrics.record_delivery(delivered.sender, delivered.dest, delivered.mtype)
+        self._delivery_log.append(delivered)
+        receiver.on_message(delivered.sender, delivered.payload)
+        return delivered
+
+    @property
+    def delivery_log(self) -> List[Envelope]:
+        """Every delivered envelope, in delivery order (for trace tests)."""
+        return self._delivery_log

@@ -1,0 +1,139 @@
+"""Event-driven process abstraction bound to the simulated network.
+
+Every algorithm participant (correct or Byzantine, proposer, acceptor,
+replica or client) is a :class:`Node`.  Nodes are purely reactive: the
+runtime calls :meth:`Node.on_start` once and :meth:`Node.on_message` for each
+delivered envelope; nodes emit messages through their :class:`NodeContext`.
+
+This mirrors the "upon event" style of the paper's pseudocode: each handler
+updates local state and the node re-evaluates its enabled guards (the
+algorithm classes implement that re-evaluation in ``_drain`` style methods).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.transport.network import Network
+
+
+class NodeContext:
+    """Capabilities the network grants to a node.
+
+    A context exposes only what the model allows a process to do: learn the
+    membership, send point-to-point messages (over authenticated channels —
+    the receiver learns the true sender), and read the simulated clock.  It
+    deliberately does not allow spoofing the sender or inspecting other
+    nodes' state.
+    """
+
+    def __init__(self, network: "Network", pid: Hashable) -> None:
+        self._network = network
+        self._pid = pid
+
+    # -- identity & membership -------------------------------------------------
+
+    @property
+    def pid(self) -> Hashable:
+        """This node's process identifier."""
+        return self._pid
+
+    @property
+    def all_pids(self) -> Tuple[Hashable, ...]:
+        """Identifiers of every process in the system (complete graph)."""
+        return self._network.pids
+
+    @property
+    def n(self) -> int:
+        """Total number of processes ``n``."""
+        return len(self._network.pids)
+
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._network.now
+
+    @property
+    def metrics(self):
+        """The network's :class:`~repro.metrics.MetricsCollector`.
+
+        Processes use this to record decisions (value + causal depth) so the
+        runtime can stop once every correct process decided and experiments
+        can read latency/complexity figures without poking into node state.
+        """
+        return self._network.metrics
+
+    # -- communication ---------------------------------------------------------
+
+    def send(self, dest: Hashable, payload: Any) -> None:
+        """Send ``payload`` to ``dest`` over the authenticated channel."""
+        self._network.submit(self._pid, dest, payload)
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        """Best-effort broadcast: one point-to-point send per process.
+
+        This is the plain ``Broadcast`` of the pseudocode (e.g. Algorithm 1
+        line 18) — *not* the Byzantine reliable broadcast, which lives in
+        :mod:`repro.broadcast` and is built on top of this primitive.
+        ``include_self`` defaults to ``True`` because the pseudocode's
+        "send to all" includes the sender playing its own acceptor role.
+        """
+        for dest in self._network.pids:
+            if dest == self._pid and not include_self:
+                continue
+            self.send(dest, payload)
+
+    def multicast(self, dests: Iterable[Hashable], payload: Any) -> None:
+        """Send ``payload`` to each process in ``dests``."""
+        for dest in dests:
+            self.send(dest, payload)
+
+
+class Node:
+    """Base class for all simulated processes."""
+
+    def __init__(self, pid: Hashable) -> None:
+        self.pid = pid
+        self.ctx: Optional[NodeContext] = None
+        #: Causal message-delay counter: the largest chain of messages that
+        #: causally precedes this node's current state.  Maintained by the
+        #: network on every delivery; algorithms read it when they decide.
+        self.causal_depth: int = 0
+        #: Free-form event log (``(time, label, data)``) used by tests and
+        #: experiments to trace interesting transitions without prints.
+        self.trace: List[Tuple[float, str, Any]] = []
+
+    # -- lifecycle hooks (overridden by algorithm implementations) --------------
+
+    def bind(self, ctx: NodeContext) -> None:
+        """Attach the node to a network; called by :meth:`Network.add_node`."""
+        self.ctx = ctx
+
+    def on_start(self) -> None:
+        """Called once before any message is delivered."""
+
+    def on_message(self, sender: Hashable, payload: Any) -> None:
+        """Called for every delivered message (``sender`` is authentic)."""
+
+    # -- convenience -----------------------------------------------------------
+
+    def log_event(self, label: str, data: Any = None) -> None:
+        """Append an entry to the node's trace."""
+        time = self.ctx.now() if self.ctx is not None else 0.0
+        self.trace.append((time, label, data))
+
+    @property
+    def is_byzantine(self) -> bool:
+        """Whether this node is controlled by the adversary.
+
+        The base class is honest; Byzantine wrappers in
+        :mod:`repro.byzantine` override this.  The network itself never looks
+        at this flag (the adversary gets no extra power from the transport) —
+        it exists purely so experiments and checkers can tell the two
+        populations apart when evaluating the correctness properties, which
+        are quantified over correct processes only.
+        """
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} pid={self.pid!r}>"

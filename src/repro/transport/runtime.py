@@ -1,0 +1,92 @@
+"""Simulation driver: run the network until quiescence or a predicate holds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.transport.network import Network
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    #: Number of messages delivered during the run.
+    delivered: int
+    #: Simulated time at the end of the run.
+    end_time: float
+    #: Whether the run stopped because the stop predicate became true.
+    stopped_by_predicate: bool
+    #: Whether the network still had undelivered messages when we stopped.
+    pending_messages: int
+    #: The metrics collector of the underlying network (for convenience).
+    metrics: MetricsCollector = field(repr=False, default=None)
+
+    @property
+    def quiescent(self) -> bool:
+        """True when the run ended with no messages left in flight."""
+        return self.pending_messages == 0
+
+
+class SimulationRuntime:
+    """Drives a :class:`Network` to completion.
+
+    The runtime repeatedly delivers the next scheduled message.  It stops
+    when any of the following holds:
+
+    * the stop predicate returns ``True`` (e.g. "all correct proposers have
+      decided"),
+    * the network is quiescent (no messages in flight), or
+    * the ``max_messages`` safety valve trips (which tests treat as a
+      liveness failure).
+
+    Because delivery order is entirely determined by the network's seeded
+    delay model, a runtime run is a pure function of (nodes, seed, delay
+    model) — the determinism tests rely on this.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+
+    def run(
+        self,
+        stop_when: Optional[Callable[[], bool]] = None,
+        max_messages: int = 200_000,
+    ) -> RunResult:
+        """Deliver messages until the stop condition, quiescence or the cap."""
+        self.network.start()
+        delivered = 0
+        stopped = False
+        while delivered < max_messages:
+            if stop_when is not None and stop_when():
+                stopped = True
+                break
+            envelope = self.network.step()
+            if envelope is None:
+                break
+            delivered += 1
+        return RunResult(
+            delivered=delivered,
+            end_time=self.network.now,
+            stopped_by_predicate=stopped,
+            pending_messages=self.network.pending(),
+            metrics=self.network.metrics,
+        )
+
+    def run_until_quiescent(self, max_messages: int = 200_000) -> RunResult:
+        """Deliver every message currently in the system (and those they spawn)."""
+        return self.run(stop_when=None, max_messages=max_messages)
+
+    def run_until_decided(
+        self, pids: List[Hashable], max_messages: int = 200_000
+    ) -> RunResult:
+        """Run until every process in ``pids`` has recorded a decision."""
+        metrics = self.network.metrics
+
+        def all_decided() -> bool:
+            decided = set(metrics.decided_pids())
+            return all(pid in decided for pid in pids)
+
+        return self.run(stop_when=all_decided, max_messages=max_messages)

@@ -1,0 +1,57 @@
+"""Tests for the crash-fault LA baseline: correct without Byzantines, broken with."""
+
+import pytest
+
+from repro.byzantine import AlwaysAckAcceptor, SilentByzantine
+from repro.harness import run_crash_la_scenario, run_wts_scenario
+from repro.transport import FixedDelay, SkewedPairDelay
+
+
+class TestCrashFreeRuns:
+    @pytest.mark.parametrize("n", [3, 4, 7])
+    def test_properties_hold_without_failures(self, n):
+        scenario = run_crash_la_scenario(n=n, f=(n - 1) // 3, seed=n)
+        assert scenario.check_la().ok
+
+    def test_tolerates_minority_of_silent_processes(self):
+        """Crash tolerance: up to floor((n-1)/2) silent processes are fine."""
+        scenario = run_crash_la_scenario(
+            n=5, f=2,
+            byzantine_factories=[lambda pid, lat, m, f: SilentByzantine(pid)] * 2,
+            seed=1,
+        )
+        assert scenario.check_la().ok
+
+    def test_cheaper_than_wts(self):
+        crash = run_crash_la_scenario(n=7, f=2, seed=2, delay_model=FixedDelay(1.0))
+        wts = run_wts_scenario(n=7, f=2, seed=2, delay_model=FixedDelay(1.0))
+        assert (
+            crash.metrics.mean_messages_per_process(crash.correct_pids)
+            < wts.metrics.mean_messages_per_process(wts.correct_pids)
+        )
+
+
+class TestByzantineBreaksBaseline:
+    def test_always_ack_plus_partition_violates_safety_at_3f(self):
+        """The negative control behind Theorem 1 / experiment E2."""
+        partition = SkewedPairDelay([("p0", "p1")], base=FixedDelay(1.0), slow_delay=10_000.0)
+        scenario = run_crash_la_scenario(
+            n=3, f=1,
+            byzantine_factories=[lambda pid, lat, m, f: AlwaysAckAcceptor(pid, lat, m, f)],
+            delay_model=partition,
+            seed=3,
+            max_messages=5_000,
+        )
+        check = scenario.check_la(require_liveness=False)
+        assert not check.ok
+        assert check.violated("comparability")
+
+    def test_wts_resists_the_same_adversary(self):
+        partition = SkewedPairDelay([("p0", "p1")], base=FixedDelay(1.0), slow_delay=50.0)
+        scenario = run_wts_scenario(
+            n=4, f=1,
+            byzantine_factories=[lambda pid, lat, m, f: AlwaysAckAcceptor(pid, lat, m, f)],
+            delay_model=partition,
+            seed=3,
+        )
+        assert scenario.check_la().ok

@@ -1,0 +1,75 @@
+"""Tests for the Nowak-Rybicki restrictive specification comparison (Section 2)."""
+
+import pytest
+
+from repro.baselines import (
+    check_restricted_la_run,
+    power_set_breadth,
+    restricted_spec_feasible,
+)
+from repro.lattice import SetLattice
+
+
+LAT = SetLattice()
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestFeasibilityRule:
+    def test_breadth_of_power_set(self):
+        assert power_set_breadth(4) == 4
+        assert power_set_breadth(0) == 0
+        with pytest.raises(ValueError):
+            power_set_breadth(-1)
+
+    def test_paper_example_breadth4_needs_5_processes(self):
+        """Section 2: the Figure 1 lattice (breadth 4) needs >= 5 processes."""
+        assert not restricted_spec_feasible(4, 4)
+        assert restricted_spec_feasible(5, 4)
+
+    def test_unbounded_universe_infeasible_for_any_n(self):
+        for n in (4, 10, 100):
+            assert not restricted_spec_feasible(n, breadth=n)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            restricted_spec_feasible(0, 1)
+
+
+class TestRestrictedChecker:
+    def test_accepts_runs_without_byzantine_values(self):
+        proposals = {"p0": fs(1), "p1": fs(2)}
+        decisions = {"p0": [fs(1, 2)], "p1": [fs(1, 2)]}
+        assert check_restricted_la_run(LAT, proposals, decisions, byzantine_values=[]).ok
+
+    def test_rejects_byzantine_value_in_decision(self):
+        proposals = {"p0": fs(1)}
+        decisions = {"p0": [fs(1, "byz")]}
+        result = check_restricted_la_run(
+            LAT, proposals, decisions, byzantine_values=[fs("byz")], f=1
+        )
+        assert result.violated("no_byzantine_values")
+
+    def test_same_run_passes_papers_spec(self):
+        """The exact run the restrictive spec rejects is fine for the paper's spec."""
+        from repro.core import check_la_run
+
+        proposals = {"p0": fs(1)}
+        decisions = {"p0": [fs(1, "byz")]}
+        assert check_la_run(LAT, proposals, decisions, byzantine_values=[fs("byz")], f=1).ok
+
+    def test_still_checks_base_properties(self):
+        proposals = {"p0": fs(1), "p1": fs(2)}
+        decisions = {"p0": [fs(1)], "p1": [fs(2)]}
+        result = check_restricted_la_run(LAT, proposals, decisions)
+        assert result.violated("comparability")
+
+    def test_bottom_byzantine_value_ignored(self):
+        proposals = {"p0": fs(1)}
+        decisions = {"p0": [fs(1)]}
+        result = check_restricted_la_run(
+            LAT, proposals, decisions, byzantine_values=[frozenset()]
+        )
+        assert result.ok

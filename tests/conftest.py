@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.crypto import KeyRegistry
+from repro.lattice import (
+    GCounterLattice,
+    MapLattice,
+    MaxIntLattice,
+    ProductLattice,
+    SetLattice,
+    VectorClockLattice,
+)
+
+
+@pytest.fixture
+def set_lattice():
+    """Unbounded power-set lattice (the paper's default)."""
+    return SetLattice()
+
+
+@pytest.fixture
+def bounded_set_lattice():
+    """Power-set lattice over a five-element universe (breadth 5)."""
+    return SetLattice(universe={"a", "b", "c", "d", "e"})
+
+
+@pytest.fixture
+def gcounter_lattice():
+    return GCounterLattice()
+
+
+@pytest.fixture
+def max_lattice():
+    return MaxIntLattice()
+
+
+@pytest.fixture
+def vc_lattice():
+    return VectorClockLattice(4)
+
+
+@pytest.fixture
+def map_lattice():
+    return MapLattice(MaxIntLattice())
+
+
+@pytest.fixture
+def product_lattice():
+    return ProductLattice([SetLattice(), MaxIntLattice()])
+
+
+@pytest.fixture
+def registry():
+    """Deterministic simulated PKI."""
+    return KeyRegistry(seed=7)

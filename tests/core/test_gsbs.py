@@ -1,0 +1,108 @@
+"""Tests for the generalized signature-based algorithm (Section 8.2)."""
+
+import pytest
+
+from repro.core.gsbs import (
+    GSbSProcess,
+    gsbs_ack_body,
+    gsbs_safe_ack_body,
+    verify_certificate,
+    verify_gsbs_ack,
+)
+from repro.core.messages import DecidedCertificate, GSbSAck
+from repro.crypto import KeyRegistry, SignedValue
+from repro.harness import run_gsbs_scenario
+from repro.lattice import SetLattice
+
+
+class TestFailureFreeRuns:
+    @pytest.mark.parametrize("n,rounds", [(4, 2), (4, 3), (7, 2)])
+    def test_gla_properties_hold(self, n, rounds):
+        f = (n - 1) // 3
+        scenario = run_gsbs_scenario(n=n, f=f, values_per_process=1, rounds=rounds, seed=n)
+        check = scenario.check_gla()
+        assert check.ok, str(check)
+
+    def test_one_decision_per_round(self):
+        scenario = run_gsbs_scenario(n=4, f=1, values_per_process=1, rounds=3, seed=2)
+        for decisions in scenario.decisions().values():
+            assert len(decisions) == 3
+
+    def test_decisions_non_decreasing(self):
+        scenario = run_gsbs_scenario(n=4, f=1, values_per_process=2, rounds=3, seed=3)
+        for decisions in scenario.decisions().values():
+            for earlier, later in zip(decisions, decisions[1:]):
+                assert earlier <= later
+
+    def test_cheaper_than_gwts_in_messages(self):
+        """The point of GSbS: fewer messages per decision than GWTS."""
+        from repro.harness import run_gwts_scenario
+
+        gwts = run_gwts_scenario(n=4, f=1, values_per_process=1, rounds=2, seed=4)
+        gsbs = run_gsbs_scenario(n=4, f=1, values_per_process=1, rounds=2, seed=4)
+        gwts_msgs = gwts.metrics.mean_messages_per_process(gwts.correct_pids)
+        gsbs_msgs = gsbs.metrics.mean_messages_per_process(gsbs.correct_pids)
+        assert gsbs_msgs < gwts_msgs
+
+    def test_certificates_observed_for_every_finished_round(self):
+        scenario = run_gsbs_scenario(n=4, f=1, values_per_process=1, rounds=3, seed=5)
+        for node in scenario.correct_nodes():
+            assert set(node.certificates) >= {0, 1}
+
+    def test_trusted_round_advances(self):
+        scenario = run_gsbs_scenario(n=4, f=1, values_per_process=1, rounds=3, seed=6)
+        for node in scenario.correct_nodes():
+            assert node.trusted_round >= 2
+
+
+class TestCertificates:
+    def _make_ack(self, registry, acceptor_name, accepted_set, dest, ts, round_no):
+        acceptor = registry.register(acceptor_name)
+        body = gsbs_ack_body(accepted_set, dest, ts, round_no)
+        return GSbSAck(accepted_set=accepted_set, destination=dest, ts=ts, round=round_no,
+                       signature=acceptor.sign(body))
+
+    def test_valid_certificate_accepted(self, registry):
+        accepted = frozenset()
+        acks = frozenset(
+            self._make_ack(registry, f"a{i}", accepted, "p0", 1, 0) for i in range(3)
+        )
+        cert = DecidedCertificate(accepted_set=accepted, destination="p0", ts=1, round=0, acks=acks)
+        assert verify_certificate(registry, cert, quorum=3)
+
+    def test_certificate_needs_distinct_signers(self, registry):
+        accepted = frozenset()
+        ack = self._make_ack(registry, "a0", accepted, "p0", 1, 0)
+        cert = DecidedCertificate(accepted_set=accepted, destination="p0", ts=1, round=0,
+                                  acks=frozenset({ack}))
+        assert not verify_certificate(registry, cert, quorum=3)
+
+    def test_certificate_rejects_mismatched_acks(self, registry):
+        accepted = frozenset()
+        acks = frozenset(
+            self._make_ack(registry, f"a{i}", accepted, "p0", 1, 0) for i in range(3)
+        )
+        cert = DecidedCertificate(accepted_set=accepted, destination="p0", ts=2, round=0, acks=acks)
+        assert not verify_certificate(registry, cert, quorum=3)
+
+    def test_forged_ack_rejected(self, registry):
+        registry.register("honest-acceptor")
+        accepted = frozenset()
+        forged = GSbSAck(
+            accepted_set=accepted, destination="p0", ts=1, round=0,
+            signature=SignedValue(value=("junk",), signer="honest-acceptor", tag=b"zz"),
+        )
+        assert not verify_gsbs_ack(registry, forged)
+
+
+class TestProcessInternals:
+    def test_max_rounds_validation(self, registry):
+        with pytest.raises(ValueError):
+            GSbSProcess("p0", SetLattice(), ["p0"], 0, registry=registry, max_rounds=0)
+
+    def test_new_value_validation(self, registry):
+        process = GSbSProcess("p0", SetLattice(), ["p0", "p1", "p2", "p3"], 1, registry=registry)
+        with pytest.raises(ValueError):
+            process.new_value("junk")
+        process.new_value(frozenset({"ok"}))
+        assert process.batches[0] == [frozenset({"ok"})]

@@ -1,0 +1,85 @@
+"""Unit tests for the AgreementProcess base class."""
+
+import pytest
+
+from repro.core.process import AgreementProcess
+from repro.lattice import SetLattice
+from repro.transport import FixedDelay, Network
+
+
+class TickingProcess(AgreementProcess):
+    """Counts how many times try_progress fires before stopping."""
+
+    def __init__(self, *args, steps=3, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.steps = steps
+        self.fired = 0
+
+    def try_progress(self):
+        if self.fired < self.steps:
+            self.fired += 1
+            return True
+        return False
+
+
+def make(pid="p0", members=("p0", "p1", "p2", "p3"), f=1, cls=AgreementProcess, **kwargs):
+    lattice = SetLattice()
+    network = Network(delay_model=FixedDelay(1.0), seed=0)
+    process = cls(pid, lattice, list(members), f, **kwargs)
+    for other in members:
+        if other == pid:
+            network.add_node(process)
+        else:
+            network.add_node(AgreementProcess(other, lattice, list(members), f))
+    return network, process
+
+
+class TestMembership:
+    def test_n_and_quorum(self):
+        _, process = make()
+        assert process.n == 4
+        assert process.quorum == 3
+        assert process.disclosure_threshold == 3
+
+    def test_must_belong_to_membership(self):
+        with pytest.raises(ValueError):
+            AgreementProcess("outsider", SetLattice(), ["p0", "p1"], 0)
+
+    def test_send_to_members_only(self):
+        network, process = make()
+        network.start()
+        process.send_to_members("hi")
+        assert network.pending() == 4
+
+
+class TestDecisions:
+    def test_record_decision_updates_metrics(self):
+        network, process = make()
+        network.start()
+        assert not process.has_decided
+        process.record_decision(frozenset({1}), round=2)
+        assert process.has_decided
+        assert process.decision == frozenset({1})
+        record = network.metrics.decisions[0]
+        assert record.pid == "p0" and record.round == 2
+
+    def test_decision_none_before_deciding(self):
+        _, process = make()
+        assert process.decision is None
+        assert process.decisions == []
+
+
+class TestRecheckLoop:
+    def test_recheck_runs_until_no_progress(self):
+        _, process = make(cls=TickingProcess, steps=3)
+        process.recheck()
+        assert process.fired == 3
+
+    def test_recheck_budget_bounds_iterations(self):
+        _, process = make(cls=TickingProcess, steps=10_000)
+        process.recheck(budget=5)
+        assert process.fired == 5
+
+    def test_default_try_progress_is_noop(self):
+        _, process = make()
+        assert process.try_progress() is False

@@ -1,0 +1,58 @@
+"""Unit tests for quorum arithmetic."""
+
+import pytest
+
+from repro.core import byzantine_quorum, max_faults, required_processes
+from repro.core.quorum import quorum_reachable_by_correct, quorums_intersect_correctly
+
+
+class TestByzantineQuorum:
+    @pytest.mark.parametrize(
+        "n,f,expected",
+        [(4, 1, 3), (7, 2, 5), (10, 3, 7), (13, 4, 9), (4, 0, 3), (5, 1, 4)],
+    )
+    def test_values(self, n, f, expected):
+        assert byzantine_quorum(n, f) == expected
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            byzantine_quorum(0, 0)
+        with pytest.raises(ValueError):
+            byzantine_quorum(4, -1)
+
+
+class TestThresholds:
+    @pytest.mark.parametrize("n,expected", [(1, 0), (3, 0), (4, 1), (6, 1), (7, 2), (10, 3)])
+    def test_max_faults(self, n, expected):
+        assert max_faults(n) == expected
+
+    @pytest.mark.parametrize("f,expected", [(0, 1), (1, 4), (2, 7), (3, 10)])
+    def test_required_processes(self, f, expected):
+        assert required_processes(f) == expected
+
+    def test_roundtrip(self):
+        for f in range(6):
+            assert max_faults(required_processes(f)) == f
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            max_faults(0)
+        with pytest.raises(ValueError):
+            required_processes(-1)
+
+
+class TestIntersection:
+    def test_safety_and_liveness_both_hold_at_3f_plus_1(self):
+        for f in range(1, 6):
+            assert quorums_intersect_correctly(3 * f + 1, f)
+            assert quorum_reachable_by_correct(3 * f + 1, f)
+
+    def test_liveness_lost_at_3f(self):
+        # At n = 3f the Byzantine quorum exceeds the correct population.
+        for f in range(1, 6):
+            assert not quorum_reachable_by_correct(3 * f, f)
+
+    def test_safety_intersection_never_sacrificed(self):
+        # WTS always keeps the quorum-intersection property (it trades liveness).
+        for f in range(1, 6):
+            assert quorums_intersect_correctly(3 * f, f)

@@ -1,0 +1,166 @@
+"""Tests for the SbS signature-based algorithm (Algorithms 8-10)."""
+
+import pytest
+
+from repro.core.sbs import (
+    SbSProcess,
+    all_safe,
+    remove_conflicts,
+    return_conflicts,
+    safe_ack_body,
+    verify_conflict_pair,
+    verify_safe_ack,
+)
+from repro.core.messages import ProvenValue, SafeAck
+from repro.crypto import KeyRegistry, SignedValue
+from repro.harness import run_sbs_scenario
+from repro.lattice import SetLattice
+from repro.transport import FixedDelay
+
+
+class TestHelpers:
+    def test_verify_conflict_pair_detects_equivocation(self, registry):
+        signer = registry.register("p0")
+        x = signer.sign(frozenset({"a"}))
+        y = signer.sign(frozenset({"b"}))
+        assert verify_conflict_pair(registry, (x, y))
+
+    def test_same_value_is_not_a_conflict(self, registry):
+        signer = registry.register("p0")
+        x = signer.sign(frozenset({"a"}))
+        y = signer.sign(frozenset({"a"}))
+        assert not verify_conflict_pair(registry, (x, y))
+
+    def test_different_signers_are_not_a_conflict(self, registry):
+        x = registry.register("p0").sign(frozenset({"a"}))
+        y = registry.register("p1").sign(frozenset({"b"}))
+        assert not verify_conflict_pair(registry, (x, y))
+
+    def test_forged_pair_is_not_a_conflict(self, registry):
+        registry.register("victim")
+        x = SignedValue(value=frozenset({"a"}), signer="victim", tag=b"forged")
+        y = SignedValue(value=frozenset({"b"}), signer="victim", tag=b"forged")
+        assert not verify_conflict_pair(registry, (x, y))
+
+    def test_return_and_remove_conflicts(self, registry):
+        honest = registry.register("p1").sign(frozenset({"ok"}))
+        equivocator = registry.register("p0")
+        x = equivocator.sign(frozenset({"a"}))
+        y = equivocator.sign(frozenset({"b"}))
+        conflicts = return_conflicts(registry, {honest, x, y})
+        assert len(conflicts) == 1
+        cleaned = remove_conflicts(registry, {honest, x, y})
+        assert cleaned == frozenset({honest})
+
+    def test_verify_safe_ack_roundtrip(self, registry):
+        acceptor = registry.register("acc")
+        rcvd = frozenset({registry.register("p1").sign(frozenset({"v"}))})
+        body = safe_ack_body(rcvd, frozenset(), 0)
+        ack = SafeAck(rcvd_set=rcvd, conflicts=frozenset(), request_id=0,
+                      signature=acceptor.sign(body))
+        assert verify_safe_ack(registry, ack, "acc")
+        assert not verify_safe_ack(registry, ack, "someone-else")
+
+    def test_verify_safe_ack_rejects_tampered_body(self, registry):
+        acceptor = registry.register("acc")
+        value = registry.register("p1").sign(frozenset({"v"}))
+        rcvd = frozenset({value})
+        ack = SafeAck(rcvd_set=rcvd, conflicts=frozenset(), request_id=0,
+                      signature=acceptor.sign(("wrong", "body")))
+        assert not verify_safe_ack(registry, ack, "acc")
+
+    def test_all_safe_requires_quorum_of_valid_acks(self, registry):
+        lattice = SetLattice()
+        value = registry.register("p1").sign(frozenset({"v"}))
+        acks = []
+        for name in ("a1", "a2", "a3"):
+            acceptor = registry.register(name)
+            body = safe_ack_body(frozenset({value}), frozenset(), 0)
+            acks.append(SafeAck(rcvd_set=frozenset({value}), conflicts=frozenset(),
+                                request_id=0, signature=acceptor.sign(body)))
+        proven = ProvenValue(value=value, safe_acks=frozenset(acks))
+        assert all_safe(registry, lattice, [proven], quorum=3)
+        assert not all_safe(registry, lattice, [proven], quorum=4)
+
+    def test_all_safe_rejects_fabricated_proof(self, registry):
+        lattice = SetLattice()
+        registry.register("victim")
+        forged_value = SignedValue(value=frozenset({"evil"}), signer="victim", tag=b"x")
+        forged_ack = SafeAck(
+            rcvd_set=frozenset({forged_value}), conflicts=frozenset(), request_id=0,
+            signature=SignedValue(value=("junk",), signer="victim", tag=b"y"),
+        )
+        proven = ProvenValue(value=forged_value, safe_acks=frozenset({forged_ack}))
+        assert not all_safe(registry, lattice, [proven], quorum=1)
+
+    def test_all_safe_rejects_conflicted_value(self, registry):
+        lattice = SetLattice()
+        equivocator = registry.register("p0")
+        x = equivocator.sign(frozenset({"a"}))
+        y = equivocator.sign(frozenset({"b"}))
+        acceptor = registry.register("acc")
+        conflicts = frozenset({(x, y)})
+        body = safe_ack_body(frozenset({x}), conflicts, 0)
+        ack = SafeAck(rcvd_set=frozenset({x}), conflicts=conflicts, request_id=0,
+                      signature=acceptor.sign(body))
+        proven = ProvenValue(value=x, safe_acks=frozenset({ack}))
+        assert not all_safe(registry, lattice, [proven], quorum=1)
+
+
+class TestFailureFreeRuns:
+    @pytest.mark.parametrize("n", [4, 7, 10])
+    def test_all_decide_and_properties_hold(self, n):
+        f = (n - 1) // 3
+        scenario = run_sbs_scenario(n=n, f=f, seed=n)
+        check = scenario.check_la()
+        assert check.ok, str(check)
+
+    def test_latency_bound_under_unit_delays(self):
+        """Theorem 8: at most 5 + 4f message delays."""
+        for f in (0, 1, 2):
+            n = 3 * f + 1
+            scenario = run_sbs_scenario(n=n, f=f, seed=40 + f, delay_model=FixedDelay(1.0))
+            decision_time = max(r.time for r in scenario.metrics.decisions)
+            assert decision_time <= 5 + 4 * f
+
+    def test_linear_message_complexity_for_fixed_f(self):
+        """Section 8.1: O(n) messages per process when f = O(1)."""
+        per_process = {}
+        for n in (4, 8, 16):
+            scenario = run_sbs_scenario(n=n, f=1, seed=50 + n, delay_model=FixedDelay(1.0))
+            per_process[n] = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
+        # Doubling n should roughly double (not quadruple) the per-process count.
+        assert per_process[8] < per_process[4] * 3
+        assert per_process[16] < per_process[8] * 3
+
+    def test_refinements_bounded_by_2f(self):
+        """Lemma 16: at most 2f refinements per correct proposer."""
+        for seed in range(3):
+            scenario = run_sbs_scenario(n=7, f=2, seed=seed)
+            for node in scenario.correct_nodes():
+                assert node.refinements <= 4
+
+    def test_message_size_grows_with_n(self):
+        """The SbS trade-off: fewer messages but larger payloads (Section 8)."""
+        small = run_sbs_scenario(n=4, f=1, seed=60)
+        large = run_sbs_scenario(n=10, f=1, seed=61)
+        assert large.metrics.max_payload_size > small.metrics.max_payload_size
+
+    def test_decision_joins_only_proven_values(self):
+        scenario = run_sbs_scenario(n=4, f=1, seed=62)
+        proposals_union = frozenset().union(*scenario.proposals().values())
+        for decs in scenario.decisions().values():
+            assert decs[0] <= proposals_union
+
+
+class TestProcessInternals:
+    def test_invalid_proposal_rejected(self, registry):
+        with pytest.raises(ValueError):
+            SbSProcess("p0", SetLattice(), ["p0"], 0, registry=registry, proposal=123)
+
+    def test_initial_state(self, registry):
+        process = SbSProcess("p0", SetLattice(), ["p0", "p1", "p2", "p3"], 1,
+                             registry=registry, proposal=frozenset({"x"}))
+        assert process.state == "init"
+        assert process.ts == 0
+        assert process.safety_set == frozenset()

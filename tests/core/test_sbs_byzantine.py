@@ -1,0 +1,66 @@
+"""SbS under signature-level Byzantine attacks (Lemma 13 / Lemma 14)."""
+
+import pytest
+
+from repro.byzantine import ForgedSafetyByzantine, SbSEquivocatingProposer, SilentByzantine
+from repro.harness import run_sbs_scenario
+
+
+def silent(pid, lat, members, f, registry):
+    return SilentByzantine(pid)
+
+
+def sig_equivocator(pid, lat, members, f, registry):
+    return SbSEquivocatingProposer(
+        pid, lat, members, f, registry=registry,
+        value_a=frozenset({"byz-a"}), value_b=frozenset({"byz-b"}),
+    )
+
+
+def forger(pid, lat, members, f, registry):
+    return ForgedSafetyByzantine(
+        pid, lat, members, victim=members[0], injected=frozenset({"forged-value"})
+    )
+
+
+BEHAVIOURS = {"silent": silent, "sig_equivocator": sig_equivocator, "forger": forger}
+
+
+class TestByzantineSbS:
+    @pytest.mark.parametrize("name", sorted(BEHAVIOURS))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_la_properties_hold(self, name, seed):
+        scenario = run_sbs_scenario(
+            n=4, f=1, byzantine_factories=[BEHAVIOURS[name]], seed=seed
+        )
+        check = scenario.check_la()
+        assert check.ok, f"{name}: {check}"
+
+    def test_lemma13_at_most_one_equivocated_value_decided(self):
+        """Lemma 13: of two values signed by the same process, at most one can
+        ever become safe, so decisions never contain both."""
+        for seed in range(4):
+            scenario = run_sbs_scenario(
+                n=4, f=1, byzantine_factories=[sig_equivocator], seed=seed
+            )
+            for decs in scenario.decisions().values():
+                decided = decs[0]
+                assert not ({"byz-a", "byz-b"} <= set(decided))
+
+    def test_forged_values_never_decided(self):
+        """Fabricated signatures / proofs of safety are rejected everywhere."""
+        scenario = run_sbs_scenario(n=4, f=1, byzantine_factories=[forger], seed=5)
+        for decs in scenario.decisions().values():
+            assert "forged-value" not in decs[0]
+
+    def test_lemma14_own_value_always_in_own_decision(self):
+        """Lemma 14: a correct process's signed value is in its decision."""
+        scenario = run_sbs_scenario(n=4, f=1, byzantine_factories=[sig_equivocator], seed=6)
+        for pid, proposal in scenario.proposals().items():
+            assert proposal <= scenario.decisions()[pid][0]
+
+    def test_two_byzantines_n7(self):
+        scenario = run_sbs_scenario(
+            n=7, f=2, byzantine_factories=[sig_equivocator, forger], seed=7
+        )
+        assert scenario.check_la().ok

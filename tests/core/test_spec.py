@@ -1,0 +1,122 @@
+"""Unit tests for the LA / GLA specification checkers."""
+
+from repro.core import check_gla_run, check_la_run, LASpecification, GLASpecification
+from repro.lattice import SetLattice
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+LAT = SetLattice()
+
+
+class TestSpecificationObjects:
+    def test_la_quorum(self):
+        spec = LASpecification(lattice=LAT, n=7, f=2)
+        assert spec.quorum() == 5
+
+    def test_gla_fields(self):
+        spec = GLASpecification(lattice=LAT, n=4, f=1)
+        assert spec.n == 4 and spec.f == 1
+
+
+class TestLAChecker:
+    def test_valid_run(self):
+        proposals = {"p0": fs(1), "p1": fs(2)}
+        decisions = {"p0": [fs(1, 2)], "p1": [fs(1, 2)]}
+        assert check_la_run(LAT, proposals, decisions).ok
+
+    def test_liveness_violation(self):
+        result = check_la_run(LAT, {"p0": fs(1)}, {"p0": []})
+        assert result.violated("liveness")
+
+    def test_liveness_can_be_waived(self):
+        result = check_la_run(LAT, {"p0": fs(1)}, {"p0": []}, require_liveness=False)
+        assert result.ok
+
+    def test_stability_violation(self):
+        decisions = {"p0": [fs(1), fs(1, 2)]}
+        result = check_la_run(LAT, {"p0": fs(1)}, decisions)
+        assert result.violated("stability")
+
+    def test_repeated_equal_decisions_allowed(self):
+        decisions = {"p0": [fs(1), fs(1)]}
+        result = check_la_run(LAT, {"p0": fs(1)}, decisions)
+        assert not result.violated("stability")
+
+    def test_comparability_violation(self):
+        proposals = {"p0": fs(1), "p1": fs(2)}
+        decisions = {"p0": [fs(1)], "p1": [fs(2)]}
+        result = check_la_run(LAT, proposals, decisions)
+        assert result.violated("comparability")
+
+    def test_inclusivity_violation(self):
+        proposals = {"p0": fs(1), "p1": fs(2)}
+        decisions = {"p0": [fs(2)], "p1": [fs(2)]}
+        result = check_la_run(LAT, proposals, decisions)
+        assert result.violated("inclusivity")
+
+    def test_non_triviality_violation(self):
+        proposals = {"p0": fs(1)}
+        decisions = {"p0": [fs(1, "ghost")]}
+        result = check_la_run(LAT, proposals, decisions)
+        assert result.violated("non_triviality")
+
+    def test_byzantine_values_allowed_in_decisions(self):
+        """The paper's specification allows Byzantine values in decisions."""
+        proposals = {"p0": fs(1)}
+        decisions = {"p0": [fs(1, "byz")]}
+        result = check_la_run(LAT, proposals, decisions, byzantine_values=[fs("byz")], f=1)
+        assert result.ok
+
+    def test_result_string_and_flags(self):
+        good = check_la_run(LAT, {"p0": fs(1)}, {"p0": [fs(1)]})
+        assert "ok" in str(good)
+        bad = check_la_run(LAT, {"p0": fs(1)}, {"p0": []})
+        assert not bad.ok and "liveness" in str(bad)
+
+
+class TestGLAChecker:
+    def test_valid_run(self):
+        inputs = {"p0": [fs(1), fs(2)], "p1": [fs(3)]}
+        decisions = {"p0": [fs(1, 3), fs(1, 2, 3)], "p1": [fs(1, 3), fs(1, 2, 3)]}
+        assert check_gla_run(LAT, inputs, decisions).ok
+
+    def test_liveness_violation(self):
+        result = check_gla_run(LAT, {"p0": [fs(1)]}, {"p0": []}, require_all_inputs_decided=False)
+        assert result.violated("liveness")
+
+    def test_local_stability_violation(self):
+        decisions = {"p0": [fs(1, 2), fs(1)]}
+        result = check_gla_run(LAT, {"p0": [fs(1)]}, decisions)
+        assert result.violated("local_stability")
+
+    def test_comparability_violation_across_processes(self):
+        inputs = {"p0": [fs(1)], "p1": [fs(2)]}
+        decisions = {"p0": [fs(1)], "p1": [fs(2)]}
+        result = check_gla_run(LAT, inputs, decisions)
+        assert result.violated("comparability")
+
+    def test_inclusivity_violation(self):
+        inputs = {"p0": [fs(1), fs(9)]}
+        decisions = {"p0": [fs(1)]}
+        result = check_gla_run(LAT, inputs, decisions)
+        assert result.violated("inclusivity")
+
+    def test_inclusivity_waivable_for_truncated_runs(self):
+        inputs = {"p0": [fs(1), fs(9)]}
+        decisions = {"p0": [fs(1)]}
+        result = check_gla_run(LAT, inputs, decisions, require_all_inputs_decided=False)
+        assert result.ok
+
+    def test_non_triviality_violation(self):
+        inputs = {"p0": [fs(1)]}
+        decisions = {"p0": [fs(1, "ghost")]}
+        result = check_gla_run(LAT, inputs, decisions)
+        assert result.violated("non_triviality")
+
+    def test_byzantine_values_bounded_by_given_set(self):
+        inputs = {"p0": [fs(1)]}
+        decisions = {"p0": [fs(1, "byz")]}
+        assert check_gla_run(LAT, inputs, decisions, byzantine_values=[fs("byz")]).ok

@@ -1,0 +1,110 @@
+"""Tests for the WTS algorithm (Algorithms 1 and 2) without Byzantine faults."""
+
+import pytest
+
+from repro.core import check_la_run
+from repro.core.wts import DECIDED, PROPOSING, WTSProcess
+from repro.harness import run_wts_scenario
+from repro.lattice import GCounterLattice, MaxIntLattice, SetLattice
+from repro.transport import FixedDelay, UniformDelay
+
+
+class TestFailureFreeRuns:
+    @pytest.mark.parametrize("n", [1, 2, 4, 7, 10])
+    def test_all_decide_and_properties_hold(self, n):
+        f = (n - 1) // 3
+        scenario = run_wts_scenario(n=n, f=f, seed=n)
+        assert scenario.check_la().ok
+        for node in scenario.correct_nodes():
+            assert node.state == DECIDED
+
+    def test_every_decision_contains_own_proposal(self):
+        scenario = run_wts_scenario(n=4, f=1, seed=1)
+        for pid, proposal in scenario.proposals().items():
+            decision = scenario.decisions()[pid][0]
+            assert proposal <= decision
+
+    def test_decisions_within_join_of_proposals(self):
+        scenario = run_wts_scenario(n=7, f=2, seed=2)
+        everything = frozenset().union(*scenario.proposals().values())
+        for decs in scenario.decisions().values():
+            assert decs[0] <= everything
+
+    def test_identical_proposals_decide_immediately_on_that_value(self):
+        proposals = {f"p{i}": frozenset({"same"}) for i in range(4)}
+        scenario = run_wts_scenario(n=4, f=1, proposals=proposals, seed=3)
+        for decs in scenario.decisions().values():
+            assert decs[0] == frozenset({"same"})
+
+    def test_f_zero_single_process(self):
+        scenario = run_wts_scenario(n=1, f=0, proposals={"p0": frozenset({"solo"})}, seed=0)
+        assert scenario.decisions()["p0"] == [frozenset({"solo"})]
+
+    def test_refinements_bounded_by_f_plus_slack(self):
+        """Lemma 3: each proposer refines its proposal at most f times."""
+        for seed in range(5):
+            scenario = run_wts_scenario(n=7, f=2, seed=seed)
+            for node in scenario.correct_nodes():
+                assert node.refinements <= 2
+
+    def test_latency_bound_under_unit_delays(self):
+        """Theorem 3: at most 2f + 5 message delays with unit-delay links."""
+        for f in (0, 1, 2):
+            n = 3 * f + 1
+            scenario = run_wts_scenario(n=n, f=f, seed=f, delay_model=FixedDelay(1.0))
+            decision_time = max(r.time for r in scenario.metrics.decisions)
+            assert decision_time <= 2 * f + 5
+
+    def test_works_on_non_set_lattices(self):
+        lattice = MaxIntLattice()
+        proposals = {"p0": 3, "p1": 10, "p2": 6}
+        scenario = run_wts_scenario(n=4, f=1, lattice=lattice, proposals=proposals, seed=4)
+        assert scenario.check_la().ok
+        for decs in scenario.decisions().values():
+            assert decs[0] >= 1
+
+    def test_works_on_gcounter_lattice(self):
+        lattice = GCounterLattice()
+        proposals = {
+            "p0": lattice.lift({"p0": 3}),
+            "p1": lattice.lift({"p1": 5}),
+            "p2": lattice.lift({"p2": 1}),
+        }
+        scenario = run_wts_scenario(n=4, f=1, lattice=lattice, proposals=proposals, seed=5)
+        assert scenario.check_la().ok
+
+    def test_message_complexity_dominated_by_reliable_broadcast(self):
+        scenario = run_wts_scenario(n=7, f=2, seed=6)
+        by_type = scenario.metrics.sent_by_type
+        rb_messages = by_type["rb_init"] + by_type["rb_echo"] + by_type["rb_ready"]
+        other = by_type.get("ack_req", 0) + by_type.get("ack", 0) + by_type.get("nack", 0)
+        assert rb_messages > other
+
+    def test_stop_condition_leaves_no_correct_process_undecided(self):
+        scenario = run_wts_scenario(n=10, f=3, seed=7, delay_model=UniformDelay(0.1, 4.0))
+        assert all(decs for decs in scenario.decisions().values())
+
+
+class TestProcessInternals:
+    def test_invalid_proposal_rejected(self):
+        with pytest.raises(ValueError):
+            WTSProcess("p0", SetLattice(), ["p0", "p1"], 0, proposal="not-a-set")
+
+    def test_default_proposal_is_bottom(self):
+        process = WTSProcess("p0", SetLattice(), ["p0", "p1", "p2", "p3"], 1)
+        assert process.proposal == frozenset()
+
+    def test_safe_predicate_tracks_svs(self):
+        lattice = SetLattice()
+        process = WTSProcess("p0", lattice, ["p0", "p1", "p2", "p3"], 1,
+                             proposal=frozenset({"a"}))
+        assert not process.is_safe(frozenset({"a"}))
+        process.svs["p0"] = frozenset({"a"})
+        assert process.is_safe(frozenset({"a"}))
+        assert not process.is_safe(frozenset({"a", "b"}))
+
+    def test_initial_state(self):
+        process = WTSProcess("p0", SetLattice(), ["p0", "p1", "p2", "p3"], 1)
+        assert process.state == "disclosing"
+        assert process.ts == 0
+        assert process.init_counter == 0

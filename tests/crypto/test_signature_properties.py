@@ -1,0 +1,52 @@
+"""Property-based tests for the signature substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import KeyRegistry, SignedValue, canonical_bytes
+
+# Hashable payloads (usable inside frozensets); dicts only appear at the top
+# level since canonical_bytes accepts them but frozensets cannot contain them.
+hashable_payloads = st.recursive(
+    st.one_of(
+        st.integers(min_value=-100, max_value=100),
+        st.text(max_size=8),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.frozensets(children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+payloads = st.one_of(
+    hashable_payloads,
+    st.dictionaries(st.text(max_size=3), hashable_payloads, max_size=3),
+    st.lists(hashable_payloads, max_size=4),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=payloads)
+def test_sign_verify_roundtrip(payload):
+    registry = KeyRegistry(seed=1)
+    signer = registry.register("p0")
+    assert registry.verify(signer.sign(payload))
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=payloads)
+def test_canonical_bytes_is_stable(payload):
+    assert canonical_bytes(payload) == canonical_bytes(payload)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=hashable_payloads, other=hashable_payloads)
+def test_signature_does_not_transfer_between_signers(payload, other):
+    registry = KeyRegistry(seed=2)
+    alice = registry.register("alice")
+    registry.register("bob")
+    signed = alice.sign(payload)
+    stolen = SignedValue(value=payload, signer="bob", tag=signed.tag)
+    assert not registry.verify(stolen)

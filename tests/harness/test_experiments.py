@@ -1,0 +1,68 @@
+"""Smoke + shape tests for the experiment runners E1-E10 (quick settings)."""
+
+import pytest
+
+from repro.harness import (
+    ALL_EXPERIMENTS,
+    run_baseline_comparison,
+    run_breadth_experiment,
+    run_chain_experiment,
+    run_resilience_experiment,
+    run_rsm_experiment,
+    run_sbs_experiment,
+    run_wts_latency_experiment,
+    run_wts_messages_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_ten_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 12)}
+
+    def test_every_outcome_has_table_and_expected(self):
+        outcome = run_chain_experiment(quick=True)
+        assert "table" in outcome and "expected" in outcome and "experiment" in outcome
+
+
+class TestShapes:
+    def test_e1_chain(self):
+        outcome = run_chain_experiment(quick=True)
+        assert outcome["is_chain"]
+        assert outcome["check"].ok
+
+    def test_e2_resilience_shape(self):
+        outcome = run_resilience_experiment(quick=True)
+        small_wts, small_crash, big_wts = outcome["outcomes"]
+        assert small_wts["safety_ok"] and not small_wts["live"]
+        assert small_crash["live"] and not small_crash["safety_ok"]
+        assert big_wts["safety_ok"] and big_wts["live"]
+
+    def test_e3_latency_within_bound(self):
+        outcome = run_wts_latency_experiment(quick=True)
+        for f, measured in outcome["series"].items():
+            assert measured <= 2 * f + 5
+
+    def test_e4_quadratic_shape(self):
+        outcome = run_wts_messages_experiment(sizes=(4, 7, 10), quick=True)
+        assert 1.5 <= outcome["fit_order"] <= 3.0
+
+    def test_e5_linear_shape_and_latency(self):
+        outcome = run_sbs_experiment(sizes=(4, 7, 10), quick=True)
+        assert 0.7 <= outcome["fit_order"] <= 1.5
+        for f, n, measured, bound in outcome["latency_rows"]:
+            assert float(measured) <= bound
+
+    def test_e8_rsm_properties(self):
+        outcome = run_rsm_experiment(quick=True)
+        assert outcome["check"].ok
+
+    def test_e9_breadth_contrast(self):
+        outcome = run_breadth_experiment(breadths=(2, 4, 6), quick=True)
+        for row in outcome["outcomes"]:
+            assert row["our_spec_ok"]
+        assert any(not row["restricted_feasible"] for row in outcome["outcomes"])
+
+    def test_e10_overhead_positive(self):
+        outcome = run_baseline_comparison(sizes=(4, 7), quick=True)
+        for n, wts in outcome["wts_series"].items():
+            assert wts > outcome["crash_series"][n]

@@ -1,0 +1,62 @@
+"""Tests for the scenario builders."""
+
+import pytest
+
+from repro.byzantine import SilentByzantine
+from repro.harness import (
+    member_pids,
+    run_gwts_scenario,
+    run_rsm_scenario,
+    run_sbs_scenario,
+    run_wts_scenario,
+)
+from repro.harness.workloads import default_proposals, make_gla_inputs
+from repro.lattice import SetLattice
+
+
+class TestHelpers:
+    def test_member_pids(self):
+        assert member_pids(3) == ["p0", "p1", "p2"]
+        assert member_pids(2, prefix="r") == ["r0", "r1"]
+
+    def test_default_proposals_are_distinct_singletons(self):
+        proposals = default_proposals(SetLattice(), ["p0", "p1"])
+        assert len(set(proposals.values())) == 2
+        assert all(len(v) == 1 for v in proposals.values())
+
+    def test_make_gla_inputs(self):
+        inputs = make_gla_inputs(["p0", "p1"], 3)
+        assert len(inputs["p0"]) == 3
+        flat = [v for values in inputs.values() for v in values]
+        assert len(set(flat)) == 6
+
+
+class TestScenarioResult:
+    def test_views_cover_only_correct_processes(self):
+        scenario = run_wts_scenario(
+            n=4, f=1,
+            byzantine_factories=[lambda pid, lat, m, f: SilentByzantine(pid)],
+            seed=0,
+        )
+        assert set(scenario.correct_pids) == {"p0", "p1", "p2"}
+        assert scenario.byzantine_pids == ["p3"]
+        assert set(scenario.proposals()) == {"p0", "p1", "p2"}
+        assert set(scenario.decisions()) == {"p0", "p1", "p2"}
+
+    def test_too_many_byzantine_factories_rejected(self):
+        with pytest.raises(ValueError):
+            run_wts_scenario(n=2, f=1, byzantine_factories=[
+                lambda pid, lat, m, f: SilentByzantine(pid)] * 3)
+
+    def test_extras_for_sbs_and_rsm(self):
+        sbs = run_sbs_scenario(n=4, f=1, seed=1)
+        assert "registry" in sbs.extras
+        rsm = run_rsm_scenario(
+            n_replicas=4, f=1, client_scripts={"c": [("read",)]}, rounds=6, seed=1
+        )
+        assert "clients" in rsm.extras and "histories" in rsm.extras
+
+    def test_run_result_metadata(self):
+        scenario = run_gwts_scenario(n=4, f=1, values_per_process=1, rounds=2, seed=2)
+        assert scenario.run.delivered > 0
+        assert scenario.metrics.total_sent >= scenario.run.delivered

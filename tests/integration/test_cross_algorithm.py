@@ -1,0 +1,63 @@
+"""Cross-algorithm integration tests: the same workload through every algorithm."""
+
+import pytest
+
+from repro.harness import (
+    run_crash_gla_scenario,
+    run_crash_la_scenario,
+    run_gsbs_scenario,
+    run_gwts_scenario,
+    run_sbs_scenario,
+    run_wts_scenario,
+)
+from repro.lattice import SetLattice
+
+
+PROPOSALS = {
+    "p0": frozenset({"alpha"}),
+    "p1": frozenset({"beta"}),
+    "p2": frozenset({"gamma"}),
+}
+
+
+class TestSameWorkloadAllAlgorithms:
+    @pytest.mark.parametrize("runner", [run_wts_scenario, run_sbs_scenario, run_crash_la_scenario])
+    def test_single_shot_algorithms_agree_on_the_spec(self, runner):
+        scenario = runner(n=4, f=1, proposals=dict(PROPOSALS), seed=77)
+        check = scenario.check_la()
+        assert check.ok, f"{runner.__name__}: {check}"
+        union = frozenset({"alpha", "beta", "gamma"})
+        for decs in scenario.decisions().values():
+            assert decs[0] <= union
+
+    @pytest.mark.parametrize(
+        "runner", [run_gwts_scenario, run_gsbs_scenario, run_crash_gla_scenario]
+    )
+    def test_generalized_algorithms_agree_on_the_spec(self, runner):
+        scenario = runner(n=4, f=1, values_per_process=2, rounds=3, seed=78)
+        check = scenario.check_gla()
+        assert check.ok, f"{runner.__name__}: {check}"
+
+    def test_wts_and_sbs_decide_comparable_content_on_same_inputs(self):
+        wts = run_wts_scenario(n=4, f=1, proposals=dict(PROPOSALS), seed=79)
+        sbs = run_sbs_scenario(n=4, f=1, proposals=dict(PROPOSALS), seed=79)
+        lattice = SetLattice()
+        for decisions in (wts.decisions(), sbs.decisions()):
+            for pid, proposal in PROPOSALS.items():
+                assert lattice.leq(proposal, decisions[pid][0])
+
+    def test_signature_variant_is_cheaper_in_messages(self):
+        wts = run_wts_scenario(n=10, f=1, seed=80)
+        sbs = run_sbs_scenario(n=10, f=1, seed=80)
+        assert (
+            sbs.metrics.mean_messages_per_process(sbs.correct_pids)
+            < wts.metrics.mean_messages_per_process(wts.correct_pids)
+        )
+
+    def test_byzantine_algorithms_never_cheaper_than_crash_baseline(self):
+        crash = run_crash_la_scenario(n=7, f=2, seed=81)
+        wts = run_wts_scenario(n=7, f=2, seed=81)
+        assert (
+            wts.metrics.mean_messages_per_process(wts.correct_pids)
+            >= crash.metrics.mean_messages_per_process(crash.correct_pids)
+        )

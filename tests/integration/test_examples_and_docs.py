@@ -1,0 +1,49 @@
+"""The shipped examples must run end to end (they are part of the public API)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Lattice Agreement properties hold: True" in result.stdout
+
+    def test_replicated_counter(self):
+        result = run_example("replicated_counter.py")
+        assert result.returncode == 0, result.stderr
+        assert "RSM properties (Section 7.1) hold: True" in result.stdout
+
+    def test_attack_gallery(self):
+        result = run_example("attack_gallery.py")
+        assert result.returncode == 0, result.stderr
+        assert "PROPERTIES VIOLATED" not in result.stdout.split("Negative control")[0]
+
+    def test_signatures_vs_plain(self):
+        result = run_example("signatures_vs_plain.py")
+        assert result.returncode == 0, result.stderr
+        assert "WTS" in result.stdout
+
+    def test_run_all_experiments_cli_single_experiment(self):
+        result = run_example("run_all_experiments.py", "--quick", "--only", "E1")
+        assert result.returncode == 0, result.stderr
+        assert "E1" in result.stdout
+
+    def test_run_all_experiments_cli_rejects_unknown(self):
+        result = run_example("run_all_experiments.py", "--only", "E99")
+        assert result.returncode == 2

@@ -1,0 +1,97 @@
+"""Unit tests for chain / comparability / breadth / Hasse utilities."""
+
+import pytest
+
+from repro.lattice import (
+    SetLattice,
+    all_comparable,
+    chain_violations,
+    hasse_diagram_text,
+    hasse_edges,
+    is_chain,
+    lattice_breadth,
+    longest_chain,
+    sort_chain,
+)
+
+
+@pytest.fixture
+def lat():
+    return SetLattice()
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestComparability:
+    def test_all_comparable_chain(self, lat):
+        assert all_comparable(lat, [fs(1), fs(1, 2), fs(1, 2, 3)])
+
+    def test_all_comparable_detects_antichain(self, lat):
+        assert not all_comparable(lat, [fs(1), fs(2)])
+
+    def test_empty_and_singleton_are_comparable(self, lat):
+        assert all_comparable(lat, [])
+        assert all_comparable(lat, [fs(1)])
+
+    def test_chain_violations_lists_pairs(self, lat):
+        violations = chain_violations(lat, [fs(1), fs(2), fs(1, 2)])
+        assert (fs(1), fs(2)) in violations or (fs(2), fs(1)) in violations
+        assert len(violations) == 1
+
+
+class TestChains:
+    def test_is_chain_checks_sequence_order(self, lat):
+        assert is_chain(lat, [fs(1), fs(1, 2), fs(1, 2, 3)])
+        assert not is_chain(lat, [fs(1, 2), fs(1)])
+
+    def test_sort_chain(self, lat):
+        chain = sort_chain(lat, [fs(1, 2, 3), fs(1), fs(1, 2)])
+        assert chain == [fs(1), fs(1, 2), fs(1, 2, 3)]
+
+    def test_sort_chain_rejects_incomparable(self, lat):
+        with pytest.raises(ValueError):
+            sort_chain(lat, [fs(1), fs(2)])
+
+    def test_sort_chain_with_duplicates(self, lat):
+        chain = sort_chain(lat, [fs(1), fs(1), fs(1, 2)])
+        assert chain[0] == fs(1) and chain[-1] == fs(1, 2)
+
+    def test_longest_chain(self, lat):
+        values = [fs(1), fs(2), fs(1, 2), fs(1, 2, 3), fs(4)]
+        chain = longest_chain(lat, values)
+        assert len(chain) == 3
+        assert is_chain(lat, chain)
+
+    def test_longest_chain_empty(self, lat):
+        assert longest_chain(lat, []) == []
+
+
+class TestBreadth:
+    def test_breadth_of_power_set(self, lat):
+        singletons = [fs(i) for i in range(4)]
+        assert lattice_breadth(lat, singletons) == 4
+
+    def test_breadth_of_chain_is_one(self, lat):
+        chain = [fs(1), fs(1, 2), fs(1, 2, 3)]
+        assert lattice_breadth(lat, chain) == 1
+
+    def test_breadth_empty(self, lat):
+        assert lattice_breadth(lat, []) == 0
+
+
+class TestHasse:
+    def test_covering_edges(self, lat):
+        elements = [fs(), fs(1), fs(2), fs(1, 2)]
+        edges = hasse_edges(lat, elements)
+        assert (fs(), fs(1)) in edges
+        assert (fs(1), fs(1, 2)) in edges
+        # Transitive edge must not appear.
+        assert (fs(), fs(1, 2)) not in edges
+
+    def test_diagram_text_levels_and_highlight(self, lat):
+        elements = [fs(), fs(1), fs(1, 2)]
+        text = hasse_diagram_text(lat, elements, highlight_chain=[fs(1)])
+        assert "level 0" in text and "level 2" in text
+        assert "*{1}" in text

@@ -1,0 +1,94 @@
+"""Unit tests for counter lattices."""
+
+import pytest
+
+from repro.lattice import GCounterLattice, MaxIntLattice, MinIntDualLattice
+
+
+class TestGCounter:
+    def test_bottom(self, gcounter_lattice):
+        assert gcounter_lattice.bottom() == ()
+        assert gcounter_lattice.value(gcounter_lattice.bottom()) == 0
+
+    def test_lift_from_mapping(self, gcounter_lattice):
+        element = gcounter_lattice.lift({"p0": 2, "p1": 3})
+        assert gcounter_lattice.value(element) == 5
+
+    def test_join_is_pointwise_max(self, gcounter_lattice):
+        a = gcounter_lattice.lift({"p0": 2, "p1": 1})
+        b = gcounter_lattice.lift({"p0": 1, "p1": 5, "p2": 4})
+        joined = gcounter_lattice.join(a, b)
+        assert gcounter_lattice.value(joined) == 2 + 5 + 4
+
+    def test_join_idempotent(self, gcounter_lattice):
+        a = gcounter_lattice.lift({"p0": 2})
+        assert gcounter_lattice.join(a, a) == a
+
+    def test_increment(self, gcounter_lattice):
+        a = gcounter_lattice.bottom()
+        a = gcounter_lattice.increment(a, "p0", 3)
+        a = gcounter_lattice.increment(a, "p0", 2)
+        assert gcounter_lattice.value(a) == 5
+
+    def test_increment_negative_raises(self, gcounter_lattice):
+        with pytest.raises(ValueError):
+            gcounter_lattice.increment(gcounter_lattice.bottom(), "p0", -1)
+
+    def test_leq(self, gcounter_lattice):
+        small = gcounter_lattice.lift({"p0": 1})
+        big = gcounter_lattice.lift({"p0": 2, "p1": 1})
+        assert gcounter_lattice.leq(small, big)
+        assert not gcounter_lattice.leq(big, small)
+
+    def test_zero_entries_are_normalised_away(self, gcounter_lattice):
+        element = gcounter_lattice.lift({"p0": 0, "p1": 2})
+        assert element == (("p1", 2),)
+
+    def test_is_element(self, gcounter_lattice):
+        assert gcounter_lattice.is_element((("p0", 1),))
+        assert not gcounter_lattice.is_element([("p0", 1)])
+        assert not gcounter_lattice.is_element((("p0", -2),))
+
+
+class TestMaxInt:
+    def test_join_is_max(self, max_lattice):
+        assert max_lattice.join(3, 7) == 7
+
+    def test_bottom_is_zero(self, max_lattice):
+        assert max_lattice.bottom() == 0
+
+    def test_leq(self, max_lattice):
+        assert max_lattice.leq(3, 7)
+        assert not max_lattice.leq(7, 3)
+
+    def test_is_element_rejects_negatives_and_bools(self, max_lattice):
+        assert max_lattice.is_element(0)
+        assert not max_lattice.is_element(-1)
+        assert not max_lattice.is_element(True)
+        assert not max_lattice.is_element("3")
+
+    def test_lift_invalid_raises(self, max_lattice):
+        with pytest.raises(ValueError):
+            max_lattice.lift(-5)
+
+
+class TestMinIntDual:
+    def test_bottom_absorbs(self):
+        lattice = MinIntDualLattice()
+        assert lattice.join(None, 5) == 5
+        assert lattice.join(5, None) == 5
+
+    def test_join_is_min(self):
+        lattice = MinIntDualLattice()
+        assert lattice.join(3, 7) == 3
+
+    def test_order_is_reversed(self):
+        lattice = MinIntDualLattice()
+        assert lattice.leq(7, 3)
+        assert not lattice.leq(3, 7)
+
+    def test_none_is_element(self):
+        lattice = MinIntDualLattice()
+        assert lattice.is_element(None)
+        assert lattice.is_element(-10)
+        assert not lattice.is_element("x")

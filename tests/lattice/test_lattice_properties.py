@@ -1,0 +1,113 @@
+"""Property-based tests: algebraic laws every lattice implementation must obey."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lattice import (
+    GCounterLattice,
+    MapLattice,
+    MaxIntLattice,
+    ProductLattice,
+    SetLattice,
+    VectorClockLattice,
+)
+
+# -- element strategies ------------------------------------------------------
+
+set_elements = st.frozensets(st.integers(min_value=0, max_value=30), max_size=8)
+max_elements = st.integers(min_value=0, max_value=1000)
+gcounter_elements = st.dictionaries(
+    st.sampled_from(["p0", "p1", "p2", "p3"]), st.integers(min_value=0, max_value=50), max_size=4
+).map(lambda d: GCounterLattice().lift(d))
+vc_elements = st.tuples(*([st.integers(min_value=0, max_value=20)] * 3))
+map_elements = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]), st.integers(min_value=0, max_value=50), max_size=3
+).map(lambda d: MapLattice(MaxIntLattice()).lift(d))
+product_elements = st.tuples(set_elements, max_elements)
+
+LATTICES = [
+    (SetLattice(), set_elements),
+    (MaxIntLattice(), max_elements),
+    (GCounterLattice(), gcounter_elements),
+    (VectorClockLattice(3), vc_elements),
+    (MapLattice(MaxIntLattice()), map_elements),
+    (ProductLattice([SetLattice(), MaxIntLattice()]), product_elements),
+]
+
+
+def _case_id(pair):
+    return pair[0].describe()
+
+
+def pytest_generate_tests(metafunc):
+    if "lattice_case" in metafunc.fixturenames:
+        metafunc.parametrize("lattice_case", LATTICES, ids=_case_id)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_join_idempotent(lattice_case, data):
+    lattice, strategy = lattice_case
+    a = data.draw(strategy)
+    assert lattice.join(a, a) == a
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_join_commutative(lattice_case, data):
+    lattice, strategy = lattice_case
+    a, b = data.draw(strategy), data.draw(strategy)
+    assert lattice.join(a, b) == lattice.join(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_join_associative(lattice_case, data):
+    lattice, strategy = lattice_case
+    a, b, c = data.draw(strategy), data.draw(strategy), data.draw(strategy)
+    assert lattice.join(lattice.join(a, b), c) == lattice.join(a, lattice.join(b, c))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_bottom_is_identity(lattice_case, data):
+    lattice, strategy = lattice_case
+    a = data.draw(strategy)
+    assert lattice.join(lattice.bottom(), a) == a
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_join_is_upper_bound(lattice_case, data):
+    lattice, strategy = lattice_case
+    a, b = data.draw(strategy), data.draw(strategy)
+    joined = lattice.join(a, b)
+    assert lattice.leq(a, joined)
+    assert lattice.leq(b, joined)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_order_antisymmetric(lattice_case, data):
+    lattice, strategy = lattice_case
+    a, b = data.draw(strategy), data.draw(strategy)
+    if lattice.leq(a, b) and lattice.leq(b, a):
+        assert a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_order_definition_matches_paper(lattice_case, data):
+    """u <= v iff v = u + v (Section 3.1)."""
+    lattice, strategy = lattice_case
+    a, b = data.draw(strategy), data.draw(strategy)
+    assert lattice.leq(a, b) == (lattice.join(a, b) == b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_elements_are_valid(lattice_case, data):
+    lattice, strategy = lattice_case
+    a, b = data.draw(strategy), data.draw(strategy)
+    assert lattice.is_element(a)
+    assert lattice.is_element(lattice.join(a, b))
+    assert lattice.is_element(lattice.bottom())

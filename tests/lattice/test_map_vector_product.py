@@ -1,0 +1,112 @@
+"""Unit tests for map, vector-clock and product lattices."""
+
+import pytest
+
+from repro.lattice import MapLattice, MaxIntLattice, ProductLattice, SetLattice, VectorClockLattice
+
+
+class TestMapLattice:
+    def test_bottom_is_empty_map(self, map_lattice):
+        assert map_lattice.bottom() == ()
+
+    def test_lift_and_get(self, map_lattice):
+        element = map_lattice.lift({"x": 3, "y": 1})
+        assert map_lattice.get(element, "x") == 3
+        assert map_lattice.get(element, "missing") == 0
+
+    def test_join_merges_keys_pointwise(self, map_lattice):
+        a = map_lattice.lift({"x": 3, "y": 1})
+        b = map_lattice.lift({"y": 5, "z": 2})
+        joined = map_lattice.join(a, b)
+        assert map_lattice.get(joined, "x") == 3
+        assert map_lattice.get(joined, "y") == 5
+        assert map_lattice.get(joined, "z") == 2
+
+    def test_leq(self, map_lattice):
+        small = map_lattice.lift({"x": 1})
+        big = map_lattice.lift({"x": 2, "y": 1})
+        assert map_lattice.leq(small, big)
+        assert not map_lattice.leq(big, small)
+
+    def test_set_entry(self, map_lattice):
+        element = map_lattice.set_entry(map_lattice.bottom(), "k", 9)
+        assert map_lattice.get(element, "k") == 9
+
+    def test_is_element_checks_inner(self, map_lattice):
+        assert map_lattice.is_element((("x", 3),))
+        assert not map_lattice.is_element((("x", -1),))
+        assert not map_lattice.is_element({"x": 1})
+
+    def test_nested_map_of_sets(self):
+        lattice = MapLattice(SetLattice())
+        a = lattice.lift({"s": {1, 2}})
+        b = lattice.lift({"s": {3}})
+        assert lattice.get(lattice.join(a, b), "s") == frozenset({1, 2, 3})
+
+
+class TestVectorClock:
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            VectorClockLattice(0)
+
+    def test_bottom(self, vc_lattice):
+        assert vc_lattice.bottom() == (0, 0, 0, 0)
+
+    def test_join_pointwise_max(self, vc_lattice):
+        assert vc_lattice.join((1, 0, 3, 2), (0, 5, 1, 2)) == (1, 5, 3, 2)
+
+    def test_tick(self, vc_lattice):
+        assert vc_lattice.tick((0, 0, 0, 0), 2) == (0, 0, 1, 0)
+
+    def test_lift_from_mapping(self, vc_lattice):
+        assert vc_lattice.lift({1: 4}) == (0, 4, 0, 0)
+
+    def test_lift_from_sequence(self, vc_lattice):
+        assert vc_lattice.lift([1, 2, 3, 4]) == (1, 2, 3, 4)
+
+    def test_lift_wrong_length_raises(self, vc_lattice):
+        with pytest.raises(ValueError):
+            vc_lattice.lift([1, 2])
+
+    def test_concurrent_clocks_incomparable(self, vc_lattice):
+        assert not vc_lattice.comparable((1, 0, 0, 0), (0, 1, 0, 0))
+
+    def test_is_element(self, vc_lattice):
+        assert vc_lattice.is_element((0, 1, 2, 3))
+        assert not vc_lattice.is_element((0, 1, 2))
+        assert not vc_lattice.is_element((0, 1, 2, -1))
+
+
+class TestProductLattice:
+    def test_requires_factors(self):
+        with pytest.raises(ValueError):
+            ProductLattice([])
+
+    def test_bottom(self, product_lattice):
+        assert product_lattice.bottom() == (frozenset(), 0)
+
+    def test_componentwise_join(self, product_lattice):
+        a = (frozenset({1}), 5)
+        b = (frozenset({2}), 3)
+        assert product_lattice.join(a, b) == (frozenset({1, 2}), 5)
+
+    def test_leq_requires_both_components(self, product_lattice):
+        assert product_lattice.leq((frozenset(), 1), (frozenset({1}), 2))
+        assert not product_lattice.leq((frozenset({9}), 1), (frozenset({1}), 2))
+
+    def test_lift(self, product_lattice):
+        assert product_lattice.lift(({1, 2}, 7)) == (frozenset({1, 2}), 7)
+
+    def test_lift_wrong_arity_raises(self, product_lattice):
+        with pytest.raises(ValueError):
+            product_lattice.lift(({1},))
+
+    def test_inject(self, product_lattice):
+        assert product_lattice.inject(1, 9) == (frozenset(), 9)
+        with pytest.raises(ValueError):
+            product_lattice.inject(1, -3)
+
+    def test_is_element(self, product_lattice):
+        assert product_lattice.is_element((frozenset({1}), 3))
+        assert not product_lattice.is_element((frozenset({1}), -3))
+        assert not product_lattice.is_element((frozenset({1}),))

@@ -1,0 +1,79 @@
+"""Unit tests for the power-set lattice (Figure 1's lattice)."""
+
+import pytest
+
+from repro.lattice import SetLattice
+
+
+class TestBasics:
+    def test_bottom_is_empty_set(self, set_lattice):
+        assert set_lattice.bottom() == frozenset()
+
+    def test_join_is_union(self, set_lattice):
+        assert set_lattice.join(frozenset({1}), frozenset({2, 3})) == frozenset({1, 2, 3})
+
+    def test_join_returns_frozenset(self, set_lattice):
+        assert isinstance(set_lattice.join({1}, {2}), frozenset)
+
+    def test_leq_is_subset(self, set_lattice):
+        assert set_lattice.leq(frozenset({1}), frozenset({1, 2}))
+        assert not set_lattice.leq(frozenset({3}), frozenset({1, 2}))
+
+    def test_lt_strict(self, set_lattice):
+        assert set_lattice.lt(frozenset(), frozenset({1}))
+        assert not set_lattice.lt(frozenset({1}), frozenset({1}))
+
+    def test_comparable(self, set_lattice):
+        assert set_lattice.comparable(frozenset({1}), frozenset({1, 2}))
+        assert not set_lattice.comparable(frozenset({1}), frozenset({2}))
+
+    def test_join_all_empty_is_bottom(self, set_lattice):
+        assert set_lattice.join_all([]) == set_lattice.bottom()
+
+    def test_join_all(self, set_lattice):
+        values = [frozenset({i}) for i in range(5)]
+        assert set_lattice.join_all(values) == frozenset(range(5))
+
+    def test_figure1_example(self, set_lattice):
+        """The join of {1} and {2,3} is {1,2,3}, as in Figure 1."""
+        assert set_lattice.join(frozenset({1}), frozenset({2, 3})) == frozenset({1, 2, 3})
+        assert set_lattice.leq(frozenset({1}), frozenset({1, 3, 4}))
+        assert not set_lattice.leq(frozenset({2}), frozenset({3}))
+
+
+class TestElements:
+    def test_sets_are_elements(self, set_lattice):
+        assert set_lattice.is_element(frozenset({1, 2}))
+        assert set_lattice.is_element(set())
+
+    def test_non_sets_are_not_elements(self, set_lattice):
+        assert not set_lattice.is_element("abc")
+        assert not set_lattice.is_element(42)
+        assert not set_lattice.is_element([1, 2])
+        assert not set_lattice.is_element(None)
+
+    def test_lift_scalar(self, set_lattice):
+        assert set_lattice.lift("x") == frozenset({"x"})
+
+    def test_lift_iterable(self, set_lattice):
+        assert set_lattice.lift({1, 2}) == frozenset({1, 2})
+
+
+class TestUniverse:
+    def test_universe_restricts_elements(self, bounded_set_lattice):
+        assert bounded_set_lattice.is_element(frozenset({"a", "b"}))
+        assert not bounded_set_lattice.is_element(frozenset({"z"}))
+
+    def test_lift_outside_universe_raises(self, bounded_set_lattice):
+        with pytest.raises(ValueError):
+            bounded_set_lattice.lift("zzz")
+
+    def test_breadth_matches_universe(self, bounded_set_lattice):
+        assert bounded_set_lattice.breadth() == 5
+
+    def test_unbounded_breadth_is_none(self, set_lattice):
+        assert set_lattice.breadth() is None
+
+    def test_describe_mentions_universe(self, bounded_set_lattice, set_lattice):
+        assert "5" in bounded_set_lattice.describe()
+        assert "unbounded" in set_lattice.describe()

@@ -1,0 +1,69 @@
+"""Unit tests for the metrics collector."""
+
+from repro.metrics import MetricsCollector
+
+
+class TestCounting:
+    def test_record_send_updates_counters(self):
+        metrics = MetricsCollector()
+        metrics.record_send("p0", "p1", "ack", 3)
+        metrics.record_send("p0", "p2", "ack", 5)
+        metrics.record_send("p1", "p0", "nack", 2)
+        assert metrics.total_sent == 3
+        assert metrics.sent_by_process["p0"] == 2
+        assert metrics.sent_by_type["ack"] == 2
+        assert metrics.sent_by_process_and_type[("p0", "ack")] == 2
+        assert metrics.bytes_by_process["p0"] == 8
+        assert metrics.max_payload_size == 5
+
+    def test_record_delivery(self):
+        metrics = MetricsCollector()
+        metrics.record_delivery("p0", "p1", "ack")
+        assert metrics.total_delivered == 1
+        assert metrics.delivered_by_process["p1"] == 1
+
+    def test_max_and_mean_messages(self):
+        metrics = MetricsCollector()
+        for _ in range(4):
+            metrics.record_send("p0", "p1", "m", 1)
+        for _ in range(2):
+            metrics.record_send("p1", "p0", "m", 1)
+        assert metrics.max_messages_per_process() == 4
+        assert metrics.max_messages_per_process(["p1"]) == 2
+        assert metrics.mean_messages_per_process(["p0", "p1"]) == 3.0
+
+    def test_empty_collector(self):
+        metrics = MetricsCollector()
+        assert metrics.max_messages_per_process() == 0
+        assert metrics.mean_messages_per_process() == 0.0
+        assert metrics.max_decision_depth() == 0
+
+
+class TestDecisions:
+    def test_record_decision(self):
+        metrics = MetricsCollector()
+        record = metrics.record_decision("p0", frozenset({1}), time=2.5, causal_depth=4, round=1)
+        assert record.pid == "p0"
+        assert metrics.decisions_of("p0") == [record]
+        assert metrics.decided_pids() == ["p0"]
+        assert metrics.max_decision_depth() == 4
+
+    def test_decision_depth_filtered_by_pid(self):
+        metrics = MetricsCollector()
+        metrics.record_decision("p0", 1, time=1.0, causal_depth=3)
+        metrics.record_decision("p1", 2, time=1.0, causal_depth=9)
+        assert metrics.max_decision_depth(["p0"]) == 3
+
+    def test_summary_contains_headline_fields(self):
+        metrics = MetricsCollector()
+        metrics.record_send("p0", "p1", "ack", 1)
+        metrics.record_decision("p0", 1, time=1.0, causal_depth=2)
+        summary = metrics.summary()
+        assert summary["total_sent"] == 1
+        assert summary["decisions"] == 1
+        assert summary["sent_by_type"] == {"ack": 1}
+
+    def test_custom_events(self):
+        metrics = MetricsCollector()
+        metrics.record_event(1.0, "healed", {"partition": True})
+        assert metrics.custom_events == [(1.0, "healed", {"partition": True})]

@@ -1,0 +1,56 @@
+"""Unit tests for report formatting and shape fitting."""
+
+import math
+
+import pytest
+
+from repro.metrics import fit_polynomial_order, format_series, format_table, ratio_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.50" in text and "xyz" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_format_series_sorts_numeric_keys(self):
+        text = format_series({10: 1.0, 2: 2.0}, name="msgs")
+        lines = [line for line in text.splitlines() if line and not line.startswith(("x", "-"))]
+        assert lines[0].startswith("2")
+
+    def test_ratio_table(self):
+        text = ratio_table({4: 10.0, 7: 20.0}, {4: 20.0, 7: 80.0}, name="wts")
+        assert "2.00x" in text and "4.00x" in text
+
+
+class TestFitPolynomialOrder:
+    def test_linear(self):
+        xs = [4, 8, 16, 32]
+        ys = [3 * x for x in xs]
+        assert fit_polynomial_order(xs, ys) == pytest.approx(1.0, abs=0.01)
+
+    def test_quadratic(self):
+        xs = [4, 8, 16, 32]
+        ys = [2 * x * x for x in xs]
+        assert fit_polynomial_order(xs, ys) == pytest.approx(2.0, abs=0.01)
+
+    def test_cubic(self):
+        xs = [4, 8, 16]
+        ys = [x ** 3 for x in xs]
+        assert fit_polynomial_order(xs, ys) == pytest.approx(3.0, abs=0.01)
+
+    def test_degenerate_inputs(self):
+        assert fit_polynomial_order([], []) == 0.0
+        assert fit_polynomial_order([1], [1]) == 0.0
+        assert fit_polynomial_order([2, 2], [4, 4]) == 0.0
+
+    def test_ignores_nonpositive_points(self):
+        xs = [0, 4, 8, 16]
+        ys = [0, 4, 8, 16]
+        assert fit_polynomial_order(xs, ys) == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,88 @@
+"""Unit tests for the RSM property checker (Section 7.1)."""
+
+from repro.rsm import check_rsm_history, make_command, nop_command
+from repro.rsm.client import OperationRecord
+
+
+def update(client, seq, start, end, op=("obj", "add", 1)):
+    return OperationRecord(
+        client=client, kind="update", command=make_command(client, seq, op),
+        start_time=start, end_time=end,
+    )
+
+
+def read(client, seq, start, end, result):
+    return OperationRecord(
+        client=client, kind="read", command=nop_command(client, seq),
+        start_time=start, end_time=end, result=frozenset(result),
+    )
+
+
+class TestChecker:
+    def test_clean_history_passes(self):
+        u1 = update("a", 1, 0, 5)
+        r1 = read("a", 2, 6, 10, {u1.command})
+        r2 = read("b", 1, 11, 15, {u1.command})
+        result = check_rsm_history([[u1, r1], [r2]])
+        assert result.ok
+
+    def test_liveness_violation(self):
+        pending = OperationRecord(client="a", kind="update",
+                                  command=make_command("a", 1, "op"), start_time=0)
+        result = check_rsm_history([[pending]])
+        assert result.violated("liveness")
+        assert check_rsm_history([[pending]], require_liveness=False).ok
+
+    def test_read_validity_violation(self):
+        ghost = make_command("ghost", 1, "never-submitted")
+        r = read("a", 1, 0, 1, {ghost})
+        result = check_rsm_history([[r]], admissible_commands=set())
+        assert result.violated("read_validity")
+
+    def test_read_validity_ignores_nops(self):
+        r = read("a", 1, 0, 1, {nop_command("b", 4)})
+        assert check_rsm_history([[r]], admissible_commands=set()).ok
+
+    def test_read_consistency_violation(self):
+        c1 = make_command("a", 1, "x")
+        c2 = make_command("b", 1, "y")
+        r1 = read("a", 2, 0, 1, {c1})
+        r2 = read("b", 2, 0, 1, {c2})
+        result = check_rsm_history([[r1], [r2]])
+        assert result.violated("read_consistency")
+
+    def test_read_monotonicity_violation(self):
+        c1 = make_command("a", 1, "x")
+        r1 = read("a", 2, 0, 5, {c1})
+        r2 = read("b", 1, 6, 8, set())
+        result = check_rsm_history([[r1], [r2]])
+        assert result.violated("read_monotonicity")
+
+    def test_concurrent_reads_not_subject_to_monotonicity(self):
+        c1 = make_command("a", 1, "x")
+        r1 = read("a", 2, 0, 5, {c1})
+        r2 = read("b", 1, 2, 4, set())  # overlaps r1
+        result = check_rsm_history([[r1], [r2]])
+        assert not result.violated("read_monotonicity")
+
+    def test_update_stability_violation(self):
+        u1 = update("a", 1, 0, 5)
+        u2 = update("b", 1, 6, 9)
+        bad_read = read("c", 1, 10, 12, {u2.command})  # has u2 but not u1
+        result = check_rsm_history([[u1], [u2], [bad_read]])
+        assert result.violated("update_stability")
+
+    def test_update_visibility_violation(self):
+        u1 = update("a", 1, 0, 5)
+        late_read = read("b", 1, 6, 9, set())
+        result = check_rsm_history([[u1], [late_read]])
+        assert result.violated("update_visibility")
+
+    def test_concurrent_update_not_required_to_be_visible(self):
+        u1 = update("a", 1, 0, 10)
+        r1 = read("b", 1, 5, 8, set())  # overlaps the update
+        result = check_rsm_history([[u1], [r1]])
+        assert not result.violated("update_visibility")
+
+    def test_str_of_result(self):
+        assert "ok" in str(check_rsm_history([[]]))

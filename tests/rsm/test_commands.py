@@ -1,0 +1,27 @@
+"""Unit tests for RSM commands."""
+
+from repro.rsm import Command, make_command, nop_command
+
+
+class TestCommands:
+    def test_uniqueness_by_client_and_seq(self):
+        a = make_command("alice", 1, ("counter", "inc", 1))
+        b = make_command("alice", 2, ("counter", "inc", 1))
+        c = make_command("bob", 1, ("counter", "inc", 1))
+        assert len({a, b, c}) == 3
+
+    def test_equality(self):
+        assert make_command("a", 1, "op") == make_command("a", 1, "op")
+
+    def test_nop_detection(self):
+        assert nop_command("alice", 3).is_nop
+        assert not make_command("alice", 3, ("obj", "add", 1)).is_nop
+
+    def test_commands_are_hashable_and_frozen(self):
+        command = make_command("a", 1, ("obj", "add", 1))
+        assert command in {command}
+
+    def test_ordering_is_total(self):
+        commands = [make_command("b", 2, "x"), make_command("a", 1, "x"), make_command("a", 2, "x")]
+        ordered = sorted(commands)
+        assert ordered[0].client == "a" and ordered[0].seq == 1

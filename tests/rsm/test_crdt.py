@@ -1,0 +1,136 @@
+"""Unit tests for the CRDT object layer."""
+
+import pytest
+
+from repro.rsm import (
+    Command,
+    GCounterObject,
+    GSetObject,
+    LWWRegisterObject,
+    ORSetObject,
+    PNCounterObject,
+    make_command,
+    nop_command,
+)
+
+
+def cmds(obj_ops):
+    """Build unique commands from (client, seq, operation) triples."""
+    return [make_command(client, seq, op) for client, seq, op in obj_ops]
+
+
+class TestGSet:
+    def test_value_from_commands(self):
+        obj = GSetObject("tags")
+        commands = cmds([("a", 1, obj.op_add("x")), ("b", 1, obj.op_add("y"))])
+        assert obj.value(commands) == frozenset({"x", "y"})
+
+    def test_duplicates_collapse(self):
+        obj = GSetObject("tags")
+        commands = cmds([("a", 1, obj.op_add("x")), ("b", 1, obj.op_add("x"))])
+        assert obj.value(commands) == frozenset({"x"})
+
+    def test_ignores_other_namespaces_and_nops(self):
+        tags = GSetObject("tags")
+        other = GSetObject("other")
+        commands = cmds([("a", 1, other.op_add("z"))]) + [nop_command("a", 2)]
+        assert tags.value(commands) == frozenset()
+
+    def test_order_independence(self):
+        obj = GSetObject("tags")
+        commands = cmds([("a", i, obj.op_add(i)) for i in range(5)])
+        assert obj.value(commands) == obj.value(list(reversed(commands)))
+
+
+class TestCounters:
+    def test_gcounter_sum(self):
+        obj = GCounterObject("hits")
+        commands = cmds([("a", 1, obj.op_inc(2)), ("b", 1, obj.op_inc(3))])
+        assert obj.value(commands) == 5
+
+    def test_gcounter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GCounterObject("hits").op_inc(-1)
+
+    def test_pncounter(self):
+        obj = PNCounterObject("balance")
+        commands = cmds([
+            ("a", 1, obj.op_inc(10)),
+            ("b", 1, obj.op_dec(4)),
+            ("a", 2, obj.op_inc(1)),
+        ])
+        assert obj.value(commands) == 7
+
+    def test_counters_are_order_independent(self):
+        obj = PNCounterObject("balance")
+        commands = cmds([("a", i, obj.op_inc(i)) for i in range(1, 5)]
+                        + [("b", i, obj.op_dec(1)) for i in range(1, 4)])
+        assert obj.value(commands) == obj.value(list(reversed(commands)))
+
+
+class TestLWWRegister:
+    def test_latest_timestamp_wins(self):
+        obj = LWWRegisterObject("config")
+        commands = cmds([
+            ("a", 1, obj.op_write(1.0, "old")),
+            ("b", 1, obj.op_write(2.0, "new")),
+        ])
+        assert obj.value(commands) == "new"
+
+    def test_tie_broken_deterministically(self):
+        obj = LWWRegisterObject("config")
+        commands = cmds([
+            ("a", 1, obj.op_write(1.0, "from-a")),
+            ("b", 1, obj.op_write(1.0, "from-b")),
+        ])
+        assert obj.value(commands) == obj.value(list(reversed(commands)))
+
+    def test_empty_register_is_none(self):
+        assert LWWRegisterObject("config").value([]) is None
+
+
+class TestORSet:
+    def test_add_then_remove_by_tag(self):
+        obj = ORSetObject("cart")
+        commands = cmds([
+            ("a", 1, obj.op_add("milk", tag_id="t1")),
+            ("a", 2, obj.op_add("eggs", tag_id="t2")),
+            ("b", 1, obj.op_remove(["t1"])),
+        ])
+        assert obj.value(commands) == frozenset({"eggs"})
+
+    def test_remove_only_affects_observed_tags(self):
+        obj = ORSetObject("cart")
+        commands = cmds([
+            ("b", 1, obj.op_remove(["t9"])),
+            ("a", 1, obj.op_add("milk", tag_id="t1")),
+        ])
+        assert obj.value(commands) == frozenset({"milk"})
+
+    def test_order_independence(self):
+        obj = ORSetObject("cart")
+        commands = cmds([
+            ("a", 1, obj.op_add("x", tag_id="t1")),
+            ("b", 1, obj.op_remove(["t1"])),
+            ("a", 2, obj.op_add("x", tag_id="t2")),
+        ])
+        assert obj.value(commands) == obj.value(list(reversed(commands))) == frozenset({"x"})
+
+
+class TestNamespacing:
+    def test_owns(self):
+        obj = GSetObject("tags")
+        assert obj.owns(make_command("a", 1, obj.op_add("x")))
+        assert not obj.owns(make_command("a", 1, ("other", "add", "x")))
+        assert not obj.owns(make_command("a", 1, "malformed"))
+
+    def test_multiple_objects_share_one_command_set(self):
+        counter = GCounterObject("hits")
+        tags = GSetObject("tags")
+        commands = cmds([
+            ("a", 1, counter.op_inc(4)),
+            ("a", 2, tags.op_add("x")),
+            ("b", 1, counter.op_inc(1)),
+        ])
+        assert counter.value(commands) == 5
+        assert tags.value(commands) == frozenset({"x"})

@@ -1,0 +1,64 @@
+"""Property-based tests: CRDT evaluation is order- and duplication-insensitive."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rsm import GCounterObject, GSetObject, PNCounterObject, make_command
+
+counter = GCounterObject("hits")
+pn = PNCounterObject("bal")
+gset = GSetObject("tags")
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("inc"), st.integers(min_value=0, max_value=10)),
+        st.tuples(st.just("dec"), st.integers(min_value=0, max_value=10)),
+        st.tuples(st.just("add"), st.integers(min_value=0, max_value=5)),
+    ),
+    max_size=20,
+)
+
+
+def build_commands(ops):
+    commands = []
+    for index, (kind, argument) in enumerate(ops):
+        if kind == "inc":
+            commands.append(make_command("c", index, pn.op_inc(argument)))
+            commands.append(make_command("g", index, counter.op_inc(argument)))
+        elif kind == "dec":
+            commands.append(make_command("c", index, pn.op_dec(argument)))
+        else:
+            commands.append(make_command("s", index, gset.op_add(argument)))
+    return commands
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=operations, seed=st.randoms(use_true_random=False))
+def test_evaluation_is_order_insensitive(ops, seed):
+    commands = build_commands(ops)
+    shuffled = list(commands)
+    seed.shuffle(shuffled)
+    for obj in (counter, pn, gset):
+        assert obj.value(commands) == obj.value(shuffled)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=operations)
+def test_evaluation_ignores_duplicates(ops):
+    """Sets of commands: evaluating the set equals evaluating a multiset copy."""
+    commands = build_commands(ops)
+    duplicated = commands + commands
+    # Set semantics is what the RSM provides (decisions are sets of commands).
+    for obj in (counter, pn, gset):
+        assert obj.value(set(commands)) == obj.value(set(duplicated))
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=operations, extra=operations)
+def test_monotone_reads(ops, extra):
+    """A larger command set never loses set members and never lowers G-counters."""
+    small = build_commands(ops)
+    big = small + [
+        make_command("x", 1000 + i, counter.op_inc(a)) for i, (_, a) in enumerate(extra)
+    ]
+    assert counter.value(big) >= counter.value(small)
+    assert gset.value(small) <= gset.value(big)

@@ -1,0 +1,99 @@
+"""Unit tests for the delay models."""
+
+import random
+
+import pytest
+
+from repro.transport import (
+    AdversarialTargetedDelay,
+    Envelope,
+    FixedDelay,
+    LinkPartitionDelay,
+    SkewedPairDelay,
+    UniformDelay,
+)
+
+
+def env(sender="a", dest="b", send_time=0.0):
+    return Envelope(sender=sender, dest=dest, payload="x", send_time=send_time)
+
+
+class TestFixedDelay:
+    def test_constant(self):
+        model = FixedDelay(2.5)
+        rng = random.Random(0)
+        assert model.delay(env(), rng) == 2.5
+        assert model.delay(env(), rng) == 2.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedDelay(-1)
+
+
+class TestUniformDelay:
+    def test_within_bounds(self):
+        model = UniformDelay(1.0, 3.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 1.0 <= model.delay(env(), rng) <= 3.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformDelay(3.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformDelay(-1.0, 1.0)
+
+    def test_seeded_reproducibility(self):
+        model = UniformDelay()
+        a = [model.delay(env(), random.Random(7)) for _ in range(3)]
+        b = [model.delay(env(), random.Random(7)) for _ in range(3)]
+        assert a == b
+
+
+class TestSkewedPairDelay:
+    def test_slow_pair_is_slow_both_directions(self):
+        model = SkewedPairDelay([("a", "b")], base=FixedDelay(1.0), slow_delay=100.0)
+        rng = random.Random(0)
+        assert model.delay(env("a", "b"), rng) >= 100.0
+        assert model.delay(env("b", "a"), rng) >= 100.0
+
+    def test_other_pairs_use_base(self):
+        model = SkewedPairDelay([("a", "b")], base=FixedDelay(1.0), slow_delay=100.0)
+        rng = random.Random(0)
+        assert model.delay(env("a", "c"), rng) == 1.0
+
+
+class TestLinkPartitionDelay:
+    def test_cross_partition_held_until_heal(self):
+        model = LinkPartitionDelay(["a"], ["b"], heal_time=50.0, base=FixedDelay(1.0))
+        rng = random.Random(0)
+        delay = model.delay(env("a", "b", send_time=10.0), rng)
+        assert delay >= 40.0
+
+    def test_internal_traffic_unaffected(self):
+        model = LinkPartitionDelay(["a", "c"], ["b"], heal_time=50.0, base=FixedDelay(1.0))
+        rng = random.Random(0)
+        assert model.delay(env("a", "c", send_time=10.0), rng) == 1.0
+
+    def test_after_heal_uses_base(self):
+        model = LinkPartitionDelay(["a"], ["b"], heal_time=50.0, base=FixedDelay(1.0))
+        rng = random.Random(0)
+        assert model.delay(env("a", "b", send_time=60.0), rng) == 1.0
+
+
+class TestAdversarialTargetedDelay:
+    def test_chooser_wins(self):
+        model = AdversarialTargetedDelay(lambda e, rng: 42.0, base=FixedDelay(1.0))
+        assert model.delay(env(), random.Random(0)) == 42.0
+
+    def test_none_falls_back_to_base(self):
+        model = AdversarialTargetedDelay(lambda e, rng: None, base=FixedDelay(1.0))
+        assert model.delay(env(), random.Random(0)) == 1.0
+
+    def test_negative_choice_rejected(self):
+        model = AdversarialTargetedDelay(lambda e, rng: -1.0)
+        with pytest.raises(ValueError):
+            model.delay(env(), random.Random(0))
+
+    def test_describe(self):
+        assert "custom" in AdversarialTargetedDelay(lambda e, rng: None).describe()

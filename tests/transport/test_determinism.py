@@ -1,0 +1,32 @@
+"""Determinism: identical seeds produce identical traces; different seeds differ."""
+
+import pytest
+
+from repro.harness import run_gwts_scenario, run_wts_scenario
+
+
+def trace_signature(scenario):
+    return [
+        (env.sender, env.dest, env.mtype, round(env.deliver_time, 6))
+        for env in scenario.network.delivery_log
+    ]
+
+
+class TestDeterminism:
+    def test_wts_same_seed_same_trace(self):
+        a = run_wts_scenario(n=4, f=1, seed=99)
+        b = run_wts_scenario(n=4, f=1, seed=99)
+        assert trace_signature(a) == trace_signature(b)
+        assert a.decisions() == b.decisions()
+        assert a.metrics.summary() == b.metrics.summary()
+
+    def test_wts_different_seed_different_trace(self):
+        a = run_wts_scenario(n=4, f=1, seed=1)
+        b = run_wts_scenario(n=4, f=1, seed=2)
+        assert trace_signature(a) != trace_signature(b)
+
+    def test_gwts_same_seed_same_decisions(self):
+        a = run_gwts_scenario(n=4, f=1, values_per_process=1, rounds=2, seed=5)
+        b = run_gwts_scenario(n=4, f=1, values_per_process=1, rounds=2, seed=5)
+        assert a.decisions() == b.decisions()
+        assert trace_signature(a) == trace_signature(b)

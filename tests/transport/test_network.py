@@ -1,0 +1,161 @@
+"""Unit tests for the simulated network and node context."""
+
+import pytest
+
+from repro.transport import FixedDelay, Network, Node, SimulationRuntime, UniformDelay
+
+
+class Echo(Node):
+    """Replies 'pong' to every 'ping'."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+        if payload == "ping":
+            self.ctx.send(sender, "pong")
+
+
+class Greeter(Node):
+    def on_start(self):
+        self.ctx.broadcast("hello", include_self=False)
+
+
+class TestTopology:
+    def test_add_node_and_membership(self):
+        network = Network()
+        a = network.add_node(Echo("a"))
+        b = network.add_node(Echo("b"))
+        assert network.pids == ("a", "b")
+        assert network.node("a") is a
+        assert a.ctx.n == 2
+        assert a.ctx.all_pids == ("a", "b")
+        assert a.ctx.pid == "a"
+
+    def test_duplicate_pid_rejected(self):
+        network = Network()
+        network.add_node(Echo("a"))
+        with pytest.raises(ValueError):
+            network.add_node(Echo("a"))
+
+    def test_add_after_start_rejected(self):
+        network = Network()
+        network.add_node(Echo("a"))
+        network.start()
+        with pytest.raises(RuntimeError):
+            network.add_node(Echo("b"))
+
+    def test_unknown_destination_rejected(self):
+        network = Network()
+        network.add_node(Echo("a"))
+        with pytest.raises(ValueError):
+            network.submit("a", "ghost", "hi")
+
+
+class TestDelivery:
+    def test_reliable_exactly_once_delivery(self):
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        a = network.add_node(Echo("a"))
+        b = network.add_node(Echo("b"))
+        network.start()
+        a.ctx.send("b", "ping")
+        SimulationRuntime(network).run_until_quiescent()
+        assert b.received == [("a", "ping")]
+        assert a.received == [("b", "pong")]
+
+    def test_sender_identity_is_authentic(self):
+        """The receiver sees the true sender even if the payload lies."""
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        liar = network.add_node(Echo("liar"))
+        victim = network.add_node(Echo("victim"))
+        network.start()
+        liar.ctx.send("victim", {"claimed_sender": "somebody-else"})
+        SimulationRuntime(network).run_until_quiescent()
+        assert victim.received[0][0] == "liar"
+
+    def test_broadcast_includes_self_by_default(self):
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        nodes = [network.add_node(Echo(f"p{i}")) for i in range(3)]
+        network.start()
+        nodes[0].ctx.broadcast("note")
+        SimulationRuntime(network).run_until_quiescent()
+        assert sum(len(n.received) for n in nodes) == 3
+
+    def test_multicast(self):
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        nodes = [network.add_node(Echo(f"p{i}")) for i in range(4)]
+        network.start()
+        nodes[0].ctx.multicast(["p1", "p3"], "sel")
+        SimulationRuntime(network).run_until_quiescent()
+        assert len(nodes[1].received) == 1 and len(nodes[3].received) == 1
+        assert len(nodes[2].received) == 0
+
+    def test_on_start_hook_runs_once(self):
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network.add_node(Greeter("g"))
+        sink = network.add_node(Echo("s"))
+        network.start()
+        network.start()  # idempotent
+        SimulationRuntime(network).run_until_quiescent()
+        assert sink.received == [("g", "hello")]
+
+    def test_time_is_monotone_and_follows_delays(self):
+        network = Network(delay_model=FixedDelay(2.0), seed=0)
+        a = network.add_node(Echo("a"))
+        network.add_node(Echo("b"))
+        network.start()
+        a.ctx.send("b", "ping")
+        times = []
+        while True:
+            env = network.step()
+            if env is None:
+                break
+            times.append(network.now)
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(2.0)
+        assert times[-1] == pytest.approx(4.0)
+
+    def test_metrics_hooked_into_sends_and_deliveries(self):
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        a = network.add_node(Echo("a"))
+        network.add_node(Echo("b"))
+        network.start()
+        a.ctx.send("b", "ping")
+        SimulationRuntime(network).run_until_quiescent()
+        assert network.metrics.total_sent == 2  # ping + pong
+        assert network.metrics.total_delivered == 2
+
+    def test_delivery_log_records_envelopes(self):
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        a = network.add_node(Echo("a"))
+        network.add_node(Echo("b"))
+        network.start()
+        a.ctx.send("b", "ping")
+        SimulationRuntime(network).run_until_quiescent()
+        assert [e.payload for e in network.delivery_log] == ["ping", "pong"]
+
+
+class TestCausalDepth:
+    def test_depth_counts_causal_chains(self):
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        a = network.add_node(Echo("a"))
+        b = network.add_node(Echo("b"))
+        network.start()
+        a.ctx.send("b", "ping")  # depth 1
+        SimulationRuntime(network).run_until_quiescent()
+        # b received depth-1 message; its pong has depth 2; a ends at depth 2.
+        assert b.causal_depth == 1
+        assert a.causal_depth == 2
+
+    def test_depth_is_max_over_received(self):
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        a = network.add_node(Echo("a"))
+        b = network.add_node(Echo("b"))
+        c = network.add_node(Echo("c"))
+        network.start()
+        a.ctx.send("b", "ping")
+        c.ctx.send("b", "note")
+        SimulationRuntime(network).run_until_quiescent()
+        assert b.causal_depth == 1

@@ -1,0 +1,69 @@
+"""Unit tests for the simulation runtime driver."""
+
+from repro.transport import FixedDelay, Network, Node, SimulationRuntime
+
+
+class Chatter(Node):
+    """Sends `budget` messages in a chain (each reply triggers the next)."""
+
+    def __init__(self, pid, peer, budget):
+        super().__init__(pid)
+        self.peer = peer
+        self.budget = budget
+
+    def on_start(self):
+        if self.budget > 0:
+            self.ctx.send(self.peer, self.budget)
+
+    def on_message(self, sender, payload):
+        if payload > 1:
+            self.ctx.send(sender, payload - 1)
+
+
+class Decider(Node):
+    def on_start(self):
+        self.ctx.metrics.record_decision(self.pid, "v", time=0.0, causal_depth=0)
+
+
+def build_pair(budget=10):
+    network = Network(delay_model=FixedDelay(1.0), seed=0)
+    a = network.add_node(Chatter("a", "b", budget))
+    b = network.add_node(Chatter("b", "a", 0))
+    return network, a, b
+
+
+class TestRun:
+    def test_run_until_quiescent_delivers_everything(self):
+        network, _, _ = build_pair(budget=6)
+        result = SimulationRuntime(network).run_until_quiescent()
+        assert result.quiescent
+        assert result.delivered == 6
+        assert not result.stopped_by_predicate
+
+    def test_stop_predicate_halts_early(self):
+        network, _, _ = build_pair(budget=10)
+        runtime = SimulationRuntime(network)
+        delivered_cap = 3
+        result = runtime.run(stop_when=lambda: network.metrics.total_delivered >= delivered_cap)
+        assert result.stopped_by_predicate
+        assert result.delivered == delivered_cap
+        assert result.pending_messages >= 1
+
+    def test_max_messages_safety_valve(self):
+        network, _, _ = build_pair(budget=100)
+        result = SimulationRuntime(network).run(max_messages=5)
+        assert result.delivered == 5
+        assert not result.quiescent
+
+    def test_run_until_decided(self):
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network.add_node(Decider("d"))
+        network.add_node(Chatter("x", "d", 0))
+        result = SimulationRuntime(network).run_until_decided(["d"])
+        assert result.stopped_by_predicate
+
+    def test_result_exposes_metrics(self):
+        network, _, _ = build_pair(budget=2)
+        result = SimulationRuntime(network).run_until_quiescent()
+        assert result.metrics is network.metrics
+        assert result.end_time >= 0.0
