@@ -24,6 +24,8 @@ Package layout
 
 ============================  ====================================================
 ``repro.lattice``             join semilattices (sets, counters, maps, clocks)
+``repro.sim``                 discrete-event kernel: typed events, schedulers,
+                              fault plans (crashes, partitions, timers)
 ``repro.transport``           simulated asynchronous authenticated network
 ``repro.crypto``              simulated PKI (Section 8's signatures)
 ``repro.broadcast``           Byzantine reliable broadcast (Bracha)
@@ -79,6 +81,12 @@ from repro.rsm import (
     RSMClient,
     check_rsm_history,
 )
+from repro.sim import (
+    FaultPlan,
+    RandomScheduler,
+    SimKernel,
+    WorstCaseScheduler,
+)
 from repro.transport import (
     FixedDelay,
     Network,
@@ -111,11 +119,15 @@ __all__ = [
     "MapLattice",
     "VectorClockLattice",
     "ProductLattice",
-    # transport
+    # transport & simulation kernel
     "Network",
     "SimulationRuntime",
     "FixedDelay",
     "UniformDelay",
+    "SimKernel",
+    "FaultPlan",
+    "RandomScheduler",
+    "WorstCaseScheduler",
     # RSM
     "Replica",
     "RSMClient",

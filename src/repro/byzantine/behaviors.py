@@ -71,12 +71,30 @@ class CrashByzantine(_ByzantineMixin, Node):
     Crash failures are a strict subset of Byzantine behaviour; this wrapper
     lets every Byzantine-tolerance test double as a crash-tolerance test and
     is also used by the baseline comparison (E10).
+
+    The crash point is either a delivery count (``crash_after_deliveries``,
+    the seed behaviour) or a simulated *time* (``crash_at_time``), the latter
+    armed through the kernel's timer events — which makes the crash instant
+    independent of how chatty the run happens to be.  Note this class models
+    a *permanently* silent process from the crash point on; scripted
+    crash/recovery churn of correct processes is the kernel's job (see
+    :class:`repro.sim.FaultPlan`).
     """
 
-    def __init__(self, inner: Node, crash_after_deliveries: int) -> None:
+    _CRASH_TAG = "_crash_byzantine"
+
+    def __init__(
+        self,
+        inner: Node,
+        crash_after_deliveries: Optional[int] = None,
+        crash_at_time: Optional[float] = None,
+    ) -> None:
         super().__init__(inner.pid)
+        if crash_after_deliveries is None and crash_at_time is None:
+            raise ValueError("need crash_after_deliveries or crash_at_time")
         self.inner = inner
         self.crash_after = crash_after_deliveries
+        self.crash_at_time = crash_at_time
         self._delivered = 0
         self.crashed = False
 
@@ -85,16 +103,25 @@ class CrashByzantine(_ByzantineMixin, Node):
         self.inner.bind(ctx)
 
     def on_start(self) -> None:
-        if self.crash_after > 0:
-            self.inner.on_start()
-        else:
+        if self.crash_at_time is not None:
+            self.set_timer(self.crash_at_time, self._CRASH_TAG)
+        if self.crash_after is not None and self.crash_after <= 0:
             self.crashed = True
+            return
+        self.inner.on_start()
+
+    def on_timer(self, tag: str, payload: Any = None) -> None:
+        if tag == self._CRASH_TAG:
+            self.crashed = True
+            return
+        if not self.crashed:
+            self.inner.on_timer(tag, payload)
 
     def on_message(self, sender: Hashable, payload: Any) -> None:
         if self.crashed:
             return
         self._delivered += 1
-        if self._delivered > self.crash_after:
+        if self.crash_after is not None and self._delivered > self.crash_after:
             self.crashed = True
             return
         self.inner.on_message(sender, payload)

@@ -7,7 +7,7 @@ and seed, and returns a :class:`~repro.harness.workloads.ScenarioResult`
 exposing the proposals, decisions, metrics and specification checks.
 
 :mod:`repro.harness.experiments` implements the per-table/figure experiment
-runners E1–E10 listed in DESIGN.md; the ``benchmarks/`` directory contains
+runners E1–E12 (E1–E10 from DESIGN.md plus the E11 ablation and E12 partition-churn extensions); the ``benchmarks/`` directory contains
 one pytest-benchmark target per experiment, and ``EXPERIMENTS.md`` records
 the paper-vs-measured outcome of each.
 """
@@ -36,6 +36,7 @@ from repro.harness.experiments import (
     run_breadth_experiment,
     run_baseline_comparison,
     run_ablation_experiment,
+    run_partition_churn_experiment,
     ALL_EXPERIMENTS,
 )
 
@@ -61,5 +62,6 @@ __all__ = [
     "run_breadth_experiment",
     "run_baseline_comparison",
     "run_ablation_experiment",
+    "run_partition_churn_experiment",
     "ALL_EXPERIMENTS",
 ]

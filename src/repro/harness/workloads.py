@@ -39,6 +39,8 @@ from repro.lattice.set_lattice import SetLattice
 from repro.metrics.collector import MetricsCollector
 from repro.rsm.client import ByzantineClient, RSMClient
 from repro.rsm.replica import Replica
+from repro.sim.faults import FaultPlan
+from repro.sim.scheduler import Scheduler
 from repro.transport.delays import DelayModel, UniformDelay
 from repro.transport.network import Network
 from repro.transport.node import Node
@@ -172,12 +174,26 @@ def _split_members(
     return pids, pids[: n - b], pids[n - b :]
 
 
+def _build_network(
+    delay_model: Optional[DelayModel],
+    seed: int,
+    scheduler: Optional[Scheduler],
+) -> Network:
+    """One network per scenario; Network enforces delay_model/scheduler exclusivity."""
+    if delay_model is None and scheduler is None:
+        delay_model = UniformDelay()
+    return Network(delay_model=delay_model, seed=seed, scheduler=scheduler)
+
+
 def _run(
     network: Network,
     nodes: Dict[Hashable, Node],
     stop_when: Optional[Callable[[], bool]],
     max_messages: int,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
+    if fault_plan is not None:
+        network.apply_fault_plan(fault_plan)
     runtime = SimulationRuntime(network)
     return runtime.run(stop_when=stop_when, max_messages=max_messages)
 
@@ -195,6 +211,8 @@ def run_wts_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    fault_plan: Optional[FaultPlan] = None,
     max_messages: int = 400_000,
     run_to_quiescence: bool = False,
     process_class: type = WTSProcess,
@@ -209,7 +227,7 @@ def run_wts_scenario(
     pids, correct, byz = _split_members(n, byzantine_factories)
     if proposals is None:
         proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
-    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    network = _build_network(delay_model, seed, scheduler)
     nodes: Dict[Hashable, Node] = {}
     for pid in correct:
         nodes[pid] = network.add_node(
@@ -222,7 +240,7 @@ def run_wts_scenario(
         return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
 
     stop = None if run_to_quiescence else all_decided
-    run = _run(network, nodes, stop, max_messages)
+    run = _run(network, nodes, stop, max_messages, fault_plan)
     return ScenarioResult(
         network=network,
         nodes=nodes,
@@ -242,6 +260,8 @@ def run_sbs_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    fault_plan: Optional[FaultPlan] = None,
     max_messages: int = 400_000,
     registry_seed: int = 1234,
 ) -> ScenarioResult:
@@ -251,7 +271,7 @@ def run_sbs_scenario(
     if proposals is None:
         proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
     registry = KeyRegistry(seed=registry_seed)
-    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    network = _build_network(delay_model, seed, scheduler)
     nodes: Dict[Hashable, Node] = {}
     for pid in correct:
         nodes[pid] = network.add_node(
@@ -270,7 +290,7 @@ def run_sbs_scenario(
     def all_decided() -> bool:
         return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
 
-    run = _run(network, nodes, all_decided, max_messages)
+    run = _run(network, nodes, all_decided, max_messages, fault_plan)
     result = ScenarioResult(
         network=network,
         nodes=nodes,
@@ -292,6 +312,8 @@ def run_crash_la_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    fault_plan: Optional[FaultPlan] = None,
     max_messages: int = 400_000,
 ) -> ScenarioResult:
     """Build and run one crash-fault-baseline LA cluster."""
@@ -299,7 +321,7 @@ def run_crash_la_scenario(
     pids, correct, byz = _split_members(n, byzantine_factories)
     if proposals is None:
         proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
-    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    network = _build_network(delay_model, seed, scheduler)
     nodes: Dict[Hashable, Node] = {}
     for pid in correct:
         nodes[pid] = network.add_node(
@@ -311,7 +333,7 @@ def run_crash_la_scenario(
     def all_decided() -> bool:
         return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
 
-    run = _run(network, nodes, all_decided, max_messages)
+    run = _run(network, nodes, all_decided, max_messages, fault_plan)
     return ScenarioResult(
         network=network,
         nodes=nodes,
@@ -348,6 +370,8 @@ def run_gwts_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    fault_plan: Optional[FaultPlan] = None,
     max_messages: int = 1_500_000,
 ) -> ScenarioResult:
     """Build and run one GWTS cluster for ``rounds`` rounds.
@@ -360,7 +384,7 @@ def run_gwts_scenario(
     pids, correct, byz = _split_members(n, byzantine_factories)
     if inputs is None:
         inputs = make_gla_inputs(correct, values_per_process)
-    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    network = _build_network(delay_model, seed, scheduler)
     nodes: Dict[Hashable, Node] = {}
     for pid in correct:
         process = GWTSProcess(pid, lattice, pids, f, max_rounds=rounds)
@@ -373,7 +397,7 @@ def run_gwts_scenario(
     def all_halted() -> bool:
         return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
 
-    run = _run(network, nodes, all_halted, max_messages)
+    run = _run(network, nodes, all_halted, max_messages, fault_plan)
     return ScenarioResult(
         network=network,
         nodes=nodes,
@@ -395,6 +419,8 @@ def run_gsbs_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    fault_plan: Optional[FaultPlan] = None,
     max_messages: int = 1_500_000,
     registry_seed: int = 1234,
 ) -> ScenarioResult:
@@ -404,7 +430,7 @@ def run_gsbs_scenario(
     if inputs is None:
         inputs = make_gla_inputs(correct, values_per_process)
     registry = KeyRegistry(seed=registry_seed)
-    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    network = _build_network(delay_model, seed, scheduler)
     nodes: Dict[Hashable, Node] = {}
     for pid in correct:
         process = GSbSProcess(pid, lattice, pids, f, registry=registry, max_rounds=rounds)
@@ -417,7 +443,7 @@ def run_gsbs_scenario(
     def all_halted() -> bool:
         return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
 
-    run = _run(network, nodes, all_halted, max_messages)
+    run = _run(network, nodes, all_halted, max_messages, fault_plan)
     result = ScenarioResult(
         network=network,
         nodes=nodes,
@@ -441,6 +467,8 @@ def run_crash_gla_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    fault_plan: Optional[FaultPlan] = None,
     max_messages: int = 1_500_000,
 ) -> ScenarioResult:
     """Build and run one crash-fault-baseline GLA cluster for ``rounds`` rounds."""
@@ -448,7 +476,7 @@ def run_crash_gla_scenario(
     pids, correct, byz = _split_members(n, byzantine_factories)
     if inputs is None:
         inputs = make_gla_inputs(correct, values_per_process)
-    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    network = _build_network(delay_model, seed, scheduler)
     nodes: Dict[Hashable, Node] = {}
     for pid in correct:
         process = CrashGLAProcess(pid, lattice, pids, f, max_rounds=rounds)
@@ -461,7 +489,7 @@ def run_crash_gla_scenario(
     def all_halted() -> bool:
         return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
 
-    run = _run(network, nodes, all_halted, max_messages)
+    run = _run(network, nodes, all_halted, max_messages, fault_plan)
     return ScenarioResult(
         network=network,
         nodes=nodes,
@@ -487,7 +515,10 @@ def run_rsm_scenario(
     rounds: int = 8,
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    fault_plan: Optional[FaultPlan] = None,
     max_messages: int = 2_000_000,
+    client_retry_timeout: Optional[float] = 150.0,
 ) -> ScenarioResult:
     """Build and run one RSM: ``n_replicas`` replicas plus the given clients.
 
@@ -503,7 +534,7 @@ def run_rsm_scenario(
     replica_pids, correct_replicas, byz_replicas = _split_members(
         n_replicas, byzantine_replica_factories
     )
-    network = Network(delay_model=delay_model or UniformDelay(), seed=seed)
+    network = _build_network(delay_model, seed, scheduler)
     nodes: Dict[Hashable, Node] = {}
     for pid in correct_replicas:
         nodes[pid] = network.add_node(
@@ -514,7 +545,9 @@ def run_rsm_scenario(
 
     clients: Dict[Hashable, RSMClient] = {}
     for client_id, script in client_scripts.items():
-        client = RSMClient(client_id, replica_pids, f, script=script)
+        client = RSMClient(
+            client_id, replica_pids, f, script=script, retry_timeout=client_retry_timeout
+        )
         clients[client_id] = client
         nodes[client_id] = network.add_node(client)
 
@@ -527,7 +560,7 @@ def run_rsm_scenario(
     def all_clients_done() -> bool:
         return all(client.all_completed for client in clients.values())
 
-    run = _run(network, nodes, all_clients_done, max_messages)
+    run = _run(network, nodes, all_clients_done, max_messages, fault_plan)
     result = ScenarioResult(
         network=network,
         nodes=nodes,

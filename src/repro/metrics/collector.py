@@ -33,27 +33,68 @@ class MetricsCollector:
         self.sent_by_type: Counter = Counter()
         self.sent_by_process_and_type: Counter = Counter()
         self.delivered_by_process: Counter = Counter()
-        self.bytes_by_process: Counter = Counter()
-        self.max_payload_size: int = 0
         self.total_sent: int = 0
         self.total_delivered: int = 0
         self.decisions: List[DecisionRecord] = []
         self.custom_events: List[Tuple[float, str, Any]] = []
         self._decision_index: Dict[Hashable, List[DecisionRecord]] = defaultdict(list)
+        # Size accounting is lazy: the network hands us envelopes whose size
+        # estimate is computed only if somebody actually reads the size
+        # views (``bytes_by_process`` / ``max_payload_size``).  Direct int
+        # sizes (legacy callers, tests) are folded immediately.
+        self._bytes_by_process: Counter = Counter()
+        self._max_payload_size: int = 0
+        #: Envelopes awaiting size accounting (sender is read off the
+        #: envelope at flush time; the envelopes are alive anyway via the
+        #: network's delivery log, so this adds one list slot per send).
+        self._pending_sizes: List[Any] = []
 
     # -- recording (called by the network / processes) --------------------------
 
     def record_send(
-        self, sender: Hashable, dest: Hashable, mtype: str, size: int
+        self, sender: Hashable, dest: Hashable, mtype: str, size: Any = 0
     ) -> None:
-        """Account one point-to-point message attributed to ``sender``."""
+        """Account one point-to-point message attributed to ``sender``.
+
+        ``size`` is either an integer (accounted immediately) or an object
+        with a lazily-computed ``size`` attribute — in practice the
+        :class:`~repro.transport.message.Envelope` itself — whose estimate
+        is deferred until a size view is read (metrics-gated sizing).
+        """
         self.total_sent += 1
         self.sent_by_process[sender] += 1
         self.sent_by_type[mtype] += 1
         self.sent_by_process_and_type[(sender, mtype)] += 1
-        self.bytes_by_process[sender] += size
-        if size > self.max_payload_size:
-            self.max_payload_size = size
+        if isinstance(size, (int, float)):
+            self._bytes_by_process[sender] += size
+            if size > self._max_payload_size:
+                self._max_payload_size = size
+        else:
+            self._pending_sizes.append(size)
+
+    def _flush_sizes(self) -> None:
+        if self._pending_sizes:
+            bytes_by_process = self._bytes_by_process
+            max_size = self._max_payload_size
+            for envelope in self._pending_sizes:
+                size = envelope.size
+                bytes_by_process[envelope.sender] += size
+                if size > max_size:
+                    max_size = size
+            self._max_payload_size = max_size
+            self._pending_sizes.clear()
+
+    @property
+    def bytes_by_process(self) -> Counter:
+        """Total structural payload size sent per process (computed lazily)."""
+        self._flush_sizes()
+        return self._bytes_by_process
+
+    @property
+    def max_payload_size(self) -> int:
+        """Largest single payload size estimate seen (computed lazily)."""
+        self._flush_sizes()
+        return self._max_payload_size
 
     def record_delivery(self, sender: Hashable, dest: Hashable, mtype: str) -> None:
         """Account one delivered message at ``dest``."""
@@ -85,6 +126,17 @@ class MetricsCollector:
     def decisions_of(self, pid: Hashable) -> List[DecisionRecord]:
         """All decisions recorded for process ``pid`` (in order)."""
         return list(self._decision_index.get(pid, []))
+
+    @property
+    def decided(self):
+        """Set-like live view of pids with at least one decision.
+
+        Backed directly by the decision index (no second structure to keep
+        in sync), so stop predicates can test ``targets <= metrics.decided``
+        in O(|targets|) per check instead of rebuilding a set per delivered
+        message.
+        """
+        return self._decision_index.keys()
 
     def decided_pids(self) -> List[Hashable]:
         """Identifiers of processes that recorded at least one decision."""

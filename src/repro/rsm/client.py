@@ -54,7 +54,18 @@ class RSMClient(Node):
     script:
         Sequence of operations, each either ``("update", payload)`` or
         ``("read",)``.  Executed strictly sequentially.
+    retry_timeout:
+        Timeout (in simulated time) after which an operation still in flight
+        is retried — the update/confirm messages are re-sent, escalating
+        from the initial ``f + 1`` replicas to *all* replicas.  Retries use
+        the kernel's timer events, so a client stuck behind a crash or a
+        partition recovers on its own instead of relying on ad-hoc message
+        re-injection by the harness.  ``None`` disables retries.  Replicas
+        treat re-submitted commands idempotently, so retries never violate
+        the RSM specification.
     """
+
+    RETRY_TAG = "rsm_retry"
 
     def __init__(
         self,
@@ -62,12 +73,17 @@ class RSMClient(Node):
         replicas: Sequence[Hashable],
         f: int,
         script: Sequence[Tuple[Any, ...]] = (),
+        retry_timeout: Optional[float] = 150.0,
     ) -> None:
         super().__init__(pid)
         self.replicas: Tuple[Hashable, ...] = tuple(replicas)
         self.f = f
         self.script: List[Tuple[Any, ...]] = list(script)
         self.history: List[OperationRecord] = []
+        self.retry_timeout = retry_timeout
+        #: Number of timeout-driven retries performed (for tests/metrics).
+        self.retries = 0
+        self._retry_timer = None
         self._seq = 0
         self._current: Optional[OperationRecord] = None
         #: Decide receipts for the in-flight command: replica -> accepted_set.
@@ -103,6 +119,41 @@ class RSMClient(Node):
         # Algorithm 5 line 3 / Algorithm 6 line 3: submit to (f + 1) replicas.
         for replica in self.replicas[: self.f + 1]:
             self.ctx.send(replica, UpdateRequest(command=command))
+        self._arm_retry()
+
+    # -- timeout-driven retry -----------------------------------------------------------
+
+    def _arm_retry(self) -> None:
+        if self.retry_timeout is None:
+            return
+        self._retry_timer = self.set_timer(self.retry_timeout, self.RETRY_TAG, self._seq)
+
+    def _disarm_retry(self) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+
+    def on_timer(self, tag: str, payload: Any = None) -> None:
+        if tag != self.RETRY_TAG:
+            return
+        record = self._current
+        if record is None or payload != self._seq:
+            return  # the operation completed while the timer was in flight
+        self.retries += 1
+        self.log_event("operation_retry", {"kind": record.kind, "seq": record.command.seq})
+        if self._confirm_phase:
+            # Re-ask every replica to confirm each candidate decision value.
+            # dict.fromkeys (not set): deduplicate in receipt order so the
+            # re-send order is independent of PYTHONHASHSEED.
+            for accepted_set in dict.fromkeys(self._dec_receipts.values()):
+                for replica in self.replicas:
+                    self.ctx.send(replica, ConfirmRequest(accepted_set=accepted_set))
+        else:
+            # Escalate the submission from (f + 1) replicas to all of them:
+            # some of the original targets may be crashed or cut off.
+            for replica in self.replicas:
+                self.ctx.send(replica, UpdateRequest(command=record.command))
+        self._arm_retry()
 
     # -- message handling -----------------------------------------------------------------
 
@@ -128,9 +179,10 @@ class RSMClient(Node):
             self._complete(result=None)
         elif not self._confirm_phase:
             # Algorithm 6 lines 6-8: ask every replica to confirm each of the
-            # (f + 1) candidate decision values.
+            # (f + 1) candidate decision values (deduplicated in receipt
+            # order — hash order would not be reproducible across processes).
             self._confirm_phase = True
-            for accepted_set in set(self._dec_receipts.values()):
+            for accepted_set in dict.fromkeys(self._dec_receipts.values()):
                 for replica in self.replicas:
                     self.ctx.send(replica, ConfirmRequest(accepted_set=accepted_set))
 
@@ -151,6 +203,7 @@ class RSMClient(Node):
         record = self._current
         if record is None:
             return
+        self._disarm_retry()
         record.end_time = self.ctx.now()
         record.result = result
         self.log_event("operation_complete", {"kind": record.kind, "seq": record.command.seq})

@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel: typed events, schedulers, fault plans.
+
+This package is the engine under :mod:`repro.transport`: a single
+time-ordered queue of typed events (:mod:`repro.sim.events`), a pluggable
+scheduling policy deciding message delays (:mod:`repro.sim.scheduler`), and
+a declarative fault-script API (:mod:`repro.sim.faults`).  The seed's
+``Network`` / ``SimulationRuntime`` survive unchanged as thin shims over
+:class:`SimKernel`, so every seed call site keeps working while crash
+churn, partitions, timers and adversarial schedules become first-class.
+"""
+
+from repro.sim.events import (
+    Event,
+    Inject,
+    MessageDelivery,
+    NodeCrash,
+    NodeRecover,
+    PartitionHeal,
+    PartitionStart,
+    Timer,
+)
+from repro.sim.faults import FaultAction, FaultPlan
+from repro.sim.kernel import SimKernel
+from repro.sim.scheduler import (
+    DelayModelScheduler,
+    RandomScheduler,
+    Scheduler,
+    WorstCaseScheduler,
+)
+
+__all__ = [
+    "Event",
+    "MessageDelivery",
+    "Timer",
+    "NodeCrash",
+    "NodeRecover",
+    "PartitionStart",
+    "PartitionHeal",
+    "Inject",
+    "SimKernel",
+    "Scheduler",
+    "DelayModelScheduler",
+    "RandomScheduler",
+    "WorstCaseScheduler",
+    "FaultAction",
+    "FaultPlan",
+]

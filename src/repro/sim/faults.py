@@ -1,0 +1,177 @@
+"""FaultPlan: declarative crash/partition scripts for a simulation run.
+
+A :class:`FaultPlan` is a reusable, inspectable description of *when the
+environment misbehaves*: which processes crash and recover when, which
+partitions open and heal when, plus arbitrary timed injections.  Scenario
+builders take a plan and apply it to the network before the run starts, so
+an experiment's fault script lives next to its workload description instead
+of being smeared across hand-rolled delay models.
+
+Plans are built fluently and are order-independent (every action carries its
+absolute time; the kernel orders them)::
+
+    plan = (
+        FaultPlan()
+        .partition(["p0", "p1"], ["p2", "p3"], at=5.0, heal_at=20.0)
+        .crash("p1", at=25.0, recover_at=35.0)
+        .crash("p2", at=40.0, recover_at=50.0)
+    )
+    run_gwts_scenario(n=4, f=1, fault_plan=plan, ...)
+
+Crash semantics: a crashed process stops executing and everything addressed
+to it (messages *and* timers) is held and handed over on recovery — channels
+stay reliable, so a crash is indistinguishable from a very slow process and
+the paper's asynchronous liveness arguments keep applying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable, List, Optional, Tuple
+
+from repro.sim.kernel import invalid_time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.transport.network import Network
+
+
+def validate_partition_groups(groups: Tuple[frozenset, ...]) -> None:
+    """Reject partitions with fewer than two groups or overlapping groups.
+
+    Shared by :meth:`FaultPlan.partition` (build time) and
+    :meth:`repro.transport.network.Network.start_partition` (schedule time)
+    so the two entry points cannot drift apart.
+    """
+    if len(groups) < 2:
+        raise ValueError("a partition needs at least two groups")
+    seen: set = set()
+    for group in groups:
+        if not group:
+            raise ValueError("partition groups must be non-empty")
+        overlap = seen & group
+        if overlap:
+            raise ValueError(
+                f"partition groups overlap on {sorted(map(str, overlap))}"
+            )
+        seen |= group
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scripted action: ``kind`` at absolute simulated time ``at``."""
+
+    at: float
+    kind: str  # "crash" | "recover" | "partition" | "heal" | "inject"
+    pid: Optional[Hashable] = None
+    groups: Tuple[frozenset, ...] = ()
+    fn: Optional[Callable[..., Any]] = None
+    label: str = ""
+
+
+class FaultPlan:
+    """A declarative, chainable script of crashes, partitions and injections."""
+
+    def __init__(self) -> None:
+        self.actions: List[FaultAction] = []
+
+    # -- builders (all chainable) -------------------------------------------------
+
+    def crash(
+        self, pid: Hashable, at: float, recover_at: Optional[float] = None
+    ) -> "FaultPlan":
+        """Crash ``pid`` at time ``at`` (optionally scheduling its recovery)."""
+        self._check_time(at)
+        if recover_at is not None and recover_at <= at:
+            raise ValueError(
+                f"recover_at ({recover_at!r}) must be after the crash at {at!r}"
+            )
+        self.actions.append(FaultAction(at=at, kind="crash", pid=pid))
+        if recover_at is not None:
+            self.recover(pid, at=recover_at)
+        return self
+
+    def recover(self, pid: Hashable, at: float) -> "FaultPlan":
+        """Recover ``pid`` at time ``at``; held messages/timers are released."""
+        self._check_time(at)
+        self.actions.append(FaultAction(at=at, kind="recover", pid=pid))
+        return self
+
+    def partition(
+        self,
+        *groups: Iterable[Hashable],
+        at: float,
+        heal_at: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Split the membership into ``groups`` at ``at`` (optionally healing).
+
+        Pids not listed in any group keep full connectivity, so a partial
+        partition (isolate one process from two cliques, say) is one call.
+        """
+        self._check_time(at)
+        if heal_at is not None and heal_at <= at:
+            raise ValueError(
+                f"heal_at ({heal_at!r}) must be after the partition at {at!r}"
+            )
+        frozen = tuple(frozenset(group) for group in groups)
+        validate_partition_groups(frozen)
+        self.actions.append(FaultAction(at=at, kind="partition", groups=frozen))
+        if heal_at is not None:
+            self.heal(at=heal_at)
+        return self
+
+    def heal(self, at: float) -> "FaultPlan":
+        """Dissolve the active partition at ``at``; held traffic is released."""
+        self._check_time(at)
+        self.actions.append(FaultAction(at=at, kind="heal"))
+        return self
+
+    def inject(
+        self, at: float, fn: Callable[..., Any], label: str = "inject"
+    ) -> "FaultPlan":
+        """Run ``fn(network)`` at ``at`` — the escape hatch for custom scripts."""
+        self._check_time(at)
+        self.actions.append(FaultAction(at=at, kind="inject", fn=fn, label=label))
+        return self
+
+    # -- application ---------------------------------------------------------------
+
+    def apply(self, network: "Network") -> "FaultPlan":
+        """Schedule every action on ``network``'s kernel.
+
+        Apply a plan once per run: each call schedules the full action list
+        again (duplicate crash/partition events are absorbed by the
+        network's idempotence guards, but ``inject`` callbacks would run
+        once per application).
+        """
+        for action in self.actions:
+            if action.kind == "crash":
+                network.crash_node(action.pid, at=action.at)
+            elif action.kind == "recover":
+                network.recover_node(action.pid, at=action.at)
+            elif action.kind == "partition":
+                network.start_partition(*action.groups, at=action.at)
+            elif action.kind == "heal":
+                network.heal_partition(at=action.at)
+            elif action.kind == "inject":
+                network.inject(action.fn, at=action.at, label=action.label)
+            else:  # pragma: no cover - builder methods prevent this
+                raise ValueError(f"unknown fault action {action.kind!r}")
+        return self
+
+    # -- introspection ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line summary for experiment reports."""
+        counts: dict = {}
+        for action in self.actions:
+            counts[action.kind] = counts.get(action.kind, 0) + 1
+        inner = ", ".join(f"{kind}×{count}" for kind, count in sorted(counts.items()))
+        return f"FaultPlan({inner or 'empty'})"
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    @staticmethod
+    def _check_time(at: float) -> None:
+        if invalid_time(at):
+            raise ValueError(f"invalid action time {at!r}")

@@ -1,0 +1,124 @@
+"""Pluggable scheduling policies: who decides when a message arrives.
+
+In the asynchronous model the adversary owns the schedule: it may hold any
+message for an arbitrary *finite* time.  A :class:`Scheduler` is that
+adversary as a strategy object — given an envelope at submit time it decides
+the in-flight delay (the kernel then orders deliveries by time).
+
+Three policies ship with the kernel:
+
+* :class:`DelayModelScheduler` — the default; delegates to the seed's
+  :class:`~repro.transport.delays.DelayModel` hierarchy, which is what keeps
+  every seed run bit-for-bit reproducible after the kernel refactor.
+* :class:`RandomScheduler` — a chaos-monkey schedule: i.i.d. uniform delays
+  over a wide spread, i.e. near-arbitrary reordering.  Good for fuzzing
+  protocol guards that accidentally assume FIFO-ness.
+* :class:`WorstCaseScheduler` — a liveness-stress adversary that starves
+  chosen links (or every link touching chosen victim processes) by a large
+  finite delay while delivering everything else fast.  Because the starve
+  delay is finite, the paper's liveness theorems still apply: GWTS/SbS
+  decisions are *delayed, never prevented* — which is exactly what the
+  partition-churn experiment demonstrates.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import TYPE_CHECKING, Hashable, Iterable, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.transport.delays import DelayModel
+    from repro.transport.message import Envelope
+
+
+class Scheduler(abc.ABC):
+    """Strategy deciding the in-flight delay of each submitted envelope."""
+
+    @abc.abstractmethod
+    def delay(self, envelope: "Envelope", rng: random.Random) -> float:
+        """Return the (non-negative, finite) delay for ``envelope``."""
+
+    def describe(self) -> str:
+        """Human-readable description for experiment reports."""
+        return type(self).__name__
+
+
+class DelayModelScheduler(Scheduler):
+    """Adapter: drive the kernel with a seed-era :class:`DelayModel`."""
+
+    def __init__(self, model: "Optional[DelayModel]" = None) -> None:
+        if model is None:
+            # Imported here, not at module level: transport imports this
+            # module, so a top-level import would be circular.
+            from repro.transport.delays import UniformDelay
+
+            model = UniformDelay()
+        self.model = model
+
+    def delay(self, envelope: "Envelope", rng: random.Random) -> float:
+        return self.model.delay(envelope, rng)
+
+    def describe(self) -> str:
+        return f"DelayModelScheduler({self.model.describe()})"
+
+
+class RandomScheduler(Scheduler):
+    """Near-arbitrary reordering: i.i.d. uniform delays over ``[0, spread]``."""
+
+    def __init__(self, spread: float = 10.0) -> None:
+        if spread <= 0:
+            raise ValueError("spread must be positive")
+        self.spread = spread
+
+    def delay(self, envelope: "Envelope", rng: random.Random) -> float:
+        return rng.uniform(0.0, self.spread)
+
+    def describe(self) -> str:
+        return f"RandomScheduler(spread={self.spread})"
+
+
+class WorstCaseScheduler(Scheduler):
+    """Starve chosen links by a large finite delay; deliver the rest fast.
+
+    ``starved_links`` are unordered pid pairs; ``victims`` starves every link
+    touching those pids (both directions).  Everything else is delivered
+    after ``fast_delay`` — the contrast is what makes the starvation an
+    adversarial *schedule* rather than mere slowness.
+
+    A tiny seeded jitter is added to starved deliveries so they do not all
+    collapse onto one timestamp (keeping tie-breaking exercise realistic)
+    while staying fully deterministic.
+    """
+
+    def __init__(
+        self,
+        starved_links: Iterable[Tuple[Hashable, Hashable]] = (),
+        victims: Iterable[Hashable] = (),
+        starve_delay: float = 200.0,
+        fast_delay: float = 0.5,
+    ) -> None:
+        if starve_delay <= 0 or fast_delay <= 0:
+            raise ValueError("delays must be positive")
+        self.starved_links: Set[frozenset] = {frozenset(pair) for pair in starved_links}
+        self.victims: Set[Hashable] = set(victims)
+        self.starve_delay = starve_delay
+        self.fast_delay = fast_delay
+
+    def _starves(self, envelope: "Envelope") -> bool:
+        if envelope.sender in self.victims or envelope.dest in self.victims:
+            return True
+        if self.starved_links and frozenset((envelope.sender, envelope.dest)) in self.starved_links:
+            return True
+        return False
+
+    def delay(self, envelope: "Envelope", rng: random.Random) -> float:
+        if self._starves(envelope):
+            return self.starve_delay + rng.uniform(0.0, 1.0)
+        return self.fast_delay
+
+    def describe(self) -> str:
+        return (
+            f"WorstCaseScheduler({len(self.starved_links)} links, "
+            f"{len(self.victims)} victims, starve={self.starve_delay})"
+        )

@@ -34,6 +34,14 @@ from repro.transport.delays import (
 from repro.transport.node import Node, NodeContext
 from repro.transport.network import Network
 from repro.transport.runtime import SimulationRuntime, RunResult
+from repro.sim import (
+    DelayModelScheduler,
+    FaultPlan,
+    RandomScheduler,
+    Scheduler,
+    SimKernel,
+    WorstCaseScheduler,
+)
 
 __all__ = [
     "Envelope",
@@ -49,4 +57,11 @@ __all__ = [
     "Network",
     "SimulationRuntime",
     "RunResult",
+    # re-exported from the simulation kernel for convenience
+    "SimKernel",
+    "Scheduler",
+    "DelayModelScheduler",
+    "RandomScheduler",
+    "WorstCaseScheduler",
+    "FaultPlan",
 ]

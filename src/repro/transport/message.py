@@ -6,12 +6,17 @@ algorithm.  The transport wraps every such payload in an :class:`Envelope`
 when it is sent; the envelope records the true sender (authenticated
 channels), the destination, the simulated send/delivery times, and the causal
 depth used for the message-delay metric of the paper's latency theorems.
+
+The envelope is a hand-rolled ``__slots__`` class rather than a frozen
+dataclass: it is the single most-allocated object in the system (one per
+send in every run), and the delivery hot path stamps ``deliver_time``
+in place instead of frozen-copying the whole envelope per message.  The
+payload size estimate is computed lazily on first access and cached, so
+runs that never read size metrics never pay for the recursive payload walk.
 """
 
 from __future__ import annotations
 
-import sys
-from dataclasses import dataclass, field
 from typing import Any, Hashable, Optional
 
 
@@ -22,11 +27,16 @@ def estimate_size(payload: Any) -> int:
     mentions for SbS ("it sends messages that could have size O(n^2)",
     Section 8).  The estimate counts contained items recursively rather than
     serialised bytes, which is enough to observe the asymptotic shape.
+    Strings and bytes count one unit per 16 characters (minimum one unit).
     """
     seen = 0
     stack = [payload]
     while stack:
         item = stack.pop()
+        if isinstance(item, (str, bytes)):
+            length = len(item) // 16
+            seen += length if length > 1 else 1
+            continue
         seen += 1
         if isinstance(item, (list, tuple, set, frozenset)):
             stack.extend(item)
@@ -35,36 +45,68 @@ def estimate_size(payload: Any) -> int:
             stack.extend(item.values())
         elif hasattr(item, "__dataclass_fields__"):
             stack.extend(getattr(item, name) for name in item.__dataclass_fields__)
-        elif isinstance(item, (str, bytes)):
-            seen += len(item) // 16
     return seen
 
 
-@dataclass(frozen=True)
 class Envelope:
     """One message in flight on the simulated network."""
 
-    #: True sender process id (stamped by the network — unforgeable).
-    sender: Hashable
-    #: Destination process id.
-    dest: Hashable
-    #: The algorithm-level message object.
-    payload: Any
-    #: Simulated time at which the send happened.
-    send_time: float
-    #: Simulated time at which the message is delivered (filled at delivery).
-    deliver_time: Optional[float] = None
-    #: Causal depth: 1 + the causal depth of the sender at send time.  The
-    #: maximum causal depth observed at a process when it decides is the
-    #: "number of message delays" of the paper's Theorems 3 and 8.
-    depth: int = 1
-    #: Monotonic sequence number (tie-breaker for deterministic ordering).
-    seq: int = 0
-    #: Structural size estimate of the payload.
-    size: int = field(default=0)
+    __slots__ = (
+        "sender",
+        "dest",
+        "payload",
+        "send_time",
+        "deliver_time",
+        "depth",
+        "seq",
+        "_size",
+        "_mtype",
+    )
+
+    def __init__(
+        self,
+        sender: Hashable,
+        dest: Hashable,
+        payload: Any,
+        send_time: float,
+        deliver_time: Optional[float] = None,
+        depth: int = 1,
+        seq: int = 0,
+        size: Optional[int] = None,
+    ) -> None:
+        #: True sender process id (stamped by the network — unforgeable).
+        self.sender = sender
+        #: Destination process id.
+        self.dest = dest
+        #: The algorithm-level message object.
+        self.payload = payload
+        #: Simulated time at which the send happened.
+        self.send_time = send_time
+        #: Simulated time at which the message was delivered (stamped in
+        #: place by the network at delivery; ``None`` while in flight).
+        self.deliver_time = deliver_time
+        #: Causal depth: 1 + the causal depth of the sender at send time.  The
+        #: maximum causal depth observed at a process when it decides is the
+        #: "number of message delays" of the paper's Theorems 3 and 8.
+        self.depth = depth
+        #: Monotonic sequence number (tie-breaker for deterministic ordering).
+        self.seq = seq
+        self._size = size
+        self._mtype: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        """Structural size estimate of the payload (computed lazily, cached)."""
+        if self._size is None:
+            self._size = estimate_size(self.payload)
+        return self._size
 
     def delivered_at(self, time: float) -> "Envelope":
-        """Return a copy of the envelope stamped with its delivery time."""
+        """Return a copy of the envelope stamped with its delivery time.
+
+        Kept for API compatibility (and for callers that want a snapshot);
+        the network itself stamps ``deliver_time`` in place on delivery.
+        """
         return Envelope(
             sender=self.sender,
             dest=self.dest,
@@ -73,17 +115,21 @@ class Envelope:
             deliver_time=time,
             depth=self.depth,
             seq=self.seq,
-            size=self.size,
+            size=self._size,
         )
 
     @property
     def mtype(self) -> str:
-        """Best-effort message-type label for metrics and traces."""
-        payload = self.payload
-        mtype = getattr(payload, "mtype", None)
-        if isinstance(mtype, str):
-            return mtype
-        return type(payload).__name__
+        """Best-effort message-type label for metrics and traces (cached —
+        the payload never changes while the envelope is in flight)."""
+        mtype = self._mtype
+        if mtype is None:
+            payload = self.payload
+            mtype = getattr(payload, "mtype", None)
+            if not isinstance(mtype, str):
+                mtype = type(payload).__name__
+            self._mtype = mtype
+        return mtype
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

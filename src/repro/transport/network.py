@@ -1,14 +1,34 @@
-"""Simulated asynchronous network with authenticated reliable channels."""
+"""Simulated asynchronous network with authenticated reliable channels.
+
+Since the kernel refactor this module is a thin facade over
+:class:`repro.sim.SimKernel`: the network owns the membership, the metrics
+and the messaging semantics (authentication, causal depth, reliable
+delivery), while the kernel owns the typed event queue, the clock, the RNG
+and the fault state (crashes, partitions).  The public seed API —
+``add_node`` / ``submit`` / ``step`` / ``pending`` / ``delivery_log`` — is
+unchanged, and a seed run (no timers, no faults) replays bit-for-bit.
+"""
 
 from __future__ import annotations
 
-import heapq
-import random
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.metrics.collector import MetricsCollector
+from repro.sim.events import (
+    Event,
+    Inject,
+    MessageDelivery,
+    NodeCrash,
+    NodeRecover,
+    PartitionHeal,
+    PartitionStart,
+    Timer,
+)
+from repro.sim.faults import validate_partition_groups
+from repro.sim.kernel import SimKernel, invalid_time
+from repro.sim.scheduler import DelayModelScheduler, Scheduler
 from repro.transport.delays import DelayModel, UniformDelay
-from repro.transport.message import Envelope, estimate_size
+from repro.transport.message import Envelope
 from repro.transport.node import Node, NodeContext
 
 
@@ -19,13 +39,18 @@ class Network:
 
     * **Reliable channels** — every submitted message is eventually delivered
       exactly once; nothing is dropped or duplicated by the transport.
+      Crashes and partitions only *hold* traffic (released on recovery /
+      heal), so a fault is indistinguishable from a long delay — exactly the
+      power the asynchronous adversary already has.
     * **Authenticated channels** — the receiver learns the true sender;
       a Byzantine process cannot submit a message under another identity
       because :meth:`submit` takes the sender from the registered node handle.
     * **Unbounded (but finite) delays** — delivery order and timing are
-      controlled by a pluggable :class:`DelayModel`, driven by a seeded RNG
-      so every run is exactly reproducible.
-    * **Complete graph** — any process can message any other.
+      controlled by a pluggable :class:`~repro.sim.scheduler.Scheduler`
+      (by default wrapping a seed-era :class:`DelayModel`), driven by a
+      seeded RNG so every run is exactly reproducible.
+    * **Complete graph** — any process can message any other (unless a
+      scripted partition is active, in which case cross-traffic waits).
 
     The network also maintains the causal message-delay counter used by the
     latency experiments: an envelope's depth is one more than its sender's
@@ -38,14 +63,19 @@ class Network:
         delay_model: Optional[DelayModel] = None,
         seed: int = 0,
         metrics: Optional[MetricsCollector] = None,
+        scheduler: Optional[Scheduler] = None,
     ) -> None:
+        if delay_model is not None and scheduler is not None:
+            raise ValueError(
+                "pass either delay_model or scheduler, not both (a scheduler "
+                "fully determines delays; wrap a DelayModel in "
+                "DelayModelScheduler if you want to combine them)"
+            )
         self._nodes: Dict[Hashable, Node] = {}
         self._pids: Tuple[Hashable, ...] = ()
-        self._queue: List[Tuple[float, int, Envelope]] = []
         self._seq = 0
-        self._delay_model = delay_model or UniformDelay()
-        self._rng = random.Random(seed)
-        self._now = 0.0
+        self._scheduler = scheduler or DelayModelScheduler(delay_model or UniformDelay())
+        self._kernel = SimKernel(seed=seed)
         self.metrics = metrics or MetricsCollector()
         self._delivery_log: List[Envelope] = []
         self._started = False
@@ -86,12 +116,22 @@ class Network:
     @property
     def now(self) -> float:
         """Current simulated time."""
-        return self._now
+        return self._kernel.now
 
     @property
-    def rng(self) -> random.Random:
-        """The run's seeded random number generator (shared with delay model)."""
-        return self._rng
+    def rng(self):
+        """The run's seeded random number generator (shared with scheduler)."""
+        return self._kernel.rng
+
+    @property
+    def kernel(self) -> SimKernel:
+        """The underlying discrete-event kernel (queue, clock, fault state)."""
+        return self._kernel
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The active scheduling policy."""
+        return self._scheduler
 
     # -- sending ------------------------------------------------------------------
 
@@ -102,25 +142,88 @@ class Network:
         from the context, never from the payload, which is what makes the
         channels authenticated.
         """
-        if dest not in self._nodes:
+        nodes = self._nodes
+        if dest not in nodes:
             raise ValueError(f"unknown destination {dest!r}")
-        sender_node = self._nodes[sender]
+        kernel = self._kernel
         self._seq += 1
         envelope = Envelope(
             sender=sender,
             dest=dest,
             payload=payload,
-            send_time=self._now,
-            depth=sender_node.causal_depth + 1,
+            send_time=kernel.now,
+            depth=nodes[sender].causal_depth + 1,
             seq=self._seq,
-            size=estimate_size(payload),
         )
-        delay = self._delay_model.delay(envelope, self._rng)
+        delay = self._scheduler.delay(envelope, kernel.rng)
+        # Inline invalid_time(): this runs once per send, the hottest path.
         if delay < 0 or delay != delay or delay == float("inf"):
-            raise ValueError(f"delay model produced invalid delay {delay!r}")
-        heapq.heappush(self._queue, (self._now + delay, self._seq, envelope))
-        self.metrics.record_send(sender, dest, envelope.mtype, envelope.size)
+            raise ValueError(f"scheduler produced invalid delay {delay!r}")
+        kernel.schedule_at(MessageDelivery(envelope), kernel.now + delay)
+        kernel.pending_messages += 1
+        self.metrics.record_send(sender, dest, envelope.mtype, envelope)
         return envelope
+
+    # -- timers & faults ------------------------------------------------------------
+
+    def schedule_timer(
+        self, pid: Hashable, delay: float, tag: str, payload: Any = None
+    ) -> Timer:
+        """Arm a timer firing ``pid``'s :meth:`Node.on_timer` after ``delay``.
+
+        Returns the :class:`Timer` event, which doubles as the cancellation
+        handle (``timer.cancel()``).
+        """
+        if pid not in self._nodes:
+            raise ValueError(f"unknown process {pid!r}")
+        if invalid_time(delay):
+            raise ValueError(f"invalid timer delay {delay!r}")
+        timer = Timer(pid, tag, payload)
+        self._kernel.schedule(timer, delay)
+        return timer
+
+    def crash_node(self, pid: Hashable, at: Optional[float] = None) -> Event:
+        """Schedule ``pid``'s crash at absolute time ``at`` (default: now)."""
+        if pid not in self._nodes:
+            raise ValueError(f"unknown process {pid!r}")
+        return self._kernel.schedule_at(NodeCrash(pid), self.now if at is None else at)
+
+    def recover_node(self, pid: Hashable, at: Optional[float] = None) -> Event:
+        """Schedule ``pid``'s recovery at absolute time ``at`` (default: now)."""
+        if pid not in self._nodes:
+            raise ValueError(f"unknown process {pid!r}")
+        return self._kernel.schedule_at(NodeRecover(pid), self.now if at is None else at)
+
+    def start_partition(
+        self, *groups: Iterable[Hashable], at: Optional[float] = None
+    ) -> Event:
+        """Schedule a partition into ``groups`` at ``at`` (default: now)."""
+        frozen = tuple(frozenset(group) for group in groups)
+        validate_partition_groups(frozen)
+        for group in frozen:
+            for pid in group:
+                if pid not in self._nodes:
+                    raise ValueError(f"unknown process {pid!r} in partition group")
+        return self._kernel.schedule_at(
+            PartitionStart(frozen), self.now if at is None else at
+        )
+
+    def heal_partition(self, at: Optional[float] = None) -> Event:
+        """Schedule the partition heal at ``at`` (default: now)."""
+        return self._kernel.schedule_at(PartitionHeal(), self.now if at is None else at)
+
+    def inject(
+        self,
+        fn: Callable[["Network"], Any],
+        at: Optional[float] = None,
+        label: str = "inject",
+    ) -> Event:
+        """Schedule ``fn(network)`` at ``at`` — arbitrary scripted action."""
+        return self._kernel.schedule_at(Inject(fn, label), self.now if at is None else at)
+
+    def apply_fault_plan(self, plan) -> None:
+        """Schedule every action of a :class:`~repro.sim.faults.FaultPlan`."""
+        plan.apply(self)
 
     # -- running -------------------------------------------------------------------
 
@@ -133,24 +236,111 @@ class Network:
             node.on_start()
 
     def pending(self) -> int:
-        """Number of messages currently in flight."""
-        return len(self._queue)
+        """Number of messages currently in flight (including held ones)."""
+        return self._kernel.pending_messages
 
-    def step(self) -> Optional[Envelope]:
-        """Deliver the next message (or return ``None`` if the queue is empty)."""
+    def process_next_event(self) -> Tuple[Optional[Event], Optional[Envelope]]:
+        """Pop and process exactly one kernel event.
+
+        Returns ``(event, delivered_envelope)``: the envelope is non-``None``
+        only when the event resulted in an actual message delivery (a
+        delivery held back by a crash or partition processes the event but
+        delivers nothing).  ``(None, None)`` means the queue is exhausted.
+        """
         if not self._started:
             self.start()
-        if not self._queue:
+        event = self._kernel.pop()
+        if event is None:
+            return None, None
+        return event, self._dispatch(event)
+
+    #: Safety valve for :meth:`step`: a scenario whose queue only ever yields
+    #: non-delivery events (e.g. a self-rearming retry timer whose messages
+    #: are all held by a never-healed partition) would otherwise spin forever
+    #: inside one call.  Exceeding this is a scenario bug, reported loudly.
+    MAX_EVENTS_PER_STEP = 100_000
+
+    def step(self) -> Optional[Envelope]:
+        """Deliver the next message (or return ``None`` if the queue is empty).
+
+        Non-message events (timers, faults, injections) encountered along the
+        way are processed transparently, preserving the seed semantics of
+        "advance the simulation by one delivery".  If ``MAX_EVENTS_PER_STEP``
+        events pass without a single delivery, a :class:`RuntimeError` is
+        raised instead of looping forever (use :class:`SimulationRuntime`,
+        whose event valve stops such runs gracefully).
+        """
+        if not self._started:
+            self.start()
+        pop = self._kernel.pop
+        dispatch = self._dispatch
+        stalled = 0
+        while True:
+            event = pop()
+            if event is None:
+                return None
+            envelope = dispatch(event)
+            if envelope is not None:
+                return envelope
+            stalled += 1
+            if stalled >= self.MAX_EVENTS_PER_STEP:
+                raise RuntimeError(
+                    f"no message delivered within {stalled} events: the "
+                    "scenario generates timer/fault events forever while "
+                    "every message stays held (crashed node or unhealed "
+                    "partition?)"
+                )
+
+    # -- event dispatch ---------------------------------------------------------------
+
+    def _dispatch(self, event: Event) -> Optional[Envelope]:
+        kernel = self._kernel
+        cls = event.__class__
+        if cls is MessageDelivery:
+            envelope = event.envelope
+            dest = envelope.dest
+            if dest in kernel.crashed:
+                kernel.hold_for_node(dest, event)
+                return None
+            if kernel.partition_groups and kernel.link_blocked(envelope.sender, dest):
+                kernel.hold_for_partition(event)
+                return None
+            envelope.deliver_time = kernel.now
+            receiver = self._nodes[dest]
+            if receiver.causal_depth < envelope.depth:
+                receiver.causal_depth = envelope.depth
+            kernel.pending_messages -= 1
+            self.metrics.record_delivery(envelope.sender, dest, envelope.mtype)
+            self._delivery_log.append(envelope)
+            receiver.on_message(envelope.sender, envelope.payload)
+            return envelope
+        if cls is Timer:
+            pid = event.pid
+            if pid in kernel.crashed:
+                kernel.hold_for_node(pid, event)
+                return None
+            self._nodes[pid].on_timer(event.tag, event.payload)
             return None
-        deliver_time, _seq, envelope = heapq.heappop(self._queue)
-        self._now = max(self._now, deliver_time)
-        delivered = envelope.delivered_at(self._now)
-        receiver = self._nodes[delivered.dest]
-        receiver.causal_depth = max(receiver.causal_depth, delivered.depth)
-        self.metrics.record_delivery(delivered.sender, delivered.dest, delivered.mtype)
-        self._delivery_log.append(delivered)
-        receiver.on_message(delivered.sender, delivered.payload)
-        return delivered
+        if cls is NodeCrash:
+            if event.pid not in kernel.crashed:
+                kernel.apply_crash(event.pid)
+                self._nodes[event.pid].on_crash()
+            return None
+        if cls is NodeRecover:
+            if event.pid in kernel.crashed:
+                kernel.apply_recover(event.pid)
+                self._nodes[event.pid].on_recover()
+            return None
+        if cls is PartitionStart:
+            kernel.apply_partition(event.groups)
+            return None
+        if cls is PartitionHeal:
+            kernel.apply_heal()
+            return None
+        if cls is Inject:
+            event.fn(self)
+            return None
+        raise TypeError(f"unknown event type {cls.__name__}")  # pragma: no cover
 
     @property
     def delivery_log(self) -> List[Envelope]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Hashable, Iterable, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.events import Timer
     from repro.transport.network import Network
 
 
@@ -88,6 +89,22 @@ class NodeContext:
         for dest in dests:
             self.send(dest, payload)
 
+    # -- timers ------------------------------------------------------------------
+
+    def set_timer(self, delay: float, tag: str, payload: Any = None) -> "Timer":
+        """Arm a local timer: after ``delay``, :meth:`Node.on_timer` fires.
+
+        Returns the timer event, which doubles as the cancellation handle
+        (``handle.cancel()``).  Timers are process-local — they model a
+        process's own clock, not the network — so they keep firing under
+        partitions, and are held (not lost) while the process is crashed.
+        """
+        return self._network.schedule_timer(self._pid, delay, tag, payload)
+
+    def cancel_timer(self, handle: "Timer") -> None:
+        """Cancel a timer previously armed with :meth:`set_timer`."""
+        handle.cancel()
+
 
 class Node:
     """Base class for all simulated processes."""
@@ -115,7 +132,27 @@ class Node:
     def on_message(self, sender: Hashable, payload: Any) -> None:
         """Called for every delivered message (``sender`` is authentic)."""
 
+    def on_timer(self, tag: str, payload: Any = None) -> None:
+        """Called when a timer armed via :meth:`set_timer` fires."""
+
+    def on_crash(self) -> None:
+        """Called when the kernel takes this process down (scripted crash).
+
+        The transport holds all traffic and timers addressed to a crashed
+        process and hands them over on recovery, so overriding this hook is
+        only needed to model *state* effects of the crash.
+        """
+
+    def on_recover(self) -> None:
+        """Called when the kernel brings this process back up."""
+
     # -- convenience -----------------------------------------------------------
+
+    def set_timer(self, delay: float, tag: str, payload: Any = None):
+        """Arm a local timer (see :meth:`NodeContext.set_timer`)."""
+        if self.ctx is None:
+            raise RuntimeError("node is not bound to a network")
+        return self.ctx.set_timer(delay, tag, payload)
 
     def log_event(self, label: str, data: Any = None) -> None:
         """Append an entry to the node's trace."""

@@ -21,30 +21,43 @@ class RunResult:
     stopped_by_predicate: bool
     #: Whether the network still had undelivered messages when we stopped.
     pending_messages: int
+    #: Total kernel events processed (deliveries + timers + faults).
+    events: int = 0
+    #: Whether the run was truncated by the ``max_events`` valve (a scenario
+    #: spinning on non-delivery events, e.g. self-rearming timers behind a
+    #: never-healed partition).  Tests should treat this as a liveness
+    #: failure, like hitting ``max_messages``.
+    events_capped: bool = False
     #: The metrics collector of the underlying network (for convenience).
     metrics: MetricsCollector = field(repr=False, default=None)
 
     @property
     def quiescent(self) -> bool:
-        """True when the run ended with no messages left in flight."""
-        return self.pending_messages == 0
+        """True when the run ended with no messages left in flight.
+
+        An event-cap truncation is never quiescent, even with an empty
+        message queue — the scenario was still generating events.
+        """
+        return self.pending_messages == 0 and not self.events_capped
 
 
 class SimulationRuntime:
     """Drives a :class:`Network` to completion.
 
-    The runtime repeatedly delivers the next scheduled message.  It stops
-    when any of the following holds:
+    The runtime repeatedly processes the next scheduled kernel event
+    (message delivery, timer, scripted fault, injection).  It stops when any
+    of the following holds:
 
     * the stop predicate returns ``True`` (e.g. "all correct proposers have
       decided"),
-    * the network is quiescent (no messages in flight), or
+    * the kernel queue is exhausted (no events left at all), or
     * the ``max_messages`` safety valve trips (which tests treat as a
-      liveness failure).
+      liveness failure) — there is also an event-count valve so a scenario
+      made only of self-rearming timers cannot spin forever.
 
-    Because delivery order is entirely determined by the network's seeded
-    delay model, a runtime run is a pure function of (nodes, seed, delay
-    model) — the determinism tests rely on this.
+    Because event order is entirely determined by the kernel's seeded
+    scheduler, a runtime run is a pure function of (nodes, seed, scheduler,
+    fault plan) — the determinism tests rely on this.
     """
 
     def __init__(self, network: Network) -> None:
@@ -54,25 +67,36 @@ class SimulationRuntime:
         self,
         stop_when: Optional[Callable[[], bool]] = None,
         max_messages: int = 200_000,
+        max_events: Optional[int] = None,
     ) -> RunResult:
-        """Deliver messages until the stop condition, quiescence or the cap."""
-        self.network.start()
+        """Process events until the stop condition, quiescence or a cap."""
+        network = self.network
+        network.start()
+        if max_events is None:
+            max_events = max_messages * 8
         delivered = 0
+        events = 0
         stopped = False
-        while delivered < max_messages:
+        exhausted = False
+        while delivered < max_messages and events < max_events:
             if stop_when is not None and stop_when():
                 stopped = True
                 break
-            envelope = self.network.step()
-            if envelope is None:
+            event, envelope = network.process_next_event()
+            if event is None:
+                exhausted = True
                 break
-            delivered += 1
+            events += 1
+            if envelope is not None:
+                delivered += 1
         return RunResult(
             delivered=delivered,
-            end_time=self.network.now,
+            end_time=network.now,
             stopped_by_predicate=stopped,
-            pending_messages=self.network.pending(),
-            metrics=self.network.metrics,
+            pending_messages=network.pending(),
+            events=events,
+            events_capped=not stopped and not exhausted and events >= max_events,
+            metrics=network.metrics,
         )
 
     def run_until_quiescent(self, max_messages: int = 200_000) -> RunResult:
@@ -84,9 +108,13 @@ class SimulationRuntime:
     ) -> RunResult:
         """Run until every process in ``pids`` has recorded a decision."""
         metrics = self.network.metrics
+        targets = set(pids)
+        # The collector maintains the decided-pid set incrementally, so this
+        # predicate is O(|targets|) per event instead of the seed's
+        # O(messages x processes) rebuild per delivered message.
+        decided = metrics.decided
 
         def all_decided() -> bool:
-            decided = set(metrics.decided_pids())
-            return all(pid in decided for pid in pids)
+            return targets <= decided
 
         return self.run(stop_when=all_decided, max_messages=max_messages)

@@ -39,6 +39,12 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "WTS" in result.stdout
 
+    def test_partition_churn(self):
+        result = run_example("partition_churn.py")
+        assert result.returncode == 0, result.stderr
+        assert "GLA comparability held in every configuration: True" in result.stdout
+        assert "delayed but never prevented decisions: True" in result.stdout
+
     def test_run_all_experiments_cli_single_experiment(self):
         result = run_example("run_all_experiments.py", "--quick", "--only", "E1")
         assert result.returncode == 0, result.stderr

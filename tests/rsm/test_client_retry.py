@@ -1,0 +1,83 @@
+"""Timeout-driven client retry: kernel timers instead of harness re-injection."""
+
+from repro.harness import run_rsm_scenario
+from repro.rsm.checker import check_rsm_history
+from repro.rsm.crdt import GCounterObject
+from repro.sim import FaultPlan
+from repro.transport import FixedDelay
+
+
+def build_scripts(counter):
+    return {"c0": [("update", counter.op_inc(1)), ("read",)]}
+
+
+class TestClientRetry:
+    def test_retry_fires_under_partition_and_operation_completes(self):
+        counter = GCounterObject("hits")
+        # Cut the client off from every replica well past its retry timeout;
+        # the retries are duplicates (held + re-sent), which replicas must
+        # absorb idempotently.
+        plan = FaultPlan().partition(
+            ["c0"], ["p0", "p1", "p2", "p3"], at=0.0, heal_at=15.0
+        )
+        scenario = run_rsm_scenario(
+            n_replicas=4,
+            f=1,
+            client_scripts=build_scripts(counter),
+            rounds=14,
+            delay_model=FixedDelay(1.0),
+            seed=3,
+            fault_plan=plan,
+            client_retry_timeout=6.0,
+        )
+        client = scenario.extras["clients"]["c0"]
+        assert client.retries >= 1
+        assert client.all_completed
+        history = scenario.extras["histories"].values()
+        admissible = {
+            record.command for records in history for record in records
+        }
+        check = check_rsm_history(
+            scenario.extras["histories"].values(), admissible_commands=admissible
+        )
+        assert check.ok, check
+        read = [r for r in client.history if r.kind == "read"][0]
+        assert counter.value(read.result) == 1
+
+    def test_no_retries_in_calm_runs(self):
+        counter = GCounterObject("hits")
+        scenario = run_rsm_scenario(
+            n_replicas=4,
+            f=1,
+            client_scripts=build_scripts(counter),
+            rounds=8,
+            delay_model=FixedDelay(1.0),
+            seed=3,
+        )
+        client = scenario.extras["clients"]["c0"]
+        assert client.all_completed
+        assert client.retries == 0
+
+    def test_retry_escalates_to_all_replicas(self):
+        counter = GCounterObject("hits")
+        plan = FaultPlan().partition(
+            ["c0"], ["p0", "p1", "p2", "p3"], at=0.0, heal_at=25.0
+        )
+        scenario = run_rsm_scenario(
+            n_replicas=4,
+            f=1,
+            client_scripts=build_scripts(counter),
+            rounds=8,
+            delay_model=FixedDelay(1.0),
+            seed=3,
+            fault_plan=plan,
+            client_retry_timeout=10.0,
+        )
+        # After the heal, the retried update reaches all four replicas, not
+        # just the initial f + 1 = 2.
+        update_dests = {
+            env.dest
+            for env in scenario.network.delivery_log
+            if env.sender == "c0" and env.mtype == "rsm_update"
+        }
+        assert update_dests == {"p0", "p1", "p2", "p3"}

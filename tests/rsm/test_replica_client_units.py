@@ -86,8 +86,13 @@ class TestClientUnit:
         assert raised
 
     def test_client_sends_updates_to_f_plus_1_replicas(self):
+        # Retries disabled: after the timeout the client deliberately
+        # escalates to *all* replicas (tested in tests/rsm/test_client_retry.py);
+        # here we pin the initial Algorithm 5 line 3 submission to f + 1.
         network = Network(delay_model=FixedDelay(1.0), seed=0)
-        client = RSMClient("c", REPLICAS, f=1, script=[("update", ("obj", "add", 1))])
+        client = RSMClient(
+            "c", REPLICAS, f=1, script=[("update", ("obj", "add", 1))], retry_timeout=None
+        )
         network.add_node(client)
         sinks = [network.add_node(_Sink(pid)) for pid in REPLICAS]
         SimulationRuntime(network).run_until_quiescent()

@@ -1,0 +1,277 @@
+"""Unit tests for the discrete-event kernel: events, timers, crashes, partitions."""
+
+import pytest
+
+from repro.sim import Inject, NodeCrash, SimKernel, Timer
+from repro.transport import FixedDelay, Network, Node, SimulationRuntime
+
+
+class Recorder(Node):
+    """Records every message, timer and crash/recover hook invocation."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+        self.timers = []
+        self.crashes = 0
+        self.recoveries = 0
+
+    def on_message(self, sender, payload):
+        self.received.append((self.ctx.now(), sender, payload))
+
+    def on_timer(self, tag, payload=None):
+        self.timers.append((self.ctx.now(), tag, payload))
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_recover(self):
+        self.recoveries += 1
+
+
+def build(n=3, delay=1.0, seed=0):
+    network = Network(delay_model=FixedDelay(delay), seed=seed)
+    nodes = [network.add_node(Recorder(f"p{i}")) for i in range(n)]
+    return network, nodes
+
+
+class TestKernelQueue:
+    def test_events_pop_in_time_order_with_schedule_tiebreak(self):
+        kernel = SimKernel()
+        first = kernel.schedule_at(Timer("a", "t1"), 5.0)
+        second = kernel.schedule_at(Timer("a", "t2"), 3.0)
+        third = kernel.schedule_at(Timer("a", "t3"), 5.0)
+        assert kernel.pop() is second
+        assert kernel.pop() is first  # same time as third, scheduled earlier
+        assert kernel.pop() is third
+        assert kernel.pop() is None
+        assert kernel.now == pytest.approx(5.0)
+
+    def test_cancelled_events_are_skipped(self):
+        kernel = SimKernel()
+        timer = kernel.schedule_at(Timer("a", "t"), 1.0)
+        keeper = kernel.schedule_at(Timer("a", "k"), 2.0)
+        timer.cancel()
+        assert kernel.pop() is keeper
+        assert kernel.pop() is None
+
+    def test_scheduling_in_the_past_rejected(self):
+        kernel = SimKernel()
+        kernel.schedule_at(Timer("a", "t"), 5.0)
+        kernel.pop()
+        with pytest.raises(ValueError):
+            kernel.schedule_at(Timer("a", "late"), 1.0)
+
+
+class TestTimers:
+    def test_set_timer_fires_on_timer(self):
+        network, nodes = build()
+        network.start()
+        nodes[0].set_timer(4.0, "wake", {"k": 1})
+        SimulationRuntime(network).run_until_quiescent()
+        assert nodes[0].timers == [(4.0, "wake", {"k": 1})]
+
+    def test_cancelled_timer_never_fires(self):
+        network, nodes = build()
+        network.start()
+        handle = nodes[0].set_timer(4.0, "wake")
+        nodes[0].ctx.cancel_timer(handle)
+        SimulationRuntime(network).run_until_quiescent()
+        assert nodes[0].timers == []
+
+    def test_timers_do_not_count_as_pending_messages(self):
+        network, nodes = build()
+        network.start()
+        nodes[0].set_timer(1.0, "wake")
+        assert network.pending() == 0
+        result = SimulationRuntime(network).run_until_quiescent()
+        assert result.quiescent
+        assert result.events == 1 and result.delivered == 0
+
+    def test_timers_interleave_with_deliveries_in_time_order(self):
+        network, nodes = build(delay=2.0)
+        network.start()
+        nodes[0].ctx.send("p1", "msg")  # arrives at 2.0
+        nodes[1].set_timer(1.0, "early")
+        nodes[1].set_timer(3.0, "late")
+        SimulationRuntime(network).run_until_quiescent()
+        assert nodes[1].timers[0][1] == "early"
+        assert nodes[1].received[0][0] == pytest.approx(2.0)
+        assert nodes[1].timers[1][1] == "late"
+
+
+class TestCrashRecover:
+    def test_crashed_node_messages_held_until_recovery(self):
+        network, nodes = build(delay=1.0)
+        network.crash_node("p1", at=0.0)
+        network.recover_node("p1", at=10.0)
+        network.start()
+        nodes[0].ctx.send("p1", "while-down")
+        result = SimulationRuntime(network).run_until_quiescent()
+        assert result.quiescent
+        # The message was held (not lost) and handed over at recovery time.
+        assert nodes[1].received == [(10.0, "p0", "while-down")]
+        assert nodes[1].crashes == 1 and nodes[1].recoveries == 1
+
+    def test_crashed_node_timers_held_until_recovery(self):
+        network, nodes = build()
+        network.start()
+        nodes[1].set_timer(2.0, "alarm")
+        network.crash_node("p1", at=1.0)
+        network.recover_node("p1", at=8.0)
+        SimulationRuntime(network).run_until_quiescent()
+        assert nodes[1].timers == [(8.0, "alarm", None)]
+
+    def test_pending_counts_held_messages_as_in_flight(self):
+        network, nodes = build(delay=1.0)
+        network.crash_node("p1", at=0.0)
+        network.start()
+        nodes[0].ctx.send("p1", "x")
+        # Drain: crash event + held delivery; no recovery scheduled.
+        while True:
+            event, _ = network.process_next_event()
+            if event is None:
+                break
+        assert network.pending() == 1  # still in flight, waiting for recovery
+        assert network.kernel.held_count() == 1
+
+    def test_timer_cancelled_while_held_does_not_fire_after_recovery(self):
+        network, nodes = build()
+        network.start()
+        handle = nodes[1].set_timer(2.0, "alarm")
+        network.crash_node("p1", at=1.0)
+        network.recover_node("p1", at=8.0)
+        # Cancel while the timer is parked for the crashed node.
+        network.inject(lambda net: handle.cancel(), at=5.0)
+        SimulationRuntime(network).run_until_quiescent()
+        assert nodes[1].timers == []
+
+    def test_crash_and_recover_are_idempotent(self):
+        network, nodes = build()
+        network.crash_node("p0", at=1.0)
+        network.crash_node("p0", at=2.0)
+        network.recover_node("p0", at=3.0)
+        network.recover_node("p0", at=4.0)
+        SimulationRuntime(network).run_until_quiescent()
+        assert nodes[0].crashes == 1 and nodes[0].recoveries == 1
+
+
+class TestPartitions:
+    def test_cross_partition_traffic_held_until_heal(self):
+        network, nodes = build(n=4, delay=1.0)
+        network.start_partition(["p0", "p1"], ["p2", "p3"], at=0.0)
+        network.heal_partition(at=20.0)
+        network.start()
+        nodes[0].ctx.send("p2", "cross")
+        nodes[0].ctx.send("p1", "local")
+        result = SimulationRuntime(network).run_until_quiescent()
+        assert result.quiescent
+        assert nodes[1].received == [(1.0, "p0", "local")]
+        assert nodes[2].received == [(20.0, "p0", "cross")]
+
+    def test_unlisted_pid_keeps_full_connectivity(self):
+        network, nodes = build(n=3, delay=1.0)
+        network.start_partition(["p0"], ["p1"], at=0.0)
+        network.start()
+        nodes[2].ctx.send("p0", "a")
+        nodes[0].ctx.send("p2", "b")
+        SimulationRuntime(network).run_until_quiescent()
+        assert [payload for _, _, payload in nodes[0].received] == ["a"]
+        assert [payload for _, _, payload in nodes[2].received] == ["b"]
+
+    def test_partition_replacement_reevaluates_held_traffic(self):
+        network, nodes = build(n=3, delay=1.0)
+        network.start_partition(["p0"], ["p1", "p2"], at=0.0)
+        network.start()
+        nodes[0].ctx.send("p1", "x")  # held by the first partition
+        # New partition no longer separates p0 from p1: the held message flows.
+        network.start_partition(["p0", "p1"], ["p2"], at=5.0)
+        SimulationRuntime(network).run_until_quiescent()
+        assert nodes[1].received == [(5.0, "p0", "x")]
+
+
+class TestStepSafetyValve:
+    def test_overlapping_groups_rejected_by_network(self):
+        network, _ = build(n=3)
+        with pytest.raises(ValueError, match="overlap"):
+            network.start_partition(["p0", "p1"], ["p1", "p2"], at=0.0)
+
+    def test_step_raises_instead_of_spinning_on_timer_only_scenarios(self):
+        class Rearming(Recorder):
+            def on_start(self):
+                self.set_timer(1.0, "tick")
+
+            def on_timer(self, tag, payload=None):
+                self.set_timer(1.0, "tick")  # re-arms forever, sends nothing
+
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network.add_node(Rearming("p0"))
+        network.start()
+        with pytest.raises(RuntimeError, match="no message delivered"):
+            network.step()
+
+    def test_runtime_reports_event_cap_instead_of_fake_quiescence(self):
+        class Rearming(Recorder):
+            def on_start(self):
+                self.set_timer(1.0, "tick")
+
+            def on_timer(self, tag, payload=None):
+                self.set_timer(1.0, "tick")
+
+        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network.add_node(Rearming("p0"))
+        result = SimulationRuntime(network).run(max_messages=100)
+        assert result.events_capped
+        assert not result.quiescent  # truncation must not masquerade as done
+        assert result.delivered == 0
+
+
+class TestInject:
+    def test_inject_runs_callback_at_time(self):
+        network, nodes = build()
+        seen = []
+        network.inject(lambda net: seen.append(net.now), at=7.0)
+        network.start()
+        SimulationRuntime(network).run_until_quiescent()
+        assert seen == [7.0]
+
+
+class TestDeterminismWithFaults:
+    def _run_once(self, seed):
+        network, nodes = build(n=4, delay=1.0, seed=seed)
+        network.start_partition(["p0", "p1"], ["p2", "p3"], at=2.0)
+        network.heal_partition(at=9.0)
+        network.crash_node("p3", at=10.0)
+        network.recover_node("p3", at=15.0)
+        network.start()
+        for node in nodes:
+            for peer in ("p0", "p1", "p2", "p3"):
+                if peer != node.pid:
+                    node.ctx.send(peer, f"hello-{node.pid}")
+        SimulationRuntime(network).run_until_quiescent()
+        return [
+            (env.sender, env.dest, env.payload, round(env.deliver_time, 9))
+            for env in network.delivery_log
+        ]
+
+    def test_same_seed_same_trace_under_faults(self):
+        assert self._run_once(3) == self._run_once(3)
+
+    def test_fault_events_do_not_consume_rng(self):
+        # A run with faults and one without must draw identical delays for
+        # the same sends under a stochastic model (faults only hold traffic).
+        from repro.transport import UniformDelay
+
+        def trace(with_faults):
+            network = Network(delay_model=UniformDelay(0.5, 2.0), seed=11)
+            nodes = [network.add_node(Recorder(f"p{i}")) for i in range(2)]
+            if with_faults:
+                network.crash_node("p1", at=100.0)
+                network.recover_node("p1", at=101.0)
+            network.start()
+            nodes[0].ctx.send("p1", "a")
+            nodes[0].ctx.send("p1", "b")
+            SimulationRuntime(network).run_until_quiescent()
+            return [round(e.deliver_time, 9) for e in network.delivery_log]
+
+        assert trace(False) == trace(True)
