@@ -2,13 +2,9 @@
 
 from conftest import run_experiment_benchmark
 
-from repro.harness.experiments import run_ablation_experiment
-
 
 def test_e11_ablations(benchmark):
-    outcome = run_experiment_benchmark(benchmark, run_ablation_experiment, quick=False)
-    for row in outcome["outcomes"]:
-        # Intact WTS always survives the attack its removed defence targets...
-        assert row["intact_ok"], row
-        # ...and the ablated variant is broken by it (on some scanned schedule).
-        assert row["ablated_broken"], row
+    # quick=False: the attack's success depends on the schedule, so give the
+    # seed scan its full range.
+    outcome = run_experiment_benchmark(benchmark, "E11", quick=False)
+    assert outcome["ok"], outcome["table"]

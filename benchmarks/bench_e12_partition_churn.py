@@ -1,0 +1,10 @@
+"""E12 (extension) — GWTS under partition/crash churn and adversarial schedules."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e12_partition_churn(benchmark):
+    outcome = run_experiment_benchmark(benchmark, "E12")
+    # Churn and the worst-case schedule delay decisions (strictly ordered
+    # calm < churn < worst-case) but never prevent them.
+    assert outcome["ok"], outcome["table"]

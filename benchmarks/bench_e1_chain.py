@@ -2,10 +2,8 @@
 
 from conftest import run_experiment_benchmark
 
-from repro.harness.experiments import run_chain_experiment
-
 
 def test_e1_chain(benchmark):
-    outcome = run_experiment_benchmark(benchmark, run_chain_experiment)
+    outcome = run_experiment_benchmark(benchmark, "E1")
     assert outcome["is_chain"], "decisions must form a chain (Figure 1)"
-    assert outcome["check"].ok
+    assert outcome["ok"], outcome["table"]

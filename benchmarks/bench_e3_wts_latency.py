@@ -2,10 +2,9 @@
 
 from conftest import run_experiment_benchmark
 
-from repro.harness.experiments import run_wts_latency_experiment
-
 
 def test_e3_wts_latency(benchmark):
-    outcome = run_experiment_benchmark(benchmark, run_wts_latency_experiment)
+    outcome = run_experiment_benchmark(benchmark, "E3")
     for f, measured in outcome["series"].items():
         assert measured <= 2 * f + 5, f"latency {measured} exceeds 2f+5 for f={f}"
+    assert outcome["ok"], outcome["table"]

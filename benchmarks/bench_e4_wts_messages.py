@@ -2,11 +2,9 @@
 
 from conftest import run_experiment_benchmark
 
-from repro.harness.experiments import run_wts_messages_experiment
-
 
 def test_e4_wts_messages(benchmark):
-    outcome = run_experiment_benchmark(benchmark, run_wts_messages_experiment)
-    # Quadratic shape: the log-log slope should sit clearly above linear and
-    # not exceed cubic.
-    assert 1.5 <= outcome["fit_order"] <= 3.0
+    outcome = run_experiment_benchmark(benchmark, "E4")
+    # Quadratic shape: the verdict checks the log-log slope sits clearly
+    # above linear and does not exceed cubic.
+    assert outcome["ok"], f"fit order {outcome['fit_order']:.2f} not quadratic"

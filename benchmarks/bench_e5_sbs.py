@@ -2,12 +2,10 @@
 
 from conftest import run_experiment_benchmark
 
-from repro.harness.experiments import run_sbs_experiment
-
 
 def test_e5_sbs(benchmark):
-    outcome = run_experiment_benchmark(benchmark, run_sbs_experiment)
-    # Linear shape in n for fixed f.
-    assert 0.7 <= outcome["fit_order"] <= 1.5
-    for f, n, measured, bound in outcome["latency_rows"]:
-        assert float(measured) <= bound
+    outcome = run_experiment_benchmark(benchmark, "E5")
+    # Linear message shape in n for fixed f, latency within 5 + 4f.
+    assert outcome["ok"], outcome["table"]
+    for f, latest in outcome["latency_series"].items():
+        assert latest <= 5 + 4 * f

@@ -2,10 +2,8 @@
 
 from conftest import run_experiment_benchmark
 
-from repro.harness.experiments import run_gwts_liveness_experiment
-
 
 def test_e7_gwts_liveness(benchmark):
-    outcome = run_experiment_benchmark(benchmark, run_gwts_liveness_experiment)
-    assert outcome["check"].ok
+    outcome = run_experiment_benchmark(benchmark, "E7")
+    assert outcome["ok"], outcome["table"]
     assert all(count >= 1 for count in outcome["decisions_per_process"].values())

@@ -2,13 +2,9 @@
 
 from conftest import run_experiment_benchmark
 
-from repro.harness.experiments import run_rsm_experiment
-
 
 def test_e8_rsm(benchmark):
-    outcome = run_experiment_benchmark(benchmark, run_rsm_experiment)
-    assert outcome["check"].ok
+    outcome = run_experiment_benchmark(benchmark, "E8")
     # Every read of the replicated counter observed all completed increments
     # that happened before it (the values are monotone and end at the total).
-    values = outcome["counter_values"]
-    assert values and max(values) >= 1
+    assert outcome["ok"], outcome["table"]

@@ -2,15 +2,9 @@
 
 from conftest import run_experiment_benchmark
 
-from repro.harness.experiments import run_breadth_experiment
-
 
 def test_e9_breadth(benchmark):
-    outcome = run_experiment_benchmark(benchmark, run_breadth_experiment)
-    for row in outcome["outcomes"]:
-        # Our specification always holds.
-        assert row["our_spec_ok"]
-        # The restrictive specification becomes infeasible once the breadth
-        # reaches the process count.
-        if row["breadth"] >= 4:
-            assert not row["restricted_feasible"]
+    outcome = run_experiment_benchmark(benchmark, "E9")
+    # Our specification always holds; the restrictive one becomes infeasible
+    # once the breadth reaches the process count.
+    assert outcome["ok"], outcome["table"]

@@ -1,36 +1,42 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark wraps one experiment runner from
-:mod:`repro.harness.experiments`.  The experiments are full simulations (not
-micro-kernels), so each benchmark executes its experiment exactly once per
-round via ``benchmark.pedantic`` and attaches the experiment's headline
-numbers to ``benchmark.extra_info`` — the paper-vs-measured record that
-EXPERIMENTS.md is built from.
+Every benchmark wraps one experiment via the orchestrator's
+:class:`~repro.orchestrator.spec.ExperimentSpec` registry — the same uniform
+entry point ``python -m repro`` uses — instead of importing runners and
+re-deriving pass/fail conditions by hand.  The experiments are full
+simulations (not micro-kernels), so each benchmark executes its experiment
+exactly once per round via ``benchmark.pedantic`` and attaches the
+experiment's headline numbers to ``benchmark.extra_info`` — the
+paper-vs-measured record that EXPERIMENTS.md is built from.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Dict, Optional
 
-import pytest
+from repro.orchestrator.spec import get_spec
 
 
 def run_experiment_benchmark(
     benchmark,
-    runner: Callable[..., Dict[str, Any]],
+    experiment_id: str,
     quick: bool = True,
-    **kwargs,
+    seed: Optional[int] = None,
+    **params,
 ) -> Dict[str, Any]:
-    """Run ``runner`` once under pytest-benchmark and record its outcome."""
+    """Run one experiment by id under pytest-benchmark and record its outcome."""
+    spec = get_spec(experiment_id)
     outcome_holder: Dict[str, Any] = {}
 
     def _run() -> None:
-        outcome_holder["outcome"] = runner(quick=quick, **kwargs)
+        outcome_holder["outcome"] = spec.run(seed=seed, quick=quick, **params)
 
     benchmark.pedantic(_run, rounds=1, iterations=1)
     outcome = outcome_holder["outcome"]
     benchmark.extra_info["experiment"] = outcome.get("experiment")
     benchmark.extra_info["expected"] = outcome.get("expected")
+    benchmark.extra_info["ok"] = outcome.get("ok")
+    benchmark.extra_info["headline"] = outcome.get("headline")
     # Print the table so a --benchmark-only run doubles as a report.
     print()
     print(outcome["table"])

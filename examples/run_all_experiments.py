@@ -1,23 +1,25 @@
 #!/usr/bin/env python3
-"""Run every experiment of the reproduction (E1–E10) and print its table.
+"""Run every experiment of the reproduction (E1–E12) and print its table.
 
-This is the narrative companion to ``benchmarks/``: the benchmarks measure
-wall-clock cost per experiment, while this script prints the actual
-tables/series that correspond to the paper's analytical evaluation (see
-DESIGN.md for the experiment-to-claim mapping and EXPERIMENTS.md for the
-recorded outcomes).
+Thin wrapper over the ``python -m repro`` CLI (see
+:mod:`repro.orchestrator.cli`), kept for discoverability next to the other
+examples.  The CLI adds what this script never had: parallel sweeps
+(``python -m repro sweep --workers 8``), persisted JSON artifacts and
+baseline comparison.
 
 Run with::
 
     python examples/run_all_experiments.py           # full sweeps
     python examples/run_all_experiments.py --quick   # reduced sweeps
+
+Exit codes: 0 all experiments matched their expected outcome, 1 at least one
+experiment's check failed, 2 unknown experiment id.
 """
 
 import argparse
 import sys
-import time
 
-from repro.harness import ALL_EXPERIMENTS
+from repro.orchestrator.cli import main as cli_main
 
 
 def main(argv=None) -> int:
@@ -31,24 +33,15 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    selected = args.only or list(ALL_EXPERIMENTS)
-    for name in selected:
-        runner = ALL_EXPERIMENTS.get(name)
-        if runner is None:
-            print(f"unknown experiment {name!r}; known: {', '.join(ALL_EXPERIMENTS)}")
-            return 2
-        start = time.time()
-        outcome = runner(quick=args.quick)
-        elapsed = time.time() - start
-        print("=" * 78)
-        print(f"{name}  ({elapsed:.1f}s)   expected: {outcome['expected']}")
-        print("=" * 78)
-        print(outcome["table"])
-        check = outcome.get("check")
-        if check is not None:
-            print(f"\nproperty check: {check}")
-        print()
-    return 0
+    quick = ["--quick"] if args.quick else []
+    status = 0
+    for name in args.only or [f"E{i}" for i in range(1, 13)]:
+        try:
+            experiment_status = cli_main(["run", name] + quick)
+        except SystemExit as exc:  # unknown experiment id -> usage error
+            return exc.code if isinstance(exc.code, int) else 2
+        status = max(status, experiment_status)
+    return status
 
 
 if __name__ == "__main__":

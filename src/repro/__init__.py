@@ -34,7 +34,9 @@ Package layout
 ``repro.rsm``                 replicated state machine + CRDT objects + checker
 ``repro.baselines``           crash-fault LA/GLA, restrictive-spec comparison
 ``repro.metrics``             message/latency accounting and report helpers
-``repro.harness``             scenario builders and experiments E1–E10
+``repro.harness``             scenario builders and experiments E1–E12
+``repro.orchestrator``        parallel sweep runner, JSON result artifacts and
+                              the ``python -m repro`` CLI
 ============================  ====================================================
 """
 

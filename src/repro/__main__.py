@@ -1,0 +1,8 @@
+"""``python -m repro`` — the experiment orchestrator CLI."""
+
+import sys
+
+from repro.orchestrator.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

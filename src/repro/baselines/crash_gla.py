@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Hashable, List, Sequence, Set
 
 from repro.core.messages import RoundAck, RoundAckRequest, RoundNack
 from repro.core.process import AgreementProcess

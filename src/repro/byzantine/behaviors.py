@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Any, Hashable, List, Optional, Sequence
+from typing import Any, Hashable, Optional, Sequence
 
-from repro.broadcast.reliable import RBEcho, RBInit, RBReady
+from repro.broadcast.reliable import RBInit
 from repro.core.gwts import GWTSProcess
 from repro.core.messages import (
     Ack,

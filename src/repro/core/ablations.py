@@ -34,7 +34,6 @@ from __future__ import annotations
 from typing import Any, Hashable
 
 from repro.broadcast.reliable import RBInit
-from repro.core.messages import Ack, AckRequest, Nack
 from repro.core.wts import DISCLOSURE_TAG, WTSProcess
 from repro.lattice.base import LatticeElement
 

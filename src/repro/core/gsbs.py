@@ -28,7 +28,7 @@ phases run per round, which is what keeps the per-decision message count at
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
 
 from repro.core.messages import (
     DecidedCertificate,

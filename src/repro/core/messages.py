@@ -11,8 +11,8 @@ receiver, matching the value semantics of messages in the model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Hashable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Hashable, Tuple
 
 from repro.crypto.signatures import SignedValue
 

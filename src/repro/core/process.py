@@ -19,7 +19,7 @@ plain transport :class:`~repro.transport.node.Node`:
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.quorum import byzantine_quorum
 from repro.lattice.base import JoinSemilattice, LatticeElement

@@ -24,7 +24,7 @@ and the decision latency is at most ``5 + 4f`` message delays (Theorem 8).
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.core.messages import (
     InitPhase,

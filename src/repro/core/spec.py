@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Sequence
 
 from repro.lattice.base import JoinSemilattice, LatticeElement
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
-from repro.broadcast.reliable import ReliableBroadcaster, is_rb_message
+from repro.broadcast.reliable import ReliableBroadcaster
 from repro.core.messages import Ack, AckRequest, Nack
 from repro.core.process import AgreementProcess
 from repro.lattice.base import JoinSemilattice, LatticeElement

@@ -1,14 +1,20 @@
 """Per-table/figure experiment runners (E1–E10 of DESIGN.md, plus E11–E12).
 
-Each function runs the relevant simulated scenarios, returns a dictionary of
-raw rows/series plus a pre-formatted text table, and includes an ``expected``
-entry describing the paper's analytical claim so benchmark output can be read
-side by side with it.  The ``benchmarks/`` directory exposes one
-pytest-benchmark target per experiment, and EXPERIMENTS.md records the
-paper-vs-measured outcomes.
+Each function runs the relevant simulated scenarios and returns a dictionary
+with a uniform shape the orchestrator (:mod:`repro.orchestrator`) persists:
+
+* ``expected`` — the paper's analytical claim, for side-by-side reading;
+* ``ok`` — the experiment's verdict: did the run match the claim;
+* ``headline`` — the numeric metrics worth tracking across runs;
+* ``latency`` — simulated-time latency metrics; deterministic given the
+  seeds, so baseline comparison can flag regressions without wall-clock
+  noise;
+* ``headers``/``rows`` — the structured data of the report table;
+* ``table`` — the text rendering of ``headers``/``rows`` (presentation
+  only; everything the table shows is also available as data).
 
 The functions accept ``quick=True`` to shrink sweep ranges; the benchmark
-harness uses the quick settings so a full benchmark run stays in the
+harness and the CI sweep use the quick settings so a full run stays in the
 minutes range, while the defaults give smoother curves.
 """
 
@@ -28,9 +34,10 @@ from repro.byzantine.behaviors import (
     FlipFloppingAcceptor,
     NackSpamAcceptor,
     SilentByzantine,
+    ValueInjectorProposer,
 )
 from repro.core.quorum import max_faults, required_processes
-from repro.lattice.chain import all_comparable, hasse_diagram_text, longest_chain, sort_chain
+from repro.lattice.chain import all_comparable, hasse_diagram_text, sort_chain
 from repro.lattice.set_lattice import SetLattice
 from repro.metrics.report import fit_polynomial_order, format_table
 from repro.rsm.checker import check_rsm_history
@@ -39,9 +46,7 @@ from repro.sim.faults import FaultPlan
 from repro.sim.scheduler import WorstCaseScheduler
 from repro.transport.delays import FixedDelay, SkewedPairDelay, UniformDelay
 from repro.harness.workloads import (
-    default_proposals,
     member_pids,
-    run_crash_gla_scenario,
     run_crash_la_scenario,
     run_gwts_scenario,
     run_rsm_scenario,
@@ -67,15 +72,23 @@ def run_chain_experiment(n: int = 4, f: int = 1, seed: int = 11, quick: bool = F
         (pid, _render(decs[0]) if decs else "-")
         for pid, decs in sorted(scenario.decisions().items())
     ]
+    headers = ["process", "decision"]
+    is_chain = all_comparable(lattice, decisions)
+    check = scenario.check_la()
     return {
         "experiment": "E1",
         "expected": "all decisions pairwise comparable (a chain in the Figure 1 lattice)",
         "decisions": decisions,
         "chain": chain,
-        "is_chain": all_comparable(lattice, decisions),
+        "is_chain": is_chain,
         "hasse": diagram,
-        "table": format_table(["process", "decision"], rows, title="E1: decisions per process"),
-        "check": scenario.check_la(),
+        "headers": headers,
+        "rows": rows,
+        "table": format_table(headers, rows, title="E1: decisions per process"),
+        "check": check,
+        "ok": bool(is_chain and check.ok),
+        "headline": {"decided": float(len(decisions))},
+        "latency": {},
     }
 
 
@@ -198,15 +211,34 @@ def run_resilience_experiment(f: int = 1, seed: int = 7, quick: bool = False) ->
         )
         for o in outcomes
     ]
+    headers = ["configuration", "decided", "liveness", "safety"]
+    wts_small_o, crash_small_o, wts_big_o = outcomes
+    ok = (
+        wts_small_o["safety_ok"]
+        and not wts_small_o["live"]
+        and crash_small_o["live"]
+        and not crash_small_o["safety_ok"]
+        and wts_big_o["safety_ok"]
+        and wts_big_o["live"]
+    )
     return {
         "experiment": "E2",
         "expected": "n=3f: liveness lost (Byzantine quorum) or safety lost (majority quorum); n=3f+1: both hold",
         "outcomes": outcomes,
+        "headers": headers,
+        "rows": rows,
         "table": format_table(
-            ["configuration", "decided", "liveness", "safety"],
+            headers,
             rows,
             title="E2: necessity of 3f+1 processes (Theorem 1)",
         ),
+        "ok": bool(ok),
+        "headline": {
+            "decided_wts_3f": float(wts_small_o["decided"]),
+            "decided_crash_3f": float(crash_small_o["decided"]),
+            "decided_wts_3f1": float(wts_big_o["decided"]),
+        },
+        "latency": {},
     }
 
 
@@ -248,16 +280,21 @@ def run_wts_latency_experiment(
         bound = 2 * f + 5
         series[f] = latest_decision_time
         rows.append((f, n, f"{latest_decision_time:.0f}", bound, "OK" if latest_decision_time <= bound else "EXCEEDED"))
+    headers = ["f", "n", "measured delays", "bound 2f+5", "within bound"]
     return {
         "experiment": "E3",
         "expected": "decision within 2f + 5 message delays",
         "series": series,
+        "headers": headers,
         "rows": rows,
         "table": format_table(
-            ["f", "n", "measured delays", "bound 2f+5", "within bound"],
+            headers,
             rows,
             title="E3: WTS decision latency",
         ),
+        "ok": all(measured <= 2 * f + 5 for f, measured in series.items()),
+        "headline": {"f_max": float(top)},
+        "latency": {"max_message_delays": max(series.values(), default=0.0)},
     }
 
 
@@ -281,16 +318,25 @@ def run_wts_messages_experiment(
         series[n] = per_process
         rows.append((n, f, f"{per_process:.1f}", f"{per_process / (n * n):.2f}"))
     order = fit_polynomial_order(list(series.keys()), list(series.values()))
+    headers = ["n", "f", "msgs/process", "msgs / n^2"]
     return {
         "experiment": "E4",
         "expected": "messages per process grow quadratically in n (reliable broadcast dominates)",
         "series": series,
         "fit_order": order,
+        "headers": headers,
+        "rows": rows,
         "table": format_table(
-            ["n", "f", "msgs/process", "msgs / n^2"],
+            headers,
             rows,
             title=f"E4: WTS message complexity (log-log slope ~ {order:.2f})",
         ),
+        "ok": 1.5 <= order <= 3.0,
+        "headline": {
+            "fit_order": order,
+            "max_msgs_per_process": max(series.values(), default=0.0),
+        },
+        "latency": {},
     }
 
 
@@ -320,27 +366,39 @@ def run_sbs_experiment(
     order = fit_polynomial_order(list(series_msgs.keys()), list(series_msgs.values()))
     # Latency sweep over f at n = 3f + 1.
     latency_rows: List[Sequence[Any]] = []
+    latency_series: Dict[int, float] = {}
     for f in range(0, 2 if quick else 3):
         n = required_processes(f)
         scenario = run_sbs_scenario(n=n, f=f, seed=seed + 100 + f, delay_model=FixedDelay(1.0))
         latest = max((r.time for r in scenario.metrics.decisions), default=0.0)
+        latency_series[f] = latest
         latency_rows.append((f, n, f"{latest:.0f}", 5 + 4 * f))
+    headers = ["n", "f", "msgs/process", "msgs / n", "delays", "bound 5+4f"]
+    latency_headers = ["f", "n", "delays", "bound 5+4f"]
     return {
         "experiment": "E5",
         "expected": "messages per process linear in n for f=O(1); latency <= 5 + 4f",
         "series": series_msgs,
+        "latency_series": latency_series,
         "fit_order": order,
+        "headers": headers,
         "rows": rows,
+        "latency_headers": latency_headers,
         "latency_rows": latency_rows,
         "table": format_table(
-            ["n", "f", "msgs/process", "msgs / n", "delays", "bound 5+4f"],
+            headers,
             rows,
             title=f"E5: SbS message complexity (log-log slope ~ {order:.2f})",
         )
         + "\n\n"
-        + format_table(
-            ["f", "n", "delays", "bound 5+4f"], latency_rows, title="E5b: SbS latency vs f"
-        ),
+        + format_table(latency_headers, latency_rows, title="E5b: SbS latency vs f"),
+        "ok": 0.7 <= order <= 1.5
+        and all(latest <= 5 + 4 * f for f, latest in latency_series.items()),
+        "headline": {
+            "fit_order": order,
+            "max_msgs_per_process": max(series_msgs.values(), default=0.0),
+        },
+        "latency": {"max_delays": max(latency_series.values(), default=0.0)},
     }
 
 
@@ -373,16 +431,26 @@ def run_gwts_messages_experiment(
         rows.append((n, f, rounds, f"{per_process:.1f}", f"{per_decision:.1f}",
                      f"{per_decision / (max(1, f) * n * n):.2f}"))
     order = fit_polynomial_order(list(series.keys()), list(series.values()))
+    headers = ["n", "f", "rounds", "msgs/process", "msgs/process/decision", "ratio to f*n^2"]
     return {
         "experiment": "E6",
         "expected": "messages per proposer per decision bounded by c * f * n^2",
         "series": series,
         "fit_order": order,
+        "headers": headers,
+        "rows": rows,
         "table": format_table(
-            ["n", "f", "rounds", "msgs/process", "msgs/process/decision", "ratio to f*n^2"],
+            headers,
             rows,
             title=f"E6: GWTS per-decision message complexity (log-log slope ~ {order:.2f})",
         ),
+        # With f growing as (n-1)/3 in the sweep, O(f n^2) behaves like n^3.
+        "ok": 1.8 <= order <= 3.6,
+        "headline": {
+            "fit_order": order,
+            "max_msgs_per_decision": max(series.values(), default=0.0),
+        },
+        "latency": {},
     }
 
 
@@ -422,16 +490,23 @@ def run_gwts_liveness_experiment(
         (pid, len(decs), _render(decs[-1]) if decs else "-")
         for pid, decs in sorted(decisions.items())
     ]
+    counts = {pid: len(d) for pid, d in decisions.items()}
+    headers = ["process", "#decisions", "final decision"]
     return {
         "experiment": "E7",
         "expected": "every correct process keeps deciding; every submitted value is eventually included",
         "check": check,
-        "decisions_per_process": {pid: len(d) for pid, d in decisions.items()},
+        "decisions_per_process": counts,
+        "headers": headers,
+        "rows": rows,
         "table": format_table(
-            ["process", "#decisions", "final decision"],
+            headers,
             rows,
             title="E7: GWTS liveness under round-clogging adversary",
         ),
+        "ok": bool(check.ok and counts and all(count >= 1 for count in counts.values())),
+        "headline": {"total_decisions": float(sum(counts.values()))},
+        "latency": {},
     }
 
 
@@ -491,21 +566,30 @@ def run_rsm_experiment(
         if record.kind == "read" and record.result is not None
     ]
     counter_values = [counter.value(read.result) for read in reads]
+    read_latencies = [read.end_time - read.start_time for read in reads]
     rows = [
         (read.client, f"{read.end_time - read.start_time:.1f}", counter.value(read.result),
          len(gset.value(read.result)))
         for read in reads
     ]
+    headers = ["client", "read latency", "counter value", "|tag set|"]
     return {
         "experiment": "E8",
         "expected": "all operations complete; reads are comparable, monotonic and reflect completed updates",
         "check": check,
         "counter_values": counter_values,
+        "headers": headers,
+        "rows": rows,
         "table": format_table(
-            ["client", "read latency", "counter value", "|tag set|"],
+            headers,
             rows,
             title="E8: RSM reads (counter + grow-only set objects)",
         ),
+        "ok": bool(check.ok and counter_values and max(counter_values) >= 1),
+        "headline": {"reads": float(len(reads)), "max_counter": float(max(counter_values, default=0))},
+        "latency": {
+            "mean_read_latency": sum(read_latencies) / len(read_latencies) if read_latencies else 0.0
+        },
     }
 
 
@@ -527,8 +611,6 @@ def run_breadth_experiment(
         # Run WTS with one Byzantine value injector; our spec must hold, and
         # the decisions typically include the Byzantine value, which the
         # restrictive spec forbids.
-        from repro.byzantine.behaviors import ValueInjectorProposer
-
         byz_value = frozenset({"byz-injected"})
         byz = [
             lambda pid, lat, members, ff: ValueInjectorProposer(
@@ -575,15 +657,27 @@ def run_breadth_experiment(
                 "OK" if restricted.ok else "violated (Byzantine value decided)",
             )
         )
+    headers = ["breadth k", "n", "restrictive spec feasible", "our spec", "restrictive spec on same run"]
+    ok = all(o["our_spec_ok"] for o in outcomes) and all(
+        not o["restricted_feasible"] for o in outcomes if o["breadth"] >= n
+    )
     return {
         "experiment": "E9",
         "expected": "our spec holds for every breadth; the restrictive spec is infeasible once breadth >= n and is violated whenever a Byzantine value is decided",
         "outcomes": outcomes,
+        "headers": headers,
+        "rows": rows,
         "table": format_table(
-            ["breadth k", "n", "restrictive spec feasible", "our spec", "restrictive spec on same run"],
+            headers,
             rows,
             title="E9: lattice breadth vs specifications",
         ),
+        "ok": bool(ok),
+        "headline": {
+            "breadths": float(len(outcomes)),
+            "restricted_infeasible": float(sum(1 for o in outcomes if not o["restricted_feasible"])),
+        },
+        "latency": {},
     }
 
 
@@ -601,6 +695,7 @@ def run_baseline_comparison(
     rows: List[Sequence[Any]] = []
     wts_series: Dict[int, float] = {}
     crash_series: Dict[int, float] = {}
+    max_wts_time = 0.0
     for n in sizes:
         f = max_faults(n)
         wts = run_wts_scenario(n=n, f=f, seed=seed + n, delay_model=FixedDelay(1.0))
@@ -611,6 +706,7 @@ def run_baseline_comparison(
         crash_time = max((r.time for r in crash.metrics.decisions), default=0.0)
         wts_series[n] = wts_msgs
         crash_series[n] = crash_msgs
+        max_wts_time = max(max_wts_time, wts_time)
         rows.append(
             (
                 n,
@@ -622,16 +718,26 @@ def run_baseline_comparison(
                 f"{wts_time:.0f}",
             )
         )
+    headers = ["n", "f", "crash msgs/proc", "WTS msgs/proc", "overhead", "crash delays", "WTS delays"]
     return {
         "experiment": "E10",
         "expected": "WTS costs a quadratic (vs linear) message term and never fewer delays than the crash baseline",
         "wts_series": wts_series,
         "crash_series": crash_series,
+        "headers": headers,
+        "rows": rows,
         "table": format_table(
-            ["n", "f", "crash msgs/proc", "WTS msgs/proc", "overhead", "crash delays", "WTS delays"],
+            headers,
             rows,
             title="E10: Byzantine tolerance overhead vs crash-fault baseline",
         ),
+        "ok": all(wts_series[n] > crash_series[n] for n in wts_series),
+        "headline": {
+            "max_overhead": max(
+                (wts_series[n] / max(crash_series[n], 1e-9) for n in wts_series), default=0.0
+            ),
+        },
+        "latency": {"max_wts_delays": max_wts_time},
     }
 
 
@@ -661,7 +767,6 @@ def run_ablation_experiment(seed: int = 31, quick: bool = False) -> Dict[str, An
         NoSafetyWTSProcess,
         PlainDisclosureWTSProcess,
     )
-    from repro.byzantine.behaviors import EquivocatingProposer, NackSpamAcceptor
 
     def nack_spammer(pid, lat, members, ff):
         return NackSpamAcceptor(pid, lat, members, ff)
@@ -734,15 +839,21 @@ def run_ablation_experiment(seed: int = 31, quick: bool = False) -> Dict[str, An
                 "broken (as expected)" if ablated_broken else "not broken in scanned seeds",
             )
         )
+    headers = ["ablation", "targeted property", "intact WTS", "ablated WTS"]
     return {
         "experiment": "E11",
         "expected": "each removed defence lets its targeted attack break exactly the property the paper claims it protects",
         "outcomes": outcomes,
+        "headers": headers,
+        "rows": rows,
         "table": format_table(
-            ["ablation", "targeted property", "intact WTS", "ablated WTS"],
+            headers,
             rows,
             title="E11: ablation of WTS design choices",
         ),
+        "ok": all(o["intact_ok"] and o["ablated_broken"] for o in outcomes),
+        "headline": {"ablations_broken": float(sum(1 for o in outcomes if o["ablated_broken"]))},
+        "latency": {},
     }
 
 
@@ -832,16 +943,33 @@ def run_partition_churn_experiment(
                 "OK" if check.ok else "VIOLATED",
             )
         )
+    headers = ["configuration", "decided", "last decision time", "properties"]
+    calm_o, churn_o, worst_o = outcomes
+    ok = (
+        all(o["safety_ok"] and o["decided"] == o["correct"] for o in outcomes)
+        and calm_o["last_decision_time"]
+        < churn_o["last_decision_time"]
+        < worst_o["last_decision_time"]
+    )
     return {
         "experiment": "E12",
         "expected": "churn and adversarial schedules delay decisions but never prevent them; comparability always holds",
         "outcomes": outcomes,
         "fault_plan": plan.describe(),
+        "headers": headers,
+        "rows": rows,
         "table": format_table(
-            ["configuration", "decided", "last decision time", "properties"],
+            headers,
             rows,
             title="E12: GWTS under partition/crash churn (discrete-event kernel)",
         ),
+        "ok": bool(ok),
+        "headline": {"configs": float(len(outcomes))},
+        "latency": {
+            "calm_last_decision": calm_o["last_decision_time"],
+            "churn_last_decision": churn_o["last_decision_time"],
+            "worst_case_last_decision": worst_o["last_decision_time"],
+        },
     }
 
 

@@ -10,7 +10,7 @@ quadratic) without depending on plotting libraries.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
 
 def format_table(

@@ -1,0 +1,294 @@
+"""The ``python -m repro`` command-line interface.
+
+Subcommands::
+
+    repro list                         # experiments and their parameters
+    repro run E3 --seed 7              # one experiment, table on stdout
+    repro sweep --quick --workers 4    # the full matrix -> results/run-<tag>.json
+    repro validate results/run-x.json  # schema-check an artifact
+    repro compare baseline.json run.json [--max-latency-regression 20]
+
+Exit codes: 0 success, 1 failed checks / regressions / invalid artifacts,
+2 usage errors (unknown experiment, bad parameter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.metrics.report import format_table
+from repro.orchestrator.compare import DEFAULT_MAX_LATENCY_REGRESSION, compare_payloads
+from repro.orchestrator.jobs import JobSpec, SweepSpec, expand_sweep
+from repro.orchestrator.pool import JobResult, payload_from_outcome, run_jobs
+from repro.orchestrator.results import (
+    build_run_payload,
+    default_results_path,
+    load_payload,
+    validate_run_payload,
+    write_run_payload,
+)
+from repro.orchestrator.spec import EXPERIMENT_SPECS, get_spec, visible_experiment_ids
+
+
+def _parse_param_overrides(pairs: Sequence[str]) -> Dict[str, str]:
+    overrides: Dict[str, str] = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise ValueError(f"--param expects key=value, got {pair!r}")
+        overrides[name] = value
+    return overrides
+
+
+def _print_outcome(experiment_id: str, outcome: Dict[str, Any], elapsed_s: float) -> None:
+    print("=" * 78)
+    print(f"{experiment_id}  ({elapsed_s:.1f}s)   expected: {outcome.get('expected', '')}")
+    print("=" * 78)
+    print(outcome["table"])
+    check = outcome.get("check")
+    if check is not None:
+        print(f"\nproperty check: {check}")
+    verdict = outcome.get("ok")
+    if verdict is not None:
+        print(f"verdict: {'OK' if verdict else 'FAILED'}")
+    print()
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for experiment_id in visible_experiment_ids():
+        spec = EXPERIMENT_SPECS[experiment_id]
+        params = ", ".join(
+            f"{p.name}:{p.kind}={p.default}" for p in spec.params
+        ) or "-"
+        rows.append((spec.id, spec.title, f"seed={spec.default_seed}", params))
+    print(format_table(["id", "title", "default seed", "parameters"], rows))
+    return 0
+
+
+def _resolve_specs(experiment_ids: Optional[Sequence[str]]) -> List[str]:
+    """Validate ids (usage error -> SystemExit 2), default to all visible."""
+    if not experiment_ids:
+        return list(visible_experiment_ids())
+    for experiment_id in experiment_ids:
+        try:
+            get_spec(experiment_id)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            raise SystemExit(2) from None
+    return list(experiment_ids)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    [experiment_id] = _resolve_specs([args.experiment])
+    spec = get_spec(experiment_id)
+    try:
+        overrides = spec.coerce_params(_parse_param_overrides(args.param))
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    outcome = spec.run(seed=args.seed, quick=args.quick, **overrides)
+    elapsed = time.perf_counter() - started
+    _print_outcome(experiment_id, outcome, elapsed)
+    if args.json:
+        seed = spec.default_seed if args.seed is None else args.seed
+        job = JobSpec(
+            experiment=experiment_id,
+            seed=seed,
+            params=tuple(sorted(overrides.items())),
+            quick=args.quick,
+        )
+        payload = build_run_payload(
+            tag=f"run-{experiment_id}",
+            config={"experiments": [experiment_id], "seeds": [seed], "quick": args.quick},
+            job_payloads=[payload_from_outcome(job, outcome, elapsed)],
+            wall_time_s=elapsed,
+            workers=1,
+        )
+        write_run_payload(payload, args.json)
+        print(f"wrote {args.json}")
+    return 0 if outcome.get("ok", True) else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    experiments = _resolve_specs(args.only)
+    try:
+        grid = {
+            name: [value]
+            for name, value in _parse_param_overrides(args.param).items()
+        }
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    sweep = SweepSpec(
+        experiments=tuple(experiments),
+        seeds=tuple(args.seeds or ()),
+        grid=grid,
+        quick=args.quick,
+        timeout_s=args.timeout,
+    )
+    try:
+        jobs = expand_sweep(sweep)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"sweep: {len(jobs)} jobs across {len(experiments)} experiments, "
+          f"{args.workers} worker(s)")
+
+    def report_progress(result: JobResult) -> None:
+        marker = {"ok": "ok", "check_failed": "CHECK FAILED"}.get(
+            result.status, result.status.upper()
+        )
+        print(f"  [{marker:>12}] {result.job.key}  ({result.payload['wall_time_s']:.1f}s)")
+        if args.verbose and result.payload.get("data") is not None:
+            data = result.payload["data"]
+            if data.get("headers") and data.get("rows"):
+                print(format_table(data["headers"], data["rows"]))
+
+    started = time.perf_counter()
+    results = run_jobs(jobs, workers=args.workers, progress=report_progress)
+    wall_time = time.perf_counter() - started
+
+    tag = args.tag or time.strftime("%Y%m%d-%H%M%S")
+    payload = build_run_payload(
+        tag=tag,
+        config=sweep.to_config(),
+        job_payloads=[result.payload for result in results],
+        wall_time_s=wall_time,
+        workers=args.workers,
+    )
+    path = args.out or default_results_path(tag)
+    write_run_payload(payload, path)
+
+    totals = payload["totals"]
+    print(f"\n{totals['jobs']} jobs: {totals['ok']} ok, {totals['check_failed']} check-failed, "
+          f"{totals['timeout']} timed out, {totals['error']} errored  ({wall_time:.1f}s wall)")
+    print(f"wrote {path}")
+    failed = [result for result in results if not result.ok]
+    for result in failed:
+        error = result.payload.get("error")
+        detail = f": {str(error).strip().splitlines()[-1]}" if error else ""
+        print(f"FAILED {result.job.key} [{result.status}]{detail}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.paths:
+        try:
+            payload = load_payload(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_run_payload(payload)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            jobs = payload["totals"]["jobs"]
+            print(f"{path}: valid {payload['schema']} artifact with {jobs} job(s)")
+    return status
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    payloads = {}
+    for name, path in (("baseline", args.baseline), ("current", args.current)):
+        try:
+            payloads[name] = load_payload(path)
+        except (OSError, ValueError) as exc:
+            print(f"{name}: unreadable {path} ({exc})", file=sys.stderr)
+            return 1
+    baseline, current = payloads["baseline"], payloads["current"]
+    for name, payload in (("baseline", baseline), ("current", current)):
+        problems = validate_run_payload(payload)
+        if problems:
+            for problem in problems:
+                print(f"{name}: {problem}", file=sys.stderr)
+            return 1
+    report = compare_payloads(
+        baseline, current, max_latency_regression=args.max_latency_regression / 100.0
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, sweep, persist and compare the reproduction's experiments (E1-E12).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiments and their parameter schemas")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E3")
+    run_parser.add_argument("--seed", type=int, default=None, help="override the default seed")
+    run_parser.add_argument("--quick", action="store_true", help="use reduced sweep ranges")
+    run_parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="override a declared parameter (repeatable)",
+    )
+    run_parser.add_argument("--json", default=None, metavar="PATH",
+                            help="also write a single-job results artifact")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run the experiment matrix across worker processes"
+    )
+    sweep_parser.add_argument("--only", nargs="*", default=None, metavar="ID",
+                              help="experiment ids to run (default: all)")
+    sweep_parser.add_argument("--seeds", nargs="*", type=int, default=None,
+                              help="seeds to sweep (default: each experiment's own)")
+    sweep_parser.add_argument("--quick", action="store_true", help="use reduced sweep ranges")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = inline)")
+    sweep_parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                              help="per-job timeout; expired jobs are terminated")
+    sweep_parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="fix a declared parameter across experiments that have it (repeatable)",
+    )
+    sweep_parser.add_argument("--tag", default=None, help="artifact tag (default: timestamp)")
+    sweep_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="artifact path (default: results/run-<tag>.json)")
+    sweep_parser.add_argument("--verbose", action="store_true",
+                              help="print each experiment's table as it finishes")
+
+    validate_parser = subparsers.add_parser("validate", help="schema-check results artifacts")
+    validate_parser.add_argument("paths", nargs="+", help="artifact paths")
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="diff a run against a baseline artifact"
+    )
+    compare_parser.add_argument("baseline", help="baseline artifact path")
+    compare_parser.add_argument("current", help="current artifact path")
+    compare_parser.add_argument(
+        "--max-latency-regression", type=float, default=DEFAULT_MAX_LATENCY_REGRESSION * 100,
+        metavar="PERCENT", help="allowed latency growth before failing (default: 20)",
+    )
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "validate": _cmd_validate,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

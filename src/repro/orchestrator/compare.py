@@ -1,0 +1,118 @@
+"""Diff a results artifact against a committed baseline.
+
+Two regression classes are flagged:
+
+* **correctness** — a job whose baseline entry passed (``status == "ok"``)
+  now fails its check, errors out, times out, or disappeared from the run;
+* **latency** — a simulated-time latency metric (the ``latency`` dict each
+  experiment exposes, e.g. E3's message-delay count or E8's mean read
+  latency) grew by more than the allowed fraction.  Simulated time is
+  deterministic given the seeds, so this check is meaningful in CI where
+  wall-clock ratios would be noise.
+
+Improvements and newly added jobs are reported informationally; only
+regressions make :attr:`ComparisonReport.ok` false.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: Default allowed relative growth of a latency metric before it is a regression.
+DEFAULT_MAX_LATENCY_REGRESSION = 0.20
+#: Absolute slack so tiny baselines (e.g. 3 message delays) don't flag on +1.
+_ABSOLUTE_SLACK = 1e-9
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of one baseline comparison."""
+
+    correctness_regressions: List[str] = field(default_factory=list)
+    latency_regressions: List[str] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.correctness_regressions and not self.latency_regressions
+
+    def summary(self) -> str:
+        lines: List[str] = []
+        if self.ok:
+            lines.append("baseline comparison OK: no correctness or latency regressions")
+        for problem in self.correctness_regressions:
+            lines.append(f"CORRECTNESS REGRESSION: {problem}")
+        for problem in self.latency_regressions:
+            lines.append(f"LATENCY REGRESSION: {problem}")
+        for message in self.improvements:
+            lines.append(f"improvement: {message}")
+        for message in self.notes:
+            lines.append(f"note: {message}")
+        return "\n".join(lines)
+
+
+def _jobs_by_key(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {job["key"]: job for job in payload.get("jobs", ())}
+
+
+def compare_payloads(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    max_latency_regression: float = DEFAULT_MAX_LATENCY_REGRESSION,
+) -> ComparisonReport:
+    """Compare ``current`` against ``baseline`` job by job."""
+    report = ComparisonReport()
+    baseline_jobs = _jobs_by_key(baseline)
+    current_jobs = _jobs_by_key(current)
+
+    for key in current_jobs:
+        if key not in baseline_jobs:
+            report.notes.append(f"{key}: new job, not in baseline")
+
+    for key, baseline_job in baseline_jobs.items():
+        current_job = current_jobs.get(key)
+        if current_job is None:
+            if baseline_job["status"] == "ok":
+                report.correctness_regressions.append(f"{key}: present in baseline, missing from run")
+            else:
+                report.notes.append(f"{key}: missing from run (was {baseline_job['status']} in baseline)")
+            continue
+
+        baseline_status = baseline_job["status"]
+        current_status = current_job["status"]
+        if baseline_status == "ok" and current_status != "ok":
+            detail = ""
+            check = current_job.get("check")
+            if isinstance(check, dict) and check.get("violations"):
+                detail = f" (violations: {sorted(check['violations'])})"
+            elif current_job.get("error"):
+                detail = f" ({str(current_job['error']).strip().splitlines()[-1]})"
+            report.correctness_regressions.append(
+                f"{key}: baseline passed, run is {current_status}{detail}"
+            )
+        elif baseline_status != "ok" and current_status == "ok":
+            report.improvements.append(f"{key}: baseline was {baseline_status}, run passes")
+
+        baseline_latency = baseline_job.get("latency") or {}
+        current_latency = current_job.get("latency") or {}
+        for metric, baseline_value in baseline_latency.items():
+            current_value = current_latency.get(metric)
+            # Non-numeric values (e.g. "nan" strings from jsonable, or
+            # hand-edited artifacts) are skipped, not crashed on.
+            if not isinstance(baseline_value, (int, float)) or isinstance(baseline_value, bool):
+                continue
+            if not isinstance(current_value, (int, float)) or isinstance(current_value, bool):
+                continue
+            allowed = baseline_value * (1.0 + max_latency_regression) + _ABSOLUTE_SLACK
+            if current_value > allowed:
+                report.latency_regressions.append(
+                    f"{key}: {metric} {baseline_value:g} -> {current_value:g} "
+                    f"(> +{max_latency_regression:.0%} allowed)"
+                )
+            elif baseline_value > 0 and current_value < baseline_value * (1.0 - max_latency_regression):
+                report.improvements.append(
+                    f"{key}: {metric} {baseline_value:g} -> {current_value:g}"
+                )
+    return report

@@ -1,0 +1,110 @@
+"""Declarative sweep specs and their expansion into independent jobs.
+
+A :class:`SweepSpec` names *what* to run (experiments, seeds, a parameter
+grid, quick mode); :func:`expand_sweep` turns it into the flat list of
+:class:`JobSpec` units the worker pool executes.  Expansion is deterministic:
+jobs come out in (experiment, seed, grid-combination) order and carry a
+stable ``index`` so results can be reassembled regardless of completion
+order.
+
+Grid axes apply only to experiments that declare the parameter — sweeping
+``f`` over E1/E2/E7 silently skips E4 (which has no ``f`` knob) rather than
+failing the whole sweep, mirroring how instrument pipelines apply calibration
+axes only to the frames that have them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.orchestrator.spec import get_spec, visible_experiment_ids
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent unit of work: a single experiment run."""
+
+    experiment: str
+    seed: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+    quick: bool = False
+    timeout_s: Optional[float] = None
+    index: int = 0
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def key(self) -> str:
+        """Stable identity used to match jobs across runs (baseline compare)."""
+        parts = [f"seed={self.seed}"]
+        parts += [f"{name}={value!r}" for name, value in sorted(self.params)]
+        return f"{self.experiment}[{','.join(parts)}]"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a full sweep."""
+
+    experiments: Tuple[str, ...] = ()
+    #: Explicit seeds; empty means "each experiment's own default seed".
+    seeds: Tuple[int, ...] = ()
+    #: Parameter grid: name -> values; applied to experiments declaring it.
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    quick: bool = False
+    timeout_s: Optional[float] = None
+
+    def to_config(self) -> Dict[str, Any]:
+        """JSON-ready form recorded in the results artifact."""
+        return {
+            "experiments": list(self.experiments),
+            "seeds": list(self.seeds),
+            "grid": {name: list(values) for name, values in self.grid.items()},
+            "quick": self.quick,
+            "timeout_s": self.timeout_s,
+        }
+
+
+def expand_sweep(sweep: SweepSpec) -> List[JobSpec]:
+    """Expand a sweep into its deterministic, independent job list.
+
+    Grid axes apply per experiment, but an axis matching *no* selected
+    experiment is a spec error (most likely a typo'd parameter name) — the
+    sweep would otherwise run entirely at defaults while looking swept.
+    """
+    experiment_ids = sweep.experiments or visible_experiment_ids()
+    specs = [get_spec(experiment_id) for experiment_id in experiment_ids]  # KeyError on unknown ids
+    for name in sweep.grid:
+        if all(spec.param(name) is None for spec in specs):
+            raise ValueError(
+                f"grid parameter {name!r} is declared by none of the selected "
+                f"experiments ({', '.join(experiment_ids)})"
+            )
+    jobs: List[JobSpec] = []
+    for spec, experiment_id in zip(specs, experiment_ids):
+        seeds = sweep.seeds or (spec.default_seed,)
+        axes = [
+            [(name, value) for value in values]
+            for name, values in sorted(sweep.grid.items())
+            if spec.param(name) is not None
+        ]
+        for seed in seeds:
+            for combo in itertools.product(*axes):
+                # Coerce up front: bad values fail the expansion, not a
+                # worker, and job keys carry typed values, not CLI strings.
+                coerced = spec.coerce_params(dict(combo))
+                params = tuple(sorted(coerced.items()))
+                jobs.append(
+                    JobSpec(
+                        experiment=experiment_id,
+                        seed=seed,
+                        params=params,
+                        quick=sweep.quick,
+                        timeout_s=sweep.timeout_s,
+                        index=len(jobs),
+                    )
+                )
+    return jobs

@@ -1,0 +1,207 @@
+"""Job execution: inline or fanned out across worker processes.
+
+Each job runs one experiment, which is a pure function of its
+``(experiment, seed, params, quick)`` spec — the simulation kernel seeds its
+own RNG — so executing in a child process cannot change the outcome, only
+the wall-clock.  That invariant is what lets ``run_jobs`` hand the same job
+list to one worker or eight and produce byte-identical canonical artifacts
+(``tests/orchestrator/test_pool.py`` pins it).
+
+The pool is process-per-job with bounded concurrency rather than a long-lived
+``multiprocessing.Pool``: jobs are coarse (full simulations, milliseconds to
+seconds each), fork startup is cheap next to that, and a dedicated process is
+the only reliable way to enforce a per-job timeout — ``terminate()`` cannot
+surgically kill one task inside a shared pool worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.orchestrator.jobs import JobSpec
+from repro.orchestrator.results import jsonable
+from repro.orchestrator.spec import get_spec
+
+#: How long the supervisor sleeps between polls of the running children.
+_POLL_INTERVAL_S = 0.02
+
+
+@dataclass
+class JobResult:
+    """One executed job: its spec plus the JSON-ready payload."""
+
+    job: JobSpec
+    payload: Dict[str, Any]
+
+    @property
+    def status(self) -> str:
+        return self.payload["status"]
+
+    @property
+    def ok(self) -> bool:
+        return self.payload["status"] == "ok"
+
+
+#: Outcome fields lifted to the top of the job payload (or, for "table",
+#: reconstructable from headers/rows) and therefore not repeated in "data".
+_EXTRACTED_OUTCOME_FIELDS = frozenset({"table", "check", "headline", "latency", "ok"})
+
+
+def _base_payload(job: JobSpec, status: str, wall_time_s: float, error: Optional[str]) -> Dict[str, Any]:
+    """The one place the job-payload shape is defined; overlaid per status."""
+    return {
+        "key": job.key,
+        "experiment": job.experiment,
+        "seed": job.seed,
+        "params": jsonable(job.params_dict),
+        "quick": job.quick,
+        "status": status,
+        "ok": None,
+        "wall_time_s": wall_time_s,
+        "check": None,
+        "headline": None,
+        "latency": None,
+        "data": None,
+        "error": error,
+    }
+
+
+def payload_from_outcome(job: JobSpec, outcome: Dict[str, Any], wall_time_s: float) -> Dict[str, Any]:
+    """Turn an already-computed experiment outcome into the job payload."""
+    ok = bool(outcome.get("ok", True))
+    check = outcome.get("check")
+    payload = _base_payload(job, "ok" if ok else "check_failed", wall_time_s, None)
+    payload.update(
+        ok=ok,
+        check=jsonable(check) if check is not None else None,
+        headline=jsonable(outcome.get("headline") or {}),
+        latency=jsonable(outcome.get("latency") or {}),
+        data=jsonable({k: v for k, v in outcome.items() if k not in _EXTRACTED_OUTCOME_FIELDS}),
+    )
+    return payload
+
+
+def execute_job(job: JobSpec) -> Dict[str, Any]:
+    """Run one job in-process and return its JSON-ready payload."""
+    started = time.perf_counter()
+    try:
+        spec = get_spec(job.experiment)
+        outcome = spec.run(seed=job.seed, quick=job.quick, **job.params_dict)
+    except Exception:
+        return _base_payload(job, "error", time.perf_counter() - started, traceback.format_exc())
+    return payload_from_outcome(job, outcome, time.perf_counter() - started)
+
+
+def _timeout_payload(job: JobSpec, elapsed_s: float) -> Dict[str, Any]:
+    return _base_payload(
+        job, "timeout", elapsed_s,
+        f"job exceeded its {job.timeout_s}s timeout and was terminated",
+    )
+
+
+def _crash_payload(job: JobSpec, elapsed_s: float, exitcode: Optional[int]) -> Dict[str, Any]:
+    return _base_payload(
+        job, "error", elapsed_s,
+        f"worker process died with exit code {exitcode} before reporting a result",
+    )
+
+
+def _child_main(connection, job: JobSpec) -> None:
+    """Entry point of one worker process (top-level so it survives spawn)."""
+    try:
+        payload = execute_job(job)
+    except BaseException:  # never let a worker die silently
+        payload = _base_payload(job, "error", 0.0, traceback.format_exc())
+    try:
+        connection.send(payload)
+    finally:
+        connection.close()
+
+
+def run_jobs(
+    jobs: List[JobSpec],
+    workers: int = 1,
+    progress: Optional[Callable[[JobResult], None]] = None,
+) -> List[JobResult]:
+    """Execute ``jobs`` and return results in job order.
+
+    ``workers <= 1`` with no timeouts runs everything inline (simplest
+    possible execution, handy under a debugger); otherwise a bounded pool of
+    single-job worker processes executes them, enforcing each job's
+    ``timeout_s`` by terminating its process.
+    """
+    needs_processes = workers > 1 or any(job.timeout_s is not None for job in jobs)
+    if not needs_processes:
+        results = []
+        for job in jobs:
+            result = JobResult(job=job, payload=execute_job(job))
+            if progress is not None:
+                progress(result)
+            results.append(result)
+        return results
+    return _run_jobs_in_pool(jobs, max(1, workers), progress)
+
+
+def _run_jobs_in_pool(
+    jobs: List[JobSpec],
+    workers: int,
+    progress: Optional[Callable[[JobResult], None]],
+) -> List[JobResult]:
+    context = multiprocessing.get_context()
+    pending = list(enumerate(jobs))
+    pending.reverse()  # pop() takes jobs in submission order
+    running: Dict[int, tuple] = {}
+    payloads: Dict[int, Dict[str, Any]] = {}
+
+    def finish(position: int, payload: Dict[str, Any]) -> None:
+        payloads[position] = payload
+        if progress is not None:
+            progress(JobResult(job=jobs[position], payload=payload))
+
+    while pending or running:
+        while pending and len(running) < workers:
+            position, job = pending.pop()
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(target=_child_main, args=(child_conn, job), daemon=True)
+            process.start()
+            child_conn.close()  # parent keeps only the read end
+            running[position] = (process, parent_conn, job, time.perf_counter())
+
+        finished_positions = []
+        for position, (process, connection, job, started) in running.items():
+            elapsed = time.perf_counter() - started
+            # Snapshot liveness BEFORE polling: a child that exits between
+            # the two checks has already flushed its payload into the pipe,
+            # so poll() still sees it and the result is never misreported
+            # as a crash.
+            alive = process.is_alive()
+            if connection.poll():
+                try:
+                    payload = connection.recv()
+                except EOFError:
+                    payload = _crash_payload(job, elapsed, process.exitcode)
+                process.join()
+                finish(position, payload)
+                finished_positions.append(position)
+            elif not alive:
+                finish(position, _crash_payload(job, elapsed, process.exitcode))
+                finished_positions.append(position)
+            elif job.timeout_s is not None and elapsed > job.timeout_s:
+                process.terminate()
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - terminate() sufficed so far
+                    process.kill()
+                    process.join()
+                finish(position, _timeout_payload(job, elapsed))
+                finished_positions.append(position)
+        for position in finished_positions:
+            process, connection, _job, _started = running.pop(position)
+            connection.close()
+        if not finished_positions:
+            time.sleep(_POLL_INTERVAL_S)
+
+    return [JobResult(job=jobs[position], payload=payloads[position]) for position in range(len(jobs))]

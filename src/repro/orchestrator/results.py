@@ -1,0 +1,213 @@
+"""Versioned JSON result artifacts: building, validation, canonical form.
+
+A sweep produces one artifact, ``results/run-<tag>.json``, with schema
+version :data:`RESULTS_SCHEMA_VERSION`.  The artifact records everything
+needed to reproduce and to diff the run: git SHA, Python version, the sweep
+config, wall times, and one entry per job carrying the experiment's verdict
+(``ok``), its check outcome, headline metrics, latency metrics, and the
+structured rows the text tables are formatted from.
+
+:func:`validate_run_payload` is a hand-rolled structural validator (no
+third-party schema dependency) used by the CLI's ``validate`` command and by
+CI, so a malformed artifact fails the build.  :func:`canonicalize_payload`
+strips the timing/environment fields, leaving the deterministic core — two
+sweeps with the same seeds must have identical canonical forms no matter how
+many workers executed them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+RESULTS_SCHEMA_VERSION = "repro-results/v1"
+
+#: Top-level payload fields that carry timing or environment information and
+#: are therefore excluded from determinism comparisons.
+_VOLATILE_RUN_FIELDS = ("tag", "created_unix", "wall_time_s", "git_sha", "python", "workers", "host")
+#: Same, per job entry.
+_VOLATILE_JOB_FIELDS = ("wall_time_s",)
+
+_JOB_STATUSES = ("ok", "check_failed", "timeout", "error")
+
+
+def jsonable(value: Any) -> Any:
+    """Convert an experiment-outcome value into deterministic JSON-ready data.
+
+    Frozensets/sets become sorted lists, tuples become lists, mapping keys
+    become strings, and check results expose ``{ok, violations}``.  Anything
+    else unknown degrades to its type name — never ``repr`` — so artifacts
+    stay byte-identical across processes (no memory addresses leak in).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if value == value and value not in (float("inf"), float("-inf")) else str(value)
+    if isinstance(value, (set, frozenset)):
+        return sorted((jsonable(item) for item in value), key=lambda item: json.dumps(item, sort_keys=True))
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    ok = getattr(value, "ok", None)
+    violations = getattr(value, "violations", None)
+    if isinstance(ok, bool) and isinstance(violations, dict):  # LACheckResult and friends
+        return {"ok": ok, "violations": jsonable(violations)}
+    return f"<{type(value).__name__}>"
+
+
+def git_sha(repo_root: Optional[pathlib.Path] = None) -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout.
+
+    Defaults to the checkout containing this package (not the process CWD),
+    so artifacts record the reproduction's provenance even when the sweep is
+    launched from an unrelated directory.
+    """
+    if repo_root is None:
+        repo_root = pathlib.Path(__file__).resolve().parent
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return completed.stdout.strip() if completed.returncode == 0 else "unknown"
+
+
+def build_run_payload(
+    tag: str,
+    config: Dict[str, Any],
+    job_payloads: Iterable[Dict[str, Any]],
+    wall_time_s: float,
+    workers: int,
+    created_unix: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Assemble the versioned artifact from per-job payloads."""
+    jobs = list(job_payloads)
+    totals = {status: 0 for status in _JOB_STATUSES}
+    for job in jobs:
+        totals[job["status"]] = totals.get(job["status"], 0) + 1
+    return {
+        "schema": RESULTS_SCHEMA_VERSION,
+        "tag": tag,
+        "created_unix": time.time() if created_unix is None else created_unix,
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "workers": workers,
+        "wall_time_s": wall_time_s,
+        "config": jsonable(config),
+        "totals": {"jobs": len(jobs), **totals},
+        "jobs": jobs,
+    }
+
+
+def validate_run_payload(payload: Any) -> List[str]:
+    """Structural schema check; returns a list of problems (empty when valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+
+    def expect(mapping: Dict[str, Any], key: str, types: tuple, where: str) -> Any:
+        if key not in mapping:
+            problems.append(f"{where}: missing required field {key!r}")
+            return None
+        value = mapping[key]
+        if not isinstance(value, types) or isinstance(value, bool) and bool not in types:
+            names = "/".join(t.__name__ for t in types)
+            problems.append(f"{where}: field {key!r} must be {names}, got {type(value).__name__}")
+            return None
+        return value
+
+    schema = expect(payload, "schema", (str,), "run")
+    if schema is not None and schema != RESULTS_SCHEMA_VERSION:
+        problems.append(f"run: unsupported schema {schema!r} (expected {RESULTS_SCHEMA_VERSION!r})")
+    expect(payload, "tag", (str,), "run")
+    expect(payload, "created_unix", (int, float), "run")
+    expect(payload, "git_sha", (str,), "run")
+    expect(payload, "python", (str,), "run")
+    expect(payload, "workers", (int,), "run")
+    expect(payload, "wall_time_s", (int, float), "run")
+    expect(payload, "config", (dict,), "run")
+    totals = expect(payload, "totals", (dict,), "run")
+    jobs = expect(payload, "jobs", (list,), "run")
+    if jobs is None:
+        return problems
+    if isinstance(totals, dict) and totals.get("jobs") != len(jobs):
+        problems.append(f"run: totals.jobs={totals.get('jobs')!r} but {len(jobs)} job entries")
+
+    for position, job in enumerate(jobs):
+        where = f"jobs[{position}]"
+        if not isinstance(job, dict):
+            problems.append(f"{where}: must be an object, got {type(job).__name__}")
+            continue
+        expect(job, "key", (str,), where)
+        expect(job, "experiment", (str,), where)
+        expect(job, "seed", (int,), where)
+        expect(job, "params", (dict,), where)
+        expect(job, "quick", (bool,), where)
+        status = expect(job, "status", (str,), where)
+        if status is not None and status not in _JOB_STATUSES:
+            problems.append(f"{where}: status {status!r} not one of {_JOB_STATUSES}")
+        ok = expect(job, "ok", (bool, type(None)), where)
+        expect(job, "wall_time_s", (int, float), where)
+        expect(job, "headline", (dict, type(None)), where)
+        expect(job, "latency", (dict, type(None)), where)
+        check = expect(job, "check", (dict, type(None)), where)
+        if isinstance(check, dict):
+            expect(check, "ok", (bool,), f"{where}.check")
+            expect(check, "violations", (dict,), f"{where}.check")
+        error = expect(job, "error", (str, type(None)), where)
+        if status == "ok" and ok is False:
+            problems.append(f"{where}: status 'ok' contradicts ok=false")
+        if status in ("timeout", "error") and not error:
+            problems.append(f"{where}: status {status!r} requires a non-empty error")
+        for metric_field in ("headline", "latency"):
+            metrics = job.get(metric_field)
+            if isinstance(metrics, dict):
+                for name, value in metrics.items():
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        problems.append(
+                            f"{where}: {metric_field}[{name!r}] must be numeric, "
+                            f"got {type(value).__name__}"
+                        )
+    return problems
+
+
+def canonicalize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic core of an artifact: timing/env fields stripped."""
+    canonical = {
+        key: value for key, value in payload.items() if key not in _VOLATILE_RUN_FIELDS
+    }
+    canonical["jobs"] = [
+        {key: value for key, value in job.items() if key not in _VOLATILE_JOB_FIELDS}
+        for job in payload.get("jobs", ())
+    ]
+    return canonical
+
+
+def default_results_path(tag: str, results_dir: str = "results") -> pathlib.Path:
+    return pathlib.Path(results_dir) / f"run-{tag}.json"
+
+
+def write_run_payload(payload: Dict[str, Any], path: pathlib.Path) -> pathlib.Path:
+    """Validate and write one artifact (refuses to persist malformed data)."""
+    problems = validate_run_payload(payload)
+    if problems:
+        raise ValueError("refusing to write invalid results payload: " + "; ".join(problems))
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_payload(path: pathlib.Path) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,241 @@
+"""Uniform experiment entry points with declared parameter schemas.
+
+Every experiment runner in :mod:`repro.harness.experiments` historically took
+its own ad-hoc kwargs.  :class:`ExperimentSpec` wraps each runner behind one
+typed surface: a declared :class:`ParamSpec` schema (name, type, default,
+help), a uniform ``run(seed=..., quick=..., **overrides)`` call, and the
+experiment's verdict (``ok``), headline metrics and latency metrics — the
+fields the orchestrator persists and the baseline comparison diffs.
+
+The registry is data, not convention: the CLI builds its help text from it,
+``expand_sweep`` filters grid axes against it, and unknown parameters are
+rejected up front instead of exploding inside a worker process.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.harness import experiments as _experiments
+
+#: Parameter kinds the CLI knows how to parse from ``key=value`` strings.
+PARAM_PARSERS: Dict[str, Callable[[str], Any]] = {
+    "int": int,
+    "float": float,
+    "bool": lambda text: text.lower() in ("1", "true", "yes", "on"),
+    "str": str,
+    "ints": lambda text: tuple(int(part) for part in text.split(",") if part),
+}
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared parameter of an experiment runner."""
+
+    name: str
+    kind: str  # key into PARAM_PARSERS
+    default: Any
+    help: str = ""
+
+    def parse(self, text: str) -> Any:
+        """Parse a CLI-supplied string into this parameter's type."""
+        try:
+            return PARAM_PARSERS[self.kind](text)
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"bad value {text!r} for parameter {self.name} ({self.kind})") from exc
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Uniform entry point for one experiment."""
+
+    id: str
+    title: str
+    runner: Callable[..., Dict[str, Any]]
+    params: Tuple[ParamSpec, ...] = ()
+    #: Specs hidden from ``repro list`` and excluded from default sweeps
+    #: (used for orchestrator self-tests, e.g. the sleep experiment).
+    hidden: bool = False
+
+    @property
+    def default_seed(self) -> int:
+        """The runner's own default seed (every runner declares one)."""
+        signature = inspect.signature(self.runner)
+        parameter = signature.parameters.get("seed")
+        if parameter is None or parameter.default is inspect.Parameter.empty:
+            return 0
+        return parameter.default
+
+    def param(self, name: str) -> Optional[ParamSpec]:
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        return None
+
+    def coerce_params(self, overrides: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate override names against the schema; reject unknown ones."""
+        coerced: Dict[str, Any] = {}
+        for name, value in overrides.items():
+            spec = self.param(name)
+            if spec is None:
+                known = ", ".join(p.name for p in self.params) or "(none)"
+                raise ValueError(f"{self.id} has no parameter {name!r}; known: {known}")
+            coerced[name] = spec.parse(value) if isinstance(value, str) else value
+        return coerced
+
+    def run(
+        self,
+        seed: Optional[int] = None,
+        quick: bool = False,
+        **overrides: Any,
+    ) -> Dict[str, Any]:
+        """Run the experiment with schema-checked overrides."""
+        kwargs = self.coerce_params(overrides)
+        kwargs["seed"] = self.default_seed if seed is None else seed
+        return self.runner(quick=quick, **kwargs)
+
+
+def _sleep_runner(duration: float = 5.0, seed: int = 0, quick: bool = False) -> Dict[str, Any]:
+    """Hidden pseudo-experiment: sleep for ``duration`` seconds.
+
+    Exists so the orchestrator's timeout handling can be exercised end to end
+    (spawn a job that provably outlives its deadline) without slowing a real
+    experiment down.
+    """
+    import time
+
+    time.sleep(duration if not quick else duration / 10.0)
+    return {
+        "experiment": "SLEEP",
+        "expected": "completes after the requested duration",
+        "ok": True,
+        "headline": {"duration_s": float(duration)},
+        "latency": {},
+        "headers": ["duration_s"],
+        "rows": [[float(duration)]],
+        "table": f"slept {duration}s",
+    }
+
+
+_SIZES_HELP = "comma-separated cluster sizes for the sweep, e.g. 4,7,10"
+
+#: Registry of every experiment the orchestrator can run.
+EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in (
+        ExperimentSpec(
+            id="E1",
+            title="decisions form a chain in the power-set lattice (Figure 1)",
+            runner=_experiments.run_chain_experiment,
+            params=(
+                ParamSpec("n", "int", 4, "cluster size"),
+                ParamSpec("f", "int", 1, "failure threshold"),
+            ),
+        ),
+        ExperimentSpec(
+            id="E2",
+            title="necessity of 3f+1 processes (Theorem 1)",
+            runner=_experiments.run_resilience_experiment,
+            params=(ParamSpec("f", "int", 1, "failure threshold"),),
+        ),
+        ExperimentSpec(
+            id="E3",
+            title="WTS decides within 2f+5 message delays (Theorem 3)",
+            runner=_experiments.run_wts_latency_experiment,
+            params=(ParamSpec("max_f", "int", 3, "largest failure threshold swept"),),
+        ),
+        ExperimentSpec(
+            id="E4",
+            title="WTS message complexity O(n^2) per process (Section 5.1.3)",
+            runner=_experiments.run_wts_messages_experiment,
+            params=(ParamSpec("sizes", "ints", None, _SIZES_HELP),),
+        ),
+        ExperimentSpec(
+            id="E5",
+            title="SbS latency 5+4f and O(n) messages (Theorem 8)",
+            runner=_experiments.run_sbs_experiment,
+            params=(ParamSpec("sizes", "ints", None, _SIZES_HELP),),
+        ),
+        ExperimentSpec(
+            id="E6",
+            title="GWTS messages per proposer per decision O(f n^2) (Section 6.4)",
+            runner=_experiments.run_gwts_messages_experiment,
+            params=(
+                ParamSpec("sizes", "ints", None, _SIZES_HELP),
+                ParamSpec("rounds", "int", 3, "GWTS rounds per run"),
+            ),
+        ),
+        ExperimentSpec(
+            id="E7",
+            title="GWTS liveness and inclusivity under round clogging (Section 6.2/6.3)",
+            runner=_experiments.run_gwts_liveness_experiment,
+            params=(
+                ParamSpec("f", "int", 1, "failure threshold"),
+                ParamSpec("rounds", "int", 5, "GWTS rounds per run"),
+            ),
+        ),
+        ExperimentSpec(
+            id="E8",
+            title="RSM linearizability and wait-freedom with Byzantine clients (Section 7)",
+            runner=_experiments.run_rsm_experiment,
+            params=(
+                ParamSpec("f", "int", 1, "failure threshold"),
+                ParamSpec("clients", "int", 3, "number of correct clients"),
+                ParamSpec("updates_per_client", "int", 2, "updates issued per client"),
+            ),
+        ),
+        ExperimentSpec(
+            id="E9",
+            title="breadth argument against the restrictive specification (Section 2)",
+            runner=_experiments.run_breadth_experiment,
+            params=(
+                ParamSpec("n", "int", 4, "cluster size"),
+                ParamSpec("f", "int", 1, "failure threshold"),
+                ParamSpec("breadths", "ints", None, "lattice breadths to contrast"),
+            ),
+        ),
+        ExperimentSpec(
+            id="E10",
+            title="Byzantine tolerance overhead vs the crash-fault baseline",
+            runner=_experiments.run_baseline_comparison,
+            params=(ParamSpec("sizes", "ints", None, _SIZES_HELP),),
+        ),
+        ExperimentSpec(
+            id="E11",
+            title="ablation of the WTS design choices (extension)",
+            runner=_experiments.run_ablation_experiment,
+        ),
+        ExperimentSpec(
+            id="E12",
+            title="GWTS under partition/crash churn (extension)",
+            runner=_experiments.run_partition_churn_experiment,
+            params=(
+                ParamSpec("f", "int", 1, "failure threshold"),
+                ParamSpec("rounds", "int", 4, "GWTS rounds per run"),
+            ),
+        ),
+        ExperimentSpec(
+            id="SLEEP",
+            title="orchestrator self-test: sleep for a configurable duration",
+            runner=_sleep_runner,
+            params=(ParamSpec("duration", "float", 5.0, "seconds to sleep"),),
+            hidden=True,
+        ),
+    )
+}
+
+
+def visible_experiment_ids() -> Tuple[str, ...]:
+    """The experiment ids a default sweep covers, in registry order."""
+    return tuple(spec.id for spec in EXPERIMENT_SPECS.values() if not spec.hidden)
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up one experiment; raise ``KeyError`` with the known ids."""
+    try:
+        return EXPERIMENT_SPECS[experiment_id]
+    except KeyError:
+        known = ", ".join(visible_experiment_ids())
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None

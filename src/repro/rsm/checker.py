@@ -22,7 +22,7 @@ commutativity of updates they give linearizability (Theorem 6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.rsm.client import OperationRecord
 from repro.rsm.commands import Command

@@ -14,7 +14,7 @@ replicas, and firing updates without waiting for completion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.rsm.commands import Command, make_command, nop_command

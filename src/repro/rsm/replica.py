@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.gwts import GWTSProcess
-from repro.lattice.base import JoinSemilattice, LatticeElement
+from repro.lattice.base import JoinSemilattice
 from repro.lattice.set_lattice import SetLattice
 from repro.rsm.commands import Command
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Callable, Dict, Hashable, Iterable, Optional, Set, Tuple
+from typing import Callable, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.transport.message import Envelope
 

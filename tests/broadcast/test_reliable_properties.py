@@ -2,8 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.broadcast import RBInit
-from repro.transport import Network, Node, SimulationRuntime, UniformDelay
+from repro.transport import Network, SimulationRuntime, UniformDelay
 
 from tests.broadcast.test_reliable import EquivocatingOrigin, RBHost
 

@@ -1,6 +1,5 @@
 """Unit tests for the Byzantine behaviour classes themselves."""
 
-import pytest
 
 from repro.byzantine import (
     AlwaysAckAcceptor,
@@ -89,7 +88,8 @@ class TestEquivocator:
         eq = EquivocatingProposer("p0", LAT, MEMBERS, 1,
                                   value_a=frozenset({"A"}), value_b=frozenset({"B"}))
         network.add_node(eq)
-        sinks = [network.add_node(SilentByzantine(pid)) for pid in MEMBERS[1:]]
+        for pid in MEMBERS[1:]:
+            network.add_node(SilentByzantine(pid))
         network.start()
         # Inspect the outgoing init messages directly from the queue's metrics.
         assert network.metrics.sent_by_type["rb_init"] == len(MEMBERS)
@@ -112,7 +112,7 @@ class TestAcceptorAttacks:
         network = build_network()
         spammer = NackSpamAcceptor("b", LAT, MEMBERS[:3] + ["b"], 1)
         network.add_node(spammer)
-        probe = network.add_node(SilentByzantine("p0"))
+        network.add_node(SilentByzantine("p0"))
         network.add_node(SilentByzantine("p1"))
         network.add_node(SilentByzantine("p2"))
         network.start()

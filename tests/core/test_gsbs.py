@@ -5,12 +5,11 @@ import pytest
 from repro.core.gsbs import (
     GSbSProcess,
     gsbs_ack_body,
-    gsbs_safe_ack_body,
     verify_certificate,
     verify_gsbs_ack,
 )
 from repro.core.messages import DecidedCertificate, GSbSAck
-from repro.crypto import KeyRegistry, SignedValue
+from repro.crypto import SignedValue
 from repro.harness import run_gsbs_scenario
 from repro.lattice import SetLattice
 

@@ -4,9 +4,8 @@ import pytest
 
 from repro.core.gwts import GWTSProcess, HALTED
 from repro.harness import run_gwts_scenario
-from repro.harness.workloads import make_gla_inputs
 from repro.lattice import SetLattice
-from repro.transport import FixedDelay, UniformDelay
+from repro.transport import FixedDelay
 
 
 class TestFailureFreeRuns:

@@ -4,13 +4,11 @@ from repro.core.messages import (
     Ack,
     AckRequest,
     DecidedCertificate,
-    GSbSAck,
     Nack,
     ProvenValue,
     RoundAck,
     RoundAckRequest,
     RoundNack,
-    SafeAck,
     SbSAckRequest,
 )
 from repro.crypto import KeyRegistry

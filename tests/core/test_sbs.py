@@ -12,7 +12,7 @@ from repro.core.sbs import (
     verify_safe_ack,
 )
 from repro.core.messages import ProvenValue, SafeAck
-from repro.crypto import KeyRegistry, SignedValue
+from repro.crypto import SignedValue
 from repro.harness import run_sbs_scenario
 from repro.lattice import SetLattice
 from repro.transport import FixedDelay

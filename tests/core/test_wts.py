@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core import check_la_run
-from repro.core.wts import DECIDED, PROPOSING, WTSProcess
+from repro.core.wts import DECIDED, WTSProcess
 from repro.harness import run_wts_scenario
 from repro.lattice import GCounterLattice, MaxIntLattice, SetLattice
 from repro.transport import FixedDelay, UniformDelay

@@ -1,6 +1,5 @@
 """Smoke + shape tests for the experiment runners E1-E10 (quick settings)."""
 
-import pytest
 
 from repro.harness import (
     ALL_EXPERIMENTS,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lattice import GCounterLattice, MaxIntLattice, MinIntDualLattice
+from repro.lattice import MinIntDualLattice
 
 
 class TestGCounter:

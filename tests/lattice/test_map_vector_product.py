@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lattice import MapLattice, MaxIntLattice, ProductLattice, SetLattice, VectorClockLattice
+from repro.lattice import MapLattice, ProductLattice, SetLattice, VectorClockLattice
 
 
 class TestMapLattice:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.lattice import SetLattice
 
 
 class TestBasics:

@@ -1,6 +1,5 @@
 """Unit tests for report formatting and shape fitting."""
 
-import math
 
 import pytest
 

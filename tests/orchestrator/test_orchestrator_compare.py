@@ -1,0 +1,100 @@
+"""Baseline comparison: correctness and latency regression verdicts."""
+
+from repro.orchestrator.compare import compare_payloads
+
+
+def _job(key="E3[seed=3]", status="ok", latency=None, check=None, error=None):
+    return {
+        "key": key,
+        "experiment": key.split("[")[0],
+        "seed": 3,
+        "params": {},
+        "quick": True,
+        "status": status,
+        "ok": status == "ok" or (None if status in ("timeout", "error") else False),
+        "wall_time_s": 0.1,
+        "check": check,
+        "headline": {},
+        "latency": latency or {},
+        "data": None,
+        "error": error,
+    }
+
+
+def _payload(*jobs):
+    return {"schema": "repro-results/v1", "jobs": list(jobs)}
+
+
+class TestCorrectness:
+    def test_identical_runs_are_ok(self):
+        baseline = _payload(_job(latency={"delays": 5.0}))
+        report = compare_payloads(baseline, baseline)
+        assert report.ok
+        assert "no correctness or latency regressions" in report.summary()
+
+    def test_check_failure_is_a_regression(self):
+        baseline = _payload(_job())
+        current = _payload(
+            _job(status="check_failed", check={"ok": False, "violations": {"liveness": ["x"]}})
+        )
+        report = compare_payloads(baseline, current)
+        assert not report.ok
+        [problem] = report.correctness_regressions
+        assert "baseline passed" in problem and "liveness" in problem
+
+    def test_timeout_and_error_are_regressions(self):
+        baseline = _payload(_job())
+        for status in ("timeout", "error"):
+            current = _payload(_job(status=status, error="boom"))
+            assert not compare_payloads(baseline, current).ok
+
+    def test_missing_passing_job_is_a_regression(self):
+        baseline = _payload(_job())
+        report = compare_payloads(baseline, _payload())
+        assert not report.ok
+        assert "missing from run" in report.correctness_regressions[0]
+
+    def test_newly_passing_job_is_an_improvement(self):
+        baseline = _payload(_job(status="check_failed"))
+        report = compare_payloads(baseline, _payload(_job()))
+        assert report.ok
+        assert any("run passes" in message for message in report.improvements)
+
+    def test_new_job_is_noted_not_flagged(self):
+        baseline = _payload(_job())
+        current = _payload(_job(), _job(key="E1[seed=11]"))
+        report = compare_payloads(baseline, current)
+        assert report.ok
+        assert any("new job" in note for note in report.notes)
+
+
+class TestLatency:
+    def test_growth_within_threshold_passes(self):
+        baseline = _payload(_job(latency={"delays": 10.0}))
+        current = _payload(_job(latency={"delays": 11.9}))
+        assert compare_payloads(baseline, current, max_latency_regression=0.20).ok
+
+    def test_growth_beyond_threshold_is_a_regression(self):
+        baseline = _payload(_job(latency={"delays": 10.0}))
+        current = _payload(_job(latency={"delays": 12.5}))
+        report = compare_payloads(baseline, current, max_latency_regression=0.20)
+        assert not report.ok
+        [problem] = report.latency_regressions
+        assert "delays 10 -> 12.5" in problem
+
+    def test_threshold_is_configurable(self):
+        baseline = _payload(_job(latency={"delays": 10.0}))
+        current = _payload(_job(latency={"delays": 12.5}))
+        assert compare_payloads(baseline, current, max_latency_regression=0.30).ok
+
+    def test_shrink_is_an_improvement(self):
+        baseline = _payload(_job(latency={"delays": 10.0}))
+        current = _payload(_job(latency={"delays": 5.0}))
+        report = compare_payloads(baseline, current)
+        assert report.ok
+        assert any("delays" in message for message in report.improvements)
+
+    def test_new_metric_names_are_ignored(self):
+        baseline = _payload(_job(latency={"old_metric": 10.0}))
+        current = _payload(_job(latency={"new_metric": 99.0}))
+        assert compare_payloads(baseline, current).ok

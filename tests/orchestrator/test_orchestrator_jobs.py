@@ -1,0 +1,82 @@
+"""Sweep expansion: deterministic, validated, grid-filtered."""
+
+import pytest
+
+from repro.orchestrator.jobs import JobSpec, SweepSpec, expand_sweep
+
+
+class TestExpansion:
+    def test_default_sweep_covers_all_visible_experiments(self):
+        jobs = expand_sweep(SweepSpec())
+        assert [job.experiment for job in jobs] == [f"E{i}" for i in range(1, 13)]
+        assert "SLEEP" not in {job.experiment for job in jobs}
+
+    def test_default_seeds_are_each_experiments_own(self):
+        jobs = expand_sweep(SweepSpec(experiments=("E1", "E3")))
+        assert [(job.experiment, job.seed) for job in jobs] == [("E1", 11), ("E3", 3)]
+
+    def test_explicit_seed_matrix(self):
+        jobs = expand_sweep(SweepSpec(experiments=("E1", "E3"), seeds=(1, 2, 3)))
+        assert len(jobs) == 6
+        assert [(job.experiment, job.seed) for job in jobs] == [
+            ("E1", 1), ("E1", 2), ("E1", 3), ("E3", 1), ("E3", 2), ("E3", 3),
+        ]
+
+    def test_indices_are_stable_and_sequential(self):
+        jobs = expand_sweep(SweepSpec(seeds=(1, 2)))
+        assert [job.index for job in jobs] == list(range(len(jobs)))
+
+    def test_grid_applies_only_where_declared(self):
+        # E1 declares f; E3 does not (it has max_f): the f-axis must expand
+        # E1 into two jobs and leave E3 as a single unparameterised job.
+        jobs = expand_sweep(SweepSpec(experiments=("E1", "E3"), grid={"f": [1, 2]}))
+        by_experiment = {}
+        for job in jobs:
+            by_experiment.setdefault(job.experiment, []).append(job.params_dict)
+        assert by_experiment["E1"] == [{"f": 1}, {"f": 2}]
+        assert by_experiment["E3"] == [{}]
+
+    def test_grid_values_are_validated_up_front(self):
+        with pytest.raises(ValueError, match="bad value"):
+            expand_sweep(SweepSpec(experiments=("E1",), grid={"f": ["nope"]}))
+
+    def test_grid_axis_matching_no_experiment_is_an_error(self):
+        # A typo'd parameter name must not silently run the sweep at defaults.
+        with pytest.raises(ValueError, match="declared by none"):
+            expand_sweep(SweepSpec(experiments=("E1", "E3"), grid={"ff": [2]}))
+
+    def test_grid_values_are_coerced_in_job_keys(self):
+        [job] = expand_sweep(SweepSpec(experiments=("E4",), grid={"sizes": ["4,7"]}))
+        assert job.params_dict == {"sizes": (4, 7)}
+        assert job.key == "E4[seed=5,sizes=(4, 7)]"
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            expand_sweep(SweepSpec(experiments=("E99",)))
+
+    def test_quick_and_timeout_propagate(self):
+        jobs = expand_sweep(SweepSpec(experiments=("E1",), quick=True, timeout_s=5.0))
+        assert jobs[0].quick is True
+        assert jobs[0].timeout_s == 5.0
+
+
+class TestJobKey:
+    def test_key_is_stable_identity(self):
+        job = JobSpec(experiment="E1", seed=3, params=(("f", 1), ("n", 4)))
+        assert job.key == "E1[seed=3,f=1,n=4]"
+
+    def test_key_ignores_param_order(self):
+        a = JobSpec(experiment="E1", seed=3, params=(("n", 4), ("f", 1)))
+        b = JobSpec(experiment="E1", seed=3, params=(("f", 1), ("n", 4)))
+        assert a.key == b.key
+
+    def test_to_config_round_trips_through_json_types(self):
+        sweep = SweepSpec(experiments=("E1",), seeds=(1,), grid={"f": [1, 2]}, quick=True)
+        config = sweep.to_config()
+        assert config == {
+            "experiments": ["E1"],
+            "seeds": [1],
+            "grid": {"f": [1, 2]},
+            "quick": True,
+            "timeout_s": None,
+        }

@@ -1,0 +1,96 @@
+"""Worker pool: determinism across worker counts, timeouts, error capture."""
+
+import json
+
+from repro.orchestrator.jobs import JobSpec, SweepSpec, expand_sweep
+from repro.orchestrator.pool import execute_job, run_jobs
+from repro.orchestrator.results import build_run_payload, canonicalize_payload
+
+
+def _sweep_jobs():
+    return expand_sweep(SweepSpec(experiments=("E1", "E3"), seeds=(1, 2), quick=True))
+
+
+def _canonical(results, workers):
+    payload = build_run_payload(
+        tag="test",
+        config={},
+        job_payloads=[result.payload for result in results],
+        wall_time_s=0.0,
+        workers=workers,
+    )
+    return json.dumps(canonicalize_payload(payload), sort_keys=True)
+
+
+class TestDeterminism:
+    def test_same_seeds_identical_json_across_worker_counts(self):
+        jobs = _sweep_jobs()
+        inline = run_jobs(jobs, workers=1)
+        pooled = run_jobs(jobs, workers=3)
+        assert _canonical(inline, 1) == _canonical(pooled, 3)
+
+    def test_results_come_back_in_job_order(self):
+        jobs = _sweep_jobs()
+        results = run_jobs(jobs, workers=3)
+        assert [result.job.index for result in results] == [0, 1, 2, 3]
+        assert [result.job.key for result in results] == [job.key for job in jobs]
+
+    def test_different_seeds_differ(self):
+        [job_a] = expand_sweep(SweepSpec(experiments=("E3",), seeds=(1,), quick=True))
+        [job_b] = expand_sweep(SweepSpec(experiments=("E3",), seeds=(2,), quick=True))
+        payload_a, payload_b = execute_job(job_a), execute_job(job_b)
+        assert payload_a["key"] != payload_b["key"]
+
+
+class TestTimeouts:
+    def test_expired_job_is_terminated_and_reported(self):
+        job = JobSpec(
+            experiment="SLEEP", seed=0, params=(("duration", 30.0),), timeout_s=0.5
+        )
+        [result] = run_jobs([job], workers=1)
+        assert result.status == "timeout"
+        assert "terminated" in result.payload["error"]
+        assert result.payload["ok"] is None
+
+    def test_timeout_only_kills_the_slow_job(self):
+        slow = JobSpec(
+            experiment="SLEEP", seed=0, params=(("duration", 30.0),), timeout_s=0.5, index=0
+        )
+        fast = JobSpec(experiment="E1", seed=11, quick=True, timeout_s=30.0, index=1)
+        results = run_jobs([slow, fast], workers=2)
+        assert results[0].status == "timeout"
+        assert results[1].status == "ok"
+
+
+class TestErrors:
+    def test_raising_job_is_captured_not_propagated(self):
+        job = JobSpec(experiment="E3", seed=3, params=(("max_f", "not-an-int"),))
+        [result] = run_jobs([job], workers=1)
+        assert result.status == "error"
+        assert "bad value" in result.payload["error"]
+
+    def test_error_in_child_process_is_captured(self):
+        job = JobSpec(
+            experiment="E3", seed=3, params=(("max_f", "not-an-int"),), timeout_s=30.0
+        )
+        [result] = run_jobs([job], workers=2)
+        assert result.status == "error"
+        assert "bad value" in result.payload["error"]
+
+
+class TestPayloadShape:
+    def test_payload_is_json_serializable_and_uniform(self):
+        [job] = expand_sweep(SweepSpec(experiments=("E1",), quick=True))
+        payload = execute_job(job)
+        json.dumps(payload)  # must not raise
+        for field in ("key", "experiment", "seed", "params", "quick", "status",
+                      "ok", "wall_time_s", "check", "headline", "latency",
+                      "data", "error"):
+            assert field in payload, field
+        assert payload["status"] == "ok"
+        assert payload["check"]["ok"] is True
+        assert payload["data"]["headers"]
+        assert payload["data"]["rows"]
+        # Fields lifted to the top level are not duplicated inside data.
+        for extracted in ("table", "check", "headline", "latency", "ok"):
+            assert extracted not in payload["data"], extracted

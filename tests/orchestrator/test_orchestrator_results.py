@@ -1,0 +1,123 @@
+"""Result artifacts: jsonable conversion, schema validation, canonical form."""
+
+import json
+
+import pytest
+
+from repro.core.spec import LACheckResult
+from repro.orchestrator.jobs import JobSpec
+from repro.orchestrator.pool import execute_job
+from repro.orchestrator.results import (
+    RESULTS_SCHEMA_VERSION,
+    build_run_payload,
+    canonicalize_payload,
+    jsonable,
+    load_payload,
+    validate_run_payload,
+    write_run_payload,
+)
+
+
+def _payload():
+    job = JobSpec(experiment="E1", seed=11, quick=True)
+    return build_run_payload(
+        tag="t", config={"quick": True}, job_payloads=[execute_job(job)],
+        wall_time_s=1.0, workers=1,
+    )
+
+
+class TestJsonable:
+    def test_frozensets_become_sorted_lists(self):
+        assert jsonable(frozenset({"b", "a"})) == ["a", "b"]
+
+    def test_nested_structures(self):
+        value = {"rows": [(1, frozenset({"x"}))], 3: "int-key"}
+        assert jsonable(value) == {"3": "int-key", "rows": [[1, ["x"]]]}
+
+    def test_check_results_expose_ok_and_violations(self):
+        check = LACheckResult(ok=True)
+        check.add("liveness", "p1 never decided")
+        assert jsonable(check) == {"ok": False, "violations": {"liveness": ["p1 never decided"]}}
+
+    def test_unknown_objects_degrade_without_addresses(self):
+        class Opaque:
+            pass
+
+        assert jsonable(Opaque()) == "<Opaque>"
+
+    def test_non_finite_floats_become_strings(self):
+        assert jsonable(float("inf")) == "inf"
+        assert jsonable(float("nan")) == "nan"
+
+
+class TestValidation:
+    def test_fresh_payload_is_valid(self):
+        assert validate_run_payload(_payload()) == []
+
+    def test_schema_version_is_enforced(self):
+        payload = _payload()
+        payload["schema"] = "repro-results/v999"
+        assert any("unsupported schema" in p for p in validate_run_payload(payload))
+
+    def test_missing_fields_are_reported(self):
+        payload = _payload()
+        del payload["git_sha"]
+        del payload["jobs"][0]["status"]
+        problems = validate_run_payload(payload)
+        assert any("git_sha" in p for p in problems)
+        assert any("jobs[0]" in p and "status" in p for p in problems)
+
+    def test_bad_status_and_totals_mismatch(self):
+        payload = _payload()
+        payload["jobs"][0]["status"] = "exploded"
+        payload["totals"]["jobs"] = 99
+        problems = validate_run_payload(payload)
+        assert any("exploded" in p for p in problems)
+        assert any("totals.jobs" in p for p in problems)
+
+    def test_non_numeric_metrics_are_rejected(self):
+        payload = _payload()
+        payload["jobs"][0]["headline"]["decided"] = "four"
+        assert any("must be numeric" in p for p in validate_run_payload(payload))
+
+    def test_error_status_requires_message(self):
+        payload = _payload()
+        payload["jobs"][0]["status"] = "error"
+        payload["jobs"][0]["ok"] = None
+        payload["jobs"][0]["error"] = None
+        assert any("requires a non-empty error" in p for p in validate_run_payload(payload))
+
+    def test_non_object_payload(self):
+        assert validate_run_payload([1, 2]) == ["payload must be an object, got list"]
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "run-x.json"
+        payload = _payload()
+        write_run_payload(payload, path)
+        assert load_payload(path) == json.loads(json.dumps(payload))
+
+    def test_write_refuses_invalid_payloads(self, tmp_path):
+        payload = _payload()
+        payload["jobs"][0]["status"] = "exploded"
+        with pytest.raises(ValueError, match="refusing to write"):
+            write_run_payload(payload, tmp_path / "run-bad.json")
+        assert not (tmp_path / "run-bad.json").exists()
+
+    def test_schema_version_recorded(self):
+        assert _payload()["schema"] == RESULTS_SCHEMA_VERSION
+
+
+class TestCanonicalForm:
+    def test_volatile_fields_are_stripped(self):
+        canonical = canonicalize_payload(_payload())
+        for field in ("tag", "created_unix", "wall_time_s", "git_sha", "python", "workers"):
+            assert field not in canonical
+        assert all("wall_time_s" not in job for job in canonical["jobs"])
+
+    def test_deterministic_core_is_preserved(self):
+        canonical = canonicalize_payload(_payload())
+        assert canonical["schema"] == RESULTS_SCHEMA_VERSION
+        assert canonical["jobs"][0]["key"] == "E1[seed=11]"
+        assert canonical["jobs"][0]["status"] == "ok"

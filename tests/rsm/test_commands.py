@@ -1,6 +1,6 @@
 """Unit tests for RSM commands."""
 
-from repro.rsm import Command, make_command, nop_command
+from repro.rsm import make_command, nop_command
 
 
 class TestCommands:

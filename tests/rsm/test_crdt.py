@@ -3,7 +3,6 @@
 import pytest
 
 from repro.rsm import (
-    Command,
     GCounterObject,
     GSetObject,
     LWWRegisterObject,

@@ -1,7 +1,6 @@
 """Unit tests for replica/client message handling details."""
 
-from repro.lattice import SetLattice
-from repro.rsm import Command, Replica, RSMClient, make_command
+from repro.rsm import Replica, RSMClient, make_command
 from repro.rsm.replica import ConfirmRequest, DecideNotice, UpdateRequest
 from repro.transport import FixedDelay, Network, SimulationRuntime
 from repro.transport.node import Node

@@ -1,6 +1,5 @@
 """End-to-end RSM tests (Algorithms 5-7 over GWTS replicas)."""
 
-import pytest
 
 from repro.byzantine import SilentByzantine
 from repro.harness import run_rsm_scenario

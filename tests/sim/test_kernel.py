@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Inject, NodeCrash, SimKernel, Timer
+from repro.sim import SimKernel, Timer
 from repro.transport import FixedDelay, Network, Node, SimulationRuntime
 
 

@@ -1,6 +1,5 @@
 """Determinism: identical seeds produce identical traces; different seeds differ."""
 
-import pytest
 
 from repro.harness import run_gwts_scenario, run_wts_scenario
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.transport import FixedDelay, Network, Node, SimulationRuntime, UniformDelay
+from repro.transport import FixedDelay, Network, Node, SimulationRuntime
 
 
 class Echo(Node):
@@ -30,6 +30,7 @@ class TestTopology:
         b = network.add_node(Echo("b"))
         assert network.pids == ("a", "b")
         assert network.node("a") is a
+        assert network.node("b") is b
         assert a.ctx.n == 2
         assert a.ctx.all_pids == ("a", "b")
         assert a.ctx.pid == "a"
