@@ -22,6 +22,21 @@ from typing import Any, Dict, Hashable, Iterable, List, Mapping, Sequence
 from repro.lattice.base import JoinSemilattice, LatticeElement
 
 
+def render_element(value: Any) -> str:
+    """Deterministic rendering of a lattice element for violation messages.
+
+    ``repr`` of a set iterates in hash order, which for strings depends on
+    ``PYTHONHASHSEED`` — embedding it in a checker message would make result
+    artifacts differ between processes.  Sets and frozensets are therefore
+    rendered with sorted contents; everything else keeps its ``repr`` (the
+    lattice element contract requires immutability, and the repo's other
+    element types — tuples, ints, frozen dataclasses — have stable reprs).
+    """
+    if isinstance(value, (set, frozenset)):
+        return "{" + ", ".join(sorted(render_element(item) for item in value)) + "}"
+    return repr(value)
+
+
 @dataclass(frozen=True)
 class LASpecification:
     """Static parameters of a Lattice Agreement instance."""
@@ -124,7 +139,7 @@ def check_la_run(
     # Comparability: decisions of correct processes form a chain.
     for a, b in itertools.combinations(flat, 2):
         if not lattice.comparable(a, b):
-            result.add("comparability", f"incomparable decisions {a!r} and {b!r}")
+            result.add("comparability", f"incomparable decisions {render_element(a)} and {render_element(b)}")
 
     # Inclusivity: own proposal is contained in own decision.
     for pid in correct:
@@ -132,7 +147,8 @@ def check_la_run(
         if decs and not lattice.leq(proposals[pid], decs[0]):
             result.add(
                 "inclusivity",
-                f"process {pid!r} decided {decs[0]!r} which does not include its proposal {proposals[pid]!r}",
+                f"process {pid!r} decided {render_element(decs[0])} which does not include "
+                f"its proposal {render_element(proposals[pid])}",
             )
 
     # Non-Triviality: decision <= join(X ∪ B).  The |B| <= f part of the
@@ -147,7 +163,7 @@ def check_la_run(
         if decs and not lattice.leq(decs[0], upper):
             result.add(
                 "non_triviality",
-                f"process {pid!r} decided {decs[0]!r} exceeding join(X ∪ B) = {upper!r}",
+                f"process {pid!r} decided {render_element(decs[0])} exceeding join(X ∪ B) = {render_element(upper)}",
             )
     return result
 
@@ -188,11 +204,11 @@ def check_gla_run(
     # Local Stability: per-process decisions are non-decreasing.
     for pid in correct:
         decs = list(decisions.get(pid, []))
-        for earlier, later in zip(decs, decs[1:]):
+        for earlier, later in zip(decs, decs[1:], strict=False):
             if not lattice.leq(earlier, later):
                 result.add(
                     "local_stability",
-                    f"process {pid!r} decided {later!r} after {earlier!r} (not >=)",
+                    f"process {pid!r} decided {render_element(later)} after {render_element(earlier)} (not >=)",
                 )
 
     # Comparability: any two decisions of correct processes are comparable.
@@ -201,7 +217,7 @@ def check_gla_run(
         flat.extend(decisions.get(pid, []))
     for a, b in itertools.combinations(flat, 2):
         if not lattice.comparable(a, b):
-            result.add("comparability", f"incomparable decisions {a!r} and {b!r}")
+            result.add("comparability", f"incomparable decisions {render_element(a)} and {render_element(b)}")
 
     # Inclusivity: every received input value eventually appears in a decision.
     if require_all_inputs_decided:
@@ -212,7 +228,7 @@ def check_gla_run(
                 if not lattice.leq(value, last):
                     result.add(
                         "inclusivity",
-                        f"input {value!r} of {pid!r} never included in its decisions",
+                        f"input {render_element(value)} of {pid!r} never included in its decisions",
                     )
 
     # Non-Triviality: decisions bounded by join of all inputs and Byzantine values.
@@ -224,7 +240,7 @@ def check_gla_run(
             if not lattice.leq(dec, upper):
                 result.add(
                     "non_triviality",
-                    f"decision {dec!r} of {pid!r} exceeds join of all proposed values {upper!r}",
+                    f"decision {render_element(dec)} of {pid!r} exceeds join of all proposed values {render_element(upper)}",
                 )
     return result
 

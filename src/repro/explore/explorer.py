@@ -1,0 +1,182 @@
+"""The exploration driver behind ``python -m repro explore``.
+
+One call to :func:`explore` is one fuzzing campaign:
+
+1. :func:`~repro.explore.scenarios.generate_scenarios` derives ``budget``
+   scenario specs from the campaign seed (the only randomness involved);
+2. each spec becomes a ``SCENARIO`` :class:`~repro.orchestrator.jobs.JobSpec`
+   and runs through the existing worker pool — same process-per-job
+   isolation, per-job timeouts and ``repro-results/v1`` job payloads as a
+   sweep;
+3. every invariant violation is **replayed** in-process from its seed
+   (confirming the determinism the reproducer story depends on) and then
+   **shrunk** to a minimal spec with
+   :func:`~repro.explore.shrink.shrink_scenario`.
+
+The campaign result is JSON-able and rides inside the artifact's ``config``
+section, so one ``results/run-<tag>.json`` file carries the whole story:
+every scenario's job payload plus the shrunk reproducers and their replay
+command lines.  Campaigns are deterministic: the same ``(budget, seed,
+mutant)`` produce identical canonical artifacts at any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.explore.scenarios import ScenarioSpec, generate_scenarios, run_scenario_spec
+from repro.explore.shrink import DEFAULT_MAX_PROBES, shrink_scenario
+from repro.orchestrator.jobs import JobSpec
+from repro.orchestrator.pool import JobResult, run_jobs
+
+#: Default number of scenarios per campaign (mirrors the CLI default).
+DEFAULT_BUDGET = 25
+
+
+@dataclass
+class ViolationReport:
+    """One invariant violation: the offending spec and its minimal form."""
+
+    spec: ScenarioSpec
+    violations: Dict[str, List[str]]
+    replayed: bool
+    shrunk: ScenarioSpec
+    shrunk_violations: Dict[str, List[str]]
+    shrink_probes: int
+    #: The campaign's quick flag; replay commands must carry it, because
+    #: quick mode changes the generalized workloads.
+    quick: bool = False
+
+    def replay(self) -> str:
+        return self.spec.replay_command(quick=self.quick)
+
+    def shrunk_replay(self) -> str:
+        return self.shrunk.replay_command(quick=self.quick)
+
+    def to_config(self) -> Dict[str, Any]:
+        """JSON-ready form embedded in the artifact's ``config.explore``."""
+        return {
+            "spec": self.spec.params() | {"seed": self.spec.seed},
+            "violations": self.violations,
+            "replayed": self.replayed,
+            "replay": self.replay(),
+            "shrunk_spec": self.shrunk.params() | {"seed": self.shrunk.seed},
+            "shrunk_violations": self.shrunk_violations,
+            "shrunk_replay": self.shrunk_replay(),
+            "shrink_probes": self.shrink_probes,
+        }
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one campaign: scenarios run, violations found and shrunk."""
+
+    budget: int
+    seed: int
+    mutant: str
+    results: List[JobResult]
+    violations: List[ViolationReport] = field(default_factory=list)
+    #: Jobs that timed out or crashed (infrastructure failures, not
+    #: invariant verdicts) — still campaign failures.
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.failures
+
+    def to_config(self) -> Dict[str, Any]:
+        return {
+            "budget": self.budget,
+            "seed": self.seed,
+            "mutant": self.mutant,
+            "violations": [violation.to_config() for violation in self.violations],
+            "failures": list(self.failures),
+        }
+
+
+def explore(
+    budget: int = DEFAULT_BUDGET,
+    seed: int = 0,
+    workers: int = 1,
+    mutant: str = "",
+    quick: bool = False,
+    timeout_s: Optional[float] = None,
+    max_probes: int = DEFAULT_MAX_PROBES,
+    progress: Optional[Callable[[JobResult], None]] = None,
+) -> ExplorationReport:
+    """Run one exploration campaign; see the module docstring for the shape."""
+    specs = generate_scenarios(seed=seed, budget=budget, mutant=mutant)
+    jobs = [
+        JobSpec(
+            experiment="SCENARIO",
+            seed=spec.seed,
+            params=tuple(sorted(spec.params().items())),
+            quick=quick,
+            timeout_s=timeout_s,
+            index=index,
+        )
+        for index, spec in enumerate(specs)
+    ]
+    results = run_jobs(jobs, workers=workers, progress=progress)
+    report = ExplorationReport(
+        budget=budget, seed=seed, mutant=mutant, results=results
+    )
+    for spec, result in zip(specs, results, strict=True):
+        status = result.payload["status"]
+        if status == "ok":
+            continue
+        if status in ("timeout", "error"):
+            error = str(result.payload.get("error") or "").strip().splitlines()
+            detail = error[-1] if error else status
+            report.failures.append(f"{result.job.key}: [{status}] {detail}")
+            continue
+        # status == "check_failed": an invariant violation.  Replay it from
+        # the seed in-process — determinism is the whole reproducer story —
+        # then shrink greedily.
+        outcome = run_scenario_spec(spec, quick=quick)
+        replayed = not outcome["ok"]
+        if not replayed:  # pragma: no cover - would mean a determinism bug
+            report.failures.append(
+                f"{result.job.key}: violation did NOT reproduce on replay"
+            )
+            continue
+        shrunk, shrunk_violations, probes = _shrink_with_outcomes(
+            spec, outcome, quick, max_probes
+        )
+        report.violations.append(
+            ViolationReport(
+                spec=spec,
+                violations=outcome["violations"],
+                replayed=replayed,
+                shrunk=shrunk,
+                shrunk_violations=shrunk_violations,
+                shrink_probes=probes,
+                quick=quick,
+            )
+        )
+    return report
+
+
+def _shrink_with_outcomes(
+    spec: ScenarioSpec,
+    outcome: Dict[str, Any],
+    quick: bool,
+    max_probes: int,
+) -> tuple:
+    """Shrink ``spec``; return ``(shrunk, shrunk violations, probes)``.
+
+    Every violating probe's outcome is cached (specs are frozen/hashable),
+    so the accepted shrunk spec is never re-simulated just to read its
+    violations back.
+    """
+    violating_outcomes: Dict[ScenarioSpec, Dict[str, Any]] = {spec: outcome}
+
+    def violates(candidate: ScenarioSpec) -> bool:
+        probe_outcome = run_scenario_spec(candidate, quick=quick)
+        if not probe_outcome["ok"]:
+            violating_outcomes[candidate] = probe_outcome
+        return not probe_outcome["ok"]
+
+    shrunk, probes = shrink_scenario(spec, violates, max_probes=max_probes)
+    return shrunk, violating_outcomes[shrunk]["violations"], probes

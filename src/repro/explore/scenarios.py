@@ -1,0 +1,486 @@
+"""Randomized scenario specs: generation, execution, uniform outcomes.
+
+A :class:`ScenarioSpec` is a fully JSON-able description of one randomized
+run: protocol, cluster shape, Byzantine behaviour mix, scheduler spec,
+fault-plan spec, rounds and the RNG seed.  Because every field round-trips
+through strings and ints, a spec travels unchanged through the
+orchestrator's :class:`~repro.orchestrator.jobs.JobSpec` params, a
+``repro-results/v1`` artifact, and a ``python -m repro run SCENARIO``
+replay command line.
+
+:func:`generate_scenarios` derives a whole budget of specs from a single
+seed (the explorer's only source of randomness), and
+:func:`run_scenario_experiment` — registered as the hidden ``SCENARIO``
+experiment — executes one spec through the harness scenario builders and
+judges it with the invariant library.  ``ok`` is ``True`` iff no invariant
+was violated, which is what makes the orchestrator's exit codes and
+artifact totals meaningful for fuzzing.
+
+The ``mutant`` field re-enables the deliberately weakened WTS variants of
+:mod:`repro.core.ablations` (no wait-till-safe, plain disclosure, both).
+Mutants exist so the explorer can prove it is not blind: a seeded mutant run
+*must* surface an invariant violation, and the shrinker must reduce it —
+``tests/explore`` pins exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.byzantine.behaviors import (
+    AlwaysAckAcceptor,
+    CrashByzantine,
+    EquivocatingGWTSProposer,
+    EquivocatingProposer,
+    FastForwardGWTS,
+    FlipFloppingAcceptor,
+    ForgedSafetyByzantine,
+    GarbageProposer,
+    NackSpamAcceptor,
+    SbSEquivocatingProposer,
+    SilentByzantine,
+    ValueInjectorProposer,
+)
+from repro.core.wts import WTSProcess
+from repro.explore.invariants import check_scenario_invariants
+from repro.harness.workloads import (
+    run_gsbs_scenario,
+    run_gwts_scenario,
+    run_rsm_scenario,
+    run_sbs_scenario,
+    run_wts_scenario,
+)
+from repro.metrics.report import format_table
+from repro.rsm.crdt import GCounterObject, GSetObject
+from repro.sim.axes import (
+    describe_axes,
+    parse_fault_plan,
+    parse_scheduler,
+    scheduler_spec_is_adversarial,
+)
+
+#: Behaviour name -> factory builder.  Each builder takes the spec's
+#: ``rounds`` (generalized behaviours pace themselves by it) and returns a
+#: scenario-builder-compatible factory ``(pid, lattice, members, f, **kw)``.
+_BEHAVIOUR_BUILDERS = {
+    "silent": lambda rounds: (lambda pid, lat, members, f, **kw: SilentByzantine(pid)),
+    "crash": lambda rounds: (
+        lambda pid, lat, members, f, **kw: CrashByzantine(
+            WTSProcess(pid, lat, members, f, proposal=frozenset({f"crash-{pid}"})),
+            crash_after_deliveries=5,
+        )
+    ),
+    "flip-flop": lambda rounds: (
+        lambda pid, lat, members, f, **kw: FlipFloppingAcceptor(pid, lat, members, f)
+    ),
+    "nack-spam": lambda rounds: (
+        lambda pid, lat, members, f, **kw: NackSpamAcceptor(pid, lat, members, f)
+    ),
+    "always-ack": lambda rounds: (
+        lambda pid, lat, members, f, **kw: AlwaysAckAcceptor(pid, lat, members, f)
+    ),
+    "equivocator": lambda rounds: (
+        lambda pid, lat, members, f, **kw: EquivocatingProposer(
+            pid, lat, members, f,
+            value_a=frozenset({"eq-a"}), value_b=frozenset({"eq-b"}),
+        )
+    ),
+    "value-injector": lambda rounds: (
+        lambda pid, lat, members, f, **kw: ValueInjectorProposer(
+            pid, lat, members, f, proposal=frozenset({f"byz-{pid}"})
+        )
+    ),
+    "garbage": lambda rounds: (
+        lambda pid, lat, members, f, **kw: GarbageProposer(pid, lat, members, f)
+    ),
+    "sbs-equivocator": lambda rounds: (
+        lambda pid, lat, members, f, **kw: SbSEquivocatingProposer(
+            pid, lat, members, f,
+            value_a=frozenset({"eq-a"}), value_b=frozenset({"eq-b"}), **kw,
+        )
+    ),
+    "forged-safety": lambda rounds: (
+        lambda pid, lat, members, f, **kw: ForgedSafetyByzantine(
+            pid, lat, members, victim=members[0], injected=frozenset({f"forged-{pid}"})
+        )
+    ),
+    "fast-forward": lambda rounds: (
+        lambda pid, lat, members, f, **kw: FastForwardGWTS(
+            pid, lat, members,
+            rounds_ahead=rounds + 3,
+            values=[frozenset({f"byz-ff-{pid}-{k}"}) for k in range(3)],
+        )
+    ),
+    "gwts-equivocator": lambda rounds: (
+        lambda pid, lat, members, f, **kw: EquivocatingGWTSProposer(
+            pid, lat, members, f,
+            max_rounds=rounds,
+            equivocation_pool=[frozenset({f"eqg-{pid}-{k}"}) for k in range(2)],
+        )
+    ),
+}
+
+#: Which behaviours speak which protocol (a WTS-subclass attacker makes no
+#: sense inside an SbS cluster, and vice versa).
+PROTOCOL_BEHAVIOURS: Dict[str, Tuple[str, ...]] = {
+    "wts": ("silent", "crash", "flip-flop", "nack-spam", "always-ack",
+            "equivocator", "value-injector", "garbage"),
+    "sbs": ("silent", "sbs-equivocator", "forged-safety"),
+    "gwts": ("silent", "fast-forward", "gwts-equivocator"),
+    "gsbs": ("silent",),
+    "rsm": ("silent",),
+}
+
+#: The invariant set each protocol is judged by.
+PROTOCOL_KINDS = {"wts": "la", "sbs": "la", "gwts": "gla", "gsbs": "gla", "rsm": "rsm"}
+
+#: Scheduler axis values sampled by the generator.  The worst-case starve
+#: delay is kept moderate so a fuzzing run stays fast; it is still an order
+#: of magnitude beyond the fast path.
+_SCHEDULER_MENU = ("", "", "random:spread=3", "random:spread=10",
+                   "worst-case:victims=p0,starve=60,fast=1")
+#: Fault-plan axis values sampled by the generator.
+_FAULT_PLAN_MENU = ("", "", "churn", "partition@3-15", "crash:0@5-25")
+
+#: RSM runs involve client retry timers, so keep their axes gentle: a
+#: starved replica plus aggressive retries makes runs long without testing
+#: anything the LA protocols' worst-case axis does not.  The crash window
+#: stays well inside the replicas' round budget — replicas execute a finite
+#: GWTS prefix, and a fault outlasting it wedges late reads by truncation,
+#: not by a protocol defect.
+_RSM_SCHEDULER_MENU = ("", "random:spread=3")
+_RSM_FAULT_PLAN_MENU = ("", "crash:1@20-60")
+
+#: Known-bad WTS variants (see :mod:`repro.core.ablations`) and the
+#: adversary that triggers each one's targeted property violation.
+MUTANTS: Dict[str, str] = {
+    "no-wait-till-safe": "nack-spam",
+    "plain-disclosure": "equivocator",
+    "no-defences": "equivocator",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One randomized scenario, fully described by JSON-able fields."""
+
+    protocol: str = "wts"
+    n: int = 4
+    f: int = 1
+    byzantine: Tuple[str, ...] = ()
+    scheduler: str = ""
+    fault_plan: str = ""
+    rounds: int = 3
+    mutant: str = ""
+    seed: int = 0
+
+    def params(self) -> Dict[str, Any]:
+        """The spec as ``SCENARIO`` experiment params (seed travels separately)."""
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "f": self.f,
+            "byzantine": "+".join(self.byzantine),
+            "scheduler": self.scheduler,
+            "fault_plan": self.fault_plan,
+            "rounds": self.rounds,
+            "mutant": self.mutant,
+        }
+
+    def replay_command(self, quick: bool = False) -> str:
+        """A copy-pastable deterministic replay of exactly this scenario.
+
+        ``quick`` must match the campaign's flag: quick mode changes the
+        generalized workload size, so a reproducer found under ``--quick``
+        only replays under ``--quick``.
+        """
+        parts = [f"PYTHONPATH=src python -m repro run SCENARIO --seed {self.seed}"]
+        if quick:
+            parts.append("--quick")
+        parts += [
+            f"--param {name}={value}"
+            for name, value in self.params().items()
+            if value not in ("", 0) or name in ("n", "f", "rounds", "protocol")
+        ]
+        return " ".join(parts)
+
+    def describe(self) -> str:
+        byz = "+".join(self.byzantine) or "none"
+        extra = f", mutant={self.mutant}" if self.mutant else ""
+        return (
+            f"{self.protocol} n={self.n} f={self.f} seed={self.seed} "
+            f"byzantine={byz}, {describe_axes(self.scheduler, self.fault_plan)}{extra}"
+        )
+
+    def replace(self, **changes: Any) -> "ScenarioSpec":
+        return dataclasses.replace(self, **changes)
+
+
+def validate_spec(spec: ScenarioSpec) -> None:
+    """Reject structurally impossible specs before a worker touches them."""
+    menu = PROTOCOL_BEHAVIOURS.get(spec.protocol)
+    if menu is None:
+        raise ValueError(
+            f"unknown protocol {spec.protocol!r}; known: {', '.join(PROTOCOL_BEHAVIOURS)}"
+        )
+    if spec.f < 0:
+        raise ValueError(f"f must be non-negative, got {spec.f}")
+    if spec.n < 3 * spec.f + 1:
+        raise ValueError(
+            f"n={spec.n} cannot tolerate f={spec.f} (needs n >= 3f+1 = {3 * spec.f + 1})"
+        )
+    if len(spec.byzantine) > spec.f:
+        raise ValueError(
+            f"{len(spec.byzantine)} Byzantine behaviours exceed f={spec.f}"
+        )
+    for name in spec.byzantine:
+        if name not in menu:
+            raise ValueError(
+                f"behaviour {name!r} does not speak {spec.protocol} "
+                f"(menu: {', '.join(menu)})"
+            )
+    if spec.mutant and spec.mutant not in MUTANTS:
+        raise ValueError(f"unknown mutant {spec.mutant!r}; known: {', '.join(MUTANTS)}")
+    if spec.mutant and spec.protocol != "wts":
+        raise ValueError("mutants are WTS ablations; use protocol=wts")
+    if spec.rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {spec.rounds}")
+    # Fail fast on malformed axis specs (same parsers the builders use).
+    parse_scheduler(spec.scheduler)
+    parse_fault_plan(spec.fault_plan, pids=[f"p{i}" for i in range(spec.n)],
+                     correct=[f"p{i}" for i in range(spec.n - len(spec.byzantine))])
+
+
+def generate_scenarios(seed: int, budget: int, mutant: str = "") -> List[ScenarioSpec]:
+    """Derive ``budget`` scenario specs deterministically from one seed.
+
+    With ``mutant`` set, every spec runs the named weakened WTS variant with
+    its triggering adversary in the mix — the self-test mode proving the
+    invariant checkers still catch known-bad implementations.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if mutant and mutant not in MUTANTS:
+        raise ValueError(f"unknown mutant {mutant!r}; known: {', '.join(MUTANTS)}")
+    rng = random.Random(seed)
+    specs: List[ScenarioSpec] = []
+    for _ in range(budget):
+        if mutant:
+            spec = _generate_mutant_spec(rng, mutant)
+        else:
+            spec = _generate_spec(rng)
+        validate_spec(spec)
+        specs.append(spec)
+    return specs
+
+
+def _generate_spec(rng: random.Random) -> ScenarioSpec:
+    protocol = rng.choice(("wts", "wts", "sbs", "gwts", "gwts", "gsbs", "rsm"))
+    f = rng.choice((1, 1, 2)) if protocol in ("wts", "sbs") else 1
+    n = 3 * f + 1 + rng.choice((0, 0, 1))
+    menu = PROTOCOL_BEHAVIOURS[protocol]
+    byzantine = tuple(rng.choice(menu) for _ in range(rng.randint(0, f)))
+    if protocol == "rsm":
+        scheduler = rng.choice(_RSM_SCHEDULER_MENU)
+        fault_plan = rng.choice(_RSM_FAULT_PLAN_MENU)
+    else:
+        scheduler = rng.choice(_SCHEDULER_MENU)
+        fault_plan = rng.choice(_FAULT_PLAN_MENU)
+    return ScenarioSpec(
+        protocol=protocol,
+        n=n,
+        f=f,
+        byzantine=byzantine,
+        scheduler=scheduler,
+        fault_plan=fault_plan,
+        rounds=rng.choice((2, 3)) if protocol in ("gwts", "gsbs") else 3,
+        seed=rng.randrange(1_000_000),
+    )
+
+
+def _generate_mutant_spec(rng: random.Random, mutant: str) -> ScenarioSpec:
+    trigger = MUTANTS[mutant]
+    extras = ("silent",) if rng.random() < 0.3 else ()
+    f = 1 + len(extras)
+    return ScenarioSpec(
+        protocol="wts",
+        n=3 * f + 1 + rng.choice((0, 1)),
+        f=f,
+        byzantine=(trigger,) + extras,
+        scheduler=rng.choice(_SCHEDULER_MENU),
+        fault_plan=rng.choice(_FAULT_PLAN_MENU),
+        mutant=mutant,
+        seed=rng.randrange(1_000_000),
+    )
+
+
+def _mutant_process_class(mutant: str) -> type:
+    # Imported here, not at module level: the ablations are deliberately
+    # incorrect implementations and stay out of import-time surfaces.
+    from repro.core.ablations import (
+        NoDefencesWTSProcess,
+        NoSafetyWTSProcess,
+        PlainDisclosureWTSProcess,
+    )
+
+    return {
+        "no-wait-till-safe": NoSafetyWTSProcess,
+        "plain-disclosure": PlainDisclosureWTSProcess,
+        "no-defences": NoDefencesWTSProcess,
+    }[mutant]
+
+
+def _run_spec(spec: ScenarioSpec, quick: bool):
+    """Execute one spec; returns ``(scenario, kind, strict)``.
+
+    ``strict=False`` relaxes the invariant that is only *eventual* over a
+    perturbed finite prefix (inclusivity for generalized runs, operation
+    liveness for RSM runs) — the same treatment E12 gives its churn
+    configurations.
+    """
+    factories = [_BEHAVIOUR_BUILDERS[name](spec.rounds) for name in spec.byzantine]
+    common = dict(
+        n=spec.n,
+        f=spec.f,
+        seed=spec.seed,
+        byzantine_factories=factories,
+        scheduler=spec.scheduler,
+        fault_plan=spec.fault_plan,
+    )
+    if spec.protocol == "wts":
+        if spec.mutant:
+            # Mirror E11: run the weakened variant to quiescence under a
+            # message cap so liveness-destroying mutants terminate and
+            # value-laundering mutants get time to contaminate decisions.
+            scenario = run_wts_scenario(
+                process_class=_mutant_process_class(spec.mutant),
+                run_to_quiescence=True,
+                max_messages=30_000,
+                **common,
+            )
+        else:
+            scenario = run_wts_scenario(**common)
+        return scenario, "la", True
+    if spec.protocol == "sbs":
+        return run_sbs_scenario(**common), "la", True
+    if spec.protocol in ("gwts", "gsbs"):
+        runner = run_gwts_scenario if spec.protocol == "gwts" else run_gsbs_scenario
+        scenario = runner(values_per_process=1 if quick else 2, rounds=spec.rounds, **common)
+        # Inclusivity over the finite prefix is only guaranteed when the
+        # environment does not hold traffic for long stretches.
+        strict = spec.fault_plan in ("", "none") and not (
+            scheduler_spec_is_adversarial(spec.scheduler)
+        )
+        return scenario, "gla", strict
+    if spec.protocol == "rsm":
+        counter = GCounterObject("hits")
+        gset = GSetObject("tags")
+        scripts = {
+            "client0": [("update", counter.op_inc(1)), ("update", counter.op_inc(2)), ("read",)],
+            "client1": [("update", gset.op_add("tag-a")), ("read",)],
+        }
+        scenario = run_rsm_scenario(
+            n_replicas=spec.n,
+            f=spec.f,
+            client_scripts=scripts,
+            byzantine_replica_factories=factories,
+            byzantine_client_payloads={"badclient": ["junk-0", "junk-1"]},
+            rounds=12,
+            seed=spec.seed,
+            scheduler=spec.scheduler,
+            fault_plan=spec.fault_plan,
+        )
+        # Replicas execute a finite GWTS prefix; a fault window can eat
+        # rounds on empty batches, so operation liveness is only strict on
+        # an unperturbed run (read safety is always checked).
+        return scenario, "rsm", spec.fault_plan in ("", "none")
+    raise ValueError(f"unknown protocol {spec.protocol!r}")  # validate_spec prevents this
+
+
+def run_scenario_spec(spec: ScenarioSpec, quick: bool = False) -> Dict[str, Any]:
+    """Run one spec and return the uniform experiment outcome dictionary."""
+    validate_spec(spec)
+    scenario, kind, strict = _run_spec(spec, quick)
+    violations = check_scenario_invariants(
+        scenario,
+        kind,
+        require_liveness=strict if kind == "rsm" else True,
+        require_inclusivity=strict,
+    )
+    ok = not violations
+    rows = [
+        (invariant, len(messages), messages[0])
+        for invariant, messages in sorted(violations.items())
+    ] or [("(all invariants)", 0, "no violations")]
+    headers = ["invariant", "#violations", "first violation"]
+    return {
+        "experiment": "SCENARIO",
+        "expected": "all protocol invariants hold on a randomized scenario",
+        "spec": spec.params() | {"seed": spec.seed},
+        "kind": kind,
+        "violations": violations,
+        "replay": spec.replay_command(quick=quick),
+        "headers": headers,
+        "rows": rows,
+        "table": format_table(headers, rows, title=f"SCENARIO: {spec.describe()}"),
+        "check": {"ok": ok, "violations": violations},
+        "ok": ok,
+        "headline": {
+            "violated_invariants": float(len(violations)),
+            "decided": float(sum(1 for decs in scenario.decisions().values() if decs)),
+        },
+        "latency": {},
+    }
+
+
+def run_scenario_experiment(
+    protocol: str = "wts",
+    n: int = 4,
+    f: int = 1,
+    byzantine: str = "",
+    scheduler: str = "",
+    fault_plan: str = "",
+    rounds: int = 3,
+    mutant: str = "",
+    seed: int = 0,
+    quick: bool = False,
+) -> Dict[str, Any]:
+    """The hidden ``SCENARIO`` experiment: one randomized-explorer scenario.
+
+    Every parameter mirrors a :class:`ScenarioSpec` field (``byzantine`` is
+    ``+``-joined), so ``repro run SCENARIO --seed S --param ...`` replays
+    any scenario the explorer reports — including shrunk reproducers.
+    """
+    spec = ScenarioSpec(
+        protocol=protocol,
+        n=n,
+        f=f,
+        byzantine=tuple(name for name in byzantine.split("+") if name),
+        scheduler=scheduler,
+        fault_plan=fault_plan,
+        rounds=rounds,
+        mutant=mutant,
+        seed=seed,
+    )
+    return run_scenario_spec(spec, quick=quick)
+
+
+def spec_from_params(seed: int, params: Dict[str, Any]) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from ``SCENARIO`` job params."""
+    byzantine = params.get("byzantine", "")
+    if isinstance(byzantine, str):
+        byzantine = tuple(name for name in byzantine.split("+") if name)
+    return ScenarioSpec(
+        protocol=params.get("protocol", "wts"),
+        n=int(params.get("n", 4)),
+        f=int(params.get("f", 1)),
+        byzantine=tuple(byzantine),
+        scheduler=params.get("scheduler", ""),
+        fault_plan=params.get("fault_plan", ""),
+        rounds=int(params.get("rounds", 3)),
+        mutant=params.get("mutant", ""),
+        seed=seed,
+    )

@@ -39,8 +39,8 @@ from repro.lattice.set_lattice import SetLattice
 from repro.metrics.collector import MetricsCollector
 from repro.rsm.client import ByzantineClient, RSMClient
 from repro.rsm.replica import Replica
+from repro.sim.axes import parse_fault_plan, parse_scheduler
 from repro.sim.faults import FaultPlan
-from repro.sim.scheduler import Scheduler
 from repro.transport.delays import DelayModel, UniformDelay
 from repro.transport.network import Network
 from repro.transport.node import Node
@@ -48,6 +48,11 @@ from repro.transport.runtime import RunResult, SimulationRuntime
 
 #: Signature of a Byzantine process factory.
 ByzantineFactory = Callable[..., Node]
+
+#: Builders accept a Scheduler/FaultPlan object or its string spec (the
+#: orchestrator's JSON-able axis form, see :mod:`repro.sim.axes`).
+SchedulerSpec = Optional[Any]
+FaultPlanSpec = Optional[Any]
 
 
 def member_pids(n: int, prefix: str = "p") -> List[str]:
@@ -177,12 +182,33 @@ def _split_members(
 def _build_network(
     delay_model: Optional[DelayModel],
     seed: int,
-    scheduler: Optional[Scheduler],
+    scheduler: SchedulerSpec,
 ) -> Network:
-    """One network per scenario; Network enforces delay_model/scheduler exclusivity."""
-    if delay_model is None and scheduler is None:
-        delay_model = UniformDelay()
-    return Network(delay_model=delay_model, seed=seed, scheduler=scheduler)
+    """One network per scenario.
+
+    ``scheduler`` may be a :class:`Scheduler`, a string spec (see
+    :mod:`repro.sim.axes`) or ``None``.  An explicit scheduler *overrides*
+    the builder's delay model — that is what lets the orchestrator's
+    ``scheduler=`` axis re-run any experiment (which typically picks its own
+    delay model) under an adversarial schedule without each runner having to
+    special-case the combination.
+    """
+    if isinstance(scheduler, str):
+        scheduler = parse_scheduler(scheduler)
+    if scheduler is not None:
+        return Network(seed=seed, scheduler=scheduler)
+    return Network(delay_model=delay_model or UniformDelay(), seed=seed)
+
+
+def _resolve_fault_plan(
+    fault_plan: FaultPlanSpec,
+    pids: Sequence[Hashable],
+    correct: Sequence[Hashable],
+) -> Optional[FaultPlan]:
+    """Resolve a fault-plan string spec against this scenario's membership."""
+    if isinstance(fault_plan, str):
+        return parse_fault_plan(fault_plan, pids=pids, correct=correct)
+    return fault_plan
 
 
 def _run(
@@ -211,8 +237,8 @@ def run_wts_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
-    scheduler: Optional[Scheduler] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    scheduler: SchedulerSpec = None,
+    fault_plan: FaultPlanSpec = None,
     max_messages: int = 400_000,
     run_to_quiescence: bool = False,
     process_class: type = WTSProcess,
@@ -233,14 +259,14 @@ def run_wts_scenario(
         nodes[pid] = network.add_node(
             process_class(pid, lattice, pids, f, proposal=proposals.get(pid, lattice.bottom()))
         )
-    for factory, pid in zip(byzantine_factories, byz):
+    for factory, pid in zip(byzantine_factories, byz, strict=True):
         nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
 
     def all_decided() -> bool:
         return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
 
     stop = None if run_to_quiescence else all_decided
-    run = _run(network, nodes, stop, max_messages, fault_plan)
+    run = _run(network, nodes, stop, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     return ScenarioResult(
         network=network,
         nodes=nodes,
@@ -260,8 +286,8 @@ def run_sbs_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
-    scheduler: Optional[Scheduler] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    scheduler: SchedulerSpec = None,
+    fault_plan: FaultPlanSpec = None,
     max_messages: int = 400_000,
     registry_seed: int = 1234,
 ) -> ScenarioResult:
@@ -284,13 +310,13 @@ def run_sbs_scenario(
                 proposal=proposals.get(pid, lattice.bottom()),
             )
         )
-    for factory, pid in zip(byzantine_factories, byz):
+    for factory, pid in zip(byzantine_factories, byz, strict=True):
         nodes[pid] = network.add_node(factory(pid, lattice, pids, f, registry=registry))
 
     def all_decided() -> bool:
         return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
 
-    run = _run(network, nodes, all_decided, max_messages, fault_plan)
+    run = _run(network, nodes, all_decided, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     result = ScenarioResult(
         network=network,
         nodes=nodes,
@@ -312,8 +338,8 @@ def run_crash_la_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
-    scheduler: Optional[Scheduler] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    scheduler: SchedulerSpec = None,
+    fault_plan: FaultPlanSpec = None,
     max_messages: int = 400_000,
 ) -> ScenarioResult:
     """Build and run one crash-fault-baseline LA cluster."""
@@ -327,13 +353,13 @@ def run_crash_la_scenario(
         nodes[pid] = network.add_node(
             CrashLAProcess(pid, lattice, pids, f, proposal=proposals.get(pid, lattice.bottom()))
         )
-    for factory, pid in zip(byzantine_factories, byz):
+    for factory, pid in zip(byzantine_factories, byz, strict=True):
         nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
 
     def all_decided() -> bool:
         return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
 
-    run = _run(network, nodes, all_decided, max_messages, fault_plan)
+    run = _run(network, nodes, all_decided, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     return ScenarioResult(
         network=network,
         nodes=nodes,
@@ -370,8 +396,8 @@ def run_gwts_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
-    scheduler: Optional[Scheduler] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    scheduler: SchedulerSpec = None,
+    fault_plan: FaultPlanSpec = None,
     max_messages: int = 1_500_000,
 ) -> ScenarioResult:
     """Build and run one GWTS cluster for ``rounds`` rounds.
@@ -391,13 +417,13 @@ def run_gwts_scenario(
         for value in inputs.get(pid, []):
             process.new_value(value)
         nodes[pid] = network.add_node(process)
-    for factory, pid in zip(byzantine_factories, byz):
+    for factory, pid in zip(byzantine_factories, byz, strict=True):
         nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
 
     def all_halted() -> bool:
         return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
 
-    run = _run(network, nodes, all_halted, max_messages, fault_plan)
+    run = _run(network, nodes, all_halted, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     return ScenarioResult(
         network=network,
         nodes=nodes,
@@ -419,8 +445,8 @@ def run_gsbs_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
-    scheduler: Optional[Scheduler] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    scheduler: SchedulerSpec = None,
+    fault_plan: FaultPlanSpec = None,
     max_messages: int = 1_500_000,
     registry_seed: int = 1234,
 ) -> ScenarioResult:
@@ -437,13 +463,13 @@ def run_gsbs_scenario(
         for value in inputs.get(pid, []):
             process.new_value(value)
         nodes[pid] = network.add_node(process)
-    for factory, pid in zip(byzantine_factories, byz):
+    for factory, pid in zip(byzantine_factories, byz, strict=True):
         nodes[pid] = network.add_node(factory(pid, lattice, pids, f, registry=registry))
 
     def all_halted() -> bool:
         return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
 
-    run = _run(network, nodes, all_halted, max_messages, fault_plan)
+    run = _run(network, nodes, all_halted, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     result = ScenarioResult(
         network=network,
         nodes=nodes,
@@ -467,8 +493,8 @@ def run_crash_gla_scenario(
     byzantine_factories: Sequence[ByzantineFactory] = (),
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
-    scheduler: Optional[Scheduler] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    scheduler: SchedulerSpec = None,
+    fault_plan: FaultPlanSpec = None,
     max_messages: int = 1_500_000,
 ) -> ScenarioResult:
     """Build and run one crash-fault-baseline GLA cluster for ``rounds`` rounds."""
@@ -483,13 +509,13 @@ def run_crash_gla_scenario(
         for value in inputs.get(pid, []):
             process.new_value(value)
         nodes[pid] = network.add_node(process)
-    for factory, pid in zip(byzantine_factories, byz):
+    for factory, pid in zip(byzantine_factories, byz, strict=True):
         nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
 
     def all_halted() -> bool:
         return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
 
-    run = _run(network, nodes, all_halted, max_messages, fault_plan)
+    run = _run(network, nodes, all_halted, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     return ScenarioResult(
         network=network,
         nodes=nodes,
@@ -515,8 +541,8 @@ def run_rsm_scenario(
     rounds: int = 8,
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
-    scheduler: Optional[Scheduler] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    scheduler: SchedulerSpec = None,
+    fault_plan: FaultPlanSpec = None,
     max_messages: int = 2_000_000,
     client_retry_timeout: Optional[float] = 150.0,
 ) -> ScenarioResult:
@@ -540,7 +566,7 @@ def run_rsm_scenario(
         nodes[pid] = network.add_node(
             Replica(pid, replica_pids, f, max_rounds=rounds, lattice=lattice)
         )
-    for factory, pid in zip(byzantine_replica_factories, byz_replicas):
+    for factory, pid in zip(byzantine_replica_factories, byz_replicas, strict=True):
         nodes[pid] = network.add_node(factory(pid, lattice, replica_pids, f))
 
     clients: Dict[Hashable, RSMClient] = {}
@@ -560,7 +586,13 @@ def run_rsm_scenario(
     def all_clients_done() -> bool:
         return all(client.all_completed for client in clients.values())
 
-    run = _run(network, nodes, all_clients_done, max_messages, fault_plan)
+    run = _run(
+        network,
+        nodes,
+        all_clients_done,
+        max_messages,
+        _resolve_fault_plan(fault_plan, replica_pids, correct_replicas),
+    )
     result = ScenarioResult(
         network=network,
         nodes=nodes,

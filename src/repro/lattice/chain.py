@@ -50,7 +50,7 @@ def is_chain(lattice: JoinSemilattice, values: Sequence[LatticeElement]) -> bool
     it is the Local Stability check of the GLA specification (decisions of a
     single process must be non-decreasing).
     """
-    return all(lattice.leq(a, b) for a, b in zip(values, values[1:]))
+    return all(lattice.leq(a, b) for a, b in zip(values, values[1:], strict=False))
 
 
 def sort_chain(

@@ -34,7 +34,7 @@ class ProductLattice(JoinSemilattice):
 
     def join(self, a: LatticeElement, b: LatticeElement) -> ProductElement:
         return tuple(
-            factor.join(x, y) for factor, x, y in zip(self._factors, a, b)
+            factor.join(x, y) for factor, x, y in zip(self._factors, a, b, strict=True)
         )
 
     def is_element(self, value: Any) -> bool:
@@ -42,7 +42,7 @@ class ProductLattice(JoinSemilattice):
             return False
         return all(
             factor.is_element(component)
-            for factor, component in zip(self._factors, value)
+            for factor, component in zip(self._factors, value, strict=True)
         )
 
     # -- helpers ---------------------------------------------------------------
@@ -54,7 +54,7 @@ class ProductLattice(JoinSemilattice):
                 f"expected a {len(self._factors)}-tuple of component values, got {value!r}"
             )
         return tuple(
-            factor.lift(component) for factor, component in zip(self._factors, value)
+            factor.lift(component) for factor, component in zip(self._factors, value, strict=True)
         )
 
     def inject(self, index: int, component: LatticeElement) -> ProductElement:

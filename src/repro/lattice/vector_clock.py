@@ -36,7 +36,7 @@ class VectorClockLattice(JoinSemilattice):
         return (0,) * self._dimension
 
     def join(self, a: LatticeElement, b: LatticeElement) -> VectorClockElement:
-        return tuple(max(x, y) for x, y in zip(a, b))
+        return tuple(max(x, y) for x, y in zip(a, b, strict=True))
 
     def is_element(self, value: Any) -> bool:
         return (

@@ -25,10 +25,10 @@ def format_table(
     lines: List[str] = []
     if title:
         lines.append(title)
-    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append("  ".join("-" * w for w in widths))
     for row in rows:
-        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 
@@ -59,7 +59,7 @@ def fit_polynomial_order(xs: Sequence[float], ys: Sequence[float]) -> float:
     """
     points = [
         (math.log(x), math.log(y))
-        for x, y in zip(xs, ys)
+        for x, y in zip(xs, ys, strict=True)
         if x > 0 and y > 0
     ]
     if len(points) < 2:

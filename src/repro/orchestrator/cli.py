@@ -5,11 +5,12 @@ Subcommands::
     repro list                         # experiments and their parameters
     repro run E3 --seed 7              # one experiment, table on stdout
     repro sweep --quick --workers 4    # the full matrix -> results/run-<tag>.json
+    repro explore --budget 25 --seed 1 # randomized scenario fuzzing + shrinking
     repro validate results/run-x.json  # schema-check an artifact
     repro compare baseline.json run.json [--max-latency-regression 20]
 
-Exit codes: 0 success, 1 failed checks / regressions / invalid artifacts,
-2 usage errors (unknown experiment, bad parameter).
+Exit codes: 0 success, 1 failed checks / regressions / invalid artifacts /
+invariant violations, 2 usage errors (unknown experiment, bad parameter).
 """
 
 from __future__ import annotations
@@ -176,6 +177,70 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    # Imported lazily: the explorer pulls in the whole harness, which the
+    # metadata-only subcommands (list/validate) have no reason to pay for.
+    from repro.explore.explorer import explore
+
+    mutant_note = f", mutant={args.mutant}" if args.mutant else ""
+    print(f"explore: {args.budget} scenarios from seed {args.seed}{mutant_note}, "
+          f"{args.workers} worker(s)")
+
+    def report_progress(result: JobResult) -> None:
+        marker = {"ok": "ok", "check_failed": "VIOLATION"}.get(
+            result.status, result.status.upper()
+        )
+        print(f"  [{marker:>12}] {result.job.key}  ({result.payload['wall_time_s']:.1f}s)")
+
+    started = time.perf_counter()
+    try:
+        report = explore(
+            budget=args.budget,
+            seed=args.seed,
+            workers=args.workers,
+            mutant=args.mutant,
+            quick=args.quick,
+            timeout_s=args.timeout,
+            progress=report_progress,
+        )
+    except ValueError as exc:  # bad budget/mutant: raised before any job runs
+        print(exc, file=sys.stderr)
+        return 2
+    wall_time = time.perf_counter() - started
+
+    tag = args.tag or f"explore-{args.seed}"
+    config = {
+        "experiments": ["SCENARIO"],
+        "seeds": [args.seed],
+        "quick": args.quick,
+        "explore": report.to_config(),
+    }
+    payload = build_run_payload(
+        tag=tag,
+        config=config,
+        job_payloads=[result.payload for result in report.results],
+        wall_time_s=wall_time,
+        workers=args.workers,
+    )
+    path = args.out or default_results_path(tag)
+    write_run_payload(payload, path)
+
+    print(f"\n{len(report.results)} scenarios: {len(report.violations)} invariant "
+          f"violation(s), {len(report.failures)} infrastructure failure(s)  "
+          f"({wall_time:.1f}s wall)")
+    print(f"wrote {path}")
+    for failure in report.failures:
+        print(f"FAILED {failure}", file=sys.stderr)
+    for violation in report.violations:
+        invariants = ", ".join(sorted(violation.violations))
+        print(f"\nVIOLATION [{invariants}] {violation.spec.describe()}", file=sys.stderr)
+        shrunk_invariants = ", ".join(sorted(violation.shrunk_violations))
+        print(f"  shrunk ({violation.shrink_probes} probes) [{shrunk_invariants}] "
+              f"{violation.shrunk.describe()}", file=sys.stderr)
+        print(f"  replay: {violation.shrunk_replay()}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     status = 0
     for path in args.paths:
@@ -260,6 +325,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--verbose", action="store_true",
                               help="print each experiment's table as it finishes")
 
+    explore_parser = subparsers.add_parser(
+        "explore", help="fuzz randomized scenarios; replay + shrink any violation"
+    )
+    explore_parser.add_argument("--budget", type=int, default=25,
+                                help="number of scenarios to generate (default: 25)")
+    explore_parser.add_argument("--seed", type=int, default=0,
+                                help="campaign seed; all randomness derives from it")
+    explore_parser.add_argument("--workers", type=int, default=1,
+                                help="worker processes (1 = inline)")
+    explore_parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                                help="per-scenario timeout; expired jobs are terminated")
+    explore_parser.add_argument("--mutant", default="",
+                                help="self-test: run a known-bad WTS variant "
+                                     "(no-wait-till-safe, plain-disclosure, no-defences)")
+    explore_parser.add_argument("--quick", action="store_true",
+                                help="use reduced per-scenario workloads")
+    explore_parser.add_argument("--tag", default=None,
+                                help="artifact tag (default: explore-<seed>)")
+    explore_parser.add_argument("--out", default=None, metavar="PATH",
+                                help="artifact path (default: results/run-<tag>.json)")
+
     validate_parser = subparsers.add_parser("validate", help="schema-check results artifacts")
     validate_parser.add_argument("paths", nargs="+", help="artifact paths")
 
@@ -280,6 +366,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "explore": _cmd_explore,
     "validate": _cmd_validate,
     "compare": _cmd_compare,
 }

@@ -84,7 +84,7 @@ def expand_sweep(sweep: SweepSpec) -> List[JobSpec]:
                 f"experiments ({', '.join(experiment_ids)})"
             )
     jobs: List[JobSpec] = []
-    for spec, experiment_id in zip(specs, experiment_ids):
+    for spec, experiment_id in zip(specs, experiment_ids, strict=True):
         seeds = sweep.seeds or (spec.default_seed,)
         axes = [
             [(name, value) for value in values]

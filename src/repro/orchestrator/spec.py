@@ -18,6 +18,7 @@ import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
+from repro.explore import scenarios as _scenarios
 from repro.harness import experiments as _experiments
 
 #: Parameter kinds the CLI knows how to parse from ``key=value`` strings.
@@ -121,6 +122,21 @@ def _sleep_runner(duration: float = 5.0, seed: int = 0, quick: bool = False) -> 
 
 _SIZES_HELP = "comma-separated cluster sizes for the sweep, e.g. 4,7,10"
 
+#: Scenario axes shared by every E1-E12 experiment: which scheduler drives
+#: delivery and which fault plan scripts the environment (string specs, see
+#: :mod:`repro.sim.axes`).  Declared on every spec so a sweep can run the
+#: whole evaluation under adversarial schedules and crash/partition churn.
+AXIS_PARAMS: Tuple[ParamSpec, ...] = (
+    ParamSpec(
+        "scheduler", "str", "",
+        "schedule override: delay | random[:spread=S] | worst-case[:victims=p0+p1,starve=S,fast=F]",
+    ),
+    ParamSpec(
+        "fault_plan", "str", "",
+        "fault script: churn | partition@A-B and crash:IDX@A-B terms joined with +",
+    ),
+)
+
 #: Registry of every experiment the orchestrator can run.
 EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
     spec.id: spec
@@ -132,31 +148,31 @@ EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
             params=(
                 ParamSpec("n", "int", 4, "cluster size"),
                 ParamSpec("f", "int", 1, "failure threshold"),
-            ),
+            ) + AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E2",
             title="necessity of 3f+1 processes (Theorem 1)",
             runner=_experiments.run_resilience_experiment,
-            params=(ParamSpec("f", "int", 1, "failure threshold"),),
+            params=(ParamSpec("f", "int", 1, "failure threshold"),) + AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E3",
             title="WTS decides within 2f+5 message delays (Theorem 3)",
             runner=_experiments.run_wts_latency_experiment,
-            params=(ParamSpec("max_f", "int", 3, "largest failure threshold swept"),),
+            params=(ParamSpec("max_f", "int", 3, "largest failure threshold swept"),) + AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E4",
             title="WTS message complexity O(n^2) per process (Section 5.1.3)",
             runner=_experiments.run_wts_messages_experiment,
-            params=(ParamSpec("sizes", "ints", None, _SIZES_HELP),),
+            params=(ParamSpec("sizes", "ints", None, _SIZES_HELP),) + AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E5",
             title="SbS latency 5+4f and O(n) messages (Theorem 8)",
             runner=_experiments.run_sbs_experiment,
-            params=(ParamSpec("sizes", "ints", None, _SIZES_HELP),),
+            params=(ParamSpec("sizes", "ints", None, _SIZES_HELP),) + AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E6",
@@ -165,7 +181,7 @@ EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
             params=(
                 ParamSpec("sizes", "ints", None, _SIZES_HELP),
                 ParamSpec("rounds", "int", 3, "GWTS rounds per run"),
-            ),
+            ) + AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E7",
@@ -174,7 +190,7 @@ EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
             params=(
                 ParamSpec("f", "int", 1, "failure threshold"),
                 ParamSpec("rounds", "int", 5, "GWTS rounds per run"),
-            ),
+            ) + AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E8",
@@ -184,7 +200,7 @@ EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
                 ParamSpec("f", "int", 1, "failure threshold"),
                 ParamSpec("clients", "int", 3, "number of correct clients"),
                 ParamSpec("updates_per_client", "int", 2, "updates issued per client"),
-            ),
+            ) + AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E9",
@@ -194,18 +210,19 @@ EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
                 ParamSpec("n", "int", 4, "cluster size"),
                 ParamSpec("f", "int", 1, "failure threshold"),
                 ParamSpec("breadths", "ints", None, "lattice breadths to contrast"),
-            ),
+            ) + AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E10",
             title="Byzantine tolerance overhead vs the crash-fault baseline",
             runner=_experiments.run_baseline_comparison,
-            params=(ParamSpec("sizes", "ints", None, _SIZES_HELP),),
+            params=(ParamSpec("sizes", "ints", None, _SIZES_HELP),) + AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E11",
             title="ablation of the WTS design choices (extension)",
             runner=_experiments.run_ablation_experiment,
+            params=AXIS_PARAMS,
         ),
         ExperimentSpec(
             id="E12",
@@ -214,7 +231,21 @@ EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
             params=(
                 ParamSpec("f", "int", 1, "failure threshold"),
                 ParamSpec("rounds", "int", 4, "GWTS rounds per run"),
-            ),
+            ) + AXIS_PARAMS,
+        ),
+        ExperimentSpec(
+            id="SCENARIO",
+            title="one randomized-explorer scenario (see python -m repro explore)",
+            runner=_scenarios.run_scenario_experiment,
+            params=(
+                ParamSpec("protocol", "str", "wts", "wts | sbs | gwts | gsbs | rsm"),
+                ParamSpec("n", "int", 4, "cluster size (>= 3f+1)"),
+                ParamSpec("f", "int", 1, "failure threshold"),
+                ParamSpec("byzantine", "str", "", "behaviour names joined with +, e.g. silent+nack-spam"),
+                ParamSpec("rounds", "int", 3, "rounds for generalized protocols"),
+                ParamSpec("mutant", "str", "", "known-bad WTS variant for self-tests"),
+            ) + AXIS_PARAMS,
+            hidden=True,
         ),
         ExperimentSpec(
             id="SLEEP",

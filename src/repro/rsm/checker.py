@@ -22,10 +22,32 @@ commutativity of updates they give linearizability (Theorem 6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.rsm.client import OperationRecord
 from repro.rsm.commands import Command
+
+
+def collect_admissible_commands(
+    replica_nodes: Iterable[Any],
+    histories: Iterable[Sequence[OperationRecord]],
+) -> Set[Command]:
+    """The ground truth for Read Validity: everything genuinely submitted.
+
+    Read Validity allows any command that actually entered the RSM —
+    including well-formed commands from Byzantine clients (the specification
+    bounds *what* can be read, not *who* may write).  The correct replicas'
+    admission logs provide that set; the correct clients' own histories are
+    unioned in so a command whose admission log entry lives only on a
+    crashed-then-recovered replica is still recognized.
+    """
+    admissible: Set[Command] = {
+        command
+        for node in replica_nodes
+        for command in getattr(node, "admitted_commands", [])
+    }
+    admissible |= {record.command for history in histories for record in history}
+    return admissible
 
 
 @dataclass

@@ -9,6 +9,7 @@ a declarative fault-script API (:mod:`repro.sim.faults`).  The seed's
 churn, partitions, timers and adversarial schedules become first-class.
 """
 
+from repro.sim.axes import describe_axes, parse_fault_plan, parse_scheduler
 from repro.sim.events import (
     Event,
     Inject,
@@ -44,4 +45,7 @@ __all__ = [
     "WorstCaseScheduler",
     "FaultAction",
     "FaultPlan",
+    "parse_scheduler",
+    "parse_fault_plan",
+    "describe_axes",
 ]

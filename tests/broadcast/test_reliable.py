@@ -69,7 +69,7 @@ def build(n, f, hosts=None, extra=None, delay=None, seed=0):
     network = Network(delay_model=delay or FixedDelay(1.0), seed=seed)
     members = [f"p{i}" for i in range(n)]
     nodes = []
-    for index, pid in enumerate(members):
+    for pid in members:
         spec = (hosts or {}).get(pid, [])
         node = RBHost(pid, n, f, to_broadcast=spec)
         nodes.append(network.add_node(node))

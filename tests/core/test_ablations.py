@@ -28,7 +28,7 @@ def equivocator(pid, lat, members, f):
     )
 
 
-def scan_seeds(process_class, adversary, judge, seeds=range(8)):
+def scan_seeds(process_class, adversary, judge, seeds=tuple(range(8))):
     """Return True if the attack succeeds on at least one scanned schedule."""
     for seed in seeds:
         scenario = run_wts_scenario(

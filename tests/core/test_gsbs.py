@@ -30,7 +30,7 @@ class TestFailureFreeRuns:
     def test_decisions_non_decreasing(self):
         scenario = run_gsbs_scenario(n=4, f=1, values_per_process=2, rounds=3, seed=3)
         for decisions in scenario.decisions().values():
-            for earlier, later in zip(decisions, decisions[1:]):
+            for earlier, later in zip(decisions, decisions[1:], strict=False):
                 assert earlier <= later
 
     def test_cheaper_than_gwts_in_messages(self):

@@ -19,13 +19,13 @@ class TestFailureFreeRuns:
     def test_one_decision_per_round(self):
         rounds = 3
         scenario = run_gwts_scenario(n=4, f=1, values_per_process=1, rounds=rounds, seed=1)
-        for pid, decisions in scenario.decisions().items():
+        for decisions in scenario.decisions().values():
             assert len(decisions) == rounds
 
     def test_decisions_are_non_decreasing_per_process(self):
         scenario = run_gwts_scenario(n=4, f=1, values_per_process=2, rounds=4, seed=2)
         for decisions in scenario.decisions().values():
-            for earlier, later in zip(decisions, decisions[1:]):
+            for earlier, later in zip(decisions, decisions[1:], strict=False):
                 assert earlier <= later
 
     def test_decisions_comparable_across_processes(self):
@@ -68,7 +68,7 @@ class TestFailureFreeRuns:
         """Lemma 10: at most f refinements per round per correct proposer."""
         scenario = run_gwts_scenario(n=7, f=2, values_per_process=2, rounds=3, seed=8)
         for node in scenario.correct_nodes():
-            for round_no, count in node.refinements_by_round.items():
+            for count in node.refinements_by_round.values():
                 assert count <= 2 + 1  # f plus slack for the empty-batch round
 
     def test_safe_round_advances_with_rounds(self):

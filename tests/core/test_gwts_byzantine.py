@@ -67,7 +67,7 @@ class TestByzantineGWTS:
             byzantine_factories=[fast_forward], seed=24,
         )
         for node in scenario.correct_nodes():
-            for round_no, per_origin in node.svs.items():
+            for per_origin in node.svs.values():
                 byz_entries = [o for o in per_origin if o in scenario.byzantine_pids]
                 assert len(byz_entries) <= 1
 

@@ -1,0 +1,74 @@
+"""Property-based tests for the quorum algebra (Lemma 1 / Theorem 1 arithmetic)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quorum import (
+    byzantine_quorum,
+    max_faults,
+    quorum_reachable_by_correct,
+    quorums_intersect_correctly,
+    required_processes,
+)
+
+ns = st.integers(min_value=1, max_value=500)
+fs = st.integers(min_value=0, max_value=150)
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=ns, f=fs)
+def test_quorum_within_bounds_and_monotone(n, f):
+    q = byzantine_quorum(n, f)
+    assert q >= 1
+    assert q >= n // 2 + 1  # never below a simple majority
+    assert byzantine_quorum(n + 1, f) >= q
+    assert byzantine_quorum(n, f + 1) >= q
+
+
+@settings(max_examples=200, deadline=None)
+@given(f=fs)
+def test_safe_and_live_at_3f_plus_1(f):
+    """At n = 3f + 1 both halves of the trade-off hold (sufficiency)."""
+    n = required_processes(f)
+    assert n == 3 * f + 1
+    assert quorums_intersect_correctly(n, f)
+    assert quorum_reachable_by_correct(n, f)
+
+
+@settings(max_examples=200, deadline=None)
+@given(f=st.integers(min_value=1, max_value=150))
+def test_not_both_at_3f(f):
+    """At n = 3f no quorum rule gives both safety and liveness (Theorem 1)."""
+    n = 3 * f
+    assert not (quorums_intersect_correctly(n, f) and quorum_reachable_by_correct(n, f))
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=ns, f=fs)
+def test_intersection_definition(n, f):
+    """quorums_intersect_correctly is exactly the 2q - n > f arithmetic."""
+    q = byzantine_quorum(n, f)
+    assert quorums_intersect_correctly(n, f) == (2 * q - n > f)
+
+
+@settings(max_examples=200, deadline=None)
+@given(f=fs)
+def test_max_faults_inverts_required_processes(f):
+    """max_faults and required_processes form a Galois pair."""
+    assert max_faults(required_processes(f)) == f
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=ns)
+def test_required_processes_is_tight(n):
+    f = max_faults(n)
+    assert required_processes(f) <= n
+    assert max_faults(n + 3) == max_faults(n) + 1  # one more fault per 3 processes
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=ns)
+def test_tolerated_configuration_is_safe_and_live(n):
+    """Every (n, max_faults(n)) configuration satisfies both quorum lemmas."""
+    f = max_faults(n)
+    assert quorums_intersect_correctly(n, f)
+    assert quorum_reachable_by_correct(n, f)

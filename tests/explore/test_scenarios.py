@@ -1,0 +1,139 @@
+"""ScenarioSpec generation and the hidden SCENARIO experiment runner."""
+
+import pytest
+
+from repro.explore.scenarios import (
+    MUTANTS,
+    PROTOCOL_BEHAVIOURS,
+    PROTOCOL_KINDS,
+    ScenarioSpec,
+    generate_scenarios,
+    run_scenario_experiment,
+    run_scenario_spec,
+    spec_from_params,
+    validate_spec,
+)
+
+
+class TestGeneration:
+    def test_same_seed_same_scenarios(self):
+        assert generate_scenarios(seed=7, budget=20) == generate_scenarios(seed=7, budget=20)
+
+    def test_different_seeds_differ(self):
+        assert generate_scenarios(seed=7, budget=20) != generate_scenarios(seed=8, budget=20)
+
+    def test_budget_is_respected(self):
+        assert len(generate_scenarios(seed=1, budget=13)) == 13
+
+    def test_generated_specs_are_structurally_valid(self):
+        for spec in generate_scenarios(seed=42, budget=50):
+            validate_spec(spec)  # raises on an invalid spec
+            assert spec.n >= 3 * spec.f + 1
+            assert len(spec.byzantine) <= spec.f
+            assert spec.protocol in PROTOCOL_KINDS
+
+    def test_generation_covers_multiple_protocols_and_axes(self):
+        specs = generate_scenarios(seed=42, budget=60)
+        assert len({spec.protocol for spec in specs}) >= 3
+        assert any(spec.scheduler for spec in specs)
+        assert any(spec.fault_plan for spec in specs)
+        assert any(spec.byzantine for spec in specs)
+
+    def test_mutant_mode_forces_the_trigger_behaviour(self):
+        for mutant, trigger in MUTANTS.items():
+            for spec in generate_scenarios(seed=3, budget=6, mutant=mutant):
+                assert spec.mutant == mutant
+                assert spec.protocol == "wts"
+                assert trigger in spec.byzantine
+
+    def test_bad_budget_and_mutant_are_rejected(self):
+        with pytest.raises(ValueError):
+            generate_scenarios(seed=1, budget=0)
+        with pytest.raises(ValueError):
+            generate_scenarios(seed=1, budget=1, mutant="bogus")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("changes", [
+        {"protocol": "bogus"},
+        {"n": 3, "f": 1},                          # below 3f+1
+        {"f": -1},
+        {"byzantine": ("silent", "silent")},        # more behaviours than f
+        {"byzantine": ("fast-forward",)},           # gwts-only behaviour in wts
+        {"mutant": "bogus"},
+        {"mutant": "no-wait-till-safe", "protocol": "gwts", "byzantine": ()},
+        {"rounds": 0},
+        {"scheduler": "bogus"},
+        {"fault_plan": "bogus"},
+    ])
+    def test_invalid_specs_are_rejected(self, changes):
+        spec = ScenarioSpec(protocol=changes.pop("protocol", "wts"), **changes)
+        with pytest.raises(ValueError):
+            validate_spec(spec)
+
+    def test_every_behaviour_menu_entry_is_known(self):
+        from repro.explore.scenarios import _BEHAVIOUR_BUILDERS
+
+        for protocol, menu in PROTOCOL_BEHAVIOURS.items():
+            for name in menu:
+                assert name in _BEHAVIOUR_BUILDERS, (protocol, name)
+
+
+class TestRunScenario:
+    def test_clean_spec_produces_uniform_ok_outcome(self):
+        outcome = run_scenario_experiment(protocol="wts", n=4, f=1, byzantine="silent", seed=5)
+        assert outcome["ok"] is True
+        assert outcome["violations"] == {}
+        assert outcome["check"] == {"ok": True, "violations": {}}
+        assert outcome["headers"] and outcome["rows"] and outcome["table"]
+        assert outcome["headline"]["violated_invariants"] == 0.0
+        assert "repro run SCENARIO" in outcome["replay"]
+
+    def test_each_protocol_runs_clean_at_defaults(self):
+        for protocol in PROTOCOL_KINDS:
+            outcome = run_scenario_experiment(protocol=protocol, n=4, f=1, seed=11)
+            assert outcome["ok"] is True, (protocol, outcome["violations"])
+
+    def test_axes_are_exercised(self):
+        outcome = run_scenario_experiment(
+            protocol="wts", n=4, f=1, scheduler="random:spread=3",
+            fault_plan="partition@3-15", seed=5,
+        )
+        assert outcome["ok"] is True
+
+    def test_mutant_run_reports_the_violation(self):
+        outcome = run_scenario_experiment(
+            protocol="wts", n=4, f=1, byzantine="nack-spam",
+            mutant="no-wait-till-safe", seed=910211,
+        )
+        assert outcome["ok"] is False
+        assert "non_triviality" in outcome["violations"]
+
+    def test_outcome_is_deterministic(self):
+        spec = generate_scenarios(seed=3, budget=1)[0]
+        first = run_scenario_spec(spec)
+        second = run_scenario_spec(spec)
+        first.pop("table"), second.pop("table")
+        assert first == second
+
+    def test_unknown_behaviour_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario_experiment(protocol="wts", n=4, f=1, byzantine="bogus", seed=5)
+
+
+class TestSpecRoundTrip:
+    def test_params_round_trip_through_spec_from_params(self):
+        for spec in generate_scenarios(seed=9, budget=10):
+            assert spec_from_params(spec.seed, spec.params()) == spec
+
+    def test_replay_command_names_every_non_default_field(self):
+        spec = ScenarioSpec(
+            protocol="gwts", n=5, f=1, byzantine=("silent",),
+            scheduler="random:spread=3", fault_plan="churn", rounds=2, seed=77,
+        )
+        command = spec.replay_command()
+        assert "--seed 77" in command
+        assert "--param protocol=gwts" in command
+        assert "--param byzantine=silent" in command
+        assert "--param scheduler=random:spread=3" in command
+        assert "--param fault_plan=churn" in command

@@ -1,0 +1,91 @@
+"""Greedy shrinking reduces violating specs to minimal reproducers."""
+
+from repro.explore.scenarios import ScenarioSpec, validate_spec
+from repro.explore.shrink import shrink_scenario
+
+FULL = ScenarioSpec(
+    protocol="wts",
+    n=7,
+    f=2,
+    byzantine=("nack-spam", "silent"),
+    scheduler="random:spread=3",
+    fault_plan="churn",
+    seed=99,
+)
+
+
+class TestShrinkScenario:
+    def test_shrinks_to_the_minimal_triggering_spec(self):
+        # Synthetic judge: the violation needs only the nack-spam behaviour.
+        def violates(spec):
+            return "nack-spam" in spec.byzantine
+
+        shrunk, probes = shrink_scenario(FULL, violates)
+        assert shrunk.byzantine == ("nack-spam",)
+        assert shrunk.fault_plan == ""
+        assert shrunk.scheduler == ""
+        assert shrunk.f == 1
+        assert shrunk.n == 4
+        assert shrunk.seed == FULL.seed  # the seed is the replay handle, never shrunk
+        assert probes > 0
+
+    def test_axes_are_dropped_before_behaviours(self):
+        probed = []
+
+        def violates(spec):
+            probed.append(spec)
+            return True  # everything reproduces; order is what we observe
+
+        shrink_scenario(FULL, violates, max_probes=3)
+        assert probed[0].fault_plan == "" and probed[0].scheduler == FULL.scheduler
+        assert probed[1].scheduler == ""
+
+    def test_every_probe_is_a_valid_spec(self):
+        probed = []
+
+        def violates(spec):
+            probed.append(spec)
+            return "nack-spam" in spec.byzantine
+
+        shrink_scenario(FULL, violates)
+        for spec in probed:
+            validate_spec(spec)
+
+    def test_fixpoint_when_nothing_simpler_reproduces(self):
+        def violates(spec):
+            return spec == FULL  # only the original reproduces
+
+        shrunk, _ = shrink_scenario(FULL, violates)
+        assert shrunk == FULL
+
+    def test_probe_budget_is_respected(self):
+        calls = []
+
+        def violates(spec):
+            calls.append(spec)
+            return True
+
+        shrink_scenario(FULL, violates, max_probes=5)
+        assert len(calls) <= 5
+
+    def test_raising_judge_is_treated_as_not_reproducing(self):
+        def violates(spec):
+            if spec.fault_plan == "":
+                raise RuntimeError("candidate crashed")
+            return True
+
+        shrunk, _ = shrink_scenario(FULL, violates)
+        # The fault plan could never be dropped (dropping it crashes), but
+        # everything else still shrank.
+        assert shrunk.fault_plan == FULL.fault_plan
+        assert shrunk.scheduler == ""
+        assert shrunk.byzantine == ()
+
+    def test_rounds_collapse_for_generalized_protocols(self):
+        spec = ScenarioSpec(protocol="gwts", n=4, f=1, rounds=3, seed=1)
+
+        def violates(candidate):
+            return True
+
+        shrunk, _ = shrink_scenario(spec, violates)
+        assert shrunk.rounds == 1

@@ -48,7 +48,7 @@ class TestShapes:
     def test_e5_linear_shape_and_latency(self):
         outcome = run_sbs_experiment(sizes=(4, 7, 10), quick=True)
         assert 0.7 <= outcome["fit_order"] <= 1.5
-        for f, n, measured, bound in outcome["latency_rows"]:
+        for _f, _n, measured, bound in outcome["latency_rows"]:
             assert float(measured) <= bound
 
     def test_e8_rsm_properties(self):

@@ -44,6 +44,13 @@ class TestExamples:
         assert "GLA comparability held in every configuration: True" in result.stdout
         assert "delayed but never prevented decisions: True" in result.stdout
 
+    def test_scenario_fuzzing(self):
+        result = run_example("scenario_fuzzing.py")
+        assert result.returncode == 0, result.stderr
+        assert "clean campaign found no violations: True" in result.stdout
+        assert "fuzzer caught the known-bad mutant: True" in result.stdout
+        assert "replay reproduced the identical violation: True" in result.stdout
+
     def test_run_all_experiments_cli_single_experiment(self):
         result = run_example("run_all_experiments.py", "--quick", "--only", "E1")
         assert result.returncode == 0, result.stderr

@@ -111,3 +111,33 @@ def test_elements_are_valid(lattice_case, data):
     assert lattice.is_element(a)
     assert lattice.is_element(lattice.join(a, b))
     assert lattice.is_element(lattice.bottom())
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_join_monotone(lattice_case, data):
+    """Monotonicity of merges: a <= b implies a + c <= b + c."""
+    lattice, strategy = lattice_case
+    a, b, c = data.draw(strategy), data.draw(strategy), data.draw(strategy)
+    # Build a guaranteed-comparable pair from arbitrary draws.
+    bigger = lattice.join(a, b)
+    assert lattice.leq(lattice.join(a, c), lattice.join(bigger, c))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_join_is_least_upper_bound(lattice_case, data):
+    """join(a, b) is the *least* upper bound: any other bound dominates it."""
+    lattice, strategy = lattice_case
+    a, b, c = data.draw(strategy), data.draw(strategy), data.draw(strategy)
+    upper = lattice.join(lattice.join(a, b), c)  # some upper bound of a and b
+    assert lattice.leq(lattice.join(a, b), upper)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_join_all_order_independent(lattice_case, data):
+    """Merging a batch is order-independent (commutativity + associativity)."""
+    lattice, strategy = lattice_case
+    values = [data.draw(strategy) for _ in range(4)]
+    assert lattice.join_all(values) == lattice.join_all(list(reversed(values)))

@@ -121,3 +121,46 @@ class TestCanonicalForm:
         assert canonical["schema"] == RESULTS_SCHEMA_VERSION
         assert canonical["jobs"][0]["key"] == "E1[seed=11]"
         assert canonical["jobs"][0]["status"] == "ok"
+
+
+class TestValidatorNegativePaths:
+    """Malformed repro-results/v1 payloads are rejected field by field."""
+
+    def test_job_entry_must_be_an_object(self):
+        payload = _payload()
+        payload["jobs"].append("not-a-job")
+        assert any("jobs[1]: must be an object" in p for p in validate_run_payload(payload))
+
+    def test_seed_must_be_an_integer(self):
+        payload = _payload()
+        payload["jobs"][0]["seed"] = 1.5
+        assert any("seed" in p and "must be int" in p for p in validate_run_payload(payload))
+
+    def test_check_must_carry_ok_and_violations(self):
+        payload = _payload()
+        payload["jobs"][0]["check"] = {"ok": True}
+        problems = validate_run_payload(payload)
+        assert any("check" in p and "violations" in p for p in problems)
+
+    def test_status_ok_contradicting_verdict_is_rejected(self):
+        payload = _payload()
+        payload["jobs"][0]["ok"] = False
+        assert any("contradicts ok=false" in p for p in validate_run_payload(payload))
+
+    def test_config_must_be_an_object(self):
+        payload = _payload()
+        payload["config"] = ["quick"]
+        assert any("config" in p and "must be dict" in p for p in validate_run_payload(payload))
+
+    def test_boolean_is_not_a_number(self):
+        # bool is an int subclass; the validator must not accept True where
+        # a numeric metric is required.
+        payload = _payload()
+        payload["jobs"][0]["latency"] = {"sneaky": True}
+        assert any("must be numeric" in p for p in validate_run_payload(payload))
+
+    def test_write_refuses_invalid_payloads(self, tmp_path):
+        payload = _payload()
+        payload["jobs"][0]["status"] = "exploded"
+        with pytest.raises(ValueError, match="refusing to write"):
+            write_run_payload(payload, tmp_path / "bad.json")
