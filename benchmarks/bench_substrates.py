@@ -11,9 +11,8 @@ import random
 
 from repro.broadcast import ReliableBroadcaster
 from repro.crypto import KeyRegistry
+from repro.engine import FixedDelay, KernelEngine, ProtocolCore, TurboEngine
 from repro.lattice import GCounterLattice, MapLattice, SetLattice, VectorClockLattice
-from repro.transport import FixedDelay, Network, SimulationRuntime
-from repro.transport.node import Node
 
 
 def test_set_lattice_join_all(benchmark):
@@ -60,8 +59,8 @@ def test_signature_roundtrip(benchmark):
     benchmark(roundtrip)
 
 
-class _Sink(Node):
-    """Node that counts deliveries (for raw network throughput)."""
+class _Sink(ProtocolCore):
+    """Core that counts deliveries (for raw engine throughput)."""
 
     def __init__(self, pid):
         super().__init__(pid)
@@ -71,22 +70,32 @@ class _Sink(Node):
         self.seen += 1
 
 
-def test_network_delivery_throughput(benchmark):
-    def run():
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
-        nodes = [network.add_node(_Sink(f"p{i}")) for i in range(10)]
-        network.start()
-        for _ in range(20):
-            for node in nodes:
-                node.ctx.broadcast(("ping", node.pid))
-        SimulationRuntime(network).run_until_quiescent()
-        return sum(node.seen for node in nodes)
+class _Chirper(_Sink):
+    """Broadcasts 20 rounds of pings at start (engine throughput driver)."""
 
-    delivered = benchmark(run)
+    def on_start(self):
+        for _ in range(20):
+            self.broadcast(("ping", self.pid))
+
+
+def _engine_throughput(engine_class):
+    engine = engine_class(delay_model=FixedDelay(1.0), seed=0)
+    nodes = [engine.add_core(_Chirper(f"p{i}")) for i in range(10)]
+    engine.run_until_quiescent()
+    return sum(node.seen for node in nodes)
+
+
+def test_kernel_engine_delivery_throughput(benchmark):
+    delivered = benchmark(_engine_throughput, KernelEngine)
     assert delivered == 10 * 10 * 20
 
 
-class _RBHost(Node):
+def test_turbo_engine_delivery_throughput(benchmark):
+    delivered = benchmark(_engine_throughput, TurboEngine)
+    assert delivered == 10 * 10 * 20
+
+
+class _RBHost(ProtocolCore):
     """Minimal host running a reliable-broadcast endpoint."""
 
     def __init__(self, pid, n, f):
@@ -111,9 +120,9 @@ class _RBHost(Node):
 def test_reliable_broadcast_round(benchmark):
     def run():
         n, f = 7, 2
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
-        hosts = [network.add_node(_RBHost(f"p{i}", n, f)) for i in range(n)]
-        SimulationRuntime(network).run_until_quiescent()
+        engine = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
+        hosts = [engine.add_core(_RBHost(f"p{i}", n, f)) for i in range(n)]
+        engine.run_until_quiescent()
         return sum(len(host.delivered) for host in hosts)
 
     delivered = benchmark(run)

@@ -23,7 +23,7 @@ from repro.byzantine import (
     SbSEquivocatingProposer,
     SilentByzantine,
 )
-from repro.transport import FixedDelay, SkewedPairDelay
+from repro.engine import FixedDelay, SkewedPairDelay
 
 
 def report(name: str, ok: bool, detail: str = "") -> None:

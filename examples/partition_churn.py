@@ -23,9 +23,9 @@ Run with::
 import sys
 
 from repro.byzantine import SilentByzantine
+from repro.engine import FixedDelay
 from repro.harness import run_gwts_scenario
 from repro.sim import FaultPlan, WorstCaseScheduler
-from repro.transport import FixedDelay
 
 N, F, ROUNDS, SEED = 4, 1, 4, 37
 

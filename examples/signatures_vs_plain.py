@@ -14,8 +14,8 @@ Run with::
 """
 
 from repro import run_sbs_scenario, run_wts_scenario
+from repro.engine import FixedDelay
 from repro.metrics import format_table
-from repro.transport import FixedDelay
 
 
 def main() -> None:

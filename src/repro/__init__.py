@@ -26,7 +26,8 @@ Package layout
 ``repro.lattice``             join semilattices (sets, counters, maps, clocks)
 ``repro.sim``                 discrete-event kernel: typed events, schedulers,
                               fault plans (crashes, partitions, timers)
-``repro.transport``           simulated asynchronous authenticated network
+``repro.engine``              sans-I/O protocol cores + execution backends
+                              (deterministic kernel engine, turbo fast path)
 ``repro.crypto``              simulated PKI (Section 8's signatures)
 ``repro.broadcast``           Byzantine reliable broadcast (Bracha)
 ``repro.core``                WTS, GWTS, SbS, GSbS + problem specifications
@@ -54,6 +55,7 @@ from repro.core import (
     max_faults,
     required_processes,
 )
+from repro.engine import FixedDelay, KernelEngine, ProtocolCore, TurboEngine, UniformDelay, create_engine
 from repro.harness import (
     ScenarioResult,
     run_crash_gla_scenario,
@@ -83,18 +85,7 @@ from repro.rsm import (
     RSMClient,
     check_rsm_history,
 )
-from repro.sim import (
-    FaultPlan,
-    RandomScheduler,
-    SimKernel,
-    WorstCaseScheduler,
-)
-from repro.transport import (
-    FixedDelay,
-    Network,
-    SimulationRuntime,
-    UniformDelay,
-)
+from repro.sim import FaultPlan, RandomScheduler, SimKernel, WorstCaseScheduler
 
 __version__ = "1.0.0"
 
@@ -121,9 +112,11 @@ __all__ = [
     "MapLattice",
     "VectorClockLattice",
     "ProductLattice",
-    # transport & simulation kernel
-    "Network",
-    "SimulationRuntime",
+    # engine & simulation kernel
+    "ProtocolCore",
+    "KernelEngine",
+    "TurboEngine",
+    "create_engine",
     "FixedDelay",
     "UniformDelay",
     "SimKernel",

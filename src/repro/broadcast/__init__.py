@@ -7,7 +7,7 @@ cites Bracha [12] / Srikanth-Toueg [13] and the round-tagged formulation of
 Mendes et al. [14].
 
 :class:`ReliableBroadcaster` implements Bracha's echo/ready protocol on top
-of the authenticated point-to-point channels of :mod:`repro.transport`.  Under
+of the authenticated point-to-point channels of :mod:`repro.engine`.  Under
 ``n >= 3f + 1`` it guarantees, per broadcast instance ``(origin, tag)``:
 
 * **Validity** — if a correct process broadcasts ``v``, every correct process
@@ -19,13 +19,7 @@ of the authenticated point-to-point channels of :mod:`repro.transport`.  Under
   term dominating WTS's message complexity (Section 5.1.3).
 """
 
-from repro.broadcast.reliable import (
-    ReliableBroadcaster,
-    RBInit,
-    RBEcho,
-    RBReady,
-    is_rb_message,
-)
+from repro.broadcast.reliable import RBEcho, RBInit, RBReady, ReliableBroadcaster, is_rb_message
 
 __all__ = [
     "ReliableBroadcaster",

@@ -1,9 +1,11 @@
 """Bracha reliable broadcast over authenticated point-to-point channels.
 
-The component is embedded in a host :class:`~repro.transport.node.Node`: the
+The component is embedded in a host :class:`~repro.engine.ProtocolCore`: the
 host forwards every incoming payload to :meth:`ReliableBroadcaster.handle`,
 which returns ``True`` when the payload was a broadcast-internal message (the
 host should then ignore it); deliveries are reported through a callback.
+Protocol messages are emitted through the host's effect buffer, so the
+broadcaster itself stays sans-I/O.
 
 Broadcast instances are identified by ``(origin, tag)``.  GWTS tags each
 disclosure and each acceptor ack with its round number (footnote 2 of the
@@ -16,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Set, Tuple
 
-from repro.transport.node import Node
+from repro.engine.core import ProtocolCore
 
 #: Identifier of one broadcast instance.
 InstanceKey = Tuple[Hashable, Hashable]
@@ -89,7 +91,8 @@ class ReliableBroadcaster:
     Parameters
     ----------
     node:
-        The host node; its context is used to send protocol messages.
+        The host core; protocol messages are emitted through its effect
+        buffer (``node.broadcast``).
     n, f:
         System size and Byzantine tolerance threshold.  The thresholds are the
         classic ones: echo quorum ``floor((n + f) / 2) + 1``, ready
@@ -102,7 +105,7 @@ class ReliableBroadcaster:
 
     def __init__(
         self,
-        node: Node,
+        node: ProtocolCore,
         n: int,
         f: int,
         deliver: Callable[[Hashable, Hashable, Any], None],
@@ -128,7 +131,7 @@ class ReliableBroadcaster:
     def broadcast(self, tag: Hashable, value: Any) -> None:
         """Reliably broadcast ``value`` under ``tag`` (origin = host node)."""
         init = RBInit(origin=self._node.pid, tag=tag, value=value)
-        self._node.ctx.broadcast(init, include_self=True)
+        self._node.broadcast(init, include_self=True)
 
     def handle(self, sender: Hashable, payload: Any) -> bool:
         """Process a potentially broadcast-internal message.
@@ -169,7 +172,7 @@ class ReliableBroadcaster:
             return
         state.sent_echo = True
         echo = RBEcho(origin=msg.origin, tag=msg.tag, value=msg.value)
-        self._node.ctx.broadcast(echo, include_self=True)
+        self._node.broadcast(echo, include_self=True)
 
     def _on_echo(self, sender: Hashable, msg: RBEcho) -> None:
         state = self._state((msg.origin, msg.tag))
@@ -181,7 +184,7 @@ class ReliableBroadcaster:
         if len(votes) >= self.echo_quorum and not state.sent_ready:
             state.sent_ready = True
             ready = RBReady(origin=msg.origin, tag=msg.tag, value=msg.value)
-            self._node.ctx.broadcast(ready, include_self=True)
+            self._node.broadcast(ready, include_self=True)
 
     def _on_ready(self, sender: Hashable, msg: RBReady) -> None:
         state = self._state((msg.origin, msg.tag))
@@ -195,7 +198,7 @@ class ReliableBroadcaster:
             # process saw an echo quorum, so it is safe to join.
             state.sent_ready = True
             ready = RBReady(origin=msg.origin, tag=msg.tag, value=msg.value)
-            self._node.ctx.broadcast(ready, include_self=True)
+            self._node.broadcast(ready, include_self=True)
         if len(votes) >= self.ready_quorum and not state.delivered:
             state.delivered = True
             self._deliver(msg.origin, msg.tag, msg.value)

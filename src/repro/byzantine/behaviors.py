@@ -3,12 +3,13 @@
 Each class either subclasses the honest algorithm process (overriding exactly
 the step it subverts — this keeps the rest of its behaviour protocol-
 compliant, which is usually the strongest attack) or is a standalone
-:class:`~repro.transport.node.Node` that fabricates messages wholesale.
+:class:`~repro.engine.ProtocolCore` that fabricates messages wholesale.
 
 All classes set ``is_byzantine = True`` so specification checkers and
 experiment harnesses can exclude them from the set ``C`` of correct
-processes.  Nothing in the transport or in the honest processes ever reads
-that flag — the adversary gets no special treatment from the substrate.
+processes.  Nothing in the engine backends or in the honest processes ever
+reads that flag — the adversary gets no special treatment from the
+substrate.
 """
 
 from __future__ import annotations
@@ -33,12 +34,12 @@ from repro.core.messages import (
 from repro.core.sbs import SbSProcess, safe_ack_body
 from repro.core.wts import DISCLOSURE_TAG, WTSProcess
 from repro.crypto.signatures import SignedValue
+from repro.engine.core import ProtocolCore
 from repro.lattice.base import JoinSemilattice, LatticeElement
-from repro.transport.node import Node
 
 
 class _ByzantineMixin:
-    """Marks a node as adversary-controlled (see :class:`Node.is_byzantine`)."""
+    """Marks a core as adversary-controlled (``ProtocolCore.is_byzantine``)."""
 
     @property
     def is_byzantine(self) -> bool:  # noqa: D401 - simple property
@@ -50,7 +51,7 @@ class _ByzantineMixin:
 # ---------------------------------------------------------------------------
 
 
-class SilentByzantine(_ByzantineMixin, Node):
+class SilentByzantine(_ByzantineMixin, ProtocolCore):
     """Sends nothing, ever — the maximally unhelpful (crash-like) adversary.
 
     Against the ``n - f`` thresholds this is the canonical liveness attack;
@@ -65,7 +66,7 @@ class SilentByzantine(_ByzantineMixin, Node):
         pass
 
 
-class CrashByzantine(_ByzantineMixin, Node):
+class CrashByzantine(_ByzantineMixin, ProtocolCore):
     """Behaves exactly like a wrapped honest process, then stops mid-protocol.
 
     Crash failures are a strict subset of Byzantine behaviour; this wrapper
@@ -85,7 +86,7 @@ class CrashByzantine(_ByzantineMixin, Node):
 
     def __init__(
         self,
-        inner: Node,
+        inner: ProtocolCore,
         crash_after_deliveries: Optional[int] = None,
         crash_at_time: Optional[float] = None,
     ) -> None:
@@ -93,14 +94,15 @@ class CrashByzantine(_ByzantineMixin, Node):
         if crash_after_deliveries is None and crash_at_time is None:
             raise ValueError("need crash_after_deliveries or crash_at_time")
         self.inner = inner
+        # The wrapper is the registered core, so the backend drains *its*
+        # effect buffer; aliasing the inner core's buffer to it makes the
+        # delegated handlers' sends flow out under the wrapper's identity —
+        # the effect-buffer analogue of sharing one NodeContext.
+        inner._out = self._out
         self.crash_after = crash_after_deliveries
         self.crash_at_time = crash_at_time
         self._delivered = 0
         self.crashed = False
-
-    def bind(self, ctx) -> None:  # noqa: ANN001 - see Node.bind
-        super().bind(ctx)
-        self.inner.bind(ctx)
 
     def on_start(self) -> None:
         if self.crash_at_time is not None:
@@ -108,6 +110,7 @@ class CrashByzantine(_ByzantineMixin, Node):
         if self.crash_after is not None and self.crash_after <= 0:
             self.crashed = True
             return
+        self.inner.now = self.now
         self.inner.on_start()
 
     def on_timer(self, tag: str, payload: Any = None) -> None:
@@ -115,6 +118,7 @@ class CrashByzantine(_ByzantineMixin, Node):
             self.crashed = True
             return
         if not self.crashed:
+            self.inner.now = self.now
             self.inner.on_timer(tag, payload)
 
     def on_message(self, sender: Hashable, payload: Any) -> None:
@@ -124,6 +128,8 @@ class CrashByzantine(_ByzantineMixin, Node):
         if self.crash_after is not None and self._delivered > self.crash_after:
             self.crashed = True
             return
+        self.inner.now = self.now
+        self.inner.causal_depth = self.causal_depth
         self.inner.on_message(sender, payload)
 
 
@@ -201,7 +207,7 @@ class GarbageProposer(_ByzantineMixin, WTSProcess):
             node=self, n=self.n, f=self.f, deliver=self._on_rb_deliver
         )
         init = RBInit(origin=self.pid, tag=DISCLOSURE_TAG, value=self.garbage)
-        self.ctx.broadcast(init, include_self=False)
+        self.broadcast(init, include_self=False)
 
 
 class ValueInjectorProposer(_ByzantineMixin, WTSProcess):
@@ -331,7 +337,7 @@ class EquivocatingGWTSProposer(_ByzantineMixin, GWTSProcess):
             self.send_to(dest, init)
 
 
-class FastForwardGWTS(_ByzantineMixin, Node):
+class FastForwardGWTS(_ByzantineMixin, ProtocolCore):
     """Round-clogging adversary: floods disclosures and requests for future rounds.
 
     "A[n] uncareful design could allow byzantine proposers to continuously
@@ -386,7 +392,7 @@ class FastForwardGWTS(_ByzantineMixin, Node):
                 self.send_to_member(dest, fake)
 
     def send_to_member(self, dest: Hashable, payload: Any) -> None:
-        self.ctx.send(dest, payload)
+        self.send(dest, payload)
 
     def on_message(self, sender: Hashable, payload: Any) -> None:
         # Ignores everything: it already said all it wanted to say.
@@ -421,7 +427,7 @@ class SbSEquivocatingProposer(_ByzantineMixin, SbSProcess):
             self.send_to(dest, InitPhase(payload=payload))
 
 
-class ForgedSafetyByzantine(_ByzantineMixin, Node):
+class ForgedSafetyByzantine(_ByzantineMixin, ProtocolCore):
     """Fabricates signatures, proofs of safety and conflict accusations.
 
     Every artefact it produces fails verification at correct processes:
@@ -448,7 +454,7 @@ class ForgedSafetyByzantine(_ByzantineMixin, Node):
         # (1) An init value carrying a forged signature of the victim.
         forged = SignedValue(value=self.injected, signer=self.victim, tag=b"forged-tag")
         for dest in self.members:
-            self.ctx.send(dest, InitPhase(payload=forged))
+            self.send(dest, InitPhase(payload=forged))
         # (2) An ack request whose proof of safety is entirely fabricated.
         fake_ack = SafeAck(
             rcvd_set=frozenset({forged}),
@@ -463,7 +469,7 @@ class ForgedSafetyByzantine(_ByzantineMixin, Node):
         proven = ProvenValue(value=forged, safe_acks=frozenset({fake_ack}))
         request = SbSAckRequest(proposed_set=frozenset({proven}), ts=1)
         for dest in self.members:
-            self.ctx.send(dest, request)
+            self.send(dest, request)
 
     def on_message(self, sender: Hashable, payload: Any) -> None:
         pass

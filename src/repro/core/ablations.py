@@ -66,7 +66,7 @@ class PlainDisclosureWTSProcess(WTSProcess):
             node=self, n=self.n, f=self.f, deliver=self._on_rb_deliver
         )
         self.proposed_set = self.lattice.join(self.proposed_set, self.proposal)
-        self.ctx.broadcast(RBInit(origin=self.pid, tag=DISCLOSURE_TAG, value=self.proposal))
+        self.broadcast(RBInit(origin=self.pid, tag=DISCLOSURE_TAG, value=self.proposal))
 
     def on_message(self, sender: Hashable, payload: Any) -> None:
         if isinstance(payload, RBInit) and payload.tag == DISCLOSURE_TAG:

@@ -2,15 +2,16 @@
 
 Every algorithm process (WTS, GWTS, SbS, GSbS, the crash baselines and their
 Byzantine impostors) extends :class:`AgreementProcess`, which adds to the
-plain transport :class:`~repro.transport.node.Node`:
+sans-I/O :class:`~repro.engine.ProtocolCore`:
 
 * the agreement *membership* — the fixed set of process ids running the
-  protocol (the paper's ``P``); the RSM adds client nodes to the network that
+  protocol (the paper's ``P``); the RSM adds client cores to the system that
   are **not** members, so membership must be explicit rather than inferred
-  from the network;
+  from the engine;
 * the lattice, ``n``, ``f`` and quorum sizes;
-* decision bookkeeping (``decisions`` list + metrics recording with the
-  causal message-delay of the paper's latency theorems);
+* decision bookkeeping (``decisions`` list + a ``Decide`` effect carrying
+  the causal message-delay of the paper's latency theorems to the backend's
+  metrics);
 * the "upon event" re-evaluation loop: handlers enqueue no callbacks, they
   just mutate state and call :meth:`recheck`, which keeps invoking
   :meth:`try_progress` until the process state stops changing — exactly the
@@ -22,11 +23,11 @@ from __future__ import annotations
 from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.quorum import byzantine_quorum
+from repro.engine.core import ProtocolCore
 from repro.lattice.base import JoinSemilattice, LatticeElement
-from repro.transport.node import Node
 
 
-class AgreementProcess(Node):
+class AgreementProcess(ProtocolCore):
     """Base class for all lattice-agreement protocol participants."""
 
     def __init__(
@@ -65,27 +66,21 @@ class AgreementProcess(Node):
 
     def send_to_members(self, payload: Any) -> None:
         """Broadcast ``payload`` to every protocol member (including self)."""
-        self.ctx.multicast(self.members, payload)
+        self.multicast(self.members, payload)
 
     def send_to(self, dest: Hashable, payload: Any) -> None:
-        """Point-to-point send to one member (or any network node)."""
-        self.ctx.send(dest, payload)
+        """Point-to-point send to one member (or any process in the system)."""
+        self.send(dest, payload)
 
     # -- decision bookkeeping -----------------------------------------------------
 
     def record_decision(
         self, value: LatticeElement, round: Optional[int] = None
     ) -> None:
-        """Append a decision and publish it to the run's metrics collector."""
+        """Append a decision and emit the ``Decide`` effect recording it."""
         self.decisions.append(value)
         self.log_event("decide", {"value": value, "round": round})
-        self.ctx.metrics.record_decision(
-            pid=self.pid,
-            value=value,
-            time=self.ctx.now(),
-            causal_depth=self.causal_depth,
-            round=round,
-        )
+        self.decide(value, round=round)
 
     @property
     def decision(self) -> Optional[LatticeElement]:

@@ -1,0 +1,101 @@
+"""Execution engine: sans-I/O protocol cores + pluggable backends.
+
+The paper's system model (Section 3): processes "communicate by exchanging
+messages over asynchronous authenticated reliable point-to-point
+communication links (messages are never lost on links, but delays are
+unbounded)" over a complete communication graph.
+
+This package realises that model in two decoupled halves:
+
+* **Protocol cores** (:class:`ProtocolCore`) — pure state machines with a
+  ``handle(event) -> list[effect]`` interface.  Cores never reference a
+  network or a clock; they emit :mod:`~repro.engine.effects` (send /
+  broadcast / set_timer / decide / output) and are handed
+  :mod:`~repro.engine.events` (start / deliver / timer / crash / recover).
+* **Backends** — interpreters for those effects:
+
+  - :class:`KernelEngine` — the reference backend on the deterministic
+    discrete-event :class:`~repro.sim.SimKernel`: schedulers, fault plans,
+    metrics, causal-depth accounting, delivery log, golden-trace replay.
+  - :class:`TurboEngine` — the benchmark fast path: same schedule, no
+    per-message shim objects (see :mod:`repro.engine.turbo_backend`).
+
+``create_engine(backend=...)`` picks one by name; everything above this
+layer (scenario builders, experiments, the explorer) takes a ``backend``
+string and stays agnostic.  A future asyncio real-network backend drops in
+behind the same effect vocabulary.
+"""
+
+from repro.engine.core import ProtocolCore
+from repro.engine.delays import (
+    AdversarialTargetedDelay,
+    DelayModel,
+    FixedDelay,
+    LinkPartitionDelay,
+    SkewedPairDelay,
+    UniformDelay,
+)
+from repro.engine.effects import Broadcast, Cancel, Decide, Effect, Output, Send, SetTimer, TimerHandle
+from repro.engine.envelope import Envelope, estimate_size
+from repro.engine.events import CoreEvent, Crashed, Deliver, Recovered, Start, TimerFired
+from repro.engine.kernel_backend import KernelEngine, RunResult
+from repro.engine.turbo_backend import TurboEngine
+
+#: Registry of execution backends by name (the scenario builders' axis).
+ENGINE_BACKENDS = {
+    "kernel": KernelEngine,
+    "turbo": TurboEngine,
+}
+
+
+def create_engine(
+    backend: str = "kernel",
+    delay_model=None,
+    seed: int = 0,
+    metrics=None,
+    scheduler=None,
+):
+    """Instantiate the named backend with the shared constructor signature."""
+    try:
+        engine_class = ENGINE_BACKENDS[backend]
+    except KeyError:
+        known = ", ".join(sorted(ENGINE_BACKENDS))
+        raise ValueError(f"unknown engine backend {backend!r}; known: {known}") from None
+    return engine_class(
+        delay_model=delay_model, seed=seed, metrics=metrics, scheduler=scheduler
+    )
+
+
+__all__ = [
+    # cores & the sans-I/O vocabulary
+    "ProtocolCore",
+    "Effect",
+    "Send",
+    "Broadcast",
+    "SetTimer",
+    "Cancel",
+    "Decide",
+    "Output",
+    "TimerHandle",
+    "CoreEvent",
+    "Start",
+    "Deliver",
+    "TimerFired",
+    "Crashed",
+    "Recovered",
+    # backends
+    "KernelEngine",
+    "TurboEngine",
+    "RunResult",
+    "ENGINE_BACKENDS",
+    "create_engine",
+    # wire format & delay models
+    "Envelope",
+    "estimate_size",
+    "DelayModel",
+    "FixedDelay",
+    "UniformDelay",
+    "SkewedPairDelay",
+    "LinkPartitionDelay",
+    "AdversarialTargetedDelay",
+]

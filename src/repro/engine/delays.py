@@ -18,7 +18,7 @@ import abc
 import random
 from typing import Callable, Hashable, Iterable, Optional, Set, Tuple
 
-from repro.transport.message import Envelope
+from repro.engine.envelope import Envelope
 
 
 class DelayModel(abc.ABC):

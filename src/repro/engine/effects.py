@@ -1,0 +1,158 @@
+"""The effect vocabulary: everything a sans-I/O protocol core can ask for.
+
+A protocol core never touches a network, a clock or a metrics collector.
+Its handlers mutate local state and *emit effects* — small, typed, inert
+descriptions of intent — which the driving backend interprets:
+
+=================  =========================================================
+:class:`Send`      deliver ``payload`` to ``dest`` over the authenticated
+                   point-to-point channel (the backend stamps the true
+                   sender, so channels stay unforgeable)
+:class:`Broadcast` one :class:`Send` per process in the *system* (not just
+                   the protocol membership — RSM clients share the wire),
+                   in registration order
+:class:`SetTimer`  arm a process-local alarm; the paired
+                   :class:`TimerHandle` doubles as the cancellation token
+:class:`Cancel`    cancel a previously armed timer (equivalent to calling
+                   ``handle.cancel()`` — provided so a core can express the
+                   cancellation as data when it prefers to)
+:class:`Decide`    publish a decision (value + optional round); the backend
+                   records it with the core's causal depth and the current
+                   simulated time
+:class:`Output`    surface an arbitrary labelled value to the harness
+                   (client operation completions, probe readings, ...)
+=================  =========================================================
+
+Effects are deliberately tiny ``__slots__`` classes — the hot loop of the
+turbo backend pushes hundreds of thousands of them through per second — and
+are *inert*: constructing one does nothing until a backend applies it.
+Backends must reject objects outside this vocabulary loudly (a typo'd
+effect must fail the run, not silently drop a message).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+
+class Effect:
+    """Base class of everything a protocol core may emit."""
+
+    __slots__ = ()
+
+
+class Send(Effect):
+    """Point-to-point message: ``payload`` to ``dest`` (sender is implicit)."""
+
+    __slots__ = ("dest", "payload")
+
+    def __init__(self, dest: Hashable, payload: Any) -> None:
+        self.dest = dest
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Send(dest={self.dest!r}, payload={self.payload!r})"
+
+
+class Broadcast(Effect):
+    """One :class:`Send` to every process in the system, in registration order.
+
+    ``include_self`` defaults to ``True`` because the paper's "send to all"
+    includes the sender playing its own acceptor role.
+    """
+
+    __slots__ = ("payload", "include_self")
+
+    def __init__(self, payload: Any, include_self: bool = True) -> None:
+        self.payload = payload
+        self.include_self = include_self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Broadcast(payload={self.payload!r}, include_self={self.include_self})"
+
+
+class TimerHandle:
+    """Cancellation token for an armed timer.
+
+    Created by the core when it emits a :class:`SetTimer`; both the core and
+    the backend hold a reference.  ``cancel()`` flags the handle and lazily
+    cancels whatever backend event the handle was bound to — cancellation
+    survives crash/recovery parking, exactly like the kernel's lazy event
+    deletion.
+    """
+
+    __slots__ = ("tag", "payload", "cancelled", "_bound")
+
+    def __init__(self, tag: str, payload: Any = None) -> None:
+        self.tag = tag
+        self.payload = payload
+        self.cancelled = False
+        #: Backend-side object this handle controls (a kernel ``Timer`` event
+        #: on the kernel backend; unused by the turbo backend, which checks
+        #: ``cancelled`` directly at fire time).
+        self._bound: Any = None
+
+    def cancel(self) -> None:
+        """Cancel the timer (idempotent; safe before and after binding)."""
+        self.cancelled = True
+        bound = self._bound
+        if bound is not None:
+            bound.cancel()
+
+    def bind(self, event: Any) -> None:
+        """Called by the backend to link its scheduled event to this handle."""
+        self._bound = event
+        if self.cancelled:
+            event.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "armed"
+        return f"<TimerHandle tag={self.tag!r} {state}>"
+
+
+class SetTimer(Effect):
+    """Arm a process-local alarm ``delay`` time units from now."""
+
+    __slots__ = ("delay", "handle")
+
+    def __init__(self, delay: float, handle: TimerHandle) -> None:
+        self.delay = delay
+        self.handle = handle
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SetTimer(delay={self.delay!r}, handle={self.handle!r})"
+
+
+class Cancel(Effect):
+    """Cancel a previously armed timer (data form of ``handle.cancel()``)."""
+
+    __slots__ = ("handle",)
+
+    def __init__(self, handle: TimerHandle) -> None:
+        self.handle = handle
+
+
+class Decide(Effect):
+    """Publish a decision; the backend records it into the run's metrics."""
+
+    __slots__ = ("value", "round")
+
+    def __init__(self, value: Any, round: Optional[int] = None) -> None:
+        self.value = value
+        self.round = round
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Decide(value={self.value!r}, round={self.round!r})"
+
+
+class Output(Effect):
+    """Surface a labelled value to the harness (collected per run)."""
+
+    __slots__ = ("label", "data")
+
+    def __init__(self, label: str, data: Any = None) -> None:
+        self.label = label
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Output(label={self.label!r}, data={self.data!r})"

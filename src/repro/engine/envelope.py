@@ -1,15 +1,18 @@
-"""Message envelope used by the simulated network.
+"""Message envelope used by the kernel engine backend.
 
 Algorithm-level messages (``ack_req``, ``nack``, reliable-broadcast echoes,
 RSM client requests, ...) are plain dataclasses defined next to each
-algorithm.  The transport wraps every such payload in an :class:`Envelope`
-when it is sent; the envelope records the true sender (authenticated
-channels), the destination, the simulated send/delivery times, and the causal
-depth used for the message-delay metric of the paper's latency theorems.
+algorithm.  The kernel backend wraps every such payload in an
+:class:`Envelope` when a core's ``Send`` effect is applied; the envelope
+records the true sender (authenticated channels), the destination, the
+simulated send/delivery times, and the causal depth used for the
+message-delay metric of the paper's latency theorems.  (The turbo backend
+allocates no envelopes at all — that is its whole point — and reuses one
+mutable probe envelope to interrogate delay models.)
 
 The envelope is a hand-rolled ``__slots__`` class rather than a frozen
-dataclass: it is the single most-allocated object in the system (one per
-send in every run), and the delivery hot path stamps ``deliver_time``
+dataclass: it is the single most-allocated object on the kernel backend (one
+per send in every run), and the delivery hot path stamps ``deliver_time``
 in place instead of frozen-copying the whole envelope per message.  The
 payload size estimate is computed lazily on first access and cached, so
 runs that never read size metrics never pay for the recursive payload walk.

@@ -1,0 +1,70 @@
+"""Input events a protocol core can be handed (the other half of sans-I/O).
+
+A core's whole interface is ``handle(event) -> list[effect]``.  These are the
+event types backends (or tests — a core is driveable entirely by hand) feed
+into it:
+
+* :class:`Start` — the process boots; emitted exactly once, before anything
+  else, in registration order across the system;
+* :class:`Deliver` — a message arrives over the authenticated channel
+  (``sender`` is the true origin, stamped by the backend);
+* :class:`TimerFired` — an alarm armed via a ``SetTimer`` effect went off;
+* :class:`Crashed` / :class:`Recovered` — the environment took the process
+  down / brought it back (state hooks only; the backend itself parks all
+  traffic addressed to a crashed process).
+
+These classes are input *values*; they carry no time.  The backend stamps
+the core's ``now`` attribute before each ``handle`` call, which is how the
+"upon event" handlers read the clock without owning one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+
+class CoreEvent:
+    """Base class of everything a core can be handed."""
+
+    __slots__ = ()
+
+
+class Start(CoreEvent):
+    """The process boots (delivered exactly once, first)."""
+
+    __slots__ = ()
+
+
+class Deliver(CoreEvent):
+    """A message from ``sender`` arrives (authenticated channel)."""
+
+    __slots__ = ("sender", "payload")
+
+    def __init__(self, sender: Hashable, payload: Any) -> None:
+        self.sender = sender
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deliver(sender={self.sender!r}, payload={self.payload!r})"
+
+
+class TimerFired(CoreEvent):
+    """An alarm armed via :class:`~repro.engine.effects.SetTimer` fires."""
+
+    __slots__ = ("tag", "payload")
+
+    def __init__(self, tag: str, payload: Any = None) -> None:
+        self.tag = tag
+        self.payload = payload
+
+
+class Crashed(CoreEvent):
+    """The environment takes the process down (state hook only)."""
+
+    __slots__ = ()
+
+
+class Recovered(CoreEvent):
+    """The environment brings the process back up."""
+
+    __slots__ = ()

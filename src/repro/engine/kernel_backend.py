@@ -1,0 +1,502 @@
+"""Kernel backend: sans-I/O cores driven by the deterministic sim kernel.
+
+:class:`KernelEngine` is the reference execution backend.  It owns the
+messaging semantics of the paper's system model (Section 3) — authenticated
+reliable channels, causal-depth accounting, metrics, the delivery log — and
+delegates the event queue, the clock, the seeded RNG and the fault state to
+:class:`repro.sim.SimKernel`.  It replaces the retired ``Network`` +
+``SimulationRuntime`` shim pair with a single dispatch layer: one kernel
+event pop, one core handler call, one effect-application pass.
+
+Guarantees provided (matching the model):
+
+* **Reliable channels** — every ``Send`` effect is eventually delivered
+  exactly once; crashes and partitions only *hold* traffic (released on
+  recovery / heal), so a fault is indistinguishable from a long delay.
+* **Authenticated channels** — the receiver learns the true sender; effects
+  are applied under the identity of the core that emitted them, so a
+  Byzantine core cannot forge the sender field.
+* **Deterministic replay** — delivery order and timing come from a pluggable
+  :class:`~repro.sim.scheduler.Scheduler` driven by the kernel's seeded RNG;
+  a run is a pure function of (cores, seed, scheduler, fault plan).  Seed
+  runs replay the retired shim path bit for bit (golden-trace pinned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.engine.core import ProtocolCore
+from repro.engine.delays import DelayModel, UniformDelay
+from repro.engine.effects import Broadcast, Cancel, Decide, Output, Send, SetTimer
+from repro.engine.envelope import Envelope
+from repro.metrics.collector import MetricsCollector
+from repro.sim.events import (
+    Event,
+    Inject,
+    MessageDelivery,
+    NodeCrash,
+    NodeRecover,
+    PartitionHeal,
+    PartitionStart,
+    Timer,
+)
+from repro.sim.faults import validate_partition_groups
+from repro.sim.kernel import SimKernel, invalid_time
+from repro.sim.scheduler import DelayModelScheduler, Scheduler
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    #: Number of messages delivered during the run.
+    delivered: int
+    #: Simulated time at the end of the run.
+    end_time: float
+    #: Whether the run stopped because the stop predicate became true.
+    stopped_by_predicate: bool
+    #: Whether the engine still had undelivered messages when we stopped.
+    pending_messages: int
+    #: Total kernel events processed (deliveries + timers + faults).
+    events: int = 0
+    #: Whether the run was truncated by the ``max_events`` valve (a scenario
+    #: spinning on non-delivery events, e.g. self-rearming timers behind a
+    #: never-healed partition).  Tests should treat this as a liveness
+    #: failure, like hitting ``max_messages``.
+    events_capped: bool = False
+    #: The metrics collector of the engine (for convenience).
+    metrics: MetricsCollector = field(repr=False, default=None)
+
+    @property
+    def quiescent(self) -> bool:
+        """True when the run ended with no messages left in flight.
+
+        An event-cap truncation is never quiescent, even with an empty
+        message queue — the scenario was still generating events.
+        """
+        return self.pending_messages == 0 and not self.events_capped
+
+
+class KernelEngine:
+    """Reference backend: protocol cores on the deterministic sim kernel."""
+
+    #: Name under which scenario results report this backend.
+    name = "kernel"
+
+    def __init__(
+        self,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+        metrics: Optional[MetricsCollector] = None,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        if delay_model is not None and scheduler is not None:
+            raise ValueError(
+                "pass either delay_model or scheduler, not both (a scheduler "
+                "fully determines delays; wrap a DelayModel in "
+                "DelayModelScheduler if you want to combine them)"
+            )
+        self._nodes: Dict[Hashable, ProtocolCore] = {}
+        self._pids: Tuple[Hashable, ...] = ()
+        self._seq = 0
+        self._scheduler = scheduler or DelayModelScheduler(delay_model or UniformDelay())
+        self._kernel = SimKernel(seed=seed)
+        self.metrics = metrics or MetricsCollector()
+        self._delivery_log: List[Envelope] = []
+        #: ``(time, pid, label, data)`` tuples from cores' ``Output`` effects.
+        self.outputs: List[Tuple[float, Hashable, str, Any]] = []
+        self._started = False
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_core(self, core: ProtocolCore) -> ProtocolCore:
+        """Register ``core`` under its pid (before the run starts)."""
+        if self._started:
+            raise RuntimeError("cannot add cores after the simulation started")
+        if core.pid in self._nodes:
+            raise ValueError(f"duplicate process id {core.pid!r}")
+        self._nodes[core.pid] = core
+        self._pids = tuple(self._nodes.keys())
+        return core
+
+    # ``add_node`` reads better at call sites that think in cluster terms.
+    add_node = add_core
+
+    def add_cores(self, cores: Iterable[ProtocolCore]) -> List[ProtocolCore]:
+        """Register several cores at once (in the given order)."""
+        registered = []
+        for core in cores:
+            registered.append(self.add_core(core))
+        return registered
+
+    @property
+    def pids(self) -> Tuple[Hashable, ...]:
+        """All registered process identifiers."""
+        return self._pids
+
+    @property
+    def nodes(self) -> Dict[Hashable, ProtocolCore]:
+        """Mapping from pid to core (read-only by convention)."""
+        return self._nodes
+
+    def node(self, pid: Hashable) -> ProtocolCore:
+        """Return the core registered under ``pid``."""
+        return self._nodes[pid]
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._kernel.now
+
+    @property
+    def rng(self):
+        """The run's seeded random number generator (shared with scheduler)."""
+        return self._kernel.rng
+
+    @property
+    def kernel(self) -> SimKernel:
+        """The underlying discrete-event kernel (queue, clock, fault state)."""
+        return self._kernel
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The active scheduling policy."""
+        return self._scheduler
+
+    @property
+    def delivery_log(self) -> List[Envelope]:
+        """Every delivered envelope, in delivery order (for trace tests)."""
+        return self._delivery_log
+
+    # -- effect application -------------------------------------------------------
+
+    def submit(self, sender: Hashable, dest: Hashable, payload: Any) -> Envelope:
+        """Queue one message from ``sender`` to ``dest``.
+
+        The sender identity comes from the core whose effect is being
+        applied, never from the payload — that is what makes the channels
+        authenticated.
+        """
+        nodes = self._nodes
+        if dest not in nodes:
+            raise ValueError(f"unknown destination {dest!r}")
+        kernel = self._kernel
+        self._seq += 1
+        envelope = Envelope(
+            sender=sender,
+            dest=dest,
+            payload=payload,
+            send_time=kernel.now,
+            depth=nodes[sender].causal_depth + 1,
+            seq=self._seq,
+        )
+        delay = self._scheduler.delay(envelope, kernel.rng)
+        # Inline invalid_time(): this runs once per send, the hottest path.
+        if delay < 0 or delay != delay or delay == float("inf"):
+            raise ValueError(f"scheduler produced invalid delay {delay!r}")
+        kernel.schedule_at(MessageDelivery(envelope), kernel.now + delay)
+        kernel.pending_messages += 1
+        self.metrics.record_send(sender, dest, envelope.mtype, envelope)
+        return envelope
+
+    def _apply_effects(self, core: ProtocolCore) -> None:
+        """Apply (and drain) everything ``core`` emitted, in emission order."""
+        buffer = core._out
+        if not buffer:
+            return
+        pid = core.pid
+        submit = self.submit
+        for effect in buffer:
+            cls = effect.__class__
+            if cls is Send:
+                submit(pid, effect.dest, effect.payload)
+            elif cls is Broadcast:
+                payload = effect.payload
+                include_self = effect.include_self
+                for dest in self._pids:
+                    if dest == pid and not include_self:
+                        continue
+                    submit(pid, dest, payload)
+            elif cls is SetTimer:
+                if invalid_time(effect.delay):
+                    raise ValueError(f"invalid timer delay {effect.delay!r}")
+                handle = effect.handle
+                timer = Timer(pid, handle.tag, handle.payload)
+                handle.bind(timer)
+                self._kernel.schedule(timer, effect.delay)
+            elif cls is Decide:
+                self.metrics.record_decision(
+                    pid=pid,
+                    value=effect.value,
+                    time=self._kernel.now,
+                    causal_depth=core.causal_depth,
+                    round=effect.round,
+                )
+            elif cls is Output:
+                self.outputs.append((self._kernel.now, pid, effect.label, effect.data))
+            elif cls is Cancel:
+                effect.handle.cancel()
+            else:
+                raise TypeError(
+                    f"core {pid!r} emitted a non-effect {effect!r}; the engine "
+                    "only understands the repro.engine.effects vocabulary"
+                )
+        buffer.clear()
+
+    # -- timers & faults ------------------------------------------------------------
+
+    def schedule_timer(
+        self, pid: Hashable, delay: float, tag: str, payload: Any = None
+    ) -> Timer:
+        """Arm a timer firing ``pid``'s ``on_timer`` after ``delay`` (harness API).
+
+        Cores arm their own timers through ``SetTimer`` effects; this entry
+        point exists for experiments that script external alarms.
+        """
+        if pid not in self._nodes:
+            raise ValueError(f"unknown process {pid!r}")
+        if invalid_time(delay):
+            raise ValueError(f"invalid timer delay {delay!r}")
+        timer = Timer(pid, tag, payload)
+        self._kernel.schedule(timer, delay)
+        return timer
+
+    def crash_node(self, pid: Hashable, at: Optional[float] = None) -> Event:
+        """Schedule ``pid``'s crash at absolute time ``at`` (default: now)."""
+        if pid not in self._nodes:
+            raise ValueError(f"unknown process {pid!r}")
+        return self._kernel.schedule_at(NodeCrash(pid), self.now if at is None else at)
+
+    def recover_node(self, pid: Hashable, at: Optional[float] = None) -> Event:
+        """Schedule ``pid``'s recovery at absolute time ``at`` (default: now)."""
+        if pid not in self._nodes:
+            raise ValueError(f"unknown process {pid!r}")
+        return self._kernel.schedule_at(NodeRecover(pid), self.now if at is None else at)
+
+    def start_partition(
+        self, *groups: Iterable[Hashable], at: Optional[float] = None
+    ) -> Event:
+        """Schedule a partition into ``groups`` at ``at`` (default: now)."""
+        frozen = tuple(frozenset(group) for group in groups)
+        validate_partition_groups(frozen)
+        for group in frozen:
+            for pid in group:
+                if pid not in self._nodes:
+                    raise ValueError(f"unknown process {pid!r} in partition group")
+        return self._kernel.schedule_at(
+            PartitionStart(frozen), self.now if at is None else at
+        )
+
+    def heal_partition(self, at: Optional[float] = None) -> Event:
+        """Schedule the partition heal at ``at`` (default: now)."""
+        return self._kernel.schedule_at(PartitionHeal(), self.now if at is None else at)
+
+    def inject(
+        self,
+        fn: Callable[["KernelEngine"], Any],
+        at: Optional[float] = None,
+        label: str = "inject",
+    ) -> Event:
+        """Schedule ``fn(engine)`` at ``at`` — arbitrary scripted action."""
+        return self._kernel.schedule_at(Inject(fn, label), self.now if at is None else at)
+
+    def apply_fault_plan(self, plan) -> None:
+        """Schedule every action of a :class:`~repro.sim.faults.FaultPlan`."""
+        plan.apply(self)
+
+    # -- running -------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Hand every core its ``Start`` event (once, in registration order)."""
+        if self._started:
+            return
+        self._started = True
+        for core in self._nodes.values():
+            core.on_start()
+            self._apply_effects(core)
+
+    def pending(self) -> int:
+        """Number of messages currently in flight (including held ones)."""
+        return self._kernel.pending_messages
+
+    def process_next_event(self) -> Tuple[Optional[Event], Optional[Envelope]]:
+        """Pop and process exactly one kernel event.
+
+        Returns ``(event, delivered_envelope)``: the envelope is non-``None``
+        only when the event resulted in an actual message delivery (a
+        delivery held back by a crash or partition processes the event but
+        delivers nothing).  ``(None, None)`` means the queue is exhausted.
+        """
+        if not self._started:
+            self.start()
+        event = self._kernel.pop()
+        if event is None:
+            return None, None
+        return event, self._dispatch(event)
+
+    #: Safety valve for :meth:`step`: a scenario whose queue only ever yields
+    #: non-delivery events (e.g. a self-rearming retry timer whose messages
+    #: are all held by a never-healed partition) would otherwise spin forever
+    #: inside one call.  Exceeding this is a scenario bug, reported loudly.
+    MAX_EVENTS_PER_STEP = 100_000
+
+    def step(self) -> Optional[Envelope]:
+        """Deliver the next message (or return ``None`` if the queue is empty).
+
+        Non-message events (timers, faults, injections) encountered along the
+        way are processed transparently, preserving the seed semantics of
+        "advance the simulation by one delivery".  If ``MAX_EVENTS_PER_STEP``
+        events pass without a single delivery, a :class:`RuntimeError` is
+        raised instead of looping forever (use :meth:`run`, whose event valve
+        stops such runs gracefully).
+        """
+        if not self._started:
+            self.start()
+        pop = self._kernel.pop
+        dispatch = self._dispatch
+        stalled = 0
+        while True:
+            event = pop()
+            if event is None:
+                return None
+            envelope = dispatch(event)
+            if envelope is not None:
+                return envelope
+            stalled += 1
+            if stalled >= self.MAX_EVENTS_PER_STEP:
+                raise RuntimeError(
+                    f"no message delivered within {stalled} events: the "
+                    "scenario generates timer/fault events forever while "
+                    "every message stays held (crashed node or unhealed "
+                    "partition?)"
+                )
+
+    def run(
+        self,
+        stop_when: Optional[Callable[[], bool]] = None,
+        max_messages: int = 200_000,
+        max_events: Optional[int] = None,
+    ) -> RunResult:
+        """Process events until the stop condition, quiescence or a cap.
+
+        Stops when the predicate returns ``True`` (e.g. "all correct
+        proposers have decided"), when the kernel queue is exhausted, or when
+        the ``max_messages`` / ``max_events`` safety valves trip (which tests
+        treat as a liveness failure).  Because event order is entirely
+        determined by the kernel's seeded scheduler, a run is a pure function
+        of (cores, seed, scheduler, fault plan).
+        """
+        self.start()
+        if max_events is None:
+            max_events = max_messages * 8
+        delivered = 0
+        events = 0
+        stopped = False
+        exhausted = False
+        while delivered < max_messages and events < max_events:
+            if stop_when is not None and stop_when():
+                stopped = True
+                break
+            event, envelope = self.process_next_event()
+            if event is None:
+                exhausted = True
+                break
+            events += 1
+            if envelope is not None:
+                delivered += 1
+        return RunResult(
+            delivered=delivered,
+            end_time=self.now,
+            stopped_by_predicate=stopped,
+            pending_messages=self.pending(),
+            events=events,
+            events_capped=not stopped and not exhausted and events >= max_events,
+            metrics=self.metrics,
+        )
+
+    def run_until_quiescent(self, max_messages: int = 200_000) -> RunResult:
+        """Deliver every message currently in the system (and those they spawn)."""
+        return self.run(stop_when=None, max_messages=max_messages)
+
+    def run_until_decided(
+        self, pids: List[Hashable], max_messages: int = 200_000
+    ) -> RunResult:
+        """Run until every process in ``pids`` has recorded a decision."""
+        targets = set(pids)
+        # The collector maintains the decided-pid set incrementally, so this
+        # predicate is O(|targets|) per event instead of an O(messages x
+        # processes) rebuild per delivered message.
+        decided = self.metrics.decided
+
+        def all_decided() -> bool:
+            return targets <= decided
+
+        return self.run(stop_when=all_decided, max_messages=max_messages)
+
+    # -- event dispatch ---------------------------------------------------------------
+
+    def _dispatch(self, event: Event) -> Optional[Envelope]:
+        kernel = self._kernel
+        cls = event.__class__
+        if cls is MessageDelivery:
+            envelope = event.envelope
+            dest = envelope.dest
+            if dest in kernel.crashed:
+                kernel.hold_for_node(dest, event)
+                return None
+            if kernel.partition_groups and kernel.link_blocked(envelope.sender, dest):
+                kernel.hold_for_partition(event)
+                return None
+            envelope.deliver_time = kernel.now
+            receiver = self._nodes[dest]
+            if receiver.causal_depth < envelope.depth:
+                receiver.causal_depth = envelope.depth
+            kernel.pending_messages -= 1
+            self.metrics.record_delivery(envelope.sender, dest, envelope.mtype)
+            self._delivery_log.append(envelope)
+            receiver.now = kernel.now
+            receiver.on_message(envelope.sender, envelope.payload)
+            if receiver._out:
+                self._apply_effects(receiver)
+            return envelope
+        if cls is Timer:
+            pid = event.pid
+            if pid in kernel.crashed:
+                kernel.hold_for_node(pid, event)
+                return None
+            core = self._nodes[pid]
+            core.now = kernel.now
+            core.on_timer(event.tag, event.payload)
+            if core._out:
+                self._apply_effects(core)
+            return None
+        if cls is NodeCrash:
+            if event.pid not in kernel.crashed:
+                kernel.apply_crash(event.pid)
+                core = self._nodes[event.pid]
+                core.now = kernel.now
+                core.on_crash()
+                if core._out:
+                    self._apply_effects(core)
+            return None
+        if cls is NodeRecover:
+            if event.pid in kernel.crashed:
+                kernel.apply_recover(event.pid)
+                core = self._nodes[event.pid]
+                core.now = kernel.now
+                core.on_recover()
+                if core._out:
+                    self._apply_effects(core)
+            return None
+        if cls is PartitionStart:
+            kernel.apply_partition(event.groups)
+            return None
+        if cls is PartitionHeal:
+            kernel.apply_heal()
+            return None
+        if cls is Inject:
+            event.fn(self)
+            return None
+        raise TypeError(f"unknown event type {cls.__name__}")  # pragma: no cover

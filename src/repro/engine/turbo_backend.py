@@ -1,0 +1,509 @@
+"""Turbo backend: the benchmark / large-n fast path for protocol cores.
+
+:class:`TurboEngine` executes the *same* schedule as the kernel backend —
+same seeded RNG, same scheduler delay draws, same ``(time, seq)``
+tie-breaking, same crash/partition hold semantics — while shedding every
+per-message object the reference path carries:
+
+* **no envelopes** — a message in flight is one heap tuple
+  ``(time, seq, kind, dest_index, sender, payload, depth)``; a single
+  preallocated probe envelope is reused (fields overwritten per send) to
+  interrogate :class:`~repro.sim.scheduler.Scheduler` strategies;
+* **no kernel event objects** — timers, crashes, partitions and injections
+  are heap tuples too, discriminated by an integer kind;
+* **interned node ids** — destinations resolve to list indices once at send
+  time; the dispatch loop indexes a flat core list;
+* **no per-message accounting objects** — no delivery log, no per-type or
+  per-delivery or payload-size metrics; sends are tallied as one integer
+  increment per message (flushed into the collector after the run) so the
+  message-complexity experiments still read ``sent_by_process``, and
+  decisions/outputs are recorded as they happen, so stop predicates and
+  invariant checks keep working.
+
+Because the schedule is reproduced exactly, a turbo run reaches the same
+decision values and output lattices as the kernel backend for the same
+(cores, seed, scheduler, fault plan) — the cross-backend golden test pins
+this for the E1/E6/E8 workloads.  What turbo does *not* provide: a delivery
+log, per-type/size metrics, or single-stepping; use the kernel backend for
+trace-level debugging and message-type or payload-size analysis.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from random import Random
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.engine.core import ProtocolCore
+from repro.engine.delays import DelayModel, FixedDelay, UniformDelay
+from repro.engine.effects import Broadcast, Cancel, Decide, Output, Send, SetTimer, TimerHandle
+from repro.engine.envelope import Envelope
+from repro.engine.kernel_backend import RunResult
+from repro.metrics.collector import MetricsCollector
+from repro.sim.faults import validate_partition_groups
+from repro.sim.kernel import invalid_time
+from repro.sim.scheduler import DelayModelScheduler, Scheduler
+
+#: Heap-entry kinds (slot 2 of every queue tuple).
+_MESSAGE = 0
+_TIMER = 1
+_CRASH = 2
+_RECOVER = 3
+_PARTITION = 4
+_HEAL = 5
+_INJECT = 6
+
+_INF = float("inf")
+
+
+class TurboEngine:
+    """Fast-path backend: one fused event loop, no per-message shim objects."""
+
+    name = "turbo"
+
+    def __init__(
+        self,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+        metrics: Optional[MetricsCollector] = None,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        if delay_model is not None and scheduler is not None:
+            raise ValueError(
+                "pass either delay_model or scheduler, not both (a scheduler "
+                "fully determines delays; wrap a DelayModel in "
+                "DelayModelScheduler if you want to combine them)"
+            )
+        self._scheduler = scheduler or DelayModelScheduler(delay_model or UniformDelay())
+        self.rng = Random(seed)
+        self._cores: List[ProtocolCore] = []
+        self._index: Dict[Hashable, int] = {}
+        self._pids: Tuple[Hashable, ...] = ()
+        #: Heap of ``(time, seq, kind, ...)`` tuples; ``seq`` is unique, so
+        #: comparison never reaches the unorderable tail fields.
+        self._queue: List[tuple] = []
+        self._seq = 0
+        self._now = 0.0
+        self._started = False
+        #: Indices of processes currently down.
+        self._crashed: set = set()
+        #: Active partition (tuple of frozensets of pids), or ().
+        self._partition_groups: Tuple[frozenset, ...] = ()
+        self._held_for_node: Dict[int, List[tuple]] = {}
+        self._held_for_partition: List[tuple] = []
+        self.pending_messages = 0
+        self.events_processed = 0
+        #: Decisions and per-process send *counts* are recorded here, so
+        #: stop predicates, latency invariants and the message-complexity
+        #: experiments work; per-type, per-delivery and size accounting are
+        #: skipped by design (use the kernel backend for those).
+        self.metrics = metrics or MetricsCollector()
+        #: Index-addressed send counters (one int increment per send — no
+        #: hashing on the hot path); flushed into ``metrics`` after a run.
+        self._send_counts: List[int] = []
+        self.outputs: List[Tuple[float, Hashable, str, Any]] = []
+        #: The one reusable envelope handed to scheduler strategies: its
+        #: fields are overwritten per send and its lazy caches reset, so no
+        #: per-message envelope is ever allocated.
+        self._probe = Envelope(sender=None, dest=None, payload=None, send_time=0.0)
+        #: Message-only counter mirroring the kernel backend's envelope
+        #: numbering, so seq-reading delay models see identical values.
+        self._msg_seq = 0
+        # Envelope-free fast paths for the two stock delay models: neither
+        # reads the envelope, so the probe round-trip can be skipped without
+        # changing a single RNG draw (FixedDelay draws nothing; UniformDelay
+        # draws exactly one uniform per send on both paths).
+        model = self._scheduler.model if isinstance(self._scheduler, DelayModelScheduler) else None
+        self._fixed_delay = model._value if isinstance(model, FixedDelay) else None
+        self._uniform_bounds = (model._low, model._high) if isinstance(model, UniformDelay) else None
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_core(self, core: ProtocolCore) -> ProtocolCore:
+        """Register ``core`` and intern its pid (before the run starts)."""
+        if self._started:
+            raise RuntimeError("cannot add cores after the simulation started")
+        if core.pid in self._index:
+            raise ValueError(f"duplicate process id {core.pid!r}")
+        self._index[core.pid] = len(self._cores)
+        self._cores.append(core)
+        self._send_counts.append(0)
+        self._pids = self._pids + (core.pid,)
+        return core
+
+    add_node = add_core
+
+    @property
+    def pids(self) -> Tuple[Hashable, ...]:
+        return self._pids
+
+    @property
+    def nodes(self) -> Dict[Hashable, ProtocolCore]:
+        """Mapping from pid to core (built on demand; not on the hot path)."""
+        return {core.pid: core for core in self._cores}
+
+    def node(self, pid: Hashable) -> ProtocolCore:
+        return self._cores[self._index[pid]]
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    # -- effect application -------------------------------------------------------
+
+    def _delay_for(self, sender: Hashable, dest: Hashable, payload: Any, depth: int) -> float:
+        """One scheduler consultation via the reusable probe envelope.
+
+        The probe carries the same field values (including the message-only
+        ``seq``) the kernel backend's envelope would, so even a scheduler
+        that reads every envelope field sees an identical schedule.  The
+        counter lives here — every send consults the scheduler exactly once
+        on this path — and is skipped entirely by the envelope-free
+        FixedDelay/UniformDelay fast paths, which never read the probe.
+        """
+        self._msg_seq += 1
+        probe = self._probe
+        probe.sender = sender
+        probe.dest = dest
+        probe.payload = payload
+        probe.send_time = self._now
+        probe.depth = depth
+        probe.seq = self._msg_seq
+        probe._size = None
+        probe._mtype = None
+        delay = self._scheduler.delay(probe, self.rng)
+        if delay < 0 or delay != delay or delay == _INF:
+            raise ValueError(f"scheduler produced invalid delay {delay!r}")
+        return delay
+
+    def _apply_effects(self, core: ProtocolCore) -> None:
+        buffer = core._out
+        if not buffer:
+            return
+        pid = core.pid
+        depth = core.causal_depth + 1
+        # Hot path hoists: one send is by far the most common effect, and the
+        # stock delay models resolve without touching the probe envelope.
+        index_get = self._index.get
+        queue = self._queue
+        now = self._now
+        fixed = self._fixed_delay
+        uniform = self._uniform_bounds
+        rng_uniform = self.rng.uniform
+        seq = self._seq
+        pending = 0
+        sender_index = self._index[pid]
+        send_counts = self._send_counts
+        for effect in buffer:
+            cls = effect.__class__
+            if cls is Send:
+                dest = effect.dest
+                dest_index = index_get(dest)
+                if dest_index is None:
+                    raise ValueError(f"unknown destination {dest!r}")
+                payload = effect.payload
+                if fixed is not None:
+                    delay = fixed
+                elif uniform is not None:
+                    delay = rng_uniform(uniform[0], uniform[1])
+                else:
+                    delay = self._delay_for(pid, dest, payload, depth)
+                seq += 1
+                heappush(queue, (now + delay, seq, _MESSAGE, dest_index, pid, payload, depth))
+                pending += 1
+                send_counts[sender_index] += 1
+            elif cls is Broadcast:
+                payload = effect.payload
+                include_self = effect.include_self
+                for dest_index, dest in enumerate(self._pids):
+                    if dest == pid and not include_self:
+                        continue
+                    if fixed is not None:
+                        delay = fixed
+                    elif uniform is not None:
+                        delay = rng_uniform(uniform[0], uniform[1])
+                    else:
+                        self._seq = seq
+                        delay = self._delay_for(pid, dest, payload, depth)
+                    seq += 1
+                    heappush(queue, (now + delay, seq, _MESSAGE, dest_index, pid, payload, depth))
+                    pending += 1
+                    send_counts[sender_index] += 1
+            elif cls is SetTimer:
+                if invalid_time(effect.delay):
+                    raise ValueError(f"invalid timer delay {effect.delay!r}")
+                seq += 1
+                heappush(
+                    queue,
+                    (now + effect.delay, seq, _TIMER, self._index[pid], effect.handle),
+                )
+            elif cls is Decide:
+                self.metrics.record_decision(
+                    pid=pid,
+                    value=effect.value,
+                    time=now,
+                    causal_depth=core.causal_depth,
+                    round=effect.round,
+                )
+            elif cls is Output:
+                self.outputs.append((now, pid, effect.label, effect.data))
+            elif cls is Cancel:
+                effect.handle.cancel()
+            else:
+                self._seq = seq
+                self.pending_messages += pending
+                raise TypeError(
+                    f"core {pid!r} emitted a non-effect {effect!r}; the engine "
+                    "only understands the repro.engine.effects vocabulary"
+                )
+        self._seq = seq
+        self.pending_messages += pending
+        buffer.clear()
+
+    def schedule_timer(
+        self, pid: Hashable, delay: float, tag: str, payload: Any = None
+    ) -> TimerHandle:
+        """Arm a timer firing ``pid``'s ``on_timer`` after ``delay`` (harness API).
+
+        Mirrors :meth:`KernelEngine.schedule_timer` so experiments and
+        ``FaultPlan`` inject callbacks that script external alarms run on
+        either backend; returns the cancellation handle.
+        """
+        index = self._index.get(pid)
+        if index is None:
+            raise ValueError(f"unknown process {pid!r}")
+        if invalid_time(delay):
+            raise ValueError(f"invalid timer delay {delay!r}")
+        handle = TimerHandle(tag, payload)
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, self._seq, _TIMER, index, handle))
+        return handle
+
+    # -- faults (same semantics as the kernel backend) ------------------------------
+
+    def _push_control(self, at: Optional[float], kind: int, arg: Any) -> None:
+        time = self._now if at is None else at
+        if time < self._now or invalid_time(time):
+            raise ValueError(f"invalid event time {time!r} (now={self._now!r})")
+        self._seq += 1
+        heappush(self._queue, (time, self._seq, kind, arg))
+
+    def crash_node(self, pid: Hashable, at: Optional[float] = None) -> None:
+        """Schedule ``pid``'s crash at absolute time ``at`` (default: now)."""
+        if pid not in self._index:
+            raise ValueError(f"unknown process {pid!r}")
+        self._push_control(at, _CRASH, self._index[pid])
+
+    def recover_node(self, pid: Hashable, at: Optional[float] = None) -> None:
+        """Schedule ``pid``'s recovery at absolute time ``at`` (default: now)."""
+        if pid not in self._index:
+            raise ValueError(f"unknown process {pid!r}")
+        self._push_control(at, _RECOVER, self._index[pid])
+
+    def start_partition(
+        self, *groups: Iterable[Hashable], at: Optional[float] = None
+    ) -> None:
+        """Schedule a partition into ``groups`` at ``at`` (default: now)."""
+        frozen = tuple(frozenset(group) for group in groups)
+        validate_partition_groups(frozen)
+        for group in frozen:
+            for pid in group:
+                if pid not in self._index:
+                    raise ValueError(f"unknown process {pid!r} in partition group")
+        self._push_control(at, _PARTITION, frozen)
+
+    def heal_partition(self, at: Optional[float] = None) -> None:
+        """Schedule the partition heal at ``at`` (default: now)."""
+        self._push_control(at, _HEAL, None)
+
+    def inject(
+        self,
+        fn: Callable[["TurboEngine"], Any],
+        at: Optional[float] = None,
+        label: str = "inject",
+    ) -> None:
+        """Schedule ``fn(engine)`` at ``at`` — arbitrary scripted action."""
+        self._push_control(at, _INJECT, fn)
+
+    def apply_fault_plan(self, plan) -> None:
+        """Schedule every action of a :class:`~repro.sim.faults.FaultPlan`."""
+        plan.apply(self)
+
+    def _link_blocked(self, sender: Hashable, dest: Hashable) -> bool:
+        group_a = group_b = -1
+        for index, group in enumerate(self._partition_groups):
+            if sender in group:
+                group_a = index
+            if dest in group:
+                group_b = index
+        return group_a >= 0 and group_b >= 0 and group_a != group_b
+
+    def _release(self, entries: List[tuple]) -> None:
+        """Re-queue held entries in hold order at the current time."""
+        for entry in entries:
+            if entry[2] == _TIMER and entry[4].cancelled:
+                continue
+            self._seq += 1
+            heappush(self._queue, (self._now, self._seq) + entry[2:])
+
+    # -- running -------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Hand every core its start event (once, in registration order)."""
+        if self._started:
+            return
+        self._started = True
+        for core in self._cores:
+            core.on_start()
+            if core._out:
+                self._apply_effects(core)
+
+    def pending(self) -> int:
+        """Messages currently in flight (including held ones)."""
+        return self.pending_messages
+
+    def run(
+        self,
+        stop_when: Optional[Callable[[], bool]] = None,
+        max_messages: int = 200_000,
+        max_events: Optional[int] = None,
+    ) -> RunResult:
+        """Process events until the stop condition, quiescence or a cap.
+
+        Semantics mirror :meth:`KernelEngine.run` exactly; only the
+        per-event bookkeeping differs.
+        """
+        self.start()
+        if max_events is None:
+            max_events = max_messages * 8
+        queue = self._queue
+        cores = self._cores
+        crashed = self._crashed
+        delivered = 0
+        events = 0
+        stopped = False
+        exhausted = False
+        while delivered < max_messages and events < max_events:
+            if stop_when is not None and stop_when():
+                stopped = True
+                break
+            if not queue:
+                exhausted = True
+                break
+            entry = heappop(queue)
+            time = entry[0]
+            kind = entry[2]
+            if kind == _TIMER and entry[4].cancelled:
+                continue
+            if time > self._now:
+                self._now = time
+            events += 1
+            self.events_processed += 1
+            if kind == _MESSAGE:
+                dest_index = entry[3]
+                if dest_index in crashed:
+                    self._held_for_node.setdefault(dest_index, []).append(entry)
+                    continue
+                sender = entry[4]
+                core = cores[dest_index]
+                if self._partition_groups and self._link_blocked(sender, core.pid):
+                    self._held_for_partition.append(entry)
+                    continue
+                depth = entry[6]
+                if core.causal_depth < depth:
+                    core.causal_depth = depth
+                self.pending_messages -= 1
+                core.now = time
+                core.on_message(sender, entry[5])
+                if core._out:
+                    self._apply_effects(core)
+                delivered += 1
+            elif kind == _TIMER:
+                dest_index = entry[3]
+                if dest_index in crashed:
+                    self._held_for_node.setdefault(dest_index, []).append(entry)
+                    continue
+                handle = entry[4]
+                core = cores[dest_index]
+                core.now = time
+                core.on_timer(handle.tag, handle.payload)
+                if core._out:
+                    self._apply_effects(core)
+            elif kind == _CRASH:
+                index = entry[3]
+                if index not in crashed:
+                    crashed.add(index)
+                    core = cores[index]
+                    core.now = time
+                    core.on_crash()
+                    if core._out:
+                        self._apply_effects(core)
+            elif kind == _RECOVER:
+                index = entry[3]
+                if index in crashed:
+                    crashed.discard(index)
+                    # Held traffic is re-queued before the recovery hook runs,
+                    # mirroring the kernel backend's ordering exactly (seq
+                    # parity is what keeps the two schedules identical).
+                    held = self._held_for_node.pop(index, None)
+                    if held:
+                        self._release(held)
+                    core = cores[index]
+                    core.now = time
+                    core.on_recover()
+                    if core._out:
+                        self._apply_effects(core)
+            elif kind == _PARTITION:
+                self._partition_groups = entry[3]
+                held, self._held_for_partition = self._held_for_partition, []
+                self._release(held)
+            elif kind == _HEAL:
+                self._partition_groups = ()
+                held, self._held_for_partition = self._held_for_partition, []
+                self._release(held)
+            else:  # _INJECT
+                entry[3](self)
+        self._flush_send_counts()
+        return RunResult(
+            delivered=delivered,
+            end_time=self._now,
+            stopped_by_predicate=stopped,
+            pending_messages=self.pending_messages,
+            events=events,
+            events_capped=not stopped and not exhausted and events >= max_events,
+            metrics=self.metrics,
+        )
+
+    def _flush_send_counts(self) -> None:
+        """Fold the index-addressed send counters into the metrics collector.
+
+        Counters are zeroed after folding, so successive ``run`` calls
+        accumulate instead of double-counting.
+        """
+        sent_by_process = self.metrics.sent_by_process
+        counts = self._send_counts
+        for index, count in enumerate(counts):
+            if count:
+                sent_by_process[self._pids[index]] += count
+                self.metrics.total_sent += count
+                counts[index] = 0
+
+    def run_until_quiescent(self, max_messages: int = 200_000) -> RunResult:
+        """Deliver every message currently in the system (and those they spawn)."""
+        return self.run(stop_when=None, max_messages=max_messages)
+
+    def run_until_decided(
+        self, pids: List[Hashable], max_messages: int = 200_000
+    ) -> RunResult:
+        """Run until every process in ``pids`` has recorded a decision."""
+        targets = set(pids)
+        decided = self.metrics.decided
+
+        def all_decided() -> bool:
+            return targets <= decided
+
+        return self.run(stop_when=all_decided, max_messages=max_messages)

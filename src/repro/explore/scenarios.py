@@ -55,12 +55,7 @@ from repro.harness.workloads import (
 )
 from repro.metrics.report import format_table
 from repro.rsm.crdt import GCounterObject, GSetObject
-from repro.sim.axes import (
-    describe_axes,
-    parse_fault_plan,
-    parse_scheduler,
-    scheduler_spec_is_adversarial,
-)
+from repro.sim.axes import describe_axes, parse_fault_plan, parse_scheduler, scheduler_spec_is_adversarial
 
 #: Behaviour name -> factory builder.  Each builder takes the spec's
 #: ``rounds`` (generalized behaviours pace themselves by it) and returns a
@@ -139,9 +134,12 @@ PROTOCOL_KINDS = {"wts": "la", "sbs": "la", "gwts": "gla", "gsbs": "gla", "rsm":
 
 #: Scheduler axis values sampled by the generator.  The worst-case starve
 #: delay is kept moderate so a fuzzing run stays fast; it is still an order
-#: of magnitude beyond the fast path.
+#: of magnitude beyond the fast path.  The worst-case entry starves the
+#: *quorum-critical* link set computed from each scenario's membership
+#: (n, f) — the strongest finite starvation the thresholds allow — instead
+#: of a fixed victim list.
 _SCHEDULER_MENU = ("", "", "random:spread=3", "random:spread=10",
-                   "worst-case:victims=p0,starve=60,fast=1")
+                   "worst-case:victims=quorum,starve=60,fast=1")
 #: Fault-plan axis values sampled by the generator.
 _FAULT_PLAN_MENU = ("", "", "churn", "partition@3-15", "crash:0@5-25")
 
@@ -249,9 +247,10 @@ def validate_spec(spec: ScenarioSpec) -> None:
     if spec.rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {spec.rounds}")
     # Fail fast on malformed axis specs (same parsers the builders use).
-    parse_scheduler(spec.scheduler)
-    parse_fault_plan(spec.fault_plan, pids=[f"p{i}" for i in range(spec.n)],
-                     correct=[f"p{i}" for i in range(spec.n - len(spec.byzantine))])
+    pids = [f"p{i}" for i in range(spec.n)]
+    parse_scheduler(spec.scheduler, pids=pids, f=spec.f)
+    parse_fault_plan(spec.fault_plan, pids=pids,
+                     correct=pids[: spec.n - len(spec.byzantine)])
 
 
 def generate_scenarios(seed: int, budget: int, mutant: str = "") -> List[ScenarioSpec]:
@@ -333,7 +332,7 @@ def _mutant_process_class(mutant: str) -> type:
     }[mutant]
 
 
-def _run_spec(spec: ScenarioSpec, quick: bool):
+def _run_spec(spec: ScenarioSpec, quick: bool, backend: str = "kernel"):
     """Execute one spec; returns ``(scenario, kind, strict)``.
 
     ``strict=False`` relaxes the invariant that is only *eventual* over a
@@ -349,6 +348,7 @@ def _run_spec(spec: ScenarioSpec, quick: bool):
         byzantine_factories=factories,
         scheduler=spec.scheduler,
         fault_plan=spec.fault_plan,
+        backend=backend,
     )
     if spec.protocol == "wts":
         if spec.mutant:
@@ -392,6 +392,7 @@ def _run_spec(spec: ScenarioSpec, quick: bool):
             seed=spec.seed,
             scheduler=spec.scheduler,
             fault_plan=spec.fault_plan,
+            backend=backend,
         )
         # Replicas execute a finite GWTS prefix; a fault window can eat
         # rounds on empty batches, so operation liveness is only strict on
@@ -400,10 +401,12 @@ def _run_spec(spec: ScenarioSpec, quick: bool):
     raise ValueError(f"unknown protocol {spec.protocol!r}")  # validate_spec prevents this
 
 
-def run_scenario_spec(spec: ScenarioSpec, quick: bool = False) -> Dict[str, Any]:
+def run_scenario_spec(
+    spec: ScenarioSpec, quick: bool = False, backend: str = "kernel"
+) -> Dict[str, Any]:
     """Run one spec and return the uniform experiment outcome dictionary."""
     validate_spec(spec)
-    scenario, kind, strict = _run_spec(spec, quick)
+    scenario, kind, strict = _run_spec(spec, quick, backend)
     violations = check_scenario_invariants(
         scenario,
         kind,
@@ -445,6 +448,7 @@ def run_scenario_experiment(
     fault_plan: str = "",
     rounds: int = 3,
     mutant: str = "",
+    backend: str = "kernel",
     seed: int = 0,
     quick: bool = False,
 ) -> Dict[str, Any]:
@@ -465,7 +469,7 @@ def run_scenario_experiment(
         mutant=mutant,
         seed=seed,
     )
-    return run_scenario_spec(spec, quick=quick)
+    return run_scenario_spec(spec, quick=quick, backend=backend)
 
 
 def spec_from_params(seed: int, params: Dict[str, Any]) -> ScenarioSpec:

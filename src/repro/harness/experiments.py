@@ -22,11 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
-from repro.baselines.restricted_spec import (
-    check_restricted_la_run,
-    power_set_breadth,
-    restricted_spec_feasible,
-)
+from repro.baselines.restricted_spec import check_restricted_la_run, power_set_breadth, restricted_spec_feasible
 from repro.byzantine.behaviors import (
     AlwaysAckAcceptor,
     EquivocatingProposer,
@@ -37,16 +33,8 @@ from repro.byzantine.behaviors import (
     ValueInjectorProposer,
 )
 from repro.core.quorum import max_faults, required_processes
+from repro.engine.delays import FixedDelay, SkewedPairDelay, UniformDelay
 from repro.explore.invariants import la_invariants
-from repro.lattice.chain import all_comparable, hasse_diagram_text, sort_chain
-from repro.lattice.set_lattice import SetLattice
-from repro.metrics.report import fit_polynomial_order, format_table
-from repro.rsm.checker import check_rsm_history, collect_admissible_commands
-from repro.rsm.crdt import GCounterObject, GSetObject
-from repro.sim.axes import parse_fault_plan, parse_scheduler
-from repro.sim.faults import FaultPlan
-from repro.sim.scheduler import WorstCaseScheduler
-from repro.transport.delays import FixedDelay, SkewedPairDelay, UniformDelay
 from repro.harness.workloads import (
     member_pids,
     run_crash_la_scenario,
@@ -55,6 +43,14 @@ from repro.harness.workloads import (
     run_sbs_scenario,
     run_wts_scenario,
 )
+from repro.lattice.chain import all_comparable, hasse_diagram_text, sort_chain
+from repro.lattice.set_lattice import SetLattice
+from repro.metrics.report import fit_polynomial_order, format_table
+from repro.rsm.checker import check_rsm_history, collect_admissible_commands
+from repro.rsm.crdt import GCounterObject, GSetObject
+from repro.sim.axes import parse_fault_plan, parse_scheduler
+from repro.sim.faults import FaultPlan
+from repro.sim.scheduler import WorstCaseScheduler
 
 
 # ---------------------------------------------------------------------------
@@ -63,13 +59,24 @@ from repro.harness.workloads import (
 
 
 def run_chain_experiment(
-    n: int = 4, f: int = 1, seed: int = 11, scheduler: str = "", fault_plan: str = "",
+    n: int = 4,
+    f: int = 1,
+    seed: int = 11,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
     quick: bool = False,
 ) -> Dict[str, Any]:
     """Reproduce Figure 1: the decisions of a WTS run form a chain."""
     lattice = SetLattice()
     scenario = run_wts_scenario(
-        n=n, f=f, seed=seed, lattice=lattice, scheduler=scheduler, fault_plan=fault_plan
+        n=n,
+        f=f,
+        seed=seed,
+        lattice=lattice,
+        scheduler=scheduler,
+        fault_plan=fault_plan,
+        backend=backend,
     )
     decisions = [decs[0] for decs in scenario.decisions().values() if decs]
     chain = sort_chain(lattice, decisions) if all_comparable(lattice, decisions) else []
@@ -105,7 +112,12 @@ def run_chain_experiment(
 
 
 def run_resilience_experiment(
-    f: int = 1, seed: int = 7, scheduler: str = "", fault_plan: str = "", quick: bool = False
+    f: int = 1,
+    seed: int = 7,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """Theorem 1: with ``n = 3f`` no algorithm is both safe and live.
 
@@ -136,6 +148,7 @@ def run_resilience_experiment(
         delay_model=FixedDelay(1.0),
         scheduler=scheduler,
         fault_plan=fault_plan,
+        backend=backend,
         max_messages=20_000,
         run_to_quiescence=True,
     )
@@ -171,6 +184,7 @@ def run_resilience_experiment(
         delay_model=partition,
         scheduler=scheduler,
         fault_plan=fault_plan,
+        backend=backend,
         max_messages=20_000,
     )
     check_crash = crash_small.check_la(require_liveness=False)
@@ -202,6 +216,7 @@ def run_resilience_experiment(
         delay_model=partition_big,
         scheduler=scheduler,
         fault_plan=fault_plan,
+        backend=backend,
         max_messages=60_000,
     )
     check_big = wts_big.check_la()
@@ -263,7 +278,12 @@ def run_resilience_experiment(
 
 
 def run_wts_latency_experiment(
-    max_f: int = 3, seed: int = 3, scheduler: str = "", fault_plan: str = "", quick: bool = False
+    max_f: int = 3,
+    seed: int = 3,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """Measure WTS decision latency (in message delays) as f grows.
 
@@ -290,6 +310,7 @@ def run_wts_latency_experiment(
             delay_model=FixedDelay(1.0),
             scheduler=scheduler,
             fault_plan=fault_plan,
+            backend=backend,
         )
         latest_decision_time = max(
             (record.time for record in scenario.metrics.decisions), default=0.0
@@ -322,7 +343,10 @@ def run_wts_latency_experiment(
 
 def run_wts_messages_experiment(
     sizes: Optional[Sequence[int]] = None, seed: int = 5,
-    scheduler: str = "", fault_plan: str = "", quick: bool = False,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """Measure WTS per-process message counts over a sweep of n."""
     if sizes is None:
@@ -333,7 +357,9 @@ def run_wts_messages_experiment(
         f = max_faults(n)
         scenario = run_wts_scenario(
             n=n, f=f, seed=seed + n, delay_model=FixedDelay(1.0),
-            scheduler=scheduler, fault_plan=fault_plan,
+            scheduler=scheduler,
+            fault_plan=fault_plan,
+            backend=backend,
         )
         per_process = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
         series[n] = per_process
@@ -368,7 +394,10 @@ def run_wts_messages_experiment(
 
 def run_sbs_experiment(
     sizes: Optional[Sequence[int]] = None, seed: int = 9,
-    scheduler: str = "", fault_plan: str = "", quick: bool = False,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """SbS: latency bound 5 + 4f and per-process message counts linear in n (f fixed)."""
     if sizes is None:
@@ -379,7 +408,9 @@ def run_sbs_experiment(
     for n in sizes:
         scenario = run_sbs_scenario(
             n=n, f=f_fixed, seed=seed + n, delay_model=FixedDelay(1.0),
-            scheduler=scheduler, fault_plan=fault_plan,
+            scheduler=scheduler,
+            fault_plan=fault_plan,
+            backend=backend,
         )
         per_process = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
         latest = max((r.time for r in scenario.metrics.decisions), default=0.0)
@@ -396,7 +427,9 @@ def run_sbs_experiment(
         n = required_processes(f)
         scenario = run_sbs_scenario(
             n=n, f=f, seed=seed + 100 + f, delay_model=FixedDelay(1.0),
-            scheduler=scheduler, fault_plan=fault_plan,
+            scheduler=scheduler,
+            fault_plan=fault_plan,
+            backend=backend,
         )
         latest = max((r.time for r in scenario.metrics.decisions), default=0.0)
         latency_series[f] = latest
@@ -441,6 +474,7 @@ def run_gwts_messages_experiment(
     seed: int = 13,
     scheduler: str = "",
     fault_plan: str = "",
+    backend: str = "kernel",
     quick: bool = False,
 ) -> Dict[str, Any]:
     """Measure GWTS per-proposer per-decision message counts over n."""
@@ -452,7 +486,7 @@ def run_gwts_messages_experiment(
         f = max_faults(n)
         scenario = run_gwts_scenario(
             n=n, f=f, values_per_process=1, rounds=rounds, seed=seed + n,
-            delay_model=FixedDelay(1.0), scheduler=scheduler, fault_plan=fault_plan,
+            delay_model=FixedDelay(1.0), scheduler=scheduler, fault_plan=fault_plan, backend=backend,
         )
         decisions = sum(len(d) for d in scenario.decisions().values())
         per_process = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
@@ -491,7 +525,10 @@ def run_gwts_messages_experiment(
 
 def run_gwts_liveness_experiment(
     f: int = 1, rounds: int = 5, seed: int = 17,
-    scheduler: str = "", fault_plan: str = "", quick: bool = False,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """GWTS under the fast-forward (round-clogging) and nack-spam adversaries."""
     n = required_processes(f)
@@ -516,6 +553,7 @@ def run_gwts_liveness_experiment(
         byzantine_factories=byz,
         scheduler=scheduler,
         fault_plan=fault_plan,
+        backend=backend,
     )
     check = scenario.check_gla()
     decisions = scenario.decisions()
@@ -550,7 +588,10 @@ def run_gwts_liveness_experiment(
 
 def run_rsm_experiment(
     f: int = 1, clients: int = 3, updates_per_client: int = 2, seed: int = 19,
-    scheduler: str = "", fault_plan: str = "", quick: bool = False,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """Run the replicated set/counter RSM with Byzantine replicas and clients."""
     n = required_processes(f)
@@ -578,6 +619,7 @@ def run_rsm_experiment(
         seed=seed,
         scheduler=scheduler,
         fault_plan=fault_plan,
+        backend=backend,
     )
     histories = scenario.extras["histories"].values()
     admissible = collect_admissible_commands(
@@ -625,7 +667,10 @@ def run_rsm_experiment(
 
 def run_breadth_experiment(
     n: int = 4, f: int = 1, breadths: Optional[Sequence[int]] = None, seed: int = 23,
-    scheduler: str = "", fault_plan: str = "", quick: bool = False,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """Contrast this paper's specification with the restrictive one as breadth grows."""
     if breadths is None:
@@ -659,6 +704,7 @@ def run_breadth_experiment(
             byzantine_factories=byz,
             scheduler=scheduler,
             fault_plan=fault_plan,
+            backend=backend,
         )
         ours = scenario.check_la()
         restricted = check_restricted_la_run(
@@ -716,7 +762,10 @@ def run_breadth_experiment(
 
 def run_baseline_comparison(
     sizes: Optional[Sequence[int]] = None, seed: int = 29,
-    scheduler: str = "", fault_plan: str = "", quick: bool = False,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """Message/latency overhead of WTS and GWTS over the crash-fault baseline."""
     if sizes is None:
@@ -729,11 +778,15 @@ def run_baseline_comparison(
         f = max_faults(n)
         wts = run_wts_scenario(
             n=n, f=f, seed=seed + n, delay_model=FixedDelay(1.0),
-            scheduler=scheduler, fault_plan=fault_plan,
+            scheduler=scheduler,
+            fault_plan=fault_plan,
+            backend=backend,
         )
         crash = run_crash_la_scenario(
             n=n, f=f, seed=seed + n, delay_model=FixedDelay(1.0),
-            scheduler=scheduler, fault_plan=fault_plan,
+            scheduler=scheduler,
+            fault_plan=fault_plan,
+            backend=backend,
         )
         wts_msgs = wts.metrics.mean_messages_per_process(wts.correct_pids)
         crash_msgs = crash.metrics.mean_messages_per_process(crash.correct_pids)
@@ -782,7 +835,11 @@ def run_baseline_comparison(
 
 
 def run_ablation_experiment(
-    seed: int = 31, scheduler: str = "", fault_plan: str = "", quick: bool = False
+    seed: int = 31,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """Ablation study: remove one WTS defence and run the attack it blocks.
 
@@ -844,12 +901,16 @@ def run_ablation_experiment(
             intact = run_wts_scenario(
                 n=4, f=1, seed=run_seed, byzantine_factories=[adversary],
                 delay_model=UniformDelay(0.5, 2.0), max_messages=30_000,
-                scheduler=scheduler, fault_plan=fault_plan,
+                scheduler=scheduler,
+                fault_plan=fault_plan,
+                backend=backend,
             )
             ablated = run_wts_scenario(
                 n=4, f=1, seed=run_seed, byzantine_factories=[adversary],
                 delay_model=UniformDelay(0.5, 2.0), max_messages=30_000,
-                scheduler=scheduler, fault_plan=fault_plan,
+                scheduler=scheduler,
+                fault_plan=fault_plan,
+                backend=backend,
                 process_class=ablated_class, run_to_quiescence=True,
             )
             intact_ok = intact_ok and intact.check_la().ok
@@ -898,7 +959,10 @@ def run_ablation_experiment(
 
 def run_partition_churn_experiment(
     f: int = 1, rounds: int = 4, seed: int = 37,
-    scheduler: str = "", fault_plan: str = "", quick: bool = False,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "kernel",
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """GWTS survives scripted partition + crash/recover churn (kernel faults).
 
@@ -938,7 +1002,7 @@ def run_partition_churn_experiment(
     # ingredients (rather than stacking on top of them): a custom fault plan
     # substitutes for the scripted churn, a custom scheduler for the built-in
     # worst case.  The calm reference configuration stays calm.
-    scheduler_override = parse_scheduler(scheduler)
+    scheduler_override = parse_scheduler(scheduler, pids=pids, f=f)
     fault_plan_override = parse_fault_plan(fault_plan, pids=pids, correct=correct)
     churn_plan = fault_plan_override or plan
     worst_scheduler = scheduler_override or WorstCaseScheduler(
@@ -961,6 +1025,7 @@ def run_partition_churn_experiment(
             rounds=rounds,
             seed=seed,
             byzantine_factories=byz,
+            backend=backend,
             **kwargs,
         )
 

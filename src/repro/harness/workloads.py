@@ -2,18 +2,21 @@
 
 Every builder follows the same recipe:
 
-1. create the membership (``p0 .. p{n-1}``) and a :class:`Network` with the
+1. create the membership (``p0 .. p{n-1}``) and an engine backend
+   (``backend="kernel"`` — the deterministic reference — or ``"turbo"``,
+   the benchmark fast path; both execute the same schedule) with the
    requested delay model and seed;
-2. instantiate correct processes for the first ``n - b`` slots and Byzantine
-   processes (produced by user-supplied factories) for the last ``b`` slots;
-3. drive the :class:`SimulationRuntime` until the scenario's stop condition;
+2. instantiate correct protocol cores for the first ``n - b`` slots and
+   Byzantine cores (produced by user-supplied factories) for the last ``b``
+   slots;
+3. run the engine until the scenario's stop condition;
 4. wrap everything in a :class:`ScenarioResult` that knows how to extract
    proposals, decisions and Byzantine-injected values and to run the
    specification checkers.
 
 Byzantine factories receive ``(pid, lattice, members, f)`` (plus the shared
 key registry for the signature algorithms) and return any
-:class:`~repro.transport.node.Node`; the classes in :mod:`repro.byzantine`
+:class:`~repro.engine.ProtocolCore`; the classes in :mod:`repro.byzantine`
 are directly usable via small lambdas, e.g.::
 
     run_wts_scenario(n=4, f=1, byzantine_factories=[
@@ -34,6 +37,9 @@ from repro.core.sbs import SbSProcess
 from repro.core.spec import LACheckResult, check_gla_run, check_la_run
 from repro.core.wts import WTSProcess
 from repro.crypto.signatures import KeyRegistry
+from repro.engine import RunResult, create_engine
+from repro.engine.core import ProtocolCore
+from repro.engine.delays import DelayModel, UniformDelay
 from repro.lattice.base import JoinSemilattice, LatticeElement
 from repro.lattice.set_lattice import SetLattice
 from repro.metrics.collector import MetricsCollector
@@ -41,13 +47,9 @@ from repro.rsm.client import ByzantineClient, RSMClient
 from repro.rsm.replica import Replica
 from repro.sim.axes import parse_fault_plan, parse_scheduler
 from repro.sim.faults import FaultPlan
-from repro.transport.delays import DelayModel, UniformDelay
-from repro.transport.network import Network
-from repro.transport.node import Node
-from repro.transport.runtime import RunResult, SimulationRuntime
 
-#: Signature of a Byzantine process factory.
-ByzantineFactory = Callable[..., Node]
+#: Signature of a Byzantine core factory.
+ByzantineFactory = Callable[..., ProtocolCore]
 
 #: Builders accept a Scheduler/FaultPlan object or its string spec (the
 #: orchestrator's JSON-able axis form, see :mod:`repro.sim.axes`).
@@ -69,8 +71,9 @@ def default_proposals(lattice: SetLattice, pids: Sequence[Hashable]) -> Dict[Has
 class ScenarioResult:
     """Everything a test, benchmark or example needs about one finished run."""
 
-    network: Network
-    nodes: Dict[Hashable, Node]
+    #: The engine that executed the run (kernel or turbo backend).
+    engine: Any
+    nodes: Dict[Hashable, ProtocolCore]
     correct_pids: List[Hashable]
     byzantine_pids: List[Hashable]
     lattice: JoinSemilattice
@@ -84,9 +87,14 @@ class ScenarioResult:
     @property
     def metrics(self) -> MetricsCollector:
         """The run's metrics collector."""
-        return self.network.metrics
+        return self.engine.metrics
 
-    def correct_nodes(self) -> List[Node]:
+    @property
+    def backend(self) -> str:
+        """Name of the engine backend that executed the run."""
+        return self.engine.name
+
+    def correct_nodes(self) -> List[ProtocolCore]:
         """The correct processes, in membership order."""
         return [self.nodes[pid] for pid in self.correct_pids]
 
@@ -179,25 +187,31 @@ def _split_members(
     return pids, pids[: n - b], pids[n - b :]
 
 
-def _build_network(
+def _build_engine(
     delay_model: Optional[DelayModel],
     seed: int,
     scheduler: SchedulerSpec,
-) -> Network:
-    """One network per scenario.
+    backend: str,
+    pids: Sequence[Hashable],
+    f: int,
+):
+    """One engine per scenario.
 
     ``scheduler`` may be a :class:`Scheduler`, a string spec (see
     :mod:`repro.sim.axes`) or ``None``.  An explicit scheduler *overrides*
     the builder's delay model — that is what lets the orchestrator's
     ``scheduler=`` axis re-run any experiment (which typically picks its own
     delay model) under an adversarial schedule without each runner having to
-    special-case the combination.
+    special-case the combination.  Membership-dependent specs
+    (``worst-case:victims=quorum``) resolve against ``pids``/``f``.
+    ``backend`` picks the execution engine; both backends run the same
+    schedule, so results are backend-independent.
     """
     if isinstance(scheduler, str):
-        scheduler = parse_scheduler(scheduler)
+        scheduler = parse_scheduler(scheduler, pids=pids, f=f)
     if scheduler is not None:
-        return Network(seed=seed, scheduler=scheduler)
-    return Network(delay_model=delay_model or UniformDelay(), seed=seed)
+        return create_engine(backend, seed=seed, scheduler=scheduler)
+    return create_engine(backend, delay_model=delay_model or UniformDelay(), seed=seed)
 
 
 def _resolve_fault_plan(
@@ -212,16 +226,14 @@ def _resolve_fault_plan(
 
 
 def _run(
-    network: Network,
-    nodes: Dict[Hashable, Node],
+    engine,
     stop_when: Optional[Callable[[], bool]],
     max_messages: int,
     fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
     if fault_plan is not None:
-        network.apply_fault_plan(fault_plan)
-    runtime = SimulationRuntime(network)
-    return runtime.run(stop_when=stop_when, max_messages=max_messages)
+        engine.apply_fault_plan(fault_plan)
+    return engine.run(stop_when=stop_when, max_messages=max_messages)
 
 
 # ---------------------------------------------------------------------------
@@ -239,6 +251,7 @@ def run_wts_scenario(
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
+    backend: str = "kernel",
     max_messages: int = 400_000,
     run_to_quiescence: bool = False,
     process_class: type = WTSProcess,
@@ -253,22 +266,22 @@ def run_wts_scenario(
     pids, correct, byz = _split_members(n, byzantine_factories)
     if proposals is None:
         proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
-    network = _build_network(delay_model, seed, scheduler)
-    nodes: Dict[Hashable, Node] = {}
+    engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
+    nodes: Dict[Hashable, ProtocolCore] = {}
     for pid in correct:
-        nodes[pid] = network.add_node(
+        nodes[pid] = engine.add_core(
             process_class(pid, lattice, pids, f, proposal=proposals.get(pid, lattice.bottom()))
         )
     for factory, pid in zip(byzantine_factories, byz, strict=True):
-        nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
+        nodes[pid] = engine.add_core(factory(pid, lattice, pids, f))
 
     def all_decided() -> bool:
         return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
 
     stop = None if run_to_quiescence else all_decided
-    run = _run(network, nodes, stop, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
+    run = _run(engine, stop, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     return ScenarioResult(
-        network=network,
+        engine=engine,
         nodes=nodes,
         correct_pids=list(correct),
         byzantine_pids=list(byz),
@@ -288,6 +301,7 @@ def run_sbs_scenario(
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
+    backend: str = "kernel",
     max_messages: int = 400_000,
     registry_seed: int = 1234,
 ) -> ScenarioResult:
@@ -297,10 +311,10 @@ def run_sbs_scenario(
     if proposals is None:
         proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
     registry = KeyRegistry(seed=registry_seed)
-    network = _build_network(delay_model, seed, scheduler)
-    nodes: Dict[Hashable, Node] = {}
+    engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
+    nodes: Dict[Hashable, ProtocolCore] = {}
     for pid in correct:
-        nodes[pid] = network.add_node(
+        nodes[pid] = engine.add_core(
             SbSProcess(
                 pid,
                 lattice,
@@ -311,14 +325,14 @@ def run_sbs_scenario(
             )
         )
     for factory, pid in zip(byzantine_factories, byz, strict=True):
-        nodes[pid] = network.add_node(factory(pid, lattice, pids, f, registry=registry))
+        nodes[pid] = engine.add_core(factory(pid, lattice, pids, f, registry=registry))
 
     def all_decided() -> bool:
         return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
 
-    run = _run(network, nodes, all_decided, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
+    run = _run(engine, all_decided, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     result = ScenarioResult(
-        network=network,
+        engine=engine,
         nodes=nodes,
         correct_pids=list(correct),
         byzantine_pids=list(byz),
@@ -340,6 +354,7 @@ def run_crash_la_scenario(
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
+    backend: str = "kernel",
     max_messages: int = 400_000,
 ) -> ScenarioResult:
     """Build and run one crash-fault-baseline LA cluster."""
@@ -347,21 +362,21 @@ def run_crash_la_scenario(
     pids, correct, byz = _split_members(n, byzantine_factories)
     if proposals is None:
         proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
-    network = _build_network(delay_model, seed, scheduler)
-    nodes: Dict[Hashable, Node] = {}
+    engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
+    nodes: Dict[Hashable, ProtocolCore] = {}
     for pid in correct:
-        nodes[pid] = network.add_node(
+        nodes[pid] = engine.add_core(
             CrashLAProcess(pid, lattice, pids, f, proposal=proposals.get(pid, lattice.bottom()))
         )
     for factory, pid in zip(byzantine_factories, byz, strict=True):
-        nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
+        nodes[pid] = engine.add_core(factory(pid, lattice, pids, f))
 
     def all_decided() -> bool:
         return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
 
-    run = _run(network, nodes, all_decided, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
+    run = _run(engine, all_decided, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     return ScenarioResult(
-        network=network,
+        engine=engine,
         nodes=nodes,
         correct_pids=list(correct),
         byzantine_pids=list(byz),
@@ -398,6 +413,7 @@ def run_gwts_scenario(
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
+    backend: str = "kernel",
     max_messages: int = 1_500_000,
 ) -> ScenarioResult:
     """Build and run one GWTS cluster for ``rounds`` rounds.
@@ -410,22 +426,22 @@ def run_gwts_scenario(
     pids, correct, byz = _split_members(n, byzantine_factories)
     if inputs is None:
         inputs = make_gla_inputs(correct, values_per_process)
-    network = _build_network(delay_model, seed, scheduler)
-    nodes: Dict[Hashable, Node] = {}
+    engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
+    nodes: Dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         process = GWTSProcess(pid, lattice, pids, f, max_rounds=rounds)
         for value in inputs.get(pid, []):
             process.new_value(value)
-        nodes[pid] = network.add_node(process)
+        nodes[pid] = engine.add_core(process)
     for factory, pid in zip(byzantine_factories, byz, strict=True):
-        nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
+        nodes[pid] = engine.add_core(factory(pid, lattice, pids, f))
 
     def all_halted() -> bool:
         return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
 
-    run = _run(network, nodes, all_halted, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
+    run = _run(engine, all_halted, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     return ScenarioResult(
-        network=network,
+        engine=engine,
         nodes=nodes,
         correct_pids=list(correct),
         byzantine_pids=list(byz),
@@ -447,6 +463,7 @@ def run_gsbs_scenario(
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
+    backend: str = "kernel",
     max_messages: int = 1_500_000,
     registry_seed: int = 1234,
 ) -> ScenarioResult:
@@ -456,22 +473,22 @@ def run_gsbs_scenario(
     if inputs is None:
         inputs = make_gla_inputs(correct, values_per_process)
     registry = KeyRegistry(seed=registry_seed)
-    network = _build_network(delay_model, seed, scheduler)
-    nodes: Dict[Hashable, Node] = {}
+    engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
+    nodes: Dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         process = GSbSProcess(pid, lattice, pids, f, registry=registry, max_rounds=rounds)
         for value in inputs.get(pid, []):
             process.new_value(value)
-        nodes[pid] = network.add_node(process)
+        nodes[pid] = engine.add_core(process)
     for factory, pid in zip(byzantine_factories, byz, strict=True):
-        nodes[pid] = network.add_node(factory(pid, lattice, pids, f, registry=registry))
+        nodes[pid] = engine.add_core(factory(pid, lattice, pids, f, registry=registry))
 
     def all_halted() -> bool:
         return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
 
-    run = _run(network, nodes, all_halted, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
+    run = _run(engine, all_halted, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     result = ScenarioResult(
-        network=network,
+        engine=engine,
         nodes=nodes,
         correct_pids=list(correct),
         byzantine_pids=list(byz),
@@ -495,6 +512,7 @@ def run_crash_gla_scenario(
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
+    backend: str = "kernel",
     max_messages: int = 1_500_000,
 ) -> ScenarioResult:
     """Build and run one crash-fault-baseline GLA cluster for ``rounds`` rounds."""
@@ -502,22 +520,22 @@ def run_crash_gla_scenario(
     pids, correct, byz = _split_members(n, byzantine_factories)
     if inputs is None:
         inputs = make_gla_inputs(correct, values_per_process)
-    network = _build_network(delay_model, seed, scheduler)
-    nodes: Dict[Hashable, Node] = {}
+    engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
+    nodes: Dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         process = CrashGLAProcess(pid, lattice, pids, f, max_rounds=rounds)
         for value in inputs.get(pid, []):
             process.new_value(value)
-        nodes[pid] = network.add_node(process)
+        nodes[pid] = engine.add_core(process)
     for factory, pid in zip(byzantine_factories, byz, strict=True):
-        nodes[pid] = network.add_node(factory(pid, lattice, pids, f))
+        nodes[pid] = engine.add_core(factory(pid, lattice, pids, f))
 
     def all_halted() -> bool:
         return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
 
-    run = _run(network, nodes, all_halted, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
+    run = _run(engine, all_halted, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
     return ScenarioResult(
-        network=network,
+        engine=engine,
         nodes=nodes,
         correct_pids=list(correct),
         byzantine_pids=list(byz),
@@ -543,6 +561,7 @@ def run_rsm_scenario(
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
+    backend: str = "kernel",
     max_messages: int = 2_000_000,
     client_retry_timeout: Optional[float] = 150.0,
 ) -> ScenarioResult:
@@ -560,14 +579,14 @@ def run_rsm_scenario(
     replica_pids, correct_replicas, byz_replicas = _split_members(
         n_replicas, byzantine_replica_factories
     )
-    network = _build_network(delay_model, seed, scheduler)
-    nodes: Dict[Hashable, Node] = {}
+    engine = _build_engine(delay_model, seed, scheduler, backend, replica_pids, f)
+    nodes: Dict[Hashable, ProtocolCore] = {}
     for pid in correct_replicas:
-        nodes[pid] = network.add_node(
+        nodes[pid] = engine.add_core(
             Replica(pid, replica_pids, f, max_rounds=rounds, lattice=lattice)
         )
     for factory, pid in zip(byzantine_replica_factories, byz_replicas, strict=True):
-        nodes[pid] = network.add_node(factory(pid, lattice, replica_pids, f))
+        nodes[pid] = engine.add_core(factory(pid, lattice, replica_pids, f))
 
     clients: Dict[Hashable, RSMClient] = {}
     for client_id, script in client_scripts.items():
@@ -575,26 +594,25 @@ def run_rsm_scenario(
             client_id, replica_pids, f, script=script, retry_timeout=client_retry_timeout
         )
         clients[client_id] = client
-        nodes[client_id] = network.add_node(client)
+        nodes[client_id] = engine.add_core(client)
 
     byz_clients: List[Hashable] = []
     for client_id, payloads in (byzantine_client_payloads or {}).items():
         byz_client = ByzantineClient(client_id, replica_pids, f, payloads=payloads)
-        nodes[client_id] = network.add_node(byz_client)
+        nodes[client_id] = engine.add_core(byz_client)
         byz_clients.append(client_id)
 
     def all_clients_done() -> bool:
         return all(client.all_completed for client in clients.values())
 
     run = _run(
-        network,
-        nodes,
+        engine,
         all_clients_done,
         max_messages,
         _resolve_fault_plan(fault_plan, replica_pids, correct_replicas),
     )
     result = ScenarioResult(
-        network=network,
+        engine=engine,
         nodes=nodes,
         correct_pids=list(correct_replicas),
         byzantine_pids=list(byz_replicas) + byz_clients,

@@ -58,7 +58,7 @@ class MetricsCollector:
 
         ``size`` is either an integer (accounted immediately) or an object
         with a lazily-computed ``size`` attribute — in practice the
-        :class:`~repro.transport.message.Envelope` itself — whose estimate
+        :class:`~repro.engine.envelope.Envelope` itself — whose estimate
         is deferred until a size view is read (metrics-gated sizing).
         """
         self.total_sent += 1

@@ -39,9 +39,20 @@ class JobSpec:
 
     @property
     def key(self) -> str:
-        """Stable identity used to match jobs across runs (baseline compare)."""
+        """Stable identity used to match jobs across runs (baseline compare).
+
+        The ``backend`` axis is provenance, not identity: outcomes are
+        backend-independent (the cross-backend golden test pins it), so it
+        is excluded here — a turbo sweep diffs cleanly against the
+        committed kernel-backend baseline.  Corollary: don't sweep both
+        backends in one run, or their jobs collide on the same key.
+        """
         parts = [f"seed={self.seed}"]
-        parts += [f"{name}={value!r}" for name, value in sorted(self.params)]
+        parts += [
+            f"{name}={value!r}"
+            for name, value in sorted(self.params)
+            if name != "backend"
+        ]
         return f"{self.experiment}[{','.join(parts)}]"
 
 

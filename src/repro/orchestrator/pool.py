@@ -59,6 +59,13 @@ def _base_payload(job: JobSpec, status: str, wall_time_s: float, error: Optional
         "seed": job.seed,
         "params": jsonable(job.params_dict),
         "quick": job.quick,
+        # repro-results/v2: which engine backend executed the job.  The
+        # backend is a declared axis param; unset means the default kernel
+        # backend.  Results are backend-independent (the cross-backend
+        # golden test pins it), so the field is provenance, not identity —
+        # JobSpec.key excludes it, letting a turbo run diff against the
+        # kernel baseline.
+        "backend": job.params_dict.get("backend") or "kernel",
         "status": status,
         "ok": None,
         "wall_time_s": wall_time_s,

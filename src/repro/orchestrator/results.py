@@ -4,8 +4,10 @@ A sweep produces one artifact, ``results/run-<tag>.json``, with schema
 version :data:`RESULTS_SCHEMA_VERSION`.  The artifact records everything
 needed to reproduce and to diff the run: git SHA, Python version, the sweep
 config, wall times, and one entry per job carrying the experiment's verdict
-(``ok``), its check outcome, headline metrics, latency metrics, and the
-structured rows the text tables are formatted from.
+(``ok``), the engine ``backend`` it ran on (v2), its check outcome,
+headline metrics, latency metrics, and the structured rows the text tables
+are formatted from.  Legacy v1 artifacts (pre-backend) stay readable for
+validation and baseline comparison.
 
 :func:`validate_run_payload` is a hand-rolled structural validator (no
 third-party schema dependency) used by the CLI's ``validate`` command and by
@@ -24,7 +26,12 @@ import sys
 import time
 from typing import Any, Dict, Iterable, List, Optional
 
-RESULTS_SCHEMA_VERSION = "repro-results/v1"
+RESULTS_SCHEMA_VERSION = "repro-results/v2"
+
+#: Older schema versions `validate` and `compare` still accept on *read*.
+#: v1 predates the engine-backend split: its job payloads lack the
+#: ``backend`` field (treated as the kernel backend, the only one v1 had).
+LEGACY_SCHEMA_VERSIONS = ("repro-results/v1",)
 
 #: Top-level payload fields that carry timing or environment information and
 #: are therefore excluded from determinism comparisons.
@@ -127,8 +134,10 @@ def validate_run_payload(payload: Any) -> List[str]:
         return value
 
     schema = expect(payload, "schema", (str,), "run")
-    if schema is not None and schema != RESULTS_SCHEMA_VERSION:
-        problems.append(f"run: unsupported schema {schema!r} (expected {RESULTS_SCHEMA_VERSION!r})")
+    legacy = schema in LEGACY_SCHEMA_VERSIONS
+    if schema is not None and schema != RESULTS_SCHEMA_VERSION and not legacy:
+        supported = (RESULTS_SCHEMA_VERSION,) + LEGACY_SCHEMA_VERSIONS
+        problems.append(f"run: unsupported schema {schema!r} (expected one of {supported})")
     expect(payload, "tag", (str,), "run")
     expect(payload, "created_unix", (int, float), "run")
     expect(payload, "git_sha", (str,), "run")
@@ -153,6 +162,8 @@ def validate_run_payload(payload: Any) -> List[str]:
         expect(job, "seed", (int,), where)
         expect(job, "params", (dict,), where)
         expect(job, "quick", (bool,), where)
+        if not legacy:
+            expect(job, "backend", (str,), where)
         status = expect(job, "status", (str,), where)
         if status is not None and status not in _JOB_STATUSES:
             problems.append(f"{where}: status {status!r} not one of {_JOB_STATUSES}")

@@ -129,11 +129,17 @@ _SIZES_HELP = "comma-separated cluster sizes for the sweep, e.g. 4,7,10"
 AXIS_PARAMS: Tuple[ParamSpec, ...] = (
     ParamSpec(
         "scheduler", "str", "",
-        "schedule override: delay | random[:spread=S] | worst-case[:victims=p0+p1,starve=S,fast=F]",
+        "schedule override: delay | random[:spread=S] | "
+        "worst-case[:victims=p0+p1|quorum,starve=S,fast=F]",
     ),
     ParamSpec(
         "fault_plan", "str", "",
         "fault script: churn | partition@A-B and crash:IDX@A-B terms joined with +",
+    ),
+    ParamSpec(
+        "backend", "str", "kernel",
+        "execution engine: kernel (reference, delivery log + full metrics) | "
+        "turbo (fast path, identical schedule)",
     ),
 )
 

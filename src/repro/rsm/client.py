@@ -17,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
+from repro.engine.core import ProtocolCore
 from repro.rsm.commands import Command, make_command, nop_command
 from repro.rsm.replica import ConfirmReply, ConfirmRequest, DecideNotice, UpdateRequest
-from repro.transport.node import Node
 
 
 @dataclass
@@ -39,7 +39,7 @@ class OperationRecord:
         return self.end_time is not None
 
 
-class RSMClient(Node):
+class RSMClient(ProtocolCore):
     """A correct RSM client executing a sequential script of operations.
 
     Parameters
@@ -109,7 +109,7 @@ class RSMClient(Node):
         else:
             raise ValueError(f"unknown operation kind {kind!r}")
         record = OperationRecord(
-            client=self.pid, kind=kind, command=command, start_time=self.ctx.now()
+            client=self.pid, kind=kind, command=command, start_time=self.now
         )
         self._current = record
         self.history.append(record)
@@ -118,7 +118,7 @@ class RSMClient(Node):
         self._confirm_phase = False
         # Algorithm 5 line 3 / Algorithm 6 line 3: submit to (f + 1) replicas.
         for replica in self.replicas[: self.f + 1]:
-            self.ctx.send(replica, UpdateRequest(command=command))
+            self.send(replica, UpdateRequest(command=command))
         self._arm_retry()
 
     # -- timeout-driven retry -----------------------------------------------------------
@@ -147,12 +147,12 @@ class RSMClient(Node):
             # re-send order is independent of PYTHONHASHSEED.
             for accepted_set in dict.fromkeys(self._dec_receipts.values()):
                 for replica in self.replicas:
-                    self.ctx.send(replica, ConfirmRequest(accepted_set=accepted_set))
+                    self.send(replica, ConfirmRequest(accepted_set=accepted_set))
         else:
             # Escalate the submission from (f + 1) replicas to all of them:
             # some of the original targets may be crashed or cut off.
             for replica in self.replicas:
-                self.ctx.send(replica, UpdateRequest(command=record.command))
+                self.send(replica, UpdateRequest(command=record.command))
         self._arm_retry()
 
     # -- message handling -----------------------------------------------------------------
@@ -184,7 +184,7 @@ class RSMClient(Node):
             self._confirm_phase = True
             for accepted_set in dict.fromkeys(self._dec_receipts.values()):
                 for replica in self.replicas:
-                    self.ctx.send(replica, ConfirmRequest(accepted_set=accepted_set))
+                    self.send(replica, ConfirmRequest(accepted_set=accepted_set))
 
     def _handle_confirm_reply(self, sender: Hashable, msg: ConfirmReply) -> None:
         record = self._current
@@ -204,9 +204,12 @@ class RSMClient(Node):
         if record is None:
             return
         self._disarm_retry()
-        record.end_time = self.ctx.now()
+        record.end_time = self.now
         record.result = result
         self.log_event("operation_complete", {"kind": record.kind, "seq": record.command.seq})
+        # Surface the completion to the harness (collected in engine.outputs)
+        # so experiments can observe client progress without polling cores.
+        self.output("operation_complete", {"kind": record.kind, "seq": record.command.seq})
         self._current = None
         self._start_next_operation()
 
@@ -222,7 +225,7 @@ class RSMClient(Node):
         return [record for record in self.history if record.completed]
 
 
-class ByzantineClient(Node):
+class ByzantineClient(ProtocolCore):
     """A misbehaving client (Lemma 12's threat model).
 
     Modes (combinable through the constructor flags):
@@ -266,11 +269,11 @@ class ByzantineClient(Node):
             seq += 1
             command = make_command(self.pid, seq, payload)
             for replica in targets:
-                self.ctx.send(replica, UpdateRequest(command=command))
+                self.send(replica, UpdateRequest(command=command))
         if self.send_garbage:
             for replica in self.replicas:
                 # Not a Command instance at all: correct replicas must filter it.
-                self.ctx.send(replica, UpdateRequest(command="garbage-command"))  # type: ignore[arg-type]
+                self.send(replica, UpdateRequest(command="garbage-command"))  # type: ignore[arg-type]
 
     def on_message(self, sender: Hashable, payload: Any) -> None:
         # Never acknowledges anything; keeps replicas guessing.

@@ -138,7 +138,7 @@ class Replica(GWTSProcess):
                     if key in self._notified:
                         continue
                     self._notified.add(key)
-                    self.ctx.send(
+                    self.send(
                         client,
                         DecideNotice(accepted_set=latest, replica=self.pid),
                     )
@@ -150,7 +150,7 @@ class Replica(GWTSProcess):
         still_pending: List[Tuple[Hashable, FrozenSet[Command]]] = []
         for client, accepted_set in self._pending_conf:
             if self._is_committed(accepted_set):
-                self.ctx.send(
+                self.send(
                     client,
                     ConfirmReply(accepted_set=accepted_set, replica=self.pid),
                 )

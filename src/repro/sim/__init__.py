@@ -1,12 +1,12 @@
 """Discrete-event simulation kernel: typed events, schedulers, fault plans.
 
-This package is the engine under :mod:`repro.transport`: a single
-time-ordered queue of typed events (:mod:`repro.sim.events`), a pluggable
-scheduling policy deciding message delays (:mod:`repro.sim.scheduler`), and
-a declarative fault-script API (:mod:`repro.sim.faults`).  The seed's
-``Network`` / ``SimulationRuntime`` survive unchanged as thin shims over
-:class:`SimKernel`, so every seed call site keeps working while crash
-churn, partitions, timers and adversarial schedules become first-class.
+This package is the machinery under :class:`repro.engine.KernelEngine`: a
+single time-ordered queue of typed events (:mod:`repro.sim.events`), a
+pluggable scheduling policy deciding message delays
+(:mod:`repro.sim.scheduler`), and a declarative fault-script API
+(:mod:`repro.sim.faults`).  The kernel never calls protocol code — the
+engine backends pop its events, dispatch them to sans-I/O protocol cores
+and apply the resulting effects.
 """
 
 from repro.sim.axes import describe_axes, parse_fault_plan, parse_scheduler
@@ -22,12 +22,7 @@ from repro.sim.events import (
 )
 from repro.sim.faults import FaultAction, FaultPlan
 from repro.sim.kernel import SimKernel
-from repro.sim.scheduler import (
-    DelayModelScheduler,
-    RandomScheduler,
-    Scheduler,
-    WorstCaseScheduler,
-)
+from repro.sim.scheduler import DelayModelScheduler, RandomScheduler, Scheduler, WorstCaseScheduler
 
 __all__ = [
     "Event",

@@ -16,6 +16,10 @@ Scheduler specs (``parse_scheduler``)::
     random:spread=5            RandomScheduler(spread=5.0)
     worst-case                 WorstCaseScheduler starving every link of p0
     worst-case:victims=p0+p2   starve all links touching p0 and p2
+    worst-case:victims=quorum  starve the quorum-critical link set computed
+                               from the membership (n, f) — enough processes
+                               that no ack quorum can form over fast links
+                               only (needs ``pids``/``f``; builders pass them)
     worst-case:starve=100,fast=1,victims=p1
 
 Fault-plan specs (``parse_fault_plan``) are resolved against a concrete
@@ -75,8 +79,18 @@ def _positive_float(value: str, what: str, spec: str) -> float:
     return number
 
 
-def parse_scheduler(spec: Optional[str]) -> Optional[Scheduler]:
-    """Parse a scheduler spec; ``None`` means "keep the builder's delay model"."""
+def parse_scheduler(
+    spec: Optional[str],
+    pids: Optional[Sequence[Hashable]] = None,
+    f: Optional[int] = None,
+) -> Optional[Scheduler]:
+    """Parse a scheduler spec; ``None`` means "keep the builder's delay model".
+
+    ``pids`` and ``f`` are the concrete membership the spec is resolved
+    against; they are only required by membership-dependent specs
+    (``worst-case:victims=quorum``), so axis *validation* can still run
+    membership-free for the fixed-victim forms.
+    """
     if spec is None:
         return None
     spec = spec.strip()
@@ -90,17 +104,27 @@ def parse_scheduler(spec: Optional[str]) -> Optional[Scheduler]:
             raise ValueError(f"unknown random-scheduler options {sorted(options)} in {spec!r}")
         return RandomScheduler(spread=spread)
     if kind == "worst-case":
-        victims = tuple(v for v in options.pop("victims", "p0").split("+") if v)
-        if not victims:
-            raise ValueError(f"worst-case scheduler needs at least one victim in {spec!r}")
+        victims_text = options.pop("victims", "p0")
         starve = _positive_float(options.pop("starve", "200"), "starve delay", spec)
         fast = _positive_float(options.pop("fast", "0.5"), "fast delay", spec)
         if options:
             raise ValueError(f"unknown worst-case options {sorted(options)} in {spec!r}")
+        if victims_text == "quorum":
+            if pids is None or f is None:
+                raise ValueError(
+                    f"{spec!r} computes its starved links from the membership; "
+                    "resolve it with pids= and f= (the scenario builders do)"
+                )
+            return WorstCaseScheduler.quorum_critical(
+                pids, f, starve_delay=starve, fast_delay=fast
+            )
+        victims = tuple(v for v in victims_text.split("+") if v)
+        if not victims:
+            raise ValueError(f"worst-case scheduler needs at least one victim in {spec!r}")
         return WorstCaseScheduler(victims=victims, starve_delay=starve, fast_delay=fast)
     raise ValueError(
         f"unknown scheduler spec {spec!r} (expected delay, random[:spread=S] "
-        "or worst-case[:victims=p0+p1,starve=S,fast=F])"
+        "or worst-case[:victims=p0+p1|quorum,starve=S,fast=F])"
     )
 
 

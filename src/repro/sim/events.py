@@ -4,7 +4,7 @@ The seed reproduction could simulate exactly one kind of event — message
 delivery.  The kernel generalises that to a single time-ordered queue of
 *typed* events so whole scenario families become expressible:
 
-* :class:`MessageDelivery` — a transport envelope reaching its destination
+* :class:`MessageDelivery` — an engine envelope reaching its destination
   (the only event the seed had);
 * :class:`Timer` — a process-local alarm (timeout-driven client retries,
   timed Byzantine behaviour switches);
@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
-    from repro.transport.message import Envelope
+    from repro.engine.envelope import Envelope
 
 
 class Event:
@@ -72,7 +72,7 @@ class MessageDelivery(Event):
 
 
 class Timer(Event):
-    """A process-local alarm: fires ``Node.on_timer(tag, payload)``.
+    """A process-local alarm: fires the target core's ``on_timer(tag, payload)``.
 
     The returned event object doubles as the cancellation handle
     (``timer.cancel()``), mirroring how real event loops hand out timer

@@ -32,15 +32,15 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable, List, Optio
 from repro.sim.kernel import invalid_time
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
-    from repro.transport.network import Network
+    from repro.engine.kernel_backend import KernelEngine
 
 
 def validate_partition_groups(groups: Tuple[frozenset, ...]) -> None:
     """Reject partitions with fewer than two groups or overlapping groups.
 
-    Shared by :meth:`FaultPlan.partition` (build time) and
-    :meth:`repro.transport.network.Network.start_partition` (schedule time)
-    so the two entry points cannot drift apart.
+    Shared by :meth:`FaultPlan.partition` (build time) and the engine
+    backends' ``start_partition`` (schedule time) so the entry points cannot
+    drift apart.
     """
     if len(groups) < 2:
         raise ValueError("a partition needs at least two groups")
@@ -135,25 +135,25 @@ class FaultPlan:
 
     # -- application ---------------------------------------------------------------
 
-    def apply(self, network: "Network") -> "FaultPlan":
-        """Schedule every action on ``network``'s kernel.
+    def apply(self, engine: "KernelEngine") -> "FaultPlan":
+        """Schedule every action on ``engine`` (any backend works).
 
         Apply a plan once per run: each call schedules the full action list
         again (duplicate crash/partition events are absorbed by the
-        network's idempotence guards, but ``inject`` callbacks would run
+        engine's idempotence guards, but ``inject`` callbacks would run
         once per application).
         """
         for action in self.actions:
             if action.kind == "crash":
-                network.crash_node(action.pid, at=action.at)
+                engine.crash_node(action.pid, at=action.at)
             elif action.kind == "recover":
-                network.recover_node(action.pid, at=action.at)
+                engine.recover_node(action.pid, at=action.at)
             elif action.kind == "partition":
-                network.start_partition(*action.groups, at=action.at)
+                engine.start_partition(*action.groups, at=action.at)
             elif action.kind == "heal":
-                network.heal_partition(at=action.at)
+                engine.heal_partition(at=action.at)
             elif action.kind == "inject":
-                network.inject(action.fn, at=action.at, label=action.label)
+                engine.inject(action.fn, at=action.at, label=action.label)
             else:  # pragma: no cover - builder methods prevent this
                 raise ValueError(f"unknown fault action {action.kind!r}")
         return self

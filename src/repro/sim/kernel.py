@@ -5,11 +5,10 @@ needs — the event heap, the simulated clock, and the seeded RNG — plus the
 fault state (crashed processes, the active partition) that decides whether a
 popped event may take effect now or must be *held*.
 
-The kernel is transport-agnostic: it never looks inside an envelope and
-never calls node code.  :class:`repro.transport.network.Network` drives it
-(pop an event, dispatch by type, consult ``is_crashed`` / ``link_blocked``),
-which keeps the seed's public transport API intact as a thin shim over this
-kernel.
+The kernel is engine-agnostic: it never looks inside an envelope and never
+calls protocol code.  :class:`repro.engine.KernelEngine` drives it (pop an
+event, dispatch by type, consult ``is_crashed`` / ``link_blocked``) and
+applies the resulting core effects.
 
 Determinism: the heap is ordered by ``(time, seq)`` where ``seq`` is a
 monotone schedule counter, so ties are broken by schedule order and a run is

@@ -8,7 +8,7 @@ the in-flight delay (the kernel then orders deliveries by time).
 Three policies ship with the kernel:
 
 * :class:`DelayModelScheduler` — the default; delegates to the seed's
-  :class:`~repro.transport.delays.DelayModel` hierarchy, which is what keeps
+  :class:`~repro.engine.delays.DelayModel` hierarchy, which is what keeps
   every seed run bit-for-bit reproducible after the kernel refactor.
 * :class:`RandomScheduler` — a chaos-monkey schedule: i.i.d. uniform delays
   over a wide spread, i.e. near-arbitrary reordering.  Good for fuzzing
@@ -28,8 +28,8 @@ import random
 from typing import TYPE_CHECKING, Hashable, Iterable, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
-    from repro.transport.delays import DelayModel
-    from repro.transport.message import Envelope
+    from repro.engine.delays import DelayModel
+    from repro.engine.envelope import Envelope
 
 
 class Scheduler(abc.ABC):
@@ -49,9 +49,9 @@ class DelayModelScheduler(Scheduler):
 
     def __init__(self, model: "Optional[DelayModel]" = None) -> None:
         if model is None:
-            # Imported here, not at module level: transport imports this
-            # module, so a top-level import would be circular.
-            from repro.transport.delays import UniformDelay
+            # Imported here, not at module level: the engine backends import
+            # this module, so a top-level import would be circular.
+            from repro.engine.delays import UniformDelay
 
             model = UniformDelay()
         self.model = model
@@ -104,6 +104,50 @@ class WorstCaseScheduler(Scheduler):
         self.victims: Set[Hashable] = set(victims)
         self.starve_delay = starve_delay
         self.fast_delay = fast_delay
+
+    @classmethod
+    def quorum_critical(
+        cls,
+        members: "Iterable[Hashable]",
+        f: int,
+        starve_delay: float = 200.0,
+        fast_delay: float = 0.5,
+    ) -> "WorstCaseScheduler":
+        """The strongest link-starving schedule the membership ``(n, f)`` allows.
+
+        A proposer needs a Byzantine ack quorum ``q = floor((n + f) / 2) + 1``
+        (the same formula as :func:`repro.core.quorum.byzantine_quorum`,
+        restated locally to keep the kernel layer import-free of the protocol
+        layer).  A fixed victim list starves all links touching a hand-picked
+        pid — but whenever fewer than ``n - q + 1`` processes are starved, the
+        remaining fast processes still form a whole quorum and every other
+        proposer decides at fast-link speed, so the adversary wastes most of
+        its power.  This constructor instead *computes* the quorum-critical
+        set: the minimal number of starved processes, ``n - q + 1``, that
+        leaves only ``q - 1`` fast responders — forcing **every** proposer to
+        wait on at least one starved link per ack quorum, round after round.
+
+        The victims are the tail of the membership order.  Scenario builders
+        place Byzantine processes in the tail slots, which makes this the
+        adversary's best play twice over: the starved set overlaps the
+        processes that were never going to help anyway, so the ``n - f``
+        disclosure and ``q`` ack thresholds must both cross a starved link.
+        The starvation is finite, so the paper's liveness theorems still
+        apply: decisions are delayed, never prevented.
+        """
+        member_list = list(members)
+        n = len(member_list)
+        if n == 0:
+            raise ValueError("quorum-critical starvation needs a non-empty membership")
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        quorum = (n + f) // 2 + 1
+        count = min(n, max(1, n - quorum + 1))
+        return cls(
+            victims=member_list[n - count:],
+            starve_delay=starve_delay,
+            fast_delay=fast_delay,
+        )
 
     def _starves(self, envelope: "Envelope") -> bool:
         if envelope.sender in self.victims or envelope.dest in self.victims:

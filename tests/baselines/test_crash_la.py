@@ -3,8 +3,8 @@
 import pytest
 
 from repro.byzantine import AlwaysAckAcceptor, SilentByzantine
+from repro.engine import FixedDelay, SkewedPairDelay
 from repro.harness import run_crash_la_scenario, run_wts_scenario
-from repro.transport import FixedDelay, SkewedPairDelay
 
 
 class TestCrashFreeRuns:

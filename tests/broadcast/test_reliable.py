@@ -3,10 +3,10 @@
 import pytest
 
 from repro.broadcast import RBEcho, RBInit, RBReady, ReliableBroadcaster, is_rb_message
-from repro.transport import FixedDelay, Network, Node, SimulationRuntime, UniformDelay
+from repro.engine import FixedDelay, KernelEngine, ProtocolCore, UniformDelay
 
 
-class RBHost(Node):
+class RBHost(ProtocolCore):
     """Honest host embedding one reliable-broadcast endpoint."""
 
     def __init__(self, pid, n, f, to_broadcast=None):
@@ -29,7 +29,7 @@ class RBHost(Node):
         self.rb.handle(sender, payload)
 
 
-class EquivocatingOrigin(Node):
+class EquivocatingOrigin(ProtocolCore):
     """Byzantine origin sending different INIT values to different halves."""
 
     def __init__(self, pid, members, tag, value_a, value_b):
@@ -43,13 +43,13 @@ class EquivocatingOrigin(Node):
         half = len(self.members) // 2
         for index, dest in enumerate(self.members):
             value = self.value_a if index < half else self.value_b
-            self.ctx.send(dest, RBInit(origin=self.pid, tag=self.tag, value=value))
+            self.send(dest, RBInit(origin=self.pid, tag=self.tag, value=value))
 
     def on_message(self, sender, payload):
         pass
 
 
-class ForgingRelay(Node):
+class ForgingRelay(ProtocolCore):
     """Byzantine node injecting INITs that claim to originate from a victim."""
 
     def __init__(self, pid, members, victim):
@@ -59,14 +59,14 @@ class ForgingRelay(Node):
 
     def on_start(self):
         for dest in self.members:
-            self.ctx.send(dest, RBInit(origin=self.victim, tag="forged", value="evil"))
+            self.send(dest, RBInit(origin=self.victim, tag="forged", value="evil"))
 
     def on_message(self, sender, payload):
         pass
 
 
 def build(n, f, hosts=None, extra=None, delay=None, seed=0):
-    network = Network(delay_model=delay or FixedDelay(1.0), seed=seed)
+    network = KernelEngine(delay_model=delay or FixedDelay(1.0), seed=seed)
     members = [f"p{i}" for i in range(n)]
     nodes = []
     for pid in members:
@@ -86,28 +86,28 @@ class TestHelpers:
         assert not is_rb_message(("ack", 1))
 
     def test_quorum_sizes(self):
-        rb = ReliableBroadcaster(node=Node("x"), n=7, f=2, deliver=lambda *a: None)
+        rb = ReliableBroadcaster(node=ProtocolCore("x"), n=7, f=2, deliver=lambda *a: None)
         assert rb.echo_quorum == 5
         assert rb.ready_amplify == 3
         assert rb.ready_quorum == 5
         assert not rb.under_provisioned
 
     def test_under_provisioned_flag(self):
-        rb = ReliableBroadcaster(node=Node("x"), n=3, f=1, deliver=lambda *a: None)
+        rb = ReliableBroadcaster(node=ProtocolCore("x"), n=3, f=1, deliver=lambda *a: None)
         assert rb.under_provisioned
 
 
 class TestValidity:
     def test_honest_broadcast_delivered_by_all(self):
         network, members, nodes = build(4, 1, hosts={"p0": [("t", "hello")]})
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         for node in nodes:
             assert node.delivered == [("p0", "t", "hello")]
 
     def test_multiple_origins_and_tags(self):
         hosts = {"p0": [("t0", "a"), ("t1", "b")], "p1": [("t0", "c")]}
         network, members, nodes = build(4, 1, hosts=hosts)
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         for node in nodes:
             assert set(node.delivered) == {("p0", "t0", "a"), ("p0", "t1", "b"), ("p1", "t0", "c")}
 
@@ -115,13 +115,13 @@ class TestValidity:
         network, members, nodes = build(
             7, 2, hosts={"p0": [("t", 42)]}, delay=UniformDelay(0.1, 5.0), seed=11
         )
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         for node in nodes:
             assert node.delivered == [("p0", "t", 42)]
 
     def test_delivered_instances_introspection(self):
         network, members, nodes = build(4, 1, hosts={"p0": [("t", "x")]})
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         assert ("p0", "t") in nodes[1].rb.delivered_instances()
 
 
@@ -131,12 +131,12 @@ class TestAgreementUnderEquivocation:
         n, f = 4, 1
         members = [f"p{i}" for i in range(n)]
         byz = EquivocatingOrigin("p3", members, tag="t", value_a="A", value_b="B")
-        network = Network(delay_model=UniformDelay(0.1, 3.0), seed=seed)
+        network = KernelEngine(delay_model=UniformDelay(0.1, 3.0), seed=seed)
         honest = []
         for pid in members[:-1]:
             honest.append(network.add_node(RBHost(pid, n, f)))
         network.add_node(byz)
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         delivered_values = {value for node in honest for (_, _, value) in node.delivered}
         # Agreement: at most one of the two equivocated values is ever delivered.
         assert len(delivered_values) <= 1
@@ -144,10 +144,10 @@ class TestAgreementUnderEquivocation:
     def test_forged_origin_is_ignored(self):
         n, f = 4, 1
         members = [f"p{i}" for i in range(n)]
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
         honest = [network.add_node(RBHost(pid, n, f)) for pid in members[:-1]]
         network.add_node(ForgingRelay("p3", members, victim="p0"))
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         for node in honest:
             assert node.delivered == []
 
@@ -155,7 +155,7 @@ class TestAgreementUnderEquivocation:
         """A Byzantine peer repeating ECHO/READY cannot fake a quorum."""
         n, f = 4, 1
         host = RBHost("p0", n, f)
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
         network.add_node(host)
         spammer_pids = ["p1"]
         for pid in spammer_pids + ["p2", "p3"]:
@@ -165,5 +165,5 @@ class TestAgreementUnderEquivocation:
         # no delivery can happen from these alone (needs 2f+1 = 3 distinct).
         for _ in range(5):
             network.submit("p1", "p0", RBReady(origin="p9", tag="t", value="v"))
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         assert host.delivered == []

@@ -2,8 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.transport import Network, SimulationRuntime, UniformDelay
-
+from repro.engine import KernelEngine, UniformDelay
 from tests.broadcast.test_reliable import EquivocatingOrigin, RBHost
 
 
@@ -14,9 +13,9 @@ def test_validity_and_agreement_random_schedules(seed, n):
     f = (n - 1) // 3
     members = [f"p{i}" for i in range(n)]
     hosts = {pid: [((pid, "tag"), f"value-from-{pid}")] for pid in members}
-    network = Network(delay_model=UniformDelay(0.1, 4.0), seed=seed)
+    network = KernelEngine(delay_model=UniformDelay(0.1, 4.0), seed=seed)
     nodes = [network.add_node(RBHost(pid, n, f, to_broadcast=hosts[pid])) for pid in members]
-    SimulationRuntime(network).run_until_quiescent()
+    network.run_until_quiescent()
     for node in nodes:
         assert len(node.delivered) == n
         assert {(origin, value) for origin, _tag, value in node.delivered} == {
@@ -30,11 +29,11 @@ def test_no_split_brain_with_equivocating_origin(seed):
     """Random schedules never let an equivocator split the correct processes."""
     n, f = 7, 2
     members = [f"p{i}" for i in range(n)]
-    network = Network(delay_model=UniformDelay(0.1, 4.0), seed=seed)
+    network = KernelEngine(delay_model=UniformDelay(0.1, 4.0), seed=seed)
     honest = [network.add_node(RBHost(pid, n, f)) for pid in members[: n - 1]]
     network.add_node(
         EquivocatingOrigin(members[-1], members, tag="t", value_a="A", value_b="B")
     )
-    SimulationRuntime(network).run_until_quiescent()
+    network.run_until_quiescent()
     delivered = {value for node in honest for (_, _, value) in node.delivered}
     assert len(delivered) <= 1

@@ -15,8 +15,8 @@ from repro.byzantine import (
 )
 from repro.core.wts import WTSProcess
 from repro.crypto import KeyRegistry
+from repro.engine import FixedDelay, KernelEngine
 from repro.lattice import SetLattice
-from repro.transport import FixedDelay, Network, SimulationRuntime
 
 
 MEMBERS = ["p0", "p1", "p2", "p3"]
@@ -24,7 +24,7 @@ LAT = SetLattice()
 
 
 def build_network():
-    return Network(delay_model=FixedDelay(1.0), seed=0)
+    return KernelEngine(delay_model=FixedDelay(1.0), seed=0)
 
 
 class TestFlags:
@@ -68,7 +68,7 @@ class TestSilentAndCrash:
         for pid in ("p1", "p2", "p3"):
             network.add_node(WTSProcess(pid, LAT, ["b", "p1", "p2", "p3"], 1,
                                         proposal=frozenset({pid})))
-        SimulationRuntime(network).run(max_messages=500)
+        network.run(max_messages=500)
         assert wrapper.crashed
 
     def test_crash_with_zero_budget_never_starts(self):
@@ -100,7 +100,7 @@ class TestEquivocator:
         network.add_node(garbage)
         honest = [network.add_node(WTSProcess(pid, LAT, MEMBERS, 1, proposal=frozenset({pid})))
                   for pid in MEMBERS[1:]]
-        SimulationRuntime(network).run(max_messages=2000)
+        network.run(max_messages=2000)
         for node in honest:
             assert "p0" not in node.svs  # garbage never enters any SvS
 
@@ -117,7 +117,7 @@ class TestAcceptorAttacks:
         network.add_node(SilentByzantine("p2"))
         network.start()
         network.submit("p0", "b", AckRequest(proposed_set=frozenset({"v"}), ts=0))
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         replies = [
             e.payload
             for e in network.delivery_log
@@ -138,7 +138,7 @@ class TestAcceptorAttacks:
         network.add_node(SilentByzantine("p2"))
         network.start()
         network.submit("p0", "b", AckRequest(proposed_set=frozenset({"anything"}), ts=9))
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         deliveries = [e for e in network.delivery_log if e.dest == "p0"]
         assert len(deliveries) == 1 and isinstance(deliveries[0].payload, Ack)
         assert deliveries[0].payload.ts == 9

@@ -8,13 +8,9 @@ as negative controls for the specification checkers.
 import pytest
 
 from repro.byzantine import EquivocatingProposer, NackSpamAcceptor
-from repro.core.ablations import (
-    NoDefencesWTSProcess,
-    NoSafetyWTSProcess,
-    PlainDisclosureWTSProcess,
-)
+from repro.core.ablations import NoDefencesWTSProcess, NoSafetyWTSProcess, PlainDisclosureWTSProcess
+from repro.engine import UniformDelay
 from repro.harness import run_wts_scenario
-from repro.transport import UniformDelay
 
 
 def nack_spammer(pid, lat, members, f):

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core.gwts import GWTSProcess, HALTED
+from repro.core.gwts import HALTED, GWTSProcess
+from repro.engine import FixedDelay
 from repro.harness import run_gwts_scenario
 from repro.lattice import SetLattice
-from repro.transport import FixedDelay
 
 
 class TestFailureFreeRuns:

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.process import AgreementProcess
+from repro.engine import FixedDelay, KernelEngine
 from repro.lattice import SetLattice
-from repro.transport import FixedDelay, Network
 
 
 class TickingProcess(AgreementProcess):
@@ -24,7 +24,7 @@ class TickingProcess(AgreementProcess):
 
 def make(pid="p0", members=("p0", "p1", "p2", "p3"), f=1, cls=AgreementProcess, **kwargs):
     lattice = SetLattice()
-    network = Network(delay_model=FixedDelay(1.0), seed=0)
+    network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
     process = cls(pid, lattice, list(members), f, **kwargs)
     for other in members:
         if other == pid:
@@ -45,23 +45,27 @@ class TestMembership:
         with pytest.raises(ValueError):
             AgreementProcess("outsider", SetLattice(), ["p0", "p1"], 0)
 
-    def test_send_to_members_only(self):
-        network, process = make()
-        network.start()
+    def test_send_to_members_emits_one_send_per_member(self):
+        _, process = make()
         process.send_to_members("hi")
-        assert network.pending() == 4
+        effects = []
+        process.drain_into(effects)
+        assert [effect.dest for effect in effects] == ["p0", "p1", "p2", "p3"]
+        assert all(effect.payload == "hi" for effect in effects)
 
 
 class TestDecisions:
-    def test_record_decision_updates_metrics(self):
+    def test_record_decision_emits_decide_effect(self):
         network, process = make()
         network.start()
         assert not process.has_decided
         process.record_decision(frozenset({1}), round=2)
         assert process.has_decided
         assert process.decision == frozenset({1})
-        record = network.metrics.decisions[0]
-        assert record.pid == "p0" and record.round == 2
+        effects = []
+        process.drain_into(effects)
+        (decide,) = effects
+        assert decide.value == frozenset({1}) and decide.round == 2
 
     def test_decision_none_before_deciding(self):
         _, process = make()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.messages import ProvenValue, SafeAck
 from repro.core.sbs import (
     SbSProcess,
     all_safe,
@@ -11,11 +12,10 @@ from repro.core.sbs import (
     verify_conflict_pair,
     verify_safe_ack,
 )
-from repro.core.messages import ProvenValue, SafeAck
 from repro.crypto import SignedValue
+from repro.engine import FixedDelay
 from repro.harness import run_sbs_scenario
 from repro.lattice import SetLattice
-from repro.transport import FixedDelay
 
 
 class TestHelpers:

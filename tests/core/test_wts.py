@@ -3,9 +3,9 @@
 import pytest
 
 from repro.core.wts import DECIDED, WTSProcess
+from repro.engine import FixedDelay, UniformDelay
 from repro.harness import run_wts_scenario
 from repro.lattice import GCounterLattice, MaxIntLattice, SetLattice
-from repro.transport import FixedDelay, UniformDelay
 
 
 class TestFailureFreeRuns:

@@ -13,8 +13,8 @@ from repro.byzantine import (
     ValueInjectorProposer,
 )
 from repro.core.wts import WTSProcess
+from repro.engine import UniformDelay
 from repro.harness import run_wts_scenario
-from repro.transport import UniformDelay
 
 
 def silent(pid, lat, members, f):

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.transport import (
+from repro.engine import (
     AdversarialTargetedDelay,
     Envelope,
     FixedDelay,

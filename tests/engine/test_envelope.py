@@ -2,7 +2,7 @@
 
 from dataclasses import dataclass
 
-from repro.transport import Envelope, estimate_size
+from repro.engine import Envelope, estimate_size
 
 
 @dataclass(frozen=True)

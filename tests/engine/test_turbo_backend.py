@@ -1,0 +1,144 @@
+"""Turbo backend semantics: timers, crashes, partitions — same rules, no shims."""
+
+import pytest
+
+from repro.engine import FixedDelay, ProtocolCore, TurboEngine
+
+
+class Recorder(ProtocolCore):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+        self.timers = []
+        self.crashes = 0
+        self.recoveries = 0
+
+    def on_message(self, sender, payload):
+        self.received.append((self.now, sender, payload))
+
+    def on_timer(self, tag, payload=None):
+        self.timers.append((self.now, tag, payload))
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_recover(self):
+        self.recoveries += 1
+
+
+class Opener(Recorder):
+    """Sends one scripted message per destination at start."""
+
+    def __init__(self, pid, sends=()):
+        super().__init__(pid)
+        self.sends = sends
+
+    def on_start(self):
+        for dest, payload in self.sends:
+            self.send(dest, payload)
+
+
+class TimerOwner(Recorder):
+    def __init__(self, pid, delay, tag="wake", cancel_at_start=False):
+        super().__init__(pid)
+        self.delay = delay
+        self.tag = tag
+        self.cancel_at_start = cancel_at_start
+
+    def on_start(self):
+        handle = self.set_timer(self.delay, self.tag, {"k": 1})
+        if self.cancel_at_start:
+            handle.cancel()
+
+
+def build(n=3, delay=1.0, seed=0, cls=Recorder):
+    engine = TurboEngine(delay_model=FixedDelay(delay), seed=seed)
+    nodes = [engine.add_core(cls(f"p{i}")) for i in range(n)]
+    return engine, nodes
+
+
+class TestTimers:
+    def test_timer_fires_with_tag_and_payload(self):
+        engine = TurboEngine(delay_model=FixedDelay(1.0), seed=0)
+        owner = engine.add_core(TimerOwner("p0", 4.0))
+        result = engine.run_until_quiescent()
+        assert owner.timers == [(4.0, "wake", {"k": 1})]
+        assert result.quiescent and result.delivered == 0
+
+    def test_cancelled_timer_never_fires(self):
+        engine = TurboEngine(delay_model=FixedDelay(1.0), seed=0)
+        owner = engine.add_core(TimerOwner("p0", 4.0, cancel_at_start=True))
+        engine.run_until_quiescent()
+        assert owner.timers == []
+
+
+class TestFaults:
+    def test_crashed_node_messages_held_until_recovery(self):
+        engine = TurboEngine(delay_model=FixedDelay(1.0), seed=0)
+        engine.add_core(Opener("p0", sends=[("p1", "while-down")]))
+        b = engine.add_core(Recorder("p1"))
+        engine.crash_node("p1", at=0.0)
+        engine.recover_node("p1", at=10.0)
+        result = engine.run_until_quiescent()
+        assert result.quiescent
+        assert b.received == [(10.0, "p0", "while-down")]
+        assert b.crashes == 1 and b.recoveries == 1
+
+    def test_pending_counts_held_messages(self):
+        engine = TurboEngine(delay_model=FixedDelay(1.0), seed=0)
+        engine.add_core(Opener("p0", sends=[("p1", "x")]))
+        engine.add_core(Recorder("p1"))
+        engine.crash_node("p1", at=0.0)
+        result = engine.run_until_quiescent()
+        assert not result.quiescent
+        assert engine.pending() == 1
+
+    def test_cross_partition_traffic_held_until_heal(self):
+        engine = TurboEngine(delay_model=FixedDelay(1.0), seed=0)
+        engine.add_core(Opener("p0", sends=[("p2", "cross"), ("p1", "local")]))
+        b = engine.add_core(Recorder("p1"))
+        c = engine.add_core(Recorder("p2"))
+        engine.add_core(Recorder("p3"))
+        engine.start_partition(["p0", "p1"], ["p2", "p3"], at=0.0)
+        engine.heal_partition(at=20.0)
+        result = engine.run_until_quiescent()
+        assert result.quiescent
+        assert b.received == [(1.0, "p0", "local")]
+        assert c.received == [(20.0, "p0", "cross")]
+
+    def test_overlapping_partition_groups_rejected(self):
+        engine, _ = build(n=3)
+        with pytest.raises(ValueError, match="overlap"):
+            engine.start_partition(["p0", "p1"], ["p1", "p2"], at=0.0)
+
+    def test_inject_runs_callback_at_time(self):
+        engine, _ = build()
+        seen = []
+        engine.inject(lambda eng: seen.append(eng.now), at=7.0)
+        engine.run_until_quiescent()
+        assert seen == [7.0]
+
+    def test_harness_scheduled_timer_fires_and_cancels(self):
+        """The external-alarm API (KernelEngine parity) works on turbo —
+        including from a FaultPlan inject callback."""
+        engine, nodes = build()
+        engine.schedule_timer("p1", 3.0, "probe", {"x": 1})
+        cancelled = engine.schedule_timer("p1", 4.0, "never")
+        cancelled.cancel()
+        engine.inject(lambda eng: eng.schedule_timer("p2", 1.0, "late"), at=5.0)
+        engine.run_until_quiescent()
+        assert nodes[1].timers == [(3.0, "probe", {"x": 1})]
+        assert nodes[2].timers == [(6.0, "late", None)]
+
+    def test_event_cap_reported_not_fake_quiescence(self):
+        class Rearming(Recorder):
+            def on_start(self):
+                self.set_timer(1.0, "tick")
+
+            def on_timer(self, tag, payload=None):
+                self.set_timer(1.0, "tick")
+
+        engine = TurboEngine(delay_model=FixedDelay(1.0), seed=0)
+        engine.add_core(Rearming("p0"))
+        result = engine.run(max_messages=100)
+        assert result.events_capped and not result.quiescent

@@ -7,14 +7,9 @@ kept moderate so the whole suite stays in the minutes range.
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.byzantine import (
-    EquivocatingProposer,
-    FlipFloppingAcceptor,
-    NackSpamAcceptor,
-    SilentByzantine,
-)
+from repro.byzantine import EquivocatingProposer, FlipFloppingAcceptor, NackSpamAcceptor, SilentByzantine
+from repro.engine import FixedDelay, UniformDelay
 from repro.harness import run_gwts_scenario, run_sbs_scenario, run_wts_scenario
-from repro.transport import FixedDelay, UniformDelay
 
 
 def byz_factory(kind):

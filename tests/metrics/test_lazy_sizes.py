@@ -1,10 +1,10 @@
 """Metrics-gated size accounting and the incremental decided-pid set."""
 
+from repro.engine import Envelope, FixedDelay, KernelEngine, ProtocolCore
 from repro.metrics.collector import MetricsCollector
-from repro.transport import Envelope, FixedDelay, Network, Node, SimulationRuntime
 
 
-class Flood(Node):
+class Flood(ProtocolCore):
     def __init__(self, pid, peer, count):
         super().__init__(pid)
         self.peer = peer
@@ -12,7 +12,7 @@ class Flood(Node):
 
     def on_start(self):
         for index in range(self.count):
-            self.ctx.send(self.peer, ("payload", index, frozenset({"a", "b"})))
+            self.send(self.peer, ("payload", index, frozenset({"a", "b"})))
 
 
 class TestLazySizes:
@@ -24,19 +24,19 @@ class TestLazySizes:
 
     def test_no_size_estimation_unless_metrics_read(self, monkeypatch):
         calls = []
-        import repro.transport.message as message_module
+        import repro.engine.envelope as envelope_module
 
-        original = message_module.estimate_size
+        original = envelope_module.estimate_size
 
         def counting(payload):
             calls.append(1)
             return original(payload)
 
-        monkeypatch.setattr(message_module, "estimate_size", counting)
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        monkeypatch.setattr(envelope_module, "estimate_size", counting)
+        network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
         network.add_node(Flood("a", "b", 10))
         network.add_node(Flood("b", "a", 0))
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         assert calls == []  # nothing read the size views
         assert network.metrics.max_payload_size > 0  # flush on read
         assert len(calls) == 10

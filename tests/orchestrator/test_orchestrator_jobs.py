@@ -70,6 +70,13 @@ class TestJobKey:
         b = JobSpec(experiment="E1", seed=3, params=(("f", 1), ("n", 4)))
         assert a.key == b.key
 
+    def test_key_excludes_the_backend_axis(self):
+        """Backend is provenance, not identity: a turbo sweep must diff
+        against the committed kernel-backend baseline key-for-key."""
+        kernel = JobSpec(experiment="E1", seed=3, params=(("f", 1),))
+        turbo = JobSpec(experiment="E1", seed=3, params=(("backend", "turbo"), ("f", 1)))
+        assert kernel.key == turbo.key == "E1[seed=3,f=1]"
+
     def test_to_config_round_trips_through_json_types(self):
         sweep = SweepSpec(experiments=("E1",), seeds=(1,), grid={"f": [1, 2]}, quick=True)
         config = sweep.to_config()

@@ -59,6 +59,20 @@ class TestValidation:
         payload["schema"] = "repro-results/v999"
         assert any("unsupported schema" in p for p in validate_run_payload(payload))
 
+    def test_v2_jobs_record_their_backend(self):
+        payload = _payload()
+        assert payload["jobs"][0]["backend"] == "kernel"
+        del payload["jobs"][0]["backend"]
+        assert any("backend" in p for p in validate_run_payload(payload))
+
+    def test_legacy_v1_artifacts_still_validate(self):
+        """Pre-backend baselines (repro-results/v1) stay readable."""
+        payload = _payload()
+        payload["schema"] = "repro-results/v1"
+        for job in payload["jobs"]:
+            del job["backend"]  # v1 never had the field
+        assert validate_run_payload(payload) == []
+
     def test_missing_fields_are_reported(self):
         payload = _payload()
         del payload["git_sha"]

@@ -1,10 +1,10 @@
 """Timeout-driven client retry: kernel timers instead of harness re-injection."""
 
+from repro.engine import FixedDelay
 from repro.harness import run_rsm_scenario
 from repro.rsm.checker import check_rsm_history
 from repro.rsm.crdt import GCounterObject
 from repro.sim import FaultPlan
-from repro.transport import FixedDelay
 
 
 def build_scripts(counter):
@@ -77,7 +77,7 @@ class TestClientRetry:
         # just the initial f + 1 = 2.
         update_dests = {
             env.dest
-            for env in scenario.network.delivery_log
+            for env in scenario.engine.delivery_log
             if env.sender == "c0" and env.mtype == "rsm_update"
         }
         assert update_dests == {"p0", "p1", "p2", "p3"}

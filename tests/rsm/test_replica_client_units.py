@@ -1,12 +1,12 @@
 """Unit tests for replica/client message handling details."""
 
+from repro.engine import FixedDelay, KernelEngine
+from repro.engine import ProtocolCore
 from repro.rsm import Replica, RSMClient, make_command
 from repro.rsm.replica import ConfirmRequest, DecideNotice, UpdateRequest
-from repro.transport import FixedDelay, Network, SimulationRuntime
-from repro.transport.node import Node
 
 
-class _Sink(Node):
+class _Sink(ProtocolCore):
     def __init__(self, pid):
         super().__init__(pid)
         self.received = []
@@ -19,7 +19,7 @@ REPLICAS = ["r0", "r1", "r2", "r3"]
 
 
 def build_cluster(with_client=True):
-    network = Network(delay_model=FixedDelay(1.0), seed=0)
+    network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
     replicas = [network.add_node(Replica(pid, REPLICAS, f=1, max_rounds=4)) for pid in REPLICAS]
     client = network.add_node(_Sink("client")) if with_client else None
     return network, replicas, client
@@ -31,7 +31,7 @@ class TestReplica:
         network.start()
         command = make_command("client", 1, ("obj", "add", "x"))
         network.submit("client", "r0", UpdateRequest(command=command))
-        SimulationRuntime(network).run(max_messages=5000)
+        network.run(max_messages=5000)
         assert command in replicas[0].admitted_commands
         # The command eventually appears in the replica's decisions.
         assert any(command in decision for decision in replicas[0].decisions)
@@ -40,7 +40,7 @@ class TestReplica:
         network, replicas, client = build_cluster()
         network.start()
         network.submit("client", "r0", UpdateRequest(command="not-a-command"))
-        SimulationRuntime(network).run(max_messages=5000)
+        network.run(max_messages=5000)
         assert replicas[0].admitted_commands == []
 
     def test_decide_notice_sent_to_interested_client(self):
@@ -49,7 +49,7 @@ class TestReplica:
         command = make_command("client", 1, ("obj", "add", "x"))
         for pid in REPLICAS[:2]:
             network.submit("client", pid, UpdateRequest(command=command))
-        SimulationRuntime(network).run(max_messages=8000)
+        network.run(max_messages=8000)
         notices = [p for _, p in client.received if isinstance(p, DecideNotice)]
         assert notices and all(command in n.accepted_set for n in notices)
         # Notices come from at least f+1 = 2 distinct replicas.
@@ -63,7 +63,7 @@ class TestReplica:
         # A value nobody ever proposed must never be confirmed.
         bogus = frozenset({make_command("client", 99, ("obj", "add", "zzz"))})
         network.submit("client", "r0", ConfirmRequest(accepted_set=bogus))
-        SimulationRuntime(network).run(max_messages=8000)
+        network.run(max_messages=8000)
         from repro.rsm.replica import ConfirmReply
 
         replies = [p for _, p in client.received if isinstance(p, ConfirmReply)]
@@ -72,7 +72,7 @@ class TestReplica:
 
 class TestClientUnit:
     def test_client_script_validation(self):
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
         client = RSMClient("c", REPLICAS, f=1, script=[("bogus-kind",)])
         network.add_node(client)
         for pid in REPLICAS:
@@ -88,18 +88,18 @@ class TestClientUnit:
         # Retries disabled: after the timeout the client deliberately
         # escalates to *all* replicas (tested in tests/rsm/test_client_retry.py);
         # here we pin the initial Algorithm 5 line 3 submission to f + 1.
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
         client = RSMClient(
             "c", REPLICAS, f=1, script=[("update", ("obj", "add", 1))], retry_timeout=None
         )
         network.add_node(client)
         sinks = [network.add_node(_Sink(pid)) for pid in REPLICAS]
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         contacted = [sink.pid for sink in sinks if sink.received]
         assert len(contacted) == 2  # f + 1
 
     def test_client_completes_after_f_plus_1_matching_notices(self):
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
         client = RSMClient("c", REPLICAS, f=1, script=[("update", ("obj", "add", 1))])
         network.add_node(client)
         for pid in REPLICAS:
@@ -109,12 +109,12 @@ class TestClientUnit:
         accepted = frozenset({command})
         network.submit("r0", "c", DecideNotice(accepted_set=accepted, replica="r0"))
         network.submit("r1", "c", DecideNotice(accepted_set=accepted, replica="r1"))
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         assert client.all_completed
         assert client.history[0].completed
 
     def test_notice_without_own_command_is_ignored(self):
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
         client = RSMClient("c", REPLICAS, f=1, script=[("update", ("obj", "add", 1))])
         network.add_node(client)
         for pid in REPLICAS:
@@ -123,5 +123,5 @@ class TestClientUnit:
         other = frozenset({make_command("other", 1, "op")})
         network.submit("r0", "c", DecideNotice(accepted_set=other, replica="r0"))
         network.submit("r1", "c", DecideNotice(accepted_set=other, replica="r1"))
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         assert not client.history[0].completed

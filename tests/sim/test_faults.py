@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.engine import FixedDelay
 from repro.harness import run_gwts_scenario, run_wts_scenario
 from repro.sim import FaultPlan
-from repro.transport import FixedDelay
 
 
 class TestBuilder:
@@ -87,5 +87,5 @@ class TestScriptedScenarios:
         b = run_wts_scenario(n=4, f=1, seed=8, fault_plan=plan())
         assert a.decisions() == b.decisions()
         assert [
-            (e.sender, e.dest, e.mtype, e.deliver_time) for e in a.network.delivery_log
-        ] == [(e.sender, e.dest, e.mtype, e.deliver_time) for e in b.network.delivery_log]
+            (e.sender, e.dest, e.mtype, e.deliver_time) for e in a.engine.delivery_log
+        ] == [(e.sender, e.dest, e.mtype, e.deliver_time) for e in b.engine.delivery_log]

@@ -2,11 +2,11 @@
 
 import pytest
 
+from repro.engine import FixedDelay, KernelEngine, ProtocolCore
 from repro.sim import SimKernel, Timer
-from repro.transport import FixedDelay, Network, Node, SimulationRuntime
 
 
-class Recorder(Node):
+class Recorder(ProtocolCore):
     """Records every message, timer and crash/recover hook invocation."""
 
     def __init__(self, pid):
@@ -17,10 +17,10 @@ class Recorder(Node):
         self.recoveries = 0
 
     def on_message(self, sender, payload):
-        self.received.append((self.ctx.now(), sender, payload))
+        self.received.append((self.now, sender, payload))
 
     def on_timer(self, tag, payload=None):
-        self.timers.append((self.ctx.now(), tag, payload))
+        self.timers.append((self.now, tag, payload))
 
     def on_crash(self):
         self.crashes += 1
@@ -30,7 +30,7 @@ class Recorder(Node):
 
 
 def build(n=3, delay=1.0, seed=0):
-    network = Network(delay_model=FixedDelay(delay), seed=seed)
+    network = KernelEngine(delay_model=FixedDelay(delay), seed=seed)
     nodes = [network.add_node(Recorder(f"p{i}")) for i in range(n)]
     return network, nodes
 
@@ -67,34 +67,34 @@ class TestTimers:
     def test_set_timer_fires_on_timer(self):
         network, nodes = build()
         network.start()
-        nodes[0].set_timer(4.0, "wake", {"k": 1})
-        SimulationRuntime(network).run_until_quiescent()
+        network.schedule_timer("p0", 4.0, "wake", {"k": 1})
+        network.run_until_quiescent()
         assert nodes[0].timers == [(4.0, "wake", {"k": 1})]
 
     def test_cancelled_timer_never_fires(self):
         network, nodes = build()
         network.start()
-        handle = nodes[0].set_timer(4.0, "wake")
-        nodes[0].ctx.cancel_timer(handle)
-        SimulationRuntime(network).run_until_quiescent()
+        handle = network.schedule_timer("p0", 4.0, "wake")
+        handle.cancel()
+        network.run_until_quiescent()
         assert nodes[0].timers == []
 
     def test_timers_do_not_count_as_pending_messages(self):
         network, nodes = build()
         network.start()
-        nodes[0].set_timer(1.0, "wake")
+        network.schedule_timer("p0", 1.0, "wake")
         assert network.pending() == 0
-        result = SimulationRuntime(network).run_until_quiescent()
+        result = network.run_until_quiescent()
         assert result.quiescent
         assert result.events == 1 and result.delivered == 0
 
     def test_timers_interleave_with_deliveries_in_time_order(self):
         network, nodes = build(delay=2.0)
         network.start()
-        nodes[0].ctx.send("p1", "msg")  # arrives at 2.0
-        nodes[1].set_timer(1.0, "early")
-        nodes[1].set_timer(3.0, "late")
-        SimulationRuntime(network).run_until_quiescent()
+        network.submit("p0", "p1", "msg")  # arrives at 2.0
+        network.schedule_timer("p1", 1.0, "early")
+        network.schedule_timer("p1", 3.0, "late")
+        network.run_until_quiescent()
         assert nodes[1].timers[0][1] == "early"
         assert nodes[1].received[0][0] == pytest.approx(2.0)
         assert nodes[1].timers[1][1] == "late"
@@ -106,8 +106,8 @@ class TestCrashRecover:
         network.crash_node("p1", at=0.0)
         network.recover_node("p1", at=10.0)
         network.start()
-        nodes[0].ctx.send("p1", "while-down")
-        result = SimulationRuntime(network).run_until_quiescent()
+        network.submit("p0", "p1", "while-down")
+        result = network.run_until_quiescent()
         assert result.quiescent
         # The message was held (not lost) and handed over at recovery time.
         assert nodes[1].received == [(10.0, "p0", "while-down")]
@@ -116,17 +116,17 @@ class TestCrashRecover:
     def test_crashed_node_timers_held_until_recovery(self):
         network, nodes = build()
         network.start()
-        nodes[1].set_timer(2.0, "alarm")
+        network.schedule_timer("p1", 2.0, "alarm")
         network.crash_node("p1", at=1.0)
         network.recover_node("p1", at=8.0)
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         assert nodes[1].timers == [(8.0, "alarm", None)]
 
     def test_pending_counts_held_messages_as_in_flight(self):
         network, nodes = build(delay=1.0)
         network.crash_node("p1", at=0.0)
         network.start()
-        nodes[0].ctx.send("p1", "x")
+        network.submit("p0", "p1", "x")
         # Drain: crash event + held delivery; no recovery scheduled.
         while True:
             event, _ = network.process_next_event()
@@ -138,12 +138,12 @@ class TestCrashRecover:
     def test_timer_cancelled_while_held_does_not_fire_after_recovery(self):
         network, nodes = build()
         network.start()
-        handle = nodes[1].set_timer(2.0, "alarm")
+        handle = network.schedule_timer("p1", 2.0, "alarm")
         network.crash_node("p1", at=1.0)
         network.recover_node("p1", at=8.0)
         # Cancel while the timer is parked for the crashed node.
         network.inject(lambda net: handle.cancel(), at=5.0)
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         assert nodes[1].timers == []
 
     def test_crash_and_recover_are_idempotent(self):
@@ -152,7 +152,7 @@ class TestCrashRecover:
         network.crash_node("p0", at=2.0)
         network.recover_node("p0", at=3.0)
         network.recover_node("p0", at=4.0)
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         assert nodes[0].crashes == 1 and nodes[0].recoveries == 1
 
 
@@ -162,9 +162,9 @@ class TestPartitions:
         network.start_partition(["p0", "p1"], ["p2", "p3"], at=0.0)
         network.heal_partition(at=20.0)
         network.start()
-        nodes[0].ctx.send("p2", "cross")
-        nodes[0].ctx.send("p1", "local")
-        result = SimulationRuntime(network).run_until_quiescent()
+        network.submit("p0", "p2", "cross")
+        network.submit("p0", "p1", "local")
+        result = network.run_until_quiescent()
         assert result.quiescent
         assert nodes[1].received == [(1.0, "p0", "local")]
         assert nodes[2].received == [(20.0, "p0", "cross")]
@@ -173,9 +173,9 @@ class TestPartitions:
         network, nodes = build(n=3, delay=1.0)
         network.start_partition(["p0"], ["p1"], at=0.0)
         network.start()
-        nodes[2].ctx.send("p0", "a")
-        nodes[0].ctx.send("p2", "b")
-        SimulationRuntime(network).run_until_quiescent()
+        network.submit("p2", "p0", "a")
+        network.submit("p0", "p2", "b")
+        network.run_until_quiescent()
         assert [payload for _, _, payload in nodes[0].received] == ["a"]
         assert [payload for _, _, payload in nodes[2].received] == ["b"]
 
@@ -183,10 +183,10 @@ class TestPartitions:
         network, nodes = build(n=3, delay=1.0)
         network.start_partition(["p0"], ["p1", "p2"], at=0.0)
         network.start()
-        nodes[0].ctx.send("p1", "x")  # held by the first partition
+        network.submit("p0", "p1", "x")  # held by the first partition
         # New partition no longer separates p0 from p1: the held message flows.
         network.start_partition(["p0", "p1"], ["p2"], at=5.0)
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         assert nodes[1].received == [(5.0, "p0", "x")]
 
 
@@ -204,7 +204,7 @@ class TestStepSafetyValve:
             def on_timer(self, tag, payload=None):
                 self.set_timer(1.0, "tick")  # re-arms forever, sends nothing
 
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
         network.add_node(Rearming("p0"))
         network.start()
         with pytest.raises(RuntimeError, match="no message delivered"):
@@ -218,9 +218,9 @@ class TestStepSafetyValve:
             def on_timer(self, tag, payload=None):
                 self.set_timer(1.0, "tick")
 
-        network = Network(delay_model=FixedDelay(1.0), seed=0)
+        network = KernelEngine(delay_model=FixedDelay(1.0), seed=0)
         network.add_node(Rearming("p0"))
-        result = SimulationRuntime(network).run(max_messages=100)
+        result = network.run(max_messages=100)
         assert result.events_capped
         assert not result.quiescent  # truncation must not masquerade as done
         assert result.delivered == 0
@@ -232,7 +232,7 @@ class TestInject:
         seen = []
         network.inject(lambda net: seen.append(net.now), at=7.0)
         network.start()
-        SimulationRuntime(network).run_until_quiescent()
+        network.run_until_quiescent()
         assert seen == [7.0]
 
 
@@ -247,8 +247,8 @@ class TestDeterminismWithFaults:
         for node in nodes:
             for peer in ("p0", "p1", "p2", "p3"):
                 if peer != node.pid:
-                    node.ctx.send(peer, f"hello-{node.pid}")
-        SimulationRuntime(network).run_until_quiescent()
+                    network.submit(node.pid, peer, f"hello-{node.pid}")
+        network.run_until_quiescent()
         return [
             (env.sender, env.dest, env.payload, round(env.deliver_time, 9))
             for env in network.delivery_log
@@ -260,18 +260,18 @@ class TestDeterminismWithFaults:
     def test_fault_events_do_not_consume_rng(self):
         # A run with faults and one without must draw identical delays for
         # the same sends under a stochastic model (faults only hold traffic).
-        from repro.transport import UniformDelay
+        from repro.engine import UniformDelay
 
         def trace(with_faults):
-            network = Network(delay_model=UniformDelay(0.5, 2.0), seed=11)
+            network = KernelEngine(delay_model=UniformDelay(0.5, 2.0), seed=11)
             nodes = [network.add_node(Recorder(f"p{i}")) for i in range(2)]
             if with_faults:
                 network.crash_node("p1", at=100.0)
                 network.recover_node("p1", at=101.0)
             network.start()
-            nodes[0].ctx.send("p1", "a")
-            nodes[0].ctx.send("p1", "b")
-            SimulationRuntime(network).run_until_quiescent()
+            network.submit("p0", "p1", "a")
+            network.submit("p0", "p1", "b")
+            network.run_until_quiescent()
             return [round(e.deliver_time, 9) for e in network.delivery_log]
 
         assert trace(False) == trace(True)

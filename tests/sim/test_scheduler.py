@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.engine import FixedDelay, UniformDelay
 from repro.harness import run_wts_scenario
 from repro.sim import DelayModelScheduler, RandomScheduler, WorstCaseScheduler
-from repro.transport import FixedDelay, UniformDelay
 
 
 class TestDelayModelScheduler:
@@ -17,8 +17,8 @@ class TestDelayModelScheduler:
         wrapped = run_wts_scenario(
             n=4, f=1, seed=5, scheduler=DelayModelScheduler(UniformDelay(0.5, 2.0))
         )
-        assert [e.deliver_time for e in plain.network.delivery_log] == [
-            e.deliver_time for e in wrapped.network.delivery_log
+        assert [e.deliver_time for e in plain.engine.delivery_log] == [
+            e.deliver_time for e in wrapped.engine.delivery_log
         ]
         assert plain.decisions() == wrapped.decisions()
 
@@ -33,8 +33,8 @@ class TestRandomScheduler:
         b = run_wts_scenario(n=4, f=1, seed=9, scheduler=RandomScheduler(spread=8.0))
         assert a.decisions() == b.decisions()
         assert a.check_la().ok
-        assert [e.deliver_time for e in a.network.delivery_log] == [
-            e.deliver_time for e in b.network.delivery_log
+        assert [e.deliver_time for e in a.engine.delivery_log] == [
+            e.deliver_time for e in b.engine.delivery_log
         ]
 
 
@@ -66,7 +66,7 @@ class TestWorstCaseScheduler:
         assert scenario.check_la().ok
         slow = [
             e
-            for e in scenario.network.delivery_log
+            for e in scenario.engine.delivery_log
             if {e.sender, e.dest} == {"p0", "p1"}
         ]
         assert slow and all(e.deliver_time - e.send_time >= 50.0 for e in slow)

@@ -54,7 +54,7 @@ def signature(scenario):
             round(env.deliver_time, 9),
             env.depth,
         ]
-        for env in scenario.network.delivery_log
+        for env in scenario.engine.delivery_log
     ]
 
 

@@ -7,7 +7,7 @@ from repro.harness import run_gwts_scenario, run_wts_scenario
 def trace_signature(scenario):
     return [
         (env.sender, env.dest, env.mtype, round(env.deliver_time, 6))
-        for env in scenario.network.delivery_log
+        for env in scenario.engine.delivery_log
     ]
 
 
