@@ -13,13 +13,9 @@
   impossible for lattices wider than the process count (experiment E9).
 """
 
-from repro.baselines.crash_la import CrashLAProcess
 from repro.baselines.crash_gla import CrashGLAProcess
-from repro.baselines.restricted_spec import (
-    check_restricted_la_run,
-    restricted_spec_feasible,
-    power_set_breadth,
-)
+from repro.baselines.crash_la import CrashLAProcess
+from repro.baselines.restricted_spec import check_restricted_la_run, power_set_breadth, restricted_spec_feasible
 
 __all__ = [
     "CrashLAProcess",

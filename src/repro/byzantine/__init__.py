@@ -30,18 +30,18 @@ Behaviour catalogue (and what it attacks):
 """
 
 from repro.byzantine.behaviors import (
-    SilentByzantine,
-    CrashByzantine,
-    EquivocatingProposer,
-    GarbageProposer,
-    ValueInjectorProposer,
-    NackSpamAcceptor,
     AlwaysAckAcceptor,
-    FlipFloppingAcceptor,
-    FastForwardGWTS,
+    CrashByzantine,
     EquivocatingGWTSProposer,
+    EquivocatingProposer,
+    FastForwardGWTS,
+    FlipFloppingAcceptor,
     ForgedSafetyByzantine,
+    GarbageProposer,
+    NackSpamAcceptor,
     SbSEquivocatingProposer,
+    SilentByzantine,
+    ValueInjectorProposer,
 )
 
 __all__ = [

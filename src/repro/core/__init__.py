@@ -16,19 +16,13 @@ This package contains:
 * **GSbS** — the generalized signature-based variant sketched in Section 8.2.
 """
 
-from repro.core.quorum import byzantine_quorum, max_faults, required_processes
-from repro.core.spec import (
-    LASpecification,
-    GLASpecification,
-    LACheckResult,
-    check_la_run,
-    check_gla_run,
-)
-from repro.core.process import AgreementProcess
-from repro.core.wts import WTSProcess
-from repro.core.gwts import GWTSProcess
-from repro.core.sbs import SbSProcess
 from repro.core.gsbs import GSbSProcess
+from repro.core.gwts import GWTSProcess
+from repro.core.process import AgreementProcess
+from repro.core.quorum import byzantine_quorum, max_faults, required_processes
+from repro.core.sbs import SbSProcess
+from repro.core.spec import GLASpecification, LACheckResult, LASpecification, check_gla_run, check_la_run
+from repro.core.wts import WTSProcess
 
 __all__ = [
     "byzantine_quorum",

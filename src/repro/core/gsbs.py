@@ -41,11 +41,7 @@ from repro.core.messages import (
     ProvenValue,
 )
 from repro.core.process import AgreementProcess
-from repro.core.sbs import (
-    remove_conflicts,
-    return_conflicts,
-    verify_conflict_pair,
-)
+from repro.core.sbs import remove_conflicts, return_conflicts, verify_conflict_pair
 from repro.crypto.signatures import KeyRegistry, SignedValue, Signer
 from repro.lattice.base import JoinSemilattice, LatticeElement
 

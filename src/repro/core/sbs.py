@@ -26,15 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Set, Tuple
 
-from repro.core.messages import (
-    InitPhase,
-    ProvenValue,
-    SafeAck,
-    SafeRequest,
-    SbSAck,
-    SbSAckRequest,
-    SbSNack,
-)
+from repro.core.messages import InitPhase, ProvenValue, SafeAck, SafeRequest, SbSAck, SbSAckRequest, SbSNack
 from repro.core.process import AgreementProcess
 from repro.crypto.signatures import KeyRegistry, SignedValue, Signer
 from repro.lattice.base import JoinSemilattice, LatticeElement

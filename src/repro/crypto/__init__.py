@@ -15,13 +15,7 @@ capability model of the paper.  Signature payloads are canonically serialised
 so that two logically equal values always verify identically.
 """
 
-from repro.crypto.signatures import (
-    KeyRegistry,
-    Signer,
-    SignedValue,
-    SignatureError,
-    canonical_bytes,
-)
+from repro.crypto.signatures import KeyRegistry, SignatureError, SignedValue, Signer, canonical_bytes
 
 __all__ = [
     "KeyRegistry",

@@ -12,32 +12,32 @@ one pytest-benchmark target per experiment, and ``EXPERIMENTS.md`` records
 the paper-vs-measured outcome of each.
 """
 
-from repro.harness.workloads import (
-    ScenarioResult,
-    member_pids,
-    default_proposals,
-    run_wts_scenario,
-    run_sbs_scenario,
-    run_gwts_scenario,
-    run_gsbs_scenario,
-    run_crash_la_scenario,
-    run_crash_gla_scenario,
-    run_rsm_scenario,
-)
 from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    run_ablation_experiment,
+    run_baseline_comparison,
+    run_breadth_experiment,
     run_chain_experiment,
+    run_gwts_liveness_experiment,
+    run_gwts_messages_experiment,
+    run_partition_churn_experiment,
     run_resilience_experiment,
+    run_rsm_experiment,
+    run_sbs_experiment,
     run_wts_latency_experiment,
     run_wts_messages_experiment,
-    run_sbs_experiment,
-    run_gwts_messages_experiment,
-    run_gwts_liveness_experiment,
-    run_rsm_experiment,
-    run_breadth_experiment,
-    run_baseline_comparison,
-    run_ablation_experiment,
-    run_partition_churn_experiment,
-    ALL_EXPERIMENTS,
+)
+from repro.harness.workloads import (
+    ScenarioResult,
+    default_proposals,
+    member_pids,
+    run_crash_gla_scenario,
+    run_crash_la_scenario,
+    run_gsbs_scenario,
+    run_gwts_scenario,
+    run_rsm_scenario,
+    run_sbs_scenario,
+    run_wts_scenario,
 )
 
 __all__ = [

@@ -13,22 +13,22 @@ lattice elements as mathematical values and makes the algorithm
 implementations trivially safe to share between simulated processes.
 """
 
-from repro.lattice.base import JoinSemilattice, LatticeElement, leq, lt, comparable
-from repro.lattice.set_lattice import SetLattice, FrozenSetElement
-from repro.lattice.counter import GCounterLattice, MaxIntLattice, MinIntDualLattice
-from repro.lattice.map_lattice import MapLattice
-from repro.lattice.vector_clock import VectorClockLattice
-from repro.lattice.product import ProductLattice
+from repro.lattice.base import JoinSemilattice, LatticeElement, comparable, leq, lt
 from repro.lattice.chain import (
-    is_chain,
     all_comparable,
+    chain_violations,
+    hasse_diagram_text,
+    hasse_edges,
+    is_chain,
+    lattice_breadth,
     longest_chain,
     sort_chain,
-    chain_violations,
-    lattice_breadth,
-    hasse_edges,
-    hasse_diagram_text,
 )
+from repro.lattice.counter import GCounterLattice, MaxIntLattice, MinIntDualLattice
+from repro.lattice.map_lattice import MapLattice
+from repro.lattice.product import ProductLattice
+from repro.lattice.set_lattice import FrozenSetElement, SetLattice
+from repro.lattice.vector_clock import VectorClockLattice
 
 __all__ = [
     "JoinSemilattice",

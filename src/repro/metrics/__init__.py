@@ -14,13 +14,8 @@ payload-size estimates (for the SbS message-size trade-off) and per-message-
 type breakdowns used by the experiment reports in :mod:`repro.harness`.
 """
 
-from repro.metrics.collector import MetricsCollector, DecisionRecord
-from repro.metrics.report import (
-    format_table,
-    format_series,
-    fit_polynomial_order,
-    ratio_table,
-)
+from repro.metrics.collector import DecisionRecord, MetricsCollector
+from repro.metrics.report import fit_polynomial_order, format_series, format_table, ratio_table
 
 __all__ = [
     "MetricsCollector",

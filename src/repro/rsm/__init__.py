@@ -19,18 +19,11 @@ last-writer-wins register map) that interprets the command sets the RSM
 stores, and a checker for the six RSM properties of Section 7.1.
 """
 
-from repro.rsm.commands import Command, nop_command, make_command
-from repro.rsm.replica import Replica, UpdateRequest, DecideNotice, ConfirmRequest, ConfirmReply
-from repro.rsm.client import RSMClient, OperationRecord, ByzantineClient
-from repro.rsm.crdt import (
-    ReplicatedObject,
-    GSetObject,
-    GCounterObject,
-    PNCounterObject,
-    LWWRegisterObject,
-    ORSetObject,
-)
-from repro.rsm.checker import check_rsm_history, RSMCheckResult
+from repro.rsm.checker import RSMCheckResult, check_rsm_history
+from repro.rsm.client import ByzantineClient, OperationRecord, RSMClient
+from repro.rsm.commands import Command, make_command, nop_command
+from repro.rsm.crdt import GCounterObject, GSetObject, LWWRegisterObject, ORSetObject, PNCounterObject, ReplicatedObject
+from repro.rsm.replica import ConfirmReply, ConfirmRequest, DecideNotice, Replica, UpdateRequest
 
 __all__ = [
     "Command",

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.baselines import (
-    check_restricted_la_run,
-    power_set_breadth,
-    restricted_spec_feasible,
-)
+from repro.baselines import check_restricted_la_run, power_set_breadth, restricted_spec_feasible
 from repro.lattice import SetLattice
 
 

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.core.gsbs import (
-    GSbSProcess,
-    gsbs_ack_body,
-    verify_certificate,
-    verify_gsbs_ack,
-)
+from repro.core.gsbs import GSbSProcess, gsbs_ack_body, verify_certificate, verify_gsbs_ack
 from repro.core.messages import DecidedCertificate, GSbSAck
 from repro.crypto import SignedValue
 from repro.harness import run_gsbs_scenario

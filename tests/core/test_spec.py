@@ -1,6 +1,6 @@
 """Unit tests for the LA / GLA specification checkers."""
 
-from repro.core import check_gla_run, check_la_run, LASpecification, GLASpecification
+from repro.core import GLASpecification, LASpecification, check_gla_run, check_la_run
 from repro.lattice import SetLattice
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crypto import KeyRegistry, SignedValue, SignatureError, canonical_bytes
+from repro.crypto import KeyRegistry, SignatureError, SignedValue, canonical_bytes
 
 
 class TestCanonicalBytes:

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.byzantine.behaviors import (
-    EquivocatingProposer,
-    NackSpamAcceptor,
-    SilentByzantine,
-)
+from repro.byzantine.behaviors import EquivocatingProposer, NackSpamAcceptor, SilentByzantine
 from repro.core.ablations import NoDefencesWTSProcess, NoSafetyWTSProcess
 from repro.explore.invariants import (
     byzantine_value_bound_violations,

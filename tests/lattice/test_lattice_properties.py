@@ -2,14 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.lattice import (
-    GCounterLattice,
-    MapLattice,
-    MaxIntLattice,
-    ProductLattice,
-    SetLattice,
-    VectorClockLattice,
-)
+from repro.lattice import GCounterLattice, MapLattice, MaxIntLattice, ProductLattice, SetLattice, VectorClockLattice
 
 # -- element strategies ------------------------------------------------------
 

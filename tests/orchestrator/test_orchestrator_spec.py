@@ -3,11 +3,7 @@
 import pytest
 
 from repro.harness import ALL_EXPERIMENTS
-from repro.orchestrator.spec import (
-    EXPERIMENT_SPECS,
-    get_spec,
-    visible_experiment_ids,
-)
+from repro.orchestrator.spec import EXPERIMENT_SPECS, get_spec, visible_experiment_ids
 
 
 class TestRegistry:
