@@ -15,7 +15,11 @@
 
 from repro.baselines.crash_gla import CrashGLAProcess
 from repro.baselines.crash_la import CrashLAProcess
-from repro.baselines.restricted_spec import check_restricted_la_run, power_set_breadth, restricted_spec_feasible
+from repro.baselines.restricted_spec import (
+    check_restricted_la_run,
+    power_set_breadth,
+    restricted_spec_feasible,
+)
 
 __all__ = [
     "CrashLAProcess",

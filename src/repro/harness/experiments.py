@@ -22,7 +22,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
-from repro.baselines.restricted_spec import check_restricted_la_run, power_set_breadth, restricted_spec_feasible
+from repro.baselines.restricted_spec import (
+    check_restricted_la_run,
+    power_set_breadth,
+    restricted_spec_feasible,
+)
 from repro.byzantine.behaviors import (
     AlwaysAckAcceptor,
     EquivocatingProposer,

@@ -22,7 +22,14 @@ stores, and a checker for the six RSM properties of Section 7.1.
 from repro.rsm.checker import RSMCheckResult, check_rsm_history
 from repro.rsm.client import ByzantineClient, OperationRecord, RSMClient
 from repro.rsm.commands import Command, make_command, nop_command
-from repro.rsm.crdt import GCounterObject, GSetObject, LWWRegisterObject, ORSetObject, PNCounterObject, ReplicatedObject
+from repro.rsm.crdt import (
+    GCounterObject,
+    GSetObject,
+    LWWRegisterObject,
+    ORSetObject,
+    PNCounterObject,
+    ReplicatedObject,
+)
 from repro.rsm.replica import ConfirmReply, ConfirmRequest, DecideNotice, Replica, UpdateRequest
 
 __all__ = [

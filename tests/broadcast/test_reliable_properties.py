@@ -1,6 +1,7 @@
 """Property-based tests: reliable broadcast agreement under random schedules."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.engine import KernelEngine, UniformDelay
 from tests.broadcast.test_reliable import EquivocatingOrigin, RBHost

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.crypto import KeyRegistry
-from repro.lattice import GCounterLattice, MapLattice, MaxIntLattice, ProductLattice, SetLattice, VectorClockLattice
+from repro.lattice import (
+    GCounterLattice,
+    MapLattice,
+    MaxIntLattice,
+    ProductLattice,
+    SetLattice,
+    VectorClockLattice,
+)
 
 
 @pytest.fixture

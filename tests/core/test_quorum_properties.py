@@ -1,6 +1,7 @@
 """Property-based tests for the quorum algebra (Lemma 1 / Theorem 1 arithmetic)."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.quorum import (
     byzantine_quorum,

@@ -1,6 +1,7 @@
 """Property-based tests for the signature substrate."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.crypto import KeyRegistry, SignedValue, canonical_bytes
 

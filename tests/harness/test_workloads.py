@@ -3,7 +3,13 @@
 import pytest
 
 from repro.byzantine import SilentByzantine
-from repro.harness import member_pids, run_gwts_scenario, run_rsm_scenario, run_sbs_scenario, run_wts_scenario
+from repro.harness import (
+    member_pids,
+    run_gwts_scenario,
+    run_rsm_scenario,
+    run_sbs_scenario,
+    run_wts_scenario,
+)
 from repro.harness.workloads import default_proposals, make_gla_inputs
 from repro.lattice import SetLattice
 

@@ -5,7 +5,8 @@ simulated run checked against the paper's specification.  Example counts are
 kept moderate so the whole suite stays in the minutes range.
 """
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.byzantine import EquivocatingProposer, FlipFloppingAcceptor, NackSpamAcceptor, SilentByzantine
 from repro.engine import FixedDelay, UniformDelay

@@ -1,8 +1,16 @@
 """Property-based tests: algebraic laws every lattice implementation must obey."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.lattice import GCounterLattice, MapLattice, MaxIntLattice, ProductLattice, SetLattice, VectorClockLattice
+from repro.lattice import (
+    GCounterLattice,
+    MapLattice,
+    MaxIntLattice,
+    ProductLattice,
+    SetLattice,
+    VectorClockLattice,
+)
 
 # -- element strategies ------------------------------------------------------
 

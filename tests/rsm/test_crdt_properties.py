@@ -1,6 +1,7 @@
 """Property-based tests: CRDT evaluation is order- and duplication-insensitive."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.rsm import GCounterObject, GSetObject, PNCounterObject, make_command
 

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim.axes import CHURN_PRESET, describe_axes, parse_fault_plan, parse_scheduler, scheduler_spec_is_adversarial
+from repro.sim.axes import (
+    CHURN_PRESET,
+    describe_axes,
+    parse_fault_plan,
+    parse_scheduler,
+    scheduler_spec_is_adversarial,
+)
 from repro.sim.scheduler import RandomScheduler, WorstCaseScheduler
 
 PIDS = ["p0", "p1", "p2", "p3"]
