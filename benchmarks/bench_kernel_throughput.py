@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Engine throughput: events/sec of every execution path, past and present.
 
-Four substrates run the identical workload — ``n`` nodes forwarding tokens
+Five substrates run the identical workload — ``n`` nodes forwarding tokens
 round-robin until ``--messages`` total deliveries — so the ratios isolate
 the messaging substrate:
 
@@ -16,10 +16,18 @@ the messaging substrate:
   (:class:`repro.engine.KernelEngine`) driving sans-I/O protocol cores;
 * **turbo** — the fast-path backend (:class:`repro.engine.TurboEngine`):
   no per-message shim objects, interned node ids, preallocated effect
-  buffers.
+  buffers, calendar-bucketed event queue (same-timestamp bursts cost one
+  heap sift instead of one per message);
+* **async** — the asyncio backend (:class:`repro.engine.AsyncEngine`,
+  in-process transport): the network-path row — every delivery crosses a
+  real task/queue hand-off on a live event loop, so this tracks the cost of
+  running the cores behind genuine asyncio machinery.
 
 The acceptance bar for the sans-I/O refactor: ``turbo`` must deliver at
 least 2x the events/s of ``shim`` on the full workload (n=25, 200k msgs).
+The regression gate compares the turbo/shim and kernel/shim ratios only;
+the async row is recorded for trajectory, not gated (event-loop overhead is
+the OS's business).
 
 Run::
 
@@ -45,10 +53,11 @@ import pathlib
 import subprocess
 import sys
 import time
+from collections.abc import Hashable
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional
+from typing import Any
 
-from repro.engine import FixedDelay, KernelEngine, ProtocolCore, TurboEngine
+from repro.engine import AsyncEngine, FixedDelay, KernelEngine, ProtocolCore, TurboEngine
 from repro.engine.envelope import Envelope, estimate_size
 from repro.metrics.collector import MetricsCollector
 from repro.sim.events import MessageDelivery
@@ -122,12 +131,12 @@ class _SeedEnvelope:
     dest: Hashable
     payload: Any
     send_time: float
-    deliver_time: Optional[float] = None
+    deliver_time: float | None = None
     depth: int = 1
     seq: int = 0
     size: int = 0
 
-    def delivered_at(self, time: float) -> "_SeedEnvelope":
+    def delivered_at(self, time: float) -> _SeedEnvelope:
         return _SeedEnvelope(
             sender=self.sender,
             dest=self.dest,
@@ -343,11 +352,30 @@ def run_turbo(n: int, hops: int) -> tuple:
     return _run_engine(TurboEngine(delay_model=FixedDelay(1.0), seed=0), n, hops)
 
 
+def run_async(n: int, hops: int) -> tuple:
+    """The asyncio backend's in-process transport (the network-path row).
+
+    Timing includes the start events (the async run driver owns them); they
+    are ``n`` sends against ``n * hops`` deliveries, i.e. noise.  Each
+    delivery pays a real queue hand-off plus an event-loop turn, so this row
+    tracks the overhead of running the cores behind genuine asyncio
+    machinery rather than raw simulation speed.
+    """
+    engine = AsyncEngine(delay_model=FixedDelay(1.0), seed=0)
+    for pid in range(n):
+        engine.add_core(Forwarder(pid, n, hops))
+    start = time.perf_counter()
+    result = engine.run_until_quiescent(max_messages=n * hops + 1)
+    elapsed = time.perf_counter() - start
+    return result.delivered, elapsed
+
+
 RUNNERS = {
     "seed": run_seed,
     "shim": run_shim,
     "kernel": run_kernel,
     "turbo": run_turbo,
+    "async": run_async,
 }
 
 
@@ -451,7 +479,7 @@ def main(argv=None) -> int:
     if args.backend and needs_ratios:
         parser.error(
             "--backend measures one substrate, but --json/--check-against/"
-            "--min-speedup need all four for the speedup ratios"
+            "--min-speedup need all of them for the speedup ratios"
         )
     substrates = [args.backend] if args.backend else list(RUNNERS)
 
@@ -462,7 +490,7 @@ def main(argv=None) -> int:
         print(f"{name:>7}: {rates[name]:>12,.0f} events/s")
     speedups = {}
     if "shim" in rates:
-        for backend in ("kernel", "turbo"):
+        for backend in ("kernel", "turbo", "async"):
             if backend in rates:
                 speedups[f"{backend}_vs_shim"] = rates[backend] / rates["shim"]
     if "kernel" in rates and "turbo" in rates:

@@ -11,7 +11,7 @@ import random
 
 from repro.broadcast import ReliableBroadcaster
 from repro.crypto import KeyRegistry
-from repro.engine import FixedDelay, KernelEngine, ProtocolCore, TurboEngine
+from repro.engine import AsyncEngine, FixedDelay, KernelEngine, ProtocolCore, TurboEngine
 from repro.lattice import GCounterLattice, MapLattice, SetLattice, VectorClockLattice
 
 
@@ -92,6 +92,25 @@ def test_kernel_engine_delivery_throughput(benchmark):
 
 def test_turbo_engine_delivery_throughput(benchmark):
     delivered = benchmark(_engine_throughput, TurboEngine)
+    assert delivered == 10 * 10 * 20
+
+
+def test_async_engine_delivery_throughput(benchmark):
+    """The asyncio backend's in-process transport (event-loop overhead row)."""
+    delivered = benchmark(_engine_throughput, AsyncEngine)
+    assert delivered == 10 * 10 * 20
+
+
+def _async_tcp_throughput():
+    engine = AsyncEngine(delay_model=FixedDelay(1.0), seed=0, transport="tcp", time_scale=0.0)
+    nodes = [engine.add_core(_Chirper(f"p{i}")) for i in range(10)]
+    engine.run(max_wall_s=120.0)
+    return sum(node.seen for node in nodes)
+
+
+def test_async_tcp_delivery_throughput(benchmark):
+    """The real network path: localhost TCP, length-prefixed JSON frames."""
+    delivered = benchmark(_async_tcp_throughput)
     assert delivered == 10 * 10 * 20
 
 

@@ -12,7 +12,7 @@ paper-vs-measured record that EXPERIMENTS.md is built from.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any
 
 from repro.orchestrator.spec import get_spec
 
@@ -21,12 +21,12 @@ def run_experiment_benchmark(
     benchmark,
     experiment_id: str,
     quick: bool = True,
-    seed: Optional[int] = None,
+    seed: int | None = None,
     **params,
-) -> Dict[str, Any]:
+) -> dict[str, Any]:
     """Run one experiment by id under pytest-benchmark and record its outcome."""
     spec = get_spec(experiment_id)
-    outcome_holder: Dict[str, Any] = {}
+    outcome_holder: dict[str, Any] = {}
 
     def _run() -> None:
         outcome_holder["outcome"] = spec.run(seed=seed, quick=quick, **params)

@@ -11,8 +11,9 @@ the price of Byzantine tolerance.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Sequence, Set
+from typing import Any
 
 from repro.core.messages import RoundAck, RoundAckRequest, RoundNack
 from repro.core.process import AgreementProcess
@@ -50,12 +51,12 @@ class CrashGLAProcess(AgreementProcess):
         self.state = NEWROUND
         self.round = -1
         self.ts = 0
-        self.batches: Dict[int, List[LatticeElement]] = defaultdict(list)
-        self.received_inputs: List[LatticeElement] = []
+        self.batches: dict[int, list[LatticeElement]] = defaultdict(list)
+        self.received_inputs: list[LatticeElement] = []
         self.proposed_set: LatticeElement = lattice.bottom()
         self.decided_set: LatticeElement = lattice.bottom()
-        self.counter: Dict[int, Set[Hashable]] = defaultdict(set)
-        self.ack_senders: Set[Hashable] = set()
+        self.counter: dict[int, set[Hashable]] = defaultdict(set)
+        self.ack_senders: set[Hashable] = set()
         self.accepted_set: LatticeElement = lattice.bottom()
         for value in initial_values:
             self.new_value(value)

@@ -18,8 +18,9 @@ tolerates.
 """
 
 from __future__ import annotations
+from collections.abc import Hashable, Sequence
 
-from typing import Any, Hashable, Optional, Sequence, Set
+from typing import Any
 
 from repro.core.messages import Ack, AckRequest, Nack
 from repro.core.process import AgreementProcess
@@ -38,7 +39,7 @@ class CrashLAProcess(AgreementProcess):
         lattice: JoinSemilattice,
         members: Sequence[Hashable],
         f: int,
-        proposal: Optional[LatticeElement] = None,
+        proposal: LatticeElement | None = None,
     ) -> None:
         super().__init__(pid, lattice, members, f)
         self.proposal: LatticeElement = (
@@ -47,7 +48,7 @@ class CrashLAProcess(AgreementProcess):
         self.state = PROPOSING
         self.ts = 0
         self.proposed_set: LatticeElement = lattice.join(lattice.bottom(), self.proposal)
-        self.ack_senders: Set[Hashable] = set()
+        self.ack_senders: set[Hashable] = set()
         self.refinements = 0
         # Acceptor state.
         self.accepted_set: LatticeElement = lattice.bottom()

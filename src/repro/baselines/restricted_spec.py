@@ -20,8 +20,7 @@ This module provides:
 """
 
 from __future__ import annotations
-
-from typing import Hashable, Iterable, Mapping, Sequence
+from collections.abc import Hashable, Iterable, Mapping, Sequence
 
 from repro.core.spec import LACheckResult, check_la_run
 from repro.lattice.base import JoinSemilattice, LatticeElement

@@ -14,14 +14,15 @@ round based algorithms"), so instances from different rounds never interfere.
 """
 
 from __future__ import annotations
+from collections.abc import Callable, Hashable
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Set, Tuple
+from typing import Any
 
 from repro.engine.core import ProtocolCore
 
 #: Identifier of one broadcast instance.
-InstanceKey = Tuple[Hashable, Hashable]
+InstanceKey = tuple[Hashable, Hashable]
 
 
 @dataclass(frozen=True)
@@ -75,11 +76,11 @@ class _InstanceState:
     def __init__(self) -> None:
         # Which peers we have already counted (one vote per peer per phase,
         # so a Byzantine peer cannot stuff the ballot with duplicates).
-        self.echo_senders: Set[Hashable] = set()
-        self.ready_senders: Set[Hashable] = set()
+        self.echo_senders: set[Hashable] = set()
+        self.ready_senders: set[Hashable] = set()
         # Votes per candidate value.
-        self.echo_votes: Dict[Any, Set[Hashable]] = {}
-        self.ready_votes: Dict[Any, Set[Hashable]] = {}
+        self.echo_votes: dict[Any, set[Hashable]] = {}
+        self.ready_votes: dict[Any, set[Hashable]] = {}
         self.sent_echo = False
         self.sent_ready = False
         self.delivered = False
@@ -121,7 +122,7 @@ class ReliableBroadcaster:
         self._n = n
         self._f = f
         self._deliver = deliver
-        self._instances: Dict[InstanceKey, _InstanceState] = {}
+        self._instances: dict[InstanceKey, _InstanceState] = {}
         self.echo_quorum = (n + f) // 2 + 1
         self.ready_amplify = f + 1
         self.ready_quorum = 2 * f + 1
@@ -205,7 +206,7 @@ class ReliableBroadcaster:
 
     # -- introspection (used by tests) ----------------------------------------------
 
-    def delivered_instances(self) -> Set[InstanceKey]:
+    def delivered_instances(self) -> set[InstanceKey]:
         """Instances this endpoint has delivered."""
         return {
             key for key, state in self._instances.items() if state.delivered

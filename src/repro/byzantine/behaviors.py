@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Any, Hashable, Optional, Sequence
+from collections.abc import Hashable, Sequence
+from typing import Any
 
 from repro.broadcast.reliable import RBInit
 from repro.core.gwts import GWTSProcess
@@ -87,8 +88,8 @@ class CrashByzantine(_ByzantineMixin, ProtocolCore):
     def __init__(
         self,
         inner: ProtocolCore,
-        crash_after_deliveries: Optional[int] = None,
-        crash_at_time: Optional[float] = None,
+        crash_after_deliveries: int | None = None,
+        crash_at_time: float | None = None,
     ) -> None:
         super().__init__(inner.pid)
         if crash_after_deliveries is None and crash_at_time is None:
@@ -353,7 +354,7 @@ class FastForwardGWTS(_ByzantineMixin, ProtocolCore):
         lattice: JoinSemilattice,
         members: Sequence[Hashable],
         rounds_ahead: int = 5,
-        values: Optional[Sequence[LatticeElement]] = None,
+        values: Sequence[LatticeElement] | None = None,
     ) -> None:
         super().__init__(pid)
         self.lattice = lattice

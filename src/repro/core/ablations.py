@@ -30,8 +30,9 @@ implementations and are never exported through the top-level package API.
 """
 
 from __future__ import annotations
+from collections.abc import Hashable
 
-from typing import Any, Hashable
+from typing import Any
 
 from repro.broadcast.reliable import RBInit
 from repro.core.wts import DISCLOSURE_TAG, WTSProcess

@@ -28,7 +28,8 @@ phases run per round, which is what keeps the per-decision message count at
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+from collections.abc import Hashable, Sequence
+from typing import Any
 
 from repro.core.messages import (
     DecidedCertificate,
@@ -54,11 +55,11 @@ HALTED = "halted"
 
 
 def gsbs_safe_ack_body(
-    rcvd_set: FrozenSet[SignedValue],
-    conflicts: FrozenSet[Tuple[SignedValue, SignedValue]],
+    rcvd_set: frozenset[SignedValue],
+    conflicts: frozenset[tuple[SignedValue, SignedValue]],
     request_id: int,
     round_no: int,
-) -> Tuple[str, Tuple[SignedValue, ...], Tuple[Tuple[SignedValue, SignedValue], ...], int, int]:
+) -> tuple[str, tuple[SignedValue, ...], tuple[tuple[SignedValue, SignedValue], ...], int, int]:
     """Canonical signable body of a round-stamped ``safe_ack``."""
     return (
         "gsbs_safe_ack",
@@ -70,11 +71,11 @@ def gsbs_safe_ack_body(
 
 
 def gsbs_ack_body(
-    accepted_set: FrozenSet[ProvenValue],
+    accepted_set: frozenset[ProvenValue],
     destination: Hashable,
     ts: int,
     round_no: int,
-) -> Tuple[str, Tuple[ProvenValue, ...], Hashable, int, int]:
+) -> tuple[str, tuple[ProvenValue, ...], Hashable, int, int]:
     """Canonical signable body of a round-stamped signed ack (Section 8.2)."""
     return (
         "gsbs_ack",
@@ -116,7 +117,7 @@ def verify_certificate(
     """
     if not isinstance(certificate, DecidedCertificate):
         return False
-    signers: Set[Hashable] = set()
+    signers: set[Hashable] = set()
     for ack in certificate.acks:
         if not verify_gsbs_ack(registry, ack):
             return False
@@ -163,7 +164,7 @@ def gsbs_all_safe(
         ):
             return False
         acks = list(proven.safe_acks)
-        senders: Set[Hashable] = set()
+        senders: set[Hashable] = set()
         for ack in acks:
             if not isinstance(ack, GSbSSafeAck):
                 return False
@@ -201,24 +202,24 @@ class GSbSProcess(AgreementProcess):
         self.state = NEWROUND
         self.round = -1
         self.ts = 0
-        self.batches: Dict[int, List[LatticeElement]] = defaultdict(list)
-        self.received_inputs: List[LatticeElement] = []
+        self.batches: dict[int, list[LatticeElement]] = defaultdict(list)
+        self.received_inputs: list[LatticeElement] = []
         #: Per-round collections of signed round-batches (the init phase).
-        self.safety_sets: Dict[int, FrozenSet[SignedValue]] = defaultdict(frozenset)
+        self.safety_sets: dict[int, frozenset[SignedValue]] = defaultdict(frozenset)
         #: Per-round collected safe_acks, keyed by acceptor.
-        self.safe_acks: Dict[int, Dict[Hashable, GSbSSafeAck]] = defaultdict(dict)
-        self.proposed_set: FrozenSet[ProvenValue] = frozenset()
-        self.decided_proven: FrozenSet[ProvenValue] = frozenset()
-        self.ack_records: Dict[Hashable, GSbSAck] = {}
-        self.refinements_by_round: Dict[int, int] = defaultdict(int)
+        self.safe_acks: dict[int, dict[Hashable, GSbSSafeAck]] = defaultdict(dict)
+        self.proposed_set: frozenset[ProvenValue] = frozenset()
+        self.decided_proven: frozenset[ProvenValue] = frozenset()
+        self.ack_records: dict[Hashable, GSbSAck] = {}
+        self.refinements_by_round: dict[int, int] = defaultdict(int)
         #: Certificates observed, keyed by round.
-        self.certificates: Dict[int, DecidedCertificate] = {}
+        self.certificates: dict[int, DecidedCertificate] = {}
 
         # --- acceptor state ---
-        self.accepted_set: FrozenSet[ProvenValue] = frozenset()
-        self.safe_candidates: Dict[int, FrozenSet[SignedValue]] = defaultdict(frozenset)
+        self.accepted_set: frozenset[ProvenValue] = frozenset()
+        self.safe_candidates: dict[int, frozenset[SignedValue]] = defaultdict(frozenset)
         self.trusted_round = 0
-        self.waiting_msgs: List[Tuple[Hashable, Any]] = []
+        self.waiting_msgs: list[tuple[Hashable, Any]] = []
 
         for value in initial_values:
             self.new_value(value)
@@ -435,7 +436,7 @@ class GSbSProcess(AgreementProcess):
             and len(self.safe_acks[self.round]) >= self.quorum
         ):
             proof = frozenset(self.safe_acks[self.round].values())
-            proven: Set[ProvenValue] = set(self.proposed_set)
+            proven: set[ProvenValue] = set(self.proposed_set)
             for value in self.safety_sets[self.round]:
                 if any(gsbs_value_conflicted_in(ack, value) for ack in proof):
                     continue
@@ -481,7 +482,7 @@ class GSbSProcess(AgreementProcess):
         self.safety_sets[self.round] = remove_conflicts(self.registry, current)
         self.send_to_members(GSbSInit(payload=signed, round=self.round))
 
-    def _decide(self, proven_set: FrozenSet[ProvenValue]) -> None:
+    def _decide(self, proven_set: frozenset[ProvenValue]) -> None:
         self.decided_proven = frozenset(self.decided_proven | proven_set)
         decision = self.lattice.join_all(
             proven.value.value[1] for proven in self.decided_proven
@@ -495,7 +496,7 @@ class GSbSProcess(AgreementProcess):
         progress = True
         while progress:
             progress = False
-            remaining: List[Tuple[Hashable, Any]] = []
+            remaining: list[tuple[Hashable, Any]] = []
             for sender, payload in self.waiting_msgs:
                 if isinstance(payload, GSbSAckRequest):
                     consumed = self._handle_ack_request(sender, payload)

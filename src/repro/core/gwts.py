@@ -26,7 +26,8 @@ is a truncation of the paper's infinite execution (see DESIGN.md §2).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from collections.abc import Hashable, Sequence
+from typing import Any
 
 from repro.broadcast.reliable import ReliableBroadcaster
 from repro.core.messages import RoundAck, RoundAckRequest, RoundNack
@@ -41,7 +42,7 @@ HALTED = "halted"
 
 #: Key identifying one acknowledged proposal in ``Ack_history``:
 #: (accepted_set, destination proposer, timestamp, round).
-AckKey = Tuple[Any, Hashable, int, int]
+AckKey = tuple[Any, Hashable, int, int]
 
 
 class GWTSProcess(AgreementProcess):
@@ -75,27 +76,27 @@ class GWTSProcess(AgreementProcess):
         self.state = NEWROUND
         self.round = -1
         self.ts = 0
-        self.batches: Dict[int, List[LatticeElement]] = defaultdict(list)
+        self.batches: dict[int, list[LatticeElement]] = defaultdict(list)
         self.proposed_set: LatticeElement = lattice.bottom()
         self.decided_set: LatticeElement = lattice.bottom()
         #: Per-round safe-values sets: round -> origin -> disclosed element.
-        self.svs: Dict[int, Dict[Hashable, LatticeElement]] = defaultdict(dict)
+        self.svs: dict[int, dict[Hashable, LatticeElement]] = defaultdict(dict)
         #: Per-round disclosure counters (``Counter[r]``).
-        self.counter: Dict[int, int] = defaultdict(int)
+        self.counter: dict[int, int] = defaultdict(int)
         #: Ack history shared by the proposer and acceptor roles:
         #: AckKey -> set of acceptors whose reliably-broadcast ack we saw.
-        self.ack_history: Dict[AckKey, Set[Hashable]] = defaultdict(set)
-        self.waiting_msgs: List[Tuple[Hashable, Any]] = []
+        self.ack_history: dict[AckKey, set[Hashable]] = defaultdict(set)
+        self.waiting_msgs: list[tuple[Hashable, Any]] = []
         #: All values this process has received as inputs (for the checkers).
-        self.received_inputs: List[LatticeElement] = []
+        self.received_inputs: list[LatticeElement] = []
         #: Refinements performed per round (Lemma 10 bounds each by f).
-        self.refinements_by_round: Dict[int, int] = defaultdict(int)
+        self.refinements_by_round: dict[int, int] = defaultdict(int)
 
         # --- acceptor state (Algorithm 4 lines 1-3) ---
         self.accepted_set: LatticeElement = lattice.bottom()
         self.safe_round = 0
 
-        self._rb: Optional[ReliableBroadcaster] = None
+        self._rb: ReliableBroadcaster | None = None
 
         for value in initial_values:
             self.new_value(value)
@@ -246,7 +247,7 @@ class GWTSProcess(AgreementProcess):
             for key, senders in self.ack_history.items()
         )
 
-    def _find_decidable_commit(self) -> Optional[LatticeElement]:
+    def _find_decidable_commit(self) -> LatticeElement | None:
         """A committed ``Accepted_set`` of the current round extending ``Decided_set``."""
         candidates = [
             key[0]
@@ -272,7 +273,7 @@ class GWTSProcess(AgreementProcess):
         progress = True
         while progress:
             progress = False
-            remaining: List[Tuple[Hashable, Any]] = []
+            remaining: list[tuple[Hashable, Any]] = []
             for sender, payload in self.waiting_msgs:
                 if self._try_handle(sender, payload):
                     progress = True

@@ -10,9 +10,10 @@ receiver, matching the value semantics of messages in the model.
 """
 
 from __future__ import annotations
+from collections.abc import Hashable
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Hashable, Tuple
+from typing import Any
 
 from repro.crypto.signatures import SignedValue
 
@@ -108,7 +109,7 @@ class InitPhase:
 class SafeRequest:
     """``<safe_req, Safety_set>`` — proposer asks acceptors to vet its values."""
 
-    safety_set: FrozenSet[SignedValue]
+    safety_set: frozenset[SignedValue]
     request_id: int
     mtype: str = "safe_req"
 
@@ -123,8 +124,8 @@ class SafeAck:
     transferable proof of safety.
     """
 
-    rcvd_set: FrozenSet[SignedValue]
-    conflicts: FrozenSet[Tuple[SignedValue, SignedValue]]
+    rcvd_set: frozenset[SignedValue]
+    conflicts: frozenset[tuple[SignedValue, SignedValue]]
     request_id: int
     signature: SignedValue
     mtype: str = "safe_ack"
@@ -135,7 +136,7 @@ class ProvenValue:
     """``<v, Safe_acks>`` — a signed value bundled with its proof of safety."""
 
     value: SignedValue
-    safe_acks: FrozenSet[SafeAck]
+    safe_acks: frozenset[SafeAck]
 
     @property
     def raw(self) -> Any:
@@ -147,7 +148,7 @@ class ProvenValue:
 class SbSAckRequest:
     """``<ack_req, Proposed_set, ts>`` with proofs of safety attached."""
 
-    proposed_set: FrozenSet[ProvenValue]
+    proposed_set: frozenset[ProvenValue]
     ts: int
     mtype: str = "ack_req"
 
@@ -156,7 +157,7 @@ class SbSAckRequest:
 class SbSAck:
     """``<ack, Accepted_set, rts>`` — plain (point-to-point) acceptor ack."""
 
-    accepted_set: FrozenSet[ProvenValue]
+    accepted_set: frozenset[ProvenValue]
     ts: int
     mtype: str = "ack"
 
@@ -165,7 +166,7 @@ class SbSAck:
 class SbSNack:
     """``<nack, Accepted_set, rts>`` — acceptor refusal carrying its state."""
 
-    accepted_set: FrozenSet[ProvenValue]
+    accepted_set: frozenset[ProvenValue]
     ts: int
     mtype: str = "nack"
 
@@ -188,7 +189,7 @@ class GSbSInit:
 class GSbSSafeRequest:
     """Round-stamped ``safe_req``."""
 
-    safety_set: FrozenSet[SignedValue]
+    safety_set: frozenset[SignedValue]
     request_id: int
     round: int
     mtype: str = "safe_req"
@@ -198,8 +199,8 @@ class GSbSSafeRequest:
 class GSbSSafeAck:
     """Round-stamped signed ``safe_ack``."""
 
-    rcvd_set: FrozenSet[SignedValue]
-    conflicts: FrozenSet[Tuple[SignedValue, SignedValue]]
+    rcvd_set: frozenset[SignedValue]
+    conflicts: frozenset[tuple[SignedValue, SignedValue]]
     request_id: int
     round: int
     signature: SignedValue
@@ -210,7 +211,7 @@ class GSbSSafeAck:
 class GSbSAckRequest:
     """Round-stamped ``ack_req`` carrying proven values."""
 
-    proposed_set: FrozenSet[ProvenValue]
+    proposed_set: frozenset[ProvenValue]
     ts: int
     round: int
     mtype: str = "ack_req"
@@ -225,7 +226,7 @@ class GSbSAck:
     quorum of these.
     """
 
-    accepted_set: FrozenSet[ProvenValue]
+    accepted_set: frozenset[ProvenValue]
     destination: Hashable
     ts: int
     round: int
@@ -237,7 +238,7 @@ class GSbSAck:
 class GSbSNack:
     """Round-stamped nack."""
 
-    accepted_set: FrozenSet[ProvenValue]
+    accepted_set: frozenset[ProvenValue]
     ts: int
     round: int
     mtype: str = "nack"
@@ -254,9 +255,9 @@ class DecidedCertificate:
     ``(accepted_set, destination, ts, round)``.
     """
 
-    accepted_set: FrozenSet[ProvenValue]
+    accepted_set: frozenset[ProvenValue]
     destination: Hashable
     ts: int
     round: int
-    acks: FrozenSet[GSbSAck]
+    acks: frozenset[GSbSAck]
     mtype: str = "decided"

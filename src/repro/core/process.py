@@ -19,8 +19,9 @@ sans-I/O :class:`~repro.engine.ProtocolCore`:
 """
 
 from __future__ import annotations
+from collections.abc import Hashable, Sequence
 
-from typing import Any, Hashable, List, Optional, Sequence, Tuple
+from typing import Any
 
 from repro.core.quorum import byzantine_quorum
 from repro.engine.core import ProtocolCore
@@ -41,11 +42,11 @@ class AgreementProcess(ProtocolCore):
         if pid not in members:
             raise ValueError(f"process {pid!r} must be part of its own membership")
         self.lattice = lattice
-        self.members: Tuple[Hashable, ...] = tuple(members)
+        self.members: tuple[Hashable, ...] = tuple(members)
         self.f = f
         #: Decisions made by this process, in order (one entry for LA, many
         #: for GLA).  Checkers read this; the metrics collector gets a copy.
-        self.decisions: List[LatticeElement] = []
+        self.decisions: list[LatticeElement] = []
 
     # -- membership helpers ------------------------------------------------------
 
@@ -75,7 +76,7 @@ class AgreementProcess(ProtocolCore):
     # -- decision bookkeeping -----------------------------------------------------
 
     def record_decision(
-        self, value: LatticeElement, round: Optional[int] = None
+        self, value: LatticeElement, round: int | None = None
     ) -> None:
         """Append a decision and emit the ``Decide`` effect recording it."""
         self.decisions.append(value)
@@ -83,7 +84,7 @@ class AgreementProcess(ProtocolCore):
         self.decide(value, round=round)
 
     @property
-    def decision(self) -> Optional[LatticeElement]:
+    def decision(self) -> LatticeElement | None:
         """The first decision (the single decision for single-shot LA)."""
         return self.decisions[0] if self.decisions else None
 

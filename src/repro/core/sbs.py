@@ -23,8 +23,9 @@ and the decision latency is at most ``5 + 4f`` message delays (Theorem 8).
 """
 
 from __future__ import annotations
+from collections.abc import Hashable, Iterable, Sequence
 
-from typing import Any, Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Set, Tuple
+from typing import Any
 
 from repro.core.messages import InitPhase, ProvenValue, SafeAck, SafeRequest, SbSAck, SbSAckRequest, SbSNack
 from repro.core.process import AgreementProcess
@@ -45,7 +46,7 @@ DECIDED = "decided"
 
 
 def verify_conflict_pair(
-    registry: KeyRegistry, pair: Tuple[SignedValue, SignedValue]
+    registry: KeyRegistry, pair: tuple[SignedValue, SignedValue]
 ) -> bool:
     """``VerifyConfPair((x, y))``: both signed, same signer, different values."""
     x, y = pair
@@ -59,10 +60,10 @@ def verify_conflict_pair(
 
 def return_conflicts(
     registry: KeyRegistry, values: Iterable[SignedValue]
-) -> FrozenSet[Tuple[SignedValue, SignedValue]]:
+) -> frozenset[tuple[SignedValue, SignedValue]]:
     """``ReturnConflicts(Set)``: all verifiable conflicting pairs in ``values``."""
     values = list(values)
-    conflicts: Set[Tuple[SignedValue, SignedValue]] = set()
+    conflicts: set[tuple[SignedValue, SignedValue]] = set()
     for i, x in enumerate(values):
         for y in values[i + 1 :]:
             if verify_conflict_pair(registry, (x, y)):
@@ -75,10 +76,10 @@ def return_conflicts(
 
 def remove_conflicts(
     registry: KeyRegistry, values: Iterable[SignedValue]
-) -> FrozenSet[SignedValue]:
+) -> frozenset[SignedValue]:
     """``RemoveConflicts(Set)``: drop every value involved in a conflict."""
     values = set(values)
-    conflicted: Set[SignedValue] = set()
+    conflicted: set[SignedValue] = set()
     for x, y in return_conflicts(registry, values):
         conflicted.add(x)
         conflicted.add(y)
@@ -86,10 +87,10 @@ def remove_conflicts(
 
 
 def safe_ack_body(
-    rcvd_set: FrozenSet[SignedValue],
-    conflicts: FrozenSet[Tuple[SignedValue, SignedValue]],
+    rcvd_set: frozenset[SignedValue],
+    conflicts: frozenset[tuple[SignedValue, SignedValue]],
     request_id: int,
-) -> Tuple[str, Tuple[SignedValue, ...], Tuple[Tuple[SignedValue, SignedValue], ...], int]:
+) -> tuple[str, tuple[SignedValue, ...], tuple[tuple[SignedValue, SignedValue], ...], int]:
     """Canonical signable body of a ``safe_ack`` message."""
     return (
         "safe_ack",
@@ -208,7 +209,7 @@ class SbSProcess(AgreementProcess):
         members: Sequence[Hashable],
         f: int,
         registry: KeyRegistry,
-        proposal: Optional[LatticeElement] = None,
+        proposal: LatticeElement | None = None,
     ) -> None:
         super().__init__(pid, lattice, members, f)
         self.registry = registry
@@ -222,18 +223,18 @@ class SbSProcess(AgreementProcess):
         # --- proposer state (Algorithm 8 lines 1-6) ---
         self.state = INIT
         self.ts = 0
-        self.safety_set: FrozenSet[SignedValue] = frozenset()
-        self.safe_acks: Dict[Hashable, SafeAck] = {}
-        self.proposed_set: FrozenSet[ProvenValue] = frozenset()
-        self.ack_senders: Set[Hashable] = set()
-        self.byz: Set[Hashable] = set()
+        self.safety_set: frozenset[SignedValue] = frozenset()
+        self.safe_acks: dict[Hashable, SafeAck] = {}
+        self.proposed_set: frozenset[ProvenValue] = frozenset()
+        self.ack_senders: set[Hashable] = set()
+        self.byz: set[Hashable] = set()
         self.refinements = 0
         #: The signed value this process committed to in the init phase.
-        self.own_signed: Optional[SignedValue] = None
+        self.own_signed: SignedValue | None = None
 
         # --- acceptor state (Algorithm 9 lines 1-2) ---
-        self.safe_candidates: FrozenSet[SignedValue] = frozenset()
-        self.accepted_set: FrozenSet[ProvenValue] = frozenset()
+        self.safe_candidates: frozenset[SignedValue] = frozenset()
+        self.accepted_set: frozenset[ProvenValue] = frozenset()
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -387,7 +388,7 @@ class SbSProcess(AgreementProcess):
         # proofs of safety and start proposing.
         if self.state == SAFETYING and len(self.safe_acks) >= self.quorum:
             proof = frozenset(self.safe_acks.values())
-            proven: Set[ProvenValue] = set(self.proposed_set)
+            proven: set[ProvenValue] = set(self.proposed_set)
             for value in self.safety_set:
                 if any(value_conflicted_in(ack, value) for ack in proof):
                     continue

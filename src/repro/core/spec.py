@@ -16,8 +16,9 @@ correctness argument of the reproduction is concentrated here.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Hashable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, List, Mapping, Sequence
+from typing import Any
 
 from repro.lattice.base import JoinSemilattice, LatticeElement
 
@@ -72,7 +73,7 @@ class LACheckResult:
     """
 
     ok: bool
-    violations: Dict[str, List[str]] = field(default_factory=dict)
+    violations: dict[str, list[str]] = field(default_factory=dict)
 
     def add(self, prop: str, message: str) -> None:
         self.violations.setdefault(prop, []).append(message)
@@ -132,7 +133,7 @@ def check_la_run(
             if len(distinct) > 1:
                 result.add("stability", f"process {pid!r} decided {len(distinct)} values")
 
-    flat: List[LatticeElement] = [
+    flat: list[LatticeElement] = [
         decs[0] for pid, decs in decisions.items() if pid in proposals and decs
     ]
 
@@ -212,7 +213,7 @@ def check_gla_run(
                 )
 
     # Comparability: any two decisions of correct processes are comparable.
-    flat: List[LatticeElement] = []
+    flat: list[LatticeElement] = []
     for pid in correct:
         flat.extend(decisions.get(pid, []))
     for a, b in itertools.combinations(flat, 2):

@@ -23,8 +23,9 @@ equivocated) values into decisions.
 """
 
 from __future__ import annotations
+from collections.abc import Hashable, Sequence
 
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Any
 
 from repro.broadcast.reliable import ReliableBroadcaster
 from repro.core.messages import Ack, AckRequest, Nack
@@ -60,7 +61,7 @@ class WTSProcess(AgreementProcess):
         lattice: JoinSemilattice,
         members: Sequence[Hashable],
         f: int,
-        proposal: Optional[LatticeElement] = None,
+        proposal: LatticeElement | None = None,
     ) -> None:
         super().__init__(pid, lattice, members, f)
         self.proposal: LatticeElement = (
@@ -74,18 +75,18 @@ class WTSProcess(AgreementProcess):
         self.ts = 0
         self.init_counter = 0
         self.proposed_set: LatticeElement = lattice.bottom()
-        self.ack_senders: Set[Hashable] = set()
+        self.ack_senders: set[Hashable] = set()
         #: Safe-values set: the disclosed values delivered by reliable
         #: broadcast, one slot per origin (Observation 1).
-        self.svs: Dict[Hashable, LatticeElement] = {}
-        self.waiting_msgs: List[Tuple[Hashable, Any]] = []
+        self.svs: dict[Hashable, LatticeElement] = {}
+        self.waiting_msgs: list[tuple[Hashable, Any]] = []
         #: Number of proposal refinements performed (Lemma 3 bounds it by f).
         self.refinements = 0
 
         # --- acceptor state (Algorithm 2 line 1) ---
         self.accepted_set: LatticeElement = lattice.bottom()
 
-        self._rb: Optional[ReliableBroadcaster] = None
+        self._rb: ReliableBroadcaster | None = None
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -170,7 +171,7 @@ class WTSProcess(AgreementProcess):
         progress = True
         while progress:
             progress = False
-            remaining: List[Tuple[Hashable, Any]] = []
+            remaining: list[tuple[Hashable, Any]] = []
             for sender, payload in self.waiting_msgs:
                 if self._try_handle(sender, payload):
                     progress = True

@@ -21,8 +21,9 @@ from __future__ import annotations
 import hashlib
 import hmac
 import os
+from collections.abc import Hashable
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional
+from typing import Any
 
 
 class SignatureError(Exception):
@@ -92,7 +93,7 @@ class SignedValue:
 class Signer:
     """Per-process signing handle issued by :class:`KeyRegistry`."""
 
-    def __init__(self, identity: Hashable, secret: bytes, registry: "KeyRegistry") -> None:
+    def __init__(self, identity: Hashable, secret: bytes, registry: KeyRegistry) -> None:
         self._identity = identity
         self._secret = secret
         self._registry = registry
@@ -120,8 +121,8 @@ class KeyRegistry:
     subject to Byzantine corruption.
     """
 
-    def __init__(self, seed: Optional[int] = None) -> None:
-        self._keys: Dict[Hashable, bytes] = {}
+    def __init__(self, seed: int | None = None) -> None:
+        self._keys: dict[Hashable, bytes] = {}
         self._seed = seed
         self._counter = 0
         # Verification memo keyed by object identity.  Signed values are
@@ -130,13 +131,13 @@ class KeyRegistry:
         # checks (which re-verify the same proof objects on every message)
         # from dominating large-n runs.  The dict holds a strong reference to
         # the object so an id() is never reused while the entry is alive.
-        self._verify_memo: Dict[int, tuple] = {}
+        self._verify_memo: dict[int, tuple] = {}
         #: Scratch memoisation space for higher-level validators (e.g. the
         #: SbS ``AllSafe`` checks).  Keyed by caller-chosen tuples; values are
         #: ``(anchor_object, result)`` pairs where the anchor keeps the id()
         #: of the validated object stable.  Scoped to this registry, i.e. to
         #: one simulation run.
-        self.validation_memo: Dict[tuple, tuple] = {}
+        self.validation_memo: dict[tuple, tuple] = {}
 
     def register(self, identity: Hashable) -> Signer:
         """Issue (or re-issue) the signer for ``identity``."""

@@ -12,20 +12,39 @@ This package realises that model in two decoupled halves:
   network or a clock; they emit :mod:`~repro.engine.effects` (send /
   broadcast / set_timer / decide / output) and are handed
   :mod:`~repro.engine.events` (start / deliver / timer / crash / recover).
-* **Backends** — interpreters for those effects:
+* **Backends** — interpreters for those effects, described as data in the
+  :mod:`~repro.engine.backends` registry:
 
   - :class:`KernelEngine` — the reference backend on the deterministic
     discrete-event :class:`~repro.sim.SimKernel`: schedulers, fault plans,
     metrics, causal-depth accounting, delivery log, golden-trace replay.
   - :class:`TurboEngine` — the benchmark fast path: same schedule, no
     per-message shim objects (see :mod:`repro.engine.turbo_backend`).
+  - :class:`AsyncEngine` — real asyncio I/O: one task per node, wall-clock
+    time, crash = task cancellation; in-process queues (CI determinism-lite)
+    or length-prefixed JSON frames over localhost TCP (see
+    :mod:`repro.engine.async_backend`).
 
-``create_engine(backend=...)`` picks one by name; everything above this
-layer (scenario builders, experiments, the explorer) takes a ``backend``
-string and stays agnostic.  A future asyncio real-network backend drops in
-behind the same effect vocabulary.
+Engine *services* shared by every backend — the :class:`~repro.engine.
+services.Clock` abstraction (simulated vs wall-clock time sources) and the
+uniform :class:`RunResult` — live in :mod:`repro.engine.services`.
+
+``create_engine(backend=...)`` resolves names through the registry;
+everything above this layer (scenario builders, experiments, the explorer)
+takes a ``backend`` string and stays agnostic.
 """
 
+from repro.engine.async_backend import AsyncEngine
+from repro.engine.backends import (
+    BackendInfo,
+    backend_is_wall_clock,
+    backend_names,
+    backend_param_help,
+    backend_time_source,
+    create_engine,
+    get_backend,
+    register_backend,
+)
 from repro.engine.core import ProtocolCore
 from repro.engine.delays import (
     AdversarialTargetedDelay,
@@ -38,32 +57,30 @@ from repro.engine.delays import (
 from repro.engine.effects import Broadcast, Cancel, Decide, Effect, Output, Send, SetTimer, TimerHandle
 from repro.engine.envelope import Envelope, estimate_size
 from repro.engine.events import CoreEvent, Crashed, Deliver, Recovered, Start, TimerFired
-from repro.engine.kernel_backend import KernelEngine, RunResult
+from repro.engine.kernel_backend import KernelEngine
+from repro.engine.services import (
+    TIME_SIMULATED,
+    TIME_SOURCES,
+    TIME_WALL_CLOCK,
+    Clock,
+    RunResult,
+    SimulatedClock,
+    WallClock,
+)
 from repro.engine.turbo_backend import TurboEngine
 
+
+def _engine_backends():
+    """Legacy name -> class view of the registry (kept for callers that
+    imported the old ``ENGINE_BACKENDS`` dict)."""
+    from repro.engine.backends import _BACKENDS
+
+    return {name: info.factory for name, info in _BACKENDS.items()}
+
+
 #: Registry of execution backends by name (the scenario builders' axis).
-ENGINE_BACKENDS = {
-    "kernel": KernelEngine,
-    "turbo": TurboEngine,
-}
-
-
-def create_engine(
-    backend: str = "kernel",
-    delay_model=None,
-    seed: int = 0,
-    metrics=None,
-    scheduler=None,
-):
-    """Instantiate the named backend with the shared constructor signature."""
-    try:
-        engine_class = ENGINE_BACKENDS[backend]
-    except KeyError:
-        known = ", ".join(sorted(ENGINE_BACKENDS))
-        raise ValueError(f"unknown engine backend {backend!r}; known: {known}") from None
-    return engine_class(
-        delay_model=delay_model, seed=seed, metrics=metrics, scheduler=scheduler
-    )
+#: Derived from :mod:`repro.engine.backends`; prefer the registry functions.
+ENGINE_BACKENDS = _engine_backends()
 
 
 __all__ = [
@@ -83,12 +100,27 @@ __all__ = [
     "TimerFired",
     "Crashed",
     "Recovered",
-    # backends
+    # backends & the registry
     "KernelEngine",
     "TurboEngine",
+    "AsyncEngine",
     "RunResult",
+    "BackendInfo",
     "ENGINE_BACKENDS",
     "create_engine",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "backend_time_source",
+    "backend_is_wall_clock",
+    "backend_param_help",
+    # engine services (clocks & time sources)
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "TIME_SIMULATED",
+    "TIME_WALL_CLOCK",
+    "TIME_SOURCES",
     # wire format & delay models
     "Envelope",
     "estimate_size",

@@ -1,0 +1,878 @@
+"""Asyncio backend: protocol cores on real event-loop I/O.
+
+:class:`AsyncEngine` executes the same sans-I/O cores as the kernel and
+turbo backends, but on a live :mod:`asyncio` event loop: one task per node,
+real task cancellation for crashes, wall-clock time (see
+:class:`~repro.engine.services.WallClock`), and — in TCP mode — real
+localhost sockets carrying length-prefixed JSON frames
+(:mod:`repro.engine.wire`).  Two transports:
+
+* ``transport="memory"`` (default) — **determinism-lite mode for CI**: node
+  tasks exchange events through in-process :class:`asyncio.Queue` inboxes
+  while a dispatcher coroutine paces deliveries off a virtual-time calendar
+  driven by the *same* seeded scheduler draws, sequence numbering and
+  crash/partition hold semantics as the turbo backend.  Deliveries are
+  therefore processed in exactly the kernel schedule's order, so decided
+  values and outputs match the kernel backend for the same (cores, seed,
+  scheduler, fault plan) — pinned by ``tests/engine/test_cross_backend.py``.
+  Timestamps are still wall-clock: only the *order* is reproduced, not the
+  simulated clock.
+
+* ``transport="tcp"`` — the real network path: every node listens on an
+  ephemeral localhost port, sends open peer connections lazily and write
+  length-prefixed JSON frames, ``SetTimer``/``Cancel`` map to
+  ``loop.call_later`` handles, and delivery order is whatever the OS and the
+  loop produce.  Safety properties must still hold (they are
+  schedule-independent); latency metrics are wall-clock measurements.
+
+Both transports preserve the model's channel guarantees: messages are never
+lost (crashes and partitions *hold* traffic; it is handed over on
+recovery/heal) and the backend stamps the true sender, so channels stay
+authenticated.  The run driver stops on the stop predicate, on quiescence
+(no messages in flight anywhere), on the ``max_messages``/``max_events``
+valves, or on the optional ``max_wall_s`` hard timeout — a hung event loop
+fails fast instead of wedging CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from collections.abc import Callable, Hashable, Iterable
+from heapq import heappop, heappush
+from random import Random
+from typing import Any
+
+from repro.engine import wire
+from repro.engine.core import ProtocolCore
+from repro.engine.delays import DelayModel, UniformDelay
+from repro.engine.effects import Broadcast, Cancel, Decide, Output, Send, SetTimer, TimerHandle
+from repro.engine.envelope import Envelope
+from repro.engine.services import TIME_WALL_CLOCK, Clock, RunResult, WallClock
+from repro.metrics.collector import MetricsCollector
+from repro.sim.faults import validate_partition_groups
+from repro.sim.kernel import invalid_time
+from repro.sim.scheduler import DelayModelScheduler, Scheduler
+
+#: Calendar-entry kinds (memory transport; mirrors the turbo backend).
+_MESSAGE = 0
+_TIMER = 1
+_CRASH = 2
+_RECOVER = 3
+_PARTITION = 4
+_HEAL = 5
+_INJECT = 6
+
+#: Inbox event kinds handed to node tasks.
+_EV_START = "start"
+_EV_MSG = "msg"
+_EV_TIMER = "timer"
+
+#: How often the TCP driver polls the stop predicate / quiescence state.
+_TCP_POLL_S = 0.002
+
+_INF = float("inf")
+
+
+class AsyncEngine:
+    """Asyncio backend: one task per node, wall-clock time, two transports."""
+
+    name = "async"
+    time_source = TIME_WALL_CLOCK
+
+    def __init__(
+        self,
+        delay_model: DelayModel | None = None,
+        seed: int = 0,
+        metrics: MetricsCollector | None = None,
+        scheduler: Scheduler | None = None,
+        transport: str = "memory",
+        time_scale: float | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if delay_model is not None and scheduler is not None:
+            raise ValueError(
+                "pass either delay_model or scheduler, not both (a scheduler "
+                "fully determines delays; wrap a DelayModel in "
+                "DelayModelScheduler if you want to combine them)"
+            )
+        if transport not in ("memory", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}; known: memory, tcp")
+        self._scheduler = scheduler or DelayModelScheduler(delay_model or UniformDelay())
+        self.rng = Random(seed)
+        self._transport = transport
+        #: Wall seconds per simulated delay unit, used to pace deliveries,
+        #: timers and fault scripts.  The memory transport defaults to 0
+        #: (virtual ordering only, full speed); the TCP transport defaults to
+        #: 1 ms per unit so delay models and retry timers keep their shape.
+        self.time_scale = (0.0 if transport == "memory" else 0.001) if time_scale is None else time_scale
+        if self.time_scale < 0:
+            raise ValueError(f"time_scale must be non-negative, got {self.time_scale!r}")
+        self._host = host
+        self._cores: list[ProtocolCore] = []
+        self._index: dict[Hashable, int] = {}
+        self._pids: tuple[Hashable, ...] = ()
+        self._clock = WallClock()
+        self.metrics = metrics or MetricsCollector()
+        self.outputs: list[tuple[float, Hashable, str, Any]] = []
+        self._started = False
+        self.pending_messages = 0
+        self.events_processed = 0
+        # -- memory-transport calendar (virtual-time heap, turbo semantics) --
+        self._queue: list[tuple] = []
+        self._seq = 0
+        self._msg_seq = 0
+        self._vnow = 0.0
+        self._crashed: set = set()
+        self._partition_groups: tuple[frozenset, ...] = ()
+        self._held_for_node: dict[int, list[tuple]] = {}
+        self._held_for_partition: list[tuple] = []
+        #: Fault scripts registered before the loop exists (tcp transport).
+        self._scripted_controls: list[tuple[float, int, Any]] = []
+        # -- live-loop state (valid only inside one run) --
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._inboxes: list[asyncio.Queue | None] = []
+        self._tasks: list[asyncio.Task | None] = []
+        self._node_failure: BaseException | None = None
+        self._delivered_total = 0
+        # -- tcp-transport state --
+        self._servers: list[Any] = []
+        self._ports: dict[Hashable, int] = {}
+        self._writers: dict[tuple[Hashable, Hashable], Any] = {}
+        self._held_frames: list[tuple[Hashable, Hashable, bytes]] = []
+        self._held_timers: dict[int, list[TimerHandle]] = {}
+        #: Armed (not yet fired or parked) TCP timers and not-yet-applied
+        #: scripted controls — the stall detector needs to know whether any
+        #: future event could still release held traffic.
+        self._live_timer_count = 0
+        self._pending_controls = 0
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_core(self, core: ProtocolCore) -> ProtocolCore:
+        """Register ``core`` under its pid (before the run starts)."""
+        if self._started:
+            raise RuntimeError("cannot add cores after the run started")
+        if core.pid in self._index:
+            raise ValueError(f"duplicate process id {core.pid!r}")
+        self._index[core.pid] = len(self._cores)
+        self._cores.append(core)
+        self._pids = self._pids + (core.pid,)
+        return core
+
+    add_node = add_core
+
+    @property
+    def pids(self) -> tuple[Hashable, ...]:
+        return self._pids
+
+    @property
+    def nodes(self) -> dict[Hashable, ProtocolCore]:
+        return {core.pid: core for core in self._cores}
+
+    def node(self, pid: Hashable) -> ProtocolCore:
+        return self._cores[self._index[pid]]
+
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds since the run started (0.0 before it)."""
+        return self._clock.now()
+
+    @property
+    def clock(self) -> Clock:
+        """The engine's time service (wall-clock on this backend)."""
+        return self._clock
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    @property
+    def transport(self) -> str:
+        return self._transport
+
+    def pending(self) -> int:
+        """Messages currently in flight (including held ones)."""
+        return self.pending_messages
+
+    # -- effect application -------------------------------------------------------
+
+    def _apply_effects(self, core: ProtocolCore) -> None:
+        """Apply (and drain) everything ``core`` emitted, in emission order."""
+        buffer = core._out
+        if not buffer:
+            return
+        pid = core.pid
+        depth = core.causal_depth + 1
+        submit = self._submit
+        for effect in buffer:
+            cls = effect.__class__
+            if cls is Send:
+                submit(pid, effect.dest, effect.payload, depth)
+            elif cls is Broadcast:
+                payload = effect.payload
+                include_self = effect.include_self
+                for dest in self._pids:
+                    if dest == pid and not include_self:
+                        continue
+                    submit(pid, dest, payload, depth)
+            elif cls is SetTimer:
+                if invalid_time(effect.delay):
+                    raise ValueError(f"invalid timer delay {effect.delay!r}")
+                self._arm_timer(self._index[pid], effect.delay, effect.handle)
+            elif cls is Decide:
+                self.metrics.record_decision(
+                    pid=pid,
+                    value=effect.value,
+                    time=self._clock.now(),
+                    causal_depth=core.causal_depth,
+                    round=effect.round,
+                )
+            elif cls is Output:
+                self.outputs.append((self._clock.now(), pid, effect.label, effect.data))
+            elif cls is Cancel:
+                effect.handle.cancel()
+            else:
+                raise TypeError(
+                    f"core {pid!r} emitted a non-effect {effect!r}; the engine "
+                    "only understands the repro.engine.effects vocabulary"
+                )
+        buffer.clear()
+
+    def _submit(self, sender: Hashable, dest: Hashable, payload: Any, depth: int) -> None:
+        """Queue one message (authenticated: ``sender`` is the emitting core)."""
+        dest_index = self._index.get(dest)
+        if dest_index is None:
+            raise ValueError(f"unknown destination {dest!r}")
+        self._msg_seq += 1
+        envelope = Envelope(
+            sender=sender,
+            dest=dest,
+            payload=payload,
+            send_time=self._vnow if self._transport == "memory" else self._clock.now(),
+            depth=depth,
+            seq=self._msg_seq,
+        )
+        delay = self._scheduler.delay(envelope, self.rng)
+        if delay < 0 or delay != delay or delay == _INF:
+            raise ValueError(f"scheduler produced invalid delay {delay!r}")
+        self.pending_messages += 1
+        self.metrics.record_send(sender, dest, envelope.mtype, envelope)
+        if self._transport == "memory":
+            self._seq += 1
+            heappush(self._queue, (self._vnow + delay, self._seq, _MESSAGE, dest_index, envelope))
+        else:
+            self._tcp_schedule_send(envelope, delay)
+
+    def _arm_timer(self, index: int, delay: float, handle: TimerHandle) -> None:
+        if self._transport == "memory":
+            self._seq += 1
+            heappush(self._queue, (self._vnow + delay, self._seq, _TIMER, index, handle))
+        else:
+            loop = self._loop
+            if loop is None:
+                raise RuntimeError("tcp timers can only be armed while the loop runs")
+            # Cancellation is lazy (checked at fire time, like the simulated
+            # backends) so the callback always runs and the live-timer count
+            # stays exact — the stall detector depends on it.
+            self._live_timer_count += 1
+            loop.call_later(delay * self.time_scale, self._tcp_fire_timer, index, handle)
+
+    def schedule_timer(
+        self, pid: Hashable, delay: float, tag: str, payload: Any = None
+    ) -> TimerHandle:
+        """Arm a timer firing ``pid``'s ``on_timer`` after ``delay`` (harness API)."""
+        index = self._index.get(pid)
+        if index is None:
+            raise ValueError(f"unknown process {pid!r}")
+        if invalid_time(delay):
+            raise ValueError(f"invalid timer delay {delay!r}")
+        handle = TimerHandle(tag, payload)
+        self._arm_timer(index, delay, handle)
+        return handle
+
+    # -- faults (same semantics as the simulated backends) --------------------------
+
+    def _push_control(self, at: float | None, kind: int, arg: Any) -> None:
+        if self._transport == "memory":
+            due = self._vnow if at is None else at
+            if due < self._vnow or invalid_time(due):
+                raise ValueError(f"invalid event time {due!r} (now={self._vnow!r})")
+            self._seq += 1
+            heappush(self._queue, (due, self._seq, kind, arg))
+        else:
+            due = 0.0 if at is None else at
+            if invalid_time(due):
+                raise ValueError(f"invalid event time {due!r}")
+            self._scripted_controls.append((due, kind, arg))
+
+    def crash_node(self, pid: Hashable, at: float | None = None) -> None:
+        """Schedule ``pid``'s crash at virtual time ``at`` (default: now)."""
+        if pid not in self._index:
+            raise ValueError(f"unknown process {pid!r}")
+        self._push_control(at, _CRASH, self._index[pid])
+
+    def recover_node(self, pid: Hashable, at: float | None = None) -> None:
+        """Schedule ``pid``'s recovery at virtual time ``at`` (default: now)."""
+        if pid not in self._index:
+            raise ValueError(f"unknown process {pid!r}")
+        self._push_control(at, _RECOVER, self._index[pid])
+
+    def start_partition(
+        self, *groups: Iterable[Hashable], at: float | None = None
+    ) -> None:
+        """Schedule a partition into ``groups`` at ``at`` (default: now)."""
+        frozen = tuple(frozenset(group) for group in groups)
+        validate_partition_groups(frozen)
+        for group in frozen:
+            for pid in group:
+                if pid not in self._index:
+                    raise ValueError(f"unknown process {pid!r} in partition group")
+        self._push_control(at, _PARTITION, frozen)
+
+    def heal_partition(self, at: float | None = None) -> None:
+        """Schedule the partition heal at ``at`` (default: now)."""
+        self._push_control(at, _HEAL, None)
+
+    def inject(
+        self,
+        fn: Callable[["AsyncEngine"], Any],
+        at: float | None = None,
+        label: str = "inject",
+    ) -> None:
+        """Schedule ``fn(engine)`` at ``at`` — arbitrary scripted action."""
+        self._push_control(at, _INJECT, fn)
+
+    def apply_fault_plan(self, plan) -> None:
+        """Schedule every action of a :class:`~repro.sim.faults.FaultPlan`."""
+        plan.apply(self)
+
+    def _link_blocked(self, sender: Hashable, dest: Hashable) -> bool:
+        group_a = group_b = -1
+        for index, group in enumerate(self._partition_groups):
+            if sender in group:
+                group_a = index
+            if dest in group:
+                group_b = index
+        return group_a >= 0 and group_b >= 0 and group_a != group_b
+
+    # -- running (shared driver) -----------------------------------------------------
+
+    def run(
+        self,
+        stop_when: Callable[[], bool] | None = None,
+        max_messages: int = 200_000,
+        max_events: int | None = None,
+        max_wall_s: float | None = None,
+    ) -> RunResult:
+        """Run the cluster on a fresh event loop until a stop condition.
+
+        Semantics mirror :meth:`KernelEngine.run`: stop on the predicate, on
+        quiescence, or on the ``max_messages``/``max_events`` valves.
+        ``max_wall_s`` additionally bounds real elapsed time (reported as an
+        event-cap truncation), so a hung loop fails fast instead of wedging
+        the caller.  Must not be called from inside a running event loop.
+        """
+        if max_events is None:
+            max_events = max_messages * 8
+        if self._transport == "memory":
+            runner = self._run_memory(stop_when, max_messages, max_events, max_wall_s)
+        else:
+            runner = self._run_tcp(stop_when, max_messages, max_events, max_wall_s)
+        return asyncio.run(runner)
+
+    def run_until_quiescent(self, max_messages: int = 200_000) -> RunResult:
+        """Deliver every message currently in the system (and those they spawn)."""
+        return self.run(stop_when=None, max_messages=max_messages)
+
+    def run_until_decided(
+        self, pids: list[Hashable], max_messages: int = 200_000
+    ) -> RunResult:
+        """Run until every process in ``pids`` has recorded a decision."""
+        targets = set(pids)
+        decided = self.metrics.decided
+
+        def all_decided() -> bool:
+            return targets <= decided
+
+        return self.run(stop_when=all_decided, max_messages=max_messages)
+
+    # -- node tasks ----------------------------------------------------------------
+
+    def _process_event(self, core: ProtocolCore, event: tuple) -> None:
+        """Handle one inbox event inside the node's task."""
+        kind = event[0]
+        core.now = self._clock.now()
+        if kind is _EV_MSG:
+            envelope = event[1]
+            if core.causal_depth < envelope.depth:
+                core.causal_depth = envelope.depth
+            self.pending_messages -= 1
+            self._delivered_total += 1
+            envelope.deliver_time = core.now
+            self.metrics.record_delivery(envelope.sender, core.pid, envelope.mtype)
+            core.on_message(envelope.sender, envelope.payload)
+        elif kind is _EV_TIMER:
+            handle = event[1]
+            core.on_timer(handle.tag, handle.payload)
+        elif kind is _EV_START:
+            core.on_start()
+        if core._out:
+            self._apply_effects(core)
+
+    async def _node_loop(self, index: int) -> None:
+        """One task per node: drain the inbox, run the core, signal progress.
+
+        ``(event, done)`` pairs arrive on the inbox; ``done`` is ``None`` on
+        the TCP transport (free-running) and an :class:`asyncio.Event` on the
+        memory transport, where the dispatcher awaits it so the global
+        delivery order stays the deterministic calendar order.
+        """
+        core = self._cores[index]
+        inbox = self._inboxes[index]
+        while True:
+            event, done = await inbox.get()
+            try:
+                self._process_event(core, event)
+            except BaseException as failure:
+                if self._node_failure is None:
+                    self._node_failure = failure
+                if done is not None:
+                    done.set()
+                raise
+            if done is not None:
+                done.set()
+
+    def _spawn_node(self, index: int) -> None:
+        # Reuse a surviving inbox: on the TCP transport frames keep arriving
+        # while a node is down, queueing in its inbox — a respawn after a
+        # crash must hand them over, not drop them (reliable channels).
+        if self._inboxes[index] is None:
+            self._inboxes[index] = asyncio.Queue()
+        self._tasks[index] = asyncio.get_running_loop().create_task(
+            self._node_loop(index), name=f"repro-node-{self._pids[index]}"
+        )
+
+    async def _cancel_node(self, index: int) -> None:
+        task = self._tasks[index]
+        if task is None:
+            return
+        task.cancel()
+        try:
+            await task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._tasks[index] = None
+
+    async def _dispatch_to_node(self, index: int, event: tuple) -> None:
+        """Memory transport: hand one event over and wait for it to be handled."""
+        done = asyncio.Event()
+        self._inboxes[index].put_nowait((event, done))
+        await done.wait()
+        if self._node_failure is not None:
+            raise self._node_failure
+
+    async def _start_cores(self, sequential: bool) -> None:
+        """Hand every core its start event (once, in registration order)."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(len(self._cores)):
+            if index in self._crashed:
+                continue
+            if sequential:
+                await self._dispatch_to_node(index, (_EV_START,))
+            else:
+                self._inboxes[index].put_nowait(((_EV_START,), None))
+
+    async def _teardown(self) -> None:
+        for index in range(len(self._tasks)):
+            await self._cancel_node(index)
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers = []
+        for writer in self._writers.values():
+            writer.close()
+        self._writers = {}
+        self._ports = {}
+        # Inboxes are kept: a crashed node's queued frames must survive into
+        # a follow-up run (the run drivers swap in fresh loop-bound queues).
+        self._loop = None
+
+    # -- memory transport: deterministic virtual-time dispatch -----------------------
+
+    async def _run_memory(
+        self,
+        stop_when: Callable[[], bool] | None,
+        max_messages: int,
+        max_events: int,
+        max_wall_s: float | None,
+    ) -> RunResult:
+        self._loop = asyncio.get_running_loop()
+        self._clock.start()
+        started_wall = _time.perf_counter()
+        self._inboxes = [None] * len(self._cores)
+        self._tasks = [None] * len(self._cores)
+        for index in range(len(self._cores)):
+            if index not in self._crashed:
+                self._spawn_node(index)
+        deadline = None if max_wall_s is None else started_wall + max_wall_s
+        delivered = 0
+        events = 0
+        stopped = False
+        exhausted = False
+        timed_out = False
+        scale = self.time_scale
+        queue = self._queue
+        crashed = self._crashed
+        try:
+            await self._start_cores(sequential=True)
+            while delivered < max_messages and events < max_events:
+                if stop_when is not None and stop_when():
+                    stopped = True
+                    break
+                if deadline is not None and _time.perf_counter() > deadline:
+                    timed_out = True
+                    break
+                if not queue:
+                    exhausted = True
+                    break
+                entry = heappop(queue)
+                vtime = entry[0]
+                kind = entry[2]
+                if kind == _TIMER and entry[4].cancelled:
+                    continue
+                if vtime > self._vnow:
+                    if scale:
+                        await asyncio.sleep((vtime - self._vnow) * scale)
+                    self._vnow = vtime
+                events += 1
+                self.events_processed += 1
+                if kind == _MESSAGE:
+                    dest_index = entry[3]
+                    envelope = entry[4]
+                    if dest_index in crashed:
+                        self._held_for_node.setdefault(dest_index, []).append(entry)
+                        continue
+                    if self._partition_groups and self._link_blocked(
+                        envelope.sender, envelope.dest
+                    ):
+                        self._held_for_partition.append(entry)
+                        continue
+                    await self._dispatch_to_node(dest_index, (_EV_MSG, envelope))
+                    delivered += 1
+                elif kind == _TIMER:
+                    dest_index = entry[3]
+                    if dest_index in crashed:
+                        self._held_for_node.setdefault(dest_index, []).append(entry)
+                        continue
+                    await self._dispatch_to_node(dest_index, (_EV_TIMER, entry[4]))
+                elif kind == _CRASH:
+                    index = entry[3]
+                    if index not in crashed:
+                        crashed.add(index)
+                        await self._cancel_node(index)
+                        core = self._cores[index]
+                        core.now = self._clock.now()
+                        core.on_crash()
+                        if core._out:
+                            self._apply_effects(core)
+                elif kind == _RECOVER:
+                    index = entry[3]
+                    if index in crashed:
+                        crashed.discard(index)
+                        # Held traffic is re-queued before the recovery hook
+                        # runs and before the task respawns, mirroring the
+                        # simulated backends' ordering exactly.
+                        held = self._held_for_node.pop(index, None)
+                        if held:
+                            self._release(held)
+                        self._spawn_node(index)
+                        core = self._cores[index]
+                        core.now = self._clock.now()
+                        core.on_recover()
+                        if core._out:
+                            self._apply_effects(core)
+                elif kind == _PARTITION:
+                    self._partition_groups = entry[3]
+                    held, self._held_for_partition = self._held_for_partition, []
+                    self._release(held)
+                elif kind == _HEAL:
+                    self._partition_groups = ()
+                    held, self._held_for_partition = self._held_for_partition, []
+                    self._release(held)
+                else:  # _INJECT
+                    entry[3](self)
+        finally:
+            await self._teardown()
+        return RunResult(
+            delivered=delivered,
+            end_time=self._clock.now(),
+            stopped_by_predicate=stopped,
+            pending_messages=self.pending_messages,
+            events=events,
+            events_capped=timed_out
+            or (not stopped and not exhausted and events >= max_events),
+            wall_time_s=_time.perf_counter() - started_wall,
+            metrics=self.metrics,
+        )
+
+    def _release(self, entries: list[tuple]) -> None:
+        """Re-queue held calendar entries in hold order at the current time."""
+        for entry in entries:
+            if entry[2] == _TIMER and entry[4].cancelled:
+                continue
+            self._seq += 1
+            heappush(self._queue, (self._vnow, self._seq) + entry[2:])
+
+    # -- tcp transport: length-prefixed JSON frames over localhost ------------------
+
+    def _tcp_schedule_send(self, envelope: Envelope, delay: float) -> None:
+        """Pace one frame onto the wire after the scheduler's delay."""
+        loop = self._loop
+        if loop is None:
+            raise RuntimeError("tcp sends require a running engine loop")
+        frame = wire.encode_frame(
+            {
+                "sender": envelope.sender,
+                "dest": envelope.dest,
+                "depth": envelope.depth,
+                "seq": envelope.seq,
+                "payload": envelope.payload,
+            }
+        )
+
+        def transmit() -> None:
+            loop.create_task(self._tcp_transmit(envelope.sender, envelope.dest, frame))
+
+        loop.call_later(delay * self.time_scale, transmit)
+
+    async def _tcp_transmit(self, sender: Hashable, dest: Hashable, frame: bytes) -> None:
+        """Write one frame, holding it while the link or destination is down."""
+        dest_index = self._index[dest]
+        if dest_index in self._crashed or (
+            self._partition_groups and self._link_blocked(sender, dest)
+        ):
+            # Channels are reliable: hold the frame, release on recover/heal.
+            self._held_frames.append((sender, dest, frame))
+            return
+        try:
+            writer = self._writers.get((sender, dest))
+            if writer is None:
+                _reader, writer = await asyncio.open_connection(
+                    self._host, self._ports[dest]
+                )
+                self._writers[(sender, dest)] = writer
+            writer.write(frame)
+            await writer.drain()
+        except asyncio.CancelledError:
+            raise  # engine teardown, not a node failure
+        except BaseException as failure:
+            if self._node_failure is None:
+                self._node_failure = failure
+
+    def _tcp_release_held(self) -> None:
+        held, self._held_frames = self._held_frames, []
+        loop = self._loop
+        for sender, dest, frame in held:
+            loop.create_task(self._tcp_transmit(sender, dest, frame))
+
+    def _tcp_fire_timer(self, index: int, handle: TimerHandle) -> None:
+        self._live_timer_count -= 1
+        if handle.cancelled:
+            return
+        if index in self._crashed:
+            # Timers are held for a crashed process, not lost.  Parked
+            # handles leave the live count; the recovery path re-adds them
+            # before re-firing, so the stall detector stays exact.
+            self._held_timers.setdefault(index, []).append(handle)
+            return
+        self._inboxes[index].put_nowait(((_EV_TIMER, handle), None))
+
+    async def _tcp_connection(self, reader, writer) -> None:
+        """Per-connection reader: decode frames into the destination inbox."""
+        try:
+            while True:
+                message = await wire.read_frame(reader)
+                dest_index = self._index[message["dest"]]
+                envelope = Envelope(
+                    sender=message["sender"],
+                    dest=message["dest"],
+                    payload=message["payload"],
+                    send_time=0.0,
+                    depth=message["depth"],
+                    seq=message["seq"],
+                )
+                self._inboxes[dest_index].put_nowait(((_EV_MSG, envelope), None))
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer closed; normal shutdown path
+        except asyncio.CancelledError:
+            # Engine teardown cancelled this reader, not a node failure.
+            # Absorbed (not re-raised) so the server's completion callback
+            # sees a clean task instead of logging the cancellation; the
+            # handler returns immediately either way.
+            pass
+        except BaseException as failure:
+            if self._node_failure is None:
+                self._node_failure = failure
+        finally:
+            writer.close()
+
+    def _tcp_apply_control(self, kind: int, arg: Any) -> None:
+        self._pending_controls -= 1
+        if kind == _CRASH:
+            if arg not in self._crashed:
+                self._crashed.add(arg)
+                task = self._tasks[arg]
+                if task is not None:
+                    task.cancel()
+                    self._tasks[arg] = None
+                core = self._cores[arg]
+                core.now = self._clock.now()
+                core.on_crash()
+                if core._out:
+                    self._apply_effects(core)
+        elif kind == _RECOVER:
+            if arg in self._crashed:
+                self._crashed.discard(arg)
+                self._tcp_release_held()
+                self._spawn_node(arg)
+                held_timers = self._held_timers.pop(arg, ())
+                self._live_timer_count += len(held_timers)  # re-fire decrements
+                for handle in held_timers:
+                    self._tcp_fire_timer(arg, handle)
+                core = self._cores[arg]
+                core.now = self._clock.now()
+                core.on_recover()
+                if core._out:
+                    self._apply_effects(core)
+        elif kind == _PARTITION:
+            self._partition_groups = arg
+            # Re-evaluate parked traffic against the new groups: a link that
+            # was blocked may now be internal to one side (the simulated
+            # backends release-and-refilter on repartition too).
+            self._tcp_release_held()
+        elif kind == _HEAL:
+            self._partition_groups = ()
+            self._tcp_release_held()
+        else:  # _INJECT
+            arg(self)
+
+    async def _run_tcp(
+        self,
+        stop_when: Callable[[], bool] | None,
+        max_messages: int,
+        max_events: int,
+        max_wall_s: float | None,
+    ) -> RunResult:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._clock.start()
+        started_wall = _time.perf_counter()
+        start_delivered = self._delivered_total  # per-run delivery counting
+        # Every node gets an inbox up front — even a crashed one, so frames
+        # already in flight on the sockets queue there and are handed over on
+        # recovery instead of being dropped; only live nodes get a task.
+        # Queues bind to the event loop on first await, so a follow-up run
+        # (fresh loop) gets fresh queues with any leftovers drained over.
+        prior_inboxes = self._inboxes
+        self._inboxes = [asyncio.Queue() for _core in self._cores]
+        if len(prior_inboxes) == len(self._cores):
+            for index, prior in enumerate(prior_inboxes):
+                while prior is not None and not prior.empty():
+                    self._inboxes[index].put_nowait(prior.get_nowait())
+        self._tasks = [None] * len(self._cores)
+        stopped = False
+        timed_out = False
+        stalled = False
+        try:
+            # One listening socket per node; ports are ephemeral.
+            for pid in self._pids:
+                server = await asyncio.start_server(
+                    self._tcp_connection, host=self._host, port=0
+                )
+                self._servers.append(server)
+                self._ports[pid] = server.sockets[0].getsockname()[1]
+            for index in range(len(self._cores)):
+                if index not in self._crashed:
+                    self._spawn_node(index)
+            # Fault scripts registered before the loop existed fire now,
+            # paced by the same time scale as message delays.
+            self._pending_controls += len(self._scripted_controls)
+            for due, kind, arg in self._scripted_controls:
+                loop.call_later(
+                    due * self.time_scale, self._tcp_apply_control, kind, arg
+                )
+            self._scripted_controls = []
+            await self._start_cores(sequential=False)
+            deadline = None if max_wall_s is None else started_wall + max_wall_s
+            # Quiescence: nothing in flight (scheduler-paced sends, held
+            # frames, queued-but-unprocessed inbox events all count) after at
+            # least one settle poll.
+            while True:
+                if self._node_failure is not None:
+                    raise self._node_failure
+                if stop_when is not None and stop_when():
+                    stopped = True
+                    break
+                delivered = self._delivered_total - start_delivered
+                if delivered >= max_messages or delivered >= max_events:
+                    break
+                if deadline is not None and _time.perf_counter() > deadline:
+                    timed_out = True
+                    break
+                if self.pending_messages == 0:
+                    # Double-check after one extra loop turn: a frame may be
+                    # between the socket and an inbox (pending stays > 0
+                    # until the destination task actually processes it, so
+                    # pending == 0 means nothing is in flight anywhere).
+                    await asyncio.sleep(_TCP_POLL_S)
+                    if (
+                        self.pending_messages == 0
+                        and self._node_failure is None
+                        and (stop_when is None or not stop_when())
+                    ):
+                        break
+                    continue
+                if self._tcp_stalled():
+                    # Everything still pending is parked behind a crash or
+                    # partition that nothing scheduled will ever lift: return
+                    # non-quiescent (the simulated backends' exhaustion exit)
+                    # instead of polling until max_wall_s.
+                    stalled = True
+                    break
+                await asyncio.sleep(_TCP_POLL_S)
+            if self._node_failure is not None:
+                raise self._node_failure
+        finally:
+            await self._teardown()
+        delivered = self._delivered_total - start_delivered
+        return RunResult(
+            delivered=delivered,
+            end_time=self._clock.now(),
+            stopped_by_predicate=stopped,
+            pending_messages=self.pending_messages,
+            events=delivered,
+            events_capped=timed_out,
+            wall_time_s=_time.perf_counter() - started_wall,
+            metrics=self.metrics,
+        )
+
+    def _tcp_stalled(self) -> bool:
+        """Whether every pending message is held with no future release.
+
+        True when all pending traffic sits in the held-frame list or in a
+        crashed node's inbox while no scripted control, armed timer or live
+        inbox event remains that could ever release it.  ``stalled`` is the
+        TCP analogue of the simulated backends' queue-exhaustion exit: the
+        run ends non-quiescent rather than polling forever.
+        """
+        if self._pending_controls > 0 or self._live_timer_count > 0:
+            return False
+        held = len(self._held_frames)
+        for index in self._crashed:
+            inbox = self._inboxes[index]
+            if inbox is not None:
+                held += inbox.qsize()
+        return self.pending_messages > 0 and self.pending_messages == held

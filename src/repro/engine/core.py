@@ -27,8 +27,9 @@ per event on the hot path — semantically identical to calling ``handle``.
 """
 
 from __future__ import annotations
+from collections.abc import Hashable, Iterable
 
-from typing import Any, Hashable, Iterable, List, Tuple
+from typing import Any
 
 from repro.engine.effects import Broadcast, Decide, Effect, Output, Send, SetTimer, TimerHandle
 from repro.engine.events import Crashed, Deliver, Recovered, Start, TimerFired
@@ -48,13 +49,13 @@ class ProtocolCore:
         self.causal_depth: int = 0
         #: Free-form event log (``(time, label, data)``) used by tests and
         #: experiments to trace interesting transitions without prints.
-        self.trace: List[Tuple[float, str, Any]] = []
+        self.trace: list[tuple[float, str, Any]] = []
         #: The preallocated effect buffer the emit helpers append to.
-        self._out: List[Effect] = []
+        self._out: list[Effect] = []
 
     # -- the sans-I/O interface --------------------------------------------------
 
-    def handle(self, event: Any) -> List[Effect]:
+    def handle(self, event: Any) -> list[Effect]:
         """Process one input event and return the effects it produced.
 
         This is the canonical core interface.  Dispatches on the event type
@@ -80,7 +81,7 @@ class ProtocolCore:
         out.clear()
         return effects
 
-    def drain_into(self, sink: List[Effect]) -> None:
+    def drain_into(self, sink: list[Effect]) -> None:
         """Move all buffered effects into ``sink`` (backend fast path)."""
         out = self._out
         if out:

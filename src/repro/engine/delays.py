@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Callable, Hashable, Iterable, Optional, Set, Tuple
+from collections.abc import Callable, Hashable, Iterable
 
 from repro.engine.envelope import Envelope
 
@@ -74,11 +74,11 @@ class SkewedPairDelay(DelayModel):
 
     def __init__(
         self,
-        slow_pairs: Iterable[Tuple[Hashable, Hashable]],
+        slow_pairs: Iterable[tuple[Hashable, Hashable]],
         base: DelayModel | None = None,
         slow_delay: float = 1_000.0,
     ) -> None:
-        self._slow: Set[frozenset] = {frozenset(pair) for pair in slow_pairs}
+        self._slow: set[frozenset] = {frozenset(pair) for pair in slow_pairs}
         self._base = base or UniformDelay()
         self._slow_delay = slow_delay
 
@@ -138,7 +138,7 @@ class AdversarialTargetedDelay(DelayModel):
 
     def __init__(
         self,
-        chooser: Callable[[Envelope, random.Random], Optional[float]],
+        chooser: Callable[[Envelope, random.Random], float | None],
         base: DelayModel | None = None,
         name: str = "custom",
     ) -> None:

@@ -31,8 +31,9 @@ effect must fail the run, not silently drop a message).
 """
 
 from __future__ import annotations
+from collections.abc import Hashable
 
-from typing import Any, Hashable, Optional
+from typing import Any
 
 
 class Effect:
@@ -137,7 +138,7 @@ class Decide(Effect):
 
     __slots__ = ("value", "round")
 
-    def __init__(self, value: Any, round: Optional[int] = None) -> None:
+    def __init__(self, value: Any, round: int | None = None) -> None:
         self.value = value
         self.round = round
 

@@ -19,8 +19,9 @@ runs that never read size metrics never pay for the recursive payload walk.
 """
 
 from __future__ import annotations
+from collections.abc import Hashable
 
-from typing import Any, Hashable, Optional
+from typing import Any
 
 
 def estimate_size(payload: Any) -> int:
@@ -72,10 +73,10 @@ class Envelope:
         dest: Hashable,
         payload: Any,
         send_time: float,
-        deliver_time: Optional[float] = None,
+        deliver_time: float | None = None,
         depth: int = 1,
         seq: int = 0,
-        size: Optional[int] = None,
+        size: int | None = None,
     ) -> None:
         #: True sender process id (stamped by the network — unforgeable).
         self.sender = sender
@@ -95,7 +96,7 @@ class Envelope:
         #: Monotonic sequence number (tie-breaker for deterministic ordering).
         self.seq = seq
         self._size = size
-        self._mtype: Optional[str] = None
+        self._mtype: str | None = None
 
     @property
     def size(self) -> int:
@@ -104,7 +105,7 @@ class Envelope:
             self._size = estimate_size(self.payload)
         return self._size
 
-    def delivered_at(self, time: float) -> "Envelope":
+    def delivered_at(self, time: float) -> Envelope:
         """Return a copy of the envelope stamped with its delivery time.
 
         Kept for API compatibility (and for callers that want a snapshot);

@@ -19,8 +19,9 @@ the core's ``now`` attribute before each ``handle`` call, which is how the
 """
 
 from __future__ import annotations
+from collections.abc import Hashable
 
-from typing import Any, Hashable
+from typing import Any
 
 
 class CoreEvent:

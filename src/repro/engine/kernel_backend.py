@@ -24,13 +24,15 @@ Guarantees provided (matching the model):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+import time
+from collections.abc import Callable, Hashable, Iterable
+from typing import Any
 
 from repro.engine.core import ProtocolCore
 from repro.engine.delays import DelayModel, UniformDelay
 from repro.engine.effects import Broadcast, Cancel, Decide, Output, Send, SetTimer
 from repro.engine.envelope import Envelope
+from repro.engine.services import TIME_SIMULATED, Clock, RunResult, SimulatedClock
 from repro.metrics.collector import MetricsCollector
 from repro.sim.events import (
     Event,
@@ -47,36 +49,7 @@ from repro.sim.kernel import SimKernel, invalid_time
 from repro.sim.scheduler import DelayModelScheduler, Scheduler
 
 
-@dataclass
-class RunResult:
-    """Outcome of one engine run."""
-
-    #: Number of messages delivered during the run.
-    delivered: int
-    #: Simulated time at the end of the run.
-    end_time: float
-    #: Whether the run stopped because the stop predicate became true.
-    stopped_by_predicate: bool
-    #: Whether the engine still had undelivered messages when we stopped.
-    pending_messages: int
-    #: Total kernel events processed (deliveries + timers + faults).
-    events: int = 0
-    #: Whether the run was truncated by the ``max_events`` valve (a scenario
-    #: spinning on non-delivery events, e.g. self-rearming timers behind a
-    #: never-healed partition).  Tests should treat this as a liveness
-    #: failure, like hitting ``max_messages``.
-    events_capped: bool = False
-    #: The metrics collector of the engine (for convenience).
-    metrics: MetricsCollector = field(repr=False, default=None)
-
-    @property
-    def quiescent(self) -> bool:
-        """True when the run ended with no messages left in flight.
-
-        An event-cap truncation is never quiescent, even with an empty
-        message queue — the scenario was still generating events.
-        """
-        return self.pending_messages == 0 and not self.events_capped
+__all__ = ["KernelEngine", "RunResult"]
 
 
 class KernelEngine:
@@ -84,13 +57,15 @@ class KernelEngine:
 
     #: Name under which scenario results report this backend.
     name = "kernel"
+    #: Time semantics of this backend (see :mod:`repro.engine.services`).
+    time_source = TIME_SIMULATED
 
     def __init__(
         self,
-        delay_model: Optional[DelayModel] = None,
+        delay_model: DelayModel | None = None,
         seed: int = 0,
-        metrics: Optional[MetricsCollector] = None,
-        scheduler: Optional[Scheduler] = None,
+        metrics: MetricsCollector | None = None,
+        scheduler: Scheduler | None = None,
     ) -> None:
         if delay_model is not None and scheduler is not None:
             raise ValueError(
@@ -98,15 +73,16 @@ class KernelEngine:
                 "fully determines delays; wrap a DelayModel in "
                 "DelayModelScheduler if you want to combine them)"
             )
-        self._nodes: Dict[Hashable, ProtocolCore] = {}
-        self._pids: Tuple[Hashable, ...] = ()
+        self._nodes: dict[Hashable, ProtocolCore] = {}
+        self._pids: tuple[Hashable, ...] = ()
         self._seq = 0
         self._scheduler = scheduler or DelayModelScheduler(delay_model or UniformDelay())
         self._kernel = SimKernel(seed=seed)
+        self._clock = SimulatedClock(lambda: self._kernel.now)
         self.metrics = metrics or MetricsCollector()
-        self._delivery_log: List[Envelope] = []
+        self._delivery_log: list[Envelope] = []
         #: ``(time, pid, label, data)`` tuples from cores' ``Output`` effects.
-        self.outputs: List[Tuple[float, Hashable, str, Any]] = []
+        self.outputs: list[tuple[float, Hashable, str, Any]] = []
         self._started = False
 
     # -- topology ---------------------------------------------------------------
@@ -124,7 +100,7 @@ class KernelEngine:
     # ``add_node`` reads better at call sites that think in cluster terms.
     add_node = add_core
 
-    def add_cores(self, cores: Iterable[ProtocolCore]) -> List[ProtocolCore]:
+    def add_cores(self, cores: Iterable[ProtocolCore]) -> list[ProtocolCore]:
         """Register several cores at once (in the given order)."""
         registered = []
         for core in cores:
@@ -132,12 +108,12 @@ class KernelEngine:
         return registered
 
     @property
-    def pids(self) -> Tuple[Hashable, ...]:
+    def pids(self) -> tuple[Hashable, ...]:
         """All registered process identifiers."""
         return self._pids
 
     @property
-    def nodes(self) -> Dict[Hashable, ProtocolCore]:
+    def nodes(self) -> dict[Hashable, ProtocolCore]:
         """Mapping from pid to core (read-only by convention)."""
         return self._nodes
 
@@ -149,6 +125,11 @@ class KernelEngine:
     def now(self) -> float:
         """Current simulated time."""
         return self._kernel.now
+
+    @property
+    def clock(self) -> Clock:
+        """The engine's time service (simulated time on this backend)."""
+        return self._clock
 
     @property
     def rng(self):
@@ -166,7 +147,7 @@ class KernelEngine:
         return self._scheduler
 
     @property
-    def delivery_log(self) -> List[Envelope]:
+    def delivery_log(self) -> list[Envelope]:
         """Every delivered envelope, in delivery order (for trace tests)."""
         return self._delivery_log
 
@@ -263,20 +244,20 @@ class KernelEngine:
         self._kernel.schedule(timer, delay)
         return timer
 
-    def crash_node(self, pid: Hashable, at: Optional[float] = None) -> Event:
+    def crash_node(self, pid: Hashable, at: float | None = None) -> Event:
         """Schedule ``pid``'s crash at absolute time ``at`` (default: now)."""
         if pid not in self._nodes:
             raise ValueError(f"unknown process {pid!r}")
         return self._kernel.schedule_at(NodeCrash(pid), self.now if at is None else at)
 
-    def recover_node(self, pid: Hashable, at: Optional[float] = None) -> Event:
+    def recover_node(self, pid: Hashable, at: float | None = None) -> Event:
         """Schedule ``pid``'s recovery at absolute time ``at`` (default: now)."""
         if pid not in self._nodes:
             raise ValueError(f"unknown process {pid!r}")
         return self._kernel.schedule_at(NodeRecover(pid), self.now if at is None else at)
 
     def start_partition(
-        self, *groups: Iterable[Hashable], at: Optional[float] = None
+        self, *groups: Iterable[Hashable], at: float | None = None
     ) -> Event:
         """Schedule a partition into ``groups`` at ``at`` (default: now)."""
         frozen = tuple(frozenset(group) for group in groups)
@@ -289,14 +270,14 @@ class KernelEngine:
             PartitionStart(frozen), self.now if at is None else at
         )
 
-    def heal_partition(self, at: Optional[float] = None) -> Event:
+    def heal_partition(self, at: float | None = None) -> Event:
         """Schedule the partition heal at ``at`` (default: now)."""
         return self._kernel.schedule_at(PartitionHeal(), self.now if at is None else at)
 
     def inject(
         self,
         fn: Callable[["KernelEngine"], Any],
-        at: Optional[float] = None,
+        at: float | None = None,
         label: str = "inject",
     ) -> Event:
         """Schedule ``fn(engine)`` at ``at`` — arbitrary scripted action."""
@@ -321,7 +302,7 @@ class KernelEngine:
         """Number of messages currently in flight (including held ones)."""
         return self._kernel.pending_messages
 
-    def process_next_event(self) -> Tuple[Optional[Event], Optional[Envelope]]:
+    def process_next_event(self) -> tuple[Event | None, Envelope | None]:
         """Pop and process exactly one kernel event.
 
         Returns ``(event, delivered_envelope)``: the envelope is non-``None``
@@ -342,7 +323,7 @@ class KernelEngine:
     #: inside one call.  Exceeding this is a scenario bug, reported loudly.
     MAX_EVENTS_PER_STEP = 100_000
 
-    def step(self) -> Optional[Envelope]:
+    def step(self) -> Envelope | None:
         """Deliver the next message (or return ``None`` if the queue is empty).
 
         Non-message events (timers, faults, injections) encountered along the
@@ -375,9 +356,9 @@ class KernelEngine:
 
     def run(
         self,
-        stop_when: Optional[Callable[[], bool]] = None,
+        stop_when: Callable[[], bool] | None = None,
         max_messages: int = 200_000,
-        max_events: Optional[int] = None,
+        max_events: int | None = None,
     ) -> RunResult:
         """Process events until the stop condition, quiescence or a cap.
 
@@ -395,6 +376,7 @@ class KernelEngine:
         events = 0
         stopped = False
         exhausted = False
+        started_wall = time.perf_counter()
         while delivered < max_messages and events < max_events:
             if stop_when is not None and stop_when():
                 stopped = True
@@ -413,6 +395,7 @@ class KernelEngine:
             pending_messages=self.pending(),
             events=events,
             events_capped=not stopped and not exhausted and events >= max_events,
+            wall_time_s=time.perf_counter() - started_wall,
             metrics=self.metrics,
         )
 
@@ -421,7 +404,7 @@ class KernelEngine:
         return self.run(stop_when=None, max_messages=max_messages)
 
     def run_until_decided(
-        self, pids: List[Hashable], max_messages: int = 200_000
+        self, pids: list[Hashable], max_messages: int = 200_000
     ) -> RunResult:
         """Run until every process in ``pids`` has recorded a decision."""
         targets = set(pids)
@@ -437,7 +420,7 @@ class KernelEngine:
 
     # -- event dispatch ---------------------------------------------------------------
 
-    def _dispatch(self, event: Event) -> Optional[Envelope]:
+    def _dispatch(self, event: Event) -> Envelope | None:
         kernel = self._kernel
         cls = event.__class__
         if cls is MessageDelivery:

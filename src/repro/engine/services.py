@@ -1,0 +1,132 @@
+"""Engine services shared by every execution backend.
+
+The backends (kernel, turbo, async) differ in *how* they move messages, but
+they agree on a small service surface the layers above consume:
+
+* :class:`Clock` — where an engine's notion of time comes from.  The
+  simulated backends advance a :class:`SimulatedClock` event by event and
+  report deterministic simulated time; the asyncio backend anchors a
+  :class:`WallClock` at run start and reports real elapsed seconds.  The
+  ``time_source`` label travels into result artifacts (``repro-results/v3``)
+  so consumers know whether latency metrics are deterministic simulated
+  units or wall-clock measurements.
+* :class:`RunResult` — the uniform outcome record of one engine run,
+  whatever the backend.
+
+Keeping these here (instead of inside one backend module) is what lets a new
+backend be added without the harness, orchestrator or explorer learning
+anything new — they already speak clocks and run results.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.metrics.collector import MetricsCollector
+
+#: ``time_source`` label of the deterministic discrete-event backends.
+TIME_SIMULATED = "simulated"
+#: ``time_source`` label of backends measuring real elapsed seconds.
+TIME_WALL_CLOCK = "wall-clock"
+
+#: The labels a backend (and a ``repro-results/v3`` job payload) may carry.
+TIME_SOURCES = (TIME_SIMULATED, TIME_WALL_CLOCK)
+
+
+class Clock:
+    """Uniform read surface for an engine's time.
+
+    Engines own time *advancement* (the kernel pops events, the async
+    backend lets the OS run); a clock only answers "what time is it" and
+    names the semantics of the answer via :attr:`time_source`.
+    """
+
+    #: One of :data:`TIME_SOURCES`.
+    time_source = TIME_SIMULATED
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({self.time_source})"
+
+
+class SimulatedClock(Clock):
+    """Deterministic simulated time, read off the owning engine.
+
+    The engine advances its own time field on every event pop; the clock is
+    a read adapter (``read`` is e.g. ``lambda: kernel.now``), so there is
+    exactly one source of truth and no second counter to keep in sync.
+    """
+
+    time_source = TIME_SIMULATED
+
+    def __init__(self, read: Callable[[], float]) -> None:
+        self._read = read
+
+    def now(self) -> float:
+        return self._read()
+
+
+class WallClock(Clock):
+    """Real elapsed seconds since :meth:`start` (monotonic, never negative).
+
+    Used by the asyncio backend: ``now()`` before the run starts is 0.0, and
+    afterwards it is the wall-clock duration since the run began — the same
+    zero point simulated runs use, so per-run timestamps stay comparable in
+    shape (decision times, operation histories) even though their *units*
+    are real seconds.
+    """
+
+    time_source = TIME_WALL_CLOCK
+
+    def __init__(self) -> None:
+        self._origin: float | None = None
+
+    def start(self) -> None:
+        """Anchor the clock (idempotent; the first call wins)."""
+        if self._origin is None:
+            self._origin = time.perf_counter()
+
+    def now(self) -> float:
+        if self._origin is None:
+            return 0.0
+        return time.perf_counter() - self._origin
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    #: Number of messages delivered during the run.
+    delivered: int
+    #: Engine time at the end of the run (simulated units or wall-clock
+    #: seconds — see the engine's ``clock.time_source``).
+    end_time: float
+    #: Whether the run stopped because the stop predicate became true.
+    stopped_by_predicate: bool
+    #: Whether the engine still had undelivered messages when we stopped.
+    pending_messages: int
+    #: Total engine events processed (deliveries + timers + faults).
+    events: int = 0
+    #: Whether the run was truncated by the ``max_events`` valve (a scenario
+    #: spinning on non-delivery events, e.g. self-rearming timers behind a
+    #: never-healed partition).  Tests should treat this as a liveness
+    #: failure, like hitting ``max_messages``.
+    events_capped: bool = False
+    #: Real seconds the run took, whatever the backend's time source (on the
+    #: wall-clock backend this equals ``end_time``).
+    wall_time_s: float = 0.0
+    #: The metrics collector of the engine (for convenience).
+    metrics: MetricsCollector = field(repr=False, default=None)
+
+    @property
+    def quiescent(self) -> bool:
+        """True when the run ended with no messages left in flight.
+
+        An event-cap truncation is never quiescent, even with an empty
+        message queue — the scenario was still generating events.
+        """
+        return self.pending_messages == 0 and not self.events_capped

@@ -30,15 +30,18 @@ trace-level debugging and message-type or payload-size analysis.
 
 from __future__ import annotations
 
+import time as _time
+from collections import deque
+from collections.abc import Callable, Hashable, Iterable
 from heapq import heappop, heappush
 from random import Random
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any
 
 from repro.engine.core import ProtocolCore
 from repro.engine.delays import DelayModel, FixedDelay, UniformDelay
 from repro.engine.effects import Broadcast, Cancel, Decide, Output, Send, SetTimer, TimerHandle
 from repro.engine.envelope import Envelope
-from repro.engine.kernel_backend import RunResult
+from repro.engine.services import TIME_SIMULATED, Clock, RunResult, SimulatedClock
 from repro.metrics.collector import MetricsCollector
 from repro.sim.faults import validate_partition_groups
 from repro.sim.kernel import invalid_time
@@ -60,13 +63,15 @@ class TurboEngine:
     """Fast-path backend: one fused event loop, no per-message shim objects."""
 
     name = "turbo"
+    #: Time semantics of this backend (see :mod:`repro.engine.services`).
+    time_source = TIME_SIMULATED
 
     def __init__(
         self,
-        delay_model: Optional[DelayModel] = None,
+        delay_model: DelayModel | None = None,
         seed: int = 0,
-        metrics: Optional[MetricsCollector] = None,
-        scheduler: Optional[Scheduler] = None,
+        metrics: MetricsCollector | None = None,
+        scheduler: Scheduler | None = None,
     ) -> None:
         if delay_model is not None and scheduler is not None:
             raise ValueError(
@@ -76,21 +81,28 @@ class TurboEngine:
             )
         self._scheduler = scheduler or DelayModelScheduler(delay_model or UniformDelay())
         self.rng = Random(seed)
-        self._cores: List[ProtocolCore] = []
-        self._index: Dict[Hashable, int] = {}
-        self._pids: Tuple[Hashable, ...] = ()
-        #: Heap of ``(time, seq, kind, ...)`` tuples; ``seq`` is unique, so
-        #: comparison never reaches the unorderable tail fields.
-        self._queue: List[tuple] = []
+        self._cores: list[ProtocolCore] = []
+        self._index: dict[Hashable, int] = {}
+        self._pids: tuple[Hashable, ...] = ()
+        #: Calendar queue: a heap of *distinct due times* plus one FIFO
+        #: bucket of ``(time, seq, kind, ...)`` entries per time.  Same-time
+        #: entries pop in append order, which equals seq order (``seq`` is
+        #: monotonic), so the schedule is identical to a flat
+        #: ``(time, seq)`` heap — but a large-n broadcast burst under a
+        #: fixed delay costs one sift plus n-1 plain appends instead of n
+        #: sifts, and the heap compares bare floats instead of tuples.
+        self._times: list[float] = []
+        self._buckets: dict[float, deque] = {}
         self._seq = 0
         self._now = 0.0
+        self._clock = SimulatedClock(lambda: self._now)
         self._started = False
         #: Indices of processes currently down.
         self._crashed: set = set()
         #: Active partition (tuple of frozensets of pids), or ().
-        self._partition_groups: Tuple[frozenset, ...] = ()
-        self._held_for_node: Dict[int, List[tuple]] = {}
-        self._held_for_partition: List[tuple] = []
+        self._partition_groups: tuple[frozenset, ...] = ()
+        self._held_for_node: dict[int, list[tuple]] = {}
+        self._held_for_partition: list[tuple] = []
         self.pending_messages = 0
         self.events_processed = 0
         #: Decisions and per-process send *counts* are recorded here, so
@@ -100,8 +112,8 @@ class TurboEngine:
         self.metrics = metrics or MetricsCollector()
         #: Index-addressed send counters (one int increment per send — no
         #: hashing on the hot path); flushed into ``metrics`` after a run.
-        self._send_counts: List[int] = []
-        self.outputs: List[Tuple[float, Hashable, str, Any]] = []
+        self._send_counts: list[int] = []
+        self.outputs: list[tuple[float, Hashable, str, Any]] = []
         #: The one reusable envelope handed to scheduler strategies: its
         #: fields are overwritten per send and its lazy caches reset, so no
         #: per-message envelope is ever allocated.
@@ -134,11 +146,11 @@ class TurboEngine:
     add_node = add_core
 
     @property
-    def pids(self) -> Tuple[Hashable, ...]:
+    def pids(self) -> tuple[Hashable, ...]:
         return self._pids
 
     @property
-    def nodes(self) -> Dict[Hashable, ProtocolCore]:
+    def nodes(self) -> dict[Hashable, ProtocolCore]:
         """Mapping from pid to core (built on demand; not on the hot path)."""
         return {core.pid: core for core in self._cores}
 
@@ -150,8 +162,24 @@ class TurboEngine:
         return self._now
 
     @property
+    def clock(self) -> Clock:
+        """The engine's time service (simulated time on this backend)."""
+        return self._clock
+
+    @property
     def scheduler(self) -> Scheduler:
         return self._scheduler
+
+    # -- the calendar queue -------------------------------------------------------
+
+    def _enqueue(self, entry: tuple) -> None:
+        """Append ``entry`` to its time bucket (creating it on first use)."""
+        due = entry[0]
+        bucket = self._buckets.get(due)
+        if bucket is None:
+            self._buckets[due] = bucket = deque()
+            heappush(self._times, due)
+        bucket.append(entry)
 
     # -- effect application -------------------------------------------------------
 
@@ -189,7 +217,9 @@ class TurboEngine:
         # Hot path hoists: one send is by far the most common effect, and the
         # stock delay models resolve without touching the probe envelope.
         index_get = self._index.get
-        queue = self._queue
+        times = self._times
+        buckets = self._buckets
+        buckets_get = buckets.get
         now = self._now
         fixed = self._fixed_delay
         uniform = self._uniform_bounds
@@ -213,7 +243,12 @@ class TurboEngine:
                 else:
                     delay = self._delay_for(pid, dest, payload, depth)
                 seq += 1
-                heappush(queue, (now + delay, seq, _MESSAGE, dest_index, pid, payload, depth))
+                due = now + delay
+                bucket = buckets_get(due)
+                if bucket is None:
+                    buckets[due] = bucket = deque()
+                    heappush(times, due)
+                bucket.append((due, seq, _MESSAGE, dest_index, pid, payload, depth))
                 pending += 1
                 send_counts[sender_index] += 1
             elif cls is Broadcast:
@@ -230,17 +265,19 @@ class TurboEngine:
                         self._seq = seq
                         delay = self._delay_for(pid, dest, payload, depth)
                     seq += 1
-                    heappush(queue, (now + delay, seq, _MESSAGE, dest_index, pid, payload, depth))
+                    due = now + delay
+                    bucket = buckets_get(due)
+                    if bucket is None:
+                        buckets[due] = bucket = deque()
+                        heappush(times, due)
+                    bucket.append((due, seq, _MESSAGE, dest_index, pid, payload, depth))
                     pending += 1
                     send_counts[sender_index] += 1
             elif cls is SetTimer:
                 if invalid_time(effect.delay):
                     raise ValueError(f"invalid timer delay {effect.delay!r}")
                 seq += 1
-                heappush(
-                    queue,
-                    (now + effect.delay, seq, _TIMER, self._index[pid], effect.handle),
-                )
+                self._enqueue((now + effect.delay, seq, _TIMER, self._index[pid], effect.handle))
             elif cls is Decide:
                 self.metrics.record_decision(
                     pid=pid,
@@ -280,32 +317,32 @@ class TurboEngine:
             raise ValueError(f"invalid timer delay {delay!r}")
         handle = TimerHandle(tag, payload)
         self._seq += 1
-        heappush(self._queue, (self._now + delay, self._seq, _TIMER, index, handle))
+        self._enqueue((self._now + delay, self._seq, _TIMER, index, handle))
         return handle
 
     # -- faults (same semantics as the kernel backend) ------------------------------
 
-    def _push_control(self, at: Optional[float], kind: int, arg: Any) -> None:
-        time = self._now if at is None else at
-        if time < self._now or invalid_time(time):
-            raise ValueError(f"invalid event time {time!r} (now={self._now!r})")
+    def _push_control(self, at: float | None, kind: int, arg: Any) -> None:
+        due = self._now if at is None else at
+        if due < self._now or invalid_time(due):
+            raise ValueError(f"invalid event time {due!r} (now={self._now!r})")
         self._seq += 1
-        heappush(self._queue, (time, self._seq, kind, arg))
+        self._enqueue((due, self._seq, kind, arg))
 
-    def crash_node(self, pid: Hashable, at: Optional[float] = None) -> None:
+    def crash_node(self, pid: Hashable, at: float | None = None) -> None:
         """Schedule ``pid``'s crash at absolute time ``at`` (default: now)."""
         if pid not in self._index:
             raise ValueError(f"unknown process {pid!r}")
         self._push_control(at, _CRASH, self._index[pid])
 
-    def recover_node(self, pid: Hashable, at: Optional[float] = None) -> None:
+    def recover_node(self, pid: Hashable, at: float | None = None) -> None:
         """Schedule ``pid``'s recovery at absolute time ``at`` (default: now)."""
         if pid not in self._index:
             raise ValueError(f"unknown process {pid!r}")
         self._push_control(at, _RECOVER, self._index[pid])
 
     def start_partition(
-        self, *groups: Iterable[Hashable], at: Optional[float] = None
+        self, *groups: Iterable[Hashable], at: float | None = None
     ) -> None:
         """Schedule a partition into ``groups`` at ``at`` (default: now)."""
         frozen = tuple(frozenset(group) for group in groups)
@@ -316,14 +353,14 @@ class TurboEngine:
                     raise ValueError(f"unknown process {pid!r} in partition group")
         self._push_control(at, _PARTITION, frozen)
 
-    def heal_partition(self, at: Optional[float] = None) -> None:
+    def heal_partition(self, at: float | None = None) -> None:
         """Schedule the partition heal at ``at`` (default: now)."""
         self._push_control(at, _HEAL, None)
 
     def inject(
         self,
         fn: Callable[["TurboEngine"], Any],
-        at: Optional[float] = None,
+        at: float | None = None,
         label: str = "inject",
     ) -> None:
         """Schedule ``fn(engine)`` at ``at`` — arbitrary scripted action."""
@@ -342,13 +379,13 @@ class TurboEngine:
                 group_b = index
         return group_a >= 0 and group_b >= 0 and group_a != group_b
 
-    def _release(self, entries: List[tuple]) -> None:
+    def _release(self, entries: list[tuple]) -> None:
         """Re-queue held entries in hold order at the current time."""
         for entry in entries:
             if entry[2] == _TIMER and entry[4].cancelled:
                 continue
             self._seq += 1
-            heappush(self._queue, (self._now, self._seq) + entry[2:])
+            self._enqueue((self._now, self._seq) + entry[2:])
 
     # -- running -------------------------------------------------------------------
 
@@ -368,9 +405,9 @@ class TurboEngine:
 
     def run(
         self,
-        stop_when: Optional[Callable[[], bool]] = None,
+        stop_when: Callable[[], bool] | None = None,
         max_messages: int = 200_000,
-        max_events: Optional[int] = None,
+        max_events: int | None = None,
     ) -> RunResult:
         """Process events until the stop condition, quiescence or a cap.
 
@@ -380,21 +417,31 @@ class TurboEngine:
         self.start()
         if max_events is None:
             max_events = max_messages * 8
-        queue = self._queue
+        times = self._times
+        buckets = self._buckets
         cores = self._cores
         crashed = self._crashed
         delivered = 0
         events = 0
         stopped = False
         exhausted = False
+        started_wall = _time.perf_counter()
         while delivered < max_messages and events < max_events:
             if stop_when is not None and stop_when():
                 stopped = True
                 break
-            if not queue:
+            if not times:
                 exhausted = True
                 break
-            entry = heappop(queue)
+            # Batch-pop: drain the earliest time's FIFO bucket entry by
+            # entry; the heap is only touched when a bucket empties, so a
+            # same-timestamp run costs one sift for the whole run.
+            due = times[0]
+            bucket = buckets[due]
+            entry = bucket.popleft()
+            if not bucket:
+                heappop(times)
+                del buckets[due]
             time = entry[0]
             kind = entry[2]
             if kind == _TIMER and entry[4].cancelled:
@@ -475,6 +522,7 @@ class TurboEngine:
             pending_messages=self.pending_messages,
             events=events,
             events_capped=not stopped and not exhausted and events >= max_events,
+            wall_time_s=_time.perf_counter() - started_wall,
             metrics=self.metrics,
         )
 
@@ -497,7 +545,7 @@ class TurboEngine:
         return self.run(stop_when=None, max_messages=max_messages)
 
     def run_until_decided(
-        self, pids: List[Hashable], max_messages: int = 200_000
+        self, pids: list[Hashable], max_messages: int = 200_000
     ) -> RunResult:
         """Run until every process in ``pids`` has recorded a decision."""
         targets = set(pids)

@@ -1,0 +1,200 @@
+"""Wire format of the asyncio network backend: length-prefixed JSON frames.
+
+The protocols exchange rich Python values — frozen message dataclasses
+(:mod:`repro.core.messages`, :mod:`repro.rsm.replica`, ...), frozensets,
+tuples, :class:`~repro.crypto.signatures.SignedValue` bundles with ``bytes``
+tags.  JSON knows none of those, so the codec wraps every non-JSON-native
+value in a small tagged object::
+
+    ("a", "b")                 -> {"~": "tuple", "v": ["a", "b"]}
+    frozenset({"x"})           -> {"~": "frozenset", "v": ["x"]}
+    b"\\x01\\x02"              -> {"~": "bytes", "v": "0102"}
+    Ack(accepted_set=..., ...) -> {"~": "dc:Ack", "v": {...fields...}}
+
+Dataclass payloads resolve through an explicit registry keyed by class name;
+the registry is populated from the algorithm message modules at import time
+and is extensible (:func:`register_wire_dataclasses`) for user protocols.
+Decoding an unknown tag or class raises :class:`WireError` — a frame the
+codec cannot faithfully reconstruct must fail the run, not silently turn
+into a dict.
+
+Round-trip fidelity: ``decode(encode(x)) == x`` for every supported value
+(including nested signed values — :func:`repro.crypto.signatures.
+canonical_bytes` is order-insensitive for sets, so signatures still verify
+after the trip).  Framing is a 4-byte big-endian length prefix followed by
+the UTF-8 JSON body.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from collections.abc import Iterable
+from typing import Any
+
+#: Tag key; chosen to be an unlikely dict key in application payloads.
+_TAG = "~"
+
+#: Frame header: unsigned 32-bit big-endian body length.
+_HEADER = struct.Struct(">I")
+HEADER_SIZE = _HEADER.size
+
+#: Upper bound on one frame body (64 MiB) — a corrupted length prefix must
+#: not make the reader try to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class WireError(ValueError):
+    """A value or frame the wire codec refuses to handle."""
+
+
+#: Class-name -> dataclass registry for payload decoding.
+_DATACLASSES: dict[str, type] = {}
+
+
+def register_wire_dataclass(cls: type) -> type:
+    """Register one dataclass for wire transport (idempotent per class)."""
+    if not dataclasses.is_dataclass(cls):
+        raise WireError(f"{cls!r} is not a dataclass")
+    existing = _DATACLASSES.get(cls.__name__)
+    if existing is not None and existing is not cls:
+        raise WireError(
+            f"wire dataclass name collision: {cls.__name__!r} already maps "
+            f"to {existing.__module__}.{existing.__qualname__}"
+        )
+    _DATACLASSES[cls.__name__] = cls
+    return cls
+
+
+def register_wire_dataclasses(module) -> None:
+    """Register every public dataclass defined in ``module``."""
+    for name in dir(module):
+        if name.startswith("_"):
+            continue
+        value = getattr(module, name)
+        if isinstance(value, type) and dataclasses.is_dataclass(value) and value.__module__ == module.__name__:
+            register_wire_dataclass(value)
+
+
+_builtins_registered = False
+
+
+def _ensure_builtin_payloads() -> None:
+    """Register the in-tree algorithm message vocabularies (lazily: the
+    protocol modules import :mod:`repro.engine`, so registering at import
+    time would be a cycle)."""
+    global _builtins_registered
+    if _builtins_registered:
+        return
+    _builtins_registered = True
+    from repro.broadcast import reliable
+    from repro.core import messages
+    from repro.crypto import signatures
+    from repro.rsm import commands, replica
+
+    for module in (messages, reliable, replica, commands, signatures):
+        register_wire_dataclasses(module)
+
+
+def encode_value(value: Any) -> Any:
+    """Convert ``value`` into JSON-ready data (tagging non-native types)."""
+    if not _builtins_registered:
+        _ensure_builtin_payloads()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "v": [encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        return {_TAG: "frozenset", "v": _encode_set_items(value)}
+    if isinstance(value, set):
+        return {_TAG: "set", "v": _encode_set_items(value)}
+    if isinstance(value, bytes):
+        return {_TAG: "bytes", "v": value.hex()}
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) and _TAG not in value:
+            return {key: encode_value(item) for key, item in value.items()}
+        # Non-string keys (or a reserved-tag collision): pair list form.
+        return {
+            _TAG: "dict",
+            "v": [[encode_value(key), encode_value(item)] for key, item in value.items()],
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if _DATACLASSES.get(name) is not type(value):
+            raise WireError(
+                f"dataclass {type(value).__module__}.{name} is not wire-registered; "
+                "call repro.engine.wire.register_wire_dataclass first"
+            )
+        fields = {
+            field.name: encode_value(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        return {_TAG: f"dc:{name}", "v": fields}
+    raise WireError(f"value of type {type(value).__name__} is not wire-encodable: {value!r}")
+
+
+def _encode_set_items(items: Iterable[Any]) -> list:
+    """Encode set members in a stable order so frames are deterministic."""
+    encoded = [encode_value(item) for item in items]
+    encoded.sort(key=lambda item: json.dumps(item, sort_keys=True))
+    return encoded
+
+
+def decode_value(data: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if not _builtins_registered:
+        _ensure_builtin_payloads()
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):
+        return [decode_value(item) for item in data]
+    if isinstance(data, dict):
+        tag = data.get(_TAG)
+        if tag is None:
+            return {key: decode_value(item) for key, item in data.items()}
+        body = data.get("v")
+        if tag == "tuple":
+            return tuple(decode_value(item) for item in body)
+        if tag == "frozenset":
+            return frozenset(decode_value(item) for item in body)
+        if tag == "set":
+            return {decode_value(item) for item in body}
+        if tag == "bytes":
+            return bytes.fromhex(body)
+        if tag == "dict":
+            return {decode_value(key): decode_value(item) for key, item in body}
+        if tag.startswith("dc:"):
+            name = tag[3:]
+            cls = _DATACLASSES.get(name)
+            if cls is None:
+                raise WireError(f"unknown wire dataclass {name!r}")
+            return cls(**{key: decode_value(item) for key, item in body.items()})
+        raise WireError(f"unknown wire tag {tag!r}")
+    raise WireError(f"undecodable wire data of type {type(data).__name__}")
+
+
+def encode_frame(message: Any) -> bytes:
+    """Serialise one message into a length-prefixed JSON frame."""
+    body = json.dumps(encode_value(message), separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Any:
+    """Deserialise one frame body (the part after the length prefix)."""
+    return decode_value(json.loads(body.decode("utf-8")))
+
+
+async def read_frame(reader) -> Any:
+    """Read one frame from an :class:`asyncio.StreamReader` (or raise
+    ``asyncio.IncompleteReadError`` when the peer closed)."""
+    header = await reader.readexactly(HEADER_SIZE)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    body = await reader.readexactly(length)
+    return decode_body(body)

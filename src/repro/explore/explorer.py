@@ -21,9 +21,10 @@ mutant)`` produce identical canonical artifacts at any worker count.
 """
 
 from __future__ import annotations
+from collections.abc import Callable
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any
 
 from repro.explore.scenarios import ScenarioSpec, generate_scenarios, run_scenario_spec
 from repro.explore.shrink import DEFAULT_MAX_PROBES, shrink_scenario
@@ -39,10 +40,10 @@ class ViolationReport:
     """One invariant violation: the offending spec and its minimal form."""
 
     spec: ScenarioSpec
-    violations: Dict[str, List[str]]
+    violations: dict[str, list[str]]
     replayed: bool
     shrunk: ScenarioSpec
-    shrunk_violations: Dict[str, List[str]]
+    shrunk_violations: dict[str, list[str]]
     shrink_probes: int
     #: The campaign's quick flag; replay commands must carry it, because
     #: quick mode changes the generalized workloads.
@@ -54,7 +55,7 @@ class ViolationReport:
     def shrunk_replay(self) -> str:
         return self.shrunk.replay_command(quick=self.quick)
 
-    def to_config(self) -> Dict[str, Any]:
+    def to_config(self) -> dict[str, Any]:
         """JSON-ready form embedded in the artifact's ``config.explore``."""
         return {
             "spec": self.spec.params() | {"seed": self.spec.seed},
@@ -75,17 +76,17 @@ class ExplorationReport:
     budget: int
     seed: int
     mutant: str
-    results: List[JobResult]
-    violations: List[ViolationReport] = field(default_factory=list)
+    results: list[JobResult]
+    violations: list[ViolationReport] = field(default_factory=list)
     #: Jobs that timed out or crashed (infrastructure failures, not
     #: invariant verdicts) — still campaign failures.
-    failures: List[str] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations and not self.failures
 
-    def to_config(self) -> Dict[str, Any]:
+    def to_config(self) -> dict[str, Any]:
         return {
             "budget": self.budget,
             "seed": self.seed,
@@ -101,9 +102,9 @@ def explore(
     workers: int = 1,
     mutant: str = "",
     quick: bool = False,
-    timeout_s: Optional[float] = None,
+    timeout_s: float | None = None,
     max_probes: int = DEFAULT_MAX_PROBES,
-    progress: Optional[Callable[[JobResult], None]] = None,
+    progress: Callable[[JobResult], None] | None = None,
 ) -> ExplorationReport:
     """Run one exploration campaign; see the module docstring for the shape."""
     specs = generate_scenarios(seed=seed, budget=budget, mutant=mutant)
@@ -160,7 +161,7 @@ def explore(
 
 def _shrink_with_outcomes(
     spec: ScenarioSpec,
-    outcome: Dict[str, Any],
+    outcome: dict[str, Any],
     quick: bool,
     max_probes: int,
 ) -> tuple:
@@ -170,7 +171,7 @@ def _shrink_with_outcomes(
     so the accepted shrunk spec is never re-simulated just to read its
     violations back.
     """
-    violating_outcomes: Dict[ScenarioSpec, Dict[str, Any]] = {spec: outcome}
+    violating_outcomes: dict[ScenarioSpec, dict[str, Any]] = {spec: outcome}
 
     def violates(candidate: ScenarioSpec) -> bool:
         probe_outcome = run_scenario_spec(candidate, quick=quick)

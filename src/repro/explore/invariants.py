@@ -31,7 +31,7 @@ run is clean.  The names are stable identifiers:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING
 
 from repro.core.spec import render_element
 from repro.rsm.checker import check_rsm_history, collect_admissible_commands
@@ -40,7 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness imports us)
     from repro.harness.workloads import ScenarioResult
 
 #: ``invariant name -> violation messages``; empty when the run is clean.
-Violations = Dict[str, List[str]]
+Violations = dict[str, list[str]]
 
 #: Invariant names per scenario kind (documentation + test parametrization).
 LA_INVARIANTS = ("liveness", "stability", "comparability", "inclusivity", "non_triviality", "byzantine_value_bound")
@@ -58,7 +58,7 @@ RSM_INVARIANTS = (
 SCENARIO_KINDS = ("la", "gla", "rsm")
 
 
-def byzantine_value_bound_violations(scenario: "ScenarioResult") -> List[str]:
+def byzantine_value_bound_violations(scenario: ScenarioResult) -> list[str]:
     """Check ``|B| <= f``: at most ``f`` distinct Byzantine values decided.
 
     ``B`` is the set of adversary-originated lattice values beyond the
@@ -92,7 +92,7 @@ def byzantine_value_bound_violations(scenario: "ScenarioResult") -> List[str]:
     ]
 
 
-def la_invariants(scenario: "ScenarioResult", require_liveness: bool = True) -> Violations:
+def la_invariants(scenario: ScenarioResult, require_liveness: bool = True) -> Violations:
     """Single-shot LA invariants (Section 3.1) plus the Byzantine value bound."""
     violations = {
         name: list(messages)
@@ -104,7 +104,7 @@ def la_invariants(scenario: "ScenarioResult", require_liveness: bool = True) -> 
     return violations
 
 
-def gla_invariants(scenario: "ScenarioResult", require_inclusivity: bool = True) -> Violations:
+def gla_invariants(scenario: ScenarioResult, require_inclusivity: bool = True) -> Violations:
     """Generalized LA invariants (Section 6.1) plus the Byzantine value bound.
 
     ``require_inclusivity=False`` skips the every-input-decided check for
@@ -125,7 +125,7 @@ def gla_invariants(scenario: "ScenarioResult", require_inclusivity: bool = True)
     }
 
 
-def rsm_invariants(scenario: "ScenarioResult", require_liveness: bool = True) -> Violations:
+def rsm_invariants(scenario: ScenarioResult, require_liveness: bool = True) -> Violations:
     """RSM read/update invariants (Section 7.1) over the clients' histories.
 
     Read Validity allows any command genuinely submitted to the RSM —
@@ -144,7 +144,7 @@ def rsm_invariants(scenario: "ScenarioResult", require_liveness: bool = True) ->
 
 
 def check_scenario_invariants(
-    scenario: "ScenarioResult",
+    scenario: ScenarioResult,
     kind: str,
     require_liveness: bool = True,
     require_inclusivity: bool = True,

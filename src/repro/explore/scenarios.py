@@ -28,7 +28,7 @@ from __future__ import annotations
 import dataclasses
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any
 
 from repro.byzantine.behaviors import (
     AlwaysAckAcceptor,
@@ -120,7 +120,7 @@ _BEHAVIOUR_BUILDERS = {
 
 #: Which behaviours speak which protocol (a WTS-subclass attacker makes no
 #: sense inside an SbS cluster, and vice versa).
-PROTOCOL_BEHAVIOURS: Dict[str, Tuple[str, ...]] = {
+PROTOCOL_BEHAVIOURS: dict[str, tuple[str, ...]] = {
     "wts": ("silent", "crash", "flip-flop", "nack-spam", "always-ack",
             "equivocator", "value-injector", "garbage"),
     "sbs": ("silent", "sbs-equivocator", "forged-safety"),
@@ -154,7 +154,7 @@ _RSM_FAULT_PLAN_MENU = ("", "crash:1@20-60")
 
 #: Known-bad WTS variants (see :mod:`repro.core.ablations`) and the
 #: adversary that triggers each one's targeted property violation.
-MUTANTS: Dict[str, str] = {
+MUTANTS: dict[str, str] = {
     "no-wait-till-safe": "nack-spam",
     "plain-disclosure": "equivocator",
     "no-defences": "equivocator",
@@ -168,14 +168,14 @@ class ScenarioSpec:
     protocol: str = "wts"
     n: int = 4
     f: int = 1
-    byzantine: Tuple[str, ...] = ()
+    byzantine: tuple[str, ...] = ()
     scheduler: str = ""
     fault_plan: str = ""
     rounds: int = 3
     mutant: str = ""
     seed: int = 0
 
-    def params(self) -> Dict[str, Any]:
+    def params(self) -> dict[str, Any]:
         """The spec as ``SCENARIO`` experiment params (seed travels separately)."""
         return {
             "protocol": self.protocol,
@@ -213,7 +213,7 @@ class ScenarioSpec:
             f"byzantine={byz}, {describe_axes(self.scheduler, self.fault_plan)}{extra}"
         )
 
-    def replace(self, **changes: Any) -> "ScenarioSpec":
+    def replace(self, **changes: Any) -> ScenarioSpec:
         return dataclasses.replace(self, **changes)
 
 
@@ -253,7 +253,7 @@ def validate_spec(spec: ScenarioSpec) -> None:
                      correct=pids[: spec.n - len(spec.byzantine)])
 
 
-def generate_scenarios(seed: int, budget: int, mutant: str = "") -> List[ScenarioSpec]:
+def generate_scenarios(seed: int, budget: int, mutant: str = "") -> list[ScenarioSpec]:
     """Derive ``budget`` scenario specs deterministically from one seed.
 
     With ``mutant`` set, every spec runs the named weakened WTS variant with
@@ -265,7 +265,7 @@ def generate_scenarios(seed: int, budget: int, mutant: str = "") -> List[Scenari
     if mutant and mutant not in MUTANTS:
         raise ValueError(f"unknown mutant {mutant!r}; known: {', '.join(MUTANTS)}")
     rng = random.Random(seed)
-    specs: List[ScenarioSpec] = []
+    specs: list[ScenarioSpec] = []
     for _ in range(budget):
         if mutant:
             spec = _generate_mutant_spec(rng, mutant)
@@ -403,7 +403,7 @@ def _run_spec(spec: ScenarioSpec, quick: bool, backend: str = "kernel"):
 
 def run_scenario_spec(
     spec: ScenarioSpec, quick: bool = False, backend: str = "kernel"
-) -> Dict[str, Any]:
+) -> dict[str, Any]:
     """Run one spec and return the uniform experiment outcome dictionary."""
     validate_spec(spec)
     scenario, kind, strict = _run_spec(spec, quick, backend)
@@ -451,7 +451,7 @@ def run_scenario_experiment(
     backend: str = "kernel",
     seed: int = 0,
     quick: bool = False,
-) -> Dict[str, Any]:
+) -> dict[str, Any]:
     """The hidden ``SCENARIO`` experiment: one randomized-explorer scenario.
 
     Every parameter mirrors a :class:`ScenarioSpec` field (``byzantine`` is
@@ -472,7 +472,7 @@ def run_scenario_experiment(
     return run_scenario_spec(spec, quick=quick, backend=backend)
 
 
-def spec_from_params(seed: int, params: Dict[str, Any]) -> ScenarioSpec:
+def spec_from_params(seed: int, params: dict[str, Any]) -> ScenarioSpec:
     """Rebuild a :class:`ScenarioSpec` from ``SCENARIO`` job params."""
     byzantine = params.get("byzantine", "")
     if isinstance(byzantine, str):

@@ -22,8 +22,7 @@ must never trade an invariant violation for a crash.
 """
 
 from __future__ import annotations
-
-from typing import Callable, Iterator, Tuple
+from collections.abc import Callable, Iterator
 
 from repro.explore.scenarios import ScenarioSpec, validate_spec
 
@@ -59,7 +58,7 @@ def shrink_scenario(
     spec: ScenarioSpec,
     violates: Callable[[ScenarioSpec], bool],
     max_probes: int = DEFAULT_MAX_PROBES,
-) -> Tuple[ScenarioSpec, int]:
+) -> tuple[ScenarioSpec, int]:
     """Greedily minimize ``spec`` while ``violates`` keeps returning ``True``.
 
     Returns ``(minimal spec, probes spent)``.  ``spec`` itself is assumed to

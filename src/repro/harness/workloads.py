@@ -2,10 +2,11 @@
 
 Every builder follows the same recipe:
 
-1. create the membership (``p0 .. p{n-1}``) and an engine backend
-   (``backend="kernel"`` — the deterministic reference — or ``"turbo"``,
-   the benchmark fast path; both execute the same schedule) with the
-   requested delay model and seed;
+1. create the membership (``p0 .. p{n-1}``) and an engine backend resolved
+   through the :mod:`repro.engine.backends` registry (``backend="kernel"``
+   — the deterministic reference — ``"turbo"``, the benchmark fast path
+   executing the same schedule, or ``"async"``, real asyncio I/O reporting
+   wall-clock time) with the requested delay model and seed;
 2. instantiate correct protocol cores for the first ``n - b`` slots and
    Byzantine cores (produced by user-supplied factories) for the last ``b``
    slots;
@@ -25,9 +26,10 @@ are directly usable via small lambdas, e.g.::
 """
 
 from __future__ import annotations
+from collections.abc import Callable, Hashable, Mapping, Sequence
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any
 
 from repro.baselines.crash_gla import CrashGLAProcess
 from repro.baselines.crash_la import CrashLAProcess
@@ -53,16 +55,16 @@ ByzantineFactory = Callable[..., ProtocolCore]
 
 #: Builders accept a Scheduler/FaultPlan object or its string spec (the
 #: orchestrator's JSON-able axis form, see :mod:`repro.sim.axes`).
-SchedulerSpec = Optional[Any]
-FaultPlanSpec = Optional[Any]
+SchedulerSpec = Any | None
+FaultPlanSpec = Any | None
 
 
-def member_pids(n: int, prefix: str = "p") -> List[str]:
+def member_pids(n: int, prefix: str = "p") -> list[str]:
     """Standard membership identifiers ``p0 .. p{n-1}``."""
     return [f"{prefix}{i}" for i in range(n)]
 
 
-def default_proposals(lattice: SetLattice, pids: Sequence[Hashable]) -> Dict[Hashable, LatticeElement]:
+def default_proposals(lattice: SetLattice, pids: Sequence[Hashable]) -> dict[Hashable, LatticeElement]:
     """One distinct singleton proposal per process (the Figure 1 workload)."""
     return {pid: frozenset({f"v-{pid}"}) for pid in pids}
 
@@ -73,14 +75,14 @@ class ScenarioResult:
 
     #: The engine that executed the run (kernel or turbo backend).
     engine: Any
-    nodes: Dict[Hashable, ProtocolCore]
-    correct_pids: List[Hashable]
-    byzantine_pids: List[Hashable]
+    nodes: dict[Hashable, ProtocolCore]
+    correct_pids: list[Hashable]
+    byzantine_pids: list[Hashable]
     lattice: JoinSemilattice
     f: int
     run: RunResult
     #: Extra per-scenario payload (e.g. client histories for RSM runs).
-    extras: Dict[str, Any] = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
 
     # -- common views -----------------------------------------------------------------
 
@@ -94,11 +96,11 @@ class ScenarioResult:
         """Name of the engine backend that executed the run."""
         return self.engine.name
 
-    def correct_nodes(self) -> List[ProtocolCore]:
+    def correct_nodes(self) -> list[ProtocolCore]:
         """The correct processes, in membership order."""
         return [self.nodes[pid] for pid in self.correct_pids]
 
-    def proposals(self) -> Dict[Hashable, LatticeElement]:
+    def proposals(self) -> dict[Hashable, LatticeElement]:
         """``pid -> proposal`` for correct single-shot proposers."""
         return {
             pid: getattr(self.nodes[pid], "proposal")
@@ -106,21 +108,21 @@ class ScenarioResult:
             if hasattr(self.nodes[pid], "proposal")
         }
 
-    def inputs(self) -> Dict[Hashable, List[LatticeElement]]:
+    def inputs(self) -> dict[Hashable, list[LatticeElement]]:
         """``pid -> received input values`` for correct generalized proposers."""
         return {
             pid: list(getattr(self.nodes[pid], "received_inputs", []))
             for pid in self.correct_pids
         }
 
-    def decisions(self) -> Dict[Hashable, List[LatticeElement]]:
+    def decisions(self) -> dict[Hashable, list[LatticeElement]]:
         """``pid -> decision sequence`` for correct processes."""
         return {
             pid: list(getattr(self.nodes[pid], "decisions", []))
             for pid in self.correct_pids
         }
 
-    def byzantine_values(self) -> List[LatticeElement]:
+    def byzantine_values(self) -> list[LatticeElement]:
         """Lattice elements the Byzantine nodes injected (best effort).
 
         Collected from the Byzantine nodes' declared attack values so the
@@ -128,7 +130,7 @@ class ScenarioResult:
         garbage (non-elements) contribute nothing because correct processes
         filter those out.
         """
-        values: List[LatticeElement] = []
+        values: list[LatticeElement] = []
         for pid in self.byzantine_pids:
             node = self.nodes[pid]
             # Wrapper behaviours (e.g. CrashByzantine) delegate to an inner
@@ -179,7 +181,7 @@ class ScenarioResult:
 
 def _split_members(
     n: int, byzantine_factories: Sequence[ByzantineFactory]
-) -> Tuple[List[str], List[str], List[str]]:
+) -> tuple[list[str], list[str], list[str]]:
     pids = member_pids(n)
     b = len(byzantine_factories)
     if b > n:
@@ -188,7 +190,7 @@ def _split_members(
 
 
 def _build_engine(
-    delay_model: Optional[DelayModel],
+    delay_model: DelayModel | None,
     seed: int,
     scheduler: SchedulerSpec,
     backend: str,
@@ -204,8 +206,9 @@ def _build_engine(
     delay model) under an adversarial schedule without each runner having to
     special-case the combination.  Membership-dependent specs
     (``worst-case:victims=quorum``) resolve against ``pids``/``f``.
-    ``backend`` picks the execution engine; both backends run the same
-    schedule, so results are backend-independent.
+    ``backend`` picks the execution engine via the registry; the simulated
+    backends (and the async backend's in-process determinism-lite transport)
+    reproduce the same schedule, so decided values are backend-independent.
     """
     if isinstance(scheduler, str):
         scheduler = parse_scheduler(scheduler, pids=pids, f=f)
@@ -218,7 +221,7 @@ def _resolve_fault_plan(
     fault_plan: FaultPlanSpec,
     pids: Sequence[Hashable],
     correct: Sequence[Hashable],
-) -> Optional[FaultPlan]:
+) -> FaultPlan | None:
     """Resolve a fault-plan string spec against this scenario's membership."""
     if isinstance(fault_plan, str):
         return parse_fault_plan(fault_plan, pids=pids, correct=correct)
@@ -227,9 +230,9 @@ def _resolve_fault_plan(
 
 def _run(
     engine,
-    stop_when: Optional[Callable[[], bool]],
+    stop_when: Callable[[], bool] | None,
     max_messages: int,
-    fault_plan: Optional[FaultPlan] = None,
+    fault_plan: FaultPlan | None = None,
 ) -> RunResult:
     if fault_plan is not None:
         engine.apply_fault_plan(fault_plan)
@@ -244,10 +247,10 @@ def _run(
 def run_wts_scenario(
     n: int,
     f: int,
-    proposals: Optional[Mapping[Hashable, LatticeElement]] = None,
-    lattice: Optional[JoinSemilattice] = None,
+    proposals: Mapping[Hashable, LatticeElement] | None = None,
+    lattice: JoinSemilattice | None = None,
     byzantine_factories: Sequence[ByzantineFactory] = (),
-    delay_model: Optional[DelayModel] = None,
+    delay_model: DelayModel | None = None,
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
@@ -267,7 +270,7 @@ def run_wts_scenario(
     if proposals is None:
         proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
     engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
-    nodes: Dict[Hashable, ProtocolCore] = {}
+    nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         nodes[pid] = engine.add_core(
             process_class(pid, lattice, pids, f, proposal=proposals.get(pid, lattice.bottom()))
@@ -294,10 +297,10 @@ def run_wts_scenario(
 def run_sbs_scenario(
     n: int,
     f: int,
-    proposals: Optional[Mapping[Hashable, LatticeElement]] = None,
-    lattice: Optional[JoinSemilattice] = None,
+    proposals: Mapping[Hashable, LatticeElement] | None = None,
+    lattice: JoinSemilattice | None = None,
     byzantine_factories: Sequence[ByzantineFactory] = (),
-    delay_model: Optional[DelayModel] = None,
+    delay_model: DelayModel | None = None,
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
@@ -312,7 +315,7 @@ def run_sbs_scenario(
         proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
     registry = KeyRegistry(seed=registry_seed)
     engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
-    nodes: Dict[Hashable, ProtocolCore] = {}
+    nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         nodes[pid] = engine.add_core(
             SbSProcess(
@@ -347,10 +350,10 @@ def run_sbs_scenario(
 def run_crash_la_scenario(
     n: int,
     f: int,
-    proposals: Optional[Mapping[Hashable, LatticeElement]] = None,
-    lattice: Optional[JoinSemilattice] = None,
+    proposals: Mapping[Hashable, LatticeElement] | None = None,
+    lattice: JoinSemilattice | None = None,
     byzantine_factories: Sequence[ByzantineFactory] = (),
-    delay_model: Optional[DelayModel] = None,
+    delay_model: DelayModel | None = None,
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
@@ -363,7 +366,7 @@ def run_crash_la_scenario(
     if proposals is None:
         proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
     engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
-    nodes: Dict[Hashable, ProtocolCore] = {}
+    nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         nodes[pid] = engine.add_core(
             CrashLAProcess(pid, lattice, pids, f, proposal=proposals.get(pid, lattice.bottom()))
@@ -393,7 +396,7 @@ def run_crash_la_scenario(
 
 def make_gla_inputs(
     pids: Sequence[Hashable], values_per_process: int
-) -> Dict[Hashable, List[LatticeElement]]:
+) -> dict[Hashable, list[LatticeElement]]:
     """Distinct singleton inputs per process, ``values_per_process`` each."""
     return {
         pid: [frozenset({f"cmd-{pid}-{k}"}) for k in range(values_per_process)]
@@ -406,10 +409,10 @@ def run_gwts_scenario(
     f: int,
     values_per_process: int = 2,
     rounds: int = 3,
-    inputs: Optional[Mapping[Hashable, Sequence[LatticeElement]]] = None,
-    lattice: Optional[JoinSemilattice] = None,
+    inputs: Mapping[Hashable, Sequence[LatticeElement]] | None = None,
+    lattice: JoinSemilattice | None = None,
     byzantine_factories: Sequence[ByzantineFactory] = (),
-    delay_model: Optional[DelayModel] = None,
+    delay_model: DelayModel | None = None,
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
@@ -427,7 +430,7 @@ def run_gwts_scenario(
     if inputs is None:
         inputs = make_gla_inputs(correct, values_per_process)
     engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
-    nodes: Dict[Hashable, ProtocolCore] = {}
+    nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         process = GWTSProcess(pid, lattice, pids, f, max_rounds=rounds)
         for value in inputs.get(pid, []):
@@ -456,10 +459,10 @@ def run_gsbs_scenario(
     f: int,
     values_per_process: int = 2,
     rounds: int = 3,
-    inputs: Optional[Mapping[Hashable, Sequence[LatticeElement]]] = None,
-    lattice: Optional[JoinSemilattice] = None,
+    inputs: Mapping[Hashable, Sequence[LatticeElement]] | None = None,
+    lattice: JoinSemilattice | None = None,
     byzantine_factories: Sequence[ByzantineFactory] = (),
-    delay_model: Optional[DelayModel] = None,
+    delay_model: DelayModel | None = None,
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
@@ -474,7 +477,7 @@ def run_gsbs_scenario(
         inputs = make_gla_inputs(correct, values_per_process)
     registry = KeyRegistry(seed=registry_seed)
     engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
-    nodes: Dict[Hashable, ProtocolCore] = {}
+    nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         process = GSbSProcess(pid, lattice, pids, f, registry=registry, max_rounds=rounds)
         for value in inputs.get(pid, []):
@@ -505,10 +508,10 @@ def run_crash_gla_scenario(
     f: int,
     values_per_process: int = 2,
     rounds: int = 3,
-    inputs: Optional[Mapping[Hashable, Sequence[LatticeElement]]] = None,
-    lattice: Optional[JoinSemilattice] = None,
+    inputs: Mapping[Hashable, Sequence[LatticeElement]] | None = None,
+    lattice: JoinSemilattice | None = None,
     byzantine_factories: Sequence[ByzantineFactory] = (),
-    delay_model: Optional[DelayModel] = None,
+    delay_model: DelayModel | None = None,
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
@@ -521,7 +524,7 @@ def run_crash_gla_scenario(
     if inputs is None:
         inputs = make_gla_inputs(correct, values_per_process)
     engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
-    nodes: Dict[Hashable, ProtocolCore] = {}
+    nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         process = CrashGLAProcess(pid, lattice, pids, f, max_rounds=rounds)
         for value in inputs.get(pid, []):
@@ -553,17 +556,17 @@ def run_crash_gla_scenario(
 def run_rsm_scenario(
     n_replicas: int,
     f: int,
-    client_scripts: Mapping[Hashable, Sequence[Tuple[Any, ...]]],
+    client_scripts: Mapping[Hashable, Sequence[tuple[Any, ...]]],
     byzantine_replica_factories: Sequence[ByzantineFactory] = (),
-    byzantine_client_payloads: Optional[Mapping[Hashable, Sequence[Any]]] = None,
+    byzantine_client_payloads: Mapping[Hashable, Sequence[Any]] | None = None,
     rounds: int = 8,
-    delay_model: Optional[DelayModel] = None,
+    delay_model: DelayModel | None = None,
     seed: int = 0,
     scheduler: SchedulerSpec = None,
     fault_plan: FaultPlanSpec = None,
     backend: str = "kernel",
     max_messages: int = 2_000_000,
-    client_retry_timeout: Optional[float] = 150.0,
+    client_retry_timeout: float | None = 150.0,
 ) -> ScenarioResult:
     """Build and run one RSM: ``n_replicas`` replicas plus the given clients.
 
@@ -580,7 +583,7 @@ def run_rsm_scenario(
         n_replicas, byzantine_replica_factories
     )
     engine = _build_engine(delay_model, seed, scheduler, backend, replica_pids, f)
-    nodes: Dict[Hashable, ProtocolCore] = {}
+    nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct_replicas:
         nodes[pid] = engine.add_core(
             Replica(pid, replica_pids, f, max_rounds=rounds, lattice=lattice)
@@ -588,7 +591,7 @@ def run_rsm_scenario(
     for factory, pid in zip(byzantine_replica_factories, byz_replicas, strict=True):
         nodes[pid] = engine.add_core(factory(pid, lattice, replica_pids, f))
 
-    clients: Dict[Hashable, RSMClient] = {}
+    clients: dict[Hashable, RSMClient] = {}
     for client_id, script in client_scripts.items():
         client = RSMClient(
             client_id, replica_pids, f, script=script, retry_timeout=client_retry_timeout
@@ -596,7 +599,7 @@ def run_rsm_scenario(
         clients[client_id] = client
         nodes[client_id] = engine.add_core(client)
 
-    byz_clients: List[Hashable] = []
+    byz_clients: list[Hashable] = []
     for client_id, payloads in (byzantine_client_payloads or {}).items():
         byz_client = ByzantineClient(client_id, replica_pids, f, payloads=payloads)
         nodes[client_id] = engine.add_core(byz_client)

@@ -15,7 +15,8 @@ power-set lattice of Figure 1, counters, maps, vector clocks, and products.
 from __future__ import annotations
 
 import abc
-from typing import Any, Hashable, Iterable, TypeVar
+from collections.abc import Hashable, Iterable
+from typing import Any, TypeVar
 
 #: Type alias for lattice elements.  Elements must be hashable and immutable.
 LatticeElement = Hashable

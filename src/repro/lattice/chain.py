@@ -18,7 +18,7 @@ These utilities implement the checks that the Lattice Agreement specification
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.lattice.base import JoinSemilattice, LatticeElement
 
@@ -33,7 +33,7 @@ def all_comparable(lattice: JoinSemilattice, values: Iterable[LatticeElement]) -
 
 def chain_violations(
     lattice: JoinSemilattice, values: Iterable[LatticeElement]
-) -> List[Tuple[LatticeElement, LatticeElement]]:
+) -> list[tuple[LatticeElement, LatticeElement]]:
     """Return every incomparable pair among ``values`` (empty when a chain)."""
     values = list(values)
     return [
@@ -55,7 +55,7 @@ def is_chain(lattice: JoinSemilattice, values: Sequence[LatticeElement]) -> bool
 
 def sort_chain(
     lattice: JoinSemilattice, values: Iterable[LatticeElement]
-) -> List[LatticeElement]:
+) -> list[LatticeElement]:
     """Sort a set of pairwise-comparable values into an ascending chain.
 
     Raises ``ValueError`` if the values are not pairwise comparable, since a
@@ -73,7 +73,7 @@ def sort_chain(
 
 def longest_chain(
     lattice: JoinSemilattice, values: Iterable[LatticeElement]
-) -> List[LatticeElement]:
+) -> list[LatticeElement]:
     """Return a longest ascending chain contained in ``values``.
 
     Works on arbitrary (possibly incomparable) value sets; used by the
@@ -81,13 +81,13 @@ def longest_chain(
     """
     values = list(dict.fromkeys(values))
     # Longest path in the DAG of the strict order restricted to ``values``.
-    best: Dict[int, List[LatticeElement]] = {}
+    best: dict[int, list[LatticeElement]] = {}
 
-    def chain_from(index: int) -> List[LatticeElement]:
+    def chain_from(index: int) -> list[LatticeElement]:
         if index in best:
             return best[index]
         head = values[index]
-        best_tail: List[LatticeElement] = []
+        best_tail: list[LatticeElement] = []
         for other_index, other in enumerate(values):
             if other_index != index and lattice.lt(head, other):
                 tail = chain_from(other_index)
@@ -96,7 +96,7 @@ def longest_chain(
         best[index] = [head] + best_tail
         return best[index]
 
-    longest: List[LatticeElement] = []
+    longest: list[LatticeElement] = []
     for index in range(len(values)):
         candidate = chain_from(index)
         if len(candidate) > len(longest):
@@ -139,14 +139,14 @@ def lattice_breadth(
 
 def hasse_edges(
     lattice: JoinSemilattice, elements: Iterable[LatticeElement]
-) -> Set[Tuple[LatticeElement, LatticeElement]]:
+) -> set[tuple[LatticeElement, LatticeElement]]:
     """Return the covering relation (Hasse diagram edges) of ``elements``.
 
     An edge ``(a, b)`` means ``a < b`` with no element of ``elements``
     strictly between them — exactly the "upward path" edges of Figure 1.
     """
     elements = list(dict.fromkeys(elements))
-    edges: Set[Tuple[LatticeElement, LatticeElement]] = set()
+    edges: set[tuple[LatticeElement, LatticeElement]] = set()
     for a, b in itertools.permutations(elements, 2):
         if not lattice.lt(a, b):
             continue
@@ -171,7 +171,7 @@ def hasse_diagram_text(
     selected by the agreement protocol, mirroring the red edges of Figure 1.
     """
     elements = list(dict.fromkeys(elements))
-    highlight: FrozenSet[LatticeElement] = frozenset(highlight_chain)
+    highlight: frozenset[LatticeElement] = frozenset(highlight_chain)
 
     def height(value: LatticeElement) -> int:
         below = [w for w in elements if lattice.lt(w, value)]
@@ -179,11 +179,11 @@ def hasse_diagram_text(
             return 0
         return 1 + max(height(w) for w in below)
 
-    by_height: Dict[int, List[LatticeElement]] = {}
+    by_height: dict[int, list[LatticeElement]] = {}
     for value in elements:
         by_height.setdefault(height(value), []).append(value)
 
-    lines: List[str] = []
+    lines: list[str] = []
     for level in sorted(by_height, reverse=True):
         rendered = []
         for value in sorted(by_height[level], key=repr):

@@ -16,13 +16,14 @@ commutative" (Section 1).  Two standard formulations are provided:
 """
 
 from __future__ import annotations
+from collections.abc import Mapping
 
-from typing import Any, Mapping, Tuple
+from typing import Any
 
 from repro.lattice.base import JoinSemilattice, LatticeElement
 
 #: G-counter elements are canonicalised as sorted tuples of (pid, count).
-GCounterElement = Tuple[Tuple[Any, int], ...]
+GCounterElement = tuple[tuple[Any, int], ...]
 
 
 class GCounterLattice(JoinSemilattice):

@@ -11,13 +11,14 @@ replicated objects behind a single GWTS instance.
 """
 
 from __future__ import annotations
+from collections.abc import Mapping
 
-from typing import Any, Mapping, Tuple
+from typing import Any
 
 from repro.lattice.base import JoinSemilattice, LatticeElement
 
 #: Map elements are canonicalised as sorted tuples of (key, inner_element).
-MapElement = Tuple[Tuple[Any, LatticeElement], ...]
+MapElement = tuple[tuple[Any, LatticeElement], ...]
 
 
 class MapLattice(JoinSemilattice):

@@ -7,13 +7,14 @@ exercises the "works on any possible lattice" claim with a non-set lattice.
 """
 
 from __future__ import annotations
+from collections.abc import Sequence
 
-from typing import Any, Sequence, Tuple
+from typing import Any
 
 from repro.lattice.base import JoinSemilattice, LatticeElement
 
 #: Product elements are tuples with one component per factor lattice.
-ProductElement = Tuple[LatticeElement, ...]
+ProductElement = tuple[LatticeElement, ...]
 
 
 class ProductLattice(JoinSemilattice):
@@ -22,10 +23,10 @@ class ProductLattice(JoinSemilattice):
     def __init__(self, factors: Sequence[JoinSemilattice]) -> None:
         if not factors:
             raise ValueError("a product lattice needs at least one factor")
-        self._factors: Tuple[JoinSemilattice, ...] = tuple(factors)
+        self._factors: tuple[JoinSemilattice, ...] = tuple(factors)
 
     @property
-    def factors(self) -> Tuple[JoinSemilattice, ...]:
+    def factors(self) -> tuple[JoinSemilattice, ...]:
         """The component lattices, in order."""
         return self._factors
 

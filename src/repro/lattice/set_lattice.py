@@ -12,13 +12,14 @@ filter for Byzantine proposals rely on.
 """
 
 from __future__ import annotations
+from collections.abc import Iterable
 
-from typing import Any, FrozenSet, Iterable, Optional
+from typing import Any
 
 from repro.lattice.base import JoinSemilattice, LatticeElement
 
 #: Convenience alias for elements of :class:`SetLattice`.
-FrozenSetElement = FrozenSet[Any]
+FrozenSetElement = frozenset[Any]
 
 
 class SetLattice(JoinSemilattice):
@@ -34,8 +35,8 @@ class SetLattice(JoinSemilattice):
         (``breadth == |universe|`` for a power-set lattice, Section 2).
     """
 
-    def __init__(self, universe: Optional[Iterable[Any]] = None) -> None:
-        self._universe: Optional[FrozenSet[Any]] = (
+    def __init__(self, universe: Iterable[Any] | None = None) -> None:
+        self._universe: frozenset[Any] | None = (
             frozenset(universe) if universe is not None else None
         )
 
@@ -75,11 +76,11 @@ class SetLattice(JoinSemilattice):
         return element
 
     @property
-    def universe(self) -> Optional[FrozenSet[Any]]:
+    def universe(self) -> frozenset[Any] | None:
         """The configured universe of members, or ``None`` if unbounded."""
         return self._universe
 
-    def breadth(self) -> Optional[int]:
+    def breadth(self) -> int | None:
         """Breadth of the lattice (Section 2, footnote 1).
 
         For the power set of ``k`` distinct values the breadth is exactly

@@ -10,13 +10,14 @@ global photography of the system").
 """
 
 from __future__ import annotations
+from collections.abc import Mapping, Sequence
 
-from typing import Any, Mapping, Sequence, Tuple
+from typing import Any
 
 from repro.lattice.base import JoinSemilattice, LatticeElement
 
 #: Vector clock elements are fixed-length tuples of non-negative ints.
-VectorClockElement = Tuple[int, ...]
+VectorClockElement = tuple[int, ...]
 
 
 class VectorClockLattice(JoinSemilattice):

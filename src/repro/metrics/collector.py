@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from collections.abc import Hashable
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -15,7 +16,7 @@ class DecisionRecord:
     value: Any
     time: float
     causal_depth: int
-    round: Optional[int] = None
+    round: int | None = None
 
 
 class MetricsCollector:
@@ -35,9 +36,9 @@ class MetricsCollector:
         self.delivered_by_process: Counter = Counter()
         self.total_sent: int = 0
         self.total_delivered: int = 0
-        self.decisions: List[DecisionRecord] = []
-        self.custom_events: List[Tuple[float, str, Any]] = []
-        self._decision_index: Dict[Hashable, List[DecisionRecord]] = defaultdict(list)
+        self.decisions: list[DecisionRecord] = []
+        self.custom_events: list[tuple[float, str, Any]] = []
+        self._decision_index: dict[Hashable, list[DecisionRecord]] = defaultdict(list)
         # Size accounting is lazy: the network hands us envelopes whose size
         # estimate is computed only if somebody actually reads the size
         # views (``bytes_by_process`` / ``max_payload_size``).  Direct int
@@ -47,7 +48,7 @@ class MetricsCollector:
         #: Envelopes awaiting size accounting (sender is read off the
         #: envelope at flush time; the envelopes are alive anyway via the
         #: network's delivery log, so this adds one list slot per send).
-        self._pending_sizes: List[Any] = []
+        self._pending_sizes: list[Any] = []
 
     # -- recording (called by the network / processes) --------------------------
 
@@ -107,7 +108,7 @@ class MetricsCollector:
         value: Any,
         time: float,
         causal_depth: int,
-        round: Optional[int] = None,
+        round: int | None = None,
     ) -> DecisionRecord:
         """Record a decision together with its causal message-delay depth."""
         record = DecisionRecord(
@@ -123,7 +124,7 @@ class MetricsCollector:
 
     # -- aggregate views ---------------------------------------------------------
 
-    def decisions_of(self, pid: Hashable) -> List[DecisionRecord]:
+    def decisions_of(self, pid: Hashable) -> list[DecisionRecord]:
         """All decisions recorded for process ``pid`` (in order)."""
         return list(self._decision_index.get(pid, []))
 
@@ -138,7 +139,7 @@ class MetricsCollector:
         """
         return self._decision_index.keys()
 
-    def decided_pids(self) -> List[Hashable]:
+    def decided_pids(self) -> list[Hashable]:
         """Identifiers of processes that recorded at least one decision."""
         return list(self._decision_index.keys())
 
@@ -146,7 +147,7 @@ class MetricsCollector:
         """Messages sent by ``pid`` over the whole run."""
         return self.sent_by_process[pid]
 
-    def max_messages_per_process(self, pids: Optional[List[Hashable]] = None) -> int:
+    def max_messages_per_process(self, pids: list[Hashable] | None = None) -> int:
         """Worst-case per-process send count (over ``pids`` or everyone)."""
         if pids is None:
             counts = list(self.sent_by_process.values())
@@ -154,7 +155,7 @@ class MetricsCollector:
             counts = [self.sent_by_process[pid] for pid in pids]
         return max(counts, default=0)
 
-    def mean_messages_per_process(self, pids: Optional[List[Hashable]] = None) -> float:
+    def mean_messages_per_process(self, pids: list[Hashable] | None = None) -> float:
         """Average per-process send count."""
         if pids is None:
             pids = list(self.sent_by_process.keys())
@@ -162,7 +163,7 @@ class MetricsCollector:
             return 0.0
         return sum(self.sent_by_process[pid] for pid in pids) / len(pids)
 
-    def max_decision_depth(self, pids: Optional[List[Hashable]] = None) -> int:
+    def max_decision_depth(self, pids: list[Hashable] | None = None) -> int:
         """Largest causal message-delay depth among recorded decisions."""
         records = self.decisions
         if pids is not None:
@@ -170,7 +171,7 @@ class MetricsCollector:
             records = [record for record in records if record.pid in allowed]
         return max((record.causal_depth for record in records), default=0)
 
-    def summary(self) -> Dict[str, Any]:
+    def summary(self) -> dict[str, Any]:
         """Compact dictionary summary used by experiment reports and tests."""
         return {
             "total_sent": self.total_sent,

@@ -10,7 +10,7 @@ quadratic) without depending on plotting libraries.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Mapping, Sequence, Tuple
+from collections.abc import Iterable, Mapping, Sequence
 
 
 def format_table(
@@ -22,7 +22,7 @@ def format_table(
     for row in rows:
         for index, value in enumerate(row):
             widths[index] = max(widths[index], len(value))
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True)))
@@ -80,7 +80,7 @@ def _cell(value: object) -> str:
     return str(value)
 
 
-def _key(value: object) -> Tuple[int, str]:
+def _key(value: object) -> tuple[int, str]:
     """Sort numbers numerically and everything else lexicographically."""
     if isinstance(value, (int, float)):
         return (0, f"{float(value):020.6f}")

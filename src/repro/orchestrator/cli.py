@@ -18,7 +18,8 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.metrics.report import format_table
 from repro.orchestrator.compare import DEFAULT_MAX_LATENCY_REGRESSION, compare_payloads
@@ -34,8 +35,8 @@ from repro.orchestrator.results import (
 from repro.orchestrator.spec import EXPERIMENT_SPECS, get_spec, visible_experiment_ids
 
 
-def _parse_param_overrides(pairs: Sequence[str]) -> Dict[str, str]:
-    overrides: Dict[str, str] = {}
+def _parse_param_overrides(pairs: Sequence[str]) -> dict[str, str]:
+    overrides: dict[str, str] = {}
     for pair in pairs:
         name, separator, value = pair.partition("=")
         if not separator or not name:
@@ -44,7 +45,7 @@ def _parse_param_overrides(pairs: Sequence[str]) -> Dict[str, str]:
     return overrides
 
 
-def _print_outcome(experiment_id: str, outcome: Dict[str, Any], elapsed_s: float) -> None:
+def _print_outcome(experiment_id: str, outcome: dict[str, Any], elapsed_s: float) -> None:
     print("=" * 78)
     print(f"{experiment_id}  ({elapsed_s:.1f}s)   expected: {outcome.get('expected', '')}")
     print("=" * 78)
@@ -70,7 +71,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_specs(experiment_ids: Optional[Sequence[str]]) -> List[str]:
+def _resolve_specs(experiment_ids: Sequence[str] | None) -> list[str]:
     """Validate ids (usage error -> SystemExit 2), default to all visible."""
     if not experiment_ids:
         return list(visible_experiment_ids())
@@ -372,7 +373,7 @@ _COMMANDS = {
 }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

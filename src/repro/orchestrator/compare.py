@@ -8,7 +8,10 @@ Two regression classes are flagged:
   experiment exposes, e.g. E3's message-delay count or E8's mean read
   latency) grew by more than the allowed fraction.  Simulated time is
   deterministic given the seeds, so this check is meaningful in CI where
-  wall-clock ratios would be noise.
+  wall-clock ratios would be noise.  For the same reason, jobs whose
+  ``time_source`` is ``wall-clock`` (the async backend, repro-results/v3)
+  are *excluded* from latency gating — their latency dicts are real-seconds
+  measurements — and the skip is reported as a note.
 
 Improvements and newly added jobs are reported informationally; only
 regressions make :attr:`ComparisonReport.ok` false.
@@ -17,7 +20,9 @@ regressions make :attr:`ComparisonReport.ok` false.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any
+
+from repro.orchestrator.results import job_time_source
 
 #: Default allowed relative growth of a latency metric before it is a regression.
 DEFAULT_MAX_LATENCY_REGRESSION = 0.20
@@ -29,17 +34,17 @@ _ABSOLUTE_SLACK = 1e-9
 class ComparisonReport:
     """Outcome of one baseline comparison."""
 
-    correctness_regressions: List[str] = field(default_factory=list)
-    latency_regressions: List[str] = field(default_factory=list)
-    improvements: List[str] = field(default_factory=list)
-    notes: List[str] = field(default_factory=list)
+    correctness_regressions: list[str] = field(default_factory=list)
+    latency_regressions: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.correctness_regressions and not self.latency_regressions
 
     def summary(self) -> str:
-        lines: List[str] = []
+        lines: list[str] = []
         if self.ok:
             lines.append("baseline comparison OK: no correctness or latency regressions")
         for problem in self.correctness_regressions:
@@ -53,13 +58,13 @@ class ComparisonReport:
         return "\n".join(lines)
 
 
-def _jobs_by_key(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+def _jobs_by_key(payload: dict[str, Any]) -> dict[str, dict[str, Any]]:
     return {job["key"]: job for job in payload.get("jobs", ())}
 
 
 def compare_payloads(
-    baseline: Dict[str, Any],
-    current: Dict[str, Any],
+    baseline: dict[str, Any],
+    current: dict[str, Any],
     max_latency_regression: float = DEFAULT_MAX_LATENCY_REGRESSION,
 ) -> ComparisonReport:
     """Compare ``current`` against ``baseline`` job by job."""
@@ -94,6 +99,13 @@ def compare_payloads(
             )
         elif baseline_status != "ok" and current_status == "ok":
             report.improvements.append(f"{key}: baseline was {baseline_status}, run passes")
+
+        if "wall-clock" in (job_time_source(baseline_job), job_time_source(current_job)):
+            if baseline_job.get("latency") or current_job.get("latency"):
+                report.notes.append(
+                    f"{key}: latency metrics are wall-clock measurements; regression gating skipped"
+                )
+            continue
 
         baseline_latency = baseline_job.get("latency") or {}
         current_latency = current_job.get("latency") or {}

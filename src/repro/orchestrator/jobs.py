@@ -16,8 +16,9 @@ axes only to the frames that have them.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any
 
 from repro.orchestrator.spec import get_spec, visible_experiment_ids
 
@@ -28,13 +29,13 @@ class JobSpec:
 
     experiment: str
     seed: int
-    params: Tuple[Tuple[str, Any], ...] = ()
+    params: tuple[tuple[str, Any], ...] = ()
     quick: bool = False
-    timeout_s: Optional[float] = None
+    timeout_s: float | None = None
     index: int = 0
 
     @property
-    def params_dict(self) -> Dict[str, Any]:
+    def params_dict(self) -> dict[str, Any]:
         return dict(self.params)
 
     @property
@@ -60,15 +61,15 @@ class JobSpec:
 class SweepSpec:
     """Declarative description of a full sweep."""
 
-    experiments: Tuple[str, ...] = ()
+    experiments: tuple[str, ...] = ()
     #: Explicit seeds; empty means "each experiment's own default seed".
-    seeds: Tuple[int, ...] = ()
+    seeds: tuple[int, ...] = ()
     #: Parameter grid: name -> values; applied to experiments declaring it.
     grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     quick: bool = False
-    timeout_s: Optional[float] = None
+    timeout_s: float | None = None
 
-    def to_config(self) -> Dict[str, Any]:
+    def to_config(self) -> dict[str, Any]:
         """JSON-ready form recorded in the results artifact."""
         return {
             "experiments": list(self.experiments),
@@ -79,7 +80,7 @@ class SweepSpec:
         }
 
 
-def expand_sweep(sweep: SweepSpec) -> List[JobSpec]:
+def expand_sweep(sweep: SweepSpec) -> list[JobSpec]:
     """Expand a sweep into its deterministic, independent job list.
 
     Grid axes apply per experiment, but an axis matching *no* selected
@@ -94,7 +95,7 @@ def expand_sweep(sweep: SweepSpec) -> List[JobSpec]:
                 f"grid parameter {name!r} is declared by none of the selected "
                 f"experiments ({', '.join(experiment_ids)})"
             )
-    jobs: List[JobSpec] = []
+    jobs: list[JobSpec] = []
     for spec, experiment_id in zip(specs, experiment_ids, strict=True):
         seeds = sweep.seeds or (spec.default_seed,)
         axes = [

@@ -19,9 +19,11 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any
 
+from repro.engine.backends import backend_time_source
 from repro.orchestrator.jobs import JobSpec
 from repro.orchestrator.results import jsonable
 from repro.orchestrator.spec import get_spec
@@ -35,7 +37,7 @@ class JobResult:
     """One executed job: its spec plus the JSON-ready payload."""
 
     job: JobSpec
-    payload: Dict[str, Any]
+    payload: dict[str, Any]
 
     @property
     def status(self) -> str:
@@ -51,8 +53,16 @@ class JobResult:
 _EXTRACTED_OUTCOME_FIELDS = frozenset({"table", "check", "headline", "latency", "ok"})
 
 
-def _base_payload(job: JobSpec, status: str, wall_time_s: float, error: Optional[str]) -> Dict[str, Any]:
+def _safe_time_source(backend: str) -> str:
+    try:
+        return backend_time_source(backend)
+    except ValueError:
+        return "simulated"
+
+
+def _base_payload(job: JobSpec, status: str, wall_time_s: float, error: str | None) -> dict[str, Any]:
     """The one place the job-payload shape is defined; overlaid per status."""
+    backend = job.params_dict.get("backend") or "kernel"
     return {
         "key": job.key,
         "experiment": job.experiment,
@@ -65,7 +75,13 @@ def _base_payload(job: JobSpec, status: str, wall_time_s: float, error: Optional
         # golden test pins it), so the field is provenance, not identity —
         # JobSpec.key excludes it, letting a turbo run diff against the
         # kernel baseline.
-        "backend": job.params_dict.get("backend") or "kernel",
+        "backend": backend,
+        # repro-results/v3: whether the job's latency metrics are
+        # deterministic simulated-time units (safe to gate regressions on)
+        # or wall-clock measurements (informational only) — resolved from
+        # the engine's backend registry.  A job spec naming an unknown
+        # backend still needs an error payload, so fall back to simulated.
+        "time_source": _safe_time_source(backend),
         "status": status,
         "ok": None,
         "wall_time_s": wall_time_s,
@@ -77,7 +93,7 @@ def _base_payload(job: JobSpec, status: str, wall_time_s: float, error: Optional
     }
 
 
-def payload_from_outcome(job: JobSpec, outcome: Dict[str, Any], wall_time_s: float) -> Dict[str, Any]:
+def payload_from_outcome(job: JobSpec, outcome: dict[str, Any], wall_time_s: float) -> dict[str, Any]:
     """Turn an already-computed experiment outcome into the job payload."""
     ok = bool(outcome.get("ok", True))
     check = outcome.get("check")
@@ -92,7 +108,7 @@ def payload_from_outcome(job: JobSpec, outcome: Dict[str, Any], wall_time_s: flo
     return payload
 
 
-def execute_job(job: JobSpec) -> Dict[str, Any]:
+def execute_job(job: JobSpec) -> dict[str, Any]:
     """Run one job in-process and return its JSON-ready payload."""
     started = time.perf_counter()
     try:
@@ -103,14 +119,14 @@ def execute_job(job: JobSpec) -> Dict[str, Any]:
     return payload_from_outcome(job, outcome, time.perf_counter() - started)
 
 
-def _timeout_payload(job: JobSpec, elapsed_s: float) -> Dict[str, Any]:
+def _timeout_payload(job: JobSpec, elapsed_s: float) -> dict[str, Any]:
     return _base_payload(
         job, "timeout", elapsed_s,
         f"job exceeded its {job.timeout_s}s timeout and was terminated",
     )
 
 
-def _crash_payload(job: JobSpec, elapsed_s: float, exitcode: Optional[int]) -> Dict[str, Any]:
+def _crash_payload(job: JobSpec, elapsed_s: float, exitcode: int | None) -> dict[str, Any]:
     return _base_payload(
         job, "error", elapsed_s,
         f"worker process died with exit code {exitcode} before reporting a result",
@@ -130,10 +146,10 @@ def _child_main(connection, job: JobSpec) -> None:
 
 
 def run_jobs(
-    jobs: List[JobSpec],
+    jobs: list[JobSpec],
     workers: int = 1,
-    progress: Optional[Callable[[JobResult], None]] = None,
-) -> List[JobResult]:
+    progress: Callable[[JobResult], None] | None = None,
+) -> list[JobResult]:
     """Execute ``jobs`` and return results in job order.
 
     ``workers <= 1`` with no timeouts runs everything inline (simplest
@@ -154,17 +170,17 @@ def run_jobs(
 
 
 def _run_jobs_in_pool(
-    jobs: List[JobSpec],
+    jobs: list[JobSpec],
     workers: int,
-    progress: Optional[Callable[[JobResult], None]],
-) -> List[JobResult]:
+    progress: Callable[[JobResult], None] | None,
+) -> list[JobResult]:
     context = multiprocessing.get_context()
     pending = list(enumerate(jobs))
     pending.reverse()  # pop() takes jobs in submission order
-    running: Dict[int, tuple] = {}
-    payloads: Dict[int, Dict[str, Any]] = {}
+    running: dict[int, tuple] = {}
+    payloads: dict[int, dict[str, Any]] = {}
 
-    def finish(position: int, payload: Dict[str, Any]) -> None:
+    def finish(position: int, payload: dict[str, Any]) -> None:
         payloads[position] = payload
         if progress is not None:
             progress(JobResult(job=jobs[position], payload=payload))

@@ -4,10 +4,14 @@ A sweep produces one artifact, ``results/run-<tag>.json``, with schema
 version :data:`RESULTS_SCHEMA_VERSION`.  The artifact records everything
 needed to reproduce and to diff the run: git SHA, Python version, the sweep
 config, wall times, and one entry per job carrying the experiment's verdict
-(``ok``), the engine ``backend`` it ran on (v2), its check outcome,
-headline metrics, latency metrics, and the structured rows the text tables
-are formatted from.  Legacy v1 artifacts (pre-backend) stay readable for
-validation and baseline comparison.
+(``ok``), the engine ``backend`` it ran on (v2), the backend's
+``time_source`` (v3: ``"simulated"`` — deterministic units safe to gate
+latency regressions on — or ``"wall-clock"`` — real seconds, measurement
+only), its check outcome, headline metrics, latency metrics, and the
+structured rows the text tables are formatted from.  Legacy v1 artifacts
+(pre-backend) and v2 artifacts (pre-time-source) stay readable for
+validation and baseline comparison; absent fields default to the kernel
+backend and simulated time, the only options those schemas had.
 
 :func:`validate_run_payload` is a hand-rolled structural validator (no
 third-party schema dependency) used by the CLI's ``validate`` command and by
@@ -24,14 +28,28 @@ import pathlib
 import subprocess
 import sys
 import time
-from typing import Any, Dict, Iterable, List, Optional
+from collections.abc import Iterable
+from typing import Any
 
-RESULTS_SCHEMA_VERSION = "repro-results/v2"
+RESULTS_SCHEMA_VERSION = "repro-results/v3"
 
 #: Older schema versions `validate` and `compare` still accept on *read*.
 #: v1 predates the engine-backend split: its job payloads lack the
 #: ``backend`` field (treated as the kernel backend, the only one v1 had).
-LEGACY_SCHEMA_VERSIONS = ("repro-results/v1",)
+#: v2 predates the async backend: its job payloads lack ``time_source``
+#: (treated as simulated time, the only time source v2 backends had).
+LEGACY_SCHEMA_VERSIONS = ("repro-results/v2", "repro-results/v1")
+
+#: ``time_source`` values a v3 job payload may carry (mirrors
+#: :data:`repro.engine.services.TIME_SOURCES` without importing the engine —
+#: artifacts must stay checkable by tooling that has no engine installed).
+JOB_TIME_SOURCES = ("simulated", "wall-clock")
+
+
+def job_time_source(job: dict[str, Any]) -> str:
+    """The time semantics of one job payload, across schema versions."""
+    return job.get("time_source") or "simulated"
+
 
 #: Top-level payload fields that carry timing or environment information and
 #: are therefore excluded from determinism comparisons.
@@ -67,7 +85,7 @@ def jsonable(value: Any) -> Any:
     return f"<{type(value).__name__}>"
 
 
-def git_sha(repo_root: Optional[pathlib.Path] = None) -> str:
+def git_sha(repo_root: pathlib.Path | None = None) -> str:
     """The current commit SHA, or ``"unknown"`` outside a git checkout.
 
     Defaults to the checkout containing this package (not the process CWD),
@@ -91,12 +109,12 @@ def git_sha(repo_root: Optional[pathlib.Path] = None) -> str:
 
 def build_run_payload(
     tag: str,
-    config: Dict[str, Any],
-    job_payloads: Iterable[Dict[str, Any]],
+    config: dict[str, Any],
+    job_payloads: Iterable[dict[str, Any]],
     wall_time_s: float,
     workers: int,
-    created_unix: Optional[float] = None,
-) -> Dict[str, Any]:
+    created_unix: float | None = None,
+) -> dict[str, Any]:
     """Assemble the versioned artifact from per-job payloads."""
     jobs = list(job_payloads)
     totals = {status: 0 for status in _JOB_STATUSES}
@@ -116,13 +134,13 @@ def build_run_payload(
     }
 
 
-def validate_run_payload(payload: Any) -> List[str]:
+def validate_run_payload(payload: Any) -> list[str]:
     """Structural schema check; returns a list of problems (empty when valid)."""
-    problems: List[str] = []
+    problems: list[str] = []
     if not isinstance(payload, dict):
         return [f"payload must be an object, got {type(payload).__name__}"]
 
-    def expect(mapping: Dict[str, Any], key: str, types: tuple, where: str) -> Any:
+    def expect(mapping: dict[str, Any], key: str, types: tuple, where: str) -> Any:
         if key not in mapping:
             problems.append(f"{where}: missing required field {key!r}")
             return None
@@ -162,8 +180,14 @@ def validate_run_payload(payload: Any) -> List[str]:
         expect(job, "seed", (int,), where)
         expect(job, "params", (dict,), where)
         expect(job, "quick", (bool,), where)
-        if not legacy:
+        if schema != "repro-results/v1":
             expect(job, "backend", (str,), where)
+        if not legacy:
+            time_source = expect(job, "time_source", (str,), where)
+            if time_source is not None and time_source not in JOB_TIME_SOURCES:
+                problems.append(
+                    f"{where}: time_source {time_source!r} not one of {JOB_TIME_SOURCES}"
+                )
         status = expect(job, "status", (str,), where)
         if status is not None and status not in _JOB_STATUSES:
             problems.append(f"{where}: status {status!r} not one of {_JOB_STATUSES}")
@@ -192,7 +216,7 @@ def validate_run_payload(payload: Any) -> List[str]:
     return problems
 
 
-def canonicalize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+def canonicalize_payload(payload: dict[str, Any]) -> dict[str, Any]:
     """The deterministic core of an artifact: timing/env fields stripped."""
     canonical = {
         key: value for key, value in payload.items() if key not in _VOLATILE_RUN_FIELDS
@@ -208,7 +232,7 @@ def default_results_path(tag: str, results_dir: str = "results") -> pathlib.Path
     return pathlib.Path(results_dir) / f"run-{tag}.json"
 
 
-def write_run_payload(payload: Dict[str, Any], path: pathlib.Path) -> pathlib.Path:
+def write_run_payload(payload: dict[str, Any], path: pathlib.Path) -> pathlib.Path:
     """Validate and write one artifact (refuses to persist malformed data)."""
     problems = validate_run_payload(payload)
     if problems:
@@ -219,6 +243,6 @@ def write_run_payload(payload: Dict[str, Any], path: pathlib.Path) -> pathlib.Pa
     return path
 
 
-def load_payload(path: pathlib.Path) -> Dict[str, Any]:
+def load_payload(path: pathlib.Path) -> dict[str, Any]:
     with open(path) as handle:
         return json.load(handle)

@@ -15,14 +15,16 @@ rejected up front instead of exploding inside a worker process.
 from __future__ import annotations
 
 import inspect
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any
 
+from repro.engine.backends import backend_param_help
 from repro.explore import scenarios as _scenarios
 from repro.harness import experiments as _experiments
 
 #: Parameter kinds the CLI knows how to parse from ``key=value`` strings.
-PARAM_PARSERS: Dict[str, Callable[[str], Any]] = {
+PARAM_PARSERS: dict[str, Callable[[str], Any]] = {
     "int": int,
     "float": float,
     "bool": lambda text: text.lower() in ("1", "true", "yes", "on"),
@@ -54,8 +56,8 @@ class ExperimentSpec:
 
     id: str
     title: str
-    runner: Callable[..., Dict[str, Any]]
-    params: Tuple[ParamSpec, ...] = ()
+    runner: Callable[..., dict[str, Any]]
+    params: tuple[ParamSpec, ...] = ()
     #: Specs hidden from ``repro list`` and excluded from default sweeps
     #: (used for orchestrator self-tests, e.g. the sleep experiment).
     hidden: bool = False
@@ -69,15 +71,15 @@ class ExperimentSpec:
             return 0
         return parameter.default
 
-    def param(self, name: str) -> Optional[ParamSpec]:
+    def param(self, name: str) -> ParamSpec | None:
         for spec in self.params:
             if spec.name == name:
                 return spec
         return None
 
-    def coerce_params(self, overrides: Mapping[str, Any]) -> Dict[str, Any]:
+    def coerce_params(self, overrides: Mapping[str, Any]) -> dict[str, Any]:
         """Validate override names against the schema; reject unknown ones."""
-        coerced: Dict[str, Any] = {}
+        coerced: dict[str, Any] = {}
         for name, value in overrides.items():
             spec = self.param(name)
             if spec is None:
@@ -88,17 +90,17 @@ class ExperimentSpec:
 
     def run(
         self,
-        seed: Optional[int] = None,
+        seed: int | None = None,
         quick: bool = False,
         **overrides: Any,
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         """Run the experiment with schema-checked overrides."""
         kwargs = self.coerce_params(overrides)
         kwargs["seed"] = self.default_seed if seed is None else seed
         return self.runner(quick=quick, **kwargs)
 
 
-def _sleep_runner(duration: float = 5.0, seed: int = 0, quick: bool = False) -> Dict[str, Any]:
+def _sleep_runner(duration: float = 5.0, seed: int = 0, quick: bool = False) -> dict[str, Any]:
     """Hidden pseudo-experiment: sleep for ``duration`` seconds.
 
     Exists so the orchestrator's timeout handling can be exercised end to end
@@ -126,7 +128,7 @@ _SIZES_HELP = "comma-separated cluster sizes for the sweep, e.g. 4,7,10"
 #: delivery and which fault plan scripts the environment (string specs, see
 #: :mod:`repro.sim.axes`).  Declared on every spec so a sweep can run the
 #: whole evaluation under adversarial schedules and crash/partition churn.
-AXIS_PARAMS: Tuple[ParamSpec, ...] = (
+AXIS_PARAMS: tuple[ParamSpec, ...] = (
     ParamSpec(
         "scheduler", "str", "",
         "schedule override: delay | random[:spread=S] | "
@@ -136,15 +138,13 @@ AXIS_PARAMS: Tuple[ParamSpec, ...] = (
         "fault_plan", "str", "",
         "fault script: churn | partition@A-B and crash:IDX@A-B terms joined with +",
     ),
-    ParamSpec(
-        "backend", "str", "kernel",
-        "execution engine: kernel (reference, delivery log + full metrics) | "
-        "turbo (fast path, identical schedule)",
-    ),
+    # The backend menu and its help text come from the engine's backend
+    # registry — a new backend shows up here without touching this module.
+    ParamSpec("backend", "str", "kernel", backend_param_help()),
 )
 
 #: Registry of every experiment the orchestrator can run.
-EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
+EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
     spec.id: spec
     for spec in (
         ExperimentSpec(
@@ -264,7 +264,7 @@ EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
 }
 
 
-def visible_experiment_ids() -> Tuple[str, ...]:
+def visible_experiment_ids() -> tuple[str, ...]:
     """The experiment ids a default sweep covers, in registry order."""
     return tuple(spec.id for spec in EXPERIMENT_SPECS.values() if not spec.hidden)
 

@@ -20,9 +20,10 @@ commutativity of updates they give linearizability (Theorem 6).
 """
 
 from __future__ import annotations
+from collections.abc import Iterable, Sequence
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Any
 
 from repro.rsm.client import OperationRecord
 from repro.rsm.commands import Command
@@ -31,7 +32,7 @@ from repro.rsm.commands import Command
 def collect_admissible_commands(
     replica_nodes: Iterable[Any],
     histories: Iterable[Sequence[OperationRecord]],
-) -> Set[Command]:
+) -> set[Command]:
     """The ground truth for Read Validity: everything genuinely submitted.
 
     Read Validity allows any command that actually entered the RSM —
@@ -41,7 +42,7 @@ def collect_admissible_commands(
     unioned in so a command whose admission log entry lives only on a
     crashed-then-recovered replica is still recognized.
     """
-    admissible: Set[Command] = {
+    admissible: set[Command] = {
         command
         for node in replica_nodes
         for command in getattr(node, "admitted_commands", [])
@@ -55,7 +56,7 @@ class RSMCheckResult:
     """Outcome of the RSM property check."""
 
     ok: bool
-    violations: Dict[str, List[str]] = field(default_factory=dict)
+    violations: dict[str, list[str]] = field(default_factory=dict)
 
     def add(self, prop: str, message: str) -> None:
         self.violations.setdefault(prop, []).append(message)
@@ -74,12 +75,12 @@ class RSMCheckResult:
 
 def check_rsm_history(
     histories: Iterable[Sequence[OperationRecord]],
-    admissible_commands: Optional[Set[Command]] = None,
+    admissible_commands: set[Command] | None = None,
     require_liveness: bool = True,
 ) -> RSMCheckResult:
     """Check the six RSM properties over correct clients' operation records."""
     result = RSMCheckResult(ok=True)
-    operations: List[OperationRecord] = [
+    operations: list[OperationRecord] = [
         record for history in histories for record in history
     ]
 

@@ -13,9 +13,10 @@ replicas, and firing updates without waiting for completion.
 """
 
 from __future__ import annotations
+from collections.abc import Hashable, Sequence
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Any
 
 from repro.engine.core import ProtocolCore
 from repro.rsm.commands import Command, make_command, nop_command
@@ -30,8 +31,8 @@ class OperationRecord:
     kind: str  # "update" or "read"
     command: Command
     start_time: float
-    end_time: Optional[float] = None
-    result: Optional[FrozenSet[Command]] = None
+    end_time: float | None = None
+    result: frozenset[Command] | None = None
 
     @property
     def completed(self) -> bool:
@@ -72,24 +73,24 @@ class RSMClient(ProtocolCore):
         pid: Hashable,
         replicas: Sequence[Hashable],
         f: int,
-        script: Sequence[Tuple[Any, ...]] = (),
-        retry_timeout: Optional[float] = 150.0,
+        script: Sequence[tuple[Any, ...]] = (),
+        retry_timeout: float | None = 150.0,
     ) -> None:
         super().__init__(pid)
-        self.replicas: Tuple[Hashable, ...] = tuple(replicas)
+        self.replicas: tuple[Hashable, ...] = tuple(replicas)
         self.f = f
-        self.script: List[Tuple[Any, ...]] = list(script)
-        self.history: List[OperationRecord] = []
+        self.script: list[tuple[Any, ...]] = list(script)
+        self.history: list[OperationRecord] = []
         self.retry_timeout = retry_timeout
         #: Number of timeout-driven retries performed (for tests/metrics).
         self.retries = 0
         self._retry_timer = None
         self._seq = 0
-        self._current: Optional[OperationRecord] = None
+        self._current: OperationRecord | None = None
         #: Decide receipts for the in-flight command: replica -> accepted_set.
-        self._dec_receipts: Dict[Hashable, FrozenSet[Command]] = {}
+        self._dec_receipts: dict[Hashable, frozenset[Command]] = {}
         #: Confirmation receipts per candidate value: value -> set of replicas.
-        self._conf_receipts: Dict[FrozenSet[Command], Set[Hashable]] = {}
+        self._conf_receipts: dict[frozenset[Command], set[Hashable]] = {}
         self._confirm_phase = False
 
     # -- script driving ---------------------------------------------------------------
@@ -199,7 +200,7 @@ class RSMClient(ProtocolCore):
         if len(replicas) >= self.f + 1:
             self._complete(result=msg.accepted_set)
 
-    def _complete(self, result: Optional[FrozenSet[Command]]) -> None:
+    def _complete(self, result: frozenset[Command] | None) -> None:
         record = self._current
         if record is None:
             return
@@ -220,7 +221,7 @@ class RSMClient(ProtocolCore):
         """Whether every scripted operation has completed."""
         return not self.script and self._current is None
 
-    def completed_operations(self) -> List[OperationRecord]:
+    def completed_operations(self) -> list[OperationRecord]:
         """All operations that have completed, in invocation order."""
         return [record for record in self.history if record.completed]
 

@@ -9,9 +9,10 @@ nop operation when executed" (Section 7.2).
 """
 
 from __future__ import annotations
+from collections.abc import Hashable
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any
 
 
 @dataclass(frozen=True, order=True)

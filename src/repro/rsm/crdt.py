@@ -24,7 +24,8 @@ commands.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 from repro.rsm.commands import Command
 
@@ -37,7 +38,7 @@ class ReplicatedObject(abc.ABC):
 
     # -- command construction -------------------------------------------------------
 
-    def tag(self, verb: str, *args: Any) -> Tuple[Any, ...]:
+    def tag(self, verb: str, *args: Any) -> tuple[Any, ...]:
         """Build a namespaced operation payload ``(name, verb, *args)``."""
         return (self.name, verb, *args)
 
@@ -66,12 +67,12 @@ class ReplicatedObject(abc.ABC):
 class GSetObject(ReplicatedObject):
     """Grow-only set: ``add(x)`` updates, value = set of added members."""
 
-    def op_add(self, member: Any) -> Tuple[Any, ...]:
+    def op_add(self, member: Any) -> tuple[Any, ...]:
         """Operation payload adding ``member`` to the set."""
         return self.tag("add", member)
 
-    def value(self, commands: Iterable[Command]) -> FrozenSet[Any]:
-        members: Set[Any] = set()
+    def value(self, commands: Iterable[Command]) -> frozenset[Any]:
+        members: set[Any] = set()
         for command in self.own_commands(commands):
             if command.operation[1] == "add":
                 members.add(command.operation[2])
@@ -81,7 +82,7 @@ class GSetObject(ReplicatedObject):
 class GCounterObject(ReplicatedObject):
     """Grow-only counter: ``inc(amount)`` updates, value = sum of amounts."""
 
-    def op_inc(self, amount: int = 1) -> Tuple[Any, ...]:
+    def op_inc(self, amount: int = 1) -> tuple[Any, ...]:
         """Operation payload incrementing the counter by ``amount`` (>= 0)."""
         if amount < 0:
             raise ValueError("a grow-only counter cannot be decremented")
@@ -98,11 +99,11 @@ class GCounterObject(ReplicatedObject):
 class PNCounterObject(ReplicatedObject):
     """Positive-negative counter: ``inc`` and ``dec`` updates (both commute)."""
 
-    def op_inc(self, amount: int = 1) -> Tuple[Any, ...]:
+    def op_inc(self, amount: int = 1) -> tuple[Any, ...]:
         """Operation payload incrementing by ``amount``."""
         return self.tag("inc", amount)
 
-    def op_dec(self, amount: int = 1) -> Tuple[Any, ...]:
+    def op_dec(self, amount: int = 1) -> tuple[Any, ...]:
         """Operation payload decrementing by ``amount``."""
         return self.tag("dec", amount)
 
@@ -126,12 +127,12 @@ class LWWRegisterObject(ReplicatedObject):
     applied in.
     """
 
-    def op_write(self, timestamp: float, value: Any) -> Tuple[Any, ...]:
+    def op_write(self, timestamp: float, value: Any) -> tuple[Any, ...]:
         """Operation payload writing ``value`` stamped with ``timestamp``."""
         return self.tag("write", timestamp, value)
 
-    def value(self, commands: Iterable[Command]) -> Optional[Any]:
-        best: Optional[Tuple[float, str, Any]] = None
+    def value(self, commands: Iterable[Command]) -> Any | None:
+        best: tuple[float, str, Any] | None = None
         for command in self.own_commands(commands):
             if command.operation[1] != "write":
                 continue
@@ -151,17 +152,17 @@ class ORSetObject(ReplicatedObject):
     concrete tags, never to "whatever is in the set right now".
     """
 
-    def op_add(self, member: Any, tag_id: Hashable) -> Tuple[Any, ...]:
+    def op_add(self, member: Any, tag_id: Hashable) -> tuple[Any, ...]:
         """Operation payload adding ``member`` under unique ``tag_id``."""
         return self.tag("add", member, tag_id)
 
-    def op_remove(self, observed_tags: Iterable[Hashable]) -> Tuple[Any, ...]:
+    def op_remove(self, observed_tags: Iterable[Hashable]) -> tuple[Any, ...]:
         """Operation payload removing every element whose tag was observed."""
         return self.tag("remove", tuple(observed_tags))
 
-    def value(self, commands: Iterable[Command]) -> FrozenSet[Any]:
-        added: Dict[Hashable, Any] = {}
-        removed: Set[Hashable] = set()
+    def value(self, commands: Iterable[Command]) -> frozenset[Any]:
+        added: dict[Hashable, Any] = {}
+        removed: set[Hashable] = set()
         for command in self.own_commands(commands):
             verb = command.operation[1]
             if verb == "add":

@@ -19,9 +19,10 @@ play the role of both proposers and acceptors", Section 7.2) extended with:
 """
 
 from __future__ import annotations
+from collections.abc import Hashable, Sequence
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Any
 
 from repro.core.gwts import GWTSProcess
 from repro.lattice.base import JoinSemilattice
@@ -41,7 +42,7 @@ class UpdateRequest:
 class DecideNotice:
     """Replica -> client: ``<decide, Accepted_set, replica>`` (Algorithm 5 line 5)."""
 
-    accepted_set: FrozenSet[Command]
+    accepted_set: frozenset[Command]
     replica: Hashable
     mtype: str = "rsm_decide"
 
@@ -50,7 +51,7 @@ class DecideNotice:
 class ConfirmRequest:
     """Client -> replica: ``<CnfReq, Accepted_set>`` (Algorithm 6 line 8)."""
 
-    accepted_set: FrozenSet[Command]
+    accepted_set: frozenset[Command]
     mtype: str = "rsm_cnf_req"
 
 
@@ -58,7 +59,7 @@ class ConfirmRequest:
 class ConfirmReply:
     """Replica -> client: ``<CnfRep, Accepted_set, replica>`` (Algorithm 7 line 5)."""
 
-    accepted_set: FrozenSet[Command]
+    accepted_set: frozenset[Command]
     replica: Hashable
     mtype: str = "rsm_cnf_rep"
 
@@ -72,18 +73,18 @@ class Replica(GWTSProcess):
         members: Sequence[Hashable],
         f: int,
         max_rounds: int = 6,
-        lattice: Optional[JoinSemilattice] = None,
+        lattice: JoinSemilattice | None = None,
     ) -> None:
         lattice = lattice if lattice is not None else SetLattice()
         super().__init__(pid, lattice, members, f, max_rounds=max_rounds)
         #: Command -> set of clients to notify when it gets decided.
-        self._interested_clients: Dict[Command, Set[Hashable]] = {}
+        self._interested_clients: dict[Command, set[Hashable]] = {}
         #: Commands already notified (per client), to avoid duplicate notices.
-        self._notified: Set[Tuple[Hashable, Command]] = set()
+        self._notified: set[tuple[Hashable, Command]] = set()
         #: Pending confirmation requests: (client, accepted_set) not yet answered.
-        self._pending_conf: List[Tuple[Hashable, FrozenSet[Command]]] = []
+        self._pending_conf: list[tuple[Hashable, frozenset[Command]]] = []
         #: Commands this replica has admitted (for tests / experiments).
-        self.admitted_commands: List[Command] = []
+        self.admitted_commands: list[Command] = []
 
     # -- client-facing message handling ---------------------------------------------
 
@@ -130,7 +131,7 @@ class Replica(GWTSProcess):
         """Notify interested clients about commands covered by our decisions."""
         if not self.decisions:
             return
-        latest: FrozenSet[Command] = self.decisions[-1]
+        latest: frozenset[Command] = self.decisions[-1]
         for command, clients in self._interested_clients.items():
             if command in latest:
                 for client in clients:
@@ -147,7 +148,7 @@ class Replica(GWTSProcess):
         """Algorithm 7: confirm values that have a quorum of acks in Ack_history."""
         if not self._pending_conf:
             return
-        still_pending: List[Tuple[Hashable, FrozenSet[Command]]] = []
+        still_pending: list[tuple[Hashable, frozenset[Command]]] = []
         for client, accepted_set in self._pending_conf:
             if self._is_committed(accepted_set):
                 self.send(
@@ -158,7 +159,7 @@ class Replica(GWTSProcess):
                 still_pending.append((client, accepted_set))
         self._pending_conf = still_pending
 
-    def _is_committed(self, accepted_set: FrozenSet[Command]) -> bool:
+    def _is_committed(self, accepted_set: frozenset[Command]) -> bool:
         """Whether ``accepted_set`` gathered a Byzantine quorum of acks here."""
         return any(
             key[0] == accepted_set and len(senders) >= self.quorum

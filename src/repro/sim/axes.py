@@ -41,8 +41,7 @@ typo'd axis fails sweep expansion up front instead of inside a worker.
 """
 
 from __future__ import annotations
-
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from collections.abc import Hashable, Sequence
 
 from repro.sim.faults import FaultPlan
 from repro.sim.scheduler import RandomScheduler, Scheduler, WorstCaseScheduler
@@ -57,8 +56,8 @@ _NO_FAULT_PLAN = ("", "none")
 CHURN_PRESET = "partition@3-18+crash:1@20-30+crash:-1@32-42"
 
 
-def _parse_options(text: str, spec: str) -> Dict[str, str]:
-    options: Dict[str, str] = {}
+def _parse_options(text: str, spec: str) -> dict[str, str]:
+    options: dict[str, str] = {}
     for part in text.split(","):
         if not part:
             continue
@@ -80,10 +79,10 @@ def _positive_float(value: str, what: str, spec: str) -> float:
 
 
 def parse_scheduler(
-    spec: Optional[str],
-    pids: Optional[Sequence[Hashable]] = None,
-    f: Optional[int] = None,
-) -> Optional[Scheduler]:
+    spec: str | None,
+    pids: Sequence[Hashable] | None = None,
+    f: int | None = None,
+) -> Scheduler | None:
     """Parse a scheduler spec; ``None`` means "keep the builder's delay model".
 
     ``pids`` and ``f`` are the concrete membership the spec is resolved
@@ -128,7 +127,7 @@ def parse_scheduler(
     )
 
 
-def _parse_window(text: str, term: str) -> Tuple[float, float]:
+def _parse_window(text: str, term: str) -> tuple[float, float]:
     start_text, separator, end_text = text.partition("-")
     if not separator:
         raise ValueError(f"fault term {term!r} needs a START-END window, got {text!r}")
@@ -142,10 +141,10 @@ def _parse_window(text: str, term: str) -> Tuple[float, float]:
 
 
 def parse_fault_plan(
-    spec: Optional[str],
+    spec: str | None,
     pids: Sequence[Hashable],
     correct: Sequence[Hashable],
-) -> Optional[FaultPlan]:
+) -> FaultPlan | None:
     """Resolve a fault-plan spec against a concrete membership.
 
     ``pids`` is the full membership (partition groups are halves of it);
@@ -189,14 +188,14 @@ def parse_fault_plan(
     return plan
 
 
-def scheduler_spec_is_adversarial(spec: Optional[str]) -> bool:
+def scheduler_spec_is_adversarial(spec: str | None) -> bool:
     """Whether ``spec`` names a schedule that may starve links for a long time."""
     return bool(spec) and spec.strip().startswith("worst-case")
 
 
-def describe_axes(scheduler: Optional[str], fault_plan: Optional[str]) -> str:
+def describe_axes(scheduler: str | None, fault_plan: str | None) -> str:
     """One-line human-readable summary used in reports and replay hints."""
-    parts: List[str] = []
+    parts: list[str] = []
     if scheduler and scheduler.strip() not in _NO_SCHEDULER:
         parts.append(f"scheduler={scheduler}")
     if fault_plan and fault_plan.strip() not in _NO_FAULT_PLAN:

@@ -25,8 +25,9 @@ benchmarks, so no dicts, no dataclass machinery on the hot path.
 """
 
 from __future__ import annotations
+from collections.abc import Callable, Hashable
 
-from typing import TYPE_CHECKING, Any, Callable, Hashable, Tuple
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.engine.envelope import Envelope
@@ -59,7 +60,7 @@ class MessageDelivery(Event):
 
     __slots__ = ("envelope",)
 
-    def __init__(self, envelope: "Envelope") -> None:
+    def __init__(self, envelope: Envelope) -> None:
         # Flattened (no super().__init__() call): one of these is allocated
         # per message send, which makes this the hottest constructor in the
         # whole system.
@@ -122,7 +123,7 @@ class PartitionStart(Event):
 
     __slots__ = ("groups",)
 
-    def __init__(self, groups: Tuple[frozenset, ...]) -> None:
+    def __init__(self, groups: tuple[frozenset, ...]) -> None:
         super().__init__()
         self.groups = tuple(frozenset(group) for group in groups)
 

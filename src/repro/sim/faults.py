@@ -25,9 +25,10 @@ the paper's asynchronous liveness arguments keep applying.
 """
 
 from __future__ import annotations
+from collections.abc import Callable, Hashable, Iterable
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any
 
 from repro.sim.kernel import invalid_time
 
@@ -35,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.engine.kernel_backend import KernelEngine
 
 
-def validate_partition_groups(groups: Tuple[frozenset, ...]) -> None:
+def validate_partition_groups(groups: tuple[frozenset, ...]) -> None:
     """Reject partitions with fewer than two groups or overlapping groups.
 
     Shared by :meth:`FaultPlan.partition` (build time) and the engine
@@ -62,9 +63,9 @@ class FaultAction:
 
     at: float
     kind: str  # "crash" | "recover" | "partition" | "heal" | "inject"
-    pid: Optional[Hashable] = None
-    groups: Tuple[frozenset, ...] = ()
-    fn: Optional[Callable[..., Any]] = None
+    pid: Hashable | None = None
+    groups: tuple[frozenset, ...] = ()
+    fn: Callable[..., Any] | None = None
     label: str = ""
 
 
@@ -72,13 +73,13 @@ class FaultPlan:
     """A declarative, chainable script of crashes, partitions and injections."""
 
     def __init__(self) -> None:
-        self.actions: List[FaultAction] = []
+        self.actions: list[FaultAction] = []
 
     # -- builders (all chainable) -------------------------------------------------
 
     def crash(
-        self, pid: Hashable, at: float, recover_at: Optional[float] = None
-    ) -> "FaultPlan":
+        self, pid: Hashable, at: float, recover_at: float | None = None
+    ) -> FaultPlan:
         """Crash ``pid`` at time ``at`` (optionally scheduling its recovery)."""
         self._check_time(at)
         if recover_at is not None and recover_at <= at:
@@ -90,7 +91,7 @@ class FaultPlan:
             self.recover(pid, at=recover_at)
         return self
 
-    def recover(self, pid: Hashable, at: float) -> "FaultPlan":
+    def recover(self, pid: Hashable, at: float) -> FaultPlan:
         """Recover ``pid`` at time ``at``; held messages/timers are released."""
         self._check_time(at)
         self.actions.append(FaultAction(at=at, kind="recover", pid=pid))
@@ -100,8 +101,8 @@ class FaultPlan:
         self,
         *groups: Iterable[Hashable],
         at: float,
-        heal_at: Optional[float] = None,
-    ) -> "FaultPlan":
+        heal_at: float | None = None,
+    ) -> FaultPlan:
         """Split the membership into ``groups`` at ``at`` (optionally healing).
 
         Pids not listed in any group keep full connectivity, so a partial
@@ -119,7 +120,7 @@ class FaultPlan:
             self.heal(at=heal_at)
         return self
 
-    def heal(self, at: float) -> "FaultPlan":
+    def heal(self, at: float) -> FaultPlan:
         """Dissolve the active partition at ``at``; held traffic is released."""
         self._check_time(at)
         self.actions.append(FaultAction(at=at, kind="heal"))
@@ -127,7 +128,7 @@ class FaultPlan:
 
     def inject(
         self, at: float, fn: Callable[..., Any], label: str = "inject"
-    ) -> "FaultPlan":
+    ) -> FaultPlan:
         """Run ``fn(network)`` at ``at`` — the escape hatch for custom scripts."""
         self._check_time(at)
         self.actions.append(FaultAction(at=at, kind="inject", fn=fn, label=label))
@@ -135,7 +136,7 @@ class FaultPlan:
 
     # -- application ---------------------------------------------------------------
 
-    def apply(self, engine: "KernelEngine") -> "FaultPlan":
+    def apply(self, engine: KernelEngine) -> FaultPlan:
         """Schedule every action on ``engine`` (any backend works).
 
         Apply a plan once per run: each call schedules the full action list

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Dict, Hashable, List, Optional, Tuple
+from collections.abc import Hashable
 
 from repro.sim.events import Event, MessageDelivery
 
@@ -53,7 +53,7 @@ class SimKernel:
     )
 
     def __init__(self, seed: int = 0) -> None:
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._now = 0.0
         #: The run's seeded RNG (shared with the scheduler / delay models).
@@ -61,11 +61,11 @@ class SimKernel:
         #: Processes currently down (between NodeCrash and NodeRecover).
         self.crashed: set = set()
         #: Active partition (tuple of frozensets), or () when fully connected.
-        self.partition_groups: Tuple[frozenset, ...] = ()
+        self.partition_groups: tuple[frozenset, ...] = ()
         #: Events held because their target process is down.
-        self._held_for_node: Dict[Hashable, List[Event]] = {}
+        self._held_for_node: dict[Hashable, list[Event]] = {}
         #: Deliveries held because they cross the active partition.
-        self._held_for_partition: List[Event] = []
+        self._held_for_partition: list[Event] = []
         #: Messages scheduled but not yet delivered (including held ones).
         #: Maintained by the network, not by :meth:`schedule`, so that a
         #: held-and-rescheduled delivery is not double-counted.
@@ -102,7 +102,7 @@ class SimKernel:
         heapq.heappush(self._queue, (time, self._seq, event))
         return event
 
-    def pop(self) -> Optional[Event]:
+    def pop(self) -> Event | None:
         """Remove and return the next live event, advancing the clock.
 
         Cancelled events are skipped (lazy deletion).  Returns ``None`` when
@@ -176,7 +176,7 @@ class SimKernel:
                 continue
             self.schedule(event, 0.0)
 
-    def apply_partition(self, groups: Tuple[frozenset, ...]) -> None:
+    def apply_partition(self, groups: tuple[frozenset, ...]) -> None:
         """Install ``groups`` as the active partition (replaces any previous).
 
         Traffic parked by the previous partition is re-scheduled so the new

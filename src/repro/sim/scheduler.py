@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import TYPE_CHECKING, Hashable, Iterable, Optional, Set, Tuple
+from collections.abc import Hashable, Iterable
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.engine.delays import DelayModel
@@ -36,7 +37,7 @@ class Scheduler(abc.ABC):
     """Strategy deciding the in-flight delay of each submitted envelope."""
 
     @abc.abstractmethod
-    def delay(self, envelope: "Envelope", rng: random.Random) -> float:
+    def delay(self, envelope: Envelope, rng: random.Random) -> float:
         """Return the (non-negative, finite) delay for ``envelope``."""
 
     def describe(self) -> str:
@@ -47,7 +48,7 @@ class Scheduler(abc.ABC):
 class DelayModelScheduler(Scheduler):
     """Adapter: drive the kernel with a seed-era :class:`DelayModel`."""
 
-    def __init__(self, model: "Optional[DelayModel]" = None) -> None:
+    def __init__(self, model: DelayModel | None = None) -> None:
         if model is None:
             # Imported here, not at module level: the engine backends import
             # this module, so a top-level import would be circular.
@@ -56,7 +57,7 @@ class DelayModelScheduler(Scheduler):
             model = UniformDelay()
         self.model = model
 
-    def delay(self, envelope: "Envelope", rng: random.Random) -> float:
+    def delay(self, envelope: Envelope, rng: random.Random) -> float:
         return self.model.delay(envelope, rng)
 
     def describe(self) -> str:
@@ -71,7 +72,7 @@ class RandomScheduler(Scheduler):
             raise ValueError("spread must be positive")
         self.spread = spread
 
-    def delay(self, envelope: "Envelope", rng: random.Random) -> float:
+    def delay(self, envelope: Envelope, rng: random.Random) -> float:
         return rng.uniform(0.0, self.spread)
 
     def describe(self) -> str:
@@ -93,26 +94,26 @@ class WorstCaseScheduler(Scheduler):
 
     def __init__(
         self,
-        starved_links: Iterable[Tuple[Hashable, Hashable]] = (),
+        starved_links: Iterable[tuple[Hashable, Hashable]] = (),
         victims: Iterable[Hashable] = (),
         starve_delay: float = 200.0,
         fast_delay: float = 0.5,
     ) -> None:
         if starve_delay <= 0 or fast_delay <= 0:
             raise ValueError("delays must be positive")
-        self.starved_links: Set[frozenset] = {frozenset(pair) for pair in starved_links}
-        self.victims: Set[Hashable] = set(victims)
+        self.starved_links: set[frozenset] = {frozenset(pair) for pair in starved_links}
+        self.victims: set[Hashable] = set(victims)
         self.starve_delay = starve_delay
         self.fast_delay = fast_delay
 
     @classmethod
     def quorum_critical(
         cls,
-        members: "Iterable[Hashable]",
+        members: Iterable[Hashable],
         f: int,
         starve_delay: float = 200.0,
         fast_delay: float = 0.5,
-    ) -> "WorstCaseScheduler":
+    ) -> WorstCaseScheduler:
         """The strongest link-starving schedule the membership ``(n, f)`` allows.
 
         A proposer needs a Byzantine ack quorum ``q = floor((n + f) / 2) + 1``
@@ -149,14 +150,14 @@ class WorstCaseScheduler(Scheduler):
             fast_delay=fast_delay,
         )
 
-    def _starves(self, envelope: "Envelope") -> bool:
+    def _starves(self, envelope: Envelope) -> bool:
         if envelope.sender in self.victims or envelope.dest in self.victims:
             return True
         if self.starved_links and frozenset((envelope.sender, envelope.dest)) in self.starved_links:
             return True
         return False
 
-    def delay(self, envelope: "Envelope", rng: random.Random) -> float:
+    def delay(self, envelope: Envelope, rng: random.Random) -> float:
         if self._starves(envelope):
             return self.starve_delay + rng.uniform(0.0, 1.0)
         return self.fast_delay

@@ -1,0 +1,281 @@
+"""AsyncEngine: asyncio node tasks, wall-clock time, memory and TCP transports."""
+
+import pytest
+
+from repro.engine import AsyncEngine, FixedDelay, ProtocolCore, UniformDelay
+from repro.sim.faults import FaultPlan
+
+
+class Echoer(ProtocolCore):
+    """Replies once to every ping; p0 seeds the conversation."""
+
+    def __init__(self, pid, peers):
+        super().__init__(pid)
+        self.peers = peers
+        self.seen = []
+
+    def on_start(self):
+        if self.pid == "p0":
+            for peer in self.peers:
+                if peer != self.pid:
+                    self.send(peer, ("ping", self.pid))
+
+    def on_message(self, sender, payload):
+        self.seen.append((sender, payload))
+        if payload[0] == "ping":
+            self.send(sender, ("pong", self.pid))
+
+
+class TimerCore(ProtocolCore):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.fired = []
+        self.cancelled_handle = None
+
+    def on_start(self):
+        self.set_timer(5.0, "keep", {"x": 1})
+        self.cancelled_handle = self.set_timer(1.0, "dropped")
+        self.cancel_timer(self.cancelled_handle)
+
+    def on_timer(self, tag, payload=None):
+        self.fired.append((tag, payload))
+
+
+class CrashWitness(ProtocolCore):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.lifecycle = []
+        self.received = []
+
+    def on_crash(self):
+        self.lifecycle.append("crash")
+
+    def on_recover(self):
+        self.lifecycle.append("recover")
+
+    def on_message(self, sender, payload):
+        self.received.append(payload)
+
+
+def _cluster(transport="memory", **kwargs):
+    engine = AsyncEngine(
+        delay_model=FixedDelay(1.0), seed=0, transport=transport, **kwargs
+    )
+    pids = ["p0", "p1", "p2"]
+    nodes = [engine.add_core(Echoer(pid, pids)) for pid in pids]
+    return engine, nodes
+
+
+class TestConstruction:
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            AsyncEngine(transport="carrier-pigeon")
+
+    def test_negative_time_scale_rejected(self):
+        with pytest.raises(ValueError, match="time_scale"):
+            AsyncEngine(time_scale=-1.0)
+
+    def test_delay_model_and_scheduler_are_exclusive(self):
+        from repro.sim.scheduler import RandomScheduler
+
+        with pytest.raises(ValueError, match="not both"):
+            AsyncEngine(delay_model=UniformDelay(), scheduler=RandomScheduler())
+
+    def test_duplicate_pid_rejected(self):
+        engine = AsyncEngine()
+        engine.add_core(ProtocolCore("p0"))
+        with pytest.raises(ValueError, match="duplicate process id"):
+            engine.add_core(ProtocolCore("p0"))
+
+
+class TestMemoryTransport:
+    def test_runs_to_quiescence(self):
+        engine, nodes = _cluster()
+        result = engine.run_until_quiescent()
+        assert result.quiescent and result.delivered == 4  # 2 pings + 2 pongs
+        assert sorted(p for _s, p in nodes[0].seen) == [("pong", "p1"), ("pong", "p2")]
+
+    def test_wall_clock_semantics(self):
+        engine, _nodes = _cluster()
+        assert engine.now == 0.0  # before the run the wall clock is unanchored
+        result = engine.run_until_quiescent()
+        assert engine.clock.time_source == "wall-clock"
+        assert 0.0 < result.end_time <= result.wall_time_s + 1e-6
+        # Decision-free run: outputs empty, but metrics counted wall deliveries.
+        assert engine.metrics.total_delivered == 4
+
+    def test_timers_fire_and_cancellation_sticks(self):
+        engine = AsyncEngine(delay_model=FixedDelay(1.0), seed=0)
+        core = engine.add_core(TimerCore("p0"))
+        result = engine.run_until_quiescent()
+        assert core.fired == [("keep", {"x": 1})]
+        assert result.quiescent
+
+    def test_crash_is_task_cancellation_and_traffic_is_held(self):
+        engine = AsyncEngine(delay_model=FixedDelay(1.0), seed=0)
+        witness = engine.add_core(CrashWitness("p0"))
+
+        class Talker(ProtocolCore):
+            def on_start(self):
+                self.send("p0", "before-crash-window")
+
+        engine.add_core(Talker("p1"))
+        # Crash p0 immediately; its message is held, then handed over.
+        engine.crash_node("p0", at=0.5)
+        engine.recover_node("p0", at=10.0)
+        result = engine.run_until_quiescent()
+        assert witness.lifecycle == ["crash", "recover"]
+        assert witness.received == ["before-crash-window"]  # reliable channels
+        assert result.quiescent
+
+    def test_fault_plan_applies(self):
+        engine, nodes = _cluster()
+        plan = FaultPlan().crash("p1", at=0.2, recover_at=5.0)
+        engine.apply_fault_plan(plan)
+        result = engine.run_until_quiescent()
+        # Everything still delivers after recovery (hold, not loss).
+        assert result.quiescent and result.delivered == 4
+
+    def test_max_wall_s_fails_fast(self):
+        class Rearming(ProtocolCore):
+            def on_start(self):
+                self.set_timer(1.0, "tick")
+
+            def on_timer(self, tag, payload=None):
+                self.set_timer(1.0, "tick")  # forever
+
+        engine = AsyncEngine(delay_model=FixedDelay(1.0), seed=0)
+        engine.add_core(Rearming("p0"))
+        result = engine.run(max_wall_s=0.05)
+        assert result.events_capped and not result.quiescent
+
+    def test_run_until_decided(self):
+        class Decider(ProtocolCore):
+            def on_message(self, sender, payload):
+                self.decide(payload)
+
+        engine = AsyncEngine(delay_model=FixedDelay(1.0), seed=0)
+        engine.add_core(Echoer("p0", ["p0", "p1"]))
+        engine.add_core(Decider("p1"))
+        result = engine.run_until_decided(["p1"])
+        assert result.stopped_by_predicate
+        [record] = engine.metrics.decisions
+        assert record.pid == "p1" and record.time >= 0.0
+
+    def test_schedule_timer_harness_api(self):
+        engine = AsyncEngine(delay_model=FixedDelay(1.0), seed=0)
+        core = engine.add_core(TimerCore("p0"))
+        engine.schedule_timer("p0", 2.0, "external", "payload")
+        engine.run_until_quiescent()
+        assert ("external", "payload") in core.fired
+        with pytest.raises(ValueError, match="unknown process"):
+            engine.schedule_timer("ghost", 1.0, "t")
+
+
+class TestTcpTransport:
+    """Real localhost sockets: frames, decisions, held traffic."""
+
+    def test_cluster_exchanges_frames_and_reaches_quiescence(self):
+        engine, nodes = _cluster(transport="tcp", time_scale=0.0)
+        result = engine.run(max_wall_s=30.0)
+        assert result.delivered == 4
+        assert sorted(p for _s, p in nodes[0].seen) == [("pong", "p1"), ("pong", "p2")]
+        # The sender identity was stamped by the engine, not the payload.
+        assert {s for s, _p in nodes[1].seen} == {"p0"}
+
+    def test_wts_cluster_over_sockets_is_safe(self):
+        """End to end: the paper's WTS decides over real TCP and the
+        decisions are pairwise comparable (safety is schedule-independent,
+        so it must survive genuine network nondeterminism)."""
+        from repro.core.wts import WTSProcess
+        from repro.lattice.set_lattice import SetLattice
+
+        lattice = SetLattice()
+        pids = ["p0", "p1", "p2", "p3"]
+        engine = AsyncEngine(
+            delay_model=FixedDelay(1.0), seed=0, transport="tcp", time_scale=0.0002
+        )
+        nodes = {
+            pid: engine.add_core(
+                WTSProcess(pid, lattice, pids, 1, proposal=frozenset({f"v-{pid}"}))
+            )
+            for pid in pids
+        }
+        result = engine.run(
+            stop_when=lambda: all(n.has_decided for n in nodes.values()),
+            max_wall_s=60.0,
+        )
+        assert result.stopped_by_predicate
+        decisions = [n.decisions[0] for n in nodes.values()]
+        assert all(a <= b or b <= a for a in decisions for b in decisions)
+        # Comparability must contain every correct proposal's join witness:
+        biggest = max(decisions, key=len)
+        assert any(f"v-{pid}" in biggest for pid in pids)
+
+    def test_unrecovered_crash_ends_the_run_non_quiescent(self):
+        """A permanently crashed destination must not hang the driver: once
+        nothing scheduled can release the held traffic, run() returns with
+        the pending count intact (the simulated backends' exhaustion exit).
+        No max_wall_s is passed on purpose — the stall detector is the exit."""
+        engine = AsyncEngine(
+            delay_model=FixedDelay(1.0), seed=0, transport="tcp", time_scale=0.0
+        )
+        engine.add_core(CrashWitness("p0"))
+
+        class Talker(ProtocolCore):
+            def on_start(self):
+                self.send("p0", "into-the-void")
+
+        engine.add_core(Talker("p1"))
+        engine.crash_node("p0", at=0.0)  # never recovered
+        result = engine.run(max_messages=100)
+        assert result.pending_messages == 1
+        assert not result.quiescent and not result.stopped_by_predicate
+
+    def test_repartition_releases_newly_internal_traffic(self):
+        """Changing the partition (not just healing it) must re-evaluate held
+        frames: a link blocked by the old groups but internal to a new group
+        delivers without waiting for a heal."""
+        engine = AsyncEngine(
+            delay_model=FixedDelay(1.0), seed=0, transport="tcp", time_scale=0.001
+        )
+        witness = engine.add_core(CrashWitness("p0"))
+
+        class Talker(ProtocolCore):
+            def on_start(self):
+                self.send("p0", "cross-partition")
+
+        engine.add_core(Talker("p1"))
+        engine.add_core(ProtocolCore("p2"))
+        engine.start_partition(["p1"], ["p0", "p2"], at=0.0)
+        # Repartition so p0 and p1 share a side; never heal.
+        engine.start_partition(["p0", "p1"], ["p2"], at=30.0)
+        result = engine.run(max_wall_s=30.0)
+        assert witness.received == ["cross-partition"]
+        assert result.pending_messages == 0
+
+    def test_second_run_reports_per_run_deliveries(self):
+        engine, nodes = _cluster(transport="tcp", time_scale=0.0)
+        first = engine.run(max_wall_s=30.0)
+        assert first.delivered == 4
+        # Nothing new in flight: the follow-up run must not re-report run 1.
+        second = engine.run(max_wall_s=30.0)
+        assert second.delivered == 0
+
+    def test_crashed_node_gets_held_traffic_on_recovery(self):
+        engine = AsyncEngine(
+            delay_model=FixedDelay(1.0), seed=0, transport="tcp", time_scale=0.001
+        )
+        witness = engine.add_core(CrashWitness("p0"))
+
+        class Talker(ProtocolCore):
+            def on_start(self):
+                self.send("p0", "hello")
+
+        engine.add_core(Talker("p1"))
+        engine.crash_node("p0", at=0.0)
+        engine.recover_node("p0", at=50.0)  # 50ms at this time scale
+        result = engine.run(max_wall_s=30.0)
+        assert witness.lifecycle == ["crash", "recover"]
+        assert witness.received == ["hello"]
+        assert result.pending_messages == 0

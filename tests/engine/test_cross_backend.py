@@ -1,9 +1,15 @@
-"""Backend equivalence: kernel and turbo execute the *same* schedule.
+"""Backend equivalence: kernel, turbo and async execute the *same* schedule.
 
 The turbo backend sheds per-message objects, not semantics: for the same
 (cores, seed, scheduler, fault plan) both backends must reach identical
 decision values and output lattices.  Pinned here on the E1 (WTS chain),
 E6 (GWTS) and E8 (RSM) workload shapes across several seeds.
+
+The async backend's default in-process transport (determinism-lite mode)
+paces deliveries off the same seeded scheduler draws and sequence numbering,
+so its decided values and outputs must equal the kernel's too — its
+*timestamps* are wall-clock and are deliberately excluded from these
+comparisons (repro-results/v3 marks them as such).
 """
 
 import pytest
@@ -109,3 +115,74 @@ class TestCrossBackendGolden:
         # ...but per-type/size accounting is kernel-only by design.
         assert not turbo.metrics.sent_by_type and kernel.metrics.sent_by_type
         assert turbo.backend == "turbo"
+
+
+class TestAsyncBackendGolden:
+    """AsyncEngine (memory transport) reproduces the kernel's decisions.
+
+    Safety is schedule-independent, but these tests pin something stronger:
+    the determinism-lite transport replays the exact kernel schedule, so
+    decided *values* (not just their joins) match per process.  Wall-clock
+    timestamps are excluded — they are measurements, not schedule state.
+    """
+
+    @pytest.mark.parametrize("seed", [11, 2026, 77])
+    def test_e1_wts_decisions_identical(self, seed):
+        kernel = run_wts_scenario(n=4, f=1, seed=seed, backend="kernel")
+        run_async = run_wts_scenario(n=4, f=1, seed=seed, backend="async")
+        assert kernel.check_la().ok and run_async.check_la().ok
+        assert decisions_of(kernel) == decisions_of(run_async)
+
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_e6_gwts_decision_chains_identical(self, seed):
+        kwargs = dict(n=4, f=1, values_per_process=2, rounds=3, seed=seed)
+        kernel = run_gwts_scenario(backend="kernel", **kwargs)
+        run_async = run_gwts_scenario(backend="async", **kwargs)
+        assert decisions_of(kernel) == decisions_of(run_async)
+
+    @pytest.mark.parametrize("seed", [5, 41])
+    def test_e8_rsm_results_identical(self, seed):
+        counter = GCounterObject("hits")
+        gset = GSetObject("tags")
+        scripts = {
+            "c0": [("update", counter.op_inc(1)), ("read",)],
+            "c1": [("update", gset.op_add("x")), ("read",)],
+        }
+        kwargs = dict(n_replicas=4, f=1, client_scripts=scripts, rounds=8, seed=seed)
+        kernel = run_rsm_scenario(backend="kernel", **kwargs)
+        run_async = run_rsm_scenario(backend="async", **kwargs)
+        for cid in scripts:
+            k_history = kernel.extras["histories"][cid]
+            a_history = run_async.extras["histories"][cid]
+            # Operation kinds and results match; times are wall-clock on
+            # the async backend and are deliberately not compared.
+            assert [(r.kind, r.result) for r in k_history] == [
+                (r.kind, r.result) for r in a_history
+            ]
+        assert decisions_of(kernel) == decisions_of(run_async)
+
+    def test_async_matches_kernel_under_faults_and_adversarial_schedule(self):
+        kwargs = dict(
+            n=4,
+            f=1,
+            values_per_process=1,
+            rounds=3,
+            seed=13,
+            scheduler="worst-case:victims=quorum,starve=40,fast=1",
+            fault_plan="crash:0@5-25",
+        )
+        kernel = run_gwts_scenario(backend="kernel", **kwargs)
+        run_async = run_gwts_scenario(backend="async", **kwargs)
+        assert decisions_of(kernel) == decisions_of(run_async)
+
+    def test_async_send_counts_and_wall_clock_times(self):
+        kernel = run_wts_scenario(n=4, f=1, seed=11, backend="kernel")
+        run_async = run_wts_scenario(n=4, f=1, seed=11, backend="async")
+        assert run_async.metrics.sent_by_process == kernel.metrics.sent_by_process
+        assert run_async.metrics.total_sent == kernel.metrics.total_sent
+        assert run_async.backend == "async"
+        # Timestamps are wall-clock seconds: tiny, positive, monotone-ish —
+        # nothing like the kernel's simulated delay units.
+        assert run_async.run.end_time > 0.0
+        assert run_async.run.wall_time_s >= run_async.run.end_time * 0.1
+        assert run_async.engine.clock.time_source == "wall-clock"

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.engine import (
+    AsyncEngine,
     Broadcast,
     Decide,
     Deliver,
@@ -103,7 +104,7 @@ class BadTimer(ProtocolCore):
         self.set_timer(self.delay, "t")
 
 
-@pytest.mark.parametrize("engine_class", [KernelEngine, TurboEngine])
+@pytest.mark.parametrize("engine_class", [KernelEngine, TurboEngine, AsyncEngine])
 class TestMalformedEffects:
     def test_non_effect_object_fails_loudly(self, engine_class):
         engine = engine_class(seed=0)

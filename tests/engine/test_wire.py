@@ -1,0 +1,163 @@
+"""The JSON wire codec: round-trip fidelity for every protocol payload."""
+
+import dataclasses
+
+import pytest
+
+from repro.broadcast.reliable import RBEcho, RBInit, RBReady
+from repro.core.messages import (
+    Ack,
+    AckRequest,
+    Nack,
+    ProvenValue,
+    RoundAck,
+    SafeAck,
+    SafeRequest,
+    SbSAckRequest,
+)
+from repro.crypto.signatures import KeyRegistry
+from repro.engine import wire
+from repro.rsm.commands import make_command
+from repro.rsm.replica import ConfirmRequest, UpdateRequest
+
+
+def roundtrip(value):
+    return wire.decode_body(wire.encode_frame(value)[wire.HEADER_SIZE:])
+
+
+class TestPrimitivesAndContainers:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            3.5,
+            "text",
+            "",
+            [1, 2, 3],
+            ("a", 1, None),
+            frozenset({"x", "y"}),
+            {"plain": "dict", "nested": [1, (2, 3)]},
+            {1: "int-key", ("t",): "tuple-key"},
+            {"~": "reserved-tag-collision"},
+            b"\x00\xffbytes",
+            frozenset({frozenset({"inner"}), frozenset()}),
+            (("deep", frozenset({("nested", 1)})),),
+        ],
+    )
+    def test_roundtrip_identity(self, value):
+        decoded = roundtrip(value)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_sets_roundtrip(self):
+        assert roundtrip({1, 2}) == {1, 2}
+
+    def test_set_encoding_is_deterministic(self):
+        """Equal frozensets built in different orders produce identical frames."""
+        a = frozenset(["x", "y", "z"])
+        b = frozenset(["z", "x", "y"])
+        assert wire.encode_frame(a) == wire.encode_frame(b)
+
+
+class TestDataclassPayloads:
+    def test_wts_messages(self):
+        for message in (
+            AckRequest(proposed_set=frozenset({"v"}), ts=3),
+            Ack(accepted_set=frozenset({"v"}), ts=3),
+            Nack(accepted_set=frozenset({"v", "w"}), ts=4),
+            RoundAck(accepted_set=frozenset({"v"}), destination="p0", sender="p1", ts=2, round=1),
+        ):
+            assert roundtrip(message) == message
+
+    def test_reliable_broadcast_wrappers(self):
+        init = RBInit(origin="p0", tag="disclose", value=frozenset({"v"}))
+        assert roundtrip(init) == init
+        echo = RBEcho(origin="p0", tag=("t", 1), value=1)
+        assert roundtrip(echo) == echo
+        assert isinstance(roundtrip(RBReady(origin="p0", tag="t", value=1)), RBReady)
+
+    def test_signed_values_still_verify_after_the_trip(self):
+        registry = KeyRegistry(seed=1)
+        signer = registry.register("p0")
+        signed = signer.sign(("round", 3, frozenset({"a", "b"})))
+        decoded = roundtrip(signed)
+        assert decoded == signed
+        assert registry.verify(decoded)
+
+    def test_sbs_proof_bundles(self):
+        registry = KeyRegistry(seed=2)
+        signer = registry.register("p0")
+        acceptor = registry.register("p1")
+        value = signer.sign(frozenset({"v"}))
+        body = (frozenset({value}), frozenset(), 7)
+        ack = SafeAck(
+            rcvd_set=frozenset({value}),
+            conflicts=frozenset(),
+            request_id=7,
+            signature=acceptor.sign(body),
+        )
+        proven = ProvenValue(value=value, safe_acks=frozenset({ack}))
+        request = SbSAckRequest(proposed_set=frozenset({proven}), ts=1)
+        decoded = roundtrip(request)
+        assert decoded == request
+        [proven_back] = decoded.proposed_set
+        assert registry.verify(proven_back.value)
+        assert roundtrip(SafeRequest(safety_set=frozenset({value}), request_id=1)) is not None
+
+    def test_rsm_messages(self):
+        command = make_command("client0", 1, ("inc", 1))
+        update = UpdateRequest(command=command)
+        assert roundtrip(update) == update
+        confirm = ConfirmRequest(accepted_set=frozenset({command}))
+        assert roundtrip(confirm) == confirm
+
+
+class TestFraming:
+    def test_frame_has_length_prefix(self):
+        frame = wire.encode_frame({"k": 1})
+        assert len(frame) == wire.HEADER_SIZE + int.from_bytes(frame[:4], "big")
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(wire.WireError, match="exceeds"):
+            wire.encode_frame("x" * (wire.MAX_FRAME_BYTES + 1))
+
+
+class TestNegativePaths:
+    def test_unregistered_dataclass_rejected(self):
+        @dataclasses.dataclass(frozen=True)
+        class Private:
+            x: int
+
+        with pytest.raises(wire.WireError, match="not wire-registered"):
+            wire.encode_value(Private(x=1))
+
+    def test_unencodable_object_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(wire.WireError, match="not wire-encodable"):
+            wire.encode_value(Opaque())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(wire.WireError, match="unknown wire tag"):
+            wire.decode_value({"~": "martian", "v": []})
+
+    def test_unknown_dataclass_rejected(self):
+        with pytest.raises(wire.WireError, match="unknown wire dataclass"):
+            wire.decode_value({"~": "dc:Martian", "v": {}})
+
+    def test_name_collisions_rejected(self):
+        @dataclasses.dataclass(frozen=True)
+        class Ack:  # collides with repro.core.messages.Ack
+            x: int = 0
+
+        with pytest.raises(wire.WireError, match="collision"):
+            wire.register_wire_dataclass(Ack)
+
+    def test_non_dataclass_registration_rejected(self):
+        with pytest.raises(wire.WireError, match="not a dataclass"):
+            wire.register_wire_dataclass(int)

@@ -44,6 +44,12 @@ class TestExamples:
         assert "GLA comparability held in every configuration: True" in result.stdout
         assert "delayed but never prevented decisions: True" in result.stdout
 
+    def test_async_cluster(self):
+        result = run_example("async_cluster.py")
+        assert result.returncode == 0, result.stderr
+        assert "LA safety properties hold over real sockets: True" in result.stdout
+        assert "stopped because everyone decided: True" in result.stdout
+
     def test_scenario_fuzzing(self):
         result = run_example("scenario_fuzzing.py")
         assert result.returncode == 0, result.stderr

@@ -98,3 +98,30 @@ class TestLatency:
         baseline = _payload(_job(latency={"old_metric": 10.0}))
         current = _payload(_job(latency={"new_metric": 99.0}))
         assert compare_payloads(baseline, current).ok
+
+    def test_wall_clock_jobs_are_excluded_from_latency_gating(self):
+        """repro-results/v3: wall-clock latency is measurement, not a gate.
+
+        A 100x 'regression' on a wall-clock job is scheduling noise and must
+        not fail the comparison — it is skipped with an explanatory note.
+        """
+        baseline = _payload(_job(latency={"delays": 0.01}))
+        wall_job = _job(latency={"delays": 1.0})
+        wall_job["time_source"] = "wall-clock"
+        wall_job["backend"] = "async"
+        report = compare_payloads(baseline, _payload(wall_job))
+        assert report.ok
+        assert any("wall-clock" in note for note in report.notes)
+
+    def test_wall_clock_baseline_also_skips_gating(self):
+        base_job = _job(latency={"delays": 0.01})
+        base_job["time_source"] = "wall-clock"
+        current = _payload(_job(latency={"delays": 9.0}))
+        report = compare_payloads(_payload(base_job), current)
+        assert report.ok
+
+    def test_legacy_jobs_without_time_source_still_gate(self):
+        """v1/v2 artifacts carry no time_source: treated as simulated."""
+        baseline = _payload(_job(latency={"delays": 10.0}))
+        current = _payload(_job(latency={"delays": 20.0}))
+        assert not compare_payloads(baseline, current).ok

@@ -65,12 +65,41 @@ class TestValidation:
         del payload["jobs"][0]["backend"]
         assert any("backend" in p for p in validate_run_payload(payload))
 
+    def test_v3_jobs_record_their_time_source(self):
+        payload = _payload()
+        assert payload["jobs"][0]["time_source"] == "simulated"
+        del payload["jobs"][0]["time_source"]
+        assert any("time_source" in p for p in validate_run_payload(payload))
+
+    def test_v3_time_source_values_are_validated(self):
+        payload = _payload()
+        payload["jobs"][0]["time_source"] = "sundial"
+        assert any(
+            "time_source 'sundial'" in p for p in validate_run_payload(payload)
+        )
+
+    def test_async_backend_jobs_are_stamped_wall_clock(self):
+        job = JobSpec(experiment="E1", seed=11, quick=True, params=(("backend", "async"),))
+        payload = execute_job(job)
+        assert payload["backend"] == "async"
+        assert payload["time_source"] == "wall-clock"
+        assert payload["status"] == "ok"
+
+    def test_legacy_v2_artifacts_still_validate(self):
+        """Pre-time-source baselines (repro-results/v2) stay readable."""
+        payload = _payload()
+        payload["schema"] = "repro-results/v2"
+        for job in payload["jobs"]:
+            del job["time_source"]  # v2 never had the field
+        assert validate_run_payload(payload) == []
+
     def test_legacy_v1_artifacts_still_validate(self):
         """Pre-backend baselines (repro-results/v1) stay readable."""
         payload = _payload()
         payload["schema"] = "repro-results/v1"
         for job in payload["jobs"]:
             del job["backend"]  # v1 never had the field
+            del job["time_source"]  # nor this one
         assert validate_run_payload(payload) == []
 
     def test_missing_fields_are_reported(self):
