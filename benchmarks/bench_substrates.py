@@ -101,8 +101,11 @@ def test_async_engine_delivery_throughput(benchmark):
     assert delivered == 10 * 10 * 20
 
 
-def _async_tcp_throughput():
-    engine = AsyncEngine(delay_model=FixedDelay(1.0), seed=0, transport="tcp", time_scale=0.0)
+def _async_tcp_throughput(framing):
+    engine = AsyncEngine(
+        delay_model=FixedDelay(1.0), seed=0, transport="tcp", time_scale=0.0,
+        framing=framing,
+    )
     nodes = [engine.add_core(_Chirper(f"p{i}")) for i in range(10)]
     engine.run(max_wall_s=120.0)
     return sum(node.seen for node in nodes)
@@ -110,7 +113,13 @@ def _async_tcp_throughput():
 
 def test_async_tcp_delivery_throughput(benchmark):
     """The real network path: localhost TCP, length-prefixed JSON frames."""
-    delivered = benchmark(_async_tcp_throughput)
+    delivered = benchmark(_async_tcp_throughput, "json")
+    assert delivered == 10 * 10 * 20
+
+
+def test_async_tcp_binary_delivery_throughput(benchmark):
+    """The same socket path on the compact binary framing."""
+    delivered = benchmark(_async_tcp_throughput, "binary")
     assert delivered == 10 * 10 * 20
 
 

@@ -20,10 +20,11 @@ This package realises that model in two decoupled halves:
     metrics, causal-depth accounting, delivery log, golden-trace replay.
   - :class:`TurboEngine` — the benchmark fast path: same schedule, no
     per-message shim objects (see :mod:`repro.engine.turbo_backend`).
-  - :class:`AsyncEngine` — real asyncio I/O: one task per node, wall-clock
-    time, crash = task cancellation; in-process queues (CI determinism-lite)
-    or length-prefixed JSON frames over localhost TCP (see
-    :mod:`repro.engine.async_backend`).
+  - :class:`AsyncEngine` — real asyncio I/O with wall-clock time and
+    decision-latency histograms: inline virtual-time dispatch in-process
+    (CI determinism-lite) or coalesced length-prefixed frames — JSON or
+    compact binary (``framing=``) — over localhost TCP with zero-copy reads
+    and write backpressure (see :mod:`repro.engine.async_backend`).
 
 Engine *services* shared by every backend — the :class:`~repro.engine.
 services.Clock` abstraction (simulated vs wall-clock time sources) and the
@@ -66,6 +67,8 @@ from repro.engine.services import (
     RunResult,
     SimulatedClock,
     WallClock,
+    latency_summary,
+    percentile,
 )
 from repro.engine.turbo_backend import TurboEngine
 
@@ -121,6 +124,8 @@ __all__ = [
     "TIME_SIMULATED",
     "TIME_WALL_CLOCK",
     "TIME_SOURCES",
+    "latency_summary",
+    "percentile",
     # wire format & delay models
     "Envelope",
     "estimate_size",

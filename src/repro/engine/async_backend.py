@@ -1,29 +1,39 @@
 """Asyncio backend: protocol cores on real event-loop I/O.
 
 :class:`AsyncEngine` executes the same sans-I/O cores as the kernel and
-turbo backends, but on a live :mod:`asyncio` event loop: one task per node,
-real task cancellation for crashes, wall-clock time (see
-:class:`~repro.engine.services.WallClock`), and — in TCP mode — real
-localhost sockets carrying length-prefixed JSON frames
-(:mod:`repro.engine.wire`).  Two transports:
+turbo backends, but on a live :mod:`asyncio` event loop with wall-clock time
+(see :class:`~repro.engine.services.WallClock`) and — in TCP mode — real
+localhost sockets carrying length-prefixed frames in either wire framing
+(:mod:`repro.engine.wire`, ``framing="json"`` or ``"binary"``).  Two
+transports:
 
-* ``transport="memory"`` (default) — **determinism-lite mode for CI**: node
-  tasks exchange events through in-process :class:`asyncio.Queue` inboxes
-  while a dispatcher coroutine paces deliveries off a virtual-time calendar
+* ``transport="memory"`` (default) — **determinism-lite mode for CI and
+  benchmarks**: deliveries are processed inline off a virtual-time calendar
   driven by the *same* seeded scheduler draws, sequence numbering and
   crash/partition hold semantics as the turbo backend.  Deliveries are
   therefore processed in exactly the kernel schedule's order, so decided
   values and outputs match the kernel backend for the same (cores, seed,
   scheduler, fault plan) — pinned by ``tests/engine/test_cross_backend.py``.
   Timestamps are still wall-clock: only the *order* is reproduced, not the
-  simulated clock.
+  simulated clock.  (Processing inline — no per-event task/queue hand-off —
+  is what makes this the wire-speed row in ``BENCH_kernel.json``; the
+  calendar is already a total order, so a dispatcher task added context
+  switches without adding semantics.)
 
 * ``transport="tcp"`` — the real network path: every node listens on an
-  ephemeral localhost port, sends open peer connections lazily and write
-  length-prefixed JSON frames, ``SetTimer``/``Cancel`` map to
-  ``loop.call_later`` handles, and delivery order is whatever the OS and the
-  loop produce.  Safety properties must still hold (they are
-  schedule-independent); latency metrics are wall-clock measurements.
+  ephemeral localhost port and runs one asyncio task draining its inbox.
+  Outbound frames are *coalesced*: each (sender, dest) link owns a write
+  buffer plus a single writer task that flushes everything accumulated since
+  its last wakeup in **one** ``writer.write`` call, then ``await
+  writer.drain()`` — so a burst of effects costs one syscall, and a slow
+  peer exerts backpressure through the transport's high-water mark instead
+  of ballooning memory.  Inbound frames are parsed zero-copy by a buffered
+  :class:`asyncio.BufferedProtocol` receiver: the OS writes into a
+  preallocated buffer and the codec decodes ``memoryview`` slices in place.
+  ``SetTimer``/``Cancel`` map to ``loop.call_later`` handles, and delivery
+  order is whatever the OS and the loop produce.  Safety properties must
+  still hold (they are schedule-independent); latency metrics are wall-clock
+  measurements.
 
 Both transports preserve the model's channel guarantees: messages are never
 lost (crashes and partitions *hold* traffic; it is handed over on
@@ -31,7 +41,8 @@ recovery/heal) and the backend stamps the true sender, so channels stay
 authenticated.  The run driver stops on the stop predicate, on quiescence
 (no messages in flight anywhere), on the ``max_messages``/``max_events``
 valves, or on the optional ``max_wall_s`` hard timeout — a hung event loop
-fails fast instead of wedging CI.
+fails fast instead of wedging CI.  Every run reports a wall-clock
+decision-latency summary (:attr:`RunResult.decision_latency`).
 """
 
 from __future__ import annotations
@@ -48,7 +59,13 @@ from repro.engine.core import ProtocolCore
 from repro.engine.delays import DelayModel, UniformDelay
 from repro.engine.effects import Broadcast, Cancel, Decide, Output, Send, SetTimer, TimerHandle
 from repro.engine.envelope import Envelope
-from repro.engine.services import TIME_WALL_CLOCK, Clock, RunResult, WallClock
+from repro.engine.services import (
+    TIME_WALL_CLOCK,
+    Clock,
+    RunResult,
+    WallClock,
+    latency_summary,
+)
 from repro.metrics.collector import MetricsCollector
 from repro.sim.faults import validate_partition_groups
 from repro.sim.kernel import invalid_time
@@ -63,7 +80,7 @@ _PARTITION = 4
 _HEAL = 5
 _INJECT = 6
 
-#: Inbox event kinds handed to node tasks.
+#: Inbox event kinds handed to node tasks (tcp transport).
 _EV_START = "start"
 _EV_MSG = "msg"
 _EV_TIMER = "timer"
@@ -71,11 +88,116 @@ _EV_TIMER = "timer"
 #: How often the TCP driver polls the stop predicate / quiescence state.
 _TCP_POLL_S = 0.002
 
+#: Per-link write high-water mark: once the transport buffers this many
+#: bytes, ``drain()`` blocks the link's writer task until the peer catches
+#: up — bounded memory per connection, however slow the other side reads.
+_TCP_HIGH_WATER = 256 * 1024
+
+#: Initial size of each connection's preallocated receive buffer (grows
+#: geometrically if a frame outgrows it).
+_RECV_BUFFER_BYTES = 64 * 1024
+
 _INF = float("inf")
 
 
+class _TcpLink:
+    """One buffered outbound connection of the (sender, dest) pair.
+
+    Frames are appended to :attr:`buffer` by the send path; the single
+    writer task flushes whatever accumulated since its last wakeup in one
+    ``writer.write`` call (frame coalescing), then awaits ``drain()`` so the
+    transport's high-water mark backpressures the producer side.
+    """
+
+    __slots__ = ("buffer", "wake", "task", "writer")
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self.wake = asyncio.Event()
+        self.task: asyncio.Task | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+
+class _TcpReceiver(asyncio.BufferedProtocol):
+    """Server-side connection: zero-copy frame parsing.
+
+    The event loop writes received bytes directly into a preallocated
+    ``bytearray`` (no per-read ``bytes`` object); complete frames are decoded
+    from ``memoryview`` slices in place and handed to the engine, and the
+    incomplete tail is compacted to the front of the buffer.
+    """
+
+    __slots__ = ("_engine", "_buffer", "_view", "_filled", "transport")
+
+    def __init__(self, engine: AsyncEngine) -> None:
+        self._engine = engine
+        self._buffer = bytearray(_RECV_BUFFER_BYTES)
+        self._view = memoryview(self._buffer)
+        self._filled = 0
+        self.transport: asyncio.BaseTransport | None = None
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport
+        self._engine._receivers.add(self)
+
+    def connection_lost(self, exc: BaseException | None) -> None:
+        self._engine._receivers.discard(self)
+
+    def eof_received(self) -> bool:
+        return False  # close when the peer does
+
+    def get_buffer(self, sizehint: int) -> memoryview:
+        if self._filled >= len(self._buffer):
+            self._grow(max(sizehint, len(self._buffer)))
+        return self._view[self._filled :]
+
+    def buffer_updated(self, nbytes: int) -> None:
+        self._filled += nbytes
+        try:
+            self._parse()
+        except BaseException as failure:
+            engine = self._engine
+            if engine._node_failure is None:
+                engine._node_failure = failure
+            if self.transport is not None:
+                self.transport.close()
+
+    def _grow(self, extra: int) -> None:
+        old, filled = self._buffer, self._filled
+        self._view.release()
+        grown = bytearray(len(old) + extra)
+        grown[:filled] = old[:filled]
+        self._buffer = grown
+        self._view = memoryview(grown)
+
+    def _parse(self) -> None:
+        engine = self._engine
+        view = self._view
+        filled = self._filled
+        offset = 0
+        header = wire.HEADER_SIZE
+        while filled - offset >= header:
+            length = int.from_bytes(view[offset : offset + header], "big")
+            if length > wire.MAX_FRAME_BYTES:
+                raise wire.WireError(
+                    f"frame length {length} exceeds {wire.MAX_FRAME_BYTES}"
+                )
+            start = offset + header
+            if filled - start < length:
+                break
+            engine._tcp_deliver(view[start : start + length])
+            offset = start + length
+        if offset:
+            remaining = filled - offset
+            if remaining:
+                # Equal-length slice assignment: no resize, so the exported
+                # memoryview stays valid.
+                self._buffer[:remaining] = self._buffer[offset:filled]
+            self._filled = remaining
+
+
 class AsyncEngine:
-    """Asyncio backend: one task per node, wall-clock time, two transports."""
+    """Asyncio backend: wall-clock time, memory and TCP transports."""
 
     name = "async"
     time_source = TIME_WALL_CLOCK
@@ -89,6 +211,7 @@ class AsyncEngine:
         transport: str = "memory",
         time_scale: float | None = None,
         host: str = "127.0.0.1",
+        framing: str = "json",
     ) -> None:
         if delay_model is not None and scheduler is not None:
             raise ValueError(
@@ -101,6 +224,9 @@ class AsyncEngine:
         self._scheduler = scheduler or DelayModelScheduler(delay_model or UniformDelay())
         self.rng = Random(seed)
         self._transport = transport
+        #: Wire codec of the TCP transport (the memory transport moves
+        #: Python objects and never serialises).
+        self._codec = wire.get_codec(framing)
         #: Wall seconds per simulated delay unit, used to pace deliveries,
         #: timers and fault scripts.  The memory transport defaults to 0
         #: (virtual ordering only, full speed); the TCP transport defaults to
@@ -138,7 +264,8 @@ class AsyncEngine:
         # -- tcp-transport state --
         self._servers: list[Any] = []
         self._ports: dict[Hashable, int] = {}
-        self._writers: dict[tuple[Hashable, Hashable], Any] = {}
+        self._links: dict[tuple[Hashable, Hashable], _TcpLink] = {}
+        self._receivers: set[_TcpReceiver] = set()
         self._held_frames: list[tuple[Hashable, Hashable, bytes]] = []
         self._held_timers: dict[int, list[TimerHandle]] = {}
         #: Armed (not yet fired or parked) TCP timers and not-yet-applied
@@ -190,6 +317,11 @@ class AsyncEngine:
     @property
     def transport(self) -> str:
         return self._transport
+
+    @property
+    def framing(self) -> str:
+        """Wire framing of the TCP transport (``"json"`` or ``"binary"``)."""
+        return self._codec.name
 
     def pending(self) -> int:
         """Messages currently in flight (including held ones)."""
@@ -397,7 +529,14 @@ class AsyncEngine:
 
         return self.run(stop_when=all_decided, max_messages=max_messages)
 
-    # -- node tasks ----------------------------------------------------------------
+    def _decision_latency(self, start_decisions: int, origin: float) -> dict | None:
+        """Wall-clock latency summary of decisions recorded during this run."""
+        return latency_summary(
+            record.time - origin
+            for record in self.metrics.decisions[start_decisions:]
+        )
+
+    # -- node tasks (tcp transport) ---------------------------------------------------
 
     def _process_event(self, core: ProtocolCore, event: tuple) -> None:
         """Handle one inbox event inside the node's task."""
@@ -421,27 +560,17 @@ class AsyncEngine:
             self._apply_effects(core)
 
     async def _node_loop(self, index: int) -> None:
-        """One task per node: drain the inbox, run the core, signal progress.
-
-        ``(event, done)`` pairs arrive on the inbox; ``done`` is ``None`` on
-        the TCP transport (free-running) and an :class:`asyncio.Event` on the
-        memory transport, where the dispatcher awaits it so the global
-        delivery order stays the deterministic calendar order.
-        """
+        """One task per node: drain the inbox and run the core."""
         core = self._cores[index]
         inbox = self._inboxes[index]
         while True:
-            event, done = await inbox.get()
+            event = await inbox.get()
             try:
                 self._process_event(core, event)
             except BaseException as failure:
                 if self._node_failure is None:
                     self._node_failure = failure
-                if done is not None:
-                    done.set()
                 raise
-            if done is not None:
-                done.set()
 
     def _spawn_node(self, index: int) -> None:
         # Reuse a surviving inbox: on the TCP transport frames keep arriving
@@ -464,37 +593,27 @@ class AsyncEngine:
             pass
         self._tasks[index] = None
 
-    async def _dispatch_to_node(self, index: int, event: tuple) -> None:
-        """Memory transport: hand one event over and wait for it to be handled."""
-        done = asyncio.Event()
-        self._inboxes[index].put_nowait((event, done))
-        await done.wait()
-        if self._node_failure is not None:
-            raise self._node_failure
-
-    async def _start_cores(self, sequential: bool) -> None:
-        """Hand every core its start event (once, in registration order)."""
-        if self._started:
-            return
-        self._started = True
-        for index in range(len(self._cores)):
-            if index in self._crashed:
-                continue
-            if sequential:
-                await self._dispatch_to_node(index, (_EV_START,))
-            else:
-                self._inboxes[index].put_nowait(((_EV_START,), None))
-
     async def _teardown(self) -> None:
         for index in range(len(self._tasks)):
             await self._cancel_node(index)
+        for link in self._links.values():
+            if link.task is not None:
+                link.task.cancel()
+                try:
+                    await link.task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            if link.writer is not None:
+                link.writer.close()
+        self._links = {}
         for server in self._servers:
             server.close()
             await server.wait_closed()
         self._servers = []
-        for writer in self._writers.values():
-            writer.close()
-        self._writers = {}
+        for receiver in list(self._receivers):
+            if receiver.transport is not None:
+                receiver.transport.close()
+        self._receivers = set()
         self._ports = {}
         # Inboxes are kept: a crashed node's queued frames must survive into
         # a follow-up run (the run drivers swap in fresh loop-bound queues).
@@ -512,11 +631,8 @@ class AsyncEngine:
         self._loop = asyncio.get_running_loop()
         self._clock.start()
         started_wall = _time.perf_counter()
-        self._inboxes = [None] * len(self._cores)
-        self._tasks = [None] * len(self._cores)
-        for index in range(len(self._cores)):
-            if index not in self._crashed:
-                self._spawn_node(index)
+        start_decisions = len(self.metrics.decisions)
+        latency_origin = self._clock.now()
         deadline = None if max_wall_s is None else started_wall + max_wall_s
         delivered = 0
         events = 0
@@ -524,10 +640,29 @@ class AsyncEngine:
         exhausted = False
         timed_out = False
         scale = self.time_scale
+        # Pace against the absolute wall schedule (anchor + vtime * scale),
+        # not per-gap sleeps: event-loop timer granularity would otherwise
+        # accumulate across thousands of calendar entries, and a run that
+        # falls behind schedule must catch up by not sleeping at all.
+        wall_anchor = started_wall - self._vnow * scale
         queue = self._queue
         crashed = self._crashed
+        cores = self._cores
+        clock_now = self._clock.now
+        record_delivery = self.metrics.record_delivery
+        apply_effects = self._apply_effects
         try:
-            await self._start_cores(sequential=True)
+            # Start events run inline, in registration order — the same
+            # sequential semantics the kernel backend gives on_start.
+            if not self._started:
+                self._started = True
+                for index, core in enumerate(cores):
+                    if index in crashed:
+                        continue
+                    core.now = clock_now()
+                    core.on_start()
+                    if core._out:
+                        apply_effects(core)
             while delivered < max_messages and events < max_events:
                 if stop_when is not None and stop_when():
                     stopped = True
@@ -545,7 +680,9 @@ class AsyncEngine:
                     continue
                 if vtime > self._vnow:
                     if scale:
-                        await asyncio.sleep((vtime - self._vnow) * scale)
+                        remaining = wall_anchor + vtime * scale - _time.perf_counter()
+                        if remaining > 0.0:
+                            await asyncio.sleep(remaining)
                     self._vnow = vtime
                 events += 1
                 self.events_processed += 1
@@ -560,40 +697,56 @@ class AsyncEngine:
                     ):
                         self._held_for_partition.append(entry)
                         continue
-                    await self._dispatch_to_node(dest_index, (_EV_MSG, envelope))
+                    # Inline delivery: the calendar already serialises every
+                    # event, so the core runs right here in the driver — no
+                    # task hand-off, no queue, no done-event round trip.
+                    core = cores[dest_index]
+                    now = clock_now()
+                    core.now = now
+                    if core.causal_depth < envelope.depth:
+                        core.causal_depth = envelope.depth
+                    self.pending_messages -= 1
+                    self._delivered_total += 1
+                    envelope.deliver_time = now
+                    record_delivery(envelope.sender, core.pid, envelope.mtype)
+                    core.on_message(envelope.sender, envelope.payload)
+                    if core._out:
+                        apply_effects(core)
                     delivered += 1
                 elif kind == _TIMER:
                     dest_index = entry[3]
                     if dest_index in crashed:
                         self._held_for_node.setdefault(dest_index, []).append(entry)
                         continue
-                    await self._dispatch_to_node(dest_index, (_EV_TIMER, entry[4]))
+                    handle = entry[4]
+                    core = cores[dest_index]
+                    core.now = clock_now()
+                    core.on_timer(handle.tag, handle.payload)
+                    if core._out:
+                        apply_effects(core)
                 elif kind == _CRASH:
                     index = entry[3]
                     if index not in crashed:
                         crashed.add(index)
-                        await self._cancel_node(index)
-                        core = self._cores[index]
-                        core.now = self._clock.now()
+                        core = cores[index]
+                        core.now = clock_now()
                         core.on_crash()
                         if core._out:
-                            self._apply_effects(core)
+                            apply_effects(core)
                 elif kind == _RECOVER:
                     index = entry[3]
                     if index in crashed:
                         crashed.discard(index)
                         # Held traffic is re-queued before the recovery hook
-                        # runs and before the task respawns, mirroring the
-                        # simulated backends' ordering exactly.
+                        # runs, mirroring the simulated backends' ordering.
                         held = self._held_for_node.pop(index, None)
                         if held:
                             self._release(held)
-                        self._spawn_node(index)
-                        core = self._cores[index]
-                        core.now = self._clock.now()
+                        core = cores[index]
+                        core.now = clock_now()
                         core.on_recover()
                         if core._out:
-                            self._apply_effects(core)
+                            apply_effects(core)
                 elif kind == _PARTITION:
                     self._partition_groups = entry[3]
                     held, self._held_for_partition = self._held_for_partition, []
@@ -616,6 +769,7 @@ class AsyncEngine:
             or (not stopped and not exhausted and events >= max_events),
             wall_time_s=_time.perf_counter() - started_wall,
             metrics=self.metrics,
+            decision_latency=self._decision_latency(start_decisions, latency_origin),
         )
 
     def _release(self, entries: list[tuple]) -> None:
@@ -626,14 +780,14 @@ class AsyncEngine:
             self._seq += 1
             heappush(self._queue, (self._vnow, self._seq) + entry[2:])
 
-    # -- tcp transport: length-prefixed JSON frames over localhost ------------------
+    # -- tcp transport: coalesced length-prefixed frames over localhost ----------------
 
     def _tcp_schedule_send(self, envelope: Envelope, delay: float) -> None:
         """Pace one frame onto the wire after the scheduler's delay."""
         loop = self._loop
         if loop is None:
             raise RuntimeError("tcp sends require a running engine loop")
-        frame = wire.encode_frame(
+        frame = self._codec.encode_frame(
             {
                 "sender": envelope.sender,
                 "dest": envelope.dest,
@@ -642,30 +796,58 @@ class AsyncEngine:
                 "payload": envelope.payload,
             }
         )
+        wall_delay = delay * self.time_scale
+        if wall_delay <= 0.0:
+            # Unpaced: straight into the link buffer, so every frame emitted
+            # in this task step rides the writer task's next single write.
+            self._tcp_enqueue(envelope.sender, envelope.dest, frame)
+        else:
+            loop.call_later(
+                wall_delay, self._tcp_enqueue, envelope.sender, envelope.dest, frame
+            )
 
-        def transmit() -> None:
-            loop.create_task(self._tcp_transmit(envelope.sender, envelope.dest, frame))
-
-        loop.call_later(delay * self.time_scale, transmit)
-
-    async def _tcp_transmit(self, sender: Hashable, dest: Hashable, frame: bytes) -> None:
-        """Write one frame, holding it while the link or destination is down."""
-        dest_index = self._index[dest]
-        if dest_index in self._crashed or (
+    def _tcp_enqueue(self, sender: Hashable, dest: Hashable, frame: bytes) -> None:
+        """Append one frame to the (sender, dest) link buffer (or hold it)."""
+        if self._loop is None or self._index[dest] in self._crashed or (
             self._partition_groups and self._link_blocked(sender, dest)
         ):
             # Channels are reliable: hold the frame, release on recover/heal.
+            # (A paced frame whose call_later fires after the run tore down
+            # lands here too — it stays pending instead of vanishing.)
             self._held_frames.append((sender, dest, frame))
             return
+        link = self._links.get((sender, dest))
+        if link is None:
+            link = _TcpLink()
+            self._links[(sender, dest)] = link
+            link.task = self._loop.create_task(
+                self._tcp_link_writer(link, dest),
+                name=f"repro-link-{sender}-{dest}",
+            )
+        link.buffer += frame
+        link.wake.set()
+
+    async def _tcp_link_writer(self, link: _TcpLink, dest: Hashable) -> None:
+        """Flush one link: everything accumulated per wakeup in one write.
+
+        Frames keep landing in ``link.buffer`` while ``drain()`` awaits a
+        slow peer, so backpressure automatically widens the batches instead
+        of growing the kernel-side socket buffer without bound.
+        """
         try:
-            writer = self._writers.get((sender, dest))
-            if writer is None:
-                _reader, writer = await asyncio.open_connection(
-                    self._host, self._ports[dest]
-                )
-                self._writers[(sender, dest)] = writer
-            writer.write(frame)
-            await writer.drain()
+            _reader, writer = await asyncio.open_connection(self._host, self._ports[dest])
+            writer.transport.set_write_buffer_limits(high=_TCP_HIGH_WATER)
+            link.writer = writer
+            buffer = link.buffer
+            wake = link.wake
+            while True:
+                if not buffer:
+                    wake.clear()
+                    await wake.wait()
+                chunk = bytes(buffer)
+                buffer.clear()
+                writer.write(chunk)  # one write per batch, not per frame
+                await writer.drain()  # blocks above the high-water mark
         except asyncio.CancelledError:
             raise  # engine teardown, not a node failure
         except BaseException as failure:
@@ -674,9 +856,9 @@ class AsyncEngine:
 
     def _tcp_release_held(self) -> None:
         held, self._held_frames = self._held_frames, []
-        loop = self._loop
         for sender, dest, frame in held:
-            loop.create_task(self._tcp_transmit(sender, dest, frame))
+            # Re-enqueue (and re-filter: still-blocked links hold again).
+            self._tcp_enqueue(sender, dest, frame)
 
     def _tcp_fire_timer(self, index: int, handle: TimerHandle) -> None:
         self._live_timer_count -= 1
@@ -688,36 +870,26 @@ class AsyncEngine:
             # before re-firing, so the stall detector stays exact.
             self._held_timers.setdefault(index, []).append(handle)
             return
-        self._inboxes[index].put_nowait(((_EV_TIMER, handle), None))
+        self._inboxes[index].put_nowait((_EV_TIMER, handle))
 
-    async def _tcp_connection(self, reader, writer) -> None:
-        """Per-connection reader: decode frames into the destination inbox."""
-        try:
-            while True:
-                message = await wire.read_frame(reader)
-                dest_index = self._index[message["dest"]]
-                envelope = Envelope(
-                    sender=message["sender"],
-                    dest=message["dest"],
-                    payload=message["payload"],
-                    send_time=0.0,
-                    depth=message["depth"],
-                    seq=message["seq"],
-                )
-                self._inboxes[dest_index].put_nowait(((_EV_MSG, envelope), None))
-        except (asyncio.IncompleteReadError, ConnectionResetError):
-            pass  # peer closed; normal shutdown path
-        except asyncio.CancelledError:
-            # Engine teardown cancelled this reader, not a node failure.
-            # Absorbed (not re-raised) so the server's completion callback
-            # sees a clean task instead of logging the cancellation; the
-            # handler returns immediately either way.
-            pass
-        except BaseException as failure:
-            if self._node_failure is None:
-                self._node_failure = failure
-        finally:
-            writer.close()
+    def _tcp_deliver(self, body) -> None:
+        """Decode one received frame body into the destination's inbox.
+
+        ``body`` is a ``memoryview`` into the receiver's buffer, valid only
+        for the duration of this call — the codec materialises every decoded
+        object, so nothing retains a reference into the buffer.
+        """
+        message = self._codec.decode_body(body)
+        dest_index = self._index[message["dest"]]
+        envelope = Envelope(
+            sender=message["sender"],
+            dest=message["dest"],
+            payload=message["payload"],
+            send_time=0.0,
+            depth=message["depth"],
+            seq=message["seq"],
+        )
+        self._inboxes[dest_index].put_nowait((_EV_MSG, envelope))
 
     def _tcp_apply_control(self, kind: int, arg: Any) -> None:
         self._pending_controls -= 1
@@ -770,6 +942,8 @@ class AsyncEngine:
         self._loop = loop
         self._clock.start()
         started_wall = _time.perf_counter()
+        start_decisions = len(self.metrics.decisions)
+        latency_origin = self._clock.now()
         start_delivered = self._delivered_total  # per-run delivery counting
         # Every node gets an inbox up front — even a crashed one, so frames
         # already in flight on the sockets queue there and are handed over on
@@ -787,10 +961,12 @@ class AsyncEngine:
         timed_out = False
         stalled = False
         try:
-            # One listening socket per node; ports are ephemeral.
+            # One listening socket per node; ports are ephemeral.  The
+            # receiver is a BufferedProtocol so reads land in a preallocated
+            # buffer and frames decode from memoryview slices in place.
             for pid in self._pids:
-                server = await asyncio.start_server(
-                    self._tcp_connection, host=self._host, port=0
+                server = await loop.create_server(
+                    lambda: _TcpReceiver(self), host=self._host, port=0
                 )
                 self._servers.append(server)
                 self._ports[pid] = server.sockets[0].getsockname()[1]
@@ -805,7 +981,11 @@ class AsyncEngine:
                     due * self.time_scale, self._tcp_apply_control, kind, arg
                 )
             self._scripted_controls = []
-            await self._start_cores(sequential=False)
+            if not self._started:
+                self._started = True
+                for index in range(len(self._cores)):
+                    if index not in self._crashed:
+                        self._inboxes[index].put_nowait((_EV_START,))
             deadline = None if max_wall_s is None else started_wall + max_wall_s
             # Quiescence: nothing in flight (scheduler-paced sends, held
             # frames, queued-but-unprocessed inbox events all count) after at
@@ -857,6 +1037,7 @@ class AsyncEngine:
             events_capped=timed_out,
             wall_time_s=_time.perf_counter() - started_wall,
             metrics=self.metrics,
+            decision_latency=self._decision_latency(start_decisions, latency_origin),
         )
 
     def _tcp_stalled(self) -> bool:

@@ -109,8 +109,8 @@ def create_engine(
     """Instantiate the named backend with the shared constructor signature.
 
     ``extra`` passes backend-specific options through (e.g. the async
-    backend's ``transport=`` / ``time_scale=``); backends reject options
-    they do not understand, so a typo fails loudly.
+    backend's ``transport=`` / ``time_scale=`` / ``framing=``); backends
+    reject options they do not understand, so a typo fails loudly.
     """
     info = get_backend(backend)
     return info.factory(
@@ -153,7 +153,8 @@ def _register_builtin_backends() -> None:
             factory=AsyncEngine,
             time_source=AsyncEngine.time_source,
             deterministic=False,
-            summary="asyncio I/O: wall-clock time, real tasks/sockets",
+            summary="asyncio I/O: wall-clock time + tail latencies, "
+            "coalesced TCP frames (framing=json|binary)",
         )
     )
 

@@ -21,7 +21,7 @@ anything new — they already speak clocks and run results.
 from __future__ import annotations
 
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 from repro.metrics.collector import MetricsCollector
@@ -96,6 +96,47 @@ class WallClock(Clock):
         return time.perf_counter() - self._origin
 
 
+def percentile(sorted_samples: list[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted ``sorted_samples``.
+
+    ``q`` is a fraction in ``[0, 1]``; the sample list must be non-empty and
+    ascending.  Matches the common "inclusive" definition (numpy's default):
+    ``q=0`` is the minimum, ``q=1`` the maximum.
+    """
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample list")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile fraction {q!r} outside [0, 1]")
+    position = (len(sorted_samples) - 1) * q
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_samples) - 1)
+    fraction = position - lower
+    return sorted_samples[lower] * (1.0 - fraction) + sorted_samples[upper] * fraction
+
+
+def latency_summary(samples: Iterable[float]) -> dict[str, float] | None:
+    """p50/p95/p99/max tail-latency summary of ``samples`` (or ``None``).
+
+    The shape every latency-carrying artifact in the repo uses: the async
+    backend reports wall-clock decision latencies through it
+    (:attr:`RunResult.decision_latency`), the open-loop load generator its
+    per-value latencies, and ``repro-results/v4`` job payloads carry it as
+    the ``wall_latency`` field.  ``None`` (not an empty dict) means "no
+    samples" so consumers can distinguish "nothing decided" from "zero
+    latency".
+    """
+    data = sorted(samples)
+    if not data:
+        return None
+    return {
+        "count": len(data),
+        "p50": percentile(data, 0.50),
+        "p95": percentile(data, 0.95),
+        "p99": percentile(data, 0.99),
+        "max": data[-1],
+    }
+
+
 @dataclass
 class RunResult:
     """Outcome of one engine run."""
@@ -121,6 +162,13 @@ class RunResult:
     wall_time_s: float = 0.0
     #: The metrics collector of the engine (for convenience).
     metrics: MetricsCollector = field(repr=False, default=None)
+    #: Wall-clock decision-latency summary of this run — the
+    #: :func:`latency_summary` shape (``count``/``p50``/``p95``/``p99``/
+    #: ``max``, seconds from run start to each decision) on wall-clock
+    #: backends, ``None`` on the simulated backends (their decision times
+    #: are deterministic simulated units, not latency measurements) and on
+    #: wall-clock runs that decided nothing.
+    decision_latency: dict[str, float] | None = None
 
     @property
     def quiescent(self) -> bool:

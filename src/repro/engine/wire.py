@@ -1,28 +1,42 @@
-"""Wire format of the asyncio network backend: length-prefixed JSON frames.
+"""Wire formats of the asyncio network backend: length-prefixed frames.
 
 The protocols exchange rich Python values — frozen message dataclasses
 (:mod:`repro.core.messages`, :mod:`repro.rsm.replica`, ...), frozensets,
 tuples, :class:`~repro.crypto.signatures.SignedValue` bundles with ``bytes``
-tags.  JSON knows none of those, so the codec wraps every non-JSON-native
-value in a small tagged object::
+tags.  Two framings carry them, selected per engine via
+``AsyncEngine(framing=...)`` / :func:`get_codec`:
 
-    ("a", "b")                 -> {"~": "tuple", "v": ["a", "b"]}
-    frozenset({"x"})           -> {"~": "frozenset", "v": ["x"]}
-    b"\\x01\\x02"              -> {"~": "bytes", "v": "0102"}
-    Ack(accepted_set=..., ...) -> {"~": "dc:Ack", "v": {...fields...}}
+* ``"json"`` — tagged JSON, the readable reference format.  JSON knows none
+  of the rich types, so the codec wraps every non-JSON-native value in a
+  small tagged object::
 
-Dataclass payloads resolve through an explicit registry keyed by class name;
-the registry is populated from the algorithm message modules at import time
-and is extensible (:func:`register_wire_dataclasses`) for user protocols.
-Decoding an unknown tag or class raises :class:`WireError` — a frame the
-codec cannot faithfully reconstruct must fail the run, not silently turn
-into a dict.
+      ("a", "b")                 -> {"~": "tuple", "v": ["a", "b"]}
+      frozenset({"x"})           -> {"~": "frozenset", "v": ["x"]}
+      b"\\x01\\x02"              -> {"~": "bytes", "v": "0102"}
+      Ack(accepted_set=..., ...) -> {"~": "dc:Ack", "v": {...fields...}}
+
+* ``"binary"`` — the compact wire-speed format: one type byte per value,
+  varint/struct lengths, zigzag-varint ints, per-frame string interning
+  (repeated node ids and field strings cost one varint after first use) and
+  dataclass payloads as an interned class name plus *positional* field
+  values — no per-value dict allocation on either side.  The decoder runs
+  directly on a :class:`memoryview`, so a buffered transport can parse
+  frames in place without copying the body.
+
+Dataclass payloads resolve through an explicit registry keyed by class name
+(shared by both framings); the registry is populated from the algorithm
+message modules at import time and is extensible
+(:func:`register_wire_dataclasses`) for user protocols.  Decoding an unknown
+tag, class or type byte raises :class:`WireError` — a frame the codec cannot
+faithfully reconstruct must fail the run, not silently turn into a dict.
+Torn frames (truncated header or body, trailing garbage, oversized length
+prefix) raise :class:`WireError` too.
 
 Round-trip fidelity: ``decode(encode(x)) == x`` for every supported value
 (including nested signed values — :func:`repro.crypto.signatures.
 canonical_bytes` is order-insensitive for sets, so signatures still verify
-after the trip).  Framing is a 4-byte big-endian length prefix followed by
-the UTF-8 JSON body.
+after the trip in either framing).  Framing is a 4-byte big-endian length
+prefix followed by the body (UTF-8 JSON, or ``0xB1``-tagged binary).
 """
 
 from __future__ import annotations
@@ -44,6 +58,9 @@ HEADER_SIZE = _HEADER.size
 #: not make the reader try to allocate gigabytes.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
+#: The framings :func:`get_codec` resolves.
+FRAMINGS = ("json", "binary")
+
 
 class WireError(ValueError):
     """A value or frame the wire codec refuses to handle."""
@@ -51,6 +68,10 @@ class WireError(ValueError):
 
 #: Class-name -> dataclass registry for payload decoding.
 _DATACLASSES: dict[str, type] = {}
+
+#: Per-class positional field-name cache (binary framing encodes dataclass
+#: fields positionally in ``dataclasses.fields`` order).
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
 
 
 def register_wire_dataclass(cls: type) -> type:
@@ -77,6 +98,14 @@ def register_wire_dataclasses(module) -> None:
             register_wire_dataclass(value)
 
 
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(field.name for field in dataclasses.fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
 _builtins_registered = False
 
 
@@ -95,6 +124,11 @@ def _ensure_builtin_payloads() -> None:
 
     for module in (messages, reliable, replica, commands, signatures):
         register_wire_dataclasses(module)
+
+
+# ---------------------------------------------------------------------------
+# JSON framing (the readable reference format)
+# ---------------------------------------------------------------------------
 
 
 def encode_value(value: Any) -> Any:
@@ -143,6 +177,26 @@ def _encode_set_items(items: Iterable[Any]) -> list:
     return encoded
 
 
+def _tag_body(data: dict, tag: str, expected: type) -> Any:
+    """The ``"v"`` body of a tagged object, validated loudly.
+
+    A missing body or a wrong body type means the frame is corrupt (or was
+    produced by something that is not this codec); silently yielding ``None``
+    here used to surface as confusing ``TypeError``s deep inside protocol
+    handlers.
+    """
+    try:
+        body = data["v"]
+    except KeyError:
+        raise WireError(f"tagged wire object {tag!r} is missing its 'v' body") from None
+    if not isinstance(body, expected):
+        raise WireError(
+            f"tagged wire object {tag!r} carries a {type(body).__name__} body; "
+            f"expected {expected.__name__}"
+        )
+    return body
+
+
 def decode_value(data: Any) -> Any:
     """Inverse of :func:`encode_value`."""
     if not _builtins_registered:
@@ -155,23 +209,40 @@ def decode_value(data: Any) -> Any:
         tag = data.get(_TAG)
         if tag is None:
             return {key: decode_value(item) for key, item in data.items()}
-        body = data.get("v")
+        if not isinstance(tag, str):
+            raise WireError(f"non-string wire tag {tag!r}")
         if tag == "tuple":
-            return tuple(decode_value(item) for item in body)
+            return tuple(decode_value(item) for item in _tag_body(data, tag, list))
         if tag == "frozenset":
-            return frozenset(decode_value(item) for item in body)
+            return frozenset(decode_value(item) for item in _tag_body(data, tag, list))
         if tag == "set":
-            return {decode_value(item) for item in body}
+            return {decode_value(item) for item in _tag_body(data, tag, list)}
         if tag == "bytes":
-            return bytes.fromhex(body)
+            body = _tag_body(data, tag, str)
+            try:
+                return bytes.fromhex(body)
+            except ValueError as failure:
+                raise WireError(f"invalid hex bytes body: {failure}") from None
         if tag == "dict":
-            return {decode_value(key): decode_value(item) for key, item in body}
+            body = _tag_body(data, tag, list)
+            try:
+                return {decode_value(key): decode_value(item) for key, item in body}
+            except (TypeError, ValueError) as failure:
+                if isinstance(failure, WireError):
+                    raise
+                raise WireError(f"malformed dict pair body: {failure}") from None
         if tag.startswith("dc:"):
             name = tag[3:]
             cls = _DATACLASSES.get(name)
             if cls is None:
                 raise WireError(f"unknown wire dataclass {name!r}")
-            return cls(**{key: decode_value(item) for key, item in body.items()})
+            body = _tag_body(data, tag, dict)
+            try:
+                return cls(**{key: decode_value(item) for key, item in body.items()})
+            except TypeError as failure:
+                raise WireError(
+                    f"wire dataclass {name!r} body does not match its fields: {failure}"
+                ) from None
         raise WireError(f"unknown wire tag {tag!r}")
     raise WireError(f"undecodable wire data of type {type(data).__name__}")
 
@@ -184,17 +255,319 @@ def encode_frame(message: Any) -> bytes:
     return _HEADER.pack(len(body)) + body
 
 
-def decode_body(body: bytes) -> Any:
-    """Deserialise one frame body (the part after the length prefix)."""
-    return decode_value(json.loads(body.decode("utf-8")))
+def decode_body(body) -> Any:
+    """Deserialise one JSON frame body (the part after the length prefix).
+
+    Accepts any bytes-like object (a buffered transport hands in
+    :class:`memoryview` slices); undecodable bytes raise :class:`WireError`
+    instead of leaking :class:`json.JSONDecodeError`.
+    """
+    if isinstance(body, memoryview):
+        body = bytes(body)
+    try:
+        data = json.loads(body)
+    except ValueError as failure:
+        raise WireError(f"undecodable JSON frame body: {failure}") from failure
+    return decode_value(data)
 
 
 async def read_frame(reader) -> Any:
-    """Read one frame from an :class:`asyncio.StreamReader` (or raise
+    """Read one JSON frame from an :class:`asyncio.StreamReader` (or raise
     ``asyncio.IncompleteReadError`` when the peer closed)."""
-    header = await reader.readexactly(HEADER_SIZE)
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
-    body = await reader.readexactly(length)
-    return decode_body(body)
+    return await get_codec("json").read_frame(reader)
+
+
+# ---------------------------------------------------------------------------
+# Binary framing (the compact wire-speed format)
+# ---------------------------------------------------------------------------
+
+#: First body byte of every binary frame — catches codec/framing confusion
+#: loudly (it can never open a UTF-8 JSON body).
+_MAGIC = 0xB1
+
+_B_NONE = 0x00
+_B_TRUE = 0x01
+_B_FALSE = 0x02
+_B_INT = 0x03  # zigzag varint
+_B_FLOAT = 0x04  # 8-byte big-endian double
+_B_STR = 0x05  # varint length + UTF-8 (and joins the intern table)
+_B_REF = 0x06  # varint index into the frame's intern table
+_B_BYTES = 0x07  # varint length + raw bytes
+_B_LIST = 0x08  # varint count + items
+_B_TUPLE = 0x09
+_B_FROZENSET = 0x0A  # items in deterministic (standalone-encoding) order
+_B_SET = 0x0B
+_B_DICT = 0x0C  # varint count + key/value pairs (any key type, no tagging)
+_B_DATACLASS = 0x0D  # interned class name + positional field values
+
+_DOUBLE = struct.Struct(">d")
+
+
+def _write_varint(out: bytearray, n: int) -> None:
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+
+
+def _write_str(out: bytearray, text: str, interned: dict[str, int]) -> None:
+    index = interned.get(text)
+    if index is not None:
+        out.append(_B_REF)
+        _write_varint(out, index)
+        return
+    interned[text] = len(interned)
+    raw = text.encode("utf-8")
+    out.append(_B_STR)
+    _write_varint(out, len(raw))
+    out += raw
+
+
+def _binary_set_order(items: Iterable[Any]) -> list:
+    """Set members in a stable order so frames are deterministic.
+
+    Each member is keyed by its *standalone* encoding (fresh intern table):
+    interning state depends on traversal order, so keying by the in-stream
+    encoding would make the order depend on itself.  Standalone encodings
+    are pure functions of the value, hence hash-seed independent.
+    """
+    keyed = []
+    for item in items:
+        probe = bytearray()
+        _encode_binary(item, probe, {})
+        keyed.append((bytes(probe), item))
+    keyed.sort(key=lambda pair: pair[0])
+    return [item for _probe, item in keyed]
+
+
+def _encode_binary(value: Any, out: bytearray, interned: dict[str, int]) -> None:
+    if value is None:
+        out.append(_B_NONE)
+    elif value is True:
+        out.append(_B_TRUE)
+    elif value is False:
+        out.append(_B_FALSE)
+    elif isinstance(value, int):
+        out.append(_B_INT)
+        _write_varint(out, (value << 1) if value >= 0 else ((-value) << 1) - 1)
+    elif isinstance(value, float):
+        out.append(_B_FLOAT)
+        out += _DOUBLE.pack(value)
+    elif isinstance(value, str):
+        _write_str(out, value, interned)
+    elif isinstance(value, bytes):
+        out.append(_B_BYTES)
+        _write_varint(out, len(value))
+        out += value
+    elif isinstance(value, list):
+        out.append(_B_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_binary(item, out, interned)
+    elif isinstance(value, tuple):
+        out.append(_B_TUPLE)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_binary(item, out, interned)
+    elif isinstance(value, frozenset):
+        out.append(_B_FROZENSET)
+        _write_varint(out, len(value))
+        for item in _binary_set_order(value):
+            _encode_binary(item, out, interned)
+    elif isinstance(value, set):
+        out.append(_B_SET)
+        _write_varint(out, len(value))
+        for item in _binary_set_order(value):
+            _encode_binary(item, out, interned)
+    elif isinstance(value, dict):
+        out.append(_B_DICT)
+        _write_varint(out, len(value))
+        for key, item in value.items():
+            _encode_binary(key, out, interned)
+            _encode_binary(item, out, interned)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        name = cls.__name__
+        if _DATACLASSES.get(name) is not cls:
+            raise WireError(
+                f"dataclass {cls.__module__}.{name} is not wire-registered; "
+                "call repro.engine.wire.register_wire_dataclass first"
+            )
+        out.append(_B_DATACLASS)
+        _write_str(out, name, interned)
+        for field_name in _field_names(cls):
+            _encode_binary(getattr(value, field_name), out, interned)
+    else:
+        raise WireError(
+            f"value of type {type(value).__name__} is not wire-encodable: {value!r}"
+        )
+
+
+def _read_varint(buf, offset: int, end: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= end:
+            raise WireError("truncated varint in binary frame")
+        byte = buf[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return result, offset
+        shift += 7
+
+
+def _decode_binary(buf, offset: int, end: int, interned: list[str]) -> tuple[Any, int]:
+    if offset >= end:
+        raise WireError("truncated binary frame: missing type byte")
+    marker = buf[offset]
+    offset += 1
+    if marker == _B_REF:
+        index, offset = _read_varint(buf, offset, end)
+        if index >= len(interned):
+            raise WireError(f"dangling string ref {index} in binary frame")
+        return interned[index], offset
+    if marker == _B_STR:
+        length, offset = _read_varint(buf, offset, end)
+        if offset + length > end:
+            raise WireError("truncated string in binary frame")
+        text = str(buf[offset : offset + length], "utf-8")
+        interned.append(text)
+        return text, offset + length
+    if marker == _B_INT:
+        zigzag, offset = _read_varint(buf, offset, end)
+        return ((zigzag >> 1) if not (zigzag & 1) else -((zigzag + 1) >> 1)), offset
+    if marker == _B_NONE:
+        return None, offset
+    if marker == _B_TRUE:
+        return True, offset
+    if marker == _B_FALSE:
+        return False, offset
+    if marker == _B_FLOAT:
+        if offset + 8 > end:
+            raise WireError("truncated float in binary frame")
+        return _DOUBLE.unpack_from(buf, offset)[0], offset + 8
+    if marker == _B_BYTES:
+        length, offset = _read_varint(buf, offset, end)
+        if offset + length > end:
+            raise WireError("truncated bytes in binary frame")
+        return bytes(buf[offset : offset + length]), offset + length
+    if marker in (_B_LIST, _B_TUPLE, _B_FROZENSET, _B_SET):
+        count, offset = _read_varint(buf, offset, end)
+        items = []
+        append = items.append
+        for _ in range(count):
+            item, offset = _decode_binary(buf, offset, end, interned)
+            append(item)
+        if marker == _B_LIST:
+            return items, offset
+        if marker == _B_TUPLE:
+            return tuple(items), offset
+        if marker == _B_FROZENSET:
+            return frozenset(items), offset
+        return set(items), offset
+    if marker == _B_DICT:
+        count, offset = _read_varint(buf, offset, end)
+        result: dict = {}
+        for _ in range(count):
+            key, offset = _decode_binary(buf, offset, end, interned)
+            item, offset = _decode_binary(buf, offset, end, interned)
+            result[key] = item
+        return result, offset
+    if marker == _B_DATACLASS:
+        name, offset = _decode_binary(buf, offset, end, interned)
+        if not isinstance(name, str):
+            raise WireError("binary dataclass frame carries a non-string class name")
+        cls = _DATACLASSES.get(name)
+        if cls is None:
+            raise WireError(f"unknown wire dataclass {name!r}")
+        args = []
+        for _field in _field_names(cls):
+            item, offset = _decode_binary(buf, offset, end, interned)
+            args.append(item)
+        try:
+            return cls(*args), offset
+        except TypeError as failure:
+            raise WireError(
+                f"wire dataclass {name!r} body does not match its fields: {failure}"
+            ) from None
+    raise WireError(f"unknown binary wire marker 0x{marker:02x}")
+
+
+def _encode_binary_frame(message: Any) -> bytes:
+    if not _builtins_registered:
+        _ensure_builtin_payloads()
+    out = bytearray(HEADER_SIZE)
+    out.append(_MAGIC)
+    _encode_binary(message, out, {})
+    body_len = len(out) - HEADER_SIZE
+    if body_len > MAX_FRAME_BYTES:
+        raise WireError(f"frame body of {body_len} bytes exceeds {MAX_FRAME_BYTES}")
+    _HEADER.pack_into(out, 0, body_len)
+    return bytes(out)
+
+
+def _decode_binary_body(body) -> Any:
+    if not _builtins_registered:
+        _ensure_builtin_payloads()
+    buf = body if isinstance(body, memoryview) else memoryview(body)
+    end = len(buf)
+    if end == 0 or buf[0] != _MAGIC:
+        raise WireError("not a binary wire frame (bad magic byte)")
+    try:
+        value, offset = _decode_binary(buf, 1, end, [])
+    except (struct.error, UnicodeDecodeError) as failure:
+        raise WireError(f"corrupt binary frame: {failure}") from failure
+    if offset != end:
+        raise WireError(f"binary frame carries {end - offset} bytes of trailing garbage")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Codec objects (one per framing)
+# ---------------------------------------------------------------------------
+
+
+class Codec:
+    """One framing: encode/decode one message per length-prefixed frame."""
+
+    name: str = "?"
+
+    def encode_frame(self, message: Any) -> bytes:
+        raise NotImplementedError
+
+    def decode_body(self, body) -> Any:
+        raise NotImplementedError
+
+    async def read_frame(self, reader) -> Any:
+        """Read one frame from an :class:`asyncio.StreamReader` (or raise
+        ``asyncio.IncompleteReadError`` when the peer closed)."""
+        header = await reader.readexactly(HEADER_SIZE)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+        return self.decode_body(await reader.readexactly(length))
+
+
+class JsonCodec(Codec):
+    name = "json"
+    encode_frame = staticmethod(encode_frame)
+    decode_body = staticmethod(decode_body)
+
+
+class BinaryCodec(Codec):
+    name = "binary"
+    encode_frame = staticmethod(_encode_binary_frame)
+    decode_body = staticmethod(_decode_binary_body)
+
+
+_CODECS: dict[str, Codec] = {"json": JsonCodec(), "binary": BinaryCodec()}
+
+
+def get_codec(framing: str) -> Codec:
+    """Resolve one framing name to its codec (raising on unknown names)."""
+    try:
+        return _CODECS[framing]
+    except KeyError:
+        known = ", ".join(FRAMINGS)
+        raise WireError(f"unknown framing {framing!r}; known: {known}") from None

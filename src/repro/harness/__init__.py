@@ -28,6 +28,7 @@ from repro.harness.experiments import (
     run_wts_messages_experiment,
 )
 from repro.harness.workloads import (
+    OpenLoopReport,
     ScenarioResult,
     default_proposals,
     member_pids,
@@ -35,6 +36,7 @@ from repro.harness.workloads import (
     run_crash_la_scenario,
     run_gsbs_scenario,
     run_gwts_scenario,
+    run_open_loop_scenario,
     run_rsm_scenario,
     run_sbs_scenario,
     run_wts_scenario,
@@ -51,6 +53,8 @@ __all__ = [
     "run_crash_la_scenario",
     "run_crash_gla_scenario",
     "run_rsm_scenario",
+    "run_open_loop_scenario",
+    "OpenLoopReport",
     "run_chain_experiment",
     "run_resilience_experiment",
     "run_wts_latency_experiment",

@@ -66,6 +66,36 @@ from repro.sim.scheduler import WorstCaseScheduler
 _WALL_CLOCK_SKIP = "delay-model bound skipped: backend reports wall-clock seconds, not message delays"
 
 
+def wall_latency_of(*scenarios) -> dict[str, float] | None:
+    """Pool the wall-clock decision-latency summaries of *scenarios*.
+
+    Deterministic backends leave ``RunResult.decision_latency`` as ``None``
+    (their clock is simulated, and E3/E5-style bounds already count message
+    delays exactly), so this returns ``None`` for them and the outcome's
+    ``wall_latency`` field stays empty.  A single wall-clock run contributes
+    its summary verbatim.  Multiple runs are pooled conservatively: exact
+    percentiles cannot be merged without the raw samples, so the pooled
+    ``p50/p95/p99/max`` are the *worst* of the per-run values (an upper
+    bound on the true pooled percentile) and ``count`` sums the samples.
+    """
+    summaries = [
+        scenario.run.decision_latency
+        for scenario in scenarios
+        if scenario is not None and scenario.run.decision_latency
+    ]
+    if not summaries:
+        return None
+    if len(summaries) == 1:
+        return dict(summaries[0])
+    return {
+        "count": float(sum(s["count"] for s in summaries)),
+        "p50": max(s["p50"] for s in summaries),
+        "p95": max(s["p95"] for s in summaries),
+        "p99": max(s["p99"] for s in summaries),
+        "max": max(s["max"] for s in summaries),
+    }
+
+
 # ---------------------------------------------------------------------------
 # E1 — Figure 1: decisions form a chain in the power-set lattice
 # ---------------------------------------------------------------------------
@@ -115,6 +145,7 @@ def run_chain_experiment(
         "check": check,
         "ok": bool(is_chain and check.ok),
         "headline": {"decided": float(len(decisions))},
+        "wall_latency": wall_latency_of(scenario),
         "latency": {},
     }
 
@@ -281,6 +312,7 @@ def run_resilience_experiment(
             "decided_crash_3f": float(crash_small_o["decided"]),
             "decided_wts_3f1": float(wts_big_o["decided"]),
         },
+        "wall_latency": wall_latency_of(wts_small, crash_small, wts_big),
         "latency": {},
     }
 
@@ -309,6 +341,7 @@ def run_wts_latency_experiment(
     rows: list[Sequence[Any]] = []
     series: dict[int, float] = {}
     checks = []
+    measured: list = []
     for f in range(0, top + 1):
         n = required_processes(f)
         byz = []
@@ -328,6 +361,7 @@ def run_wts_latency_experiment(
             backend=backend,
         )
         checks.append(scenario.check_la())
+        measured.append(scenario)
         latest_decision_time = max(
             (record.time for record in scenario.metrics.decisions), default=0.0
         )
@@ -359,6 +393,7 @@ def run_wts_latency_experiment(
         "ok": bool(ok),
         "skipped_checks": [_WALL_CLOCK_SKIP] if wall_clock else [],
         "headline": {"f_max": float(top)},
+        "wall_latency": wall_latency_of(*measured),
         "latency": {"max_message_delays": max(series.values(), default=0.0)},
     }
 
@@ -380,6 +415,7 @@ def run_wts_messages_experiment(
         sizes = (4, 7, 10, 13) if quick else (4, 7, 10, 13, 16, 19)
     series: dict[int, float] = {}
     rows: list[Sequence[Any]] = []
+    measured: list = []
     for n in sizes:
         f = max_faults(n)
         scenario = run_wts_scenario(
@@ -388,6 +424,7 @@ def run_wts_messages_experiment(
             fault_plan=fault_plan,
             backend=backend,
         )
+        measured.append(scenario)
         per_process = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
         series[n] = per_process
         rows.append((n, f, f"{per_process:.1f}", f"{per_process / (n * n):.2f}"))
@@ -410,6 +447,7 @@ def run_wts_messages_experiment(
             "fit_order": order,
             "max_msgs_per_process": max(series.values(), default=0.0),
         },
+        "wall_latency": wall_latency_of(*measured),
         "latency": {},
     }
 
@@ -433,6 +471,7 @@ def run_sbs_experiment(
     wall_clock = backend_is_wall_clock(backend)
     series_msgs: dict[int, float] = {}
     rows: list[Sequence[Any]] = []
+    measured: list = []
     for n in sizes:
         scenario = run_sbs_scenario(
             n=n, f=f_fixed, seed=seed + n, delay_model=FixedDelay(1.0),
@@ -440,6 +479,7 @@ def run_sbs_experiment(
             fault_plan=fault_plan,
             backend=backend,
         )
+        measured.append(scenario)
         per_process = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
         latest = max((r.time for r in scenario.metrics.decisions), default=0.0)
         bound = 5 + 4 * f_fixed
@@ -459,6 +499,7 @@ def run_sbs_experiment(
             fault_plan=fault_plan,
             backend=backend,
         )
+        measured.append(scenario)
         latest = max((r.time for r in scenario.metrics.decisions), default=0.0)
         latency_series[f] = latest
         latency_rows.append((f, n, f"{latest:.0f}", 5 + 4 * f))
@@ -492,6 +533,7 @@ def run_sbs_experiment(
             "fit_order": order,
             "max_msgs_per_process": max(series_msgs.values(), default=0.0),
         },
+        "wall_latency": wall_latency_of(*measured),
         "latency": {"max_delays": max(latency_series.values(), default=0.0)},
     }
 
@@ -515,12 +557,14 @@ def run_gwts_messages_experiment(
         sizes = (4, 7) if quick else (4, 7, 10, 13)
     series: dict[int, float] = {}
     rows: list[Sequence[Any]] = []
+    measured: list = []
     for n in sizes:
         f = max_faults(n)
         scenario = run_gwts_scenario(
             n=n, f=f, values_per_process=1, rounds=rounds, seed=seed + n,
             delay_model=FixedDelay(1.0), scheduler=scheduler, fault_plan=fault_plan, backend=backend,
         )
+        measured.append(scenario)
         decisions = sum(len(d) for d in scenario.decisions().values())
         per_process = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
         per_decision = per_process / max(1, decisions / max(1, len(scenario.correct_pids)))
@@ -547,6 +591,7 @@ def run_gwts_messages_experiment(
             "fit_order": order,
             "max_msgs_per_decision": max(series.values(), default=0.0),
         },
+        "wall_latency": wall_latency_of(*measured),
         "latency": {},
     }
 
@@ -610,6 +655,7 @@ def run_gwts_liveness_experiment(
         ),
         "ok": bool(check.ok and counts and all(count >= 1 for count in counts.values())),
         "headline": {"total_decisions": float(sum(counts.values()))},
+        "wall_latency": wall_latency_of(scenario),
         "latency": {},
     }
 
@@ -687,6 +733,7 @@ def run_rsm_experiment(
         ),
         "ok": bool(check.ok and counter_values and max(counter_values) >= 1),
         "headline": {"reads": float(len(reads)), "max_counter": float(max(counter_values, default=0))},
+        "wall_latency": wall_latency_of(scenario),
         "latency": {
             "mean_read_latency": sum(read_latencies) / len(read_latencies) if read_latencies else 0.0
         },
@@ -710,6 +757,7 @@ def run_breadth_experiment(
         breadths = (2, 3, 4, 6, 8)
     rows: list[Sequence[Any]] = []
     outcomes: list[dict[str, Any]] = []
+    measured: list = []
     # Run WTS with one Byzantine value injector; our spec must hold, and the
     # decisions typically include the Byzantine value, which the restrictive
     # spec forbids.
@@ -739,6 +787,7 @@ def run_breadth_experiment(
             fault_plan=fault_plan,
             backend=backend,
         )
+        measured.append(scenario)
         ours = scenario.check_la()
         restricted = check_restricted_la_run(
             lattice,
@@ -784,6 +833,7 @@ def run_breadth_experiment(
             "breadths": float(len(outcomes)),
             "restricted_infeasible": float(sum(1 for o in outcomes if not o["restricted_feasible"])),
         },
+        "wall_latency": wall_latency_of(*measured),
         "latency": {},
     }
 
@@ -807,6 +857,7 @@ def run_baseline_comparison(
     wts_series: dict[int, float] = {}
     crash_series: dict[int, float] = {}
     max_wts_time = 0.0
+    measured: list = []
     for n in sizes:
         f = max_faults(n)
         wts = run_wts_scenario(
@@ -821,6 +872,7 @@ def run_baseline_comparison(
             fault_plan=fault_plan,
             backend=backend,
         )
+        measured.extend((wts, crash))
         wts_msgs = wts.metrics.mean_messages_per_process(wts.correct_pids)
         crash_msgs = crash.metrics.mean_messages_per_process(crash.correct_pids)
         wts_time = max((r.time for r in wts.metrics.decisions), default=0.0)
@@ -858,6 +910,7 @@ def run_baseline_comparison(
                 (wts_series[n] / max(crash_series[n], 1e-9) for n in wts_series), default=0.0
             ),
         },
+        "wall_latency": wall_latency_of(*measured),
         "latency": {"max_wts_delays": max_wts_time},
     }
 
@@ -922,6 +975,7 @@ def run_ablation_experiment(
     ]
     rows: list[Sequence[Any]] = []
     outcomes: list[dict[str, Any]] = []
+    measured: list = []
     for name, ablated_class, adversary, expected_break, judge in configs:
         intact_ok = True
         ablated_broken = False
@@ -946,6 +1000,7 @@ def run_ablation_experiment(
                 backend=backend,
                 process_class=ablated_class, run_to_quiescence=True,
             )
+            measured.extend((intact, ablated))
             intact_ok = intact_ok and intact.check_la().ok
             if not ablated_broken and judge(ablated):
                 ablated_broken = True
@@ -981,6 +1036,7 @@ def run_ablation_experiment(
         ),
         "ok": all(o["intact_ok"] and o["ablated_broken"] for o in outcomes),
         "headline": {"ablations_broken": float(sum(1 for o in outcomes if o["ablated_broken"]))},
+        "wall_latency": wall_latency_of(*measured),
         "latency": {},
     }
 
@@ -1115,6 +1171,7 @@ def run_partition_churn_experiment(
         ),
         "ok": bool(ok),
         "headline": {"configs": float(len(outcomes))},
+        "wall_latency": wall_latency_of(calm, churn, worst),
         "latency": {
             "calm_last_decision": calm_o["last_decision_time"],
             "churn_last_decision": churn_o["last_decision_time"],

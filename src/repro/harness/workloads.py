@@ -39,7 +39,7 @@ from repro.core.sbs import SbSProcess
 from repro.core.spec import LACheckResult, check_gla_run, check_la_run
 from repro.core.wts import WTSProcess
 from repro.crypto.signatures import KeyRegistry
-from repro.engine import RunResult, create_engine
+from repro.engine import RunResult, create_engine, latency_summary
 from repro.engine.core import ProtocolCore
 from repro.engine.delays import DelayModel, UniformDelay
 from repro.lattice.base import JoinSemilattice, LatticeElement
@@ -628,4 +628,152 @@ def run_rsm_scenario(
     result.extras["histories"] = {
         client_id: list(client.history) for client_id, client in clients.items()
     }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Open-loop load generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OpenLoopReport:
+    """Outcome of one :func:`run_open_loop_scenario` arrival process.
+
+    ``latency`` is the :func:`repro.engine.services.latency_summary` shape
+    (``count``/``p50``/``p95``/``p99``/``max``) over per-value decision
+    latencies, in the engine's time units — wall-clock seconds on the async
+    backend, simulated units on the deterministic ones (``time_source`` says
+    which).  A value's latency runs from its scheduled *arrival* to the first
+    decision of its proposer that includes it, so queueing delay behind a
+    busy cluster is charged to the value — the property that makes open-loop
+    tails honest where closed-loop drivers (which stop offering load while
+    they wait) understate them.
+    """
+
+    #: Values injected (the offered load).
+    offered: int
+    #: Values that made it into a decision of their proposer.
+    decided: int
+    #: Arrival interval in engine time units (the fixed rate is 1/interval).
+    interval: float
+    #: Tail-latency summary of the decided values (``None`` if none decided).
+    latency: dict[str, float] | None
+    #: ``simulated`` or ``wall-clock`` — the unit of every latency figure.
+    time_source: str
+
+    @property
+    def all_decided(self) -> bool:
+        return self.decided == self.offered
+
+
+def run_open_loop_scenario(
+    n: int,
+    f: int,
+    values: int = 16,
+    interval: float = 5.0,
+    rounds: int | None = None,
+    lattice: JoinSemilattice | None = None,
+    delay_model: DelayModel | None = None,
+    seed: int = 0,
+    scheduler: SchedulerSpec = None,
+    backend: str = "kernel",
+    max_messages: int = 1_500_000,
+    **engine_kwargs: Any,
+) -> ScenarioResult:
+    """Drive a GWTS cluster with an open-loop (fixed-rate) arrival process.
+
+    Unlike the closed-loop builders — which queue all inputs up front or wait
+    for one operation to finish before issuing the next — this generator
+    injects one new value every ``interval`` engine time units *regardless of
+    how the cluster is keeping up*, round-robin across the correct proposers.
+    The per-value latencies (arrival to first including decision of the
+    proposer) land in ``result.extras["open_loop"]`` as an
+    :class:`OpenLoopReport`.
+
+    Extra keyword arguments go to the backend constructor (the async
+    backend's ``transport=`` / ``time_scale=`` / ``framing=``), so the same
+    arrival schedule can be paced over real sockets.
+    """
+    if values < 1:
+        raise ValueError("need at least one value to offer")
+    if interval <= 0:
+        raise ValueError("the arrival interval must be positive")
+    lattice = lattice if lattice is not None else SetLattice()
+    pids = member_pids(n)
+    if rounds is None:
+        # Generous ceiling: every value gets its own round plus settle time.
+        rounds = values + 8
+    if engine_kwargs:
+        if isinstance(scheduler, str):
+            scheduler = parse_scheduler(scheduler, pids=pids, f=f)
+        if scheduler is not None:
+            engine = create_engine(backend, seed=seed, scheduler=scheduler, **engine_kwargs)
+        else:
+            engine = create_engine(
+                backend, delay_model=delay_model or UniformDelay(), seed=seed, **engine_kwargs
+            )
+    else:
+        engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
+    nodes: dict[Hashable, ProtocolCore] = {
+        pid: engine.add_core(GWTSProcess(pid, lattice, pids, f, max_rounds=rounds))
+        for pid in pids
+    }
+
+    arrivals: dict[Any, tuple[Hashable, float]] = {}
+
+    def _arrival(pid: Hashable, value: LatticeElement):
+        def arrive(live_engine) -> None:
+            core = live_engine.node(pid)
+            arrivals[value] = (pid, live_engine.now)
+            core.new_value(value)
+            core.recheck()
+            live_engine._apply_effects(core)
+
+        return arrive
+
+    for index in range(values):
+        pid = pids[index % len(pids)]
+        value = lattice.lift(f"load-{index}")
+        engine.inject(
+            _arrival(pid, value), at=(index + 1) * interval, label=f"arrive-{index}"
+        )
+
+    def all_halted() -> bool:
+        return all(node.state == "halted" for node in nodes.values())
+
+    run = _run(engine, all_halted, max_messages)
+
+    # A value is decided when its proposer's first decision at-or-after the
+    # arrival includes it; records are scanned in time order, so the latency
+    # is the earliest such decision.
+    latencies: list[float] = []
+    records = sorted(engine.metrics.decisions, key=lambda record: record.time)
+    for value, (pid, arrived_at) in arrivals.items():
+        element = lattice.lift(value) if not lattice.is_element(value) else value
+        for record in records:
+            if (
+                record.pid == pid
+                and record.time >= arrived_at
+                and lattice.leq(element, record.value)
+            ):
+                latencies.append(record.time - arrived_at)
+                break
+    report = OpenLoopReport(
+        offered=values,
+        decided=len(latencies),
+        interval=interval,
+        latency=latency_summary(latencies),
+        time_source=engine.clock.time_source,
+    )
+    result = ScenarioResult(
+        engine=engine,
+        nodes=nodes,
+        correct_pids=list(pids),
+        byzantine_pids=[],
+        lattice=lattice,
+        f=f,
+        run=run,
+    )
+    result.extras["open_loop"] = report
     return result

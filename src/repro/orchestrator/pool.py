@@ -50,7 +50,7 @@ class JobResult:
 
 #: Outcome fields lifted to the top of the job payload (or, for "table",
 #: reconstructable from headers/rows) and therefore not repeated in "data".
-_EXTRACTED_OUTCOME_FIELDS = frozenset({"table", "check", "headline", "latency", "ok"})
+_EXTRACTED_OUTCOME_FIELDS = frozenset({"table", "check", "headline", "latency", "wall_latency", "ok"})
 
 
 def _safe_time_source(backend: str) -> str:
@@ -82,6 +82,11 @@ def _base_payload(job: JobSpec, status: str, wall_time_s: float, error: str | No
         # the engine's backend registry.  A job spec naming an unknown
         # backend still needs an error payload, so fall back to simulated.
         "time_source": _safe_time_source(backend),
+        # repro-results/v4: wall-clock decision-latency histogram (the
+        # latency_summary count/p50/p95/p99/max shape) when the job ran on
+        # a wall-clock backend and decided something; None otherwise.  A
+        # measurement, not schedule state — canonicalize_payload strips it.
+        "wall_latency": None,
         "status": status,
         "ok": None,
         "wall_time_s": wall_time_s,
@@ -103,6 +108,7 @@ def payload_from_outcome(job: JobSpec, outcome: dict[str, Any], wall_time_s: flo
         check=jsonable(check) if check is not None else None,
         headline=jsonable(outcome.get("headline") or {}),
         latency=jsonable(outcome.get("latency") or {}),
+        wall_latency=jsonable(outcome["wall_latency"]) if outcome.get("wall_latency") else None,
         data=jsonable({k: v for k, v in outcome.items() if k not in _EXTRACTED_OUTCOME_FIELDS}),
     )
     return payload

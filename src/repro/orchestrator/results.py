@@ -7,11 +7,15 @@ config, wall times, and one entry per job carrying the experiment's verdict
 (``ok``), the engine ``backend`` it ran on (v2), the backend's
 ``time_source`` (v3: ``"simulated"`` — deterministic units safe to gate
 latency regressions on — or ``"wall-clock"`` — real seconds, measurement
-only), its check outcome, headline metrics, latency metrics, and the
-structured rows the text tables are formatted from.  Legacy v1 artifacts
-(pre-backend) and v2 artifacts (pre-time-source) stay readable for
-validation and baseline comparison; absent fields default to the kernel
-backend and simulated time, the only options those schemas had.
+only), the wall-clock decision-latency histogram ``wall_latency`` (v4: the
+``count``/``p50``/``p95``/``p99``/``max`` shape from
+``repro.engine.services.latency_summary``, ``None`` on simulated backends),
+its check outcome, headline metrics, latency metrics, and the structured
+rows the text tables are formatted from.  Legacy v1 artifacts
+(pre-backend), v2 artifacts (pre-time-source) and v3 artifacts
+(pre-wall-latency) stay readable for validation and baseline comparison;
+absent fields default to the kernel backend, simulated time and no
+wall-latency measurement, the only options those schemas had.
 
 :func:`validate_run_payload` is a hand-rolled structural validator (no
 third-party schema dependency) used by the CLI's ``validate`` command and by
@@ -31,16 +35,18 @@ import time
 from collections.abc import Iterable
 from typing import Any
 
-RESULTS_SCHEMA_VERSION = "repro-results/v3"
+RESULTS_SCHEMA_VERSION = "repro-results/v4"
 
 #: Older schema versions `validate` and `compare` still accept on *read*.
 #: v1 predates the engine-backend split: its job payloads lack the
 #: ``backend`` field (treated as the kernel backend, the only one v1 had).
 #: v2 predates the async backend: its job payloads lack ``time_source``
 #: (treated as simulated time, the only time source v2 backends had).
-LEGACY_SCHEMA_VERSIONS = ("repro-results/v2", "repro-results/v1")
+#: v3 predates honest tail latencies: its job payloads lack ``wall_latency``
+#: (treated as "not measured", which is all v3 runs could say).
+LEGACY_SCHEMA_VERSIONS = ("repro-results/v3", "repro-results/v2", "repro-results/v1")
 
-#: ``time_source`` values a v3 job payload may carry (mirrors
+#: ``time_source`` values a v3+ job payload may carry (mirrors
 #: :data:`repro.engine.services.TIME_SOURCES` without importing the engine —
 #: artifacts must stay checkable by tooling that has no engine installed).
 JOB_TIME_SOURCES = ("simulated", "wall-clock")
@@ -54,8 +60,10 @@ def job_time_source(job: dict[str, Any]) -> str:
 #: Top-level payload fields that carry timing or environment information and
 #: are therefore excluded from determinism comparisons.
 _VOLATILE_RUN_FIELDS = ("tag", "created_unix", "wall_time_s", "git_sha", "python", "workers", "host")
-#: Same, per job entry.
-_VOLATILE_JOB_FIELDS = ("wall_time_s",)
+#: Same, per job entry.  ``wall_latency`` is a wall-clock *measurement* —
+#: two identically-seeded sweeps legitimately measure different tails — so
+#: it is excluded from the deterministic canonical form alongside wall time.
+_VOLATILE_JOB_FIELDS = ("wall_time_s", "wall_latency")
 
 _JOB_STATUSES = ("ok", "check_failed", "timeout", "error")
 
@@ -182,12 +190,21 @@ def validate_run_payload(payload: Any) -> list[str]:
         expect(job, "quick", (bool,), where)
         if schema != "repro-results/v1":
             expect(job, "backend", (str,), where)
-        if not legacy:
+        if schema not in ("repro-results/v1", "repro-results/v2"):
             time_source = expect(job, "time_source", (str,), where)
             if time_source is not None and time_source not in JOB_TIME_SOURCES:
                 problems.append(
                     f"{where}: time_source {time_source!r} not one of {JOB_TIME_SOURCES}"
                 )
+        if not legacy:
+            wall_latency = expect(job, "wall_latency", (dict, type(None)), where)
+            if isinstance(wall_latency, dict):
+                for name, value in wall_latency.items():
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        problems.append(
+                            f"{where}: wall_latency[{name!r}] must be numeric, "
+                            f"got {type(value).__name__}"
+                        )
         status = expect(job, "status", (str,), where)
         if status is not None and status not in _JOB_STATUSES:
             problems.append(f"{where}: status {status!r} not one of {_JOB_STATUSES}")

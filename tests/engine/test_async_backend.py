@@ -87,6 +87,14 @@ class TestConstruction:
         with pytest.raises(ValueError, match="duplicate process id"):
             engine.add_core(ProtocolCore("p0"))
 
+    def test_unknown_framing_rejected(self):
+        with pytest.raises(ValueError, match="unknown framing"):
+            AsyncEngine(framing="morse")  # WireError is a ValueError
+
+    def test_framing_property_reports_the_codec(self):
+        assert AsyncEngine().framing == "json"
+        assert AsyncEngine(framing="binary").framing == "binary"
+
 
 class TestMemoryTransport:
     def test_runs_to_quiescence(self):
@@ -111,7 +119,7 @@ class TestMemoryTransport:
         assert core.fired == [("keep", {"x": 1})]
         assert result.quiescent
 
-    def test_crash_is_task_cancellation_and_traffic_is_held(self):
+    def test_crash_holds_traffic_until_recovery(self):
         engine = AsyncEngine(delay_model=FixedDelay(1.0), seed=0)
         witness = engine.add_core(CrashWitness("p0"))
 
@@ -161,6 +169,15 @@ class TestMemoryTransport:
         assert result.stopped_by_predicate
         [record] = engine.metrics.decisions
         assert record.pid == "p1" and record.time >= 0.0
+        # Wall-clock backends report the decision-latency histogram.
+        latency = result.decision_latency
+        assert latency["count"] == 1
+        assert 0.0 <= latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+
+    def test_decision_free_run_has_no_latency_summary(self):
+        engine, _nodes = _cluster()
+        result = engine.run_until_quiescent()
+        assert result.decision_latency is None
 
     def test_schedule_timer_harness_api(self):
         engine = AsyncEngine(delay_model=FixedDelay(1.0), seed=0)
@@ -175,8 +192,9 @@ class TestMemoryTransport:
 class TestTcpTransport:
     """Real localhost sockets: frames, decisions, held traffic."""
 
-    def test_cluster_exchanges_frames_and_reaches_quiescence(self):
-        engine, nodes = _cluster(transport="tcp", time_scale=0.0)
+    @pytest.mark.parametrize("framing", ["json", "binary"])
+    def test_cluster_exchanges_frames_and_reaches_quiescence(self, framing):
+        engine, nodes = _cluster(transport="tcp", time_scale=0.0, framing=framing)
         result = engine.run(max_wall_s=30.0)
         assert result.delivered == 4
         assert sorted(p for _s, p in nodes[0].seen) == [("pong", "p1"), ("pong", "p2")]

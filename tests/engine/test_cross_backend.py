@@ -14,8 +14,13 @@ comparisons (repro-results/v3 marks them as such).
 
 import pytest
 
-from repro.engine.delays import AdversarialTargetedDelay, FixedDelay
+from repro.core.sbs import SbSProcess
+from repro.core.wts import WTSProcess
+from repro.crypto.signatures import KeyRegistry
+from repro.engine import AsyncEngine
+from repro.engine.delays import AdversarialTargetedDelay, FixedDelay, UniformDelay
 from repro.harness import run_gwts_scenario, run_rsm_scenario, run_wts_scenario
+from repro.lattice.set_lattice import SetLattice
 from repro.rsm.crdt import GCounterObject, GSetObject
 
 
@@ -186,3 +191,101 @@ class TestAsyncBackendGolden:
         assert run_async.run.end_time > 0.0
         assert run_async.run.wall_time_s >= run_async.run.end_time * 0.1
         assert run_async.engine.clock.time_source == "wall-clock"
+
+
+@pytest.mark.parametrize("framing", ["json", "binary"])
+class TestTcpFramingGolden:
+    """The golden invariants pinned on real sockets, once per wire framing.
+
+    TCP delivery order is genuinely nondeterministic (the OS schedules the
+    frames), so per-process decision *values* cannot be replayed against the
+    kernel here — that equality lives in the memory-transport classes above,
+    and framing cannot perturb it because the memory transport never
+    serialises.  What real sockets must pin is everything the codec could
+    break: the schedule-independent LA invariants (comparability, validity,
+    inclusivity), liveness to decision, and — the sharpest codec probe —
+    cryptographic signatures verifying on proof bundles whose every byte
+    crossed the wire.
+    """
+
+    def _wts_cluster(self, framing, seed):
+        lattice = SetLattice()
+        pids = [f"p{i}" for i in range(4)]
+        engine = AsyncEngine(
+            delay_model=UniformDelay(0.5, 2.0),
+            seed=seed,
+            transport="tcp",
+            time_scale=0.0005,
+            framing=framing,
+        )
+        nodes = {
+            pid: engine.add_core(
+                WTSProcess(pid, lattice, pids, 1, proposal=frozenset({f"v-{pid}"}))
+            )
+            for pid in pids
+        }
+        return engine, nodes, pids
+
+    @pytest.mark.parametrize("seed", [11, 2026])
+    def test_e1_wts_la_invariants_over_sockets(self, framing, seed):
+        engine, nodes, pids = self._wts_cluster(framing, seed)
+        result = engine.run(
+            stop_when=lambda: all(n.has_decided for n in nodes.values()),
+            max_wall_s=60.0,
+        )
+        assert result.stopped_by_predicate  # liveness: everyone decided
+        assert engine.framing == framing
+        decisions = {pid: nodes[pid].decisions[0] for pid in pids}
+        # Comparability: decisions form a chain.
+        values = list(decisions.values())
+        assert all(a <= b or b <= a for a in values for b in values)
+        # Inclusivity + validity: own proposal <= decision <= join of all.
+        everything = frozenset(f"v-{pid}" for pid in pids)
+        for pid in pids:
+            assert f"v-{pid}" in decisions[pid]
+            assert decisions[pid] <= everything
+
+    def test_sbs_signatures_verify_after_the_socket_trip(self, framing):
+        """Every decided proof bundle was serialised, framed, carried over a
+        real TCP connection and decoded — its signatures must still verify."""
+        lattice = SetLattice()
+        pids = [f"p{i}" for i in range(4)]
+        registry = KeyRegistry(seed=3)
+        engine = AsyncEngine(
+            delay_model=UniformDelay(0.5, 2.0),
+            seed=7,
+            transport="tcp",
+            time_scale=0.0005,
+            framing=framing,
+        )
+        nodes = {
+            pid: engine.add_core(
+                SbSProcess(
+                    pid,
+                    lattice,
+                    pids,
+                    1,
+                    registry=registry,
+                    proposal=frozenset({f"v-{pid}"}),
+                )
+            )
+            for pid in pids
+        }
+        result = engine.run(
+            stop_when=lambda: all(n.has_decided for n in nodes.values()),
+            max_wall_s=60.0,
+        )
+        assert result.stopped_by_predicate
+        verified = 0
+        for node in nodes.values():
+            assert node.decided_proven  # the proofs the decision stood on
+            for proven in node.decided_proven:
+                assert registry.verify(proven.value)
+                for ack in proven.safe_acks:
+                    assert registry.verify(ack.signature)
+                    verified += 1
+        assert verified > 0
+        # Wall-clock backends report the tail-latency histogram of the run.
+        latency = result.decision_latency
+        assert latency["count"] == len(pids)
+        assert 0.0 < latency["p50"] <= latency["p99"] <= latency["max"]

@@ -1,4 +1,5 @@
-"""The JSON wire codec: round-trip fidelity for every protocol payload."""
+"""The wire codecs (tagged JSON and compact binary): round-trip fidelity
+for every protocol payload, framing integrity, and loud corruption failures."""
 
 import dataclasses
 
@@ -21,8 +22,15 @@ from repro.rsm.commands import make_command
 from repro.rsm.replica import ConfirmRequest, UpdateRequest
 
 
-def roundtrip(value):
-    return wire.decode_body(wire.encode_frame(value)[wire.HEADER_SIZE:])
+@pytest.fixture(params=wire.FRAMINGS)
+def codec(request):
+    """Every round-trip assertion runs once per framing."""
+    return wire.get_codec(request.param)
+
+
+def roundtrip(value, codec=None):
+    codec = codec or wire.get_codec("json")
+    return codec.decode_body(codec.encode_frame(value)[wire.HEADER_SIZE:])
 
 
 class TestPrimitivesAndContainers:
@@ -48,47 +56,47 @@ class TestPrimitivesAndContainers:
             (("deep", frozenset({("nested", 1)})),),
         ],
     )
-    def test_roundtrip_identity(self, value):
-        decoded = roundtrip(value)
+    def test_roundtrip_identity(self, value, codec):
+        decoded = roundtrip(value, codec)
         assert decoded == value
         assert type(decoded) is type(value)
 
-    def test_sets_roundtrip(self):
-        assert roundtrip({1, 2}) == {1, 2}
+    def test_sets_roundtrip(self, codec):
+        assert roundtrip({1, 2}, codec) == {1, 2}
 
-    def test_set_encoding_is_deterministic(self):
+    def test_set_encoding_is_deterministic(self, codec):
         """Equal frozensets built in different orders produce identical frames."""
         a = frozenset(["x", "y", "z"])
         b = frozenset(["z", "x", "y"])
-        assert wire.encode_frame(a) == wire.encode_frame(b)
+        assert codec.encode_frame(a) == codec.encode_frame(b)
 
 
 class TestDataclassPayloads:
-    def test_wts_messages(self):
+    def test_wts_messages(self, codec):
         for message in (
             AckRequest(proposed_set=frozenset({"v"}), ts=3),
             Ack(accepted_set=frozenset({"v"}), ts=3),
             Nack(accepted_set=frozenset({"v", "w"}), ts=4),
             RoundAck(accepted_set=frozenset({"v"}), destination="p0", sender="p1", ts=2, round=1),
         ):
-            assert roundtrip(message) == message
+            assert roundtrip(message, codec) == message
 
-    def test_reliable_broadcast_wrappers(self):
+    def test_reliable_broadcast_wrappers(self, codec):
         init = RBInit(origin="p0", tag="disclose", value=frozenset({"v"}))
-        assert roundtrip(init) == init
+        assert roundtrip(init, codec) == init
         echo = RBEcho(origin="p0", tag=("t", 1), value=1)
-        assert roundtrip(echo) == echo
-        assert isinstance(roundtrip(RBReady(origin="p0", tag="t", value=1)), RBReady)
+        assert roundtrip(echo, codec) == echo
+        assert isinstance(roundtrip(RBReady(origin="p0", tag="t", value=1), codec), RBReady)
 
-    def test_signed_values_still_verify_after_the_trip(self):
+    def test_signed_values_still_verify_after_the_trip(self, codec):
         registry = KeyRegistry(seed=1)
         signer = registry.register("p0")
         signed = signer.sign(("round", 3, frozenset({"a", "b"})))
-        decoded = roundtrip(signed)
+        decoded = roundtrip(signed, codec)
         assert decoded == signed
         assert registry.verify(decoded)
 
-    def test_sbs_proof_bundles(self):
+    def test_sbs_proof_bundles(self, codec):
         registry = KeyRegistry(seed=2)
         signer = registry.register("p0")
         acceptor = registry.register("p1")
@@ -102,28 +110,40 @@ class TestDataclassPayloads:
         )
         proven = ProvenValue(value=value, safe_acks=frozenset({ack}))
         request = SbSAckRequest(proposed_set=frozenset({proven}), ts=1)
-        decoded = roundtrip(request)
+        decoded = roundtrip(request, codec)
         assert decoded == request
         [proven_back] = decoded.proposed_set
         assert registry.verify(proven_back.value)
-        assert roundtrip(SafeRequest(safety_set=frozenset({value}), request_id=1)) is not None
+        assert roundtrip(SafeRequest(safety_set=frozenset({value}), request_id=1), codec) is not None
 
-    def test_rsm_messages(self):
+    def test_rsm_messages(self, codec):
         command = make_command("client0", 1, ("inc", 1))
         update = UpdateRequest(command=command)
-        assert roundtrip(update) == update
+        assert roundtrip(update, codec) == update
         confirm = ConfirmRequest(accepted_set=frozenset({command}))
-        assert roundtrip(confirm) == confirm
+        assert roundtrip(confirm, codec) == confirm
 
 
 class TestFraming:
-    def test_frame_has_length_prefix(self):
-        frame = wire.encode_frame({"k": 1})
+    def test_frame_has_length_prefix(self, codec):
+        frame = codec.encode_frame({"k": 1})
         assert len(frame) == wire.HEADER_SIZE + int.from_bytes(frame[:4], "big")
 
-    def test_oversized_frame_rejected(self):
+    def test_oversized_frame_rejected(self, codec):
         with pytest.raises(wire.WireError, match="exceeds"):
-            wire.encode_frame("x" * (wire.MAX_FRAME_BYTES + 1))
+            codec.encode_frame("x" * (wire.MAX_FRAME_BYTES + 1))
+
+    def test_binary_frames_are_smaller_than_json(self):
+        registry = KeyRegistry(seed=9)
+        signer = registry.register("p0")
+        value = signer.sign(frozenset({"v"}))
+        bundle = SbSAckRequest(
+            proposed_set=frozenset({ProvenValue(value=value, safe_acks=frozenset())}),
+            ts=3,
+        )
+        binary = wire.get_codec("binary").encode_frame(bundle)
+        json_frame = wire.get_codec("json").encode_frame(bundle)
+        assert len(binary) < len(json_frame)
 
 
 class TestNegativePaths:
@@ -161,3 +181,111 @@ class TestNegativePaths:
     def test_non_dataclass_registration_rejected(self):
         with pytest.raises(wire.WireError, match="not a dataclass"):
             wire.register_wire_dataclass(int)
+
+
+class TestTaggedBodyValidation:
+    """Satellite: a tagged JSON object with a missing or mistyped body must
+    fail loudly at the codec, not as a confusing downstream TypeError."""
+
+    @pytest.mark.parametrize("tag", ["tuple", "frozenset", "set", "dict", "bytes", "dc:Ack"])
+    def test_missing_v_body_rejected(self, tag):
+        with pytest.raises(wire.WireError, match="missing its 'v' body"):
+            wire.decode_value({"~": tag})
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            {"~": "tuple", "v": 5},
+            {"~": "frozenset", "v": "not-a-list"},
+            {"~": "set", "v": {"a": 1}},
+            {"~": "dict", "v": 3.5},
+            {"~": "bytes", "v": ["00"]},
+            {"~": "dc:Ack", "v": []},
+        ],
+    )
+    def test_wrong_body_type_rejected(self, data):
+        with pytest.raises(wire.WireError, match="expected"):
+            wire.decode_value(data)
+
+    def test_non_string_tag_rejected(self):
+        with pytest.raises(wire.WireError, match="non-string wire tag"):
+            wire.decode_value({"~": 7, "v": []})
+
+    def test_invalid_hex_bytes_rejected(self):
+        with pytest.raises(wire.WireError, match="invalid hex"):
+            wire.decode_value({"~": "bytes", "v": "zz"})
+
+    def test_malformed_dict_pairs_rejected(self):
+        with pytest.raises(wire.WireError, match="malformed dict pair"):
+            wire.decode_value({"~": "dict", "v": [["lonely-key"]]})
+
+    def test_dataclass_field_mismatch_rejected(self):
+        with pytest.raises(wire.WireError, match="does not match its fields"):
+            wire.decode_value({"~": "dc:Ack", "v": {"martian_field": 1}})
+
+
+def read_one_frame(codec, data):
+    """Feed raw bytes to the codec's stream reader and return the frame."""
+    import asyncio
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await codec.read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestTornFrames:
+    """Satellite: torn/partial/oversized frames fail the run loudly on both
+    framings — the engine must never decide garbage off a damaged stream."""
+
+    def test_intact_frame_reads_back(self, codec):
+        assert read_one_frame(codec, codec.encode_frame({"k": [1, 2]})) == {"k": [1, 2]}
+
+    def test_truncated_header_fails(self, codec):
+        import asyncio
+
+        frame = codec.encode_frame({"k": 1})
+        with pytest.raises(asyncio.IncompleteReadError):
+            read_one_frame(codec, frame[: wire.HEADER_SIZE - 1])
+
+    def test_truncated_body_fails(self, codec):
+        import asyncio
+
+        frame = codec.encode_frame({"k": 1})
+        with pytest.raises(asyncio.IncompleteReadError):
+            read_one_frame(codec, frame[:-3])
+
+    def test_oversized_length_prefix_fails_before_reading_the_body(self, codec):
+        bogus = (wire.MAX_FRAME_BYTES + 1).to_bytes(wire.HEADER_SIZE, "big")
+        with pytest.raises(wire.WireError, match="exceeds"):
+            read_one_frame(codec, bogus)
+
+    def test_truncated_decoded_body_fails(self, codec):
+        body = codec.encode_frame(("payload", frozenset({"a", "b"})))[wire.HEADER_SIZE:]
+        with pytest.raises(wire.WireError):
+            codec.decode_body(body[:-2])
+
+    def test_trailing_garbage_fails(self, codec):
+        body = codec.encode_frame([1, 2, 3])[wire.HEADER_SIZE:]
+        with pytest.raises(wire.WireError):
+            codec.decode_body(body + b"\x00garbage")
+
+    def test_binary_rejects_json_bodies_and_vice_versa(self):
+        binary, json_codec = wire.get_codec("binary"), wire.get_codec("json")
+        json_body = json_codec.encode_frame({"k": 1})[wire.HEADER_SIZE:]
+        with pytest.raises(wire.WireError, match="magic"):
+            binary.decode_body(json_body)
+        binary_body = binary.encode_frame({"k": 1})[wire.HEADER_SIZE:]
+        with pytest.raises(wire.WireError, match="JSON"):
+            json_codec.decode_body(binary_body)
+
+    def test_dangling_string_ref_fails(self):
+        binary = wire.get_codec("binary")
+        body = bytearray(binary.encode_frame("interned")[wire.HEADER_SIZE:])
+        # Splice a REF to a never-interned index after the magic byte.
+        body[1:] = bytes([0x06, 0x09])
+        with pytest.raises(wire.WireError, match="dangling string ref"):
+            binary.decode_body(bytes(body))

@@ -65,3 +65,25 @@ class TestShapes:
         outcome = run_baseline_comparison(sizes=(4, 7), quick=True)
         for n, wts in outcome["wts_series"].items():
             assert wts > outcome["crash_series"][n]
+
+
+class TestWallLatency:
+    """Every runner reports ``wall_latency``: a tail-latency histogram on
+    wall-clock backends, ``None`` where time is simulated."""
+
+    def test_simulated_backends_report_none(self):
+        assert run_chain_experiment(quick=True)["wall_latency"] is None
+        assert run_wts_latency_experiment(quick=True)["wall_latency"] is None
+
+    def test_wall_clock_backend_reports_a_histogram(self):
+        outcome = run_chain_experiment(quick=True, backend="async")
+        summary = outcome["wall_latency"]
+        assert summary is not None and summary["count"] >= 1
+        assert 0.0 <= summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+
+    def test_multi_run_experiments_pool_conservatively(self):
+        outcome = run_wts_latency_experiment(quick=True, backend="async")
+        summary = outcome["wall_latency"]
+        # The quick sweep runs f=0..2: several scenarios pooled.
+        assert summary is not None and summary["count"] > 1
+        assert summary["max"] >= summary["p99"] >= summary["p50"] >= 0.0

@@ -6,6 +6,7 @@ from repro.byzantine import SilentByzantine
 from repro.harness import (
     member_pids,
     run_gwts_scenario,
+    run_open_loop_scenario,
     run_rsm_scenario,
     run_sbs_scenario,
     run_wts_scenario,
@@ -60,3 +61,58 @@ class TestScenarioResult:
         scenario = run_gwts_scenario(n=4, f=1, values_per_process=1, rounds=2, seed=2)
         assert scenario.run.delivered > 0
         assert scenario.metrics.total_sent >= scenario.run.delivered
+
+
+class TestOpenLoopScenario:
+    """The open-loop generator: fixed arrival rate, honest tail latencies."""
+
+    def test_offered_values_decide_and_latencies_are_summarised(self):
+        scenario = run_open_loop_scenario(n=4, f=1, values=8, interval=5.0, seed=3)
+        report = scenario.extras["open_loop"]
+        assert report.offered == 8
+        assert report.decided == 8 and report.all_decided
+        assert report.time_source == "simulated"
+        latency = report.latency
+        assert latency["count"] == 8
+        assert 0.0 < latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+
+    def test_deterministic_backends_agree_on_latencies(self):
+        """Arrivals ride the scripted-event calendar, so kernel and turbo
+        must measure the *same* simulated latencies."""
+        kernel = run_open_loop_scenario(n=4, f=1, values=6, interval=5.0, seed=7)
+        turbo = run_open_loop_scenario(
+            n=4, f=1, values=6, interval=5.0, seed=7, backend="turbo"
+        )
+        assert kernel.extras["open_loop"].latency == turbo.extras["open_loop"].latency
+
+    def test_wall_clock_backend_reports_wall_latencies(self):
+        scenario = run_open_loop_scenario(
+            n=4, f=1, values=4, interval=5.0, seed=3, backend="async"
+        )
+        report = scenario.extras["open_loop"]
+        assert report.time_source == "wall-clock"
+        assert report.all_decided
+        # Wall-clock decision latency also lands on the RunResult itself.
+        assert scenario.run.decision_latency["count"] > 0
+
+    def test_engine_kwargs_reach_the_backend(self):
+        scenario = run_open_loop_scenario(
+            n=3,
+            f=0,
+            values=3,
+            interval=5.0,
+            seed=3,
+            backend="async",
+            transport="tcp",
+            time_scale=0.0002,
+            framing="binary",
+        )
+        assert scenario.engine.transport == "tcp"
+        assert scenario.engine.framing == "binary"
+        assert scenario.extras["open_loop"].decided == 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            run_open_loop_scenario(n=4, f=1, values=0)
+        with pytest.raises(ValueError, match="interval"):
+            run_open_loop_scenario(n=4, f=1, values=1, interval=0.0)

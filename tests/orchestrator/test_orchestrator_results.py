@@ -85,12 +85,44 @@ class TestValidation:
         assert payload["time_source"] == "wall-clock"
         assert payload["status"] == "ok"
 
+    def test_v4_jobs_carry_a_wall_latency_field(self):
+        payload = _payload()
+        assert "wall_latency" in payload["jobs"][0]
+        # Deterministic backends measure in simulated time: no wall histogram.
+        assert payload["jobs"][0]["wall_latency"] is None
+        del payload["jobs"][0]["wall_latency"]
+        assert any("wall_latency" in p for p in validate_run_payload(payload))
+
+    def test_v4_wall_latency_values_must_be_numeric(self):
+        payload = _payload()
+        payload["jobs"][0]["wall_latency"] = {"p50": "fast"}
+        assert any(
+            "wall_latency" in p and "must be numeric" in p
+            for p in validate_run_payload(payload)
+        )
+
+    def test_async_jobs_record_wall_latency_histograms(self):
+        job = JobSpec(experiment="E1", seed=11, quick=True, params=(("backend", "async"),))
+        payload = execute_job(job)
+        summary = payload["wall_latency"]
+        assert summary is not None and summary["count"] >= 1
+        assert 0.0 <= summary["p50"] <= summary["p99"] <= summary["max"]
+
+    def test_legacy_v3_artifacts_still_validate(self):
+        """Pre-tail-latency baselines (repro-results/v3) stay readable."""
+        payload = _payload()
+        payload["schema"] = "repro-results/v3"
+        for job in payload["jobs"]:
+            del job["wall_latency"]  # v3 never had the field
+        assert validate_run_payload(payload) == []
+
     def test_legacy_v2_artifacts_still_validate(self):
         """Pre-time-source baselines (repro-results/v2) stay readable."""
         payload = _payload()
         payload["schema"] = "repro-results/v2"
         for job in payload["jobs"]:
             del job["time_source"]  # v2 never had the field
+            del job["wall_latency"]
         assert validate_run_payload(payload) == []
 
     def test_legacy_v1_artifacts_still_validate(self):
@@ -100,6 +132,7 @@ class TestValidation:
         for job in payload["jobs"]:
             del job["backend"]  # v1 never had the field
             del job["time_source"]  # nor this one
+            del job["wall_latency"]
         assert validate_run_payload(payload) == []
 
     def test_missing_fields_are_reported(self):
@@ -158,6 +191,8 @@ class TestCanonicalForm:
         for field in ("tag", "created_unix", "wall_time_s", "git_sha", "python", "workers"):
             assert field not in canonical
         assert all("wall_time_s" not in job for job in canonical["jobs"])
+        # Wall-clock histograms are measurement, not deterministic content.
+        assert all("wall_latency" not in job for job in canonical["jobs"])
 
     def test_deterministic_core_is_preserved(self):
         canonical = canonicalize_payload(_payload())
