@@ -38,6 +38,8 @@ Package layout
 ``repro.harness``             scenario builders and experiments E1–E12
 ``repro.orchestrator``        parallel sweep runner, JSON result artifacts and
                               the ``python -m repro`` CLI
+``repro.cluster``             service mode: the RSM as real OS processes over
+                              TCP (``python -m repro cluster up``)
 ============================  ====================================================
 """
 
@@ -86,6 +88,27 @@ from repro.rsm import (
     check_rsm_history,
 )
 from repro.sim import FaultPlan, RandomScheduler, SimKernel, WorstCaseScheduler
+
+_CLUSTER_EXPORTS = {
+    "ClusterSpec": "repro.cluster.spec",
+    "NodeSpec": "repro.cluster.spec",
+    "ClusterError": "repro.cluster.spec",
+    "localhost_spec": "repro.cluster.spec",
+    "Cluster": "repro.cluster.supervisor",
+    "ServiceClient": "repro.cluster.client",
+    "run_service_traffic": "repro.cluster.client",
+}
+
+
+def __getattr__(name):
+    # Cluster service mode pulls in asyncio/subprocess machinery; resolve it
+    # lazily so `import repro` stays cheap for pure-simulation users.
+    if name in _CLUSTER_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_CLUSTER_EXPORTS[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __version__ = "1.0.0"
 
@@ -141,4 +164,12 @@ __all__ = [
     "run_crash_la_scenario",
     "run_crash_gla_scenario",
     "run_rsm_scenario",
+    # cluster service mode (lazy — see __getattr__)
+    "ClusterSpec",
+    "NodeSpec",
+    "ClusterError",
+    "localhost_spec",
+    "Cluster",
+    "ServiceClient",
+    "run_service_traffic",
 ]

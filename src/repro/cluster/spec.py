@@ -1,0 +1,216 @@
+"""Cluster deployment specs: named nodes, membership and framing, as data.
+
+A :class:`ClusterSpec` is the single source of truth a multi-process
+deployment boots from — the luna-style config model (named nodes joining a
+named cluster) applied to the paper's RSM.  Every node process, the
+supervisor and the socket client load the *same* spec file, so membership,
+endpoints, the resilience threshold ``f`` and the wire framing can never
+drift apart between processes.
+
+Validation is loud and happens at construction: duplicate node names,
+duplicate endpoints, an ``f`` the membership cannot tolerate
+(``n < 3f + 1``) or an unknown framing raise :class:`ClusterError`
+immediately, not at some later socket error.  Specs are immutable and
+JSON round-trippable (:meth:`ClusterSpec.save` / :meth:`ClusterSpec.load`),
+which is how the supervisor hands them to the node processes it spawns.
+
+:func:`localhost_spec` builds the common case — n nodes on 127.0.0.1 —
+and, with ``base_port=0``, asks the OS for free ports (binding all n
+listening sockets at once, then releasing them) so concurrent clusters on
+one machine do not collide.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.core.quorum import max_faults, required_processes
+from repro.engine.wire import FRAMINGS
+
+#: Schema tag written into saved spec files (checked on load).
+SPEC_SCHEMA = "repro-cluster/v1"
+
+
+class ClusterError(RuntimeError):
+    """A cluster deployment problem: bad spec, failed bootstrap, dead node."""
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One named node: where its replica process listens."""
+
+    name: str
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ClusterError(f"node name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.port, int) or not (0 < self.port < 65536):
+            raise ClusterError(f"node {self.name!r} has invalid port {self.port!r} (need 1-65535)")
+        if not self.host:
+            raise ClusterError(f"node {self.name!r} has an empty host")
+
+    @property
+    def endpoint(self) -> str:
+        """``host:port`` (display form)."""
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """An immutable deployment description shared by every cluster process."""
+
+    #: The replica membership, in order (node names are the protocol pids).
+    nodes: tuple[NodeSpec, ...]
+    #: Resilience threshold; the membership must satisfy ``n >= 3f + 1``.
+    f: int = 0
+    #: Wire framing every socket in the cluster speaks (``json`` | ``binary``).
+    framing: str = "json"
+    #: Wall-clock seconds per protocol time unit (scales client retry timers).
+    time_scale: float = 0.001
+    #: GWTS round budget per replica.  A service has no natural horizon, so
+    #: the default is effectively unbounded — a halted replica cannot serve.
+    max_rounds: int = 1_000_000
+    #: Client retry timeout in protocol time units (Algorithm 5/6 re-sends).
+    client_retry: float = 150.0
+    #: Seconds of socket quiet before a SIGTERM'd node considers its
+    #: in-flight decisions drained.
+    drain_idle_s: float = 0.15
+    #: Hard deadline on draining: a node never outlives SIGTERM longer.
+    drain_max_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if not self.nodes:
+            raise ClusterError("a cluster needs at least one node")
+        names = [node.name for node in self.nodes]
+        for name in names:
+            if names.count(name) > 1:
+                raise ClusterError(f"duplicate node name {name!r} in cluster spec")
+        endpoints = [(node.host, node.port) for node in self.nodes]
+        for node, endpoint in zip(self.nodes, endpoints):
+            if endpoints.count(endpoint) > 1:
+                raise ClusterError(f"duplicate endpoint {node.endpoint} in cluster spec")
+        if self.f < 0:
+            raise ClusterError("f must be non-negative")
+        if len(self.nodes) < required_processes(self.f):
+            raise ClusterError(
+                f"{len(self.nodes)} node(s) cannot tolerate f={self.f} Byzantine "
+                f"faults; need n >= 3f + 1 = {required_processes(self.f)}"
+            )
+        if self.framing not in FRAMINGS:
+            raise ClusterError(f"unknown framing {self.framing!r}; known: {', '.join(FRAMINGS)}")
+        if self.time_scale <= 0:
+            raise ClusterError("time_scale must be positive")
+        if self.max_rounds < 1:
+            raise ClusterError("max_rounds must be at least 1")
+
+    # -- membership helpers ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of replicas."""
+        return len(self.nodes)
+
+    def member_names(self) -> tuple[str, ...]:
+        """The replica pids, in membership order."""
+        return tuple(node.name for node in self.nodes)
+
+    def node(self, name: str) -> NodeSpec:
+        """Look up one node by name (raising loudly on unknown names)."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        known = ", ".join(self.member_names())
+        raise ClusterError(f"unknown node {name!r}; cluster members: {known}")
+
+    # -- JSON round trip --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (includes the schema tag)."""
+        data = asdict(self)
+        data["nodes"] = [asdict(node) for node in self.nodes]
+        data["schema"] = SPEC_SCHEMA
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ClusterSpec:
+        """Inverse of :meth:`to_dict`; malformed input raises :class:`ClusterError`."""
+        if not isinstance(data, dict):
+            raise ClusterError(f"cluster spec must be a JSON object, got {type(data).__name__}")
+        schema = data.get("schema")
+        if schema != SPEC_SCHEMA:
+            raise ClusterError(f"unsupported cluster spec schema {schema!r}; expected {SPEC_SCHEMA!r}")
+        fields = {key: value for key, value in data.items() if key != "schema"}
+        try:
+            raw_nodes = fields.pop("nodes")
+            nodes = tuple(NodeSpec(**node) for node in raw_nodes)
+            return cls(nodes=nodes, **fields)
+        except (KeyError, TypeError) as failure:
+            raise ClusterError(f"malformed cluster spec: {failure}") from None
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec as JSON to ``path`` (creating parent directories)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> ClusterSpec:
+        """Read a spec written by :meth:`save`."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except OSError as failure:
+            raise ClusterError(f"cannot read cluster spec {path}: {failure}") from None
+        except ValueError as failure:
+            raise ClusterError(f"cluster spec {path} is not valid JSON: {failure}") from None
+        return cls.from_dict(data)
+
+
+def free_localhost_ports(count: int) -> list[int]:
+    """Ask the OS for ``count`` distinct free TCP ports on 127.0.0.1.
+
+    All ``count`` sockets are bound *simultaneously* (then released), so the
+    returned ports are pairwise distinct.  There is an inherent race between
+    releasing a port and the node process re-binding it; in practice the
+    window is milliseconds and a collision surfaces as the node's loud
+    bind error, never as silent misbehaviour.
+    """
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def localhost_spec(
+    n: int,
+    f: int | None = None,
+    base_port: int = 0,
+    framing: str = "json",
+    **overrides,
+) -> ClusterSpec:
+    """Build an n-node 127.0.0.1 cluster spec.
+
+    ``f`` defaults to the largest threshold ``n`` can tolerate
+    (``floor((n-1)/3)``).  ``base_port=0`` allocates free ports from the OS;
+    a positive ``base_port`` uses the consecutive range starting there.
+    Extra keyword arguments pass through to :class:`ClusterSpec`.
+    """
+    if n < 1:
+        raise ClusterError("a cluster needs at least one node")
+    if f is None:
+        f = max_faults(n)
+    ports = list(range(base_port, base_port + n)) if base_port else free_localhost_ports(n)
+    nodes = tuple(NodeSpec(name=f"n{index}", host="127.0.0.1", port=port) for index, port in enumerate(ports))
+    return ClusterSpec(nodes=nodes, f=f, framing=framing, **overrides)

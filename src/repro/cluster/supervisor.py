@@ -1,0 +1,264 @@
+"""The cluster supervisor: spawn, watch and stop the node OS processes.
+
+:class:`Cluster` turns a :class:`~repro.cluster.spec.ClusterSpec` into real
+processes: one ``python -m repro cluster node`` child per spec entry, each
+with its stdout/stderr captured to ``<state>/logs/<name>.log``.  The state
+directory (default ``.repro-cluster``) also holds the spec file the
+children load and a ``state.json`` (node pids, supervisor pid) that lets
+*other* processes — ``repro cluster status | client | down`` — find the
+cluster without talking to the supervisor.
+
+Bootstrap is fail-fast: :meth:`Cluster.start` polls both the children's
+liveness and their status probes.  A child that dies during startup (the
+canonical case: its port is already in use) aborts the whole bring-up —
+the supervisor tears down the survivors and raises a
+:class:`~repro.cluster.spec.ClusterError` quoting the dead node's log tail,
+so a port collision is a loud one-line diagnosis, never a hang.
+
+Shutdown mirrors the node contract: SIGTERM each child, wait for the
+drain, SIGKILL stragglers past the deadline.  :meth:`Cluster.stop` returns
+0 only if every node exited cleanly (exit code 0), which is exactly what
+the CI smoke job asserts.  :meth:`Cluster.kill_node` /
+:meth:`Cluster.restart_node` support the crash/recover demo in
+``examples/cluster_service.py``; note a restarted replica rejoins with
+*fresh* state — it counts against the spec's ``f`` budget, it is not state
+transfer (see docs/operations.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.cluster.client import probe_cluster_sync
+from repro.cluster.spec import ClusterError, ClusterSpec
+
+#: Schema tag of the state file other CLI processes read.
+STATE_SCHEMA = "repro-cluster-state/v1"
+
+#: Default state directory (relative to the caller's cwd).
+DEFAULT_STATE_DIR = ".repro-cluster"
+
+
+def _src_root() -> str:
+    """The directory to put on the children's PYTHONPATH (contains ``repro``)."""
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+class Cluster:
+    """Supervise one multi-process cluster described by a spec."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        state_dir: str | Path = DEFAULT_STATE_DIR,
+        python: str = sys.executable,
+    ) -> None:
+        self.spec = spec
+        self.state_dir = Path(state_dir)
+        self.python = python
+        self.procs: dict[str, subprocess.Popen] = {}
+        self._spec_path = self.state_dir / "spec.json"
+
+    # -- bring-up ---------------------------------------------------------------------
+
+    def start(self, wait_ready: bool = True, timeout: float = 20.0) -> Cluster:
+        """Spawn every node process (optionally waiting for readiness)."""
+        if self.procs:
+            raise ClusterError("cluster is already started")
+        (self.state_dir / "logs").mkdir(parents=True, exist_ok=True)
+        self.spec.save(self._spec_path)
+        for node in self.spec.nodes:
+            self._spawn(node.name)
+        self._write_state()
+        if wait_ready:
+            try:
+                self.wait_ready(timeout)
+            except ClusterError:
+                self.stop()
+                raise
+        return self
+
+    def _spawn(self, name: str) -> None:
+        env = os.environ.copy()
+        src = _src_root()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+        # Lets the node shut itself down if this supervisor is SIGKILLed
+        # (SIGTERM is handled explicitly; SIGKILL cannot be).
+        env["REPRO_CLUSTER_SUPERVISOR_PID"] = str(os.getpid())
+        log_path = self.state_dir / "logs" / f"{name}.log"
+        with open(log_path, "ab") as log:
+            self.procs[name] = subprocess.Popen(
+                [
+                    self.python,
+                    "-m",
+                    "repro",
+                    "cluster",
+                    "node",
+                    "--spec",
+                    str(self._spec_path),
+                    "--name",
+                    name,
+                ],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+
+    def _log_tail(self, name: str, lines: int = 5) -> str:
+        path = self.state_dir / "logs" / f"{name}.log"
+        try:
+            content = path.read_text(errors="replace").strip().splitlines()
+        except OSError:
+            return "(no log)"
+        return "\n".join(content[-lines:]) if content else "(empty log)"
+
+    def wait_ready(self, timeout: float = 20.0) -> dict[str, dict]:
+        """Block until every node probes ready; loud failure otherwise.
+
+        Raises :class:`ClusterError` the moment any child exits during
+        bring-up (quoting its log tail — a port collision lands here) or
+        when the deadline passes with nodes still unready.
+        """
+        deadline = time.monotonic() + timeout
+        statuses: dict[str, dict | None] = {}
+        while time.monotonic() < deadline:
+            dead = {name: proc.returncode for name, proc in self.procs.items() if proc.poll() is not None}
+            if dead:
+                details = "; ".join(
+                    f"{name} exited {code}: {self._log_tail(name)}" for name, code in dead.items()
+                )
+                raise ClusterError(f"cluster bootstrap failed — {details}")
+            statuses = probe_cluster_sync(self.spec, timeout=1.0)
+            if all(status is not None and status.get("ready") for status in statuses.values()):
+                return statuses  # type: ignore[return-value]
+            time.sleep(0.05)
+        unready = sorted(
+            name for name, status in statuses.items() if not (status and status.get("ready"))
+        )
+        raise ClusterError(f"cluster not ready after {timeout:.0f}s; waiting on: {', '.join(unready) or '?'}")
+
+    # -- observation ------------------------------------------------------------------
+
+    def status(self) -> list[dict]:
+        """One merged row per node: probe fields plus supervisor-side view."""
+        probes = probe_cluster_sync(self.spec)
+        rows = []
+        for node in self.spec.nodes:
+            proc = self.procs.get(node.name)
+            probe = probes.get(node.name)
+            row = {
+                "node": node.name,
+                "endpoint": node.endpoint,
+                "alive": proc is not None and proc.poll() is None,
+                "reachable": probe is not None,
+            }
+            if probe:
+                row.update(
+                    pid=probe.get("pid"),
+                    ready=probe.get("ready"),
+                    state=probe.get("state"),
+                    decisions=probe.get("decisions"),
+                    clients=len(probe.get("clients") or ()),
+                )
+            rows.append(row)
+        return rows
+
+    # -- shutdown and faults ----------------------------------------------------------
+
+    def stop(self, timeout: float = 8.0) -> int:
+        """SIGTERM every node, wait for the drain, SIGKILL stragglers.
+
+        Returns 0 iff every node exited 0 (a clean cluster-wide drain).
+        """
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + timeout
+        code = 0
+        for name, proc in self.procs.items():
+            remaining = max(0.05, deadline - time.monotonic())
+            try:
+                proc.wait(remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+            if proc.returncode != 0:
+                code = 1
+        self.procs.clear()
+        try:
+            (self.state_dir / "state.json").unlink()
+        except OSError:
+            pass
+        return code
+
+    def kill_node(self, name: str) -> None:
+        """Crash one node hard (SIGKILL) — the fault-injection primitive."""
+        proc = self.procs.get(name)
+        if proc is None:
+            raise ClusterError(f"unknown or never-started node {name!r}")
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    def restart_node(self, name: str, wait_ready: bool = True, timeout: float = 20.0) -> None:
+        """Start a fresh process for a dead node (amnesiac rejoin)."""
+        self.spec.node(name)  # loud on unknown names
+        proc = self.procs.get(name)
+        if proc is not None and proc.poll() is None:
+            raise ClusterError(f"node {name!r} is still running; kill it first")
+        self._spawn(name)
+        self._write_state()
+        if wait_ready:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                status = probe_cluster_sync(self.spec).get(name)
+                if status is not None and status.get("ready"):
+                    return
+                time.sleep(0.05)
+            raise ClusterError(f"restarted node {name!r} not ready after {timeout:.0f}s")
+
+    # -- state file (for out-of-process CLI subcommands) ------------------------------
+
+    def _write_state(self) -> None:
+        payload = {
+            "schema": STATE_SCHEMA,
+            "supervisor_pid": os.getpid(),
+            "spec_path": str(self._spec_path),
+            "nodes": {name: proc.pid for name, proc in self.procs.items()},
+        }
+        (self.state_dir / "state.json").write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def __enter__(self) -> Cluster:
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def load_state(state_dir: str | Path) -> tuple[ClusterSpec, dict]:
+    """Read ``<state_dir>/state.json`` + the spec it points at.
+
+    Used by ``repro cluster status|client|down`` running as separate
+    processes from the supervisor.
+    """
+    state_path = Path(state_dir) / "state.json"
+    try:
+        state = json.loads(state_path.read_text())
+    except OSError:
+        raise ClusterError(
+            f"no cluster state at {state_path} — is a cluster up with --state {state_dir}?"
+        ) from None
+    except ValueError as failure:
+        raise ClusterError(f"corrupt cluster state {state_path}: {failure}") from None
+    if state.get("schema") != STATE_SCHEMA:
+        raise ClusterError(f"unsupported cluster state schema {state.get('schema')!r}")
+    spec = ClusterSpec.load(state["spec_path"])
+    return spec, state

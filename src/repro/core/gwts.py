@@ -81,6 +81,10 @@ class GWTSProcess(AgreementProcess):
         self.decided_set: LatticeElement = lattice.bottom()
         #: Per-round safe-values sets: round -> origin -> disclosed element.
         self.svs: dict[int, dict[Hashable, LatticeElement]] = defaultdict(dict)
+        #: Running join of every value in ``svs`` (``W_r``), maintained
+        #: incrementally: recomputing it from scratch inside ``is_safe`` made
+        #: draining a large waiting backlog quadratic in disclosures.
+        self._safe_bound: LatticeElement = lattice.bottom()
         #: Per-round disclosure counters (``Counter[r]``).
         self.counter: dict[int, int] = defaultdict(int)
         #: Ack history shared by the proposer and acceptor roles:
@@ -151,6 +155,7 @@ class GWTSProcess(AgreementProcess):
         if origin in round_svs:
             return  # at most one disclosure per origin per round (Observation 3)
         round_svs[origin] = value
+        self._safe_bound = self.lattice.join(self._safe_bound, value)
         self.counter[round_no] += 1
         if self.state == DISCLOSING and round_no == self.round:
             self.proposed_set = self.lattice.join(self.proposed_set, value)
@@ -180,9 +185,7 @@ class GWTSProcess(AgreementProcess):
 
     def safe_upper_bound(self) -> LatticeElement:
         """Join of every value disclosed in any round observed so far (``W_r``)."""
-        return self.lattice.join_all(
-            value for per_round in self.svs.values() for value in per_round.values()
-        )
+        return self._safe_bound
 
     def is_safe(self, element: LatticeElement) -> bool:
         """``SAFE(m)`` / ``SAFE_A(m)``: content covered by disclosed values."""

@@ -43,6 +43,13 @@ authenticated.  The run driver stops on the stop predicate, on quiescence
 valves, or on the optional ``max_wall_s`` hard timeout — a hung event loop
 fails fast instead of wedging CI.  Every run reports a wall-clock
 decision-latency summary (:attr:`RunResult.decision_latency`).
+
+The multi-process sibling of the TCP transport is cluster service mode
+(:mod:`repro.cluster`): same sans-I/O cores, same wire codecs, but one OS
+process per node (``python -m repro cluster up``) instead of one engine
+hosting every core.  This backend stays the right tool for measured,
+single-process experiments (it owns the run driver, fault plan and metrics);
+the cluster is the deployment story.
 """
 
 from __future__ import annotations

@@ -20,6 +20,13 @@ hard-coding names:
 
 Adding a backend is one :func:`register_backend` call — no other layer
 changes.
+
+Cluster service mode (:mod:`repro.cluster`) is deliberately *not* a registry
+entry: backends here are in-process engines that run a scenario to
+completion and return a :class:`~repro.engine.api.RunResult`, while the
+cluster supervises long-lived OS processes with no run driver or stop
+predicate.  It reuses the cores and wire codecs underneath, but is operated
+through ``python -m repro cluster ...`` rather than ``--param backend=``.
 """
 
 from __future__ import annotations

@@ -37,6 +37,14 @@ Round-trip fidelity: ``decode(encode(x)) == x`` for every supported value
 canonical_bytes` is order-insensitive for sets, so signatures still verify
 after the trip in either framing).  Framing is a 4-byte big-endian length
 prefix followed by the body (UTF-8 JSON, or ``0xB1``-tagged binary).
+
+The same codecs carry the multi-process cluster service mode
+(:mod:`repro.cluster`): node processes and socket clients exchange
+dict-shaped frames whose payloads are these registered dataclasses, selected
+by ``ClusterSpec(framing=...)`` through the identical :func:`get_codec`
+entry point — one wire format implementation for both the in-process
+:class:`~repro.engine.async_backend.AsyncEngine` and real OS-process
+deployments.
 """
 
 from __future__ import annotations

@@ -4,13 +4,25 @@ Subcommands::
 
     repro list                         # experiments and their parameters
     repro run E3 --seed 7              # one experiment, table on stdout
+    repro run E3 --param backend=turbo # any declared axis, e.g. the engine
     repro sweep --quick --workers 4    # the full matrix -> results/run-<tag>.json
+    repro sweep --param backend=async  # fix an axis across the whole matrix
     repro explore --budget 25 --seed 1 # randomized scenario fuzzing + shrinking
+    repro cluster up --nodes 3         # the RSM as real OS processes (see
+    repro cluster client --commands 50 #  repro.cluster.cli / docs/operations.md)
     repro validate results/run-x.json  # schema-check an artifact
     repro compare baseline.json run.json [--max-latency-regression 20]
 
+``--param KEY=VALUE`` (repeatable, on ``run`` and ``sweep``) overrides any
+parameter an experiment declares; since the backend registry landed, every
+scenario-driven experiment exposes the shared ``backend`` axis
+(``kernel`` | ``turbo`` | ``async`` — help text is generated from
+:func:`repro.engine.backends.backend_param_help`), and the async backend
+adds ``transport`` / ``framing`` / ``time_scale`` pass-throughs.
+
 Exit codes: 0 success, 1 failed checks / regressions / invalid artifacts /
-invariant violations, 2 usage errors (unknown experiment, bad parameter).
+invariant violations / cluster failures, 2 usage errors (unknown
+experiment, bad parameter).
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ import time
 from collections.abc import Sequence
 from typing import Any
 
+from repro.cluster.cli import add_cluster_parser, run_cluster_command
 from repro.metrics.report import format_table
 from repro.orchestrator.compare import DEFAULT_MAX_LATENCY_REGRESSION, compare_payloads
 from repro.orchestrator.jobs import JobSpec, SweepSpec, expand_sweep
@@ -347,6 +360,8 @@ def build_parser() -> argparse.ArgumentParser:
     explore_parser.add_argument("--out", default=None, metavar="PATH",
                                 help="artifact path (default: results/run-<tag>.json)")
 
+    add_cluster_parser(subparsers)
+
     validate_parser = subparsers.add_parser("validate", help="schema-check results artifacts")
     validate_parser.add_argument("paths", nargs="+", help="artifact paths")
 
@@ -368,6 +383,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "explore": _cmd_explore,
+    "cluster": run_cluster_command,
     "validate": _cmd_validate,
     "compare": _cmd_compare,
 }

@@ -122,6 +122,20 @@ class RSMClient(ProtocolCore):
             self.send(replica, UpdateRequest(command=command))
         self._arm_retry()
 
+    def submit_operations(self, operations: Sequence[tuple[Any, ...]]) -> None:
+        """Append operations to the script, starting them if the client is idle.
+
+        Service mode (:mod:`repro.cluster`) feeds a long-lived client work in
+        phases instead of a fixed construction-time script; each appended
+        batch still executes strictly sequentially after everything already
+        queued.  Must be called from an effect-applying context (a harness
+        step or :meth:`repro.cluster.runtime.CoreHost.call`) so the emitted
+        submission effects are drained.
+        """
+        self.script.extend(operations)
+        if self._current is None:
+            self._start_next_operation()
+
     # -- timeout-driven retry -----------------------------------------------------------
 
     def _arm_retry(self) -> None:

@@ -1,0 +1,105 @@
+"""ClusterSpec validation and round-trip behaviour (no processes spawned)."""
+
+import json
+
+import pytest
+
+from repro.cluster.spec import (
+    ClusterError,
+    ClusterSpec,
+    NodeSpec,
+    free_localhost_ports,
+    localhost_spec,
+)
+
+
+def two_nodes():
+    return (
+        NodeSpec(name="a", host="127.0.0.1", port=7001),
+        NodeSpec(name="b", host="127.0.0.1", port=7002),
+    )
+
+
+class TestValidation:
+    def test_duplicate_node_names_are_rejected_loudly(self):
+        nodes = (
+            NodeSpec(name="a", host="127.0.0.1", port=7001),
+            NodeSpec(name="a", host="127.0.0.1", port=7002),
+        )
+        with pytest.raises(ClusterError, match="duplicate node name 'a'"):
+            ClusterSpec(nodes=nodes, f=0)
+
+    def test_duplicate_endpoints_are_rejected(self):
+        nodes = (
+            NodeSpec(name="a", host="127.0.0.1", port=7001),
+            NodeSpec(name="b", host="127.0.0.1", port=7001),
+        )
+        with pytest.raises(ClusterError, match="duplicate endpoint"):
+            ClusterSpec(nodes=nodes, f=0)
+
+    def test_f_beyond_membership_is_rejected(self):
+        with pytest.raises(ClusterError, match="n >= 3f \\+ 1"):
+            ClusterSpec(nodes=two_nodes(), f=1)
+
+    def test_negative_f_is_rejected(self):
+        with pytest.raises(ClusterError, match="non-negative"):
+            ClusterSpec(nodes=two_nodes(), f=-1)
+
+    def test_unknown_framing_is_rejected(self):
+        with pytest.raises(ClusterError, match="unknown framing"):
+            ClusterSpec(nodes=two_nodes(), f=0, framing="msgpack")
+
+    def test_empty_cluster_is_rejected(self):
+        with pytest.raises(ClusterError, match="at least one node"):
+            ClusterSpec(nodes=(), f=0)
+
+    def test_bad_ports_are_rejected(self):
+        with pytest.raises(ClusterError, match="invalid port"):
+            NodeSpec(name="a", host="h", port=0)
+        with pytest.raises(ClusterError, match="invalid port"):
+            NodeSpec(name="a", host="h", port=70000)
+
+    def test_unknown_node_lookup_is_loud(self):
+        spec = ClusterSpec(nodes=two_nodes(), f=0)
+        with pytest.raises(ClusterError, match="unknown node 'z'"):
+            spec.node("z")
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        spec = ClusterSpec(nodes=two_nodes(), f=0, framing="binary", max_rounds=500)
+        path = spec.save(tmp_path / "spec.json")
+        assert ClusterSpec.load(path) == spec
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"schema": "nope", "nodes": [], "f": 0}))
+        with pytest.raises(ClusterError, match="schema"):
+            ClusterSpec.load(path)
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("not json {")
+        with pytest.raises(ClusterError, match="not valid JSON"):
+            ClusterSpec.load(path)
+
+    def test_load_missing_file_is_loud(self, tmp_path):
+        with pytest.raises(ClusterError, match="cannot read"):
+            ClusterSpec.load(tmp_path / "absent.json")
+
+
+class TestLocalhostSpec:
+    def test_default_f_is_max_faults(self):
+        assert localhost_spec(4).f == 1
+        assert localhost_spec(3).f == 0
+
+    def test_allocated_ports_are_distinct(self):
+        ports = free_localhost_ports(8)
+        assert len(set(ports)) == 8
+
+    def test_base_port_uses_consecutive_range(self):
+        spec = localhost_spec(3, base_port=7100)
+        assert [node.port for node in spec.nodes] == [7100, 7101, 7102]
+
+    def test_member_names_are_protocol_pids(self):
+        assert localhost_spec(3).member_names() == ("n0", "n1", "n2")

@@ -1,0 +1,124 @@
+"""CoreHost: the effect vocabulary interpreted for one core on asyncio."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.runtime import CoreHost
+from repro.cluster.spec import ClusterError
+from repro.engine.core import ProtocolCore
+
+
+class EchoCore(ProtocolCore):
+    """Toy core exercising every effect type."""
+
+    def __init__(self, pid, members):
+        super().__init__(pid)
+        self.members = members
+        self.seen = []
+
+    def on_start(self):
+        self.output("started", self.pid)
+
+    def on_message(self, sender, payload):
+        self.seen.append((sender, payload))
+        if payload == "fan":
+            self.broadcast("hello", include_self=False)
+        elif payload == "self":
+            self.send(self.pid, "loopback")
+        elif payload == "remote":
+            self.send("other", "outbound")
+        elif payload == "arm":
+            self.timer = self.set_timer(1.0, "tick", 42)
+        elif payload == "arm-cancel":
+            handle = self.set_timer(1.0, "never")
+            handle.cancel()
+        elif payload == "decide":
+            self.decide(payload, round=3)
+
+    def on_timer(self, tag, payload=None):
+        self.seen.append(("timer", tag, payload))
+
+
+def run_host(scenario):
+    async def main():
+        sent = []
+        core = EchoCore("me", ("me", "other", "third"))
+        host = CoreHost(
+            core,
+            members=core.members,
+            send=lambda dest, payload: sent.append((dest, payload)),
+            time_scale=0.001,
+        )
+        host.start()
+        await scenario(core, host)
+        return core, host, sent
+
+    return asyncio.run(main())
+
+
+class TestCoreHost:
+    def test_start_runs_on_start_and_captures_output(self):
+        async def scenario(core, host):
+            pass
+
+        core, host, _sent = run_host(scenario)
+        assert [(label, data) for _t, label, data in host.outputs] == [("started", "me")]
+
+    def test_remote_send_goes_through_callback(self):
+        async def scenario(core, host):
+            host.deliver("x", "remote")
+
+        _core, _host, sent = run_host(scenario)
+        assert sent == [("other", "outbound")]
+
+    def test_self_send_loops_back_without_recursion(self):
+        async def scenario(core, host):
+            host.deliver("x", "self")
+            # The loopback is queued via call_soon, not delivered inline.
+            assert ("me", "loopback") not in core.seen
+            await asyncio.sleep(0)
+            assert ("me", "loopback") in core.seen
+
+        run_host(scenario)
+
+    def test_broadcast_fans_to_members_only(self):
+        async def scenario(core, host):
+            host.deliver("x", "fan")
+
+        _core, _host, sent = run_host(scenario)
+        # include_self=False: self excluded; non-members never appear.
+        assert sent == [("other", "hello"), ("third", "hello")]
+
+    def test_timer_fires_scaled_and_stamps_now(self):
+        async def scenario(core, host):
+            host.deliver("x", "arm")
+            await asyncio.sleep(0.05)  # 1.0 units * 0.001 = 1ms
+            assert ("timer", "tick", 42) in core.seen
+
+        run_host(scenario)
+
+    def test_cancelled_timer_never_fires(self):
+        async def scenario(core, host):
+            host.deliver("x", "arm-cancel")
+            await asyncio.sleep(0.05)
+            assert not any(entry[0] == "timer" for entry in core.seen)
+
+        run_host(scenario)
+
+    def test_decides_are_recorded(self):
+        async def scenario(core, host):
+            host.deliver("x", "decide")
+
+        _core, host, _sent = run_host(scenario)
+        assert [(value, rnd) for _t, value, rnd in host.decisions] == [("decide", 3)]
+
+    def test_missing_route_is_loud(self):
+        async def main():
+            core = EchoCore("me", ("me", "other"))
+            host = CoreHost(core, members=core.members, send=None)
+            host.start()
+            with pytest.raises(ClusterError, match="no route"):
+                host.deliver("x", "remote")
+
+        asyncio.run(main())

@@ -50,6 +50,11 @@ class TestExamples:
         assert "LA safety properties hold over real sockets: True" in result.stdout
         assert "stopped because everyone decided: True" in result.stdout
 
+    def test_cluster_service(self):
+        result = run_example("cluster_service.py")
+        assert result.returncode == 0, result.stderr
+        assert "service lifecycle complete: boot, traffic, crash, recovery, clean stop" in result.stdout
+
     def test_scenario_fuzzing(self):
         result = run_example("scenario_fuzzing.py")
         assert result.returncode == 0, result.stderr
