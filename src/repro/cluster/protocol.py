@@ -273,6 +273,17 @@ class FrameLink:
                 # Keep the unacknowledged chunk for the next connection.
                 self._buffer[:0] = chunk
                 return
+            except BaseException:
+                # Cancellation included: when the read pump sees the peer
+                # half-close first, _run cancels this task mid-drain() — the
+                # chunk was taken out of the buffer but never acknowledged,
+                # so without re-prepending it a whole coalesced batch of
+                # frames would silently vanish across the reconnect.
+                # Re-delivery of a partially-written chunk is possible
+                # (frames are at-least-once across reconnects; the cores are
+                # idempotent), loss is not.
+                self._buffer[:0] = chunk
+                raise
 
     async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         """Pump inbound frames (or just watch for EOF on write-only links)."""

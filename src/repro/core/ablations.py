@@ -36,6 +36,7 @@ from typing import Any
 
 from repro.broadcast.reliable import RBInit
 from repro.core.wts import DISCLOSURE_TAG, WTSProcess
+from repro.crypto.signatures import KeyRegistry
 from repro.lattice.base import LatticeElement
 
 
@@ -87,4 +88,19 @@ class NoDefencesWTSProcess(PlainDisclosureWTSProcess):
     """
 
     def is_safe(self, element: LatticeElement) -> bool:  # noqa: D401 - ablation
+        return True
+
+
+class BlindKeyRegistry(KeyRegistry):
+    """A PKI that accepts every signature (ablation A4: no verification).
+
+    SbS/GSbS with this registry keep all their message flow but lose the one
+    defence the paper adds over WTS: ``Verify`` returns true for *any* tag.
+    Used by the explorer's ``no-signatures`` mutant canary — on-wire value
+    tampering and signature splicing must start landing in decisions once
+    verification is disabled, proving the end-to-end wire-Byzantine test can
+    actually fail.
+    """
+
+    def verify(self, signed) -> bool:  # noqa: D401 - ablation
         return True

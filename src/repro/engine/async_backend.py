@@ -184,15 +184,23 @@ class _TcpReceiver(asyncio.BufferedProtocol):
         offset = 0
         header = wire.HEADER_SIZE
         while filled - offset >= header:
-            length = int.from_bytes(view[offset : offset + header], "big")
-            if length > wire.MAX_FRAME_BYTES:
-                raise wire.WireError(
-                    f"frame length {length} exceeds {wire.MAX_FRAME_BYTES}"
-                )
+            length, crc = wire.unpack_header(view[offset : offset + header])
             start = offset + header
             if filled - start < length:
                 break
-            engine._tcp_deliver(view[start : start + length])
+            body = view[start : start + length]
+            try:
+                wire.check_crc(body, crc)
+            except wire.WireError:
+                # A checksum mismatch is survivable only when faults are
+                # being injected on purpose: count the rejection and skip
+                # the frame (framing stays aligned — the header length is
+                # still trusted).  On a clean wire it fails the run.
+                if not engine._tolerates_wire_faults():
+                    raise
+                engine._count_wire_rejection("crc")
+            else:
+                engine._tcp_deliver(body)
             offset = start + length
         if offset:
             remaining = filled - offset
@@ -219,6 +227,7 @@ class AsyncEngine:
         time_scale: float | None = None,
         host: str = "127.0.0.1",
         framing: str = "json",
+        wire_faults: Any = None,
     ) -> None:
         if delay_model is not None and scheduler is not None:
             raise ValueError(
@@ -234,6 +243,23 @@ class AsyncEngine:
         #: Wire codec of the TCP transport (the memory transport moves
         #: Python objects and never serialises).
         self._codec = wire.get_codec(framing)
+        #: Wire-fault injection (tcp only): a WireFaultPlan or DSL string
+        #: (see repro.engine.wire_faults).  The send path encodes through a
+        #: FaultyCodec that forges frames ahead of honest ones; the receive
+        #: path counts rejections instead of failing the run.
+        self._wire_faults = None
+        self._send_codec: wire.Codec = self._codec
+        self.wire_stats: dict[str, int] = {}
+        if wire_faults:
+            from repro.engine.wire_faults import FaultyCodec, coerce_wire_faults
+
+            if transport != "tcp":
+                raise ValueError("wire_faults requires transport='tcp' (real bytes)")
+            plan = coerce_wire_faults(wire_faults)
+            if plan.framing:
+                self._codec = wire.get_codec(plan.framing)
+            self._wire_faults = plan
+            self._send_codec = FaultyCodec(self._codec, plan, seed=seed)
         #: Wall seconds per simulated delay unit, used to pace deliveries,
         #: timers and fault scripts.  The memory transport defaults to 0
         #: (virtual ordering only, full speed); the TCP transport defaults to
@@ -794,7 +820,7 @@ class AsyncEngine:
         loop = self._loop
         if loop is None:
             raise RuntimeError("tcp sends require a running engine loop")
-        frame = self._codec.encode_frame(
+        frame = self._send_codec.encode_frame(
             {
                 "sender": envelope.sender,
                 "dest": envelope.dest,
@@ -886,17 +912,49 @@ class AsyncEngine:
         for the duration of this call — the codec materialises every decoded
         object, so nothing retains a reference into the buffer.
         """
-        message = self._codec.decode_body(body)
-        dest_index = self._index[message["dest"]]
-        envelope = Envelope(
-            sender=message["sender"],
-            dest=message["dest"],
-            payload=message["payload"],
-            send_time=0.0,
-            depth=message["depth"],
-            seq=message["seq"],
-        )
+        try:
+            message = self._codec.decode_body(body)
+            dest_index = self._index[message["dest"]]
+            envelope = Envelope(
+                sender=message["sender"],
+                dest=message["dest"],
+                payload=message["payload"],
+                send_time=0.0,
+                depth=message["depth"],
+                seq=message["seq"],
+            )
+        except (wire.WireError, KeyError, TypeError) as failure:
+            # A frame that passed the checksum but will not decode into an
+            # envelope: survivable only under deliberate fault injection
+            # (e.g. a re-headered truncation forged by FaultyCodec).
+            if self._wire_faults is None:
+                raise
+            if not isinstance(failure, wire.WireError):
+                self._count_wire_rejection("envelope")
+            else:
+                self._count_wire_rejection("decode")
+            return
+        if isinstance(message, dict) and "wf" in message:
+            # An injected duplicate/replay/tamper frame was never counted as
+            # a send; balance the decrement its delivery will apply.
+            self.pending_messages += 1
+            self._count_wire_rejection("injected_delivered")
         self._inboxes[dest_index].put_nowait((_EV_MSG, envelope))
+
+    def _tolerates_wire_faults(self) -> bool:
+        """Whether receive-path corruption is expected (injection active)."""
+        return self._wire_faults is not None
+
+    def _count_wire_rejection(self, kind: str) -> None:
+        self.wire_stats[kind] = self.wire_stats.get(kind, 0) + 1
+
+    @property
+    def wire_fault_stats(self) -> dict[str, int]:
+        """Receive-side rejection counts plus send-side injection counts."""
+        stats = dict(self.wire_stats)
+        for mode, count in getattr(self._send_codec, "stats", {}).items():
+            stats[f"sent_{mode}"] = count
+        return stats
 
     def _tcp_apply_control(self, kind: int, arg: Any) -> None:
         self._pending_controls -= 1

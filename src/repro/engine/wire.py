@@ -35,8 +35,13 @@ prefix) raise :class:`WireError` too.
 Round-trip fidelity: ``decode(encode(x)) == x`` for every supported value
 (including nested signed values — :func:`repro.crypto.signatures.
 canonical_bytes` is order-insensitive for sets, so signatures still verify
-after the trip in either framing).  Framing is a 4-byte big-endian length
-prefix followed by the body (UTF-8 JSON, or ``0xB1``-tagged binary).
+after the trip in either framing).  Framing is an 8-byte big-endian header —
+a 4-byte body length followed by the body's CRC-32 — then the body itself
+(UTF-8 JSON, or ``0xB1``-tagged binary).  The checksum is what makes "never
+decode garbage" an honest claim: a bit flipped inside a JSON string literal
+would otherwise decode silently to a *different valid value*; with the CRC,
+any corruption of header or body raises :class:`WireError` at the framing
+layer before the decoder ever runs.
 
 The same codecs carry the multi-process cluster service mode
 (:mod:`repro.cluster`): node processes and socket clients exchange
@@ -52,14 +57,16 @@ from __future__ import annotations
 import dataclasses
 import json
 import struct
+import zlib
 from collections.abc import Iterable
 from typing import Any
 
 #: Tag key; chosen to be an unlikely dict key in application payloads.
 _TAG = "~"
 
-#: Frame header: unsigned 32-bit big-endian body length.
-_HEADER = struct.Struct(">I")
+#: Frame header: unsigned 32-bit big-endian body length, then the body's
+#: unsigned 32-bit CRC-32 (:func:`zlib.crc32`).
+_HEADER = struct.Struct(">II")
 HEADER_SIZE = _HEADER.size
 
 #: Upper bound on one frame body (64 MiB) — a corrupted length prefix must
@@ -72,6 +79,32 @@ FRAMINGS = ("json", "binary")
 
 class WireError(ValueError):
     """A value or frame the wire codec refuses to handle."""
+
+
+def pack_header(body) -> bytes:
+    """The 8-byte frame header for ``body``: length then CRC-32."""
+    return _HEADER.pack(len(body), zlib.crc32(body))
+
+
+def unpack_header(header) -> tuple[int, int]:
+    """Split an 8-byte frame header into ``(length, crc)``, bounds-checked."""
+    length, crc = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    return length, crc
+
+
+def check_crc(body, crc: int) -> None:
+    """Verify a frame body against its header checksum, loudly.
+
+    Accepts any bytes-like object (buffered transports hand in
+    :class:`memoryview` slices).
+    """
+    actual = zlib.crc32(body)
+    if actual != crc:
+        raise WireError(
+            f"frame checksum mismatch: header says {crc:#010x}, body is {actual:#010x}"
+        )
 
 
 #: Class-name -> dataclass registry for payload decoding.
@@ -260,7 +293,7 @@ def encode_frame(message: Any) -> bytes:
     body = json.dumps(encode_value(message), separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise WireError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
-    return _HEADER.pack(len(body)) + body
+    return pack_header(body) + body
 
 
 def decode_body(body) -> Any:
@@ -331,24 +364,36 @@ def _write_str(out: bytearray, text: str, interned: dict[str, int]) -> None:
     out += raw
 
 
-def _binary_set_order(items: Iterable[Any]) -> list:
+def _binary_set_order(items: Iterable[Any], probes: dict[int, bytes]) -> list:
     """Set members in a stable order so frames are deterministic.
 
     Each member is keyed by its *standalone* encoding (fresh intern table):
     interning state depends on traversal order, so keying by the in-stream
     encoding would make the order depend on itself.  Standalone encodings
     are pure functions of the value, hence hash-seed independent.
+
+    ``probes`` memoizes standalone encodings by object identity for the
+    duration of one frame encode (every value is kept alive by the message
+    graph, so ids are stable).  Without it, probing a member re-probes its
+    nested sets' members recursively — exponential re-encoding in the
+    set-nesting depth, which made GSbS proof frames (sets of signed values
+    carrying sets) take *seconds* each to encode.
     """
     keyed = []
     for item in items:
-        probe = bytearray()
-        _encode_binary(item, probe, {})
-        keyed.append((bytes(probe), item))
+        probe = probes.get(id(item))
+        if probe is None:
+            out = bytearray()
+            _encode_binary(item, out, {}, probes)
+            probe = probes[id(item)] = bytes(out)
+        keyed.append((probe, item))
     keyed.sort(key=lambda pair: pair[0])
     return [item for _probe, item in keyed]
 
 
-def _encode_binary(value: Any, out: bytearray, interned: dict[str, int]) -> None:
+def _encode_binary(
+    value: Any, out: bytearray, interned: dict[str, int], probes: dict[int, bytes]
+) -> None:
     if value is None:
         out.append(_B_NONE)
     elif value is True:
@@ -371,28 +416,28 @@ def _encode_binary(value: Any, out: bytearray, interned: dict[str, int]) -> None
         out.append(_B_LIST)
         _write_varint(out, len(value))
         for item in value:
-            _encode_binary(item, out, interned)
+            _encode_binary(item, out, interned, probes)
     elif isinstance(value, tuple):
         out.append(_B_TUPLE)
         _write_varint(out, len(value))
         for item in value:
-            _encode_binary(item, out, interned)
+            _encode_binary(item, out, interned, probes)
     elif isinstance(value, frozenset):
         out.append(_B_FROZENSET)
         _write_varint(out, len(value))
-        for item in _binary_set_order(value):
-            _encode_binary(item, out, interned)
+        for item in _binary_set_order(value, probes):
+            _encode_binary(item, out, interned, probes)
     elif isinstance(value, set):
         out.append(_B_SET)
         _write_varint(out, len(value))
-        for item in _binary_set_order(value):
-            _encode_binary(item, out, interned)
+        for item in _binary_set_order(value, probes):
+            _encode_binary(item, out, interned, probes)
     elif isinstance(value, dict):
         out.append(_B_DICT)
         _write_varint(out, len(value))
         for key, item in value.items():
-            _encode_binary(key, out, interned)
-            _encode_binary(item, out, interned)
+            _encode_binary(key, out, interned, probes)
+            _encode_binary(item, out, interned, probes)
     elif dataclasses.is_dataclass(value) and not isinstance(value, type):
         cls = type(value)
         name = cls.__name__
@@ -404,7 +449,7 @@ def _encode_binary(value: Any, out: bytearray, interned: dict[str, int]) -> None
         out.append(_B_DATACLASS)
         _write_str(out, name, interned)
         for field_name in _field_names(cls):
-            _encode_binary(getattr(value, field_name), out, interned)
+            _encode_binary(getattr(value, field_name), out, interned, probes)
     else:
         raise WireError(
             f"value of type {type(value).__name__} is not wire-encodable: {value!r}"
@@ -507,11 +552,11 @@ def _encode_binary_frame(message: Any) -> bytes:
         _ensure_builtin_payloads()
     out = bytearray(HEADER_SIZE)
     out.append(_MAGIC)
-    _encode_binary(message, out, {})
+    _encode_binary(message, out, {}, {})
     body_len = len(out) - HEADER_SIZE
     if body_len > MAX_FRAME_BYTES:
         raise WireError(f"frame body of {body_len} bytes exceeds {MAX_FRAME_BYTES}")
-    _HEADER.pack_into(out, 0, body_len)
+    _HEADER.pack_into(out, 0, body_len, zlib.crc32(memoryview(out)[HEADER_SIZE:]))
     return bytes(out)
 
 
@@ -551,10 +596,10 @@ class Codec:
         """Read one frame from an :class:`asyncio.StreamReader` (or raise
         ``asyncio.IncompleteReadError`` when the peer closed)."""
         header = await reader.readexactly(HEADER_SIZE)
-        (length,) = _HEADER.unpack(header)
-        if length > MAX_FRAME_BYTES:
-            raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
-        return self.decode_body(await reader.readexactly(length))
+        length, crc = unpack_header(header)
+        body = await reader.readexactly(length)
+        check_crc(body, crc)
+        return self.decode_body(body)
 
 
 class JsonCodec(Codec):

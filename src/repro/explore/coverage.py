@@ -1,0 +1,137 @@
+"""Coverage signatures and feedback-weighted axis sampling (PR 8).
+
+A fuzzing campaign that draws every axis uniformly spends most of its
+budget re-proving the same handful of outcomes.  This module gives the
+explorer a cheap coverage notion so a campaign can *steer*:
+
+:func:`coverage_signature`
+    Collapses one executed scenario into a small tuple — protocol, the
+    sorted set of violated invariants (or ``ok``), the scheduler and
+    fault-plan families, the wire-fault mode set, the Byzantine behaviour
+    set and a decided-count bucket.  Only canonical spec fields and the
+    job's invariant verdict go in; wall-clock measurements never do, so a
+    signature is as deterministic as the run that produced it.
+
+:class:`CoverageMap`
+    Counts signatures and keeps integer feedback weights per axis value.
+    When a scenario hits a never-seen signature (novelty) or violates an
+    invariant, every axis value that shaped it gets a weight boost;
+    :meth:`CoverageMap.choose` then biases future draws by those weights
+    through ``random.Random.choices``.
+
+Determinism contract: weights are plain integers, boosts are applied in
+batch order between batches (the explorer observes a whole batch before
+the sampler draws the next one), and the RNG consumes exactly one
+``choices`` draw per axis — so a campaign's spec stream is a pure function
+of ``(seed, budget, batch, menus)`` plus the per-job outcomes, and is
+identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+#: Weight added to every contributing axis value on a never-seen signature.
+NOVELTY_BOOST = 2
+
+#: Weight added on an invariant violation (stacked on top of novelty).
+VIOLATION_BOOST = 4
+
+#: Base weight of every menu entry (never starves an axis value entirely).
+BASE_WEIGHT = 1
+
+
+def _family(value: str) -> str:
+    """The axis family of a spec string: ``crash:0@5-25`` -> ``crash``."""
+    return value.partition(":")[0].partition("@")[0] or "none"
+
+
+def _wire_modes(wire: str) -> str:
+    """The sorted mode set of a wire DSL string (rates/framing dropped)."""
+    modes = sorted(
+        {term.partition(":")[0].strip() for term in wire.split("+") if term.strip()}
+        - {"framing"}
+    )
+    return "+".join(modes) or "none"
+
+
+def _decided_bucket(spec: Any, outcome: dict[str, Any]) -> str:
+    headline = outcome.get("headline") or {}
+    decided = int(headline.get("decided") or 0)
+    if decided == 0:
+        return "decided=none"
+    correct = spec.n - len(spec.byzantine)
+    return "decided=all" if decided >= correct else "decided=partial"
+
+
+def coverage_signature(spec: Any, outcome: dict[str, Any]) -> tuple[str, ...]:
+    """One scenario's coverage bucket; see the module docstring."""
+    violated = "|".join(sorted(outcome.get("violations") or {})) or "ok"
+    return (
+        f"protocol={spec.protocol}",
+        f"invariants={violated}",
+        f"scheduler={_family(spec.scheduler)}",
+        f"faults={_family(spec.fault_plan)}",
+        f"wire={_wire_modes(spec.wire)}",
+        f"byz={','.join(sorted(set(spec.byzantine))) or 'none'}",
+        _decided_bucket(spec, outcome),
+    )
+
+
+class CoverageMap:
+    """Signature counts plus integer feedback weights per axis value."""
+
+    def __init__(self) -> None:
+        self.signatures: dict[tuple[str, ...], int] = {}
+        self.weights: dict[tuple[str, str], int] = {}
+        self.novel_by_batch: list[int] = []
+        self._batch_novel = 0
+
+    def observe(self, spec: Any, outcome: dict[str, Any]) -> bool:
+        """Record one executed scenario; returns True on a novel signature."""
+        signature = coverage_signature(spec, outcome)
+        novel = signature not in self.signatures
+        self.signatures[signature] = self.signatures.get(signature, 0) + 1
+        boost = 0
+        if novel:
+            boost += NOVELTY_BOOST
+            self._batch_novel += 1
+        if not outcome.get("ok", True):
+            boost += VIOLATION_BOOST
+        if boost:
+            for axis, value in (
+                ("protocol", spec.protocol),
+                ("scheduler", spec.scheduler),
+                ("fault_plan", spec.fault_plan),
+                ("wire", spec.wire),
+            ):
+                key = (axis, value)
+                self.weights[key] = self.weights.get(key, 0) + boost
+        return novel
+
+    def end_batch(self) -> None:
+        """Close one feedback batch (novelty counters reset per batch)."""
+        self.novel_by_batch.append(self._batch_novel)
+        self._batch_novel = 0
+
+    def weight(self, axis: str, value: str) -> int:
+        return BASE_WEIGHT + self.weights.get((axis, value), 0)
+
+    def choose(self, rng: random.Random, axis: str, menu: tuple[str, ...]) -> str:
+        """One weighted draw from ``menu`` (exactly one RNG consumption)."""
+        values = list(menu)
+        return rng.choices(values, weights=[self.weight(axis, v) for v in values])[0]
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able campaign summary (deterministically ordered)."""
+        hot = sorted(
+            ([axis, value, weight] for (axis, value), weight in self.weights.items()),
+            key=lambda row: (-row[2], row[0], row[1]),
+        )
+        return {
+            "signatures": len(self.signatures),
+            "observations": sum(self.signatures.values()),
+            "novel_by_batch": list(self.novel_by_batch),
+            "hot_axes": hot[:10],
+        }

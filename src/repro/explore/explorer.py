@@ -18,6 +18,22 @@ section, so one ``results/run-<tag>.json`` file carries the whole story:
 every scenario's job payload plus the shrunk reproducers and their replay
 command lines.  Campaigns are deterministic: the same ``(budget, seed,
 mutant)`` produce identical canonical artifacts at any worker count.
+
+``coverage=True`` turns on the PR 8 feedback loop: scenarios run in
+batches, each batch's outcomes feed a
+:class:`~repro.explore.coverage.CoverageMap`, and the next batch's axis
+draws are weighted toward values that recently produced never-seen
+coverage signatures or invariant violations.  Feedback is strictly
+batch-synchronous — observation order inside a batch is job order, never
+completion order — so coverage campaigns keep the worker-count-invariance
+guarantee.
+
+Wire-axis scenarios (real TCP + fault injection) get one relaxation:
+wall-clock transports are not bit-deterministic, so a violation that does
+not reproduce on in-process replay is still reported as a violation
+(``replayed=False``, unshrunk) rather than laundered into an
+infrastructure failure — the campaign still fails, with the original
+finding attached.
 """
 
 from __future__ import annotations
@@ -26,13 +42,17 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.explore.scenarios import ScenarioSpec, generate_scenarios, run_scenario_spec
+from repro.explore.coverage import CoverageMap
+from repro.explore.scenarios import ScenarioSampler, ScenarioSpec, run_scenario_spec
 from repro.explore.shrink import DEFAULT_MAX_PROBES, shrink_scenario
 from repro.orchestrator.jobs import JobSpec
 from repro.orchestrator.pool import JobResult, run_jobs
 
 #: Default number of scenarios per campaign (mirrors the CLI default).
 DEFAULT_BUDGET = 25
+
+#: Default feedback batch size for coverage-guided campaigns.
+DEFAULT_BATCH = 8
 
 
 @dataclass
@@ -81,6 +101,11 @@ class ExplorationReport:
     #: Jobs that timed out or crashed (infrastructure failures, not
     #: invariant verdicts) — still campaign failures.
     failures: list[str] = field(default_factory=list)
+    #: Coverage summary (signatures, novelty per batch, hottest axis
+    #: values) when the campaign ran with feedback on; None otherwise.
+    coverage: dict[str, Any] | None = None
+    #: The parsed campaign file, verbatim, when one drove the run.
+    campaign: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -93,6 +118,8 @@ class ExplorationReport:
             "mutant": self.mutant,
             "violations": [violation.to_config() for violation in self.violations],
             "failures": list(self.failures),
+            "coverage": self.coverage,
+            "campaign": self.campaign,
         }
 
 
@@ -105,23 +132,48 @@ def explore(
     timeout_s: float | None = None,
     max_probes: int = DEFAULT_MAX_PROBES,
     progress: Callable[[JobResult], None] | None = None,
+    coverage: bool = False,
+    batch: int = 0,
+    menus: dict[str, tuple[str, ...]] | None = None,
+    campaign_config: dict[str, Any] | None = None,
 ) -> ExplorationReport:
     """Run one exploration campaign; see the module docstring for the shape."""
-    specs = generate_scenarios(seed=seed, budget=budget, mutant=mutant)
-    jobs = [
-        JobSpec(
-            experiment="SCENARIO",
-            seed=spec.seed,
-            params=tuple(sorted(spec.params().items())),
-            quick=quick,
-            timeout_s=timeout_s,
-            index=index,
-        )
-        for index, spec in enumerate(specs)
-    ]
-    results = run_jobs(jobs, workers=workers, progress=progress)
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    coverage_map = CoverageMap() if coverage else None
+    sampler = ScenarioSampler(seed=seed, mutant=mutant, coverage=coverage_map, menus=menus)
+    # Without feedback, batching changes nothing — run one batch, which
+    # keeps the historic single-shot path (and its RNG stream) intact.
+    batch_size = batch if batch >= 1 else (DEFAULT_BATCH if coverage else budget)
+
+    specs: list[ScenarioSpec] = []
+    results: list[JobResult] = []
+    while len(specs) < budget:
+        chunk = sampler.take(min(batch_size, budget - len(specs)))
+        jobs = [
+            JobSpec(
+                experiment="SCENARIO",
+                seed=spec.seed,
+                params=tuple(sorted(spec.params().items())),
+                quick=quick,
+                timeout_s=timeout_s,
+                index=len(specs) + offset,
+            )
+            for offset, spec in enumerate(chunk)
+        ]
+        chunk_results = run_jobs(jobs, workers=workers, progress=progress)
+        if coverage_map is not None:
+            for spec, result in zip(chunk, chunk_results, strict=True):
+                if result.payload["status"] in ("ok", "check_failed"):
+                    coverage_map.observe(spec, _observed_outcome(result))
+            coverage_map.end_batch()
+        specs += chunk
+        results += chunk_results
+
     report = ExplorationReport(
-        budget=budget, seed=seed, mutant=mutant, results=results
+        budget=budget, seed=seed, mutant=mutant, results=results,
+        coverage=coverage_map.summary() if coverage_map is not None else None,
+        campaign=campaign_config,
     )
     for spec, result in zip(specs, results, strict=True):
         status = result.payload["status"]
@@ -137,8 +189,25 @@ def explore(
         # then shrink greedily.
         outcome = run_scenario_spec(spec, quick=quick)
         replayed = not outcome["ok"]
-        if not replayed:  # pragma: no cover - would mean a determinism bug
-            report.failures.append(
+        if not replayed:
+            if spec.wire:
+                # Real-TCP runs are wall-clock: a finding that does not
+                # come back on replay is still the worker's finding, not an
+                # infrastructure failure.  Report it unshrunk.
+                job_violations = (result.payload.get("data") or {}).get("violations", {})
+                report.violations.append(
+                    ViolationReport(
+                        spec=spec,
+                        violations=job_violations,
+                        replayed=False,
+                        shrunk=spec,
+                        shrunk_violations=job_violations,
+                        shrink_probes=0,
+                        quick=quick,
+                    )
+                )
+                continue
+            report.failures.append(  # pragma: no cover - a determinism bug
                 f"{result.job.key}: violation did NOT reproduce on replay"
             )
             continue
@@ -157,6 +226,16 @@ def explore(
             )
         )
     return report
+
+
+def _observed_outcome(result: JobResult) -> dict[str, Any]:
+    """The slice of a job payload the coverage signature reads."""
+    data = result.payload.get("data") or {}
+    return {
+        "ok": result.payload.get("ok", True),
+        "violations": data.get("violations") or {},
+        "headline": result.payload.get("headline") or {},
+    }
 
 
 def _shrink_with_outcomes(

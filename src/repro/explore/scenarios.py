@@ -16,11 +16,21 @@ judges it with the invariant library.  ``ok`` is ``True`` iff no invariant
 was violated, which is what makes the orchestrator's exit codes and
 artifact totals meaningful for fuzzing.
 
-The ``mutant`` field re-enables the deliberately weakened WTS variants of
-:mod:`repro.core.ablations` (no wait-till-safe, plain disclosure, both).
-Mutants exist so the explorer can prove it is not blind: a seeded mutant run
-*must* surface an invariant violation, and the shrinker must reduce it —
-``tests/explore`` pins exactly that.
+The ``mutant`` field re-enables the deliberately weakened variants of
+:mod:`repro.core.ablations` (no wait-till-safe, plain disclosure, both, and
+— for the wire axis — a signature-blind PKI).  Mutants exist so the
+explorer can prove it is not blind: a seeded mutant run *must* surface an
+invariant violation, and the shrinker must reduce it — ``tests/explore``
+pins exactly that.
+
+The ``wire`` field is the wire-level fault axis (PR 8): a non-empty
+:func:`~repro.engine.wire_faults.parse_wire_faults` DSL string moves the
+scenario onto the async backend's real TCP transport with a
+:class:`~repro.engine.wire_faults.FaultyCodec` forging frames on the send
+path.  Wire scenarios run the *signed-message* protocols (SbS/GSbS) with no
+simulated scheduler, fault plan or in-process Byzantine processes — on this
+axis the wire itself is the adversary, and the claim under test is the
+paper's: nothing forged on the wire may ever influence a decision.
 """
 
 from __future__ import annotations
@@ -45,6 +55,8 @@ from repro.byzantine.behaviors import (
     ValueInjectorProposer,
 )
 from repro.core.wts import WTSProcess
+from repro.engine.wire import WireError
+from repro.engine.wire_faults import parse_wire_faults
 from repro.explore.invariants import check_scenario_invariants
 from repro.harness.workloads import (
     run_gsbs_scenario,
@@ -152,13 +164,48 @@ _FAULT_PLAN_MENU = ("", "", "churn", "partition@3-15", "crash:0@5-25")
 _RSM_SCHEDULER_MENU = ("", "random:spread=3")
 _RSM_FAULT_PLAN_MENU = ("", "crash:1@20-60")
 
-#: Known-bad WTS variants (see :mod:`repro.core.ablations`) and the
-#: adversary that triggers each one's targeted property violation.
+#: Protocols the wire axis applies to: the ones whose defence *is* the
+#: signature scheme.  WTS/GWTS have no signed payloads for a tamperer to
+#: attack, and RSM rides GWTS.
+WIRE_PROTOCOLS = ("sbs", "gsbs")
+
+#: Wire-fault axis values used by the coverage-weighted generator (and as
+#: the default menu for campaign files that enable the wire axis without
+#: naming their own values).  Mostly empty so plain simulated scenarios
+#: stay the bulk of a mixed campaign; the non-empty entries cover the
+#: framing-layer attacks (flip/trunc), the well-formed floods (dup/replay)
+#: and the Byzantine mutations (tamper-*) on both framings.
+WIRE_MENU = (
+    "", "", "", "",
+    "flip:0.3+trunc:0.3",
+    "dup:0.3+replay:0.3",
+    "tamper-value:0.4+tamper-sig:0.3",
+    "tamper-value:0.5+framing:binary",
+)
+
+#: Known-bad variants (see :mod:`repro.core.ablations`) and the adversary
+#: that triggers each one's targeted property violation.  The WTS ablations
+#: are triggered by an in-process Byzantine behaviour; ``no-signatures``
+#: (the blind PKI, ablation A4) is triggered by the *wire axis* — on-wire
+#: tampering that an honest registry rejects must land in decisions once
+#: verification is disabled, proving the wire-Byzantine test can fail.
 MUTANTS: dict[str, str] = {
     "no-wait-till-safe": "nack-spam",
     "plain-disclosure": "equivocator",
     "no-defences": "equivocator",
+    "no-signatures": "",
 }
+
+#: The protocol each mutant must run under (default: the WTS ablations).
+MUTANT_PROTOCOLS: dict[str, str] = {"no-signatures": "sbs"}
+
+#: Wire-fault menus for the ``no-signatures`` mutant: every entry carries a
+#: tamper term (the attack verification is supposed to stop).
+_NO_SIGNATURES_WIRE_MENU = (
+    "tamper-value:0.6",
+    "tamper-value:0.5+tamper-sig:0.4",
+    "tamper-value:0.6+framing:binary",
+)
 
 
 @dataclass(frozen=True)
@@ -173,6 +220,7 @@ class ScenarioSpec:
     fault_plan: str = ""
     rounds: int = 3
     mutant: str = ""
+    wire: str = ""
     seed: int = 0
 
     def params(self) -> dict[str, Any]:
@@ -186,6 +234,7 @@ class ScenarioSpec:
             "fault_plan": self.fault_plan,
             "rounds": self.rounds,
             "mutant": self.mutant,
+            "wire": self.wire,
         }
 
     def replay_command(self, quick: bool = False) -> str:
@@ -208,6 +257,8 @@ class ScenarioSpec:
     def describe(self) -> str:
         byz = "+".join(self.byzantine) or "none"
         extra = f", mutant={self.mutant}" if self.mutant else ""
+        if self.wire:
+            extra += f", wire={self.wire}"
         return (
             f"{self.protocol} n={self.n} f={self.f} seed={self.seed} "
             f"byzantine={byz}, {describe_axes(self.scheduler, self.fault_plan)}{extra}"
@@ -242,10 +293,16 @@ def validate_spec(spec: ScenarioSpec) -> None:
             )
     if spec.mutant and spec.mutant not in MUTANTS:
         raise ValueError(f"unknown mutant {spec.mutant!r}; known: {', '.join(MUTANTS)}")
-    if spec.mutant and spec.protocol != "wts":
-        raise ValueError("mutants are WTS ablations; use protocol=wts")
+    if spec.mutant:
+        required = MUTANT_PROTOCOLS.get(spec.mutant, "wts")
+        if spec.protocol != required:
+            raise ValueError(
+                f"mutant {spec.mutant!r} runs under protocol={required}, "
+                f"got {spec.protocol!r}"
+            )
     if spec.rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {spec.rounds}")
+    _validate_wire_axis(spec)
     # Fail fast on malformed axis specs (same parsers the builders use).
     pids = [f"p{i}" for i in range(spec.n)]
     parse_scheduler(spec.scheduler, pids=pids, f=spec.f)
@@ -253,27 +310,131 @@ def validate_spec(spec: ScenarioSpec) -> None:
                      correct=pids[: spec.n - len(spec.byzantine)])
 
 
-def generate_scenarios(seed: int, budget: int, mutant: str = "") -> list[ScenarioSpec]:
+def _validate_wire_axis(spec: ScenarioSpec) -> None:
+    if not spec.wire:
+        if spec.mutant == "no-signatures":
+            raise ValueError(
+                "the no-signatures mutant needs a wire axis with a tamper-* "
+                "term: it exists to prove on-wire tampering lands once "
+                "verification is blind"
+            )
+        return
+    if spec.protocol not in WIRE_PROTOCOLS:
+        raise ValueError(
+            f"the wire axis tests the signed-message protocols "
+            f"({', '.join(WIRE_PROTOCOLS)}); got protocol={spec.protocol!r}"
+        )
+    try:
+        plan = parse_wire_faults(spec.wire)
+    except WireError as exc:
+        raise ValueError(f"bad wire axis {spec.wire!r}: {exc}") from None
+    if spec.scheduler or spec.fault_plan:
+        raise ValueError(
+            "wire scenarios run on the real-time TCP transport: the "
+            "simulated scheduler/fault_plan axes do not apply there"
+        )
+    if spec.byzantine:
+        raise ValueError(
+            "wire scenarios drive honest processes — the wire itself is "
+            "the adversary; drop the byzantine axis"
+        )
+    if spec.mutant == "no-signatures" and not (
+        plan.has("tamper-value") or plan.has("tamper-sig")
+    ):
+        raise ValueError(
+            "the no-signatures mutant needs a tamper-* wire term: without "
+            "one there is nothing for blind verification to miss"
+        )
+
+
+def generate_scenarios(
+    seed: int,
+    budget: int,
+    mutant: str = "",
+    coverage: Any = None,
+    menus: dict[str, tuple[str, ...]] | None = None,
+) -> list[ScenarioSpec]:
     """Derive ``budget`` scenario specs deterministically from one seed.
 
-    With ``mutant`` set, every spec runs the named weakened WTS variant with
+    With ``mutant`` set, every spec runs the named weakened variant with
     its triggering adversary in the mix — the self-test mode proving the
     invariant checkers still catch known-bad implementations.
+
+    ``coverage`` (a :class:`~repro.explore.coverage.CoverageMap`) and/or
+    ``menus`` (campaign axis menus) switch to the weighted generator; the
+    plain call keeps its historic draw sequence byte-exact.
     """
     if budget < 1:
         raise ValueError(f"budget must be >= 1, got {budget}")
-    if mutant and mutant not in MUTANTS:
-        raise ValueError(f"unknown mutant {mutant!r}; known: {', '.join(MUTANTS)}")
-    rng = random.Random(seed)
-    specs: list[ScenarioSpec] = []
-    for _ in range(budget):
-        if mutant:
-            spec = _generate_mutant_spec(rng, mutant)
-        else:
-            spec = _generate_spec(rng)
-        validate_spec(spec)
-        specs.append(spec)
-    return specs
+    sampler = ScenarioSampler(seed=seed, mutant=mutant, coverage=coverage, menus=menus)
+    return sampler.take(budget)
+
+
+#: Axis-menu keys a campaign file (or caller) may override.
+MENU_KEYS = ("protocols", "schedulers", "fault_plans", "wire")
+
+_DEFAULT_MENUS: dict[str, tuple[str, ...]] = {
+    "protocols": ("wts", "wts", "sbs", "gwts", "gwts", "gsbs", "rsm"),
+    "schedulers": _SCHEDULER_MENU,
+    "fault_plans": _FAULT_PLAN_MENU,
+    "wire": WIRE_MENU,
+}
+
+
+class ScenarioSampler:
+    """A deterministic stream of scenario specs, one batch at a time.
+
+    Three modes, all pure functions of the constructor arguments plus (for
+    coverage) the observation history fed back between batches:
+
+    * plain — no coverage, no menus: draws exactly the sequence
+      :func:`generate_scenarios` has always drawn (pinned by the explorer
+      determinism tests);
+    * mutant — every spec runs the named known-bad variant;
+    * weighted — a :class:`~repro.explore.coverage.CoverageMap` and/or
+      campaign menus steer each axis draw through
+      ``random.Random.choices`` with integer weights, which keeps the
+      stream independent of worker count (feedback happens strictly
+      between batches, never inside one).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        mutant: str = "",
+        coverage: Any = None,
+        menus: dict[str, tuple[str, ...]] | None = None,
+    ) -> None:
+        if mutant and mutant not in MUTANTS:
+            raise ValueError(f"unknown mutant {mutant!r}; known: {', '.join(MUTANTS)}")
+        if menus:
+            unknown = sorted(set(menus) - set(MENU_KEYS))
+            if unknown:
+                raise ValueError(
+                    f"unknown axis menus {unknown}; known: {', '.join(MENU_KEYS)}"
+                )
+        self.rng = random.Random(seed)
+        self.mutant = mutant
+        self.coverage = coverage
+        self.menus = dict(_DEFAULT_MENUS)
+        for key, values in (menus or {}).items():
+            if not values:
+                raise ValueError(f"axis menu {key!r} must not be empty")
+            self.menus[key] = tuple(values)
+        self._weighted = coverage is not None or bool(menus)
+
+    def take(self, count: int) -> list[ScenarioSpec]:
+        specs: list[ScenarioSpec] = []
+        for _ in range(count):
+            if self.mutant:
+                spec = _generate_mutant_spec(self.rng, self.mutant)
+            elif self._weighted:
+                spec = _generate_weighted_spec(self.rng, self.menus, self.coverage)
+            else:
+                spec = _generate_spec(self.rng)
+            validate_spec(spec)
+            specs.append(spec)
+        return specs
 
 
 def _generate_spec(rng: random.Random) -> ScenarioSpec:
@@ -300,7 +461,70 @@ def _generate_spec(rng: random.Random) -> ScenarioSpec:
     )
 
 
+def _generate_weighted_spec(
+    rng: random.Random,
+    menus: dict[str, tuple[str, ...]],
+    coverage: Any,
+) -> ScenarioSpec:
+    """The coverage/campaign generator: every axis draw is menu-driven and
+    (with a CoverageMap) weighted toward values that recently found novel
+    signatures or violations.  Same spec shapes as :func:`_generate_spec`;
+    only the draw mechanics differ."""
+
+    def choose(axis: str, menu: tuple[str, ...]) -> str:
+        if coverage is not None:
+            return coverage.choose(rng, axis, menu)
+        return rng.choice(menu)
+
+    protocol = choose("protocol", menus["protocols"])
+    f = rng.choice((1, 1, 2)) if protocol in ("wts", "sbs") else 1
+    n = 3 * f + 1 + rng.choice((0, 0, 1))
+    rounds = rng.choice((2, 3)) if protocol in ("gwts", "gsbs") else 3
+    wire = ""
+    if protocol in WIRE_PROTOCOLS:
+        wire = choose("wire", menus["wire"])
+    if wire:
+        # On the wire axis the forged frames are the adversary; the
+        # simulated axes do not exist on the real-time TCP transport.
+        # Wire runs also ride real wall-clock sockets where cost grows
+        # steeply with quorum size and round count (a GSbS proof frame is
+        # nested sets of signed values — n=5 at rounds=3 costs tens of
+        # seconds to serialize and verify), so the wire axis keeps the
+        # minimum quorum and shallow rounds: the claim under test is that
+        # *verification* rejects tampered bytes, which quorum geometry
+        # does not change.  The draws above still happen so the RNG
+        # stream (and hence campaign determinism) is unaffected.
+        return ScenarioSpec(
+            protocol=protocol, n=4, f=1, rounds=2,
+            wire=wire, seed=rng.randrange(1_000_000),
+        )
+    menu = PROTOCOL_BEHAVIOURS[protocol]
+    byzantine = tuple(rng.choice(menu) for _ in range(rng.randint(0, f)))
+    if protocol == "rsm":
+        # RSM keeps its gentle axes regardless of campaign menus (see the
+        # comment on _RSM_SCHEDULER_MENU).
+        scheduler = rng.choice(_RSM_SCHEDULER_MENU)
+        fault_plan = rng.choice(_RSM_FAULT_PLAN_MENU)
+    else:
+        scheduler = choose("scheduler", menus["schedulers"])
+        fault_plan = choose("fault_plan", menus["fault_plans"])
+    return ScenarioSpec(
+        protocol=protocol, n=n, f=f, byzantine=byzantine,
+        scheduler=scheduler, fault_plan=fault_plan, rounds=rounds,
+        seed=rng.randrange(1_000_000),
+    )
+
+
 def _generate_mutant_spec(rng: random.Random, mutant: str) -> ScenarioSpec:
+    if mutant == "no-signatures":
+        return ScenarioSpec(
+            protocol="sbs",
+            n=4 + rng.choice((0, 1)),
+            f=1,
+            wire=rng.choice(_NO_SIGNATURES_WIRE_MENU),
+            mutant=mutant,
+            seed=rng.randrange(1_000_000),
+        )
     trigger = MUTANTS[mutant]
     extras = ("silent",) if rng.random() < 0.3 else ()
     f = 1 + len(extras)
@@ -350,6 +574,25 @@ def _run_spec(spec: ScenarioSpec, quick: bool, backend: str = "kernel"):
         fault_plan=spec.fault_plan,
         backend=backend,
     )
+    if spec.wire:
+        # The wire axis forces the async backend's real TCP transport with
+        # the FaultyCodec injecting on the send path; a wall-clock budget
+        # bounds the run because real sockets have no simulated-time cap.
+        common.update(
+            backend="async",
+            transport="tcp",
+            wire_faults=spec.wire,
+            # Generous relative to a healthy run (~1-15s at the clamped
+            # spec sizes, dominated by reconnect backoff under flip/trunc
+            # churn): a cap-induced "liveness violation" on a loaded CI
+            # runner is a false alarm, and the campaign's per-job
+            # timeout_s still bounds a genuinely wedged run.
+            max_wall_s=30.0 if quick else 60.0,
+        )
+        if spec.mutant == "no-signatures":
+            from repro.core.ablations import BlindKeyRegistry
+
+            common["registry"] = BlindKeyRegistry(seed=spec.seed)
     if spec.protocol == "wts":
         if spec.mutant:
             # Mirror E11: run the weakened variant to quiescence under a
@@ -370,10 +613,12 @@ def _run_spec(spec: ScenarioSpec, quick: bool, backend: str = "kernel"):
         runner = run_gwts_scenario if spec.protocol == "gwts" else run_gsbs_scenario
         scenario = runner(values_per_process=1 if quick else 2, rounds=spec.rounds, **common)
         # Inclusivity over the finite prefix is only guaranteed when the
-        # environment does not hold traffic for long stretches.
+        # environment does not hold traffic for long stretches.  Wire runs
+        # ride real wall-clock TCP, whose timing can truncate the prefix
+        # the same way, so they get the same relaxation.
         strict = spec.fault_plan in ("", "none") and not (
             scheduler_spec_is_adversarial(spec.scheduler)
-        )
+        ) and not spec.wire
         return scenario, "gla", strict
     if spec.protocol == "rsm":
         counter = GCounterObject("hits")
@@ -448,6 +693,7 @@ def run_scenario_experiment(
     fault_plan: str = "",
     rounds: int = 3,
     mutant: str = "",
+    wire: str = "",
     backend: str = "kernel",
     seed: int = 0,
     quick: bool = False,
@@ -467,6 +713,7 @@ def run_scenario_experiment(
         fault_plan=fault_plan,
         rounds=rounds,
         mutant=mutant,
+        wire=wire,
         seed=seed,
     )
     return run_scenario_spec(spec, quick=quick, backend=backend)
@@ -486,5 +733,6 @@ def spec_from_params(seed: int, params: dict[str, Any]) -> ScenarioSpec:
         fault_plan=params.get("fault_plan", ""),
         rounds=int(params.get("rounds", 3)),
         mutant=params.get("mutant", ""),
+        wire=params.get("wire", ""),
         seed=seed,
     )

@@ -6,13 +6,17 @@ given a spec whose run violates an invariant and a ``violates`` predicate
 try simpler variants and keep the first one that still violates.  Candidate
 order goes from the biggest semantic simplifications to the smallest:
 
-1. drop the fault plan, then the scheduler override (axes first: a
+1. drop the wire-fault axis entirely (a reproducer that survives without
+   fault injection is an ordinary protocol bug), then drop wire-fault
+   terms one at a time (rightmost first) toward the single triggering
+   mode;
+2. drop the fault plan, then the scheduler override (axes first: a
    reproducer that needs neither is schedule-independent, the strongest
    kind of finding);
-2. collapse the rounds of generalized runs;
-3. drop Byzantine behaviours one at a time (rightmost first, so a mutant's
+3. collapse the rounds of generalized runs;
+4. drop Byzantine behaviours one at a time (rightmost first, so a mutant's
    triggering adversary — placed first by the generator — survives longest);
-4. reduce ``f`` (truncating the behaviour list to fit) and shrink ``n``
+5. reduce ``f`` (truncating the behaviour list to fit) and shrink ``n``
    toward the ``3f + 1`` floor.
 
 The predicate is probed at most ``max_probes`` times, so shrinking cost is
@@ -22,8 +26,11 @@ must never trade an invariant violation for a crash.
 """
 
 from __future__ import annotations
+
+import dataclasses
 from collections.abc import Callable, Iterator
 
+from repro.engine.wire_faults import parse_wire_faults
 from repro.explore.scenarios import ScenarioSpec, validate_spec
 
 #: Default probe budget per violation.
@@ -32,6 +39,14 @@ DEFAULT_MAX_PROBES = 48
 
 def _candidates(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
     """Yield strictly-simpler variants of ``spec``, boldest first."""
+    if spec.wire:
+        yield spec.replace(wire="")
+        plan = parse_wire_faults(spec.wire)
+        if plan is not None and len(plan.terms) > 1:
+            for index in range(len(plan.terms) - 1, -1, -1):
+                remaining = plan.terms[:index] + plan.terms[index + 1 :]
+                simpler = dataclasses.replace(plan, terms=remaining)
+                yield spec.replace(wire=simpler.describe())
     if spec.fault_plan:
         yield spec.replace(fault_plan="")
     if spec.scheduler:
@@ -75,7 +90,9 @@ def shrink_scenario(
                 break
             try:
                 validate_spec(candidate)
-            except ValueError:  # pragma: no cover - _candidates keeps specs valid
+            except ValueError:
+                # e.g. the no-signatures mutant with its tamper term
+                # dropped: structurally meaningless, skip without probing.
                 continue
             probes += 1
             try:

@@ -196,6 +196,7 @@ def _build_engine(
     backend: str,
     pids: Sequence[Hashable],
     f: int,
+    **engine_kwargs: Any,
 ):
     """One engine per scenario.
 
@@ -213,8 +214,10 @@ def _build_engine(
     if isinstance(scheduler, str):
         scheduler = parse_scheduler(scheduler, pids=pids, f=f)
     if scheduler is not None:
-        return create_engine(backend, seed=seed, scheduler=scheduler)
-    return create_engine(backend, delay_model=delay_model or UniformDelay(), seed=seed)
+        return create_engine(backend, seed=seed, scheduler=scheduler, **engine_kwargs)
+    return create_engine(
+        backend, delay_model=delay_model or UniformDelay(), seed=seed, **engine_kwargs
+    )
 
 
 def _resolve_fault_plan(
@@ -233,9 +236,12 @@ def _run(
     stop_when: Callable[[], bool] | None,
     max_messages: int,
     fault_plan: FaultPlan | None = None,
+    max_wall_s: float | None = None,
 ) -> RunResult:
     if fault_plan is not None:
         engine.apply_fault_plan(fault_plan)
+    if max_wall_s is not None:
+        return engine.run(stop_when=stop_when, max_messages=max_messages, max_wall_s=max_wall_s)
     return engine.run(stop_when=stop_when, max_messages=max_messages)
 
 
@@ -307,14 +313,24 @@ def run_sbs_scenario(
     backend: str = "kernel",
     max_messages: int = 400_000,
     registry_seed: int = 1234,
+    registry: KeyRegistry | None = None,
+    max_wall_s: float | None = None,
+    **engine_kwargs: Any,
 ) -> ScenarioResult:
-    """Build and run one SbS cluster (signature-based single-shot LA)."""
+    """Build and run one SbS cluster (signature-based single-shot LA).
+
+    ``registry`` substitutes the shared PKI (e.g. the explorer's
+    :class:`~repro.core.ablations.BlindKeyRegistry` no-verification
+    ablation); extra keyword arguments go to the backend constructor (the
+    async backend's ``transport=`` / ``framing=`` / ``wire_faults=``).
+    """
     lattice = lattice if lattice is not None else SetLattice()
     pids, correct, byz = _split_members(n, byzantine_factories)
     if proposals is None:
         proposals = default_proposals(lattice, correct)  # type: ignore[arg-type]
-    registry = KeyRegistry(seed=registry_seed)
-    engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
+    if registry is None:
+        registry = KeyRegistry(seed=registry_seed)
+    engine = _build_engine(delay_model, seed, scheduler, backend, pids, f, **engine_kwargs)
     nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         nodes[pid] = engine.add_core(
@@ -333,7 +349,13 @@ def run_sbs_scenario(
     def all_decided() -> bool:
         return all(getattr(nodes[pid], "has_decided", False) for pid in correct)
 
-    run = _run(engine, all_decided, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
+    run = _run(
+        engine,
+        all_decided,
+        max_messages,
+        _resolve_fault_plan(fault_plan, pids, correct),
+        max_wall_s=max_wall_s,
+    )
     result = ScenarioResult(
         engine=engine,
         nodes=nodes,
@@ -469,14 +491,21 @@ def run_gsbs_scenario(
     backend: str = "kernel",
     max_messages: int = 1_500_000,
     registry_seed: int = 1234,
+    registry: KeyRegistry | None = None,
+    max_wall_s: float | None = None,
+    **engine_kwargs: Any,
 ) -> ScenarioResult:
-    """Build and run one GSbS cluster for ``rounds`` rounds."""
+    """Build and run one GSbS cluster for ``rounds`` rounds.
+
+    ``registry``/``engine_kwargs`` as in :func:`run_sbs_scenario`.
+    """
     lattice = lattice if lattice is not None else SetLattice()
     pids, correct, byz = _split_members(n, byzantine_factories)
     if inputs is None:
         inputs = make_gla_inputs(correct, values_per_process)
-    registry = KeyRegistry(seed=registry_seed)
-    engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
+    if registry is None:
+        registry = KeyRegistry(seed=registry_seed)
+    engine = _build_engine(delay_model, seed, scheduler, backend, pids, f, **engine_kwargs)
     nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct:
         process = GSbSProcess(pid, lattice, pids, f, registry=registry, max_rounds=rounds)
@@ -489,7 +518,13 @@ def run_gsbs_scenario(
     def all_halted() -> bool:
         return all(getattr(nodes[pid], "state", None) == "halted" for pid in correct)
 
-    run = _run(engine, all_halted, max_messages, _resolve_fault_plan(fault_plan, pids, correct))
+    run = _run(
+        engine,
+        all_halted,
+        max_messages,
+        _resolve_fault_plan(fault_plan, pids, correct),
+        max_wall_s=max_wall_s,
+    )
     result = ScenarioResult(
         engine=engine,
         nodes=nodes,

@@ -8,6 +8,8 @@ Subcommands::
     repro sweep --quick --workers 4    # the full matrix -> results/run-<tag>.json
     repro sweep --param backend=async  # fix an axis across the whole matrix
     repro explore --budget 25 --seed 1 # randomized scenario fuzzing + shrinking
+    repro explore --campaign examples/campaign_wire_faults.toml  # declarative
+    repro explore --coverage           # coverage-guided axis weighting
     repro cluster up --nodes 3         # the RSM as real OS processes (see
     repro cluster client --commands 50 #  repro.cluster.cli / docs/operations.md)
     repro validate results/run-x.json  # schema-check an artifact
@@ -194,10 +196,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_explore(args: argparse.Namespace) -> int:
     # Imported lazily: the explorer pulls in the whole harness, which the
     # metadata-only subcommands (list/validate) have no reason to pay for.
-    from repro.explore.explorer import explore
+    from repro.explore.explorer import DEFAULT_BUDGET, explore
 
-    mutant_note = f", mutant={args.mutant}" if args.mutant else ""
-    print(f"explore: {args.budget} scenarios from seed {args.seed}{mutant_note}, "
+    campaign = None
+    if args.campaign:
+        from repro.explore.campaign import load_campaign
+
+        try:
+            campaign = load_campaign(args.campaign)
+        except (OSError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
+    # Explicit flags override the campaign file; the campaign file
+    # overrides the built-in defaults.
+    budget = args.budget if args.budget is not None else (
+        campaign.budget if campaign else DEFAULT_BUDGET
+    )
+    seed = args.seed if args.seed is not None else (campaign.seed if campaign else 0)
+    mutant = args.mutant or (campaign.mutant if campaign else "")
+    quick = args.quick or bool(campaign and campaign.quick)
+    coverage = args.coverage or bool(campaign and campaign.coverage)
+    batch = args.batch if args.batch else (campaign.batch if campaign else 0)
+    timeout_s = args.timeout if args.timeout is not None else (
+        campaign.timeout_s if campaign else None
+    )
+
+    notes = ""
+    if campaign:
+        notes += f", campaign={campaign.name}"
+    if mutant:
+        notes += f", mutant={mutant}"
+    if coverage:
+        notes += f", coverage on (batch {batch or 'default'})"
+    print(f"explore: {budget} scenarios from seed {seed}{notes}, "
           f"{args.workers} worker(s)")
 
     def report_progress(result: JobResult) -> None:
@@ -209,24 +241,28 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     try:
         report = explore(
-            budget=args.budget,
-            seed=args.seed,
+            budget=budget,
+            seed=seed,
             workers=args.workers,
-            mutant=args.mutant,
-            quick=args.quick,
-            timeout_s=args.timeout,
+            mutant=mutant,
+            quick=quick,
+            timeout_s=timeout_s,
             progress=report_progress,
+            coverage=coverage,
+            batch=batch,
+            menus=campaign.menus() if campaign else None,
+            campaign_config=campaign.to_config() if campaign else None,
         )
-    except ValueError as exc:  # bad budget/mutant: raised before any job runs
+    except ValueError as exc:  # bad budget/mutant/menus: raised before any job runs
         print(exc, file=sys.stderr)
         return 2
     wall_time = time.perf_counter() - started
 
-    tag = args.tag or f"explore-{args.seed}"
+    tag = args.tag or (f"explore-{campaign.name}" if campaign else f"explore-{seed}")
     config = {
         "experiments": ["SCENARIO"],
-        "seeds": [args.seed],
-        "quick": args.quick,
+        "seeds": [seed],
+        "quick": quick,
         "explore": report.to_config(),
     }
     payload = build_run_payload(
@@ -242,6 +278,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     print(f"\n{len(report.results)} scenarios: {len(report.violations)} invariant "
           f"violation(s), {len(report.failures)} infrastructure failure(s)  "
           f"({wall_time:.1f}s wall)")
+    if report.coverage is not None:
+        print(f"coverage: {report.coverage['signatures']} distinct signatures, "
+              f"novel per batch {report.coverage['novel_by_batch']}")
     print(f"wrote {path}")
     for failure in report.failures:
         print(f"FAILED {failure}", file=sys.stderr)
@@ -342,17 +381,27 @@ def build_parser() -> argparse.ArgumentParser:
     explore_parser = subparsers.add_parser(
         "explore", help="fuzz randomized scenarios; replay + shrink any violation"
     )
-    explore_parser.add_argument("--budget", type=int, default=25,
-                                help="number of scenarios to generate (default: 25)")
-    explore_parser.add_argument("--seed", type=int, default=0,
+    explore_parser.add_argument("--budget", type=int, default=None,
+                                help="number of scenarios to generate "
+                                     "(default: 25, or the campaign file's)")
+    explore_parser.add_argument("--seed", type=int, default=None,
                                 help="campaign seed; all randomness derives from it")
     explore_parser.add_argument("--workers", type=int, default=1,
                                 help="worker processes (1 = inline)")
     explore_parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                                 help="per-scenario timeout; expired jobs are terminated")
     explore_parser.add_argument("--mutant", default="",
-                                help="self-test: run a known-bad WTS variant "
-                                     "(no-wait-till-safe, plain-disclosure, no-defences)")
+                                help="self-test: run a known-bad variant "
+                                     "(no-wait-till-safe, plain-disclosure, "
+                                     "no-defences, no-signatures)")
+    explore_parser.add_argument("--campaign", default=None, metavar="FILE",
+                                help="load budget/seed/axes from a .toml/.json "
+                                     "campaign file (explicit flags still win)")
+    explore_parser.add_argument("--coverage", action="store_true",
+                                help="coverage-guided feedback: weight axis draws "
+                                     "toward novel signatures and violations")
+    explore_parser.add_argument("--batch", type=int, default=0,
+                                help="feedback batch size for --coverage (default: 8)")
     explore_parser.add_argument("--quick", action="store_true",
                                 help="use reduced per-scenario workloads")
     explore_parser.add_argument("--tag", default=None,

@@ -249,7 +249,10 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
                 ParamSpec("f", "int", 1, "failure threshold"),
                 ParamSpec("byzantine", "str", "", "behaviour names joined with +, e.g. silent+nack-spam"),
                 ParamSpec("rounds", "int", 3, "rounds for generalized protocols"),
-                ParamSpec("mutant", "str", "", "known-bad WTS variant for self-tests"),
+                ParamSpec("mutant", "str", "", "known-bad variant for self-tests"),
+                ParamSpec("wire", "str", "",
+                          "wire-fault DSL for sbs/gsbs over real TCP, "
+                          "e.g. flip:0.3+tamper-value:0.5 (see repro.engine.wire_faults)"),
             ) + AXIS_PARAMS,
             hidden=True,
         ),

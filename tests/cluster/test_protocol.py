@@ -15,7 +15,7 @@ from repro.cluster.protocol import (
     request_status,
 )
 from repro.cluster.spec import ClusterError
-from repro.engine.wire import get_codec
+from repro.engine.wire import HEADER_SIZE, get_codec
 from repro.rsm.commands import make_command
 from repro.rsm.replica import DecideNotice, UpdateRequest
 
@@ -33,7 +33,7 @@ class TestFrames:
         ]
         for frame in frames:
             data = codec.encode_frame(frame)
-            decoded = codec.decode_body(memoryview(data)[4:])
+            decoded = codec.decode_body(memoryview(data)[HEADER_SIZE:])
             assert decoded == frame
 
     def test_frame_kind_rejects_non_dicts(self):

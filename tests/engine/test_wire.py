@@ -259,9 +259,15 @@ class TestTornFrames:
             read_one_frame(codec, frame[:-3])
 
     def test_oversized_length_prefix_fails_before_reading_the_body(self, codec):
-        bogus = (wire.MAX_FRAME_BYTES + 1).to_bytes(wire.HEADER_SIZE, "big")
+        bogus = (wire.MAX_FRAME_BYTES + 1).to_bytes(4, "big") + bytes(wire.HEADER_SIZE - 4)
         with pytest.raises(wire.WireError, match="exceeds"):
             read_one_frame(codec, bogus)
+
+    def test_corrupt_checksum_fails_at_the_framing_layer(self, codec):
+        frame = bytearray(codec.encode_frame({"k": 1}))
+        frame[-1] ^= 0x10  # flip one body bit; header CRC goes stale
+        with pytest.raises(wire.WireError, match="checksum"):
+            read_one_frame(codec, bytes(frame))
 
     def test_truncated_decoded_body_fails(self, codec):
         body = codec.encode_frame(("payload", frozenset({"a", "b"})))[wire.HEADER_SIZE:]
@@ -289,3 +295,35 @@ class TestTornFrames:
         body[1:] = bytes([0x06, 0x09])
         with pytest.raises(wire.WireError, match="dangling string ref"):
             binary.decode_body(bytes(body))
+
+
+class TestBitFlipSweep:
+    """Satellite: single-bit corruption anywhere in a frame body must die
+    at the framing layer (the CRC), on both framings — both hand-placed
+    flips and the FaultyCodec's randomized ones."""
+
+    @pytest.mark.parametrize("position", [0.0, 0.25, 0.5, 0.75, 1.0])
+    @pytest.mark.parametrize("bit", [0x01, 0x10, 0x80])
+    def test_corruption_at_any_body_position_fails_the_checksum(self, codec, position, bit):
+        frame = bytearray(codec.encode_frame({"k": ["v"] * 8, "n": 12345}))
+        body_len = len(frame) - wire.HEADER_SIZE
+        index = wire.HEADER_SIZE + min(body_len - 1, round(position * (body_len - 1)))
+        frame[index] ^= bit
+        with pytest.raises(wire.WireError, match="checksum"):
+            read_one_frame(codec, bytes(frame))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_faulty_codec_flips_always_reject_and_honest_frame_survives(self, codec, seed):
+        from repro.engine.wire_faults import FaultyCodec, parse_wire_faults
+
+        faulty = FaultyCodec(codec, parse_wire_faults("flip:1"), seed=seed)
+        message = {"sender": "p0", "payload": ("p", frozenset({"a", "b"}), [1, 2, 3])}
+        data = faulty.encode_frame(message)
+        length, crc = wire.unpack_header(data[: wire.HEADER_SIZE])
+        forged_body = data[wire.HEADER_SIZE : wire.HEADER_SIZE + length]
+        with pytest.raises(wire.WireError, match="checksum"):
+            wire.check_crc(forged_body, crc)
+        honest = data[wire.HEADER_SIZE + length :]
+        h_length, h_crc = wire.unpack_header(honest[: wire.HEADER_SIZE])
+        wire.check_crc(honest[wire.HEADER_SIZE :], h_crc)
+        assert codec.decode_body(honest[wire.HEADER_SIZE :]) == message

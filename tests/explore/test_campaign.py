@@ -1,0 +1,159 @@
+"""Campaign files: parsing, validation, the CLI surface, the examples.
+
+A campaign file is the single source of truth for a CI or nightly
+exploration run, so the loader must be loud about every malformation (a
+typo'd ``buget`` silently running defaults would be a lying canary) and
+the committed example campaigns must actually load and run.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.explore.campaign import Campaign, campaign_from_dict, load_campaign
+from repro.orchestrator.cli import main
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def write_campaign(tmp_path, name="t.json", **fields):
+    data = {"name": "test-campaign", **fields}
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestParsing:
+    def test_defaults(self):
+        campaign = campaign_from_dict({"name": "x"})
+        assert campaign == Campaign(name="x")
+        assert campaign.budget == 25 and campaign.batch == 8
+        assert campaign.coverage is False and campaign.timeout_s is None
+        assert campaign.menus() is None
+
+    def test_toml_and_json_forms_parse_identically(self, tmp_path):
+        toml = tmp_path / "c.toml"
+        toml.write_text(
+            'name = "same"\nbudget = 7\nseed = 3\ncoverage = true\n'
+            'quick = true\ntimeout_s = 30.0\n\n[axes]\nprotocols = ["sbs"]\n'
+            'wire = ["flip:0.5", ""]\n'
+        )
+        as_json = tmp_path / "c.json"
+        as_json.write_text(json.dumps({
+            "name": "same", "budget": 7, "seed": 3, "coverage": True,
+            "quick": True, "timeout_s": 30.0,
+            "axes": {"protocols": ["sbs"], "wire": ["flip:0.5", ""]},
+        }))
+        assert load_campaign(toml) == load_campaign(as_json)
+        campaign = load_campaign(toml)
+        assert campaign.menus() == {"protocols": ("sbs",), "wire": ("flip:0.5", "")}
+        assert campaign.to_config()["axes"]["wire"] == ["flip:0.5", ""]
+
+    def test_integer_timeout_coerces_to_float(self):
+        assert campaign_from_dict({"name": "x", "timeout_s": 60}).timeout_s == 60.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("data, match", [
+        ([], "expected a mapping"),
+        ({}, "'name' is required"),
+        ({"name": "  "}, "'name' is required"),
+        ({"name": "x", "buget": 9}, "unknown keys"),
+        ({"name": "x", "budget": 0}, "'budget'"),
+        ({"name": "x", "budget": True}, "'budget'"),
+        ({"name": "x", "seed": "3"}, "'seed'"),
+        ({"name": "x", "coverage": 1}, "'coverage'"),
+        ({"name": "x", "batch": 0}, "'batch'"),
+        ({"name": "x", "timeout_s": -1}, "'timeout_s'"),
+        ({"name": "x", "mutant": "bogus"}, "unknown mutant"),
+        ({"name": "x", "axes": []}, "'axes'"),
+        ({"name": "x", "axes": {"bogus": ["y"]}}, "unknown axes"),
+        ({"name": "x", "axes": {"protocols": []}}, "non-empty list"),
+        ({"name": "x", "axes": {"protocols": ["nope"]}}, "unknown protocols"),
+        ({"name": "x", "axes": {"wire": ["flip:not-a-rate"]}}, "wire axis"),
+    ])
+    def test_malformed_campaigns_are_loud(self, data, match):
+        with pytest.raises(ValueError, match=match):
+            campaign_from_dict(data)
+
+    def test_load_errors_carry_the_path(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match=r"bad\.json.*invalid JSON"):
+            load_campaign(bad)
+        bad_toml = tmp_path / "bad.toml"
+        bad_toml.write_text("name = [unclosed")
+        with pytest.raises(ValueError, match=r"bad\.toml.*invalid TOML"):
+            load_campaign(bad_toml)
+        wrong = tmp_path / "c.yaml"
+        wrong.write_text("name: x")
+        with pytest.raises(ValueError, match=r"\.toml or \.json"):
+            load_campaign(wrong)
+        semantically_bad = write_campaign(tmp_path, budget=-1)
+        with pytest.raises(ValueError, match=r"t\.json.*'budget'"):
+            load_campaign(semantically_bad)
+
+
+class TestCommittedExamples:
+    """The example campaigns are CI inputs — they must stay loadable."""
+
+    @pytest.mark.parametrize("filename", [
+        "campaign_wire_faults.toml",
+        "campaign_nightly.toml",
+    ])
+    def test_example_loads_and_is_coverage_guided(self, filename):
+        campaign = load_campaign(EXAMPLES / filename)
+        assert campaign.coverage is True
+        assert campaign.budget >= 25
+        assert campaign.timeout_s is not None
+
+    def test_nightly_outbudgets_the_smoke(self):
+        smoke = load_campaign(EXAMPLES / "campaign_wire_faults.toml")
+        nightly = load_campaign(EXAMPLES / "campaign_nightly.toml")
+        assert nightly.budget >= 500
+        assert smoke.budget <= 25
+        assert set(smoke.axes.get("protocols", ())) <= {"sbs", "gsbs"}
+
+
+class TestCampaignCLI:
+    def test_campaign_run_writes_self_describing_artifact(self, tmp_path, capsys):
+        campaign = write_campaign(
+            tmp_path, budget=3, seed=5, coverage=True, batch=2, quick=True,
+            axes={"protocols": ["wts", "sbs"], "wire": [""]},
+        )
+        artifact = tmp_path / "out.json"
+        status = main(["explore", "--campaign", str(campaign), "--out", str(artifact)])
+        assert status == 0
+        assert main(["validate", str(artifact)]) == 0
+        payload = json.loads(artifact.read_text())
+        explore_config = payload["config"]["explore"]
+        assert explore_config["campaign"]["name"] == "test-campaign"
+        assert explore_config["campaign"]["axes"]["protocols"] == ["wts", "sbs"]
+        assert explore_config["budget"] == 3
+        assert explore_config["coverage"]["observations"] == 3
+        out = capsys.readouterr().out
+        assert "coverage" in out
+
+    def test_flags_override_the_campaign(self, tmp_path, capsys):
+        campaign = write_campaign(
+            tmp_path, budget=50, seed=5, quick=True,
+            axes={"protocols": ["wts"], "wire": [""]},
+        )
+        artifact = tmp_path / "out.json"
+        status = main([
+            "explore", "--campaign", str(campaign),
+            "--budget", "2", "--seed", "9", "--out", str(artifact),
+        ])
+        assert status == 0
+        explore_config = json.loads(artifact.read_text())["config"]["explore"]
+        assert explore_config["budget"] == 2
+        assert explore_config["seed"] == 9
+        assert explore_config["campaign"]["budget"] == 50  # file recorded as-is
+
+    def test_missing_and_malformed_campaign_files_are_usage_errors(self, tmp_path, capsys):
+        assert main(["explore", "--campaign", str(tmp_path / "nope.toml")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "buget": 9}))
+        assert main(["explore", "--campaign", str(bad)]) == 2
+        assert "unknown keys" in capsys.readouterr().err

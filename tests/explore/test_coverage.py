@@ -1,0 +1,223 @@
+"""Coverage signatures, feedback weights and campaign determinism.
+
+The coverage loop's whole value rests on two properties pinned here:
+
+* **Steering is real** — novel signatures and invariant violations boost
+  the axis values that produced them, and ``CoverageMap.choose`` biases
+  future draws by those integer weights.
+* **Steering is deterministic** — a coverage campaign's spec stream is a
+  pure function of ``(seed, budget, batch, menus)`` plus the per-job
+  outcomes, identical across worker counts (feedback happens strictly
+  between batches, in job order), and the plain no-coverage sampler draws
+  byte-for-byte the stream ``generate_scenarios`` always drew.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.explore.coverage import (
+    BASE_WEIGHT,
+    NOVELTY_BOOST,
+    VIOLATION_BOOST,
+    CoverageMap,
+    coverage_signature,
+)
+from repro.explore.explorer import explore
+from repro.explore.scenarios import (
+    WIRE_PROTOCOLS,
+    ScenarioSampler,
+    ScenarioSpec,
+    generate_scenarios,
+)
+from repro.orchestrator.cli import main
+from repro.orchestrator.results import canonicalize_payload, load_payload
+
+
+def canonical(path):
+    return json.dumps(canonicalize_payload(load_payload(path)), sort_keys=True)
+
+
+def spec(**overrides):
+    fields = dict(protocol="sbs", n=4, f=1, byzantine=(), scheduler="",
+                  fault_plan="", rounds=3, seed=7)
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+OK = {"ok": True, "violations": {}, "headline": {"decided": 4}}
+BAD = {"ok": False, "violations": {"agreement": ["split"]}, "headline": {"decided": 2}}
+
+
+class TestSignature:
+    def test_collapses_spec_and_verdict_into_labeled_buckets(self):
+        signature = coverage_signature(
+            spec(scheduler="reorder:3@1", fault_plan="crash:0@5-25",
+                 byzantine=("equivocate",), n=5),
+            BAD,
+        )
+        assert signature == (
+            "protocol=sbs",
+            "invariants=agreement",
+            "scheduler=reorder",
+            "faults=crash",
+            "wire=none",
+            "byz=equivocate",
+            "decided=partial",
+        )
+
+    def test_wire_modes_are_sorted_and_stripped_of_rates_and_framing(self):
+        one = coverage_signature(
+            spec(wire="tamper-value:0.5+flip:0.3+framing:binary"), OK)
+        other = coverage_signature(
+            spec(wire="flip:0.9+tamper-value:0.1"), OK)
+        assert one == other
+        assert "wire=flip+tamper-value" in one
+
+    def test_decided_buckets_account_for_byzantine_members(self):
+        # 3 honest of n=4 with one Byzantine: 3 decided is "all".
+        byz = spec(byzantine=("silent",))
+        assert coverage_signature(byz, {"ok": True, "headline": {"decided": 3}})[-1] \
+            == "decided=all"
+        assert coverage_signature(byz, {"ok": True, "headline": {"decided": 2}})[-1] \
+            == "decided=partial"
+        assert coverage_signature(byz, {"ok": True, "headline": {}})[-1] \
+            == "decided=none"
+
+    def test_deterministic_and_json_clean(self):
+        first = coverage_signature(spec(), OK)
+        second = coverage_signature(spec(), dict(OK))
+        assert first == second
+        assert all(isinstance(part, str) for part in first)
+
+
+class TestCoverageMap:
+    def test_novelty_then_repeat_then_violation_boosts(self):
+        cov = CoverageMap()
+        assert cov.observe(spec(), OK) is True          # novel
+        assert cov.observe(spec(), OK) is False         # seen
+        assert cov.weight("protocol", "sbs") == BASE_WEIGHT + NOVELTY_BOOST
+        assert cov.observe(spec(), BAD) is True         # new signature AND violation
+        assert cov.weight("protocol", "sbs") == (
+            BASE_WEIGHT + 2 * NOVELTY_BOOST + VIOLATION_BOOST
+        )
+        # An axis value that never contributed stays at base weight.
+        assert cov.weight("protocol", "rsm") == BASE_WEIGHT
+
+    def test_batch_novelty_counters(self):
+        cov = CoverageMap()
+        cov.observe(spec(), OK)
+        cov.observe(spec(), OK)
+        cov.end_batch()
+        cov.observe(spec(protocol="gsbs"), OK)
+        cov.end_batch()
+        cov.end_batch()
+        assert cov.novel_by_batch == [1, 1, 0]
+
+    def test_choose_consumes_one_draw_and_biases_toward_hot_values(self):
+        cov = CoverageMap()
+        for _ in range(50):  # pile weight onto the violating wire value
+            cov.observe(spec(wire="flip:0.5"), BAD)
+        menu = ("", "flip:0.5")
+        draws = [cov.choose(random.Random(i), "wire", menu) for i in range(200)]
+        assert draws.count("flip:0.5") > 180
+        # Exactly one RNG consumption per choose: parallel streams agree.
+        rng_a, rng_b = random.Random(99), random.Random(99)
+        for _ in range(5):
+            cov.choose(rng_a, "wire", menu)
+        for _ in range(5):
+            cov.choose(rng_b, "wire", menu)
+        assert rng_a.random() == rng_b.random()
+
+    def test_summary_is_json_able_and_deterministically_ordered(self):
+        cov = CoverageMap()
+        cov.observe(spec(), BAD)
+        cov.observe(spec(protocol="gsbs", wire="flip:0.5"), OK)
+        cov.end_batch()
+        summary = cov.summary()
+        assert summary["signatures"] == 2
+        assert summary["observations"] == 2
+        assert summary["novel_by_batch"] == [2]
+        json.dumps(summary)  # artifact-embeddable
+        weights = [row[2] for row in summary["hot_axes"]]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestSampler:
+    def test_plain_mode_is_byte_identical_to_the_legacy_stream(self):
+        legacy = generate_scenarios(seed=6, budget=12)
+        sampler = ScenarioSampler(seed=6)
+        batched = sampler.take(5) + sampler.take(7)
+        assert batched == legacy
+
+    def test_menu_restriction_is_respected(self):
+        sampler = ScenarioSampler(seed=1, menus={"protocols": ("sbs",)})
+        specs = sampler.take(20)
+        assert {s.protocol for s in specs} == {"sbs"}
+
+    def test_wire_axis_only_on_wire_protocols(self):
+        sampler = ScenarioSampler(seed=2, coverage=CoverageMap())
+        specs = sampler.take(60)
+        for s in specs:
+            if s.wire:
+                assert s.protocol in WIRE_PROTOCOLS
+                assert s.scheduler == "" and s.fault_plan == ""
+                assert s.byzantine == ()
+
+    def test_unknown_menu_axis_and_empty_menu_are_loud(self):
+        with pytest.raises(ValueError, match="unknown axis menus"):
+            ScenarioSampler(seed=0, menus={"bogus": ("x",)})
+        with pytest.raises(ValueError, match="must not be empty"):
+            ScenarioSampler(seed=0, menus={"protocols": ()})
+
+    def test_feedback_changes_the_stream(self):
+        # Same seed, different observed outcomes => different later draws.
+        cold = ScenarioSampler(seed=5, coverage=CoverageMap())
+        hot_cov = CoverageMap()
+        hot = ScenarioSampler(seed=5, coverage=hot_cov)
+        first_cold = cold.take(8)
+        first_hot = hot.take(8)
+        assert first_cold == first_hot  # batch 1 predates any feedback
+        for s in first_hot:
+            hot_cov.observe(s, BAD if s.protocol == "sbs" else OK)
+        hot_cov.end_batch()
+        cold_stream = [s for batch in range(4) for s in cold.take(8)]
+        hot_stream = [s for batch in range(4) for s in hot.take(8)]
+        assert cold_stream != hot_stream
+
+
+class TestCampaignDeterminism:
+    def test_coverage_explore_identical_across_runs(self):
+        first = explore(budget=10, seed=8, coverage=True, batch=4, quick=True)
+        second = explore(budget=10, seed=8, coverage=True, batch=4, quick=True)
+        assert [r.job.key for r in first.results] == [
+            r.job.key for r in second.results
+        ]
+        assert first.coverage == second.coverage
+        assert first.coverage["signatures"] >= 1
+        assert len(first.coverage["novel_by_batch"]) == 3  # ceil(10/4) batches
+
+    def test_coverage_artifacts_byte_identical_across_worker_counts(self, tmp_path, capsys):
+        # Kernel-only menus: TCP wire runs are wall-clock and cannot be
+        # byte-compared, so the invariance pin uses the in-process axes.
+        campaign = tmp_path / "kernel.json"
+        campaign.write_text(json.dumps({
+            "name": "kernel-coverage",
+            "budget": 8,
+            "seed": 13,
+            "coverage": True,
+            "batch": 4,
+            "quick": True,
+            "axes": {"protocols": ["wts", "sbs", "gwts"], "wire": [""]},
+        }))
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        base = ["explore", "--campaign", str(campaign)]
+        assert main(base + ["--out", str(first)]) == 0
+        assert main(base + ["--workers", "3", "--out", str(second)]) == 0
+        assert canonical(first) == canonical(second)
+        payload = json.loads(first.read_text())
+        explore_config = payload["config"]["explore"]
+        assert explore_config["campaign"]["name"] == "kernel-coverage"
+        assert explore_config["coverage"]["observations"] == 8

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.explore.scenarios import (
+    MUTANT_PROTOCOLS,
     MUTANTS,
     PROTOCOL_BEHAVIOURS,
     PROTOCOL_KINDS,
@@ -43,8 +44,11 @@ class TestGeneration:
         for mutant, trigger in MUTANTS.items():
             for spec in generate_scenarios(seed=3, budget=6, mutant=mutant):
                 assert spec.mutant == mutant
-                assert spec.protocol == "wts"
-                assert trigger in spec.byzantine
+                assert spec.protocol == MUTANT_PROTOCOLS.get(mutant, "wts")
+                if trigger:  # kernel mutants: an in-process trigger behaviour
+                    assert trigger in spec.byzantine
+                else:  # wire mutants: the adversary is on the wire instead
+                    assert "tamper-" in spec.wire
 
     def test_bad_budget_and_mutant_are_rejected(self):
         with pytest.raises(ValueError):

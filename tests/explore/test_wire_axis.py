@@ -1,0 +1,132 @@
+"""The wire axis through the explorer: validation, generation, shrinking,
+and the no-signatures canary end-to-end.
+
+The canary is the load-bearing test: a campaign whose every scenario runs
+SbS over real TCP with on-wire tampering *and blind signature verification*
+must catch invariant violations — otherwise the wire-Byzantine assertions
+elsewhere are vacuous (nothing would fail even if signatures did nothing).
+"""
+
+import pytest
+
+from repro.explore.explorer import explore
+from repro.explore.scenarios import (
+    MUTANTS,
+    ScenarioSpec,
+    generate_scenarios,
+    validate_spec,
+)
+from repro.explore.shrink import shrink_scenario
+
+
+def spec(**overrides):
+    fields = dict(protocol="sbs", n=4, f=1, byzantine=(), scheduler="",
+                  fault_plan="", rounds=3, seed=7)
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestWireAxisValidation:
+    def test_wire_on_signed_tcp_protocols_is_accepted(self):
+        validate_spec(spec(wire="flip:0.3+tamper-value:0.5"))
+        validate_spec(spec(protocol="gsbs", wire="dup:0.2", rounds=2))
+
+    @pytest.mark.parametrize("protocol", ["wts", "gwts", "rsm"])
+    def test_wire_rejects_unsigned_or_simulated_protocols(self, protocol):
+        with pytest.raises(ValueError, match="signed-message protocols"):
+            validate_spec(spec(protocol=protocol, wire="flip:0.5"))
+
+    def test_wire_excludes_the_simulated_axes(self):
+        with pytest.raises(ValueError, match="scheduler/fault_plan"):
+            validate_spec(spec(wire="flip:0.5", scheduler="reorder:3@1"))
+        with pytest.raises(ValueError, match="scheduler/fault_plan"):
+            validate_spec(spec(wire="flip:0.5", fault_plan="crash:0@5-25"))
+        with pytest.raises(ValueError, match="wire itself is"):
+            validate_spec(spec(wire="flip:0.5", byzantine=("silent",)))
+
+    def test_bad_wire_dsl_is_a_value_error(self):
+        with pytest.raises(ValueError, match="bad wire axis"):
+            validate_spec(spec(wire="flip:not-a-rate"))
+        with pytest.raises(ValueError, match="bad wire axis"):
+            validate_spec(spec(wire="warp:0.5"))
+
+    def test_no_signatures_mutant_requires_a_tamper_term(self):
+        assert "no-signatures" in MUTANTS
+        validate_spec(spec(mutant="no-signatures", wire="tamper-value:0.6"))
+        with pytest.raises(ValueError, match="tamper-"):
+            validate_spec(spec(mutant="no-signatures", wire="flip:0.5"))
+        with pytest.raises(ValueError, match="tamper-"):
+            validate_spec(spec(mutant="no-signatures"))
+
+
+class TestNoSignaturesGeneration:
+    def test_every_generated_spec_is_sbs_with_a_tamper_wire(self):
+        specs = generate_scenarios(seed=4, budget=12, mutant="no-signatures")
+        assert len(specs) == 12
+        for s in specs:
+            assert s.protocol == "sbs"
+            assert s.mutant == "no-signatures"
+            assert "tamper-" in s.wire
+            assert s.byzantine == () and s.scheduler == "" and s.fault_plan == ""
+
+    def test_replay_command_carries_wire_and_mutant(self):
+        s = generate_scenarios(seed=4, budget=1, mutant="no-signatures")[0]
+        command = s.replay_command()
+        assert "--param mutant=no-signatures" in command
+        assert "--param wire=" in command
+
+
+class TestWireShrinking:
+    def test_dropping_the_wire_axis_entirely_is_tried_first(self):
+        original = spec(wire="flip:0.3+tamper-value:0.5")
+        shrunk, probes = shrink_scenario(original, violates=lambda s: True)
+        assert shrunk.wire == ""
+        assert probes >= 1
+
+    def test_terms_are_dropped_one_at_a_time_when_the_wire_is_load_bearing(self):
+        original = spec(wire="flip:0.3+dup:0.2+tamper-value:0.5")
+
+        def violates(candidate):
+            # The violation needs tampering; everything else is noise.
+            return "tamper-value" in candidate.wire
+
+        shrunk, _probes = shrink_scenario(original, violates=violates)
+        assert shrunk.wire == "tamper-value:0.5"
+
+    def test_framing_suffix_survives_term_dropping(self):
+        original = spec(wire="flip:0.3+tamper-value:0.5+framing:binary")
+
+        def violates(candidate):
+            return "tamper-value" in candidate.wire
+
+        shrunk, _probes = shrink_scenario(original, violates=violates)
+        assert "tamper-value:0.5" in shrunk.wire
+        assert "framing:binary" in shrunk.wire
+
+    def test_shrinking_is_deterministic(self):
+        original = spec(wire="flip:0.3+dup:0.2+tamper-sig:0.4", n=5,
+                        fault_plan="", scheduler="")
+
+        def violates(candidate):
+            return "tamper-sig" in candidate.wire
+
+        first = shrink_scenario(original, violates=violates)
+        second = shrink_scenario(original, violates=violates)
+        assert first == second
+
+
+class TestNoSignaturesCanary:
+    """End-to-end over real sockets: blind verification must lose."""
+
+    def test_canary_catches_and_shrinks_wire_tampering(self):
+        report = explore(
+            budget=2, seed=11, mutant="no-signatures", quick=True, max_probes=4,
+        )
+        assert not report.ok, "blind verification survived on-wire tampering"
+        assert report.failures == []
+        assert report.violations, "the wire canary went blind"
+        for violation in report.violations:
+            assert violation.violations, "no invariant names on a wire violation"
+            assert violation.shrunk.mutant == "no-signatures"
+            assert "tamper-" in violation.shrunk.wire
+            assert "--param wire=" in violation.shrunk.replay_command()
