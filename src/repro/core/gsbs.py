@@ -190,13 +190,19 @@ class GSbSProcess(AgreementProcess):
         registry: KeyRegistry,
         max_rounds: int = 3,
         initial_values: Sequence[LatticeElement] = (),
+        batch_size: int | None = None,
     ) -> None:
         super().__init__(pid, lattice, members, f)
         if max_rounds < 1:
             raise ValueError("max_rounds must be at least 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1 (or None for unbounded)")
         self.registry = registry
         self.signer: Signer = registry.register(pid)
         self.max_rounds = max_rounds
+        #: Cap on how many queued values one round's proposal may join
+        #: (``None`` = unbounded); overflow carries to the next round FIFO.
+        self.batch_size = batch_size
 
         # --- proposer state ---
         self.state = NEWROUND
@@ -475,7 +481,12 @@ class GSbSProcess(AgreementProcess):
     def _start_round(self) -> None:
         self.state = INIT
         self.round += 1
-        batch_value = self.lattice.join_all(self.batches.get(self.round, []))
+        pending = self.batches.get(self.round, [])
+        if self.batch_size is not None and len(pending) > self.batch_size:
+            carried = pending[self.batch_size :]
+            self.batches[self.round] = pending = pending[: self.batch_size]
+            self.batches[self.round + 1] = carried + self.batches[self.round + 1]
+        batch_value = self.lattice.join_all(pending)
         signed = self.signer.sign((self.round, batch_value))
         current = set(self.safety_sets[self.round])
         current.add(signed)

@@ -66,11 +66,19 @@ class GWTSProcess(AgreementProcess):
         f: int,
         max_rounds: int = 3,
         initial_values: Sequence[LatticeElement] = (),
+        batch_size: int | None = None,
     ) -> None:
         super().__init__(pid, lattice, members, f)
         if max_rounds < 1:
             raise ValueError("max_rounds must be at least 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1 (or None for unbounded)")
         self.max_rounds = max_rounds
+        #: Cap on how many queued values one round's proposal may join
+        #: (``None`` = unbounded, the paper's implicit behaviour: a round
+        #: carries *everything* queued since the last one).  Values beyond
+        #: the cap are carried to the next round, oldest first.
+        self.batch_size = batch_size
 
         # --- proposer state (Algorithm 3 lines 1-7) ---
         self.state = NEWROUND
@@ -233,7 +241,15 @@ class GWTSProcess(AgreementProcess):
         """Algorithm 3 lines 11-15."""
         self.state = DISCLOSING
         self.round += 1
-        batch_value = self.lattice.join_all(self.batches.get(self.round, []))
+        pending = self.batches.get(self.round, [])
+        if self.batch_size is not None and len(pending) > self.batch_size:
+            # Propose the oldest ``batch_size`` values; everything else is
+            # carried ahead of whatever the next round has queued so far
+            # (FIFO across rounds).
+            carried = pending[self.batch_size :]
+            self.batches[self.round] = pending = pending[: self.batch_size]
+            self.batches[self.round + 1] = carried + self.batches[self.round + 1]
+        batch_value = self.lattice.join_all(pending)
         self.proposed_set = self.lattice.join(self.proposed_set, batch_value)
         self._rb.broadcast(("disclosure", self.round), batch_value)
 

@@ -271,6 +271,10 @@ class AsyncEngine:
         self._cores: list[ProtocolCore] = []
         self._index: dict[Hashable, int] = {}
         self._pids: tuple[Hashable, ...] = ()
+        # Core-groups (shards): broadcast scope per pid; single-group runs
+        # keep every pid in group 0, where the group tuple equals ``_pids``.
+        self._groups: dict[Any, tuple[Hashable, ...]] = {}
+        self._group_of: dict[Hashable, Any] = {}
         self._clock = WallClock()
         self.metrics = metrics or MetricsCollector()
         self.outputs: list[tuple[float, Hashable, str, Any]] = []
@@ -309,8 +313,12 @@ class AsyncEngine:
 
     # -- topology ---------------------------------------------------------------
 
-    def add_core(self, core: ProtocolCore) -> ProtocolCore:
-        """Register ``core`` under its pid (before the run starts)."""
+    def add_core(self, core: ProtocolCore, group: Any = 0) -> ProtocolCore:
+        """Register ``core`` under its pid (before the run starts).
+
+        ``group`` names the core-group (shard) the core belongs to; a
+        ``Broadcast`` effect reaches exactly the emitting core's group.
+        """
         if self._started:
             raise RuntimeError("cannot add cores after the run started")
         if core.pid in self._index:
@@ -318,13 +326,30 @@ class AsyncEngine:
         self._index[core.pid] = len(self._cores)
         self._cores.append(core)
         self._pids = self._pids + (core.pid,)
+        self._group_of[core.pid] = group
+        self._groups[group] = self._groups.get(group, ()) + (core.pid,)
         return core
 
     add_node = add_core
 
+    def add_cores(
+        self, cores: Iterable[ProtocolCore], group: Any = 0
+    ) -> list[ProtocolCore]:
+        """Register several cores at once (in the given order)."""
+        return [self.add_core(core, group=group) for core in cores]
+
     @property
     def pids(self) -> tuple[Hashable, ...]:
         return self._pids
+
+    @property
+    def groups(self) -> dict[Any, tuple[Hashable, ...]]:
+        """Core-group key -> member pids, in registration order."""
+        return dict(self._groups)
+
+    def group_of(self, pid: Hashable) -> Any:
+        """The core-group (shard) key ``pid`` was registered under."""
+        return self._group_of[pid]
 
     @property
     def nodes(self) -> dict[Hashable, ProtocolCore]:
@@ -377,7 +402,9 @@ class AsyncEngine:
             elif cls is Broadcast:
                 payload = effect.payload
                 include_self = effect.include_self
-                for dest in self._pids:
+                # Broadcast scope is the emitting core's group: the whole
+                # system in the (default) single-group case.
+                for dest in self._groups[self._group_of[pid]]:
                     if dest == pid and not include_self:
                         continue
                     submit(pid, dest, payload, depth)
@@ -417,6 +444,7 @@ class AsyncEngine:
             send_time=self._vnow if self._transport == "memory" else self._clock.now(),
             depth=depth,
             seq=self._msg_seq,
+            shard=self._group_of.get(sender, 0),
         )
         delay = self._scheduler.delay(envelope, self.rng)
         if delay < 0 or delay != delay or delay == _INF:

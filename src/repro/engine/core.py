@@ -117,7 +117,10 @@ class ProtocolCore:
         self._out.append(Send(dest, payload))
 
     def broadcast(self, payload: Any, include_self: bool = True) -> None:
-        """Emit a best-effort broadcast: one send per process in the system.
+        """Emit a best-effort broadcast: one send per process in the
+        emitting core's core-group — the whole system when the engine hosts
+        a single group (the default), or just the local shard when several
+        core-groups are multiplexed over one engine.
 
         This is the plain ``Broadcast`` of the pseudocode — *not* the
         Byzantine reliable broadcast, which lives in :mod:`repro.broadcast`

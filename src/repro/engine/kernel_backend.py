@@ -75,6 +75,11 @@ class KernelEngine:
             )
         self._nodes: dict[Hashable, ProtocolCore] = {}
         self._pids: tuple[Hashable, ...] = ()
+        # Core-groups (shards): broadcast scope per pid.  A single-group run
+        # keeps every pid in group 0, so the group tuple *is* ``_pids`` and
+        # iteration (hence RNG draw order and seq numbering) is unchanged.
+        self._groups: dict[Any, tuple[Hashable, ...]] = {}
+        self._group_of: dict[Hashable, Any] = {}
         self._seq = 0
         self._scheduler = scheduler or DelayModelScheduler(delay_model or UniformDelay())
         self._kernel = SimKernel(seed=seed)
@@ -87,30 +92,49 @@ class KernelEngine:
 
     # -- topology ---------------------------------------------------------------
 
-    def add_core(self, core: ProtocolCore) -> ProtocolCore:
-        """Register ``core`` under its pid (before the run starts)."""
+    def add_core(self, core: ProtocolCore, group: Any = 0) -> ProtocolCore:
+        """Register ``core`` under its pid (before the run starts).
+
+        ``group`` names the core-group (shard) the core belongs to.  A
+        ``Broadcast`` effect reaches exactly the emitting core's group; with
+        the default single group that is the whole system, byte-identical to
+        the pre-sharding engine.
+        """
         if self._started:
             raise RuntimeError("cannot add cores after the simulation started")
         if core.pid in self._nodes:
             raise ValueError(f"duplicate process id {core.pid!r}")
         self._nodes[core.pid] = core
         self._pids = tuple(self._nodes.keys())
+        self._group_of[core.pid] = group
+        self._groups[group] = self._groups.get(group, ()) + (core.pid,)
         return core
 
     # ``add_node`` reads better at call sites that think in cluster terms.
     add_node = add_core
 
-    def add_cores(self, cores: Iterable[ProtocolCore]) -> list[ProtocolCore]:
+    def add_cores(
+        self, cores: Iterable[ProtocolCore], group: Any = 0
+    ) -> list[ProtocolCore]:
         """Register several cores at once (in the given order)."""
         registered = []
         for core in cores:
-            registered.append(self.add_core(core))
+            registered.append(self.add_core(core, group=group))
         return registered
 
     @property
     def pids(self) -> tuple[Hashable, ...]:
         """All registered process identifiers."""
         return self._pids
+
+    @property
+    def groups(self) -> dict[Any, tuple[Hashable, ...]]:
+        """Core-group key -> member pids, in registration order."""
+        return dict(self._groups)
+
+    def group_of(self, pid: Hashable) -> Any:
+        """The core-group (shard) key ``pid`` was registered under."""
+        return self._group_of[pid]
 
     @property
     def nodes(self) -> dict[Hashable, ProtocolCore]:
@@ -172,6 +196,7 @@ class KernelEngine:
             send_time=kernel.now,
             depth=nodes[sender].causal_depth + 1,
             seq=self._seq,
+            shard=self._group_of.get(sender, 0),
         )
         delay = self._scheduler.delay(envelope, kernel.rng)
         # Inline invalid_time(): this runs once per send, the hottest path.
@@ -196,7 +221,9 @@ class KernelEngine:
             elif cls is Broadcast:
                 payload = effect.payload
                 include_self = effect.include_self
-                for dest in self._pids:
+                # Broadcast scope is the emitting core's group: the whole
+                # system in the (default) single-group case.
+                for dest in self._groups[self._group_of[pid]]:
                     if dest == pid and not include_self:
                         continue
                     submit(pid, dest, payload)

@@ -84,6 +84,13 @@ class TurboEngine:
         self._cores: list[ProtocolCore] = []
         self._index: dict[Hashable, int] = {}
         self._pids: tuple[Hashable, ...] = ()
+        # Core-groups (shards): broadcast scope per pid, interned as
+        # ``(dest_index, pid)`` pairs so the broadcast loop needs no lookups.
+        # Single-group runs keep every core in group 0, where the pair tuple
+        # equals ``enumerate(self._pids)`` — identical iteration, RNG draws
+        # and seq numbering as the pre-sharding engine.
+        self._groups: dict[Any, tuple[tuple[int, Hashable], ...]] = {}
+        self._group_of: dict[Hashable, Any] = {}
         #: Calendar queue: a heap of *distinct due times* plus one FIFO
         #: bucket of ``(time, seq, kind, ...)`` entries per time.  Same-time
         #: entries pop in append order, which equals seq order (``seq`` is
@@ -131,23 +138,45 @@ class TurboEngine:
 
     # -- topology ---------------------------------------------------------------
 
-    def add_core(self, core: ProtocolCore) -> ProtocolCore:
-        """Register ``core`` and intern its pid (before the run starts)."""
+    def add_core(self, core: ProtocolCore, group: Any = 0) -> ProtocolCore:
+        """Register ``core`` and intern its pid (before the run starts).
+
+        ``group`` names the core-group (shard) the core belongs to; a
+        ``Broadcast`` effect reaches exactly the emitting core's group.
+        """
         if self._started:
             raise RuntimeError("cannot add cores after the simulation started")
         if core.pid in self._index:
             raise ValueError(f"duplicate process id {core.pid!r}")
-        self._index[core.pid] = len(self._cores)
+        index = len(self._cores)
+        self._index[core.pid] = index
         self._cores.append(core)
         self._send_counts.append(0)
         self._pids = self._pids + (core.pid,)
+        self._group_of[core.pid] = group
+        self._groups[group] = self._groups.get(group, ()) + ((index, core.pid),)
         return core
 
     add_node = add_core
 
+    def add_cores(
+        self, cores: Iterable[ProtocolCore], group: Any = 0
+    ) -> list[ProtocolCore]:
+        """Register several cores at once (in the given order)."""
+        return [self.add_core(core, group=group) for core in cores]
+
     @property
     def pids(self) -> tuple[Hashable, ...]:
         return self._pids
+
+    @property
+    def groups(self) -> dict[Any, tuple[Hashable, ...]]:
+        """Core-group key -> member pids, in registration order."""
+        return {key: tuple(pid for _, pid in pairs) for key, pairs in self._groups.items()}
+
+    def group_of(self, pid: Hashable) -> Any:
+        """The core-group (shard) key ``pid`` was registered under."""
+        return self._group_of[pid]
 
     @property
     def nodes(self) -> dict[Hashable, ProtocolCore]:
@@ -201,6 +230,7 @@ class TurboEngine:
         probe.send_time = self._now
         probe.depth = depth
         probe.seq = self._msg_seq
+        probe.shard = self._group_of.get(sender, 0)
         probe._size = None
         probe._mtype = None
         delay = self._scheduler.delay(probe, self.rng)
@@ -254,7 +284,10 @@ class TurboEngine:
             elif cls is Broadcast:
                 payload = effect.payload
                 include_self = effect.include_self
-                for dest_index, dest in enumerate(self._pids):
+                # Broadcast scope is the emitting core's group; the interned
+                # pair tuple equals ``enumerate(self._pids)`` when the run
+                # hosts a single group.
+                for dest_index, dest in self._groups[self._group_of[pid]]:
                     if dest == pid and not include_self:
                         continue
                     if fixed is not None:

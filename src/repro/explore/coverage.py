@@ -75,6 +75,9 @@ def coverage_signature(spec: Any, outcome: dict[str, Any]) -> tuple[str, ...]:
         f"faults={_family(spec.fault_plan)}",
         f"wire={_wire_modes(spec.wire)}",
         f"byz={','.join(sorted(set(spec.byzantine))) or 'none'}",
+        # getattr defaults keep signatures of specs recorded before the
+        # batch/shards axes existed (PR 9) stable under replay.
+        f"plane=batch{getattr(spec, 'batch', 0)}/shards{getattr(spec, 'shards', 1)}",
         _decided_bucket(spec, outcome),
     )
 

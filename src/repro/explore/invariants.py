@@ -133,6 +133,28 @@ def rsm_invariants(scenario: ScenarioResult, require_liveness: bool = True) -> V
     logs of the correct replicas are the ground truth for the admissible set
     (the same construction E8 uses).
     """
+    shard_histories = scenario.extras.get("shard_histories")
+    if shard_histories:
+        # A sharded run is `shards` independent RSM instances: the Section
+        # 7.1 properties hold per shard (reads of different shards view
+        # disjoint lattices and are legitimately incomparable), so each
+        # shard's histories are judged on their own.
+        violations: Violations = {}
+        for shard, histories in sorted(shard_histories.items()):
+            admissible = collect_admissible_commands(
+                (scenario.nodes[pid] for pid in scenario.correct_pids),
+                histories.values(),
+            )
+            result = check_rsm_history(
+                histories.values(),
+                admissible_commands=admissible,
+                require_liveness=require_liveness,
+            )
+            for name, messages in result.violations.items():
+                violations.setdefault(name, []).extend(
+                    f"shard {shard}: {message}" for message in messages
+                )
+        return violations
     histories = scenario.extras.get("histories", {})
     admissible = collect_admissible_commands(
         (scenario.nodes[pid] for pid in scenario.correct_pids), histories.values()

@@ -63,6 +63,7 @@ from repro.harness.workloads import (
     run_gwts_scenario,
     run_rsm_scenario,
     run_sbs_scenario,
+    run_sharded_rsm_scenario,
     run_wts_scenario,
 )
 from repro.metrics.report import format_table
@@ -221,6 +222,12 @@ class ScenarioSpec:
     rounds: int = 3
     mutant: str = ""
     wire: str = ""
+    #: Per-round proposal batch cap for the generalized protocols and the
+    #: RSM (0 = unbatched, the historic behaviour).
+    batch: int = 0
+    #: RSM data-plane shards (1 = the single-group RSM; >1 splits the
+    #: replica fleet into independent per-shard GWTS groups).
+    shards: int = 1
     seed: int = 0
 
     def params(self) -> dict[str, Any]:
@@ -235,6 +242,8 @@ class ScenarioSpec:
             "rounds": self.rounds,
             "mutant": self.mutant,
             "wire": self.wire,
+            "batch": self.batch,
+            "shards": self.shards,
         }
 
     def replay_command(self, quick: bool = False) -> str:
@@ -247,10 +256,12 @@ class ScenarioSpec:
         parts = [f"PYTHONPATH=src python -m repro run SCENARIO --seed {self.seed}"]
         if quick:
             parts.append("--quick")
+        defaults = {"batch": 0, "shards": 1}
         parts += [
             f"--param {name}={value}"
             for name, value in self.params().items()
-            if value not in ("", 0) or name in ("n", "f", "rounds", "protocol")
+            if name in ("n", "f", "rounds", "protocol")
+            or value not in ("", defaults.get(name, 0))
         ]
         return " ".join(parts)
 
@@ -259,6 +270,10 @@ class ScenarioSpec:
         extra = f", mutant={self.mutant}" if self.mutant else ""
         if self.wire:
             extra += f", wire={self.wire}"
+        if self.batch:
+            extra += f", batch={self.batch}"
+        if self.shards > 1:
+            extra += f", shards={self.shards}"
         return (
             f"{self.protocol} n={self.n} f={self.f} seed={self.seed} "
             f"byzantine={byz}, {describe_axes(self.scheduler, self.fault_plan)}{extra}"
@@ -302,6 +317,31 @@ def validate_spec(spec: ScenarioSpec) -> None:
             )
     if spec.rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {spec.rounds}")
+    if spec.batch < 0:
+        raise ValueError(f"batch must be >= 0 (0 = unbatched), got {spec.batch}")
+    if spec.batch and spec.protocol not in ("gwts", "gsbs", "rsm"):
+        raise ValueError(
+            f"batch applies to the generalized protocols (gwts/gsbs/rsm), "
+            f"got protocol={spec.protocol!r}"
+        )
+    if spec.shards < 1:
+        raise ValueError(f"shards must be >= 1, got {spec.shards}")
+    if spec.shards > 1:
+        if spec.protocol != "rsm":
+            raise ValueError(
+                f"shards > 1 runs the sharded RSM data plane, got "
+                f"protocol={spec.protocol!r}"
+            )
+        if spec.byzantine or spec.mutant:
+            raise ValueError(
+                "sharded RSM scenarios drive correct replicas only (the "
+                "sharded scenario builder has no per-shard Byzantine mix)"
+            )
+        if spec.n < spec.shards * (3 * spec.f + 1):
+            raise ValueError(
+                f"n={spec.n} cannot split into {spec.shards} shards of >= "
+                f"3f+1 = {3 * spec.f + 1} replicas each"
+            )
     _validate_wire_axis(spec)
     # Fail fast on malformed axis specs (same parsers the builders use).
     pids = [f"p{i}" for i in range(spec.n)]
@@ -500,17 +540,29 @@ def _generate_weighted_spec(
         )
     menu = PROTOCOL_BEHAVIOURS[protocol]
     byzantine = tuple(rng.choice(menu) for _ in range(rng.randint(0, f)))
+    # The data-plane axes (PR 9): a per-round batch cap for the generalized
+    # protocols, and — for the RSM — a sharded replica fleet.  Both default
+    # to the historic unbatched/single-group shapes most of the time.
+    batch = rng.choice((0, 0, 2, 4)) if protocol in ("gwts", "gsbs", "rsm") else 0
+    shards = 1
     if protocol == "rsm":
         # RSM keeps its gentle axes regardless of campaign menus (see the
         # comment on _RSM_SCHEDULER_MENU).
         scheduler = rng.choice(_RSM_SCHEDULER_MENU)
         fault_plan = rng.choice(_RSM_FAULT_PLAN_MENU)
+        shards = rng.choice((1, 1, 2))
+        if shards > 1:
+            # The sharded scenario builder drives correct replicas only,
+            # and every shard group needs >= 3f + 1 members.
+            byzantine = ()
+            n = shards * (3 * f + 1)
     else:
         scheduler = choose("scheduler", menus["schedulers"])
         fault_plan = choose("fault_plan", menus["fault_plans"])
     return ScenarioSpec(
         protocol=protocol, n=n, f=f, byzantine=byzantine,
         scheduler=scheduler, fault_plan=fault_plan, rounds=rounds,
+        batch=batch, shards=shards,
         seed=rng.randrange(1_000_000),
     )
 
@@ -611,7 +663,12 @@ def _run_spec(spec: ScenarioSpec, quick: bool, backend: str = "kernel"):
         return run_sbs_scenario(**common), "la", True
     if spec.protocol in ("gwts", "gsbs"):
         runner = run_gwts_scenario if spec.protocol == "gwts" else run_gsbs_scenario
-        scenario = runner(values_per_process=1 if quick else 2, rounds=spec.rounds, **common)
+        scenario = runner(
+            values_per_process=1 if quick else 2,
+            rounds=spec.rounds,
+            batch_size=spec.batch or None,
+            **common,
+        )
         # Inclusivity over the finite prefix is only guaranteed when the
         # environment does not hold traffic for long stretches.  Wire runs
         # ride real wall-clock TCP, whose timing can truncate the prefix
@@ -627,18 +684,35 @@ def _run_spec(spec: ScenarioSpec, quick: bool, backend: str = "kernel"):
             "client0": [("update", counter.op_inc(1)), ("update", counter.op_inc(2)), ("read",)],
             "client1": [("update", gset.op_add("tag-a")), ("read",)],
         }
-        scenario = run_rsm_scenario(
-            n_replicas=spec.n,
-            f=spec.f,
-            client_scripts=scripts,
-            byzantine_replica_factories=factories,
-            byzantine_client_payloads={"badclient": ["junk-0", "junk-1"]},
-            rounds=12,
-            seed=spec.seed,
-            scheduler=spec.scheduler,
-            fault_plan=spec.fault_plan,
-            backend=backend,
-        )
+        if spec.shards > 1:
+            # The sharded data plane (PR 9): independent per-shard GWTS
+            # groups, commands routed by object, reads joining every shard.
+            scenario = run_sharded_rsm_scenario(
+                n_replicas=spec.n,
+                f=spec.f,
+                shards=spec.shards,
+                client_scripts=scripts,
+                rounds=12,
+                seed=spec.seed,
+                scheduler=spec.scheduler,
+                fault_plan=spec.fault_plan,
+                backend=backend,
+                batch_size=spec.batch or None,
+            )
+        else:
+            scenario = run_rsm_scenario(
+                n_replicas=spec.n,
+                f=spec.f,
+                client_scripts=scripts,
+                byzantine_replica_factories=factories,
+                byzantine_client_payloads={"badclient": ["junk-0", "junk-1"]},
+                rounds=12,
+                seed=spec.seed,
+                scheduler=spec.scheduler,
+                fault_plan=spec.fault_plan,
+                backend=backend,
+                batch_size=spec.batch or None,
+            )
         # Replicas execute a finite GWTS prefix; a fault window can eat
         # rounds on empty batches, so operation liveness is only strict on
         # an unperturbed run (read safety is always checked).
@@ -694,6 +768,8 @@ def run_scenario_experiment(
     rounds: int = 3,
     mutant: str = "",
     wire: str = "",
+    batch: int = 0,
+    shards: int = 1,
     backend: str = "kernel",
     seed: int = 0,
     quick: bool = False,
@@ -714,6 +790,8 @@ def run_scenario_experiment(
         rounds=rounds,
         mutant=mutant,
         wire=wire,
+        batch=batch,
+        shards=shards,
         seed=seed,
     )
     return run_scenario_spec(spec, quick=quick, backend=backend)
@@ -734,5 +812,7 @@ def spec_from_params(seed: int, params: dict[str, Any]) -> ScenarioSpec:
         rounds=int(params.get("rounds", 3)),
         mutant=params.get("mutant", ""),
         wire=params.get("wire", ""),
+        batch=int(params.get("batch", 0)),
+        shards=int(params.get("shards", 1)),
         seed=seed,
     )

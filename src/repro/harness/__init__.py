@@ -7,7 +7,9 @@ and seed, and returns a :class:`~repro.harness.workloads.ScenarioResult`
 exposing the proposals, decisions, metrics and specification checks.
 
 :mod:`repro.harness.experiments` implements the per-table/figure experiment
-runners E1–E12 (E1–E10 from DESIGN.md plus the E11 ablation and E12 partition-churn extensions); the ``benchmarks/`` directory contains
+runners E1–E13 (E1–E10 from DESIGN.md plus the E11 ablation, E12
+partition-churn and E13 sharded/batched scaling extensions); the
+``benchmarks/`` directory contains
 one pytest-benchmark target per experiment, and ``EXPERIMENTS.md`` records
 the paper-vs-measured outcome of each.
 """
@@ -24,6 +26,7 @@ from repro.harness.experiments import (
     run_resilience_experiment,
     run_rsm_experiment,
     run_sbs_experiment,
+    run_shard_scaling_experiment,
     run_wts_latency_experiment,
     run_wts_messages_experiment,
 )
@@ -39,6 +42,7 @@ from repro.harness.workloads import (
     run_open_loop_scenario,
     run_rsm_scenario,
     run_sbs_scenario,
+    run_sharded_rsm_scenario,
     run_wts_scenario,
 )
 
@@ -53,6 +57,7 @@ __all__ = [
     "run_crash_la_scenario",
     "run_crash_gla_scenario",
     "run_rsm_scenario",
+    "run_sharded_rsm_scenario",
     "run_open_loop_scenario",
     "OpenLoopReport",
     "run_chain_experiment",
@@ -67,5 +72,6 @@ __all__ = [
     "run_baseline_comparison",
     "run_ablation_experiment",
     "run_partition_churn_experiment",
+    "run_shard_scaling_experiment",
     "ALL_EXPERIMENTS",
 ]

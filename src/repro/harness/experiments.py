@@ -43,10 +43,12 @@ from repro.engine.delays import FixedDelay, SkewedPairDelay, UniformDelay
 from repro.explore.invariants import la_invariants
 from repro.harness.workloads import (
     member_pids,
+    run_crash_gla_scenario,
     run_crash_la_scenario,
     run_gwts_scenario,
     run_rsm_scenario,
     run_sbs_scenario,
+    run_sharded_rsm_scenario,
     run_wts_scenario,
 )
 from repro.lattice.chain import all_comparable, hasse_diagram_text, sort_chain
@@ -1180,6 +1182,312 @@ def run_partition_churn_experiment(
     }
 
 
+# ---------------------------------------------------------------------------
+# E13 (extension) — sharded + batched GLA: data-plane scaling study
+# ---------------------------------------------------------------------------
+
+
+def _sharded_point(
+    shards: int,
+    batch_size: int | None,
+    total_commands: int,
+    seed: int,
+    scheduler: str,
+    fault_plan: str,
+    backend: str,
+    n_replicas: int,
+    f: int = 1,
+) -> dict[str, Any]:
+    """Run one sharded-RSM configuration and report deterministic metrics.
+
+    Throughput is measured in *simulated* time (commands per simulated time
+    unit): deterministic given the seed, so the sweep artifact stays
+    byte-identical across machines and worker counts, unlike wall-clock
+    rates (those live in ``benchmarks/bench_shard_throughput.py``).
+    """
+    per_client = total_commands // 2
+    scripts = {
+        f"c{index}": [("update", (f"obj-{index}-{k}", k)) for k in range(per_client)]
+        for index in range(2)
+    }
+    scenario = run_sharded_rsm_scenario(
+        n_replicas=n_replicas,
+        f=f,
+        shards=shards,
+        client_scripts=scripts,
+        # Worst case one command per round per shard, plus slack for ramp-up.
+        rounds=total_commands + 10,
+        seed=seed,
+        scheduler=scheduler,
+        fault_plan=fault_plan,
+        backend=backend,
+        batch_size=batch_size,
+        client_pipeline=16,
+        max_messages=6_000_000,
+    )
+    clients = scenario.extras["clients"].values()
+    completed = sum(client.completed_updates() for client in clients)
+    makespan = max(
+        (
+            record.end_time
+            for client in clients
+            for inner in client.clients
+            for record in inner.history
+            if record.kind == "update" and record.completed
+        ),
+        default=0.0,
+    )
+    return {
+        "shards": shards,
+        "batch_size": batch_size,
+        "completed": completed,
+        "expected": 2 * per_client,
+        "messages": scenario.run.delivered,
+        "msgs_per_command": scenario.run.delivered / max(1, completed),
+        "makespan": makespan,
+        "throughput": completed / makespan if makespan > 0 else 0.0,
+        "scenario": scenario,
+    }
+
+
+def run_shard_scaling_experiment(
+    seed: int = 41,
+    scheduler: str = "",
+    fault_plan: str = "",
+    backend: str = "turbo",
+    quick: bool = False,
+) -> dict[str, Any]:
+    """E13: throughput vs batch size and shard count, plus the large-n study.
+
+    Three sections, all on the deterministic simulated clock:
+
+    1. **Batch curve** — 25 replicas as 5 shards of 5 (f=1 per group), the
+       same command stream under ``batch_size`` 1..16.  Capping the per-round
+       batch at 1 forces one GWTS round per command; batching amortises the
+       round's O(group³) reliable-broadcast ack traffic over the whole batch,
+       so simulated throughput must grow at least 2x from batch 1 to 8.
+    2. **Shard curve** — a fixed fleet of 24 replicas split into 2..6 groups.
+       Per-round message cost scales with the *cube* of the group size, so
+       more shards means superlinearly fewer messages per command.  (The
+       monolithic 1x24 anchor is measured in the wall-clock benchmark
+       artifact ``BENCH_shard.json`` — a single group of 24 runs ~800k
+       messages per round, too slow for the sweep path.)
+    3. **Large-n quorum study** — message complexity and decision latency at
+       n=100 and n=250.  Full Byzantine GLA at those sizes is measured where
+       feasible (WTS single-shot at n=100); the echo-based crash baseline
+       covers both sizes, so the quorum-size trend (majority vs Byzantine
+       quorum) is read off the same table.
+    """
+    wall_clock = backend_is_wall_clock(backend)
+
+    # -- 1. batch curve: 5 shards x 5 replicas = 25 ----------------------------
+    batch_sweep = (1, 8) if quick else (1, 2, 4, 8, 16)
+    batch_commands = 40 if quick else 60
+    batch_points = [
+        _sharded_point(
+            shards=5,
+            batch_size=batch,
+            total_commands=batch_commands,
+            seed=seed,
+            scheduler=scheduler,
+            fault_plan=fault_plan,
+            backend=backend,
+            n_replicas=25,
+        )
+        for batch in batch_sweep
+    ]
+    batch_rows = [
+        (
+            point["batch_size"],
+            f"{point['completed']}/{point['expected']}",
+            point["messages"],
+            f"{point['msgs_per_command']:.0f}",
+            f"{point['makespan']:.1f}",
+            f"{point['throughput']:.3f}",
+        )
+        for point in batch_points
+    ]
+    base = batch_points[0]
+    batched = max(
+        (p for p in batch_points if p["batch_size"] and p["batch_size"] >= 8),
+        key=lambda p: p["throughput"],
+    )
+    batch_speedup = batched["throughput"] / max(base["throughput"], 1e-9)
+
+    # -- 2. shard curve: fixed fleet of 24 replicas ----------------------------
+    shard_sweep = (2, 6) if quick else (2, 3, 4, 6)
+    shard_commands = 24 if quick else 48
+    shard_points = [
+        _sharded_point(
+            shards=shards,
+            batch_size=8,
+            total_commands=shard_commands,
+            seed=seed,
+            scheduler=scheduler,
+            fault_plan=fault_plan,
+            backend=backend,
+            n_replicas=24,
+        )
+        for shards in shard_sweep
+    ]
+    shard_rows = [
+        (
+            point["shards"],
+            24 // point["shards"],
+            f"{point['completed']}/{point['expected']}",
+            point["messages"],
+            f"{point['msgs_per_command']:.0f}",
+            f"{point['throughput']:.3f}",
+        )
+        for point in shard_points
+    ]
+    shard_scaleup = shard_points[-1]["throughput"] / max(
+        shard_points[0]["throughput"], 1e-9
+    )
+
+    # -- 3. large-n quorum study ------------------------------------------------
+    scaling_rows: list[Sequence[Any]] = []
+    scaling_outcomes: list[dict[str, Any]] = []
+    scaling_scenarios: list = []
+
+    def record_scaling(name: str, n: int, f: int, scenario, quorum: int) -> None:
+        scaling_scenarios.append(scenario)
+        decided = sum(1 for decs in scenario.decisions().values() if decs)
+        per_process = scenario.metrics.mean_messages_per_process(scenario.correct_pids)
+        last = max((r.time for r in scenario.metrics.decisions), default=0.0)
+        scaling_outcomes.append(
+            {
+                "protocol": name,
+                "n": n,
+                "f": f,
+                "quorum": quorum,
+                "decided": decided,
+                "correct": len(scenario.correct_pids),
+                "msgs_per_process": per_process,
+                "last_decision_time": last,
+            }
+        )
+        scaling_rows.append(
+            (
+                name,
+                n,
+                f,
+                quorum,
+                f"{decided}/{len(scenario.correct_pids)}",
+                f"{per_process:.0f}",
+                f"{last:.1f}",
+            )
+        )
+
+    crash_sizes = (100,) if quick else (100, 250)
+    for n in crash_sizes:
+        f = max_faults(n)
+        crash = run_crash_gla_scenario(
+            n=n,
+            f=f,
+            values_per_process=1,
+            rounds=2,
+            seed=seed + n,
+            delay_model=FixedDelay(1.0),
+            scheduler=scheduler,
+            fault_plan=fault_plan,
+            backend=backend,
+            max_messages=4_000_000,
+        )
+        record_scaling("crash-GLA", n, f, crash, quorum=n // 2 + 1)
+    if not quick:
+        n = 100
+        f = max_faults(n)
+        wts = run_wts_scenario(
+            n=n,
+            f=f,
+            proposals={f"p{i}": frozenset({f"v{i}"}) for i in range(3)},
+            seed=seed + 1000,
+            delay_model=FixedDelay(1.0),
+            scheduler=scheduler,
+            fault_plan=fault_plan,
+            backend=backend,
+            max_messages=4_000_000,
+        )
+        record_scaling("WTS", n, f, wts, quorum=(n + f) // 2 + 1)
+
+    # -- verdict ------------------------------------------------------------------
+    all_completed = all(
+        point["completed"] == point["expected"]
+        for point in batch_points + shard_points
+    )
+    all_decided = all(o["decided"] == o["correct"] for o in scaling_outcomes)
+    msgs_drop = all(
+        earlier["msgs_per_command"] > later["msgs_per_command"]
+        for earlier, later in zip(shard_points, shard_points[1:], strict=False)
+    )
+    if wall_clock:
+        # Wall-clock backends report real seconds: the simulated-throughput
+        # ratios are scheduling noise there, so judge completion only.
+        ok = all_completed and all_decided
+    else:
+        ok = all_completed and all_decided and batch_speedup >= 2.0 and msgs_drop
+
+    batch_headers = ["batch", "completed", "messages", "msgs/cmd", "makespan", "cmds/time"]
+    shard_headers = ["shards", "group", "completed", "messages", "msgs/cmd", "cmds/time"]
+    scaling_headers = ["protocol", "n", "f", "quorum", "decided", "msgs/proc", "delays"]
+    table = (
+        format_table(
+            batch_headers,
+            batch_rows,
+            title=f"E13a: batch curve, 25 replicas as 5x5 (speedup {batch_speedup:.1f}x)",
+        )
+        + "\n\n"
+        + format_table(
+            shard_headers,
+            shard_rows,
+            title=f"E13b: shard curve, 24 replicas (scale-up {shard_scaleup:.1f}x)",
+        )
+        + "\n\n"
+        + format_table(scaling_headers, scaling_rows, title="E13c: large-n quorum study")
+    )
+    return {
+        "experiment": "E13",
+        "expected": "batching amortises the per-round O(group^3) ack traffic (>=2x at batch 8); "
+        "more shards of a fixed fleet cut messages per command superlinearly; "
+        "large-n rows expose the quorum-size cost",
+        "batch_points": [
+            {k: v for k, v in point.items() if k != "scenario"} for point in batch_points
+        ],
+        "shard_points": [
+            {k: v for k, v in point.items() if k != "scenario"} for point in shard_points
+        ],
+        "scaling": scaling_outcomes,
+        "batch_speedup": batch_speedup,
+        "shard_scaleup": shard_scaleup,
+        "headers": batch_headers,
+        "rows": batch_rows,
+        "shard_headers": shard_headers,
+        "shard_rows": shard_rows,
+        "scaling_headers": scaling_headers,
+        "scaling_rows": scaling_rows,
+        "table": table,
+        "ok": bool(ok),
+        "skipped_checks": [_WALL_CLOCK_SKIP] if wall_clock else [],
+        "headline": {
+            "batch_speedup": batch_speedup,
+            "shard_scaleup": shard_scaleup,
+            "max_n": float(max(o["n"] for o in scaling_outcomes)),
+        },
+        "wall_latency": wall_latency_of(
+            *(point["scenario"] for point in batch_points + shard_points),
+            *scaling_scenarios,
+        ),
+        "latency": {
+            "batch1_makespan": base["makespan"],
+            "batch8_makespan": batched["makespan"],
+            "largest_n_last_decision": scaling_outcomes[-1]["last_decision_time"]
+            if scaling_outcomes
+            else 0.0,
+        },
+    }
+
+
 def _render(value: Any) -> str:
     if isinstance(value, frozenset):
         return "{" + ",".join(sorted(map(str, value))) + "}"
@@ -1200,4 +1508,5 @@ ALL_EXPERIMENTS: dict[str, Callable[..., dict[str, Any]]] = {
     "E10": run_baseline_comparison,
     "E11": run_ablation_experiment,
     "E12": run_partition_churn_experiment,
+    "E13": run_shard_scaling_experiment,
 }

@@ -47,6 +47,7 @@ from repro.lattice.set_lattice import SetLattice
 from repro.metrics.collector import MetricsCollector
 from repro.rsm.client import ByzantineClient, RSMClient
 from repro.rsm.replica import Replica
+from repro.rsm.sharding import ShardedRSMClient, partition_replicas
 from repro.sim.axes import parse_fault_plan, parse_scheduler
 from repro.sim.faults import FaultPlan
 
@@ -440,12 +441,15 @@ def run_gwts_scenario(
     fault_plan: FaultPlanSpec = None,
     backend: str = "kernel",
     max_messages: int = 1_500_000,
+    batch_size: int | None = None,
 ) -> ScenarioResult:
     """Build and run one GWTS cluster for ``rounds`` rounds.
 
     Inputs are spread over the first rounds (queued before the run starts);
     the remaining rounds run on empty batches, which gives in-flight values
     time to be included (the finite-prefix analogue of eventual Inclusivity).
+    ``batch_size`` caps how many queued values one round's proposal joins
+    (``None`` = unbounded, the paper's implicit behaviour).
     """
     lattice = lattice if lattice is not None else SetLattice()
     pids, correct, byz = _split_members(n, byzantine_factories)
@@ -454,7 +458,7 @@ def run_gwts_scenario(
     engine = _build_engine(delay_model, seed, scheduler, backend, pids, f)
     nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct:
-        process = GWTSProcess(pid, lattice, pids, f, max_rounds=rounds)
+        process = GWTSProcess(pid, lattice, pids, f, max_rounds=rounds, batch_size=batch_size)
         for value in inputs.get(pid, []):
             process.new_value(value)
         nodes[pid] = engine.add_core(process)
@@ -493,11 +497,13 @@ def run_gsbs_scenario(
     registry_seed: int = 1234,
     registry: KeyRegistry | None = None,
     max_wall_s: float | None = None,
+    batch_size: int | None = None,
     **engine_kwargs: Any,
 ) -> ScenarioResult:
     """Build and run one GSbS cluster for ``rounds`` rounds.
 
-    ``registry``/``engine_kwargs`` as in :func:`run_sbs_scenario`.
+    ``registry``/``engine_kwargs`` as in :func:`run_sbs_scenario`;
+    ``batch_size`` as in :func:`run_gwts_scenario`.
     """
     lattice = lattice if lattice is not None else SetLattice()
     pids, correct, byz = _split_members(n, byzantine_factories)
@@ -508,7 +514,9 @@ def run_gsbs_scenario(
     engine = _build_engine(delay_model, seed, scheduler, backend, pids, f, **engine_kwargs)
     nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct:
-        process = GSbSProcess(pid, lattice, pids, f, registry=registry, max_rounds=rounds)
+        process = GSbSProcess(
+            pid, lattice, pids, f, registry=registry, max_rounds=rounds, batch_size=batch_size
+        )
         for value in inputs.get(pid, []):
             process.new_value(value)
         nodes[pid] = engine.add_core(process)
@@ -602,6 +610,8 @@ def run_rsm_scenario(
     backend: str = "kernel",
     max_messages: int = 2_000_000,
     client_retry_timeout: float | None = 150.0,
+    batch_size: int | None = None,
+    client_pipeline: int = 1,
 ) -> ScenarioResult:
     """Build and run one RSM: ``n_replicas`` replicas plus the given clients.
 
@@ -611,7 +621,9 @@ def run_rsm_scenario(
     ``byzantine_client_payloads``) flood inadmissible/under-replicated
     updates as per Lemma 12.  The run stops when every correct client
     finished its script (or the message cap is hit, which tests treat as a
-    liveness failure).
+    liveness failure).  ``batch_size`` caps the replicas' per-round proposal
+    batches; ``client_pipeline`` lets each client keep that many commutative
+    updates in flight at once (reads always barrier).
     """
     lattice = SetLattice()
     replica_pids, correct_replicas, byz_replicas = _split_members(
@@ -621,7 +633,14 @@ def run_rsm_scenario(
     nodes: dict[Hashable, ProtocolCore] = {}
     for pid in correct_replicas:
         nodes[pid] = engine.add_core(
-            Replica(pid, replica_pids, f, max_rounds=rounds, lattice=lattice)
+            Replica(
+                pid,
+                replica_pids,
+                f,
+                max_rounds=rounds,
+                lattice=lattice,
+                batch_size=batch_size,
+            )
         )
     for factory, pid in zip(byzantine_replica_factories, byz_replicas, strict=True):
         nodes[pid] = engine.add_core(factory(pid, lattice, replica_pids, f))
@@ -629,7 +648,12 @@ def run_rsm_scenario(
     clients: dict[Hashable, RSMClient] = {}
     for client_id, script in client_scripts.items():
         client = RSMClient(
-            client_id, replica_pids, f, script=script, retry_timeout=client_retry_timeout
+            client_id,
+            replica_pids,
+            f,
+            script=script,
+            retry_timeout=client_retry_timeout,
+            pipeline=client_pipeline,
         )
         clients[client_id] = client
         nodes[client_id] = engine.add_core(client)
@@ -662,6 +686,120 @@ def run_rsm_scenario(
     result.extras["replica_pids"] = list(replica_pids)
     result.extras["histories"] = {
         client_id: list(client.history) for client_id, client in clients.items()
+    }
+    return result
+
+
+def run_sharded_rsm_scenario(
+    n_replicas: int,
+    f: int,
+    shards: int,
+    client_scripts: Mapping[Hashable, Sequence[tuple[Any, ...]]],
+    rounds: int = 8,
+    delay_model: DelayModel | None = None,
+    seed: int = 0,
+    scheduler: SchedulerSpec = None,
+    fault_plan: FaultPlanSpec = None,
+    backend: str = "kernel",
+    max_messages: int = 2_000_000,
+    client_retry_timeout: float | None = 150.0,
+    batch_size: int | None = None,
+    client_pipeline: int = 1,
+) -> ScenarioResult:
+    """Build and run a *sharded* RSM: ``shards`` independent replica groups.
+
+    The ``n_replicas`` replica pids are split into ``shards`` contiguous
+    groups (:func:`repro.rsm.sharding.partition_replicas`), each running its
+    own GWTS instance as an independent core-group of the same engine —
+    broadcasts stay inside a shard, so the per-round message complexity
+    scales with the group size, not the total replica count.  ``f`` is the
+    per-shard resilience threshold (every group needs ``>= 3f + 1``
+    members).  Clients are :class:`~repro.rsm.sharding.ShardedRSMClient`
+    cores: each ``("update", payload)`` hashes to one shard by its routing
+    key; each ``("read",)`` fans out to every shard and completes with the
+    join of the per-shard confirmed views.
+    """
+    shard_groups = partition_replicas(member_pids(n_replicas), shards)
+    for group in shard_groups:
+        if len(group) < 3 * f + 1:
+            raise ValueError(
+                f"shard group of {len(group)} replicas cannot tolerate f={f} "
+                f"(needs >= {3 * f + 1})"
+            )
+    lattice = SetLattice()
+    all_replica_pids = [pid for group in shard_groups for pid in group]
+    engine = _build_engine(delay_model, seed, scheduler, backend, all_replica_pids, f)
+    nodes: dict[Hashable, ProtocolCore] = {}
+    for shard, group in enumerate(shard_groups):
+        for pid in group:
+            nodes[pid] = engine.add_core(
+                Replica(
+                    pid,
+                    group,
+                    f,
+                    max_rounds=rounds,
+                    lattice=lattice,
+                    batch_size=batch_size,
+                ),
+                group=f"shard{shard}",
+            )
+
+    clients: dict[Hashable, ShardedRSMClient] = {}
+    for client_id, script in client_scripts.items():
+        client = ShardedRSMClient(
+            client_id,
+            shard_groups,
+            f,
+            script=script,
+            retry_timeout=client_retry_timeout,
+            pipeline=client_pipeline,
+        )
+        clients[client_id] = client
+        # Clients never Broadcast, but they get their own group so no
+        # shard's reliable-broadcast traffic is addressed to them.
+        nodes[client_id] = engine.add_core(client, group="clients")
+
+    def all_clients_done() -> bool:
+        return all(client.all_completed for client in clients.values())
+
+    run = _run(
+        engine,
+        all_clients_done,
+        max_messages,
+        _resolve_fault_plan(fault_plan, all_replica_pids, all_replica_pids),
+    )
+    result = ScenarioResult(
+        engine=engine,
+        nodes=nodes,
+        correct_pids=list(all_replica_pids),
+        byzantine_pids=[],
+        lattice=lattice,
+        f=f,
+        run=run,
+    )
+    result.extras["clients"] = clients
+    result.extras["shard_groups"] = shard_groups
+    result.extras["histories"] = {
+        client_id: [
+            record
+            for inner in client.clients
+            for record in inner.history
+        ]
+        for client_id, client in clients.items()
+    }
+    # Per-shard histories for the invariant checkers: each shard is an
+    # independent RSM instance, so Read Consistency and friends hold *per
+    # shard* — reads of different shards are views of disjoint lattices and
+    # are legitimately incomparable.
+    result.extras["shard_histories"] = {
+        shard: {
+            client_id: list(client.clients[shard].history)
+            for client_id, client in clients.items()
+        }
+        for shard in range(shards)
+    }
+    result.extras["cross_shard_reads"] = {
+        client_id: list(client.reads) for client_id, client in clients.items()
     }
     return result
 

@@ -87,6 +87,11 @@ def _base_payload(job: JobSpec, status: str, wall_time_s: float, error: str | No
         # a wall-clock backend and decided something; None otherwise.  A
         # measurement, not schedule state — canonicalize_payload strips it.
         "wall_latency": None,
+        # repro-results/v5: the data-plane shape the job drove.  Both are
+        # declared axis/scenario params; unset means the pre-sharding
+        # default of one core-group and singly-proposed commands.
+        "shards": int(job.params_dict.get("shards") or 1),
+        "batch_size": int(job.params_dict.get("batch") or job.params_dict.get("batch_size") or 0),
         "status": status,
         "ok": None,
         "wall_time_s": wall_time_s,

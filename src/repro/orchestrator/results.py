@@ -10,12 +10,15 @@ latency regressions on — or ``"wall-clock"`` — real seconds, measurement
 only), the wall-clock decision-latency histogram ``wall_latency`` (v4: the
 ``count``/``p50``/``p95``/``p99``/``max`` shape from
 ``repro.engine.services.latency_summary``, ``None`` on simulated backends),
-its check outcome, headline metrics, latency metrics, and the structured
-rows the text tables are formatted from.  Legacy v1 artifacts
-(pre-backend), v2 artifacts (pre-time-source) and v3 artifacts
-(pre-wall-latency) stay readable for validation and baseline comparison;
-absent fields default to the kernel backend, simulated time and no
-wall-latency measurement, the only options those schemas had.
+its data-plane shape (v5: ``shards`` — how many independent core-groups
+the job drove — and ``batch_size`` — the proposer batch size, ``0`` for
+singly-proposed commands), its check outcome, headline metrics, latency
+metrics, and the structured rows the text tables are formatted from.
+Legacy v1 artifacts (pre-backend), v2 artifacts (pre-time-source), v3
+artifacts (pre-wall-latency) and v4 artifacts (pre-sharding) stay readable
+for validation and baseline comparison; absent fields default to the
+kernel backend, simulated time, no wall-latency measurement, one shard and
+unbatched proposals, the only options those schemas had.
 
 :func:`validate_run_payload` is a hand-rolled structural validator (no
 third-party schema dependency) used by the CLI's ``validate`` command and by
@@ -35,7 +38,7 @@ import time
 from collections.abc import Iterable
 from typing import Any
 
-RESULTS_SCHEMA_VERSION = "repro-results/v4"
+RESULTS_SCHEMA_VERSION = "repro-results/v5"
 
 #: Older schema versions `validate` and `compare` still accept on *read*.
 #: v1 predates the engine-backend split: its job payloads lack the
@@ -44,7 +47,15 @@ RESULTS_SCHEMA_VERSION = "repro-results/v4"
 #: (treated as simulated time, the only time source v2 backends had).
 #: v3 predates honest tail latencies: its job payloads lack ``wall_latency``
 #: (treated as "not measured", which is all v3 runs could say).
-LEGACY_SCHEMA_VERSIONS = ("repro-results/v3", "repro-results/v2", "repro-results/v1")
+#: v4 predates the sharded/batched data plane: its job payloads lack
+#: ``shards`` and ``batch_size`` (treated as one shard, unbatched — the
+#: only data-plane shape v4 jobs could drive).
+LEGACY_SCHEMA_VERSIONS = (
+    "repro-results/v4",
+    "repro-results/v3",
+    "repro-results/v2",
+    "repro-results/v1",
+)
 
 #: ``time_source`` values a v3+ job payload may carry (mirrors
 #: :data:`repro.engine.services.TIME_SOURCES` without importing the engine —
@@ -55,6 +66,15 @@ JOB_TIME_SOURCES = ("simulated", "wall-clock")
 def job_time_source(job: dict[str, Any]) -> str:
     """The time semantics of one job payload, across schema versions."""
     return job.get("time_source") or "simulated"
+
+
+def job_data_plane(job: dict[str, Any]) -> tuple[int, int]:
+    """``(shards, batch_size)`` of one job payload, across schema versions.
+
+    Pre-v5 jobs carry neither field: they could only drive one core-group
+    with singly-proposed commands, so they read as ``(1, 0)``.
+    """
+    return int(job.get("shards") or 1), int(job.get("batch_size") or 0)
 
 
 #: Top-level payload fields that carry timing or environment information and
@@ -196,7 +216,7 @@ def validate_run_payload(payload: Any) -> list[str]:
                 problems.append(
                     f"{where}: time_source {time_source!r} not one of {JOB_TIME_SOURCES}"
                 )
-        if not legacy:
+        if schema not in ("repro-results/v1", "repro-results/v2", "repro-results/v3"):
             wall_latency = expect(job, "wall_latency", (dict, type(None)), where)
             if isinstance(wall_latency, dict):
                 for name, value in wall_latency.items():
@@ -205,6 +225,13 @@ def validate_run_payload(payload: Any) -> list[str]:
                             f"{where}: wall_latency[{name!r}] must be numeric, "
                             f"got {type(value).__name__}"
                         )
+        if not legacy:
+            shards = expect(job, "shards", (int,), where)
+            if shards is not None and shards < 1:
+                problems.append(f"{where}: shards must be >= 1, got {shards}")
+            batch_size = expect(job, "batch_size", (int,), where)
+            if batch_size is not None and batch_size < 0:
+                problems.append(f"{where}: batch_size must be >= 0, got {batch_size}")
         status = expect(job, "status", (str,), where)
         if status is not None and status not in _JOB_STATUSES:
             problems.append(f"{where}: status {status!r} not one of {_JOB_STATUSES}")

@@ -240,6 +240,26 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
             ) + AXIS_PARAMS,
         ),
         ExperimentSpec(
+            id="E13",
+            title="sharded + batched GLA data-plane scaling (extension)",
+            runner=_experiments.run_shard_scaling_experiment,
+            # The curves are a data-plane throughput study, so the runner
+            # defaults to the turbo backend (unlike E1-E12's kernel default);
+            # the declared default below must match the runner's signature.
+            params=(
+                ParamSpec(
+                    "scheduler", "str", "",
+                    "schedule override: delay | random[:spread=S] | "
+                    "worst-case[:victims=p0+p1|quorum,starve=S,fast=F]",
+                ),
+                ParamSpec(
+                    "fault_plan", "str", "",
+                    "fault script: churn | partition@A-B and crash:IDX@A-B terms joined with +",
+                ),
+                ParamSpec("backend", "str", "turbo", backend_param_help()),
+            ),
+        ),
+        ExperimentSpec(
             id="SCENARIO",
             title="one randomized-explorer scenario (see python -m repro explore)",
             runner=_scenarios.run_scenario_experiment,
@@ -253,6 +273,10 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
                 ParamSpec("wire", "str", "",
                           "wire-fault DSL for sbs/gsbs over real TCP, "
                           "e.g. flip:0.3+tamper-value:0.5 (see repro.engine.wire_faults)"),
+                ParamSpec("batch", "int", 0,
+                          "proposer batch size for gwts/gsbs/rsm (0 = propose singly)"),
+                ParamSpec("shards", "int", 1,
+                          "shard the RSM into this many core-groups (rsm only, n >= shards*(3f+1))"),
             ) + AXIS_PARAMS,
             hidden=True,
         ),

@@ -31,8 +31,26 @@ from repro.rsm.crdt import (
     ReplicatedObject,
 )
 from repro.rsm.replica import ConfirmReply, ConfirmRequest, DecideNotice, Replica, UpdateRequest
+from repro.rsm.sharding import (
+    ShardedRSMClient,
+    join_map_shards,
+    partition_replicas,
+    project_map,
+    routing_key,
+    shard_of,
+    shard_of_command,
+    shard_of_operation,
+)
 
 __all__ = [
+    "ShardedRSMClient",
+    "join_map_shards",
+    "partition_replicas",
+    "project_map",
+    "routing_key",
+    "shard_of",
+    "shard_of_command",
+    "shard_of_operation",
     "Command",
     "nop_command",
     "make_command",

@@ -1,11 +1,20 @@
 """RSM clients: the update / read protocols of Algorithms 5 and 6.
 
-A :class:`RSMClient` executes a *script* of operations sequentially: the next
-operation starts only after the previous one completed (this is what gives
-the real-time order that linearizability is checked against).  Each completed
-operation is recorded as an :class:`OperationRecord` with its invocation and
-completion times and, for reads, the returned value; the history of all
-clients feeds :func:`repro.rsm.checker.check_rsm_history`.
+A :class:`RSMClient` executes a *script* of operations.  By default
+(``pipeline=1``) it is strictly sequential: the next operation starts only
+after the previous one completed (this is what gives the real-time order
+that linearizability is checked against).  Because the paper's updates are
+*commutative* — any set of concurrent updates joins into one decision —
+independent updates need not wait on each other: ``pipeline=k`` keeps up to
+``k`` updates in flight at once, which is what makes the replicas'
+``batch_size`` knob reachable from the client side (a strictly sequential
+client hands GWTS one value per round, so nothing ever batches).  Reads are
+always barriers: a read starts only once every earlier operation completed,
+and nothing starts behind an in-flight read — the read/confirm protocol of
+Algorithm 6 is what anchors real-time order, so it is never reordered.
+Each completed operation is recorded as an :class:`OperationRecord` with its
+invocation and completion times and, for reads, the returned value; the
+history of all clients feeds :func:`repro.rsm.checker.check_rsm_history`.
 
 :class:`ByzantineClient` implements the misbehaviours considered by
 Lemma 12: submitting inadmissible commands, contacting fewer than ``f + 1``
@@ -40,8 +49,21 @@ class OperationRecord:
         return self.end_time is not None
 
 
+@dataclass
+class _InFlightOp:
+    """Per-operation protocol state while the operation is in flight."""
+
+    record: OperationRecord
+    #: Decide receipts for the command: replica -> accepted_set.
+    dec_receipts: dict[Hashable, frozenset[Command]]
+    #: Confirmation receipts per candidate value: value -> set of replicas.
+    conf_receipts: dict[frozenset[Command], set[Hashable]]
+    confirm_phase: bool = False
+    retry_timer: Any = None
+
+
 class RSMClient(ProtocolCore):
-    """A correct RSM client executing a sequential script of operations.
+    """A correct RSM client executing a script of operations.
 
     Parameters
     ----------
@@ -54,7 +76,7 @@ class RSMClient(ProtocolCore):
         ``f + 1`` replicas and completions wait for ``f + 1`` receipts.
     script:
         Sequence of operations, each either ``("update", payload)`` or
-        ``("read",)``.  Executed strictly sequentially.
+        ``("read",)``.
     retry_timeout:
         Timeout (in simulated time) after which an operation still in flight
         is retried — the update/confirm messages are re-sent, escalating
@@ -64,6 +86,12 @@ class RSMClient(ProtocolCore):
         re-injection by the harness.  ``None`` disables retries.  Replicas
         treat re-submitted commands idempotently, so retries never violate
         the RSM specification.
+    pipeline:
+        Maximum number of update operations in flight at once (default 1 =
+        strictly sequential, the paper's client).  Commutative updates need
+        not wait for each other's decisions, so a pipelined client keeps
+        GWTS rounds full and makes the replicas' ``batch_size`` knob
+        effective.  Reads are always barriers regardless of this setting.
     """
 
     RETRY_TAG = "rsm_retry"
@@ -75,23 +103,23 @@ class RSMClient(ProtocolCore):
         f: int,
         script: Sequence[tuple[Any, ...]] = (),
         retry_timeout: float | None = 150.0,
+        pipeline: int = 1,
     ) -> None:
         super().__init__(pid)
+        if pipeline < 1:
+            raise ValueError("pipeline must be at least 1")
         self.replicas: tuple[Hashable, ...] = tuple(replicas)
         self.f = f
         self.script: list[tuple[Any, ...]] = list(script)
         self.history: list[OperationRecord] = []
         self.retry_timeout = retry_timeout
+        self.pipeline = pipeline
         #: Number of timeout-driven retries performed (for tests/metrics).
         self.retries = 0
-        self._retry_timer = None
         self._seq = 0
-        self._current: OperationRecord | None = None
-        #: Decide receipts for the in-flight command: replica -> accepted_set.
-        self._dec_receipts: dict[Hashable, frozenset[Command]] = {}
-        #: Confirmation receipts per candidate value: value -> set of replicas.
-        self._conf_receipts: dict[frozenset[Command], set[Hashable]] = {}
-        self._confirm_phase = False
+        #: Operations currently in flight, keyed by their command ``seq``
+        #: (insertion order = invocation order; at most ``pipeline`` entries).
+        self._inflight: dict[int, _InFlightOp] = {}
 
     # -- script driving ---------------------------------------------------------------
 
@@ -99,68 +127,68 @@ class RSMClient(ProtocolCore):
         self._start_next_operation()
 
     def _start_next_operation(self) -> None:
-        if self._current is not None or not self.script:
-            return
-        kind, *args = self.script.pop(0)
-        self._seq += 1
-        if kind == "update":
-            command = make_command(self.pid, self._seq, args[0])
-        elif kind == "read":
-            command = nop_command(self.pid, self._seq)
-        else:
-            raise ValueError(f"unknown operation kind {kind!r}")
-        record = OperationRecord(
-            client=self.pid, kind=kind, command=command, start_time=self.now
-        )
-        self._current = record
-        self.history.append(record)
-        self._dec_receipts = {}
-        self._conf_receipts = {}
-        self._confirm_phase = False
-        # Algorithm 5 line 3 / Algorithm 6 line 3: submit to (f + 1) replicas.
-        for replica in self.replicas[: self.f + 1]:
-            self.send(replica, UpdateRequest(command=command))
-        self._arm_retry()
+        """Fill the pipeline window from the front of the script."""
+        while self.script and len(self._inflight) < self.pipeline:
+            kind = self.script[0][0]
+            if kind == "read" and self._inflight:
+                return  # a read is a barrier: it starts alone
+            kind, *args = self.script.pop(0)
+            self._seq += 1
+            if kind == "update":
+                command = make_command(self.pid, self._seq, args[0])
+            elif kind == "read":
+                command = nop_command(self.pid, self._seq)
+            else:
+                raise ValueError(f"unknown operation kind {kind!r}")
+            record = OperationRecord(
+                client=self.pid, kind=kind, command=command, start_time=self.now
+            )
+            op = _InFlightOp(record=record, dec_receipts={}, conf_receipts={})
+            self._inflight[self._seq] = op
+            self.history.append(record)
+            # Algorithm 5 line 3 / Algorithm 6 line 3: submit to (f + 1) replicas.
+            for replica in self.replicas[: self.f + 1]:
+                self.send(replica, UpdateRequest(command=command))
+            self._arm_retry(op)
+            if kind == "read":
+                return  # nothing starts behind an in-flight read
 
     def submit_operations(self, operations: Sequence[tuple[Any, ...]]) -> None:
-        """Append operations to the script, starting them if the client is idle.
+        """Append operations to the script, starting them if there is window room.
 
         Service mode (:mod:`repro.cluster`) feeds a long-lived client work in
         phases instead of a fixed construction-time script; each appended
-        batch still executes strictly sequentially after everything already
-        queued.  Must be called from an effect-applying context (a harness
-        step or :meth:`repro.cluster.runtime.CoreHost.call`) so the emitted
+        batch still executes after everything already queued.  Must be called
+        from an effect-applying context (a harness step or
+        :meth:`repro.cluster.runtime.CoreHost.call`) so the emitted
         submission effects are drained.
         """
         self.script.extend(operations)
-        if self._current is None:
-            self._start_next_operation()
+        self._start_next_operation()
 
     # -- timeout-driven retry -----------------------------------------------------------
 
-    def _arm_retry(self) -> None:
+    def _arm_retry(self, op: _InFlightOp) -> None:
         if self.retry_timeout is None:
             return
-        self._retry_timer = self.set_timer(self.retry_timeout, self.RETRY_TAG, self._seq)
-
-    def _disarm_retry(self) -> None:
-        if self._retry_timer is not None:
-            self._retry_timer.cancel()
-            self._retry_timer = None
+        op.retry_timer = self.set_timer(
+            self.retry_timeout, self.RETRY_TAG, op.record.command.seq
+        )
 
     def on_timer(self, tag: str, payload: Any = None) -> None:
         if tag != self.RETRY_TAG:
             return
-        record = self._current
-        if record is None or payload != self._seq:
+        op = self._inflight.get(payload)
+        if op is None:
             return  # the operation completed while the timer was in flight
+        record = op.record
         self.retries += 1
         self.log_event("operation_retry", {"kind": record.kind, "seq": record.command.seq})
-        if self._confirm_phase:
+        if op.confirm_phase:
             # Re-ask every replica to confirm each candidate decision value.
             # dict.fromkeys (not set): deduplicate in receipt order so the
             # re-send order is independent of PYTHONHASHSEED.
-            for accepted_set in dict.fromkeys(self._dec_receipts.values()):
+            for accepted_set in dict.fromkeys(op.dec_receipts.values()):
                 for replica in self.replicas:
                     self.send(replica, ConfirmRequest(accepted_set=accepted_set))
         else:
@@ -168,7 +196,7 @@ class RSMClient(ProtocolCore):
             # some of the original targets may be crashed or cut off.
             for replica in self.replicas:
                 self.send(replica, UpdateRequest(command=record.command))
-        self._arm_retry()
+        self._arm_retry(op)
 
     # -- message handling -----------------------------------------------------------------
 
@@ -179,53 +207,65 @@ class RSMClient(ProtocolCore):
             self._handle_confirm_reply(sender, payload)
 
     def _handle_decide(self, sender: Hashable, msg: DecideNotice) -> None:
-        record = self._current
-        if record is None or sender not in self.replicas:
-            return
-        if not isinstance(msg.accepted_set, frozenset):
-            return
-        if record.command not in msg.accepted_set:
-            return
-        self._dec_receipts[sender] = msg.accepted_set
-        if len(self._dec_receipts) < self.f + 1:
-            return
-        if record.kind == "update":
-            # Algorithm 5 line 4: the update completes.
-            self._complete(result=None)
-        elif not self._confirm_phase:
-            # Algorithm 6 lines 6-8: ask every replica to confirm each of the
-            # (f + 1) candidate decision values (deduplicated in receipt
-            # order — hash order would not be reproducible across processes).
-            self._confirm_phase = True
-            for accepted_set in dict.fromkeys(self._dec_receipts.values()):
-                for replica in self.replicas:
-                    self.send(replica, ConfirmRequest(accepted_set=accepted_set))
-
-    def _handle_confirm_reply(self, sender: Hashable, msg: ConfirmReply) -> None:
-        record = self._current
-        if record is None or record.kind != "read" or not self._confirm_phase:
-            return
         if sender not in self.replicas or not isinstance(msg.accepted_set, frozenset):
             return
-        replicas = self._conf_receipts.setdefault(msg.accepted_set, set())
-        replicas.add(sender)
-        # Algorithm 6 lines 11-12: the first value confirmed by (f + 1)
-        # replicas is returned (executed).
-        if len(replicas) >= self.f + 1:
-            self._complete(result=msg.accepted_set)
+        accepted = msg.accepted_set
+        # One notice can cover several in-flight commands: concurrent
+        # commutative updates all join into the same decision.  Iterate over
+        # a snapshot — completing an operation refills the pipeline, and the
+        # refill must not be credited with this (already consumed) notice.
+        for op_seq in list(self._inflight):
+            op = self._inflight.get(op_seq)
+            if op is None:
+                continue  # completed by an earlier iteration's refill cascade
+            record = op.record
+            if record.command not in accepted:
+                continue
+            op.dec_receipts[sender] = accepted
+            if len(op.dec_receipts) < self.f + 1:
+                continue
+            if record.kind == "update":
+                # Algorithm 5 line 4: the update completes.
+                self._complete(op_seq, result=None)
+            elif not op.confirm_phase:
+                # Algorithm 6 lines 6-8: ask every replica to confirm each of
+                # the (f + 1) candidate decision values (deduplicated in
+                # receipt order — hash order would not be reproducible across
+                # processes).
+                op.confirm_phase = True
+                for accepted_set in dict.fromkeys(op.dec_receipts.values()):
+                    for replica in self.replicas:
+                        self.send(replica, ConfirmRequest(accepted_set=accepted_set))
 
-    def _complete(self, result: frozenset[Command] | None) -> None:
-        record = self._current
-        if record is None:
+    def _handle_confirm_reply(self, sender: Hashable, msg: ConfirmReply) -> None:
+        if sender not in self.replicas or not isinstance(msg.accepted_set, frozenset):
             return
-        self._disarm_retry()
+        # Reads are barriers, so at most one read is ever in flight.
+        for op_seq, op in list(self._inflight.items()):
+            record = op.record
+            if record.kind != "read" or not op.confirm_phase:
+                continue
+            replicas = op.conf_receipts.setdefault(msg.accepted_set, set())
+            replicas.add(sender)
+            # Algorithm 6 lines 11-12: the first value confirmed by (f + 1)
+            # replicas is returned (executed).
+            if len(replicas) >= self.f + 1:
+                self._complete(op_seq, result=msg.accepted_set)
+
+    def _complete(self, op_seq: int, result: frozenset[Command] | None) -> None:
+        op = self._inflight.pop(op_seq, None)
+        if op is None:
+            return
+        if op.retry_timer is not None:
+            op.retry_timer.cancel()
+            op.retry_timer = None
+        record = op.record
         record.end_time = self.now
         record.result = result
         self.log_event("operation_complete", {"kind": record.kind, "seq": record.command.seq})
         # Surface the completion to the harness (collected in engine.outputs)
         # so experiments can observe client progress without polling cores.
         self.output("operation_complete", {"kind": record.kind, "seq": record.command.seq})
-        self._current = None
         self._start_next_operation()
 
     # -- introspection ------------------------------------------------------------------------
@@ -233,7 +273,7 @@ class RSMClient(ProtocolCore):
     @property
     def all_completed(self) -> bool:
         """Whether every scripted operation has completed."""
-        return not self.script and self._current is None
+        return not self.script and not self._inflight
 
     def completed_operations(self) -> list[OperationRecord]:
         """All operations that have completed, in invocation order."""

@@ -74,9 +74,12 @@ class Replica(GWTSProcess):
         f: int,
         max_rounds: int = 6,
         lattice: JoinSemilattice | None = None,
+        batch_size: int | None = None,
     ) -> None:
         lattice = lattice if lattice is not None else SetLattice()
-        super().__init__(pid, lattice, members, f, max_rounds=max_rounds)
+        super().__init__(
+            pid, lattice, members, f, max_rounds=max_rounds, batch_size=batch_size
+        )
         #: Command -> set of clients to notify when it gets decided.
         self._interested_clients: dict[Command, set[Hashable]] = {}
         #: Commands already notified (per client), to avoid duplicate notices.

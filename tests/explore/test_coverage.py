@@ -64,6 +64,7 @@ class TestSignature:
             "faults=crash",
             "wire=none",
             "byz=equivocate",
+            "plane=batch0/shards1",
             "decided=partial",
         )
 

@@ -16,7 +16,7 @@ from repro.harness import (
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 14)}
 
     def test_every_outcome_has_table_and_expected(self):
         outcome = run_chain_experiment(quick=True)

@@ -8,7 +8,7 @@ from repro.orchestrator.jobs import JobSpec, SweepSpec, expand_sweep
 class TestExpansion:
     def test_default_sweep_covers_all_visible_experiments(self):
         jobs = expand_sweep(SweepSpec())
-        assert [job.experiment for job in jobs] == [f"E{i}" for i in range(1, 13)]
+        assert [job.experiment for job in jobs] == [f"E{i}" for i in range(1, 14)]
         assert "SLEEP" not in {job.experiment for job in jobs}
 
     def test_default_seeds_are_each_experiments_own(self):

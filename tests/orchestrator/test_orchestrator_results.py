@@ -108,12 +108,52 @@ class TestValidation:
         assert summary is not None and summary["count"] >= 1
         assert 0.0 <= summary["p50"] <= summary["p99"] <= summary["max"]
 
+    def test_v5_jobs_record_their_data_plane_shape(self):
+        payload = _payload()
+        job = payload["jobs"][0]
+        assert job["shards"] == 1  # E1 drives one core-group, unbatched
+        assert job["batch_size"] == 0
+        del job["shards"]
+        del job["batch_size"]
+        problems = validate_run_payload(payload)
+        assert any("shards" in p for p in problems)
+        assert any("batch_size" in p for p in problems)
+
+    def test_v5_data_plane_values_are_range_checked(self):
+        payload = _payload()
+        payload["jobs"][0]["shards"] = 0
+        payload["jobs"][0]["batch_size"] = -1
+        problems = validate_run_payload(payload)
+        assert any("shards must be >= 1" in p for p in problems)
+        assert any("batch_size must be >= 0" in p for p in problems)
+
+    def test_sharded_scenario_jobs_are_stamped(self):
+        job = JobSpec(
+            experiment="SCENARIO", seed=5, quick=True,
+            params=(("protocol", "rsm"), ("n", 8), ("f", 1), ("shards", 2), ("batch", 2)),
+        )
+        payload = execute_job(job)
+        assert payload["status"] == "ok"
+        assert payload["shards"] == 2
+        assert payload["batch_size"] == 2
+
+    def test_legacy_v4_artifacts_still_validate(self):
+        """Pre-sharding baselines (repro-results/v4) stay readable."""
+        payload = _payload()
+        payload["schema"] = "repro-results/v4"
+        for job in payload["jobs"]:
+            del job["shards"]  # v4 never had the data-plane fields
+            del job["batch_size"]
+        assert validate_run_payload(payload) == []
+
     def test_legacy_v3_artifacts_still_validate(self):
         """Pre-tail-latency baselines (repro-results/v3) stay readable."""
         payload = _payload()
         payload["schema"] = "repro-results/v3"
         for job in payload["jobs"]:
             del job["wall_latency"]  # v3 never had the field
+            del job["shards"]
+            del job["batch_size"]
         assert validate_run_payload(payload) == []
 
     def test_legacy_v2_artifacts_still_validate(self):
@@ -123,6 +163,8 @@ class TestValidation:
         for job in payload["jobs"]:
             del job["time_source"]  # v2 never had the field
             del job["wall_latency"]
+            del job["shards"]
+            del job["batch_size"]
         assert validate_run_payload(payload) == []
 
     def test_legacy_v1_artifacts_still_validate(self):
@@ -133,6 +175,8 @@ class TestValidation:
             del job["backend"]  # v1 never had the field
             del job["time_source"]  # nor this one
             del job["wall_latency"]
+            del job["shards"]
+            del job["batch_size"]
         assert validate_run_payload(payload) == []
 
     def test_missing_fields_are_reported(self):

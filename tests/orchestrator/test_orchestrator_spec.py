@@ -11,14 +11,14 @@ class TestRegistry:
         assert set(visible_experiment_ids()) == set(ALL_EXPERIMENTS)
 
     def test_registry_preserves_experiment_order(self):
-        assert list(visible_experiment_ids()) == [f"E{i}" for i in range(1, 13)]
+        assert list(visible_experiment_ids()) == [f"E{i}" for i in range(1, 14)]
 
     def test_hidden_specs_exist_but_are_not_visible(self):
         assert "SLEEP" in EXPERIMENT_SPECS
         assert "SLEEP" not in visible_experiment_ids()
 
     def test_get_spec_unknown_id_names_the_known_ones(self):
-        with pytest.raises(KeyError, match="E1.*E12"):
+        with pytest.raises(KeyError, match="E1.*E13"):
             get_spec("E99")
 
     def test_default_seeds_come_from_runner_signatures(self):
