@@ -5,9 +5,11 @@ One call to :func:`explore` is one fuzzing campaign:
 1. :func:`~repro.explore.scenarios.generate_scenarios` derives ``budget``
    scenario specs from the campaign seed (the only randomness involved);
 2. each spec becomes a ``SCENARIO`` :class:`~repro.orchestrator.jobs.JobSpec`
-   and runs through the existing worker pool — same process-per-job
-   isolation, per-job timeouts and ``repro-results/v1`` job payloads as a
-   sweep;
+   and runs through the persistent worker pool — same process isolation,
+   per-job timeouts and versioned job payloads as a sweep; finished
+   payloads stream out through ``sink`` (the CLI's JSONL shard writer) as
+   they complete, and ``completed`` feeds back shard records on
+   ``--resume`` so only the missing jobs execute;
 3. every invariant violation is **replayed** in-process from its seed
    (confirming the determinism the reproducer story depends on) and then
    **shrunk** to a minimal spec with
@@ -46,7 +48,7 @@ from repro.explore.coverage import CoverageMap
 from repro.explore.scenarios import ScenarioSampler, ScenarioSpec, run_scenario_spec
 from repro.explore.shrink import DEFAULT_MAX_PROBES, shrink_scenario
 from repro.orchestrator.jobs import JobSpec
-from repro.orchestrator.pool import JobResult, run_jobs
+from repro.orchestrator.pool import JobResult, iter_job_results
 
 #: Default number of scenarios per campaign (mirrors the CLI default).
 DEFAULT_BUDGET = 25
@@ -136,10 +138,25 @@ def explore(
     batch: int = 0,
     menus: dict[str, tuple[str, ...]] | None = None,
     campaign_config: dict[str, Any] | None = None,
+    sink: Callable[[int, dict[str, Any]], None] | None = None,
+    completed: dict[int, dict[str, Any]] | None = None,
 ) -> ExplorationReport:
-    """Run one exploration campaign; see the module docstring for the shape."""
+    """Run one exploration campaign; see the module docstring for the shape.
+
+    ``sink`` receives ``(index, payload)`` for every *newly executed* job as
+    it completes — the CLI points it at the JSONL shard writer, so a crash
+    loses at most the in-flight jobs.  ``completed`` maps scenario indices
+    to job payloads recovered from a previous run's shard (``--resume``):
+    those scenarios are not re-executed, but their stored payloads still
+    feed the coverage map in job order, so the feedback RNG stream — and
+    therefore every later scenario — is identical to the uninterrupted run.
+    A ``completed`` payload whose key does not match the deterministic
+    re-expansion means the shard belongs to a different campaign; that
+    raises rather than silently mixing runs.
+    """
     if budget < 1:
         raise ValueError(f"budget must be >= 1, got {budget}")
+    completed = completed or {}
     coverage_map = CoverageMap() if coverage else None
     sampler = ScenarioSampler(seed=seed, mutant=mutant, coverage=coverage_map, menus=menus)
     # Without feedback, batching changes nothing — run one batch, which
@@ -149,26 +166,45 @@ def explore(
     specs: list[ScenarioSpec] = []
     results: list[JobResult] = []
     while len(specs) < budget:
+        base = len(specs)
         chunk = sampler.take(min(batch_size, budget - len(specs)))
-        jobs = [
-            JobSpec(
+        chunk_results: list[JobResult | None] = [None] * len(chunk)
+        pending: list[JobSpec] = []
+        pending_offsets: list[int] = []
+        for offset, spec in enumerate(chunk):
+            job = JobSpec(
                 experiment="SCENARIO",
                 seed=spec.seed,
                 params=tuple(sorted(spec.params().items())),
                 quick=quick,
                 timeout_s=timeout_s,
-                index=len(specs) + offset,
+                index=base + offset,
             )
-            for offset, spec in enumerate(chunk)
-        ]
-        chunk_results = run_jobs(jobs, workers=workers, progress=progress)
+            done = completed.get(job.index)
+            if done is not None:
+                if done.get("key") != job.key:
+                    raise ValueError(
+                        f"resume shard does not match this campaign: stored job "
+                        f"{done.get('key')!r} at index {job.index} vs expected {job.key!r}"
+                    )
+                chunk_results[offset] = JobResult(job=job, payload=done)
+            else:
+                pending.append(job)
+                pending_offsets.append(offset)
+        for position, result in iter_job_results(pending, workers=workers):
+            offset = pending_offsets[position]
+            chunk_results[offset] = result
+            if sink is not None:
+                sink(base + offset, result.payload)
+            if progress is not None:
+                progress(result)
         if coverage_map is not None:
             for spec, result in zip(chunk, chunk_results, strict=True):
                 if result.payload["status"] in ("ok", "check_failed"):
                     coverage_map.observe(spec, _observed_outcome(result))
             coverage_map.end_batch()
         specs += chunk
-        results += chunk_results
+        results += [_slim_result(result) for result in chunk_results]
 
     report = ExplorationReport(
         budget=budget, seed=seed, mutant=mutant, results=results,
@@ -226,6 +262,27 @@ def explore(
             )
         )
     return report
+
+
+#: Keys of a job payload's "data" section that in-process consumers still
+#: read after the payload has been streamed to the shard (the violation
+#: reporter needs the wire-scenario violations, examples read the spec).
+_RETAINED_DATA_KEYS = ("spec", "violations")
+
+
+def _slim_result(result: JobResult) -> JobResult:
+    """Drop the bulk of a payload's ``data`` once it has been streamed out.
+
+    The full payload lives in the JSONL shard / artifact; what the report
+    retains in memory only has to serve the violation loop and callers
+    reading verdicts — so a campaign's resident size no longer scales with
+    per-job data volume.
+    """
+    data = result.payload.get("data")
+    if not isinstance(data, dict):
+        return result
+    slim = {key: data[key] for key in _RETAINED_DATA_KEYS if key in data}
+    return JobResult(job=result.job, payload={**result.payload, "data": slim})
 
 
 def _observed_outcome(result: JobResult) -> dict[str, Any]:

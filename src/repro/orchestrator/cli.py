@@ -7,13 +7,21 @@ Subcommands::
     repro run E3 --param backend=turbo # any declared axis, e.g. the engine
     repro sweep --quick --workers 4    # the full matrix -> results/run-<tag>.json
     repro sweep --param backend=async  # fix an axis across the whole matrix
+    repro sweep --resume --progress    # finish an interrupted sweep, live meter
     repro explore --budget 25 --seed 1 # randomized scenario fuzzing + shrinking
     repro explore --campaign examples/campaign_wire_faults.toml  # declarative
     repro explore --coverage           # coverage-guided axis weighting
+    repro explore ... --resume         # complete a killed campaign from its shard
     repro cluster up --nodes 3         # the RSM as real OS processes (see
     repro cluster client --commands 50 #  repro.cluster.cli / docs/operations.md)
-    repro validate results/run-x.json  # schema-check an artifact
+    repro validate results/run-x.json  # schema-check an artifact (or .jobs.jsonl)
     repro compare baseline.json run.json [--max-latency-regression 20]
+    repro compare baseline.json run.jobs.jsonl   # stream a shard as the current
+
+``sweep`` and ``explore`` stream every finished job to a crash-safe JSONL
+shard (``results/run-<tag>.jobs.jsonl``) and roll it up into the canonical
+artifact at the end; ``--resume`` keeps the shard's completed records and
+runs only the missing jobs, producing a byte-identical canonical artifact.
 
 ``--param KEY=VALUE`` (repeatable, on ``run`` and ``sweep``) overrides any
 parameter an experiment declares; since the backend registry landed, every
@@ -37,17 +45,78 @@ from typing import Any
 
 from repro.cluster.cli import add_cluster_parser, run_cluster_command
 from repro.metrics.report import format_table
-from repro.orchestrator.compare import DEFAULT_MAX_LATENCY_REGRESSION, compare_payloads
+from repro.orchestrator.compare import (
+    DEFAULT_MAX_LATENCY_REGRESSION,
+    compare_job_stream,
+    compare_payloads,
+)
 from repro.orchestrator.jobs import JobSpec, SweepSpec, expand_sweep
-from repro.orchestrator.pool import JobResult, payload_from_outcome, run_jobs
+from repro.orchestrator.pool import JobResult, iter_job_results, payload_from_outcome
 from repro.orchestrator.results import (
+    ShardIndex,
+    ShardWriter,
     build_run_payload,
     default_results_path,
+    iter_shard_records,
+    jsonable,
     load_payload,
+    rollup_shard,
+    shard_path_for,
+    validate_job_payload,
     validate_run_payload,
+    validate_shard,
     write_run_payload,
 )
 from repro.orchestrator.spec import EXPERIMENT_SPECS, get_spec, visible_experiment_ids
+
+
+class ProgressMeter:
+    """Throttled ``done/total, jobs/s, ETA`` lines on stderr (``--progress``).
+
+    Long campaigns are otherwise observable only by tailing the JSONL shard;
+    this prints at most one line per ``min_interval_s`` so a 10k-job sweep
+    does not drown CI logs.  Jobs reused from a resumed shard are counted as
+    already done but excluded from the rate, which therefore estimates the
+    remaining wall time honestly.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str,
+        enabled: bool = True,
+        already_done: int = 0,
+        min_interval_s: float = 1.0,
+        stream: Any = None,
+    ) -> None:
+        self._total = total
+        self._label = label
+        self._enabled = enabled
+        self._done = already_done
+        self._executed = 0
+        self._min_interval_s = min_interval_s
+        self._stream = stream if stream is not None else sys.stderr
+        self._started = time.monotonic()
+        self._last_emit = 0.0
+
+    def tick(self) -> None:
+        self._done += 1
+        self._executed += 1
+        now = time.monotonic()
+        if not self._enabled:
+            return
+        if self._done < self._total and now - self._last_emit < self._min_interval_s:
+            return
+        self._last_emit = now
+        elapsed = max(now - self._started, 1e-9)
+        rate = self._executed / elapsed
+        remaining = self._total - self._done
+        eta = f"{remaining / rate:.0f}s" if rate > 0 else "?"
+        print(
+            f"[{self._label}] {self._done}/{self._total} done, "
+            f"{rate:.1f} jobs/s, ETA {eta}",
+            file=self._stream,
+        )
 
 
 def _parse_param_overrides(pairs: Sequence[str]) -> dict[str, str]:
@@ -153,8 +222,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    config = sweep.to_config()
+    tag = args.tag or time.strftime("%Y%m%d-%H%M%S")
+    path = args.out or default_results_path(tag)
+    shard_path = shard_path_for(path)
+
+    # --resume: reuse every shard record whose (index, key) matches the
+    # deterministic re-expansion; everything else runs again.  The shard
+    # header's config guards against resuming a different sweep onto the
+    # same tag.
+    reused: dict[int, dict[str, Any]] = {}
+    resuming = bool(args.resume and shard_path.exists())
+    if resuming:
+        try:
+            index = ShardIndex(shard_path)
+        except ValueError as exc:
+            print(f"cannot resume from {shard_path}: {exc}", file=sys.stderr)
+            return 1
+        header_config = (index.header or {}).get("config")
+        if header_config != jsonable(config):
+            print(f"cannot resume from {shard_path}: its config does not match "
+                  f"this sweep (same tag, different --only/--seeds/--param/--quick?)",
+                  file=sys.stderr)
+            return 2
+        for job in jobs:
+            if job.index in index and index.key_of(job.index) == job.key:
+                reused[job.index] = index.get(job.index)
+    pending = [job for job in jobs if job.index not in reused]
+
     print(f"sweep: {len(jobs)} jobs across {len(experiments)} experiments, "
-          f"{args.workers} worker(s)")
+          f"{args.workers} worker(s)"
+          + (f" ({len(reused)} reused from {shard_path})" if reused else ""))
 
     def report_progress(result: JobResult) -> None:
         marker = {"ok": "ok", "check_failed": "CHECK FAILED"}.get(
@@ -166,30 +264,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if data.get("headers") and data.get("rows"):
                 print(format_table(data["headers"], data["rows"]))
 
+    meter = ProgressMeter(
+        total=len(jobs), label="sweep", enabled=args.progress, already_done=len(reused)
+    )
+    totals = {"ok": 0, "check_failed": 0, "timeout": 0, "error": 0}
+    failed: list[str] = []
+
+    def account(key: str, payload: dict[str, Any]) -> None:
+        totals[payload["status"]] = totals.get(payload["status"], 0) + 1
+        if payload["status"] != "ok":
+            error = payload.get("error")
+            detail = f": {str(error).strip().splitlines()[-1]}" if error else ""
+            failed.append(f"FAILED {key} [{payload['status']}]{detail}")
+
+    for job in jobs:
+        if job.index in reused:
+            account(job.key, reused[job.index])
+
     started = time.perf_counter()
-    results = run_jobs(jobs, workers=args.workers, progress=report_progress)
+    with ShardWriter(shard_path, tag=tag, config=config, fresh=not resuming) as writer:
+        for _position, result in iter_job_results(pending, workers=args.workers):
+            writer.append(result.job.index, result.payload)
+            account(result.job.key, result.payload)
+            report_progress(result)
+            meter.tick()
     wall_time = time.perf_counter() - started
 
-    tag = args.tag or time.strftime("%Y%m%d-%H%M%S")
-    payload = build_run_payload(
-        tag=tag,
-        config=sweep.to_config(),
-        job_payloads=[result.payload for result in results],
-        wall_time_s=wall_time,
-        workers=args.workers,
+    rollup_shard(
+        ShardIndex(shard_path), path, tag=tag, config=config,
+        job_count=len(jobs), wall_time_s=wall_time, workers=args.workers,
+        resumed=len(reused),
     )
-    path = args.out or default_results_path(tag)
-    write_run_payload(payload, path)
 
-    totals = payload["totals"]
-    print(f"\n{totals['jobs']} jobs: {totals['ok']} ok, {totals['check_failed']} check-failed, "
+    print(f"\n{len(jobs)} jobs: {totals['ok']} ok, {totals['check_failed']} check-failed, "
           f"{totals['timeout']} timed out, {totals['error']} errored  ({wall_time:.1f}s wall)")
     print(f"wrote {path}")
-    failed = [result for result in results if not result.ok]
-    for result in failed:
-        error = result.payload.get("error")
-        detail = f": {str(error).strip().splitlines()[-1]}" if error else ""
-        print(f"FAILED {result.job.key} [{result.status}]{detail}", file=sys.stderr)
+    for line in failed:
+        print(line, file=sys.stderr)
     return 1 if failed else 0
 
 
@@ -238,7 +349,49 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         )
         print(f"  [{marker:>12}] {result.job.key}  ({result.payload['wall_time_s']:.1f}s)")
 
+    tag = args.tag or (f"explore-{campaign.name}" if campaign else f"explore-{seed}")
+    path = args.out or default_results_path(tag)
+    shard_path = shard_path_for(path)
+
+    # The shard header records the campaign *inputs* (the final artifact's
+    # config additionally carries the violations/coverage found, which are
+    # only known at the end) — on --resume they must match exactly.
+    inputs = {
+        "budget": budget, "seed": seed, "mutant": mutant, "quick": quick,
+        "coverage": coverage, "batch": batch,
+        "campaign": campaign.to_config() if campaign else None,
+    }
+    completed: dict[int, dict[str, Any]] = {}
+    resuming = bool(args.resume and shard_path.exists())
+    if resuming:
+        try:
+            index = ShardIndex(shard_path)
+        except ValueError as exc:
+            print(f"cannot resume from {shard_path}: {exc}", file=sys.stderr)
+            return 1
+        header_config = (index.header or {}).get("config")
+        if header_config != jsonable(inputs):
+            print(f"cannot resume from {shard_path}: its config does not match "
+                  f"this campaign (same tag, different seed/budget/flags?)",
+                  file=sys.stderr)
+            return 2
+        for position in index.indices():
+            if 0 <= position < budget:
+                completed[position] = index.get(position)
+        if completed:
+            print(f"resuming: {len(completed)} of {budget} scenarios "
+                  f"reused from {shard_path}")
+
+    meter = ProgressMeter(
+        total=budget, label="explore", enabled=args.progress, already_done=len(completed)
+    )
     started = time.perf_counter()
+    writer = ShardWriter(shard_path, tag=tag, config=inputs, fresh=not resuming)
+
+    def sink(position: int, payload: dict[str, Any]) -> None:
+        writer.append(position, payload)
+        meter.tick()
+
     try:
         report = explore(
             budget=budget,
@@ -252,28 +405,30 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             batch=batch,
             menus=campaign.menus() if campaign else None,
             campaign_config=campaign.to_config() if campaign else None,
+            sink=sink,
+            completed=completed,
         )
-    except ValueError as exc:  # bad budget/mutant/menus: raised before any job runs
+    except ValueError as exc:  # bad budget/mutant/menus, or a mismatched shard
+        writer.close()
+        if not resuming and writer.written == 0:
+            shard_path.unlink(missing_ok=True)  # nothing useful was persisted
         print(exc, file=sys.stderr)
         return 2
+    finally:
+        writer.close()
     wall_time = time.perf_counter() - started
 
-    tag = args.tag or (f"explore-{campaign.name}" if campaign else f"explore-{seed}")
     config = {
         "experiments": ["SCENARIO"],
         "seeds": [seed],
         "quick": quick,
         "explore": report.to_config(),
     }
-    payload = build_run_payload(
-        tag=tag,
-        config=config,
-        job_payloads=[result.payload for result in report.results],
-        wall_time_s=wall_time,
-        workers=args.workers,
+    rollup_shard(
+        ShardIndex(shard_path), path, tag=tag, config=config,
+        job_count=budget, wall_time_s=wall_time, workers=args.workers,
+        resumed=len(completed),
     )
-    path = args.out or default_results_path(tag)
-    write_run_payload(payload, path)
 
     print(f"\n{len(report.results)} scenarios: {len(report.violations)} invariant "
           f"violation(s), {len(report.failures)} infrastructure failure(s)  "
@@ -297,6 +452,18 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     status = 0
     for path in args.paths:
+        if str(path).endswith(".jsonl"):
+            # A JSONL shard — possibly partial (a crashed run's remains, the
+            # thing --resume picks up) — validates record by record.
+            problems, jobs, torn = validate_shard(path)
+            if problems:
+                status = 1
+                for problem in problems:
+                    print(f"{path}: {problem}", file=sys.stderr)
+            else:
+                note = " (torn trailing record ignored)" if torn else ""
+                print(f"{path}: valid results shard with {jobs} job record(s){note}")
+            continue
         try:
             payload = load_payload(path)
         except (OSError, ValueError) as exc:
@@ -315,23 +482,60 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    payloads = {}
-    for name, path in (("baseline", args.baseline), ("current", args.current)):
-        try:
-            payloads[name] = load_payload(path)
-        except (OSError, ValueError) as exc:
-            print(f"{name}: unreadable {path} ({exc})", file=sys.stderr)
-            return 1
-    baseline, current = payloads["baseline"], payloads["current"]
-    for name, payload in (("baseline", baseline), ("current", current)):
-        problems = validate_run_payload(payload)
-        if problems:
-            for problem in problems:
-                print(f"{name}: {problem}", file=sys.stderr)
-            return 1
+    try:
+        baseline = load_payload(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"baseline: unreadable {args.baseline} ({exc})", file=sys.stderr)
+        return 1
+    problems = validate_run_payload(baseline)
+    if problems:
+        for problem in problems:
+            print(f"baseline: {problem}", file=sys.stderr)
+        return 1
+
+    if str(args.current).endswith(".jsonl"):
+        # Compare the JSONL shard directly — one pass, no materialized run;
+        # a 10k-job campaign can be gated while (or before) it rolls up.
+        return _compare_shard(baseline, args)
+
+    try:
+        current = load_payload(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"current: unreadable {args.current} ({exc})", file=sys.stderr)
+        return 1
+    problems = validate_run_payload(current)
+    if problems:
+        for problem in problems:
+            print(f"current: {problem}", file=sys.stderr)
+        return 1
     report = compare_payloads(
         baseline, current, max_latency_regression=args.max_latency_regression / 100.0
     )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _compare_shard(baseline: dict[str, Any], args: argparse.Namespace) -> int:
+    def jobs_from_shard(schema: str) -> Any:
+        for record in iter_shard_records(args.current):
+            if "key" not in record:
+                continue  # shard header
+            payload = {k: v for k, v in record.items() if k != "index"}
+            problems = validate_job_payload(payload, schema, f"job {payload.get('key')!r}")
+            if problems:
+                raise ValueError("; ".join(problems))
+            yield payload
+
+    try:
+        header = ShardIndex(args.current).header
+        schema = (header or {}).get("run_schema") or ""
+        report = compare_job_stream(
+            baseline, jobs_from_shard(schema),
+            max_latency_regression=args.max_latency_regression / 100.0,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"current: {args.current}: {exc}", file=sys.stderr)
+        return 1
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -377,6 +581,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="artifact path (default: results/run-<tag>.json)")
     sweep_parser.add_argument("--verbose", action="store_true",
                               help="print each experiment's table as it finishes")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="reuse job records already in the run's JSONL "
+                                   "shard (after a crash or kill); only missing "
+                                   "jobs execute")
+    sweep_parser.add_argument("--progress", action="store_true",
+                              help="report done/total, jobs/s and ETA on stderr")
 
     explore_parser = subparsers.add_parser(
         "explore", help="fuzz randomized scenarios; replay + shrink any violation"
@@ -408,6 +618,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="artifact tag (default: explore-<seed>)")
     explore_parser.add_argument("--out", default=None, metavar="PATH",
                                 help="artifact path (default: results/run-<tag>.json)")
+    explore_parser.add_argument("--resume", action="store_true",
+                                help="reuse scenarios already in the campaign's JSONL "
+                                     "shard (after a crash or kill); only missing "
+                                     "scenarios execute")
+    explore_parser.add_argument("--progress", action="store_true",
+                                help="report done/total, jobs/s and ETA on stderr")
 
     add_cluster_parser(subparsers)
 

@@ -19,6 +19,7 @@ regressions make :attr:`ComparisonReport.ok` false.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -68,63 +69,91 @@ def compare_payloads(
     max_latency_regression: float = DEFAULT_MAX_LATENCY_REGRESSION,
 ) -> ComparisonReport:
     """Compare ``current`` against ``baseline`` job by job."""
+    return compare_job_stream(baseline, current.get("jobs", ()), max_latency_regression)
+
+
+def compare_job_stream(
+    baseline: dict[str, Any],
+    current_jobs: Iterable[dict[str, Any]],
+    max_latency_regression: float = DEFAULT_MAX_LATENCY_REGRESSION,
+) -> ComparisonReport:
+    """Compare a stream of current job payloads against ``baseline``.
+
+    Single pass over ``current_jobs`` — the run being checked is never
+    materialized, so a 10k-job campaign compares in O(baseline) memory
+    (the baseline itself stays resident: every missing-from-run check
+    needs it).  ``compare_payloads`` is the convenience wrapper for
+    callers that already hold both artifacts.
+    """
     report = ComparisonReport()
     baseline_jobs = _jobs_by_key(baseline)
-    current_jobs = _jobs_by_key(current)
 
-    for key in current_jobs:
-        if key not in baseline_jobs:
+    seen: set[str] = set()
+    for current_job in current_jobs:
+        key = current_job["key"]
+        seen.add(key)
+        baseline_job = baseline_jobs.get(key)
+        if baseline_job is None:
             report.notes.append(f"{key}: new job, not in baseline")
+            continue
+        _compare_one(report, key, baseline_job, current_job, max_latency_regression)
 
     for key, baseline_job in baseline_jobs.items():
-        current_job = current_jobs.get(key)
-        if current_job is None:
-            if baseline_job["status"] == "ok":
-                report.correctness_regressions.append(f"{key}: present in baseline, missing from run")
-            else:
-                report.notes.append(f"{key}: missing from run (was {baseline_job['status']} in baseline)")
+        if key in seen:
             continue
-
-        baseline_status = baseline_job["status"]
-        current_status = current_job["status"]
-        if baseline_status == "ok" and current_status != "ok":
-            detail = ""
-            check = current_job.get("check")
-            if isinstance(check, dict) and check.get("violations"):
-                detail = f" (violations: {sorted(check['violations'])})"
-            elif current_job.get("error"):
-                detail = f" ({str(current_job['error']).strip().splitlines()[-1]})"
-            report.correctness_regressions.append(
-                f"{key}: baseline passed, run is {current_status}{detail}"
-            )
-        elif baseline_status != "ok" and current_status == "ok":
-            report.improvements.append(f"{key}: baseline was {baseline_status}, run passes")
-
-        if "wall-clock" in (job_time_source(baseline_job), job_time_source(current_job)):
-            if baseline_job.get("latency") or current_job.get("latency"):
-                report.notes.append(
-                    f"{key}: latency metrics are wall-clock measurements; regression gating skipped"
-                )
-            continue
-
-        baseline_latency = baseline_job.get("latency") or {}
-        current_latency = current_job.get("latency") or {}
-        for metric, baseline_value in baseline_latency.items():
-            current_value = current_latency.get(metric)
-            # Non-numeric values (e.g. "nan" strings from jsonable, or
-            # hand-edited artifacts) are skipped, not crashed on.
-            if not isinstance(baseline_value, (int, float)) or isinstance(baseline_value, bool):
-                continue
-            if not isinstance(current_value, (int, float)) or isinstance(current_value, bool):
-                continue
-            allowed = baseline_value * (1.0 + max_latency_regression) + _ABSOLUTE_SLACK
-            if current_value > allowed:
-                report.latency_regressions.append(
-                    f"{key}: {metric} {baseline_value:g} -> {current_value:g} "
-                    f"(> +{max_latency_regression:.0%} allowed)"
-                )
-            elif baseline_value > 0 and current_value < baseline_value * (1.0 - max_latency_regression):
-                report.improvements.append(
-                    f"{key}: {metric} {baseline_value:g} -> {current_value:g}"
-                )
+        if baseline_job["status"] == "ok":
+            report.correctness_regressions.append(f"{key}: present in baseline, missing from run")
+        else:
+            report.notes.append(f"{key}: missing from run (was {baseline_job['status']} in baseline)")
     return report
+
+
+def _compare_one(
+    report: ComparisonReport,
+    key: str,
+    baseline_job: dict[str, Any],
+    current_job: dict[str, Any],
+    max_latency_regression: float,
+) -> None:
+    baseline_status = baseline_job["status"]
+    current_status = current_job["status"]
+    if baseline_status == "ok" and current_status != "ok":
+        detail = ""
+        check = current_job.get("check")
+        if isinstance(check, dict) and check.get("violations"):
+            detail = f" (violations: {sorted(check['violations'])})"
+        elif current_job.get("error"):
+            detail = f" ({str(current_job['error']).strip().splitlines()[-1]})"
+        report.correctness_regressions.append(
+            f"{key}: baseline passed, run is {current_status}{detail}"
+        )
+    elif baseline_status != "ok" and current_status == "ok":
+        report.improvements.append(f"{key}: baseline was {baseline_status}, run passes")
+
+    if "wall-clock" in (job_time_source(baseline_job), job_time_source(current_job)):
+        if baseline_job.get("latency") or current_job.get("latency"):
+            report.notes.append(
+                f"{key}: latency metrics are wall-clock measurements; regression gating skipped"
+            )
+        return
+
+    baseline_latency = baseline_job.get("latency") or {}
+    current_latency = current_job.get("latency") or {}
+    for metric, baseline_value in baseline_latency.items():
+        current_value = current_latency.get(metric)
+        # Non-numeric values (e.g. "nan" strings from jsonable, or
+        # hand-edited artifacts) are skipped, not crashed on.
+        if not isinstance(baseline_value, (int, float)) or isinstance(baseline_value, bool):
+            continue
+        if not isinstance(current_value, (int, float)) or isinstance(current_value, bool):
+            continue
+        allowed = baseline_value * (1.0 + max_latency_regression) + _ABSOLUTE_SLACK
+        if current_value > allowed:
+            report.latency_regressions.append(
+                f"{key}: {metric} {baseline_value:g} -> {current_value:g} "
+                f"(> +{max_latency_regression:.0%} allowed)"
+            )
+        elif baseline_value > 0 and current_value < baseline_value * (1.0 - max_latency_regression):
+            report.improvements.append(
+                f"{key}: {metric} {baseline_value:g} -> {current_value:g}"
+            )

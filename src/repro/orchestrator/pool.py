@@ -1,17 +1,24 @@
-"""Job execution: inline or fanned out across worker processes.
+"""Job execution: inline or fanned out across a persistent worker pool.
 
 Each job runs one experiment, which is a pure function of its
 ``(experiment, seed, params, quick)`` spec — the simulation kernel seeds its
 own RNG — so executing in a child process cannot change the outcome, only
 the wall-clock.  That invariant is what lets ``run_jobs`` hand the same job
 list to one worker or eight and produce byte-identical canonical artifacts
-(``tests/orchestrator/test_pool.py`` pins it).
+(``tests/orchestrator/test_orchestrator_pool.py`` pins it).
 
-The pool is process-per-job with bounded concurrency rather than a long-lived
-``multiprocessing.Pool``: jobs are coarse (full simulations, milliseconds to
-seconds each), fork startup is cheap next to that, and a dedicated process is
-the only reliable way to enforce a per-job timeout — ``terminate()`` cannot
-surgically kill one task inside a shared pool worker.
+The pool forks ``workers`` long-lived child processes once per call and
+feeds them jobs over dedicated request/reply pipes; the supervisor blocks in
+``multiprocessing.connection.wait()`` (event-driven readiness, no sleep-poll
+loop).  This replaced the original process-per-job design once sweeps grew
+from 36 jobs to 10k-job campaigns: fork startup was cheap next to a
+multi-second experiment but dominates a many-small-jobs workload
+(``benchmarks/bench_orchestrator_throughput.py`` measures the ratio, CI
+gates it).  Per-job timeouts survive the change because every worker owns a
+*dedicated* pipe — the classic objection to timeouts on a shared
+``multiprocessing.Pool`` (``terminate()`` cannot surgically kill one task)
+does not apply when killing the worker kills exactly the one job it is
+running; the supervisor then respawns only that worker.
 """
 
 from __future__ import annotations
@@ -19,8 +26,9 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
 from typing import Any
 
 from repro.engine.backends import backend_time_source
@@ -28,8 +36,13 @@ from repro.orchestrator.jobs import JobSpec
 from repro.orchestrator.results import jsonable
 from repro.orchestrator.spec import get_spec
 
-#: How long the supervisor sleeps between polls of the running children.
-_POLL_INTERVAL_S = 0.02
+#: Grace period for a terminated worker to die before escalating to kill().
+_TERMINATE_GRACE_S = 5.0
+
+#: Upper bound on one `connection.wait` block: even with no deadlines armed,
+#: wake occasionally so a worker that died without closing its pipe (should
+#: be impossible, but cheap to defend against) is noticed.
+_MAX_WAIT_S = 5.0
 
 
 @dataclass
@@ -144,98 +157,186 @@ def _crash_payload(job: JobSpec, elapsed_s: float, exitcode: int | None) -> dict
     )
 
 
-def _child_main(connection, job: JobSpec) -> None:
-    """Entry point of one worker process (top-level so it survives spawn)."""
+def _worker_main(connection) -> None:
+    """Loop of one persistent worker process (top-level so it survives spawn).
+
+    Receives ``(position, JobSpec)`` tasks over its dedicated pipe, replies
+    ``(position, payload)``, and exits on the ``None`` sentinel or EOF.
+    """
     try:
-        payload = execute_job(job)
-    except BaseException:  # never let a worker die silently
-        payload = _base_payload(job, "error", 0.0, traceback.format_exc())
-    try:
-        connection.send(payload)
+        while True:
+            try:
+                task = connection.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            position, job = task
+            try:
+                payload = execute_job(job)
+            except BaseException:  # never let a worker die silently
+                payload = _base_payload(job, "error", 0.0, traceback.format_exc())
+            connection.send((position, payload))
     finally:
         connection.close()
+
+
+@dataclass
+class PoolStats:
+    """Observability counters for one pool run (tests pin timeout surgicality)."""
+
+    workers_spawned: int = 0
+    workers_respawned: int = 0
+
+
+@dataclass
+class _Worker:
+    process: Any
+    connection: Any
+    position: int | None = None  # job currently being executed, if any
+    job: JobSpec | None = None
+    started: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.job is not None
+
+
+def iter_job_results(
+    jobs: list[JobSpec],
+    workers: int = 1,
+    stats: PoolStats | None = None,
+) -> Iterator[tuple[int, JobResult]]:
+    """Execute ``jobs`` and yield ``(position, result)`` in completion order.
+
+    This is the streaming primitive under ``run_jobs``: the supervisor holds
+    at most ``workers`` in-flight payloads, so a consumer that flushes each
+    result as it arrives (the JSONL shard writer) keeps memory O(workers)
+    regardless of campaign size.
+
+    ``workers <= 1`` with no timeouts runs everything inline (simplest
+    possible execution, handy under a debugger); otherwise a pool of
+    ``workers`` persistent worker processes executes them, enforcing each
+    job's ``timeout_s`` by killing and respawning only that job's worker.
+    """
+    if stats is None:
+        stats = PoolStats()
+    needs_processes = workers > 1 or any(job.timeout_s is not None for job in jobs)
+    if not needs_processes:
+        for position, job in enumerate(jobs):
+            yield position, JobResult(job=job, payload=execute_job(job))
+        return
+    yield from _iter_pool_results(jobs, max(1, workers), stats)
+
+
+def _stop_worker(worker: _Worker) -> None:
+    """Tear one worker down, escalating terminate -> kill."""
+    try:
+        worker.connection.close()
+    except OSError:  # pragma: no cover - close() on a pipe does not fail in practice
+        pass
+    if worker.process.is_alive():
+        worker.process.terminate()
+        worker.process.join(timeout=_TERMINATE_GRACE_S)
+        if worker.process.is_alive():  # pragma: no cover - terminate() sufficed so far
+            worker.process.kill()
+    worker.process.join()
+
+
+def _iter_pool_results(
+    jobs: list[JobSpec],
+    workers: int,
+    stats: PoolStats,
+) -> Iterator[tuple[int, JobResult]]:
+    context = multiprocessing.get_context()
+    pending = list(enumerate(jobs))
+    pending.reverse()  # pop() takes jobs in submission order
+
+    def spawn() -> _Worker:
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(target=_worker_main, args=(child_conn,), daemon=True)
+        process.start()
+        child_conn.close()  # parent keeps only its end
+        stats.workers_spawned += 1
+        return _Worker(process=process, connection=parent_conn)
+
+    pool = [spawn() for _ in range(min(workers, len(pending)))]
+    idle = list(pool)
+    try:
+        while True:
+            while pending and idle:
+                worker = idle.pop()
+                position, job = pending.pop()
+                worker.connection.send((position, job))
+                worker.position, worker.job, worker.started = position, job, time.perf_counter()
+            busy = [worker for worker in pool if worker.busy]
+            if not busy:
+                break
+
+            wait_s = _MAX_WAIT_S
+            now = time.perf_counter()
+            for worker in busy:
+                if worker.job.timeout_s is not None:
+                    wait_s = min(wait_s, worker.job.timeout_s - (now - worker.started))
+            ready = set(_connection_wait([worker.connection for worker in busy], max(0.0, wait_s)))
+
+            now = time.perf_counter()
+            for worker in busy:
+                position, job, elapsed = worker.position, worker.job, now - worker.started
+                if worker.connection in ready:
+                    try:
+                        reply_position, payload = worker.connection.recv()
+                    except (EOFError, OSError):
+                        # The worker died mid-job (its pipe reads as ready at
+                        # EOF): report the crash and replace just this worker.
+                        worker.process.join()
+                        pool.remove(worker)
+                        replacement = spawn()
+                        pool.append(replacement)
+                        idle.append(replacement)
+                        stats.workers_respawned += 1
+                        payload = _crash_payload(job, elapsed, worker.process.exitcode)
+                        yield position, JobResult(job=job, payload=payload)
+                        continue
+                    assert reply_position == position, "worker replied for a job it was not assigned"
+                    worker.position, worker.job = None, None
+                    idle.append(worker)
+                    yield position, JobResult(job=job, payload=payload)
+                elif job.timeout_s is not None and elapsed > job.timeout_s:
+                    # A dedicated pipe per worker is what keeps this surgical:
+                    # killing the process kills exactly the one job on it.
+                    _stop_worker(worker)
+                    pool.remove(worker)
+                    replacement = spawn()
+                    pool.append(replacement)
+                    idle.append(replacement)
+                    stats.workers_respawned += 1
+                    yield position, JobResult(job=job, payload=_timeout_payload(job, elapsed))
+    finally:
+        for worker in pool:
+            if not worker.busy and worker.process.is_alive():
+                try:
+                    worker.connection.send(None)  # graceful sentinel
+                except (BrokenPipeError, OSError):
+                    pass
+            _stop_worker(worker)
 
 
 def run_jobs(
     jobs: list[JobSpec],
     workers: int = 1,
     progress: Callable[[JobResult], None] | None = None,
+    stats: PoolStats | None = None,
 ) -> list[JobResult]:
     """Execute ``jobs`` and return results in job order.
 
-    ``workers <= 1`` with no timeouts runs everything inline (simplest
-    possible execution, handy under a debugger); otherwise a bounded pool of
-    single-job worker processes executes them, enforcing each job's
-    ``timeout_s`` by terminating its process.
+    Convenience wrapper over :func:`iter_job_results` for callers that want
+    the whole run in memory; streaming consumers (the sweep CLI's JSONL
+    shard) drive the iterator directly.
     """
-    needs_processes = workers > 1 or any(job.timeout_s is not None for job in jobs)
-    if not needs_processes:
-        results = []
-        for job in jobs:
-            result = JobResult(job=job, payload=execute_job(job))
-            if progress is not None:
-                progress(result)
-            results.append(result)
-        return results
-    return _run_jobs_in_pool(jobs, max(1, workers), progress)
-
-
-def _run_jobs_in_pool(
-    jobs: list[JobSpec],
-    workers: int,
-    progress: Callable[[JobResult], None] | None,
-) -> list[JobResult]:
-    context = multiprocessing.get_context()
-    pending = list(enumerate(jobs))
-    pending.reverse()  # pop() takes jobs in submission order
-    running: dict[int, tuple] = {}
-    payloads: dict[int, dict[str, Any]] = {}
-
-    def finish(position: int, payload: dict[str, Any]) -> None:
-        payloads[position] = payload
+    payloads: dict[int, JobResult] = {}
+    for position, result in iter_job_results(jobs, workers=workers, stats=stats):
+        payloads[position] = result
         if progress is not None:
-            progress(JobResult(job=jobs[position], payload=payload))
-
-    while pending or running:
-        while pending and len(running) < workers:
-            position, job = pending.pop()
-            parent_conn, child_conn = context.Pipe(duplex=False)
-            process = context.Process(target=_child_main, args=(child_conn, job), daemon=True)
-            process.start()
-            child_conn.close()  # parent keeps only the read end
-            running[position] = (process, parent_conn, job, time.perf_counter())
-
-        finished_positions = []
-        for position, (process, connection, job, started) in running.items():
-            elapsed = time.perf_counter() - started
-            # Snapshot liveness BEFORE polling: a child that exits between
-            # the two checks has already flushed its payload into the pipe,
-            # so poll() still sees it and the result is never misreported
-            # as a crash.
-            alive = process.is_alive()
-            if connection.poll():
-                try:
-                    payload = connection.recv()
-                except EOFError:
-                    payload = _crash_payload(job, elapsed, process.exitcode)
-                process.join()
-                finish(position, payload)
-                finished_positions.append(position)
-            elif not alive:
-                finish(position, _crash_payload(job, elapsed, process.exitcode))
-                finished_positions.append(position)
-            elif job.timeout_s is not None and elapsed > job.timeout_s:
-                process.terminate()
-                process.join(timeout=5.0)
-                if process.is_alive():  # pragma: no cover - terminate() sufficed so far
-                    process.kill()
-                    process.join()
-                finish(position, _timeout_payload(job, elapsed))
-                finished_positions.append(position)
-        for position in finished_positions:
-            process, connection, _job, _started = running.pop(position)
-            connection.close()
-        if not finished_positions:
-            time.sleep(_POLL_INTERVAL_S)
-
-    return [JobResult(job=jobs[position], payload=payloads[position]) for position in range(len(jobs))]
+            progress(result)
+    return [payloads[position] for position in range(len(jobs))]

@@ -14,11 +14,15 @@ its data-plane shape (v5: ``shards`` — how many independent core-groups
 the job drove — and ``batch_size`` — the proposer batch size, ``0`` for
 singly-proposed commands), its check outcome, headline metrics, latency
 metrics, and the structured rows the text tables are formatted from.
-Legacy v1 artifacts (pre-backend), v2 artifacts (pre-time-source), v3
-artifacts (pre-wall-latency) and v4 artifacts (pre-sharding) stay readable
-for validation and baseline comparison; absent fields default to the
-kernel backend, simulated time, no wall-latency measurement, one shard and
-unbatched proposals, the only options those schemas had.
+v6 is the streamed pipeline: artifacts are rolled up from a per-job JSONL
+shard (``results/run-<tag>.jobs.jsonl``) and carry a top-level ``resumed``
+count — how many job records were reused from a pre-existing shard via
+``sweep --resume`` (0 for fresh runs; volatile, stripped from the
+canonical form so a resumed run stays byte-identical to an uninterrupted
+one).  Legacy v1 artifacts (pre-backend), v2 (pre-time-source), v3
+(pre-wall-latency), v4 (pre-sharding) and v5 (pre-streaming) stay
+readable for validation and baseline comparison; absent fields default to
+the only options those schemas had.
 
 :func:`validate_run_payload` is a hand-rolled structural validator (no
 third-party schema dependency) used by the CLI's ``validate`` command and by
@@ -26,19 +30,31 @@ CI, so a malformed artifact fails the build.  :func:`canonicalize_payload`
 strips the timing/environment fields, leaving the deterministic core — two
 sweeps with the same seeds must have identical canonical forms no matter how
 many workers executed them.
+
+The shard layer (:class:`ShardWriter`, :func:`iter_shard_records`,
+:class:`ShardIndex`, :func:`rollup_shard`) is what makes 10k-job campaigns
+cheap: each finished job is flushed as one JSONL line as it completes, the
+supervisor holds O(workers) payloads instead of O(jobs), a SIGKILL leaves a
+valid partial shard (a torn final line is tolerated on read), and the
+canonical artifact is rolled up from the shard at the end through
+:class:`StreamingRunWriter`, which writes the exact bytes
+``json.dumps(payload, indent=2, sort_keys=True)`` would have produced
+without ever materializing the jobs array.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import subprocess
 import sys
+import textwrap
 import time
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 from typing import Any
 
-RESULTS_SCHEMA_VERSION = "repro-results/v5"
+RESULTS_SCHEMA_VERSION = "repro-results/v6"
 
 #: Older schema versions `validate` and `compare` still accept on *read*.
 #: v1 predates the engine-backend split: its job payloads lack the
@@ -50,12 +66,35 @@ RESULTS_SCHEMA_VERSION = "repro-results/v5"
 #: v4 predates the sharded/batched data plane: its job payloads lack
 #: ``shards`` and ``batch_size`` (treated as one shard, unbatched — the
 #: only data-plane shape v4 jobs could drive).
+#: v5 predates the streamed results pipeline: its run payloads lack the
+#: top-level ``resumed`` count (treated as 0 — v5 runs could not resume).
 LEGACY_SCHEMA_VERSIONS = (
+    "repro-results/v5",
     "repro-results/v4",
     "repro-results/v3",
     "repro-results/v2",
     "repro-results/v1",
 )
+
+#: Every schema version in chronological order; feature checks in the
+#: validator are "rank >= N" so adding v7 means appending here, not
+#: rewriting version tuples in every branch.
+_SCHEMA_ORDER = (
+    "repro-results/v1",
+    "repro-results/v2",
+    "repro-results/v3",
+    "repro-results/v4",
+    "repro-results/v5",
+    "repro-results/v6",
+)
+
+
+def _schema_rank(schema: Any) -> int:
+    """1-based position of a schema version; unknown reads as the latest."""
+    try:
+        return _SCHEMA_ORDER.index(schema) + 1
+    except ValueError:
+        return len(_SCHEMA_ORDER)
 
 #: ``time_source`` values a v3+ job payload may carry (mirrors
 #: :data:`repro.engine.services.TIME_SOURCES` without importing the engine —
@@ -78,8 +117,12 @@ def job_data_plane(job: dict[str, Any]) -> tuple[int, int]:
 
 
 #: Top-level payload fields that carry timing or environment information and
-#: are therefore excluded from determinism comparisons.
-_VOLATILE_RUN_FIELDS = ("tag", "created_unix", "wall_time_s", "git_sha", "python", "workers", "host")
+#: are therefore excluded from determinism comparisons.  ``resumed`` (v6) is
+#: execution history, not content: a kill-then-resume run must canonicalize
+#: identically to an uninterrupted one.
+_VOLATILE_RUN_FIELDS = (
+    "tag", "created_unix", "wall_time_s", "git_sha", "python", "workers", "host", "resumed",
+)
 #: Same, per job entry.  ``wall_latency`` is a wall-clock *measurement* —
 #: two identically-seeded sweeps legitimately measure different tails — so
 #: it is excluded from the deterministic canonical form alongside wall time.
@@ -142,6 +185,7 @@ def build_run_payload(
     wall_time_s: float,
     workers: int,
     created_unix: float | None = None,
+    resumed: int = 0,
 ) -> dict[str, Any]:
     """Assemble the versioned artifact from per-job payloads."""
     jobs = list(job_payloads)
@@ -156,10 +200,94 @@ def build_run_payload(
         "python": sys.version.split()[0],
         "workers": workers,
         "wall_time_s": wall_time_s,
+        "resumed": resumed,
         "config": jsonable(config),
         "totals": {"jobs": len(jobs), **totals},
         "jobs": jobs,
     }
+
+
+def _expect(
+    problems: list[str], mapping: dict[str, Any], key: str, types: tuple, where: str
+) -> Any:
+    if key not in mapping:
+        problems.append(f"{where}: missing required field {key!r}")
+        return None
+    value = mapping[key]
+    if not isinstance(value, types) or isinstance(value, bool) and bool not in types:
+        names = "/".join(t.__name__ for t in types)
+        problems.append(f"{where}: field {key!r} must be {names}, got {type(value).__name__}")
+        return None
+    return value
+
+
+def validate_job_payload(job: Any, schema: str, where: str = "job") -> list[str]:
+    """Structural check of one job payload under ``schema``'s field set.
+
+    Factored out of :func:`validate_run_payload` so streamed JSONL shard
+    records can be validated one line at a time — the 10k-job shard never
+    has to be materialized just to be checked.
+    """
+    problems: list[str] = []
+    if not isinstance(job, dict):
+        return [f"{where}: must be an object, got {type(job).__name__}"]
+    rank = _schema_rank(schema)
+    expect = lambda mapping, key, types, at: _expect(problems, mapping, key, types, at)  # noqa: E731
+    expect(job, "key", (str,), where)
+    expect(job, "experiment", (str,), where)
+    expect(job, "seed", (int,), where)
+    expect(job, "params", (dict,), where)
+    expect(job, "quick", (bool,), where)
+    if rank >= 2:
+        expect(job, "backend", (str,), where)
+    if rank >= 3:
+        time_source = expect(job, "time_source", (str,), where)
+        if time_source is not None and time_source not in JOB_TIME_SOURCES:
+            problems.append(
+                f"{where}: time_source {time_source!r} not one of {JOB_TIME_SOURCES}"
+            )
+    if rank >= 4:
+        wall_latency = expect(job, "wall_latency", (dict, type(None)), where)
+        if isinstance(wall_latency, dict):
+            for name, value in wall_latency.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    problems.append(
+                        f"{where}: wall_latency[{name!r}] must be numeric, "
+                        f"got {type(value).__name__}"
+                    )
+    if rank >= 5:
+        shards = expect(job, "shards", (int,), where)
+        if shards is not None and shards < 1:
+            problems.append(f"{where}: shards must be >= 1, got {shards}")
+        batch_size = expect(job, "batch_size", (int,), where)
+        if batch_size is not None and batch_size < 0:
+            problems.append(f"{where}: batch_size must be >= 0, got {batch_size}")
+    status = expect(job, "status", (str,), where)
+    if status is not None and status not in _JOB_STATUSES:
+        problems.append(f"{where}: status {status!r} not one of {_JOB_STATUSES}")
+    ok = expect(job, "ok", (bool, type(None)), where)
+    expect(job, "wall_time_s", (int, float), where)
+    expect(job, "headline", (dict, type(None)), where)
+    expect(job, "latency", (dict, type(None)), where)
+    check = expect(job, "check", (dict, type(None)), where)
+    if isinstance(check, dict):
+        expect(check, "ok", (bool,), f"{where}.check")
+        expect(check, "violations", (dict,), f"{where}.check")
+    error = expect(job, "error", (str, type(None)), where)
+    if status == "ok" and ok is False:
+        problems.append(f"{where}: status 'ok' contradicts ok=false")
+    if status in ("timeout", "error") and not error:
+        problems.append(f"{where}: status {status!r} requires a non-empty error")
+    for metric_field in ("headline", "latency"):
+        metrics = job.get(metric_field)
+        if isinstance(metrics, dict):
+            for name, value in metrics.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    problems.append(
+                        f"{where}: {metric_field}[{name!r}] must be numeric, "
+                        f"got {type(value).__name__}"
+                    )
+    return problems
 
 
 def validate_run_payload(payload: Any) -> list[str]:
@@ -169,15 +297,7 @@ def validate_run_payload(payload: Any) -> list[str]:
         return [f"payload must be an object, got {type(payload).__name__}"]
 
     def expect(mapping: dict[str, Any], key: str, types: tuple, where: str) -> Any:
-        if key not in mapping:
-            problems.append(f"{where}: missing required field {key!r}")
-            return None
-        value = mapping[key]
-        if not isinstance(value, types) or isinstance(value, bool) and bool not in types:
-            names = "/".join(t.__name__ for t in types)
-            problems.append(f"{where}: field {key!r} must be {names}, got {type(value).__name__}")
-            return None
-        return value
+        return _expect(problems, mapping, key, types, where)
 
     schema = expect(payload, "schema", (str,), "run")
     legacy = schema in LEGACY_SCHEMA_VERSIONS
@@ -190,6 +310,10 @@ def validate_run_payload(payload: Any) -> list[str]:
     expect(payload, "python", (str,), "run")
     expect(payload, "workers", (int,), "run")
     expect(payload, "wall_time_s", (int, float), "run")
+    if _schema_rank(schema) >= 6:
+        resumed = expect(payload, "resumed", (int,), "run")
+        if resumed is not None and resumed < 0:
+            problems.append(f"run: resumed must be >= 0, got {resumed}")
     expect(payload, "config", (dict,), "run")
     totals = expect(payload, "totals", (dict,), "run")
     jobs = expect(payload, "jobs", (list,), "run")
@@ -199,64 +323,7 @@ def validate_run_payload(payload: Any) -> list[str]:
         problems.append(f"run: totals.jobs={totals.get('jobs')!r} but {len(jobs)} job entries")
 
     for position, job in enumerate(jobs):
-        where = f"jobs[{position}]"
-        if not isinstance(job, dict):
-            problems.append(f"{where}: must be an object, got {type(job).__name__}")
-            continue
-        expect(job, "key", (str,), where)
-        expect(job, "experiment", (str,), where)
-        expect(job, "seed", (int,), where)
-        expect(job, "params", (dict,), where)
-        expect(job, "quick", (bool,), where)
-        if schema != "repro-results/v1":
-            expect(job, "backend", (str,), where)
-        if schema not in ("repro-results/v1", "repro-results/v2"):
-            time_source = expect(job, "time_source", (str,), where)
-            if time_source is not None and time_source not in JOB_TIME_SOURCES:
-                problems.append(
-                    f"{where}: time_source {time_source!r} not one of {JOB_TIME_SOURCES}"
-                )
-        if schema not in ("repro-results/v1", "repro-results/v2", "repro-results/v3"):
-            wall_latency = expect(job, "wall_latency", (dict, type(None)), where)
-            if isinstance(wall_latency, dict):
-                for name, value in wall_latency.items():
-                    if isinstance(value, bool) or not isinstance(value, (int, float)):
-                        problems.append(
-                            f"{where}: wall_latency[{name!r}] must be numeric, "
-                            f"got {type(value).__name__}"
-                        )
-        if not legacy:
-            shards = expect(job, "shards", (int,), where)
-            if shards is not None and shards < 1:
-                problems.append(f"{where}: shards must be >= 1, got {shards}")
-            batch_size = expect(job, "batch_size", (int,), where)
-            if batch_size is not None and batch_size < 0:
-                problems.append(f"{where}: batch_size must be >= 0, got {batch_size}")
-        status = expect(job, "status", (str,), where)
-        if status is not None and status not in _JOB_STATUSES:
-            problems.append(f"{where}: status {status!r} not one of {_JOB_STATUSES}")
-        ok = expect(job, "ok", (bool, type(None)), where)
-        expect(job, "wall_time_s", (int, float), where)
-        expect(job, "headline", (dict, type(None)), where)
-        expect(job, "latency", (dict, type(None)), where)
-        check = expect(job, "check", (dict, type(None)), where)
-        if isinstance(check, dict):
-            expect(check, "ok", (bool,), f"{where}.check")
-            expect(check, "violations", (dict,), f"{where}.check")
-        error = expect(job, "error", (str, type(None)), where)
-        if status == "ok" and ok is False:
-            problems.append(f"{where}: status 'ok' contradicts ok=false")
-        if status in ("timeout", "error") and not error:
-            problems.append(f"{where}: status {status!r} requires a non-empty error")
-        for metric_field in ("headline", "latency"):
-            metrics = job.get(metric_field)
-            if isinstance(metrics, dict):
-                for name, value in metrics.items():
-                    if isinstance(value, bool) or not isinstance(value, (int, float)):
-                        problems.append(
-                            f"{where}: {metric_field}[{name!r}] must be numeric, "
-                            f"got {type(value).__name__}"
-                        )
+        problems.extend(validate_job_payload(job, schema, f"jobs[{position}]"))
     return problems
 
 
@@ -290,3 +357,340 @@ def write_run_payload(payload: dict[str, Any], path: pathlib.Path) -> pathlib.Pa
 def load_payload(path: pathlib.Path) -> dict[str, Any]:
     with open(path) as handle:
         return json.load(handle)
+
+
+# ---------------------------------------------------------------------------
+# Streamed job records: the JSONL shard next to each artifact
+# ---------------------------------------------------------------------------
+
+#: Schema tag of a shard's header line.  The shard format is one JSON object
+#: per line: a header record first (this schema, the run tag, the sweep
+#: config — what ``--resume`` checks before trusting the shard), then one
+#: record per finished job, flushed as it completes.  Job records are the
+#: v6 job payload plus an ``index`` field (the job's position in the
+#: deterministic expansion) so the rollup can reassemble job order no
+#: matter what completion order the workers produced.
+SHARD_SCHEMA_VERSION = "repro-results-shard/v1"
+
+#: The one field a shard job record carries on top of the job payload.
+_SHARD_INDEX_FIELD = "index"
+
+
+def shard_path_for(artifact_path: pathlib.Path | str) -> pathlib.Path:
+    """The JSONL shard that rides next to an artifact: ``run-x.jobs.jsonl``."""
+    path = pathlib.Path(artifact_path)
+    stem = path.name[: -len(".json")] if path.name.endswith(".json") else path.name
+    return path.with_name(f"{stem}.jobs.jsonl")
+
+
+class ShardWriter:
+    """Append-only JSONL shard: one flushed line per finished job.
+
+    Each ``append`` is written, flushed and fsync'd before returning, so a
+    SIGKILL between jobs loses nothing and a SIGKILL mid-write leaves at
+    most one torn final line — which :func:`iter_shard_records` tolerates.
+    Opened in append mode so ``--resume`` extends a partial shard in place.
+    """
+
+    def __init__(
+        self,
+        path: pathlib.Path | str,
+        tag: str,
+        config: dict[str, Any],
+        fresh: bool = True,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fresh and self.path.exists():
+            self.path.unlink()
+        if not fresh and self.path.exists():
+            self._truncate_torn_tail()
+        write_header = fresh or not self.path.exists() or self.path.stat().st_size == 0
+        self._handle = open(self.path, "a")
+        self.written = 0
+        if write_header:
+            self._write_line(
+                {
+                    "schema": SHARD_SCHEMA_VERSION,
+                    "run_schema": RESULTS_SCHEMA_VERSION,
+                    "tag": tag,
+                    "config": jsonable(config),
+                }
+            )
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop a crash's torn final line so appended records start clean."""
+        raw = self.path.read_bytes()
+        if raw and not raw.endswith(b"\n"):
+            keep = raw.rfind(b"\n") + 1  # 0 when no newline survives at all
+            with open(self.path, "r+b") as handle:
+                handle.truncate(keep)
+
+    def _write_line(self, record: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append(self, index: int, payload: dict[str, Any]) -> None:
+        """Persist one finished job payload under its deterministic index."""
+        problems = validate_job_payload(payload, RESULTS_SCHEMA_VERSION, f"jobs[{index}]")
+        if problems:
+            raise ValueError("refusing to write invalid job record: " + "; ".join(problems))
+        self._write_line({_SHARD_INDEX_FIELD: index, **payload})
+        self.written += 1
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> ShardWriter:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def iter_shard_records(path: pathlib.Path | str) -> Iterator[dict[str, Any]]:
+    """Yield every complete record of a shard (header first, if present).
+
+    A torn final line — the signature of a supervisor killed mid-write — is
+    silently dropped; a malformed line *followed by more data* is corruption
+    and raises, because nothing legitimate produces it.
+    """
+    with open(path) as handle:
+        pending_error: tuple[int, str] | None = None
+        for number, line in enumerate(handle, start=1):
+            if pending_error is not None:
+                bad_number, bad_line = pending_error
+                raise ValueError(
+                    f"{path}: line {bad_number} is not valid JSON but is not the "
+                    f"final line — the shard is corrupt, not merely torn: {bad_line[:80]!r}"
+                )
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                pending_error = (number, line)
+                continue
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}: line {number} is not an object")
+            yield record
+
+
+class ShardIndex:
+    """Byte offsets of a shard's job records, keyed by job index.
+
+    Holds one small tuple per record — never the payloads themselves — so
+    resuming or rolling up a 10k-job shard costs O(jobs) *entries*, not
+    O(jobs) payload bytes.  ``get`` seeks and parses one line on demand.
+    """
+
+    def __init__(self, path: pathlib.Path | str) -> None:
+        self.path = pathlib.Path(path)
+        self.header: dict[str, Any] | None = None
+        #: job index -> (byte offset, job key); later records win, so a
+        #: shard that somehow recorded a job twice resolves to the newest.
+        self._offsets: dict[int, tuple[int, str]] = {}
+        with open(self.path) as handle:
+            while True:
+                offset = handle.tell()
+                line = handle.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    # A torn final line is a crash artifact; a bad line with
+                    # data after it is corruption.
+                    if handle.read().strip():
+                        raise ValueError(
+                            f"{self.path}: corrupt non-final shard line at offset {offset}"
+                        ) from None
+                    break
+                if record.get("schema") == SHARD_SCHEMA_VERSION:
+                    self.header = record
+                else:
+                    index = record.get(_SHARD_INDEX_FIELD)
+                    if not isinstance(index, int):
+                        raise ValueError(f"{self.path}: job record without an integer index")
+                    self._offsets[index] = (offset, str(record.get("key")))
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._offsets
+
+    def key_of(self, index: int) -> str | None:
+        entry = self._offsets.get(index)
+        return entry[1] if entry else None
+
+    def indices(self) -> tuple[int, ...]:
+        """The job indices present, sorted."""
+        return tuple(sorted(self._offsets))
+
+    def get(self, index: int) -> dict[str, Any]:
+        """Load one job payload (the ``index`` envelope field stripped)."""
+        offset, _key = self._offsets[index]
+        with open(self.path) as handle:
+            handle.seek(offset)
+            record = json.loads(handle.readline())
+        record.pop(_SHARD_INDEX_FIELD, None)
+        return record
+
+
+def validate_shard(path: pathlib.Path | str) -> tuple[list[str], int, bool]:
+    """Check a shard line by line; returns ``(problems, job records, torn)``.
+
+    Accepts partial shards: a missing header or a torn final line is noted
+    via the ``torn`` flag / a problem entry only when the file carries no
+    complete records at all, because a crash mid-campaign legitimately
+    leaves both.
+    """
+    problems: list[str] = []
+    jobs = 0
+    saw_header = False
+    try:
+        for record in iter_shard_records(path):
+            if record.get("schema") == SHARD_SCHEMA_VERSION:
+                saw_header = True
+                continue
+            index = record.get(_SHARD_INDEX_FIELD)
+            if not isinstance(index, int):
+                problems.append(f"record {jobs}: missing integer {_SHARD_INDEX_FIELD!r}")
+                continue
+            payload = {k: v for k, v in record.items() if k != _SHARD_INDEX_FIELD}
+            problems.extend(validate_job_payload(payload, RESULTS_SCHEMA_VERSION, f"jobs[{index}]"))
+            jobs += 1
+    except (OSError, ValueError) as exc:
+        return [str(exc)], jobs, False
+    if not saw_header and jobs == 0:
+        problems.append("shard carries no header and no complete job records")
+    # Torn == the file does not end with a newline-terminated line that
+    # parsed; iter_shard_records already dropped it, so detect via raw tail.
+    torn = False
+    raw = pathlib.Path(path).read_bytes()
+    if raw and not raw.endswith(b"\n"):
+        torn = True
+    return problems, jobs, torn
+
+
+# ---------------------------------------------------------------------------
+# Streaming rollup: shard -> canonical artifact without materializing jobs
+# ---------------------------------------------------------------------------
+
+
+class StreamingRunWriter:
+    """Write a run artifact holding at most one job payload in memory.
+
+    Produces byte-for-byte the output of ``json.dumps(build_run_payload(...),
+    indent=2, sort_keys=True) + "\\n"`` (pinned by tests), exploiting the
+    fact that under ``sort_keys`` every top-level field except ``config``,
+    ``created_unix`` and ``git_sha`` sorts *after* ``"jobs"`` — so totals
+    and wall time can be accumulated while the jobs array streams out and
+    written in the trailer.  Writes to ``<path>.tmp`` and renames on close,
+    so a crash mid-rollup never leaves a half-written artifact where
+    ``validate`` might find it.
+    """
+
+    def __init__(
+        self,
+        path: pathlib.Path | str,
+        tag: str,
+        config: dict[str, Any],
+        workers: int,
+        resumed: int = 0,
+        created_unix: float | None = None,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = self.path.with_name(self.path.name + ".tmp")
+        self._handle = open(self._tmp, "w")
+        self._tag = tag
+        self._workers = workers
+        self._resumed = resumed
+        self._totals = {status: 0 for status in _JOB_STATUSES}
+        self._count = 0
+        head = {
+            "config": jsonable(config),
+            "created_unix": time.time() if created_unix is None else created_unix,
+            "git_sha": git_sha(),
+        }
+        text = json.dumps(head, indent=2, sort_keys=True)
+        assert text.endswith("\n}")
+        self._handle.write(text[: -len("\n}")] + ',\n  "jobs": [')
+
+    def add_job(self, payload: dict[str, Any]) -> None:
+        problems = validate_job_payload(
+            payload, RESULTS_SCHEMA_VERSION, f"jobs[{self._count}]"
+        )
+        if problems:
+            self.abort()
+            raise ValueError("refusing to write invalid job record: " + "; ".join(problems))
+        self._totals[payload["status"]] += 1
+        separator = "\n" if self._count == 0 else ",\n"
+        body = textwrap.indent(json.dumps(payload, indent=2, sort_keys=True), "    ")
+        self._handle.write(separator + body)
+        self._count += 1
+
+    def close(self, wall_time_s: float) -> pathlib.Path:
+        self._handle.write("\n  ]," if self._count else "],")
+        trailer = {
+            "python": sys.version.split()[0],
+            "resumed": self._resumed,
+            "schema": RESULTS_SCHEMA_VERSION,
+            "tag": self._tag,
+            "totals": {"jobs": self._count, **self._totals},
+            "wall_time_s": wall_time_s,
+            "workers": self._workers,
+        }
+        text = json.dumps(trailer, indent=2, sort_keys=True)
+        assert text.startswith("{\n")
+        self._handle.write("\n" + text[len("{\n"):] + "\n")
+        self._handle.close()
+        self._tmp.replace(self.path)
+        return self.path
+
+    def abort(self) -> None:
+        """Discard the partial artifact (the shard remains the source of truth)."""
+        if not self._handle.closed:
+            self._handle.close()
+        self._tmp.unlink(missing_ok=True)
+
+
+def rollup_shard(
+    shard: ShardIndex,
+    out_path: pathlib.Path | str,
+    tag: str,
+    config: dict[str, Any],
+    job_count: int,
+    wall_time_s: float,
+    workers: int,
+    resumed: int = 0,
+    created_unix: float | None = None,
+) -> pathlib.Path:
+    """Roll a complete shard up into the canonical artifact, streaming.
+
+    ``job_count`` is the deterministic expansion's length; every index in
+    ``range(job_count)`` must be present in the shard (a partial shard is
+    resumable, not rollable).
+    """
+    missing = [index for index in range(job_count) if index not in shard]
+    if missing:
+        raise ValueError(
+            f"shard {shard.path} is incomplete: {len(missing)} of {job_count} job "
+            f"records missing (first missing index {missing[0]}); "
+            f"finish the sweep with --resume before rolling up"
+        )
+    writer = StreamingRunWriter(
+        out_path, tag=tag, config=config, workers=workers, resumed=resumed, created_unix=created_unix
+    )
+    try:
+        for index in range(job_count):
+            writer.add_job(shard.get(index))
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.close(wall_time_s)

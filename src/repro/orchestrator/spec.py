@@ -122,6 +122,40 @@ def _sleep_runner(duration: float = 5.0, seed: int = 0, quick: bool = False) -> 
     }
 
 
+def _crash_runner(exit_code: int = 13, seed: int = 0, quick: bool = False) -> dict[str, Any]:
+    """Hidden pseudo-experiment: kill the worker process outright.
+
+    ``os._exit`` skips every interpreter cleanup path, so the supervisor sees
+    a dead worker mid-job — only safe to run through the process pool, which
+    is exactly the point: it pins the pool's crash-respawn handling.
+    """
+    import os
+
+    os._exit(exit_code)
+
+
+def _blob_runner(kilobytes: int = 64, seed: int = 0, quick: bool = False) -> dict[str, Any]:
+    """Hidden pseudo-experiment: return a payload of a configurable size.
+
+    Exists so the streamed-results memory bound can be tested: a campaign of
+    BLOB jobs has a known aggregate payload size, and the supervisor's peak
+    memory must not grow with the job count once records stream to the JSONL
+    shard instead of accumulating in RAM.
+    """
+    data = "x" * (kilobytes * 1024)
+    return {
+        "experiment": "BLOB",
+        "expected": "returns a payload of the requested size",
+        "ok": True,
+        "headline": {"kilobytes": float(kilobytes)},
+        "latency": {},
+        "headers": ["kilobytes"],
+        "rows": [[float(kilobytes)]],
+        "table": f"blob of {kilobytes} KiB",
+        "blob": data,
+    }
+
+
 _SIZES_HELP = "comma-separated cluster sizes for the sweep, e.g. 4,7,10"
 
 #: Scenario axes shared by every E1-E12 experiment: which scheduler drives
@@ -285,6 +319,20 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
             title="orchestrator self-test: sleep for a configurable duration",
             runner=_sleep_runner,
             params=(ParamSpec("duration", "float", 5.0, "seconds to sleep"),),
+            hidden=True,
+        ),
+        ExperimentSpec(
+            id="CRASH",
+            title="orchestrator self-test: kill the worker process mid-job",
+            runner=_crash_runner,
+            params=(ParamSpec("exit_code", "int", 13, "exit code for os._exit"),),
+            hidden=True,
+        ),
+        ExperimentSpec(
+            id="BLOB",
+            title="orchestrator self-test: return a payload of a configurable size",
+            runner=_blob_runner,
+            params=(ParamSpec("kilobytes", "int", 64, "payload size in KiB"),),
             hidden=True,
         ),
     )

@@ -138,6 +138,65 @@ class TestExploreCLI:
         assert "SCENARIO" not in capsys.readouterr().out
 
 
+class TestStreamedCampaigns:
+    """PR 10: explore writes through the JSONL shard; resume must not
+    perturb the coverage feedback loop or the canonical artifact."""
+
+    COVERAGE_ARGS = ["explore", "--budget", "10", "--seed", "6", "--quick",
+                     "--coverage", "--batch", "4"]
+
+    def test_coverage_campaign_identical_across_worker_counts(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main([*self.COVERAGE_ARGS, "--out", str(first)]) == 0
+        assert main([*self.COVERAGE_ARGS, "--workers", "4", "--out", str(second)]) == 0
+        assert canonical(first) == canonical(second)
+
+    def test_truncated_shard_resumes_to_identical_artifact(self, tmp_path, capsys):
+        from repro.orchestrator.results import shard_path_for
+
+        full = tmp_path / "full.json"
+        assert main([*self.COVERAGE_ARGS, "--tag", "c", "--out", str(full)]) == 0
+
+        partial = tmp_path / "part.json"
+        assert main([*self.COVERAGE_ARGS, "--tag", "c", "--out", str(partial)]) == 0
+        # Simulate a SIGKILL mid-campaign: keep the header + the first four
+        # records plus a torn half-line, drop the rolled-up artifact.
+        shard = shard_path_for(partial)
+        lines = shard.read_text().splitlines(keepends=True)
+        shard.write_text("".join(lines[:5]) + '{"index": 4, "key": "torn-mid')
+        partial.unlink()
+
+        status = main([
+            *self.COVERAGE_ARGS, "--tag", "c", "--out", str(partial),
+            "--resume", "--progress",
+        ])
+        assert status == 0
+        assert canonical(partial) == canonical(full)
+        assert load_payload(partial)["resumed"] == 4
+        err = capsys.readouterr().err
+        assert "[explore] 10/10 done" in err
+
+    def test_resume_with_mismatched_campaign_exits_2(self, tmp_path, capsys):
+        artifact = tmp_path / "c.json"
+        assert main([*self.COVERAGE_ARGS, "--tag", "c", "--out", str(artifact)]) == 0
+        status = main([
+            "explore", "--budget", "10", "--seed", "7", "--quick",
+            "--coverage", "--batch", "4", "--tag", "c", "--out", str(artifact),
+            "--resume",
+        ])
+        assert status == 2
+        assert "does not match" in capsys.readouterr().err
+
+    def test_campaign_shard_validates_alongside_the_artifact(self, tmp_path, capsys):
+        from repro.orchestrator.results import shard_path_for
+
+        artifact = tmp_path / "c.json"
+        assert main(["explore", "--budget", "4", "--seed", "1", "--quick",
+                     "--out", str(artifact)]) == 0
+        assert main(["validate", str(artifact), str(shard_path_for(artifact))]) == 0
+
+
 class TestWorkerCountInvariance:
     """Adversarial-scheduler scenarios: same canonical payloads at any width."""
 

@@ -125,3 +125,40 @@ class TestLatency:
         baseline = _payload(_job(latency={"delays": 10.0}))
         current = _payload(_job(latency={"delays": 20.0}))
         assert not compare_payloads(baseline, current).ok
+
+
+class TestJobStream:
+    """compare_job_stream: one pass over current jobs, never materialized."""
+
+    def test_stream_matches_payload_compare(self):
+        from repro.orchestrator.compare import compare_job_stream
+
+        baseline = _payload(
+            _job("A[seed=1]", latency={"delays": 5.0}),
+            _job("B[seed=1]", status="error", error="boom"),
+            _job("C[seed=1]"),
+        )
+        current_jobs = [
+            _job("A[seed=1]", latency={"delays": 9.0}),  # latency regression
+            _job("B[seed=1]"),                           # improvement
+            _job("D[seed=1]"),                           # new job; C missing
+        ]
+        via_stream = compare_job_stream(baseline, iter(current_jobs))
+        via_payload = compare_payloads(baseline, _payload(*current_jobs))
+        assert via_stream.summary() == via_payload.summary()
+        assert not via_stream.ok
+        assert any("C[seed=1]" in p for p in via_stream.correctness_regressions)
+
+    def test_stream_consumes_a_generator_lazily(self):
+        from repro.orchestrator.compare import compare_job_stream
+
+        seen = []
+
+        def jobs():
+            for key in ("A[seed=1]", "B[seed=1]"):
+                seen.append(key)
+                yield _job(key)
+
+        report = compare_job_stream(_payload(_job("A[seed=1]")), jobs())
+        assert report.ok
+        assert seen == ["A[seed=1]", "B[seed=1]"]

@@ -3,7 +3,7 @@
 import json
 
 from repro.orchestrator.jobs import JobSpec, SweepSpec, expand_sweep
-from repro.orchestrator.pool import execute_job, run_jobs
+from repro.orchestrator.pool import PoolStats, execute_job, iter_job_results, run_jobs
 from repro.orchestrator.results import build_run_payload, canonicalize_payload
 
 
@@ -60,6 +60,63 @@ class TestTimeouts:
         results = run_jobs([slow, fast], workers=2)
         assert results[0].status == "timeout"
         assert results[1].status == "ok"
+
+
+class TestPersistentPool:
+    """The PR 10 execution layer: long-lived workers, surgical kills."""
+
+    def test_workers_are_reused_across_jobs(self):
+        jobs = [JobSpec(experiment="E1", seed=seed, quick=True, timeout_s=60.0, index=seed)
+                for seed in range(8)]
+        stats = PoolStats()
+        results = run_jobs(jobs, workers=2, stats=stats)
+        assert all(result.ok for result in results)
+        # 8 jobs, 2 forks: the pool is persistent, not process-per-job.
+        assert stats.workers_spawned == 2
+        assert stats.workers_respawned == 0
+
+    def test_timeout_kills_and_respawns_exactly_one_worker(self):
+        slow = JobSpec(
+            experiment="SLEEP", seed=0, params=(("duration", 30.0),), timeout_s=0.5, index=0
+        )
+        fast = [JobSpec(experiment="E1", seed=seed, quick=True, timeout_s=30.0, index=seed)
+                for seed in (1, 2, 3)]
+        stats = PoolStats()
+        results = run_jobs([slow, *fast], workers=2, stats=stats)
+        assert results[0].status == "timeout"
+        assert [result.status for result in results[1:]] == ["ok"] * 3
+        assert stats.workers_respawned == 1
+
+    def test_worker_crash_mid_job_respawns_cleanly(self):
+        crash = JobSpec(experiment="CRASH", seed=0, timeout_s=60.0, index=0)
+        fast = [JobSpec(experiment="E1", seed=seed, quick=True, timeout_s=60.0, index=seed)
+                for seed in (1, 2, 3)]
+        stats = PoolStats()
+        results = run_jobs([crash, *fast], workers=2, stats=stats)
+        assert results[0].status == "error"
+        assert "exit code 13" in results[0].payload["error"]
+        assert [result.status for result in results[1:]] == ["ok"] * 3
+        assert stats.workers_respawned == 1
+
+    def test_every_job_completes_even_when_all_workers_crash(self):
+        jobs = [JobSpec(experiment="CRASH", seed=seed, timeout_s=60.0, index=seed)
+                for seed in range(4)]
+        stats = PoolStats()
+        results = run_jobs(jobs, workers=2, stats=stats)
+        assert [result.status for result in results] == ["error"] * 4
+        assert stats.workers_respawned == 4
+
+    def test_iter_job_results_yields_every_position_once(self):
+        jobs = [JobSpec(experiment="E1", seed=seed, quick=True, timeout_s=60.0, index=seed)
+                for seed in range(5)]
+        positions = [position for position, _result in iter_job_results(jobs, workers=3)]
+        assert sorted(positions) == [0, 1, 2, 3, 4]
+
+    def test_job_order_is_invariant_across_worker_counts(self):
+        jobs = _sweep_jobs()
+        keys_1 = [result.job.key for result in run_jobs(jobs, workers=1)]
+        keys_4 = [result.job.key for result in run_jobs(jobs, workers=4)]
+        assert keys_1 == keys_4 == [job.key for job in jobs]
 
 
 class TestErrors:

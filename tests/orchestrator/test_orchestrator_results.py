@@ -137,6 +137,24 @@ class TestValidation:
         assert payload["shards"] == 2
         assert payload["batch_size"] == 2
 
+    def test_v6_runs_record_resume_provenance(self):
+        payload = _payload()
+        assert payload["resumed"] == 0
+        del payload["resumed"]
+        assert any("resumed" in p for p in validate_run_payload(payload))
+
+    def test_v6_resumed_must_be_a_non_negative_int(self):
+        payload = _payload()
+        payload["resumed"] = -1
+        assert any("resumed" in p for p in validate_run_payload(payload))
+
+    def test_legacy_v5_artifacts_still_validate(self):
+        """Pre-streaming baselines (repro-results/v5) stay readable."""
+        payload = _payload()
+        payload["schema"] = "repro-results/v5"
+        del payload["resumed"]  # v5 never had the field
+        assert validate_run_payload(payload) == []
+
     def test_legacy_v4_artifacts_still_validate(self):
         """Pre-sharding baselines (repro-results/v4) stay readable."""
         payload = _payload()
@@ -232,7 +250,8 @@ class TestRoundTrip:
 class TestCanonicalForm:
     def test_volatile_fields_are_stripped(self):
         canonical = canonicalize_payload(_payload())
-        for field in ("tag", "created_unix", "wall_time_s", "git_sha", "python", "workers"):
+        for field in ("tag", "created_unix", "wall_time_s", "git_sha", "python",
+                      "workers", "resumed"):
             assert field not in canonical
         assert all("wall_time_s" not in job for job in canonical["jobs"])
         # Wall-clock histograms are measurement, not deterministic content.
